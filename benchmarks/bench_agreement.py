@@ -1,0 +1,52 @@
+"""FIG1-AGREE — derived-vs-paper agreement, ambivalent cells broken out.
+
+§5 discusses five cells whose ratings involved judgment calls (NVIDIA
+OpenMP C++, NVIDIA Python, AMD Standard C++, Intel CUDA C++, Intel
+Standard C++).  The bench reports overall agreement and these cells
+separately, writing the report artifact.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import AMBIVALENT_CELLS, compare
+from repro.enums import SupportCategory
+
+
+def test_agreement_report(derived_matrix, artifacts_dir):
+    report = compare(derived_matrix)
+    (artifacts_dir / "agreement_report.txt").write_text(
+        "\n".join(report.summary_lines()) + "\n"
+    )
+    assert report.n_cells == 51
+    assert report.agreement == 1.0, report.mismatches
+    assert report.n_full_matches == 51
+
+
+def test_ambivalent_cells_resolved(derived_matrix):
+    report = compare(derived_matrix)
+    ambivalent = report.ambivalent()
+    assert len(ambivalent) == len(AMBIVALENT_CELLS) == 5
+    for comparison in ambivalent:
+        assert comparison.match, (
+            f"{comparison.vendor} {comparison.model} diverges on an "
+            f"ambivalent cell"
+        )
+
+
+def test_category_distribution(derived_matrix):
+    """Shape check: the derived table's category mix is the paper's."""
+    from collections import Counter
+
+    counts = Counter(cell.primary for cell in derived_matrix)
+    # 9 cells have no support at all: SYCL Fortran x3, Alpaka Fortran
+    # x3, Intel CUDA Fortran, Intel HIP Fortran, AMD Standard Fortran.
+    assert counts[SupportCategory.NONE] == 9
+    # Vendors fully support their own native models (and more).
+    assert counts[SupportCategory.FULL] >= 9
+    # The community carries a substantial share of the ecosystem.
+    assert counts[SupportCategory.NONVENDOR] >= 7
+
+
+def test_agreement_benchmark(benchmark, derived_matrix):
+    report = benchmark(compare, derived_matrix)
+    assert report.agreement == 1.0

@@ -1,0 +1,67 @@
+"""TAB-COMBOS / TAB-ROUTES — the paper's combinatorial claims.
+
+§3: "In total, 51 possible combinations are explored and explained in
+44 unique descriptions."  §1: "more than 50 routes for programming a
+GPU device are identified."  Both counts regenerate from the
+registries, and the route-enumeration cost is benchmarked.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.descriptions import CELL_TO_DESCRIPTION, DESCRIPTIONS
+from repro.core.routes import all_routes, routes_for
+from repro.enums import Language, Model, Vendor, all_cells
+
+
+def test_51_combinations():
+    cells = all_cells()
+    assert len(cells) == 51
+    # 3 vendors x (8 models x 2 languages + Python)
+    per_vendor = Counter(v for v, _m, _l in cells)
+    assert all(count == 17 for count in per_vendor.values())
+
+
+def test_44_unique_descriptions():
+    assert len(DESCRIPTIONS) == 44
+    assert len(CELL_TO_DESCRIPTION) == 51
+    # Shared entries 4, 6, 14, 16 account for the 51 -> 44 fold.
+    shared = [n for n in DESCRIPTIONS if len(DESCRIPTIONS[n].cells) > 1]
+    assert sorted(shared) == [4, 6, 14, 16]
+    n_cells_covered = sum(len(d.cells) for d in DESCRIPTIONS.values())
+    assert n_cells_covered == 51
+
+
+def test_more_than_50_routes():
+    routes = all_routes()
+    assert len(routes) > 50, f"only {len(routes)} routes registered"
+    # Every route belongs to a valid cell and cites a valid description.
+    for route in routes:
+        assert route.description_id in DESCRIPTIONS
+        cell = (route.vendor, route.model, route.language)
+        assert cell in CELL_TO_DESCRIPTION
+
+
+def test_no_support_cells_have_no_routes():
+    """The seven 'no support' cells are exactly the route-less ones."""
+    from repro.data.paper_matrix import PAPER_MATRIX
+    from repro.enums import SupportCategory
+
+    for key, cell in PAPER_MATRIX.items():
+        routes = routes_for(*key)
+        if cell.primary is SupportCategory.NONE:
+            assert not routes, f"{key} rated no-support but has routes"
+        else:
+            assert routes, f"{key} rated {cell.primary.label} but has no routes"
+
+
+def test_route_enumeration_benchmark(benchmark):
+    def enumerate_all():
+        total = 0
+        for key in all_cells():
+            total += len(routes_for(*key))
+        return total
+
+    total = benchmark(enumerate_all)
+    assert total == len(all_routes())

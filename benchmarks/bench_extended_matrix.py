@@ -1,0 +1,58 @@
+"""EXT-MODELS — the RAJA and OpenCL columns (§5's exclusions, restored).
+
+§5 explains why RAJA and OpenCL were left out of Figure 1; this bench
+adds them back through the same route → probe → classify machinery and
+checks this reproduction's own expected ratings (flagged as non-paper),
+including the quantified version of the "lukewarm support by NVIDIA"
+remark: the NVIDIA OpenCL route measures 3/5 feature coverage against
+Intel's 5/5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extended import (
+    EXTENDED_ROUTES,
+    build_extended_matrix,
+    compare_extended,
+    render_extended_text,
+)
+from repro.enums import Language, Model, SupportCategory, Vendor
+
+
+@pytest.fixture(scope="module")
+def extended(simulated_system, artifacts_dir):
+    matrix = build_extended_matrix(simulated_system)
+    (artifacts_dir / "extended_matrix.txt").write_text(
+        render_extended_text(matrix) + "\n")
+    return matrix
+
+
+def test_extended_expectations_hold(extended):
+    assert compare_extended(extended) == []
+
+
+def test_lukewarm_nvidia_opencl_quantified(extended):
+    """§5's qualitative remark becomes a coverage measurement."""
+    nv = extended.cell(Vendor.NVIDIA, Model.OPENCL, Language.CPP)
+    amd = extended.cell(Vendor.AMD, Model.OPENCL, Language.CPP)
+    intel = extended.cell(Vendor.INTEL, Model.OPENCL, Language.CPP)
+    assert nv.best_route().coverage < amd.best_route().coverage \
+        < intel.best_route().coverage
+    assert intel.primary is SupportCategory.FULL
+    assert nv.primary is SupportCategory.SOME
+
+
+def test_combined_route_count(extended):
+    """Figure 1's 89 routes + the 6 extension routes."""
+    from repro.core.routes import all_routes
+
+    assert len(all_routes()) + len(EXTENDED_ROUTES) == 95
+
+
+def test_extended_derivation_benchmark(benchmark, simulated_system):
+    matrix = benchmark.pedantic(build_extended_matrix,
+                                args=(simulated_system,),
+                                rounds=1, iterations=1)
+    assert matrix.n_cells == 6

@@ -1,0 +1,132 @@
+"""EXT-VV / EXT-EVOLVE / EXT-SCALE — extension experiments.
+
+Beyond the paper's own tables/figures, DESIGN.md commits to realizing
+the material the paper leans on or defers:
+
+* **EXT-VV** — the V&V conformance tables (refs [7-9, 50-51]): the
+  per-compiler, per-standard-version matrices for OpenMP and OpenACC,
+  asserted against the §4 support statements.
+* **EXT-EVOLVE** — the "living overview" (§5 Topicality +
+  acknowledgments): the 2022-workshop → 2023-paper changelog.
+* **EXT-SCALE** — description 17's cuNumeric multi-GPU claim: measured
+  simulated-time scaling across 1/2/4 H100s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.enums import Language, Model, Vendor
+
+
+@pytest.fixture(scope="module")
+def openmp_reports(simulated_system, artifacts_dir):
+    from repro.core.validation import compiler_table, render_compiler_table
+
+    reports = compiler_table(Model.OPENMP, Language.CPP, simulated_system)
+    (artifacts_dir / "conformance_openmp.txt").write_text(
+        render_compiler_table(reports) + "\n")
+    return reports
+
+
+def test_vv_openmp_table_matches_section4(openmp_reports):
+    by_key = {(r.toolchain, r.device): r for r in openmp_reports}
+    # NVHPC: 'only a subset of the entire OpenMP 5.0 standard'.
+    nvhpc = by_key[("nvhpc", "H100-SXM5")]
+    assert nvhpc.conforms_to() == "4.5"
+    assert nvhpc.version_verdict("5.0").startswith("partial")
+    # Intel: 'All OpenMP 4.5 and most OpenMP 5.0 and 5.1 features'.
+    intel = by_key[("dpcpp", "DataCenterMax-1550")]
+    assert intel.conforms_to() == "5.1"
+    # GCC: 'currently supports OpenMP 4.5 entirely, while ... 5.0, 5.1
+    # ... are currently being implemented'.
+    gcc = by_key[("gcc", "H100-SXM5")]
+    assert gcc.conforms_to() == "4.5"
+    # AOMP appears for both AMD and NVIDIA devices (description 9).
+    aomp_devices = {d for (t, d) in by_key if t == "aomp"}
+    assert aomp_devices == {"MI250X-GCD", "H100-SXM5"}
+
+
+def test_vv_openacc_table(simulated_system, artifacts_dir):
+    from repro.core.validation import compiler_table, render_compiler_table
+
+    reports = compiler_table(Model.OPENACC, Language.FORTRAN, simulated_system)
+    (artifacts_dir / "conformance_openacc.txt").write_text(
+        render_compiler_table(reports) + "\n")
+    by_key = {(r.toolchain, r.device): r for r in reports}
+    assert by_key[("nvhpc", "H100-SXM5")].conforms_to() == "3.0"
+    assert by_key[("gcc", "MI250X-GCD")].conforms_to() == "2.6"
+    assert by_key[("cray-ce", "MI250X-GCD")].conforms_to() == "3.0"
+    # Flacc runs but its experimental maturity is a route-level property;
+    # the V&V table reports raw feature conformance (2.6-level).
+    assert by_key[("flacc", "MI250X-GCD")].version_verdict("2.6") == "full"
+
+
+def test_vv_conformance_benchmark(benchmark, simulated_system):
+    from repro.core.validation import run_conformance
+
+    report = benchmark.pedantic(
+        run_conformance,
+        args=(Model.OPENMP, Language.CPP, "dpcpp",
+              simulated_system.device(Vendor.INTEL)),
+        rounds=2, iterations=1,
+    )
+    assert report.conforms_to() == "5.1"
+
+
+def test_evolve_changelog(artifacts_dir):
+    from repro.core.evolution import changelog, diff, stability
+    from repro.data.snapshots import SNAPSHOT_2022, SNAPSHOT_2023
+
+    log = changelog(SNAPSHOT_2022, SNAPSHOT_2023)
+    (artifacts_dir / "changelog_2022_2023.txt").write_text(log + "\n")
+    changes = diff(SNAPSHOT_2022, SNAPSHOT_2023)
+    assert len(changes) == 4
+    assert stability(SNAPSHOT_2022, SNAPSHOT_2023) > 0.9
+    # every change is on a cell §5's Topicality paragraph discusses
+    topicality_models = {Model.STANDARD, Model.CUDA, Model.HIP}
+    assert {c.model for c in changes} <= topicality_models
+
+
+def test_scale_cunumeric(artifacts_dir):
+    from repro.gpu import System
+    from repro.models.cunumeric import LegateRuntime
+
+    n = 1 << 21
+    lines = [f"cuNumeric-style scaling, n={n} float64, 4 fused ops"]
+    times = {}
+    for n_devices in (1, 2, 4):
+        system = System.of(*["H100-SXM5"] * n_devices,
+                           backing_bytes=1 << 26)
+        legate = LegateRuntime(list(system))
+        arr = legate.array(np.ones(n))
+        t0 = legate.synchronize()
+        for _ in range(4):
+            arr = 2.0 * arr + arr
+        times[n_devices] = legate.synchronize() - t0
+        lines.append(f"  {n_devices} x H100: {times[n_devices]*1e6:8.1f} sim-us")
+        assert np.isclose(arr.sum(), (3.0 ** 4) * n)  # (2x+x) four times
+    (artifacts_dir / "cunumeric_scaling.txt").write_text("\n".join(lines) + "\n")
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+
+
+def test_scale_benchmark(benchmark):
+    from repro.gpu import System
+    from repro.models.cunumeric import LegateRuntime
+
+    system = System.of("H100-SXM5", "H100-SXM5", backing_bytes=1 << 25)
+    legate = LegateRuntime(list(system))
+    data = np.ones(1 << 18)
+
+    def step():
+        arr = legate.array(data)
+        out = 2.0 * arr + arr
+        result = out.sum()
+        arr.free()
+        out.free()
+        return result
+
+    result = benchmark(step)
+    assert np.isclose(result, 3.0 * (1 << 18))

@@ -1,0 +1,88 @@
+"""FIG1 — regenerate the paper's only figure: the overview table.
+
+Derives the full 51-cell matrix by probing every registered route on
+the simulated AMD/Intel/NVIDIA system, renders it in the paper's
+layout (plus Markdown/HTML/TeX/YAML like the author's pipeline), and
+checks the cell-level shape against the reconstructed published
+ratings.
+"""
+
+from __future__ import annotations
+
+from repro.core.matrix import build_matrix
+from repro.core.render import (
+    matrix_lookup,
+    paper_lookup,
+    render_html,
+    render_markdown,
+    render_tex,
+    render_text,
+    render_yaml,
+)
+from repro.data.paper_matrix import PAPER_MATRIX
+from repro.enums import SupportCategory, all_cells
+
+
+def test_fig1_derivation_benchmark(benchmark):
+    """Time the full empirical derivation of Figure 1."""
+    matrix = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    assert matrix.n_cells == 51
+    assert matrix.n_routes() > 50  # the paper's ">50 routes" claim
+
+
+def test_fig1_matches_paper(derived_matrix, artifacts_dir):
+    """Every derived primary rating equals the published rating."""
+    mismatches = []
+    for key in all_cells():
+        derived = derived_matrix.cell(*key).primary
+        expected = PAPER_MATRIX[key].primary
+        if derived is not expected:
+            mismatches.append((key, expected.label, derived.label))
+    text = render_text(matrix_lookup(derived_matrix),
+                       title="Figure 1 (derived)")
+    (artifacts_dir / "figure1_derived.txt").write_text(text + "\n")
+    (artifacts_dir / "figure1_published.txt").write_text(
+        render_text(paper_lookup(), title="Figure 1 (published)") + "\n"
+    )
+    assert not mismatches, mismatches
+
+
+def test_fig1_dual_ratings(derived_matrix):
+    """The two dual-rated cells of §5 emerge from the route evidence."""
+    from repro.enums import Language, Model, Vendor
+
+    nv_python = derived_matrix.cell(Vendor.NVIDIA, Model.PYTHON,
+                                    Language.PYTHON)
+    assert nv_python.primary is SupportCategory.FULL
+    assert nv_python.secondary is SupportCategory.NONVENDOR
+
+    intel_cuda = derived_matrix.cell(Vendor.INTEL, Model.CUDA, Language.CPP)
+    assert intel_cuda.primary is SupportCategory.INDIRECT
+    assert intel_cuda.secondary is SupportCategory.LIMITED
+
+
+def test_fig1_renderers(derived_matrix, artifacts_dir):
+    """All output formats of the author's YAML->HTML/TeX pipeline."""
+    lookup = matrix_lookup(derived_matrix)
+    outputs = {
+        "figure1.md": render_markdown(lookup),
+        "figure1.html": render_html(lookup),
+        "figure1.tex": render_tex(lookup),
+        "figure1.yaml": render_yaml(lookup),
+    }
+    for name, text in outputs.items():
+        (artifacts_dir / name).write_text(text)
+        assert "nvidia" in text.lower() and "kokkos" in text.lower()
+    # The TeX table must carry one macro per cell (51 + dual extras).
+    tex = outputs["figure1.tex"]
+    n_macros = sum(tex.count(m) for m in (
+        "\\fullsupport", "\\indirectsupport", "\\somesupport",
+        "\\nonvendorsupport", "\\limitedsupport", "\\nosupport"))
+    assert n_macros >= 51
+
+
+def test_fig1_rendering_benchmark(benchmark, derived_matrix):
+    """Rendering the table is cheap compared to deriving it."""
+    lookup = matrix_lookup(derived_matrix)
+    out = benchmark(render_text, lookup)
+    assert "AMD" in out

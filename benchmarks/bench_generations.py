@@ -1,0 +1,92 @@
+"""EXT-GENERATIONS — device generations of the paper's introduction.
+
+The introduction names the machines driving the Exascale era: Frontier
+(MI250X), Aurora (Ponte Vecchio), El Capitan (MI300A), JUPITER
+(H100-class).  This bench runs the same BabelStream triad across the
+device catalog and asserts the generational shape: each vendor's newer
+part out-streams its predecessor, and the triad ordering across the
+catalog follows the HBM datasheets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import Device, System
+from repro.gpu.specs import SPEC_CATALOG
+from repro.workloads import run_babelstream
+
+N = 1 << 21
+
+#: Model used per device (its vendor's native model).
+_NATIVE = {"A100-SXM4-80GB": "CUDA", "H100-SXM5": "CUDA",
+           "MI100": "HIP", "MI250X-GCD": "HIP", "MI300A": "HIP",
+           "DataCenterMax-1550": "SYCL"}
+
+
+@pytest.fixture(scope="module")
+def triads(artifacts_dir):
+    results = {}
+    lines = [f"native-model triad, n={N} float64"]
+    for name, model in _NATIVE.items():
+        device = Device(SPEC_CATALOG[name], backing_bytes=1 << 26)
+        res = run_babelstream(device, model, n=N, reps=2)
+        assert res.verified
+        results[name] = res.bandwidth_gbs("triad")
+        lines.append(f"  {name:20s} {model:5s} {results[name]:8.1f} GB/s "
+                     f"(peak {SPEC_CATALOG[name].bandwidth_gbs:.0f})")
+    (artifacts_dir / "generations.txt").write_text("\n".join(lines) + "\n")
+    return results
+
+
+def test_nvidia_generation(triads):
+    assert triads["H100-SXM5"] > triads["A100-SXM4-80GB"]
+
+
+def test_amd_generations(triads):
+    assert triads["MI300A"] > triads["MI250X-GCD"] > triads["MI100"]
+
+
+def test_exascale_parts_ordering(triads):
+    """El Capitan's MI300A leads the catalog on streaming bandwidth."""
+    assert triads["MI300A"] == max(triads.values())
+    # and the Aurora/JUPITER-class parts cluster together below it:
+    assert abs(triads["H100-SXM5"] - triads["DataCenterMax-1550"]) \
+        < 0.3 * triads["H100-SXM5"]
+
+
+def test_fraction_of_peak_consistent(triads):
+    """The streaming-efficiency model applies uniformly across parts.
+
+    The residual spread is fixed launch latency, which at fixed n costs
+    a larger slice on faster-memory parts (MI300A, PVC).
+    """
+    fractions = {
+        name: bw / SPEC_CATALOG[name].bandwidth_gbs
+        for name, bw in triads.items()
+    }
+    assert max(fractions.values()) - min(fractions.values()) < 0.20
+    assert min(fractions.values()) > 0.60
+
+
+def test_mi300a_loads_amdgcn_only():
+    from repro.enums import ISA
+    from repro.errors import InvalidBinaryError
+    from repro import kernels as KL
+    from repro.isa import ModuleIR, legalize
+
+    device = Device(SPEC_CATALOG["MI300A"], backing_bytes=1 << 20)
+    mod = ModuleIR("m")
+    mod.add(KL.axpy.ir)
+    device.load_module(legalize(mod, ISA.AMDGCN))
+    with pytest.raises(InvalidBinaryError):
+        device.load_module(legalize(mod, ISA.PTX))
+
+
+def test_generation_benchmark(benchmark):
+    device = Device(SPEC_CATALOG["MI300A"], backing_bytes=1 << 25)
+    result = benchmark.pedantic(
+        run_babelstream, args=(device, "HIP"),
+        kwargs={"n": 1 << 18, "reps": 1}, rounds=3, iterations=1,
+    )
+    assert result.verified

@@ -1,0 +1,133 @@
+"""EXT-PORT — the paper's conclusion claims, checked programmatically.
+
+§6 makes a series of cross-cutting claims about the landscape; each one
+is asserted against the *derived* matrix (not the transcription):
+
+* NVIDIA's support is the most comprehensive;
+* NVIDIA and AMD GPUs run the same (CUDA/HIP) source, and Intel too
+  via chipStar/SYCLomatic;
+* SYCL supports all three platforms;
+* OpenACC: NVIDIA + AMD, but no Intel support;
+* OpenMP is supported on all three platforms, both languages;
+* Kokkos and Alpaka cover all three platforms (C++);
+* Python is well-supported by all three platforms;
+* For Fortran, OpenMP is the only model with vendor support everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.core.advisor import Advisor
+from repro.enums import Language, Model, SupportCategory, Vendor
+
+CPP, F, PY = Language.CPP, Language.FORTRAN, Language.PYTHON
+VENDORS = (Vendor.AMD, Vendor.INTEL, Vendor.NVIDIA)
+
+
+def _advisor(matrix) -> Advisor:
+    return Advisor(matrix, minimum=SupportCategory.LIMITED)
+
+
+def test_nvidia_support_most_comprehensive(derived_matrix):
+    """Sum of category ranks per vendor: NVIDIA leads."""
+    def score(vendor: Vendor) -> int:
+        return sum(
+            cell.primary.rank for cell in derived_matrix
+            if cell.vendor is vendor
+        )
+
+    scores = {v: score(v) for v in VENDORS}
+    assert scores[Vendor.NVIDIA] == max(scores.values()), scores
+
+
+def test_cuda_hip_single_source_three_vendors(derived_matrix):
+    adv = _advisor(derived_matrix)
+    # CUDA: native NVIDIA, HIPIFY on AMD, SYCLomatic/chipStar on Intel.
+    for vendor in VENDORS:
+        rating = adv.rating(vendor, Model.CUDA, CPP)
+        assert rating.rank >= SupportCategory.LIMITED.rank, vendor
+    # HIP: AMD native, NVIDIA via the CUDA backend, Intel via chipStar.
+    assert adv.rating(Vendor.AMD, Model.HIP, CPP) is SupportCategory.FULL
+    assert adv.rating(Vendor.NVIDIA, Model.HIP, CPP) is SupportCategory.INDIRECT
+    assert adv.rating(Vendor.INTEL, Model.HIP, CPP) is SupportCategory.LIMITED
+
+
+def test_sycl_supports_all_three_platforms(derived_matrix):
+    adv = _advisor(derived_matrix)
+    assert adv.rating(Vendor.INTEL, Model.SYCL, CPP) is SupportCategory.FULL
+    for vendor in (Vendor.NVIDIA, Vendor.AMD):
+        assert adv.rating(vendor, Model.SYCL, CPP) is SupportCategory.NONVENDOR
+
+
+def test_openacc_nvidia_amd_not_intel(derived_matrix):
+    adv = _advisor(derived_matrix)
+    assert adv.rating(Vendor.NVIDIA, Model.OPENACC, CPP) is SupportCategory.FULL
+    assert (adv.rating(Vendor.AMD, Model.OPENACC, CPP)
+            is SupportCategory.NONVENDOR)
+    # 'support for Intel GPUs does not exist' beyond the migration tool:
+    assert (adv.rating(Vendor.INTEL, Model.OPENACC, CPP)
+            is SupportCategory.LIMITED)
+
+
+def test_openmp_everywhere_both_languages(derived_matrix):
+    adv = _advisor(derived_matrix)
+    for vendor in VENDORS:
+        for language in (CPP, F):
+            rating = adv.rating(vendor, Model.OPENMP, language)
+            # at least vendor-backed partial support everywhere
+            assert rating.rank >= SupportCategory.SOME.rank, (vendor, language)
+
+
+def test_kokkos_alpaka_cover_all_platforms(derived_matrix):
+    adv = _advisor(derived_matrix)
+    for model in (Model.KOKKOS, Model.ALPAKA):
+        for vendor in VENDORS:
+            rating = adv.rating(vendor, model, CPP)
+            assert rating.rank >= SupportCategory.LIMITED.rank, (model, vendor)
+
+
+def test_python_well_supported_everywhere(derived_matrix):
+    adv = _advisor(derived_matrix)
+    ratings = {v: adv.rating(v, Model.PYTHON, PY) for v in VENDORS}
+    assert ratings[Vendor.NVIDIA] is SupportCategory.FULL
+    assert ratings[Vendor.INTEL] is SupportCategory.FULL
+    assert ratings[Vendor.AMD].rank >= SupportCategory.LIMITED.rank
+
+
+def test_fortran_only_openmp_vendor_supported_everywhere(derived_matrix):
+    """The conclusion's headline Fortran claim, over vendor-backed cells."""
+    adv = _advisor(derived_matrix)
+    vendor_everywhere = []
+    for model in (Model.CUDA, Model.HIP, Model.SYCL, Model.OPENACC,
+                  Model.OPENMP, Model.STANDARD, Model.KOKKOS, Model.ALPAKA):
+        ok = all(
+            adv.rating(v, model, F).rank >= SupportCategory.SOME.rank
+            for v in VENDORS
+        )
+        if ok:
+            vendor_everywhere.append(model)
+    assert vendor_everywhere == [Model.OPENMP], vendor_everywhere
+
+
+def test_portability_queries_benchmark(benchmark, derived_matrix):
+    adv = _advisor(derived_matrix)
+
+    def run_queries():
+        out = []
+        for language in (CPP, F):
+            out.append(adv.portable_models(language, SupportCategory.LIMITED))
+        for vendor in VENDORS:
+            out.append(adv.models_for_platform(vendor, CPP))
+        return out
+
+    results = benchmark(run_queries)
+    assert results
+
+
+def test_migration_plans(derived_matrix, artifacts_dir):
+    adv = _advisor(derived_matrix)
+    lines = []
+    for target in (Vendor.AMD, Vendor.INTEL):
+        lines += adv.migration_plan(Model.CUDA, CPP, target) + [""]
+    lines += adv.migration_plan(Model.CUDA, F, Vendor.INTEL)
+    (artifacts_dir / "migration_plans.txt").write_text("\n".join(lines) + "\n")
+    assert any("no route exists" in line for line in lines)

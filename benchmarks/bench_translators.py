@@ -1,0 +1,120 @@
+"""EXT-TRANSLATE — translator coverage over the mini-app corpus.
+
+§4 characterizes each conversion tool's completeness (HIPIFY:
+straightforward and broad; SYCLomatic: broad minus graph/cooperative
+machinery; GPUFORT: use-case-driven and stale; Intel's ACC→OMP tool:
+common directives only).  The bench measures all four at both levels:
+string translation over the source corpus, and end-to-end probe
+coverage through the translated compile pipelines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matrix import evaluate_route
+from repro.core.routes import all_routes
+from repro.enums import Vendor
+from repro.translate import AccToOmp, Gpufort, Hipify, Syclomatic
+from repro.workloads.miniapps import CUDA_MINIAPP_SOURCES, OPENACC_MINIAPP_SOURCES
+
+
+def test_hipify_string_corpus(artifacts_dir):
+    """HIPIFY converts the whole CUDA corpus with no leftovers."""
+    tool = Hipify()
+    lines = []
+    for name, source in CUDA_MINIAPP_SOURCES.items():
+        out, report = tool.translate_source(source)
+        lines.append(f"hipify {name}: {report.replacements} replacements, "
+                     f"{len(report.warnings)} warnings")
+        assert report.replacements > 0, name
+        assert not report.warnings, (name, report.warnings)
+        assert "cuda" not in out.lower() or "hip" in out
+    (artifacts_dir / "translator_corpus.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_syclomatic_string_corpus():
+    """SYCLomatic converts the corpus into SYCL-flavoured source."""
+    tool = Syclomatic()
+    for name, source in CUDA_MINIAPP_SOURCES.items():
+        out, report = tool.translate_source(source)
+        assert report.replacements > 0, name
+        assert "sycl" in out or "oneapi" in out or "q." in out, name
+
+
+def test_acc2omp_string_corpus():
+    """The migration tool handles structured regions, drops the rest."""
+    tool = AccToOmp()
+    converted = 0
+    todos = 0
+    for name, source in OPENACC_MINIAPP_SOURCES.items():
+        out, report = tool.translate_source(source)
+        converted += report.replacements
+        todos += out.count("TODO(acc2omp)")
+        assert "omp target" in out, name
+    assert converted >= 4
+    assert todos >= 1  # async/gang clauses become TODO markers
+
+
+def test_gpufort_fortran_directives():
+    """GPUFORT rewrites cuf/acc sentinels into OpenMP ones."""
+    tool = Gpufort()
+    src = "!$cuf kernel do\n do i = 1, n\n   y(i) = a*x(i)\n end do"
+    out, report = tool.translate_source(src)
+    assert "!$omp target teams distribute parallel do" in out
+    assert report.replacements == 1
+
+
+#: Expected end-to-end coverage bands per translated route (from §4).
+_EXPECTED_COVERAGE = {
+    "amd-cuda-cpp-hipify": (0.80, 1.00),     # all but cooperative groups
+    "intel-cuda-cpp-syclomatic": (0.60, 0.80),  # also loses graphs
+    "amd-cuda-f-gpufort": (0.40, 0.60),      # kernels only
+    "intel-acc-cpp-acc2omp": (0.30, 0.55),   # common directives only
+    "intel-acc-f-acc2omp": (0.30, 0.55),
+}
+
+
+@pytest.mark.parametrize("route_id", sorted(_EXPECTED_COVERAGE))
+def test_translated_route_coverage(route_id, simulated_system):
+    route = next(r for r in all_routes() if r.route_id == route_id)
+    result = evaluate_route(route, simulated_system)
+    lo, hi = _EXPECTED_COVERAGE[route_id]
+    assert lo <= result.coverage <= hi, (
+        f"{route_id}: coverage {result.coverage:.2f} outside [{lo}, {hi}]"
+    )
+
+
+def test_hipify_ordering_vs_syclomatic(simulated_system):
+    """HIPIFY converts strictly more of CUDA than SYCLomatic (§4 shape)."""
+    routes = {r.route_id: r for r in all_routes()}
+    hipify = evaluate_route(routes["amd-cuda-cpp-hipify"], simulated_system)
+    syclo = evaluate_route(routes["intel-cuda-cpp-syclomatic"],
+                           simulated_system)
+    assert hipify.coverage > syclo.coverage
+
+
+def test_string_translation_benchmark(benchmark):
+    tool = Hipify()
+    corpus = "\n".join(CUDA_MINIAPP_SOURCES.values()) * 20
+
+    out, report = benchmark(tool.translate_source, corpus)
+    assert report.replacements > 100
+
+
+def test_translated_compile_benchmark(benchmark, simulated_system):
+    """End-to-end hipify+hipcc compile of a translation unit."""
+    import numpy as np
+
+    from repro import kernels as KL
+    from repro.models.cuda import Cuda
+
+    device = simulated_system.device(Vendor.AMD)
+
+    def compile_translated():
+        rt = Cuda(device, "hipcc")
+        rt.translator = Hipify()
+        return rt.compile([KL.axpy], rt._kernel_tags())
+
+    binary = benchmark(compile_translated)
+    assert "axpy" in binary

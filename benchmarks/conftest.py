@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The derived matrix takes a few seconds to build (87 routes × up to 10
+probes each); it is computed once per session and shared.  Benchmarks
+write their regenerated tables under ``benchmarks/artifacts/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> pathlib.Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+@pytest.fixture(scope="session")
+def derived_matrix():
+    from repro.core.matrix import build_matrix
+
+    return build_matrix()
+
+
+@pytest.fixture(scope="session")
+def simulated_system():
+    from repro.gpu import System
+
+    return System.default()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""BabelStream across every model and vendor — the §5 extension.
+
+The paper explicitly does *not* evaluate performance and names
+BabelStream as the closest existing performance overview; this example
+runs that exact suite through every programming model on all three
+simulated flagship GPUs and prints the GB/s table, with the per-vendor
+datasheet bandwidth for reference.
+
+Run:  python examples/babelstream_sweep.py [N_elements]
+"""
+
+import sys
+
+from repro.enums import Vendor
+from repro.gpu import System
+from repro.workloads import available_models, run_babelstream
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 21
+    system = System.default()
+    print(f"BabelStream, {n} float64 elements per array "
+          f"({n * 8 / 1e6:.0f} MB), best of 3 repetitions\n")
+    for vendor in (Vendor.NVIDIA, Vendor.AMD, Vendor.INTEL):
+        device = system.device(vendor)
+        peak = device.spec.bandwidth_gbs
+        print(f"--- {device.spec.name} ({vendor.value}), "
+              f"datasheet {peak:.0f} GB/s ---")
+        for model in available_models(vendor):
+            result = run_babelstream(device, model, n=n, reps=3)
+            triad = result.bandwidth_gbs("triad")
+            frac = triad / peak
+            print(f"  {result.row()}   triad {frac:5.1%} of peak")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Migrating a CUDA application to AMD and Intel GPUs.
+
+Demonstrates the two translation routes the paper describes end to end,
+at both levels the tools operate on:
+
+* **string level** — the real CUDA source of a small app goes through
+  HIPIFY (→ HIP source) and SYCLomatic (→ SYCL source), with
+  replacement counts and unconverted-identifier warnings;
+* **execution level** — the same application, written against the
+  embedded CUDA runtime, is compiled *through* the translators for a
+  simulated MI250X and Ponte Vecchio and runs there, while the
+  untranslatable features (cooperative groups on both, graphs for
+  SYCLomatic) fail exactly as §4 predicts.
+
+Run:  python examples/cuda_migration.py
+"""
+
+import numpy as np
+
+from repro import kernels as KL
+from repro.enums import Vendor
+from repro.errors import TranslationError
+from repro.gpu import System
+from repro.models.cuda import Cuda
+from repro.translate import Hipify, Syclomatic
+from repro.workloads.miniapps import CUDA_MINIAPP_SOURCES
+
+
+def string_level() -> None:
+    print("=" * 72)
+    print("String-level translation of the mini-app corpus")
+    print("=" * 72)
+    for tool in (Hipify(), Syclomatic()):
+        print(f"\n--- {tool.NAME} ---")
+        for name, source in CUDA_MINIAPP_SOURCES.items():
+            translated, report = tool.translate_source(source)
+            leftovers = len(report.warnings)
+            print(f"  {name:10s}: {report.replacements:3d} replacements, "
+                  f"{leftovers} unconverted identifiers")
+        sample, _ = tool.translate_source(CUDA_MINIAPP_SOURCES["saxpy"])
+        print("  translated saxpy (excerpt):")
+        for line in sample.strip().splitlines()[:6]:
+            print(f"    {line}")
+
+
+def execution_level() -> None:
+    print()
+    print("=" * 72)
+    print("Execution-level migration: the same CUDA program on all vendors")
+    print("=" * 72)
+    system = System.default()
+    n = 1 << 18
+    x_h = np.linspace(0.0, 1.0, n)
+
+    routes = [
+        (Vendor.NVIDIA, "nvcc", None, "native CUDA"),
+        (Vendor.AMD, "hipcc", Hipify, "HIPIFY -> hipcc (HIP_PLATFORM=amd)"),
+        (Vendor.INTEL, "dpcpp", Syclomatic, "SYCLomatic -> icpx -fsycl"),
+    ]
+    for vendor, toolchain, translator_cls, label in routes:
+        device = system.device(vendor)
+        rt = Cuda(device, toolchain)
+        if translator_cls is not None:
+            rt.translator = translator_cls()
+        x = rt.to_device(x_h)
+        y = rt.to_device(np.ones(n))
+        timing = rt.launch_1d(KL.axpy, n, [n, 2.0, x, y])
+        ok = np.allclose(y.copy_to_host(), 2.0 * x_h + 1.0)
+        print(f"  {vendor.value:7s} via {label:40s} "
+              f"{'ok' if ok else 'WRONG'} "
+              f"({timing.seconds * 1e6:6.1f} sim-µs on {device.spec.name})")
+
+        # The features §4 says do not translate really do not:
+        if translator_cls is not None:
+            try:
+                rt2 = Cuda(device, toolchain)
+                rt2.translator = translator_cls()
+                rt2.probe_cooperative()
+                print("           cooperative groups: unexpectedly passed!")
+            except TranslationError as exc:
+                print(f"           cooperative groups: fails as documented "
+                      f"({exc})")
+        x.free()
+        y.free()
+
+
+if __name__ == "__main__":
+    string_level()
+    execution_level()

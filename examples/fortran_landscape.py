@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""The Fortran situation — "severely different" (paper conclusion).
+
+The paper closes with the observation that while C++ support converges
+nicely, for Fortran "the only natively supported programming model on
+all three platforms is OpenMP".  This example demonstrates that
+conclusion executably:
+
+* SYCL and Alpaka reject Fortran outright (language gate);
+* CUDA Fortran runs on NVIDIA, is research-translated on AMD
+  (GPUFORT), and has no Intel route;
+* hipfort covers part of HIP on both HIP platforms;
+* OpenMP Fortran runs a real kernel on all three vendors through each
+  platform's own compiler;
+* ``do concurrent`` offloads on NVIDIA (nvfortran) and Intel (ifx) but
+  has no AMD route.
+
+Run:  python examples/fortran_landscape.py
+"""
+
+import numpy as np
+
+from repro import kernels as KL
+from repro.enums import Language, Model, Vendor
+from repro.errors import LanguageError, ReproError
+from repro.gpu import System
+from repro.models.cuda import Cuda
+from repro.models.hip import Hip
+from repro.models.openmp import OpenMP
+from repro.models.stdpar import DoConcurrent
+from repro.models.sycl import SyclQueue
+from repro.core.routes import routes_for
+
+
+def main() -> None:
+    system = System.default()
+    nv = system.device(Vendor.NVIDIA)
+    amd = system.device(Vendor.AMD)
+    intel = system.device(Vendor.INTEL)
+    n = 1 << 14
+    x_h = np.linspace(0.0, 1.0, n)
+
+    print("1) Language gates: C++-only models reject Fortran\n")
+    for cls, dev in ((SyclQueue, intel),):
+        try:
+            cls(dev, language=Language.FORTRAN)
+        except LanguageError as exc:
+            print(f"   SYCL: {exc}")
+    print("   Alpaka/Kokkos: C++ models; Fortran reaches Kokkos only "
+          "through FLCL (see description 14)")
+
+    print("\n2) OpenMP Fortran: one source, three vendors\n")
+    for device, toolchain in ((nv, "nvhpc"), (amd, "aomp"), (intel, "ifx")):
+        omp = OpenMP(device, toolchain, language=Language.FORTRAN)
+        x_host, y_host = x_h.copy(), np.ones(n)
+        with omp.target_data(to=[x_host], tofrom=[y_host]) as region:
+            omp.target_loop(n, KL.axpy,
+                            [n, 2.0, region.device(x_host), region.device(y_host)])
+        ok = np.allclose(y_host, 2.0 * x_h + 1.0)
+        print(f"   {device.vendor.value:7s} ({toolchain:5s} on "
+              f"{device.spec.name}): {'ok' if ok else 'WRONG'}")
+
+    print("\n3) CUDA Fortran: full on NVIDIA, research on AMD, absent on Intel\n")
+    cf = Cuda(nv, language=Language.FORTRAN)  # nvfortran -cuda
+    x = cf.to_device(x_h)
+    cf.cuf_kernel_do(KL.scale_inplace, n, [n, 3.0, x])
+    print(f"   NVIDIA: !$cuf kernel do ran "
+          f"({'ok' if np.allclose(x.copy_to_host(), 3.0 * x_h) else 'WRONG'})")
+    x.free()
+    print(f"   AMD routes:   "
+          f"{[r.via for r in routes_for(Vendor.AMD, Model.CUDA, Language.FORTRAN)]}")
+    print(f"   Intel routes: "
+          f"{[r.via for r in routes_for(Vendor.INTEL, Model.CUDA, Language.FORTRAN)] or 'none'}")
+
+    print("\n4) hipfort: the HIP C API from Fortran (but not all of it)\n")
+    for device in (amd, nv):
+        hf = Hip(device, language=Language.FORTRAN)  # hipfort
+        x = hf.to_device(x_h)
+        hf.launch_1d(KL.scale_inplace, n, [n, 2.0, x])
+        ok = np.allclose(x.copy_to_host(), 2.0 * x_h)
+        x.free()
+        events = "no"
+        try:
+            Hip(device, language=Language.FORTRAN).probe_events()
+            events = "yes"
+        except ReproError:
+            pass
+        print(f"   {device.vendor.value:7s}: kernels {'ok' if ok else 'WRONG'}, "
+              f"event API exposed: {events}")
+
+    print("\n5) do concurrent: NVIDIA and Intel only\n")
+    for device, toolchain in ((nv, "nvhpc"), (intel, "ifx")):
+        dc = DoConcurrent(device, toolchain)
+        x = dc.to_device(np.full(n, 0.5))
+        total = dc.reduce_sum(n, x)
+        x.free()
+        print(f"   {device.vendor.value:7s} ({toolchain}): "
+              f"reduce(+) -> {total:.1f} "
+              f"({'ok' if np.isclose(total, 0.5 * n) else 'WRONG'})")
+    amd_routes = routes_for(Vendor.AMD, Model.STANDARD, Language.FORTRAN)
+    print(f"   AMD: {len(amd_routes)} routes — 'no (known) way' "
+          "(description 27)")
+
+    print("\nConclusion reproduced: OpenMP is the only model running Fortran "
+          "kernels natively on all three vendors.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel``
+package, so PEP-660 editable installs (``pip install -e .``) cannot
+build the editable wheel.  This shim lets ``python setup.py develop``
+provide the editable install instead; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

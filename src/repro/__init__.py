@@ -1,0 +1,27 @@
+"""repro — executable reproduction of Herten's GPU programming-model
+vs. vendor compatibility overview (SC-W 2023).
+
+Public API highlights:
+
+* :mod:`repro.gpu` — simulated AMD/Intel/NVIDIA devices.
+* :mod:`repro.models` — executable embedded versions of CUDA, HIP, SYCL,
+  OpenMP, OpenACC, standard parallelism, Kokkos, Alpaka, and the Python
+  GPU packages.
+* :mod:`repro.translate` — HIPIFY/SYCLomatic/GPUFORT/Clacc/chipStar-like
+  source translators.
+* :mod:`repro.core` — the paper's contribution: the six-category support
+  rating methodology, the probe-derived compatibility matrix, and the
+  Figure 1 renderers.
+"""
+
+from repro._version import __version__  # noqa: F401
+from repro.enums import (  # noqa: F401
+    ISA,
+    Language,
+    Maturity,
+    Mechanism,
+    Model,
+    Provider,
+    SupportCategory,
+    Vendor,
+)

@@ -1,0 +1,198 @@
+"""``gpu-compat`` command-line interface.
+
+Subcommands:
+
+* ``table [--format text|markdown|html|tex|yaml] [--source paper|derived]``
+  — render Figure 1.
+* ``report`` — derive the matrix empirically and print the agreement
+  report against the reconstructed published ratings.
+* ``describe VENDOR MODEL LANGUAGE`` — print a cell's §4 description,
+  routes, and measured coverage.
+* ``advise --vendor V --language L`` / ``--model M --language L`` —
+  route recommendations.
+* ``routes`` — list the full route registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.enums import Language, Model, SupportCategory, Vendor
+
+
+def _vendor(text: str) -> Vendor:
+    for v in Vendor:
+        if v.value.lower() == text.lower():
+            return v
+    raise argparse.ArgumentTypeError(f"unknown vendor '{text}'")
+
+
+def _model(text: str) -> Model:
+    for m in Model:
+        if m.value.lower() == text.lower():
+            return m
+    raise argparse.ArgumentTypeError(f"unknown model '{text}'")
+
+
+def _language(text: str) -> Language:
+    aliases = {"c++": Language.CPP, "cpp": Language.CPP,
+               "fortran": Language.FORTRAN, "f": Language.FORTRAN,
+               "python": Language.PYTHON, "py": Language.PYTHON}
+    try:
+        return aliases[text.lower()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(f"unknown language '{text}'") from None
+
+
+def cmd_table(args) -> int:
+    from repro.core.render import RENDERERS, matrix_lookup, paper_lookup
+
+    if args.source == "derived":
+        from repro.core.matrix import build_matrix
+
+        lookup = matrix_lookup(build_matrix())
+        title = "Figure 1 (derived empirically on the simulated system)"
+    else:
+        lookup = paper_lookup()
+        title = "Figure 1 (reconstructed published ratings)"
+    renderer = RENDERERS[args.format]
+    if args.format in ("text", "markdown", "html", "tex"):
+        print(renderer(lookup, title=title))  # type: ignore[call-arg]
+    else:
+        print(renderer(lookup))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.matrix import build_matrix
+    from repro.core.report import compare
+
+    matrix = build_matrix()
+    report = compare(matrix)
+    print("\n".join(report.summary_lines()))
+    return 0 if report.agreement == 1.0 else 1
+
+
+def cmd_describe(args) -> int:
+    from repro.core.descriptions import describe_cell
+    from repro.core.routes import routes_for
+    from repro.data.paper_matrix import expected
+
+    desc = describe_cell(args.vendor, args.model, args.language)
+    cell = expected(args.vendor, args.model, args.language)
+    print(f"[{desc.number}] {desc.title}")
+    print(f"rating: {cell.primary.symbol} {cell.primary.label}"
+          + (f" (+ {cell.secondary.label})" if cell.secondary else ""))
+    print()
+    print(desc.text)
+    routes = routes_for(args.vendor, args.model, args.language)
+    if routes:
+        print("\nroutes:")
+        for r in routes:
+            print(f"  - {r.label}: {r.via} "
+                  f"({r.provider.value}, {r.mechanism.value}, {r.maturity.value})")
+    else:
+        print("\nroutes: none (no support)")
+    if desc.references:
+        print("\nreferences:", ", ".join(f"[{n}]" for n in desc.references))
+    return 0
+
+
+def cmd_advise(args) -> int:
+    from repro.core.advisor import Advisor
+
+    advisor = Advisor(minimum=SupportCategory.LIMITED)
+    if args.model is not None:
+        print(f"platforms for {args.model.value} / {args.language.value}:")
+        for rec in advisor.platforms_for_model(args.model, args.language):
+            print(f"  {rec}")
+    elif args.vendor is not None:
+        print(f"models usable on {args.vendor.value} from {args.language.value}:")
+        for rec in advisor.models_for_platform(args.vendor, args.language):
+            print(f"  {rec}")
+    else:
+        print("portable models (usable on all three vendors):")
+        for lang in (Language.CPP, Language.FORTRAN):
+            models = advisor.portable_models(lang, SupportCategory.LIMITED)
+            print(f"  {lang.value}: {', '.join(m.value for m in models)}")
+    return 0
+
+
+def cmd_routes(args) -> int:
+    from repro.core.routes import all_routes
+
+    routes = all_routes()
+    print(f"{len(routes)} registered routes:")
+    for r in routes:
+        print(f"  {r.route_id:28s} {r.via}")
+    return 0
+
+
+def cmd_conformance(args) -> int:
+    from repro.core.validation import compiler_table, render_compiler_table
+
+    reports = compiler_table(args.model, args.language)
+    print(f"{args.model.value} {args.language.value} conformance "
+          f"(V&V-suite style):\n")
+    print(render_compiler_table(reports))
+    return 0
+
+
+def cmd_changelog(args) -> int:
+    from repro.core.evolution import changelog
+    from repro.data.snapshots import SNAPSHOT_2022, SNAPSHOT_2023
+
+    print(changelog(SNAPSHOT_2022, SNAPSHOT_2023))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gpu-compat",
+        description="GPU programming model vs. vendor compatibility overview "
+                    "(Herten, SC-W 2023) — executable reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="render Figure 1")
+    p_table.add_argument("--format", choices=("text", "markdown", "html",
+                                              "tex", "yaml"), default="text")
+    p_table.add_argument("--source", choices=("paper", "derived"),
+                         default="paper")
+    p_table.set_defaults(func=cmd_table)
+
+    p_report = sub.add_parser("report", help="derived-vs-paper agreement")
+    p_report.set_defaults(func=cmd_report)
+
+    p_desc = sub.add_parser("describe", help="one cell's description")
+    p_desc.add_argument("vendor", type=_vendor)
+    p_desc.add_argument("model", type=_model)
+    p_desc.add_argument("language", type=_language)
+    p_desc.set_defaults(func=cmd_describe)
+
+    p_adv = sub.add_parser("advise", help="route recommendations")
+    p_adv.add_argument("--vendor", type=_vendor, default=None)
+    p_adv.add_argument("--model", type=_model, default=None)
+    p_adv.add_argument("--language", type=_language, default=Language.CPP)
+    p_adv.set_defaults(func=cmd_advise)
+
+    p_routes = sub.add_parser("routes", help="list the route registry")
+    p_routes.set_defaults(func=cmd_routes)
+
+    p_conf = sub.add_parser("conformance",
+                            help="V&V-style compiler conformance table")
+    p_conf.add_argument("--model", type=_model, default=Model.OPENMP)
+    p_conf.add_argument("--language", type=_language, default=Language.CPP)
+    p_conf.set_defaults(func=cmd_conformance)
+
+    p_log = sub.add_parser("changelog",
+                           help="2022 workshop -> 2023 paper changes")
+    p_log.set_defaults(func=cmd_changelog)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

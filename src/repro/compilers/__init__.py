@@ -1,0 +1,21 @@
+"""Simulated compiler toolchains.
+
+Every toolchain named in the paper's §4 descriptions exists here as a
+:class:`~repro.compilers.toolchain.Toolchain` with the capability set
+the paper reports: which (programming model, language) pairs it accepts,
+which ISAs it can emit, and which *features* of each model it
+implements (e.g. NVHPC's OpenMP frontend covers "only a subset of the
+entire OpenMP 5.0 standard" — so its feature set excludes the 5.0
+additions, and probes exercising them genuinely fail to compile).
+
+* :mod:`repro.compilers.features` — the feature/version catalog.
+* :mod:`repro.compilers.passes` — mid-level IR optimizations.
+* :mod:`repro.compilers.toolchain` — base class + compile pipeline.
+* :mod:`repro.compilers.nvidia` / ``amd`` / ``intel`` / ``community`` /
+  ``cray`` — the concrete toolchains.
+* :mod:`repro.compilers.registry` — lookup by name; the route registry
+  in :mod:`repro.core.routes` refers to toolchains through it.
+"""
+
+from repro.compilers.toolchain import CompileResult, Toolchain  # noqa: F401
+from repro.compilers.registry import all_toolchains, get_toolchain  # noqa: F401

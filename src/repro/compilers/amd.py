@@ -1,0 +1,105 @@
+"""AMD toolchains: ROCm's ``hipcc``, AOMP, hipfort, and roc-stdpar.
+
+Capability sets follow §4: hipcc is the native HIP compiler driver for
+AMD GPUs and also targets NVIDIA GPUs through its CUDA backend via
+``HIP_PLATFORM=nvidia`` (descriptions 3/20); AOMP supports "most OpenMP
+4.5 and some OpenMP 5.0 features" on AMD GPUs and also NVIDIA GPUs
+(descriptions 9/24/25); hipfort provides Fortran interfaces to the HIP
+API and libraries (description 4); roc-stdpar is the under-development
+C++ standard-parallelism runtime (description 26).
+"""
+
+from __future__ import annotations
+
+from repro.compilers import features as F
+from repro.compilers.toolchain import Capability, Toolchain
+from repro.enums import ISA, Language, Maturity, Model, Provider
+
+_AMDGCN = frozenset({ISA.AMDGCN})
+_AMD_AND_NV = frozenset({ISA.AMDGCN, ISA.PTX})
+
+#: AOMP's OpenMP frontend: "most OpenMP 4.5 and some OpenMP 5.0".
+_AOMP_OPENMP = F.OPENMP_45 | {"omp:loop", "omp:declare_variant"}
+
+
+def make_hipcc() -> Toolchain:
+    """``hipcc``, the ROCm compiler driver (wraps AMD's Clang).
+
+    ``HIP_PLATFORM=amd`` emits AMDGCN via the AMDGPU backend;
+    ``HIP_PLATFORM=nvidia`` forwards to the CUDA toolchain and emits
+    PTX — modeled as the PTX member of the target set.
+    """
+    return Toolchain(
+        name="hipcc",
+        provider=Provider.AMD,
+        version="ROCm-5.7",
+        description=(
+            "ROCm HIP compiler driver; --offload-arch=gfx90a style AMD "
+            "targets plus the CUDA backend for NVIDIA GPUs"
+        ),
+        capabilities=[
+            Capability(Model.HIP, Language.CPP, _AMD_AND_NV, F.HIP_FULL,
+                       since="ROCm 1.5", flag="HIP_PLATFORM={amd,nvidia}"),
+        ],
+    )
+
+
+def make_aomp() -> Toolchain:
+    """AOMP, AMD's Clang/LLVM-based OpenMP offload compiler."""
+    return Toolchain(
+        name="aomp",
+        provider=Provider.AMD,
+        version="18.0-ROCm",
+        description=(
+            "AMD's dedicated Clang-based OpenMP offloading compiler "
+            "(clang for C++, flang for Fortran), shipped with ROCm"
+        ),
+        capabilities=[
+            Capability(Model.OPENMP, Language.CPP, _AMD_AND_NV, _AOMP_OPENMP,
+                       flag="-fopenmp --offload-arch=gfx90a"),
+            Capability(Model.OPENMP, Language.FORTRAN, _AMDGCN, _AOMP_OPENMP,
+                       flag="-fopenmp"),
+        ],
+    )
+
+
+def make_hipfort() -> Toolchain:
+    """hipfort: MIT-licensed Fortran interfaces to HIP and ROCm libraries.
+
+    Compiles HIP Fortran against either platform the underlying HIP
+    runtime supports.  The feature set is the C-API surface plus the
+    CUDA-like kernel extensions; newer driver features (events wrapping,
+    graphs) are not exposed — the measured gap behind the paper's
+    "some support" rating for HIP·Fortran.
+    """
+    return Toolchain(
+        name="hipfort",
+        provider=Provider.AMD,
+        version="0.4",
+        description="Fortran interface library for the HIP API (with gfortran)",
+        capabilities=[
+            Capability(Model.HIP, Language.FORTRAN, _AMD_AND_NV,
+                       F.HIPFORT_BINDINGS),
+        ],
+    )
+
+
+def make_rocstdpar() -> Toolchain:
+    """roc-stdpar: ROCm Standard Parallelism Runtime (under development).
+
+    Description 26: "AMD does not yet provide production-grade support
+    for Standard-language parallelism"; roc-stdpar "aims to supply pSTL
+    algorithms on the GPU".  Experimental maturity caps its
+    classification at *limited support* regardless of feature coverage.
+    """
+    return Toolchain(
+        name="roc-stdpar",
+        provider=Provider.AMD,
+        version="prototype",
+        maturity=Maturity.EXPERIMENTAL,
+        description="ROCm C++ standard-parallelism runtime (pre-upstream LLVM)",
+        capabilities=[
+            Capability(Model.STANDARD, Language.CPP, _AMDGCN,
+                       F.STDPAR_CPP_FULL, flag="-stdpar"),
+        ],
+    )

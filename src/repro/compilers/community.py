@@ -1,0 +1,231 @@
+"""Community toolchains: GCC, LLVM (Clang/Flang/Clacc/Flacc), Open SYCL,
+chipStar, ComputeCpp, and ZLUDA.
+
+Capability sets follow §4:
+
+* GCC supports OpenACC 2.6 and full OpenMP 4.5 (5.x "currently being
+  implemented") for both C++ and Fortran, targeting nvptx and amdgcn
+  (descriptions 7/8/9/10/22/23).
+* Clang compiles CUDA C++ directly (description 1) and OpenMP 4.5 plus
+  selected 5.0/5.1 features (description 9); Flang provides OpenMP
+  Fortran; Clacc adds OpenACC C++ by translating to OpenMP
+  (descriptions 7/22); Flacc is the in-progress OpenACC Fortran path
+  (descriptions 8/23).
+* Open SYCL (hipSYCL) implements SYCL on CUDA, ROCm, and Level
+  Zero/SPIR-V backends (descriptions 5/21/35), with an experimental
+  ``--hipsycl-stdpar`` mode (descriptions 11/26/40).
+* chipStar (CHIP-SPV) brings CUDA and HIP to Intel GPUs over
+  OpenCL/Level Zero; §5 calls it a research project (descriptions
+  31/33).
+* ComputeCpp (CodePlay) became unsupported in September 2023;
+  ZLUDA is not maintained anymore (descriptions 5/31/35).
+"""
+
+from __future__ import annotations
+
+from repro.compilers import features as F
+from repro.compilers.toolchain import Capability, Toolchain
+from repro.enums import ISA, Language, Maturity, Model, Provider
+
+_PTX = frozenset({ISA.PTX})
+_SPIRV = frozenset({ISA.SPIRV})
+_GCC_TARGETS = frozenset({ISA.PTX, ISA.AMDGCN})
+_ALL = frozenset({ISA.PTX, ISA.AMDGCN, ISA.SPIRV})
+
+_GCC_OPENMP = F.OPENMP_45 | {"omp:loop"}
+_CLANG_OPENMP = F.OPENMP_45 | {"omp:loop", "omp:metadirective"}
+_FLANG_OPENMP = F.OPENMP_45
+
+
+def make_gcc() -> Toolchain:
+    """GCC with nvptx/amdgcn offloading (g++/gfortran)."""
+    return Toolchain(
+        name="gcc",
+        provider=Provider.COMMUNITY,
+        version="13.2",
+        description=(
+            "GNU compilers with OpenACC 2.6 (-fopenacc, since GCC 5.0) "
+            "and OpenMP offloading (-fopenmp -foffload=...)"
+        ),
+        capabilities=[
+            Capability(Model.OPENACC, Language.CPP, _GCC_TARGETS, F.OPENACC_26,
+                       since="GCC 5.0", flag="-fopenacc"),
+            Capability(Model.OPENACC, Language.FORTRAN, _GCC_TARGETS, F.OPENACC_26,
+                       since="GCC 5.0", flag="-fopenacc"),
+            Capability(Model.OPENMP, Language.CPP, _GCC_TARGETS, _GCC_OPENMP,
+                       flag="-fopenmp -foffload=..."),
+            Capability(Model.OPENMP, Language.FORTRAN, _GCC_TARGETS, _GCC_OPENMP,
+                       flag="-fopenmp -foffload=..."),
+        ],
+    )
+
+
+def make_clang() -> Toolchain:
+    """Clang: direct CUDA C++ support and OpenMP offloading."""
+    return Toolchain(
+        name="clang",
+        provider=Provider.COMMUNITY,
+        version="17.0",
+        description=(
+            "LLVM C/C++ compiler: CUDA support emitting PTX, and OpenMP "
+            "4.5 plus selected 5.0/5.1 offloading for NVIDIA and AMD"
+        ),
+        capabilities=[
+            Capability(Model.CUDA, Language.CPP, _PTX,
+                       F.CUDA_CORE - {"cuda:libraries"},
+                       since="LLVM 3.9 (gpucc)"),
+            Capability(Model.OPENMP, Language.CPP, _GCC_TARGETS, _CLANG_OPENMP,
+                       flag="-fopenmp -fopenmp-targets=..."),
+        ],
+    )
+
+
+def make_flang() -> Toolchain:
+    """Flang (the LLVM Fortran frontend, successor of F18)."""
+    return Toolchain(
+        name="flang",
+        provider=Provider.COMMUNITY,
+        version="17.0",
+        description="LLVM Fortran compiler with OpenMP offloading (-mp)",
+        capabilities=[
+            Capability(Model.OPENMP, Language.FORTRAN, _GCC_TARGETS,
+                       _FLANG_OPENMP, flag="-mp"),
+        ],
+    )
+
+
+def make_flang_cuda() -> Toolchain:
+    """CUDA Fortran in Flang — "very recently merged" (description 2).
+
+    Young upstream support: the core explicit-kernel path works, the
+    auto-parallelizing ``!$cuf kernel do`` and the async machinery are
+    still NVHPC-only.  Modeled as a separate experimental toolchain so
+    its route classifies as *limited* without affecting mainline Flang.
+    """
+    return Toolchain(
+        name="flang-cuda",
+        provider=Provider.COMMUNITY,
+        version="llvm-main",
+        maturity=Maturity.EXPERIMENTAL,
+        description="freshly-upstreamed CUDA Fortran support in LLVM Flang",
+        capabilities=[
+            Capability(Model.CUDA, Language.FORTRAN, _PTX,
+                       frozenset({"cuf:kernels", "cuda:memcpy"})),
+        ],
+    )
+
+
+def make_clacc() -> Toolchain:
+    """Clacc: OpenACC C/C++ in Clang by translation to OpenMP."""
+    return Toolchain(
+        name="clacc",
+        provider=Provider.COMMUNITY,
+        version="llvm-17-clacc",
+        description=(
+            "Clang frontend adaptation translating OpenACC to OpenMP "
+            "during compilation (Denny et al.)"
+        ),
+        capabilities=[
+            Capability(Model.OPENACC, Language.CPP, _GCC_TARGETS,
+                       F.OPENACC_30 - {"acc:attach"}, flag="-fopenacc"),
+        ],
+    )
+
+
+def make_flacc() -> Toolchain:
+    """Flacc: OpenACC Fortran support growing in LLVM (in progress)."""
+    return Toolchain(
+        name="flacc",
+        provider=Provider.COMMUNITY,
+        version="in-progress",
+        maturity=Maturity.EXPERIMENTAL,
+        description="OpenACC support for Flang, initially the Flacc project",
+        capabilities=[
+            Capability(Model.OPENACC, Language.FORTRAN, _GCC_TARGETS,
+                       F.OPENACC_26, flag="-fopenacc"),
+        ],
+    )
+
+
+def make_opensycl() -> Toolchain:
+    """Open SYCL (previously hipSYCL), the independent SYCL implementation."""
+    return Toolchain(
+        name="opensycl",
+        provider=Provider.COMMUNITY,
+        version="0.9.4",
+        description=(
+            "Independent SYCL implementation over CUDA/LLVM, HIP/ROCm, "
+            "and Level Zero backends (Alpay et al.)"
+        ),
+        capabilities=[
+            Capability(Model.SYCL, Language.CPP, _ALL, F.SYCL_CORE),
+        ],
+    )
+
+
+def make_opensycl_stdpar() -> Toolchain:
+    """Open SYCL's in-progress pSTL offload (``--hipsycl-stdpar``)."""
+    return Toolchain(
+        name="opensycl-stdpar",
+        provider=Provider.COMMUNITY,
+        version="0.9.4-dev",
+        maturity=Maturity.EXPERIMENTAL,
+        description="C++ parallel algorithms over Open SYCL backends",
+        capabilities=[
+            Capability(Model.STANDARD, Language.CPP, _ALL,
+                       F.STDPAR_CPP_FULL, flag="--hipsycl-stdpar"),
+        ],
+    )
+
+
+def make_chipstar() -> Toolchain:
+    """chipStar (previously CHIP-SPV): CUDA and HIP on Intel GPUs.
+
+    §5 classifies chipStar as a research project; its maturity therefore
+    caps both capabilities at *limited support* in the ratings.
+    """
+    return Toolchain(
+        name="chipstar",
+        provider=Provider.COMMUNITY,
+        version="1.0",
+        maturity=Maturity.RESEARCH,
+        description=(
+            "LLVM-based toolchain mapping CUDA/HIP to OpenCL or Level "
+            "Zero via SPIR-V (cuspv replaces nvcc calls)"
+        ),
+        capabilities=[
+            Capability(Model.CUDA, Language.CPP, _SPIRV,
+                       F.CUDA_CORE - {"cuda:libraries"}),
+            Capability(Model.HIP, Language.CPP, _SPIRV, F.HIP_CORE),
+        ],
+    )
+
+
+def make_computecpp() -> Toolchain:
+    """ComputeCpp (CodePlay) — unsupported since September 2023."""
+    return Toolchain(
+        name="computecpp",
+        provider=Provider.COMMUNITY,
+        version="2.11 (final)",
+        maturity=Maturity.UNMAINTAINED,
+        description="CodePlay's SYCL implementation, retired in favor of DPC++",
+        capabilities=[
+            Capability(Model.SYCL, Language.CPP, frozenset({ISA.PTX, ISA.SPIRV}),
+                       F.SYCL_CORE - {"sycl:usm"}),
+        ],
+    )
+
+
+def make_zluda() -> Toolchain:
+    """ZLUDA: CUDA on Intel GPUs — not maintained anymore."""
+    return Toolchain(
+        name="zluda",
+        provider=Provider.COMMUNITY,
+        version="archived",
+        maturity=Maturity.UNMAINTAINED,
+        description="drop-in CUDA implementation for Intel GPUs (abandoned)",
+        capabilities=[
+            Capability(Model.CUDA, Language.CPP, _SPIRV,
+                       frozenset({"cuda:kernels", "cuda:memcpy"})),
+        ],
+    )

@@ -1,0 +1,38 @@
+"""HPE Cray Programming Environment (CCE).
+
+§4 references: OpenMP offload subsets of 5.0/5.1 for both NVIDIA and
+AMD GPUs in C++ and Fortran (descriptions 9/10/24/25), and OpenACC
+Fortran through ``ftn -hacc`` (descriptions 8/23).  HPE is not a GPU
+vendor, so CCE routes contribute at most *non-vendor good support*.
+"""
+
+from __future__ import annotations
+
+from repro.compilers import features as F
+from repro.compilers.toolchain import Capability, Toolchain
+from repro.enums import ISA, Language, Model, Provider
+
+_TARGETS = frozenset({ISA.PTX, ISA.AMDGCN})
+
+_CRAY_OPENMP = F.OPENMP_45 | {"omp:loop", "omp:declare_variant"}
+
+
+def make_cray() -> Toolchain:
+    """The Cray Compiling Environment within HPE CPE."""
+    return Toolchain(
+        name="cray-ce",
+        provider=Provider.HPE,
+        version="16.0",
+        description=(
+            "HPE Cray Programming Environment compilers: OpenMP offload "
+            "(-fopenmp) for NVIDIA/AMD GPUs and OpenACC Fortran (ftn -hacc)"
+        ),
+        capabilities=[
+            Capability(Model.OPENMP, Language.CPP, _TARGETS, _CRAY_OPENMP,
+                       flag="-fopenmp"),
+            Capability(Model.OPENMP, Language.FORTRAN, _TARGETS, _CRAY_OPENMP,
+                       flag="-fopenmp"),
+            Capability(Model.OPENACC, Language.FORTRAN, _TARGETS,
+                       F.OPENACC_30 - {"acc:attach"}, flag="ftn -hacc"),
+        ],
+    )

@@ -1,0 +1,202 @@
+"""Catalog of model features and standard-version feature sets.
+
+Feature tags are the currency of the compatibility machinery:
+
+* translation units and kernels carry the tags they *require*;
+* toolchains declare the tags they *implement* per (model, language);
+* probes (:mod:`repro.core.probes`) are programs engineered to require
+  specific tags, so a toolchain's per-model coverage fraction is an
+  executable measurement rather than an opinion.
+
+The version sets below encode the support statements of §4: e.g.
+``OPENMP_45 ⊂ OPENMP_50 ⊂ OPENMP_51``, with NVHPC/AOMP implementing
+4.5 plus only part of 5.0, Intel implementing "all 4.5 and most 5.0 and
+5.1", GCC implementing 4.5 entirely with 5.x in progress.
+"""
+
+from __future__ import annotations
+
+#: Kernel-hardware tags attached by the IR builder; every toolchain can
+#: lower these (the ISA legalizer is the real gate for them).
+HW_FEATURES = frozenset({"barrier", "atomics", "shared_memory", "shuffle"})
+
+# -- CUDA -----------------------------------------------------------------
+
+CUDA_CORE = frozenset({
+    "cuda:kernels", "cuda:memcpy", "cuda:streams", "cuda:events",
+    "cuda:managed_memory", "cuda:libraries",
+})
+#: Driver-level extras a mapping layer may not forward.
+CUDA_ADVANCED = frozenset({"cuda:graphs", "cuda:cooperative_groups"})
+CUDA_FULL = CUDA_CORE | CUDA_ADVANCED
+
+CUDA_FORTRAN_CORE = frozenset({
+    "cuf:kernels", "cuf:cuf_kernels", "cuda:memcpy", "cuda:streams",
+})
+
+# -- HIP ---------------------------------------------------------------------
+
+HIP_CORE = frozenset({
+    "hip:kernels", "hip:memcpy", "hip:streams", "hip:events", "hip:libraries",
+})
+HIP_ADVANCED = frozenset({"hip:graphs", "hip:managed_memory"})
+HIP_FULL = HIP_CORE | HIP_ADVANCED
+#: hipfort exposes the C API and kernel-writing extensions to Fortran,
+#: but not the newer driver-level features (events wrapping is partial,
+#: graphs absent) — which is what keeps it at "some support".
+HIPFORT_BINDINGS = frozenset({
+    "hip:kernels", "hip:memcpy", "hip:streams", "hip:libraries",
+})
+
+# -- SYCL ---------------------------------------------------------------------
+
+SYCL_CORE = frozenset({
+    "sycl:queues", "sycl:buffers", "sycl:accessors", "sycl:nd_range",
+    "sycl:usm", "sycl:reduction", "sycl:events",
+})
+
+# -- OpenMP offloading ------------------------------------------------------
+
+OPENMP_45 = frozenset({
+    "omp:target", "omp:teams", "omp:distribute", "omp:parallel_for",
+    "omp:map", "omp:reduction", "omp:collapse", "omp:simd",
+})
+OPENMP_50_ONLY = frozenset({
+    "omp:metadirective", "omp:declare_variant", "omp:usm", "omp:loop",
+    "omp:detach",
+})
+OPENMP_51_ONLY = frozenset({"omp:assume", "omp:interop", "omp:masked"})
+OPENMP_52_ONLY = frozenset({"omp:doacross"})
+OPENMP_50 = OPENMP_45 | OPENMP_50_ONLY
+OPENMP_51 = OPENMP_50 | OPENMP_51_ONLY
+OPENMP_52 = OPENMP_51 | OPENMP_52_ONLY
+
+# -- OpenACC -----------------------------------------------------------------
+
+OPENACC_26 = frozenset({
+    "acc:parallel", "acc:kernels", "acc:data", "acc:loop", "acc:reduction",
+    "acc:gang_worker_vector", "acc:copyin_copyout",
+})
+OPENACC_27_ONLY = frozenset({"acc:async", "acc:wait", "acc:self"})
+OPENACC_30_ONLY = frozenset({"acc:serial", "acc:attach"})
+OPENACC_27 = OPENACC_26 | OPENACC_27_ONLY
+OPENACC_30 = OPENACC_27 | OPENACC_30_ONLY
+
+# -- Standard-language parallelism ---------------------------------------------
+
+STDPAR_CPP = frozenset({
+    "stdpar:for_each", "stdpar:transform", "stdpar:reduce",
+    "stdpar:transform_reduce", "stdpar:scan", "stdpar:sort",
+})
+#: True ISO conformance: algorithms live in ``std::`` and accept the
+#: standard execution policies (oneDPL keeps them in ``oneapi::dpl::``,
+#: the ambivalence §5 discusses for Intel's C++ standard parallelism).
+STDPAR_STD_NAMESPACE = frozenset({"stdpar:std_namespace"})
+STDPAR_CPP_FULL = STDPAR_CPP | STDPAR_STD_NAMESPACE
+STDPAR_FORTRAN = frozenset({"dc:do_concurrent", "dc:locality_specifiers",
+                            "dc:reduce"})
+
+# -- OpenCL (extension model) ---------------------------------------------------
+
+OPENCL_12 = frozenset({
+    "ocl:kernels", "ocl:buffers", "ocl:command_queues", "ocl:events",
+})
+OPENCL_20_ONLY = frozenset({"ocl:svm"})
+OPENCL_21_ONLY = frozenset({"ocl:subgroups"})
+OPENCL_20 = OPENCL_12 | OPENCL_20_ONLY
+OPENCL_21 = OPENCL_20 | OPENCL_21_ONLY
+
+# -- Python packages ------------------------------------------------------------
+
+PYTHON_CORE = frozenset({
+    "py:ufuncs", "py:custom_kernels", "py:reduction", "py:streams",
+    "py:blas", "py:numpy_interop",
+})
+
+#: Human-readable description per tag (documentation + reports).
+FEATURE_DESCRIPTIONS: dict[str, str] = {
+    "barrier": "block-level synchronization",
+    "atomics": "device memory atomics",
+    "shared_memory": "static shared/LDS/SLM allocations",
+    "shuffle": "warp/wavefront/sub-group data exchange",
+    "cuda:kernels": "__global__ kernel definition and launch",
+    "cuda:memcpy": "explicit host<->device copies",
+    "cuda:streams": "asynchronous streams",
+    "cuda:events": "timing/synchronization events",
+    "cuda:managed_memory": "cudaMallocManaged-style unified memory",
+    "cuda:libraries": "vendor BLAS-class libraries",
+    "cuda:graphs": "task-graph capture and replay",
+    "cuda:cooperative_groups": "grid-wide cooperative launch",
+    "cuf:kernels": "explicit Fortran device kernels",
+    "cuf:cuf_kernels": "!$cuf kernel auto-parallelized loops",
+    "hip:kernels": "__global__ kernel definition and launch",
+    "hip:memcpy": "explicit host<->device copies",
+    "hip:streams": "asynchronous streams",
+    "hip:events": "timing/synchronization events",
+    "hip:libraries": "hipBLAS-class library interfaces",
+    "hip:graphs": "hipGraph task-graph capture and replay",
+    "hip:managed_memory": "hipMallocManaged-style unified memory",
+    "sycl:queues": "command queues",
+    "sycl:buffers": "buffer/accessor memory management",
+    "sycl:accessors": "accessor-based dependency tracking",
+    "sycl:nd_range": "nd_range kernels with work-group control",
+    "sycl:usm": "unified shared memory",
+    "sycl:reduction": "sycl::reduction objects",
+    "sycl:events": "event-based synchronization",
+    "omp:target": "#pragma omp target offload regions",
+    "omp:teams": "teams construct",
+    "omp:distribute": "distribute worksharing",
+    "omp:parallel_for": "parallel for worksharing",
+    "omp:map": "map clauses",
+    "omp:reduction": "reductions on target regions",
+    "omp:collapse": "collapse clauses",
+    "omp:simd": "simd construct",
+    "omp:metadirective": "metadirective (OpenMP 5.0)",
+    "omp:declare_variant": "declare variant (OpenMP 5.0)",
+    "omp:usm": "requires unified_shared_memory (OpenMP 5.0)",
+    "omp:loop": "loop construct (OpenMP 5.0)",
+    "omp:detach": "detachable tasks (OpenMP 5.0)",
+    "omp:assume": "assume directive (OpenMP 5.1)",
+    "omp:interop": "interop construct (OpenMP 5.1)",
+    "omp:masked": "masked construct (OpenMP 5.1)",
+    "omp:doacross": "doacross loops (OpenMP 5.2)",
+    "acc:parallel": "acc parallel regions",
+    "acc:kernels": "acc kernels regions",
+    "acc:data": "structured data regions",
+    "acc:loop": "loop directives",
+    "acc:reduction": "reduction clauses",
+    "acc:gang_worker_vector": "gang/worker/vector clauses",
+    "acc:copyin_copyout": "copyin/copyout data clauses",
+    "acc:async": "async clauses/queues",
+    "acc:wait": "wait directives",
+    "acc:self": "self clauses (OpenACC 2.7)",
+    "acc:serial": "serial construct (OpenACC 3.0)",
+    "acc:attach": "attach/detach semantics (OpenACC 3.0)",
+    "stdpar:for_each": "std::for_each(par_unseq, ...)",
+    "stdpar:transform": "std::transform(par_unseq, ...)",
+    "stdpar:reduce": "std::reduce(par_unseq, ...)",
+    "stdpar:transform_reduce": "std::transform_reduce(par_unseq, ...)",
+    "stdpar:scan": "std::inclusive_scan(par_unseq, ...)",
+    "stdpar:sort": "std::sort(par_unseq, ...)",
+    "stdpar:std_namespace": "algorithms reachable in namespace std::",
+    "ocl:kernels": "OpenCL C kernels via clBuildProgram",
+    "ocl:buffers": "cl_mem buffer objects",
+    "ocl:command_queues": "in-order command queues",
+    "ocl:events": "cl_event dependency/profiling objects",
+    "ocl:svm": "shared virtual memory (OpenCL 2.0)",
+    "ocl:subgroups": "sub-group operations (OpenCL 2.1)",
+    "py:ufuncs": "NumPy-style elementwise array operations",
+    "py:custom_kernels": "user-defined device kernels from Python",
+    "py:reduction": "array reductions on the device",
+    "py:streams": "asynchronous stream/queue control from Python",
+    "py:blas": "bindings to vendor BLAS-class libraries",
+    "py:numpy_interop": "zero-copy/explicit exchange with host NumPy",
+    "dc:do_concurrent": "Fortran do concurrent offload",
+    "dc:locality_specifiers": "do concurrent locality specifiers",
+    "dc:reduce": "do concurrent reduce clauses (F2023)",
+}
+
+
+def describe(tag: str) -> str:
+    """Human-readable description of a feature tag."""
+    return FEATURE_DESCRIPTIONS.get(tag, tag)

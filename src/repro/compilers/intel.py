@@ -1,0 +1,85 @@
+"""Intel toolchains: DPC++ (icpx), ifx, and oneDPL.
+
+Capability sets follow §4: DPC++ is Intel's LLVM-based SYCL compiler
+and the prime programming model for Intel GPUs (description 35), with
+plugins targeting NVIDIA and AMD GPUs (descriptions 5/21); OpenMP
+offload is the second key model, supporting "all OpenMP 4.5 and most
+OpenMP 5.0 and 5.1 features" in C++ (description 38) and Fortran via
+ifx (description 39); ifx also offloads ``do concurrent`` (description
+41); oneDPL implements the pSTL on top of DPC++ — in the
+``oneapi::dpl::`` namespace, not ``std::`` (descriptions 11/26/40).
+"""
+
+from __future__ import annotations
+
+from repro.compilers import features as F
+from repro.compilers.toolchain import Capability, Toolchain
+from repro.enums import ISA, Language, Model, Provider
+
+_SPIRV = frozenset({ISA.SPIRV})
+_ALL = frozenset({ISA.SPIRV, ISA.PTX, ISA.AMDGCN})
+
+#: "All OpenMP 4.5 and most OpenMP 5.0 and 5.1": everything probed short
+#: of interop (not exercised by the probe suite) and 5.2 additions.
+_INTEL_OPENMP = F.OPENMP_51 - {"omp:interop"}
+
+
+def make_dpcpp() -> Toolchain:
+    """Intel oneAPI DPC++/C++ (icpx) and the open-source intel/llvm."""
+    return Toolchain(
+        name="dpcpp",
+        provider=Provider.INTEL,
+        version="2023.2",
+        description=(
+            "LLVM-based SYCL 2020 compiler; SPIR-V for Intel GPUs plus "
+            "CUDA/ROCm plugins for NVIDIA and AMD GPUs; icpx also "
+            "provides OpenMP offload (-qopenmp -fopenmp-targets=spir64)"
+        ),
+        capabilities=[
+            Capability(Model.SYCL, Language.CPP, _ALL, F.SYCL_CORE,
+                       since="2019 (LLVM fork)", flag="-fsycl"),
+            Capability(Model.OPENMP, Language.CPP, _SPIRV, _INTEL_OPENMP,
+                       flag="-qopenmp -fopenmp-targets=spir64"),
+        ],
+    )
+
+
+def make_ifx() -> Toolchain:
+    """Intel Fortran Compiler ifx (the LLVM-based one, not Classic)."""
+    return Toolchain(
+        name="ifx",
+        provider=Provider.INTEL,
+        version="2023.2",
+        description=(
+            "LLVM-based Intel Fortran compiler of the oneAPI HPC Toolkit; "
+            "OpenMP offload and do-concurrent offload to Intel GPUs"
+        ),
+        capabilities=[
+            Capability(Model.OPENMP, Language.FORTRAN, _SPIRV, _INTEL_OPENMP,
+                       flag="-qopenmp -fopenmp-targets=spir64"),
+            Capability(Model.STANDARD, Language.FORTRAN, _SPIRV,
+                       F.STDPAR_FORTRAN,
+                       since="oneAPI 2022.1",
+                       flag="-qopenmp -fopenmp-target-do-concurrent"),
+        ],
+    )
+
+
+def make_onedpl() -> Toolchain:
+    """oneDPL: the oneAPI DPC++ Library implementing the pSTL.
+
+    Algorithms, policies, and data structures live in ``oneapi::dpl::``
+    rather than ``std::`` — the conformance gap (§5's "all pSTL
+    functionality currently resides in a custom namespace") is modeled
+    by omitting the ``stdpar:std_namespace`` feature.  Through DPC++'s
+    plugins oneDPL also reaches NVIDIA and (experimentally) AMD GPUs.
+    """
+    return Toolchain(
+        name="onedpl",
+        provider=Provider.INTEL,
+        version="2022.2",
+        description="pSTL algorithms over DPC++ in the oneapi::dpl namespace",
+        capabilities=[
+            Capability(Model.STANDARD, Language.CPP, _ALL, F.STDPAR_CPP),
+        ],
+    )

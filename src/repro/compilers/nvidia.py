@@ -1,0 +1,78 @@
+"""NVIDIA toolchains: the CUDA Toolkit's ``nvcc`` and the HPC SDK.
+
+Capability sets follow §4: nvcc covers "nearly all aspects of the
+NVIDIA platform" (description 1); NVHPC provides CUDA Fortran
+(description 2), comprehensive OpenACC for C++ and Fortran
+(descriptions 7/8), OpenMP offload limited to "only a subset of the
+entire OpenMP 5.0 standard" (descriptions 9/10), and standard-language
+parallelism for both C++ (``-stdpar=gpu``, description 11) and Fortran
+``do concurrent`` (description 12).
+"""
+
+from __future__ import annotations
+
+from repro.compilers import features as F
+from repro.compilers.toolchain import Capability, Toolchain
+from repro.enums import ISA, Language, Model, Provider
+
+_PTX = frozenset({ISA.PTX})
+
+#: NVHPC's OpenMP frontend: full 4.5, selected 5.0 features.
+_NVHPC_OPENMP = F.OPENMP_45 | {"omp:loop", "omp:declare_variant"}
+
+
+def make_nvcc() -> Toolchain:
+    """``nvcc`` from the CUDA Toolkit (12.2 at submission time)."""
+    return Toolchain(
+        name="nvcc",
+        provider=Provider.NVIDIA,
+        version="12.2",
+        description=(
+            "CUDA Toolkit compiler driver; lowers CUDA C++ through PTX to "
+            "SASS (simulated here as the PTX virtual ISA)"
+        ),
+        capabilities=[
+            Capability(
+                model=Model.CUDA,
+                language=Language.CPP,
+                targets=_PTX,
+                features=F.CUDA_FULL,
+                since="CUDA 1.0 (2007)",
+            ),
+        ],
+    )
+
+
+def make_nvhpc() -> Toolchain:
+    """The NVIDIA HPC SDK (nvc, nvc++, nvfortran)."""
+    return Toolchain(
+        name="nvhpc",
+        provider=Provider.NVIDIA,
+        version="23.7",
+        description=(
+            "NVIDIA HPC SDK: nvc/nvc++/nvfortran with CUDA Fortran, "
+            "OpenACC, OpenMP offload, and -stdpar GPU parallelism"
+        ),
+        capabilities=[
+            # CUDA C++ support in nvc++ mirrors nvcc for our purposes.
+            Capability(Model.CUDA, Language.CPP, _PTX, F.CUDA_FULL,
+                       since="NVHPC 20.7", flag="-cuda"),
+            Capability(Model.CUDA, Language.FORTRAN, _PTX,
+                       F.CUDA_FORTRAN_CORE | {"cuda:events"},
+                       since="PGI 10.0", flag="-cuda"),
+            Capability(Model.OPENACC, Language.CPP, _PTX,
+                       F.OPENACC_30 - {"acc:attach"},
+                       since="PGI 12.6", flag="-acc -gpu"),
+            Capability(Model.OPENACC, Language.FORTRAN, _PTX,
+                       F.OPENACC_30 - {"acc:attach"},
+                       since="PGI 12.6", flag="-acc -gpu"),
+            Capability(Model.OPENMP, Language.CPP, _PTX, _NVHPC_OPENMP,
+                       since="NVHPC 20.11", flag="-mp=gpu"),
+            Capability(Model.OPENMP, Language.FORTRAN, _PTX, _NVHPC_OPENMP,
+                       since="NVHPC 20.11", flag="-mp=gpu"),
+            Capability(Model.STANDARD, Language.CPP, _PTX, F.STDPAR_CPP_FULL,
+                       since="NVHPC 20.7", flag="-stdpar=gpu"),
+            Capability(Model.STANDARD, Language.FORTRAN, _PTX, F.STDPAR_FORTRAN,
+                       since="NVHPC 20.11", flag="-stdpar=gpu"),
+        ],
+    )

@@ -1,0 +1,59 @@
+"""Vendor OpenCL driver stacks (extension; §5's second notable exclusion).
+
+"OpenCL is a further important GPU programming model, but it has never
+gained much traction in the HPC-GPU space, mostly due to the lukewarm
+support by NVIDIA" (§5).  The three driver stacks below encode the
+well-known state of that support:
+
+* NVIDIA's driver exposed OpenCL 1.2 for the better part of a decade
+  (3.0 arrived late and with the 2.x features optional — no SVM, no
+  sub-groups in practice);
+* AMD's ROCm OpenCL implements 2.0 (SVM) but not the 2.1 sub-group
+  extensions HPC codes would want;
+* Intel's runtime (the sibling of Level Zero) is the most complete.
+"""
+
+from __future__ import annotations
+
+from repro.compilers import features as F
+from repro.compilers.toolchain import Capability, Toolchain
+from repro.enums import ISA, Language, Model, Provider
+
+
+def make_nvidia_opencl() -> Toolchain:
+    return Toolchain(
+        name="nvidia-opencl",
+        provider=Provider.NVIDIA,
+        version="OpenCL 1.2 (driver)",
+        description="NVIDIA's OpenCL driver: 1.2-era feature set",
+        capabilities=[
+            Capability(Model.OPENCL, Language.CPP, frozenset({ISA.PTX}),
+                       F.OPENCL_12),
+        ],
+    )
+
+
+def make_amd_opencl() -> Toolchain:
+    return Toolchain(
+        name="amd-opencl",
+        provider=Provider.AMD,
+        version="ROCm OpenCL 2.0",
+        description="AMD's ROCm OpenCL runtime: 2.0 with SVM",
+        capabilities=[
+            Capability(Model.OPENCL, Language.CPP, frozenset({ISA.AMDGCN}),
+                       F.OPENCL_20),
+        ],
+    )
+
+
+def make_intel_opencl() -> Toolchain:
+    return Toolchain(
+        name="intel-opencl",
+        provider=Provider.INTEL,
+        version="Intel Compute Runtime 3.0",
+        description="Intel's OpenCL runtime (compute-runtime/NEO): complete",
+        capabilities=[
+            Capability(Model.OPENCL, Language.CPP, frozenset({ISA.SPIRV}),
+                       F.OPENCL_21),
+        ],
+    )

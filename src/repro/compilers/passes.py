@@ -1,0 +1,307 @@
+"""Mid-level IR optimization passes.
+
+A miniature of the LLVM role the paper's conclusion highlights ("a key
+component in the ecosystem is the LLVM toolchain"): every simulated
+toolchain shares these passes, just as the real vendor compilers share
+LLVM's mid-end.  Implemented passes:
+
+* **constant folding** — binary/unary/compare/select/convert operations
+  whose operands are immediates are evaluated at compile time;
+* **copy propagation** — ``Mov dst, src`` rewrites later uses of ``dst``
+  (within safe straight-line regions) to ``src``;
+* **dead code elimination** — pure instructions whose destinations are
+  never read are removed (memory, atomics, barriers, control flow with
+  side effects are preserved).
+
+Passes operate on (a deep copy of) the structured IR, preserving
+verifiability: the pipeline re-verifies after each pass.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+
+from repro.isa import dtypes
+from repro.isa.instructions import (
+    AtomicOp,
+    Barrier,
+    BinOp,
+    Cmp,
+    Cvt,
+    Exit,
+    If,
+    Imm,
+    Instruction,
+    Load,
+    Mov,
+    Operand,
+    Register,
+    Select,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    Store,
+    UnaryOp,
+    While,
+)
+from repro.isa.module import KernelIR, ModuleIR
+from repro.isa.verifier import verify_kernel
+
+_FOLDABLE_BIN = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "min": min,
+    "max": max,
+    "and": lambda a, b: a & b if not isinstance(a, bool) else a and b,
+    "or": lambda a, b: a | b if not isinstance(a, bool) else a or b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+}
+
+_FOLDABLE_CMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+_FOLDABLE_UN = {
+    "neg": lambda a: -a,
+    "abs": abs,
+    "not": lambda a: not a,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "sqrt": math.sqrt,
+}
+
+
+def _imm(value, dtype: dtypes.DType) -> Imm:
+    return Imm(dtype.np_dtype.type(value).item(), dtype)
+
+
+def fold_constants(kernel: KernelIR) -> int:
+    """Evaluate immediate-only operations; returns the folds performed.
+
+    Folded instructions become ``Mov dst, imm`` so downstream copy
+    propagation can erase them entirely.
+    """
+    folds = 0
+
+    def fold_body(body: list[Instruction], consts_local: dict[str, Imm]) -> None:
+        nonlocal folds
+
+        def sub(op: Operand) -> Operand:
+            if isinstance(op, Register) and op.name in consts_local:
+                return consts_local[op.name]
+            return op
+
+        for pos, instr in enumerate(body):
+            if isinstance(instr, BinOp):
+                a, b = sub(instr.a), sub(instr.b)
+                instr.a, instr.b = a, b
+                fn = _FOLDABLE_BIN.get(instr.op)
+                if fn and isinstance(a, Imm) and isinstance(b, Imm):
+                    try:
+                        value = fn(a.value, b.value)
+                    except (OverflowError, ValueError):
+                        continue
+                    imm = _imm(value, instr.dst.dtype)
+                    body[pos] = Mov(instr.dst, imm)
+                    consts_local[instr.dst.name] = imm
+                    folds += 1
+                elif instr.dst.name in consts_local:
+                    del consts_local[instr.dst.name]
+            elif isinstance(instr, Cmp):
+                a, b = sub(instr.a), sub(instr.b)
+                instr.a, instr.b = a, b
+                fn = _FOLDABLE_CMP.get(instr.op)
+                if fn and isinstance(a, Imm) and isinstance(b, Imm):
+                    imm = Imm(bool(fn(a.value, b.value)), dtypes.PRED)
+                    body[pos] = Mov(instr.dst, imm)
+                    consts_local[instr.dst.name] = imm
+                    folds += 1
+                elif instr.dst.name in consts_local:
+                    del consts_local[instr.dst.name]
+            elif isinstance(instr, UnaryOp):
+                instr.src = sub(instr.src)
+                fn = _FOLDABLE_UN.get(instr.op)
+                if fn and isinstance(instr.src, Imm):
+                    try:
+                        value = fn(instr.src.value)
+                    except (OverflowError, ValueError):
+                        continue
+                    imm = _imm(value, instr.dst.dtype)
+                    body[pos] = Mov(instr.dst, imm)
+                    consts_local[instr.dst.name] = imm
+                    folds += 1
+                elif instr.dst.name in consts_local:
+                    del consts_local[instr.dst.name]
+            elif isinstance(instr, Cvt):
+                instr.src = sub(instr.src)
+                if isinstance(instr.src, Imm) and not (
+                    instr.src.dtype.is_pred or instr.dst.dtype.is_pred
+                ):
+                    imm = _imm(instr.src.value, instr.dst.dtype)
+                    body[pos] = Mov(instr.dst, imm)
+                    consts_local[instr.dst.name] = imm
+                    folds += 1
+                elif instr.dst.name in consts_local:
+                    del consts_local[instr.dst.name]
+            elif isinstance(instr, Select):
+                instr.pred = sub(instr.pred)
+                instr.a, instr.b = sub(instr.a), sub(instr.b)
+                if isinstance(instr.pred, Imm):
+                    chosen = instr.a if instr.pred.value else instr.b
+                    body[pos] = Mov(instr.dst, chosen)
+                    if isinstance(chosen, Imm):
+                        consts_local[instr.dst.name] = chosen
+                    folds += 1
+                elif instr.dst.name in consts_local:
+                    del consts_local[instr.dst.name]
+            elif isinstance(instr, Mov):
+                instr.src = sub(instr.src)
+                if isinstance(instr.src, Imm):
+                    consts_local[instr.dst.name] = instr.src
+                else:
+                    consts_local.pop(instr.dst.name, None)
+            elif isinstance(instr, (Load, AtomicOp)):
+                if isinstance(instr, Load):
+                    instr.addr = sub(instr.addr)
+                else:
+                    instr.addr = sub(instr.addr)
+                    instr.src = sub(instr.src)
+                    if instr.compare is not None:
+                        instr.compare = sub(instr.compare)
+                if instr.dst is not None:
+                    consts_local.pop(instr.dst.name, None)
+            elif isinstance(instr, Store):
+                instr.addr = sub(instr.addr)
+                instr.src = sub(instr.src)
+            elif isinstance(instr, Shuffle):
+                instr.src = sub(instr.src)
+                instr.lane = sub(instr.lane)
+                consts_local.pop(instr.dst.name, None)
+            elif isinstance(instr, (SpecialRead, SharedAlloc)):
+                consts_local.pop(instr.dst.name, None)
+            elif isinstance(instr, If):
+                instr.cond = sub(instr.cond)
+                # Branch-local constants must not leak across the join.
+                then_consts = dict(consts_local)
+                else_consts = dict(consts_local)
+                fold_body(instr.then_body, then_consts)
+                fold_body(instr.else_body, else_consts)
+                # Keep only facts that survive both paths unchanged.
+                for name in list(consts_local):
+                    if (
+                        then_consts.get(name) != consts_local[name]
+                        or else_consts.get(name) != consts_local[name]
+                    ):
+                        del consts_local[name]
+            elif isinstance(instr, While):
+                # Names redefined anywhere in the loop are not constant on
+                # any iteration after the first: strip them before folding
+                # the loop's bodies, and keep them invalid afterwards.
+                redefined = _defined_names(instr.cond_body) | _defined_names(instr.body)
+                inner = {
+                    name: imm
+                    for name, imm in consts_local.items()
+                    if name not in redefined
+                }
+                fold_body(instr.cond_body, inner)
+                fold_body(instr.body, inner)
+                for name in redefined:
+                    consts_local.pop(name, None)
+
+    fold_body(kernel.body, {})
+    return folds
+
+
+def _defined_names(body: list[Instruction]) -> set[str]:
+    names: set[str] = set()
+    from repro.isa.instructions import walk
+
+    for instr in walk(body):
+        dst = getattr(instr, "dst", None)
+        if isinstance(dst, Register):
+            names.add(dst.name)
+    return names
+
+
+def _used_names(body: list[Instruction]) -> set[str]:
+    used: set[str] = set()
+    from repro.isa.instructions import walk
+
+    for instr in walk(body):
+        for attr in ("src", "a", "b", "pred", "addr", "cond", "lane", "compare"):
+            op = getattr(instr, attr, None)
+            if isinstance(op, Register):
+                used.add(op.name)
+    return used
+
+
+_PURE = (Mov, BinOp, UnaryOp, Cmp, Select, Cvt, SpecialRead)
+
+
+def eliminate_dead_code(kernel: KernelIR) -> int:
+    """Drop pure instructions whose destinations are never read."""
+    removed_total = 0
+    # Iterate to a fixed point: removing one dead op can orphan another.
+    while True:
+        used = _used_names(kernel.body)
+
+        def sweep(body: list[Instruction]) -> int:
+            removed = 0
+            kept: list[Instruction] = []
+            for instr in body:
+                if isinstance(instr, If):
+                    removed += sweep(instr.then_body)
+                    removed += sweep(instr.else_body)
+                    kept.append(instr)
+                elif isinstance(instr, While):
+                    removed += sweep(instr.body)
+                    # cond_body defines the loop predicate: keep intact.
+                    kept.append(instr)
+                elif isinstance(instr, _PURE) and instr.dst.name not in used:
+                    removed += 1
+                else:
+                    kept.append(instr)
+            body[:] = kept
+            return removed
+
+        removed = sweep(kernel.body)
+        removed_total += removed
+        if removed == 0:
+            return removed_total
+
+
+def optimize_kernel(kernel: KernelIR, level: int = 2) -> tuple[KernelIR, dict[str, int]]:
+    """Run the pass pipeline on a copy of ``kernel``.
+
+    Level 0 disables everything (still verifies); level 1 folds
+    constants; level 2 adds dead-code elimination.
+    """
+    out = copy.deepcopy(kernel)
+    report = {"folds": 0, "dce": 0}
+    if level >= 1:
+        report["folds"] = fold_constants(out)
+    if level >= 2:
+        report["dce"] = eliminate_dead_code(out)
+    verify_kernel(out)
+    return out, report
+
+
+def optimize_module(module: ModuleIR, level: int = 2) -> tuple[ModuleIR, dict[str, int]]:
+    """Optimize every kernel; returns the new module and a pass report."""
+    out = ModuleIR(name=module.name)
+    totals = {"folds": 0, "dce": 0}
+    for kernel in module:
+        opt, report = optimize_kernel(kernel, level)
+        out.add(opt)
+        for key, val in report.items():
+            totals[key] += val
+    return out, totals

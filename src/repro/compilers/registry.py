@@ -1,0 +1,82 @@
+"""Toolchain registry: every simulated compiler by name.
+
+The route registry (:mod:`repro.core.routes`) and the model runtimes
+refer to toolchains through :func:`get_toolchain`, so the whole
+ecosystem shares one instance per product.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.compilers.toolchain import Toolchain
+from repro.enums import ISA, Language, Model
+
+_FACTORIES = {}
+
+
+def _register(factory) -> None:
+    _FACTORIES[factory().name] = factory
+
+
+def _populate() -> None:
+    if _FACTORIES:
+        return
+    from repro.compilers import amd, community, cray, intel, nvidia
+    from repro.compilers import opencl_drivers
+
+    for factory in (
+        opencl_drivers.make_nvidia_opencl,
+        opencl_drivers.make_amd_opencl,
+        opencl_drivers.make_intel_opencl,
+        nvidia.make_nvcc,
+        nvidia.make_nvhpc,
+        amd.make_hipcc,
+        amd.make_aomp,
+        amd.make_hipfort,
+        amd.make_rocstdpar,
+        intel.make_dpcpp,
+        intel.make_ifx,
+        intel.make_onedpl,
+        community.make_gcc,
+        community.make_clang,
+        community.make_flang,
+        community.make_flang_cuda,
+        community.make_clacc,
+        community.make_flacc,
+        community.make_opensycl,
+        community.make_opensycl_stdpar,
+        community.make_chipstar,
+        community.make_computecpp,
+        community.make_zluda,
+        cray.make_cray,
+    ):
+        _register(factory)
+
+
+@lru_cache(maxsize=None)
+def get_toolchain(name: str) -> Toolchain:
+    """One shared instance of the named toolchain."""
+    _populate()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown toolchain '{name}'; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def all_toolchains() -> list[Toolchain]:
+    """Every registered toolchain (shared instances)."""
+    _populate()
+    return [get_toolchain(name) for name in sorted(_FACTORIES)]
+
+
+def toolchains_for(model: Model, language: Language, target: ISA) -> list[Toolchain]:
+    """Toolchains that can compile (model, language) to ``target``."""
+    return [
+        tc
+        for tc in all_toolchains()
+        if target in tc.targets_for(model, language)
+    ]

@@ -1,0 +1,154 @@
+"""Toolchain base class and compile pipeline.
+
+A :class:`Toolchain` models one compiler product from §4 (nvcc, NVHPC,
+hipcc, AOMP, DPC++, ifx, GCC, Clang/Flang, Cray CE, Open SYCL,
+chipStar): a set of *capabilities* — which (model, language) pairs it
+accepts, which ISAs it emits for each, and which model features it
+implements — plus the shared compile pipeline (feature check →
+optimization passes → ISA legalization).
+
+A compile attempt can fail in exactly the ways real ones do:
+
+* :class:`~repro.errors.UnsupportedRouteError` — the toolchain does not
+  speak that model/language at all (``ifx`` given HIP);
+* :class:`~repro.errors.UnsupportedTargetError` — it speaks the model
+  but cannot emit the ISA (``nvcc`` asked for AMDGCN);
+* :class:`~repro.errors.UnsupportedFeatureError` — the specific feature
+  is not implemented (NVHPC's OpenMP given a 5.0 metadirective).
+
+The compatibility probes rely on this error taxonomy to distinguish
+"no route" from "partial coverage".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.enums import ISA, Language, Maturity, Model, Provider
+from repro.errors import (
+    UnsupportedFeatureError,
+    UnsupportedRouteError,
+    UnsupportedTargetError,
+)
+from repro.compilers.features import HW_FEATURES
+from repro.compilers.passes import optimize_module
+from repro.frontends.source import TranslationUnit
+from repro.isa.module import ModuleIR, TargetModule
+from repro.isa.targets import legalize
+
+#: One capability row: a (model, language) pair this toolchain compiles.
+@dataclass(frozen=True)
+class Capability:
+    """What a toolchain implements for one (model, language) pair."""
+
+    model: Model
+    language: Language
+    targets: frozenset[ISA]
+    features: frozenset[str]
+    since: str = ""  # human note, e.g. "GCC 5.0", "oneAPI 2022.1"
+    flag: str = ""  # the enabling compiler option from the paper
+
+
+@dataclass
+class CompileResult:
+    """Outcome of a successful compilation."""
+
+    binary: TargetModule
+    toolchain: str
+    target: ISA
+    options: tuple[str, ...]
+    pass_report: dict[str, int] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    def disassemble(self) -> str:
+        from repro.isa.assembly import disassemble
+
+        return disassemble(self.binary)
+
+
+class Toolchain:
+    """One simulated compiler product."""
+
+    def __init__(
+        self,
+        name: str,
+        provider: Provider,
+        version: str,
+        capabilities: list[Capability],
+        maturity: Maturity = Maturity.PRODUCTION,
+        description: str = "",
+        opt_level: int = 2,
+    ):
+        self.name = name
+        self.provider = provider
+        self.version = version
+        self.maturity = maturity
+        self.description = description
+        self.opt_level = opt_level
+        self._caps: dict[tuple[Model, Language], Capability] = {
+            (c.model, c.language): c for c in capabilities
+        }
+
+    # -- capability queries ---------------------------------------------------
+
+    @property
+    def capabilities(self) -> list[Capability]:
+        return list(self._caps.values())
+
+    def capability(self, model: Model, language: Language) -> Capability | None:
+        return self._caps.get((model, language))
+
+    def accepts(self, model: Model, language: Language) -> bool:
+        return (model, language) in self._caps
+
+    def targets_for(self, model: Model, language: Language) -> frozenset[ISA]:
+        cap = self._caps.get((model, language))
+        return cap.targets if cap else frozenset()
+
+    def supports_feature(self, model: Model, language: Language, tag: str) -> bool:
+        cap = self._caps.get((model, language))
+        if cap is None:
+            return False
+        return tag in HW_FEATURES or tag in cap.features
+
+    # -- the compile pipeline ---------------------------------------------------
+
+    def compile(
+        self,
+        tu: TranslationUnit,
+        target: ISA,
+        options: tuple[str, ...] = (),
+    ) -> CompileResult:
+        """Compile a translation unit to a device binary for ``target``."""
+        cap = self._caps.get((tu.model, tu.language))
+        if cap is None:
+            raise UnsupportedRouteError(
+                f"{self.name} {self.version} does not compile "
+                f"{tu.model.value} {tu.language.value}"
+            )
+        if target not in cap.targets:
+            raise UnsupportedTargetError(
+                f"{self.name} cannot emit {target.value} for "
+                f"{tu.model.value} {tu.language.value} "
+                f"(targets: {sorted(t.value for t in cap.targets)})"
+            )
+        for tag in sorted(tu.all_features()):
+            if tag not in HW_FEATURES and tag not in cap.features:
+                raise UnsupportedFeatureError(tag, toolchain=self.name)
+
+        module = ModuleIR(name=tu.name)
+        for k in tu.kernels:
+            module.add(k.ir)
+        optimized, report = optimize_module(module, level=self.opt_level)
+        binary = legalize(optimized, target, producer=f"{self.name}-{self.version}")
+        return CompileResult(
+            binary=binary,
+            toolchain=self.name,
+            target=target,
+            options=tuple(options),
+            pass_report=report,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = sorted(f"{m.value}/{l.value}" for m, l in self._caps)
+        return f"<Toolchain {self.name} {self.version} ({self.provider.value}): {pairs}>"

@@ -1,0 +1,21 @@
+"""The paper's contribution: the compatibility-rating methodology.
+
+* :mod:`repro.core.probes` — per-model probe suites: small verified
+  programs, each exercising one feature the §4 descriptions hinge on.
+* :mod:`repro.core.routes` — the registry of support routes (>50), one
+  per toolchain/translator/package chain named in §4.
+* :mod:`repro.core.classifier` — the §3 rating rules mapping measured
+  route coverage to the six support categories.
+* :mod:`repro.core.matrix` — builds Figure 1 empirically by running
+  every route's probe suite on the simulated devices.
+* :mod:`repro.core.descriptions` — the 44 encyclopedic descriptions.
+* :mod:`repro.core.render` — text/Markdown/HTML/TeX/YAML renderers.
+* :mod:`repro.core.report` — derived-vs-paper agreement reporting.
+* :mod:`repro.core.advisor` — the "guide for scientific programmers".
+"""
+
+from repro.core.categories import CATEGORY_DETAILS  # noqa: F401
+from repro.core.classifier import Thresholds, classify_route  # noqa: F401
+from repro.core.matrix import CellResult, CompatibilityMatrix, build_matrix  # noqa: F401
+from repro.core.probes import PROBE_SUITES, run_probe_suite  # noqa: F401
+from repro.core.routes import Route, all_routes, routes_for  # noqa: F401

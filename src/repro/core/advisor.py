@@ -1,0 +1,150 @@
+"""The guide: route recommendations for scientific programmers.
+
+The paper's stated purpose is to "give a guide by matching the GPU
+platforms with supported programming models" (§1) for programmers who
+must navigate "this abundance of choices and limits".  This module
+answers those navigation questions programmatically over the matrix:
+
+* which models can my code use on platform X (in language L)?
+* which platforms can this (model, language) code target, and how well?
+* what are the portable choices across all three vendors?
+* what's the migration path for my CUDA code to platform Y?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.descriptions import describe_cell
+from repro.core.matrix import CellResult, CompatibilityMatrix
+from repro.data.paper_matrix import PAPER_MATRIX
+from repro.enums import (
+    MODEL_LANGUAGES,
+    MODEL_ORDER,
+    VENDOR_ORDER,
+    Language,
+    Model,
+    SupportCategory,
+    Vendor,
+)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended (model, vendor) option with its evidence."""
+
+    vendor: Vendor
+    model: Model
+    language: Language
+    category: SupportCategory
+    via: str
+    description_number: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.model.value} on {self.vendor.value} "
+            f"[{self.category.label}] via {self.via}"
+        )
+
+
+class Advisor:
+    """Answers portability questions over a matrix.
+
+    Works with either a derived :class:`CompatibilityMatrix` (empirical)
+    or, when ``matrix`` is omitted, the reconstructed paper ratings.
+    """
+
+    def __init__(self, matrix: CompatibilityMatrix | None = None,
+                 minimum: SupportCategory = SupportCategory.NONVENDOR):
+        self.matrix = matrix
+        self.minimum = minimum
+
+    # -- rating access -----------------------------------------------------------
+
+    def rating(self, vendor: Vendor, model: Model,
+               language: Language) -> SupportCategory:
+        if self.matrix is not None:
+            return self.matrix.cell(vendor, model, language).primary
+        return PAPER_MATRIX[(vendor, model, language)].primary
+
+    def _via(self, vendor: Vendor, model: Model, language: Language) -> str:
+        if self.matrix is not None:
+            cell: CellResult = self.matrix.cell(vendor, model, language)
+            best = cell.best_route()
+            if best is not None:
+                return best.route.via
+        return "see description"
+
+    def _recommend(self, vendor: Vendor, model: Model,
+                   language: Language) -> Recommendation:
+        return Recommendation(
+            vendor=vendor,
+            model=model,
+            language=language,
+            category=self.rating(vendor, model, language),
+            via=self._via(vendor, model, language),
+            description_number=describe_cell(vendor, model, language).number,
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def models_for_platform(self, vendor: Vendor,
+                            language: Language) -> list[Recommendation]:
+        """Usable models on one platform in one language, best first."""
+        recs = [
+            self._recommend(vendor, model, language)
+            for model in MODEL_ORDER
+            if language in MODEL_LANGUAGES[model]
+        ]
+        recs = [r for r in recs if r.category.rank >= self.minimum.rank]
+        return sorted(recs, key=lambda r: -r.category.rank)
+
+    def platforms_for_model(self, model: Model,
+                            language: Language) -> list[Recommendation]:
+        """Where code in (model, language) can run, best first."""
+        recs = [
+            self._recommend(vendor, model, language)
+            for vendor in VENDOR_ORDER
+        ]
+        return sorted(recs, key=lambda r: -r.category.rank)
+
+    def portable_models(self, language: Language,
+                        minimum: SupportCategory | None = None) -> list[Model]:
+        """Models meeting the bar on *all three* platforms.
+
+        With the default bar this reproduces the paper's conclusion that
+        OpenMP is the only natively supported model across all three
+        platforms for Fortran, while C++ additionally has SYCL, Kokkos,
+        Alpaka, and the native-model translation paths.
+        """
+        bar = minimum or self.minimum
+        out = []
+        for model in MODEL_ORDER:
+            if language not in MODEL_LANGUAGES[model]:
+                continue
+            if all(
+                self.rating(vendor, model, language).rank >= bar.rank
+                for vendor in VENDOR_ORDER
+            ):
+                out.append(model)
+        return out
+
+    def migration_plan(self, source_model: Model, language: Language,
+                       target_vendor: Vendor) -> list[str]:
+        """Step list for carrying (model, language) code to a platform."""
+        rec = self._recommend(target_vendor, source_model, language)
+        desc = describe_cell(target_vendor, source_model, language)
+        steps = [
+            f"goal: run {source_model.value} {language.value} code on "
+            f"{target_vendor.value} GPUs",
+            f"support level: {rec.category.label} (description {desc.number})",
+        ]
+        if rec.category is SupportCategory.NONE:
+            steps.append("no route exists; port to a supported model:")
+            for alt in self.models_for_platform(target_vendor, language)[:3]:
+                steps.append(f"  candidate: {alt.model.value} "
+                             f"[{alt.category.label}] via {alt.via}")
+        else:
+            steps.append(f"route: {rec.via}")
+            steps.append(f"details: {desc.text}")
+        return steps

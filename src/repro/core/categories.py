@@ -1,0 +1,77 @@
+"""The six support categories of §3, with their defining prose.
+
+The enum itself lives in :mod:`repro.enums` (it is part of the shared
+vocabulary); this module carries the paper's definitions and the
+helpers the renderers and reports use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enums import CATEGORY_ORDER, SupportCategory
+
+
+@dataclass(frozen=True)
+class CategoryDetail:
+    """One §3 category with its defining text."""
+
+    category: SupportCategory
+    definition: str
+
+
+CATEGORY_DETAILS: dict[SupportCategory, CategoryDetail] = {
+    d.category: d
+    for d in (
+        CategoryDetail(
+            SupportCategory.FULL,
+            "The programming model for this language is fully supported on "
+            "this GPU platform by the vendor: complete implementation, "
+            "extensive documentation, regular updates, vendor support in "
+            "case of errors.",
+        ),
+        CategoryDetail(
+            SupportCategory.INDIRECT,
+            "The combination is indirectly, but comprehensively supported "
+            "by the vendor, usually by (semi-)automatically "
+            "mapping/translating a foreign model to a native one.",
+        ),
+        CategoryDetail(
+            SupportCategory.SOME,
+            "Supported on this GPU device by the vendor, but not (yet) "
+            "comprehensively: the model can be used for the majority of "
+            "applications, but some specific features are not available.",
+        ),
+        CategoryDetail(
+            SupportCategory.NONVENDOR,
+            "Comprehensive support exists, but not by the vendor of the "
+            "GPU device: community-driven higher-level models implement "
+            "support utilizing vendor-native infrastructure in the "
+            "background.",
+        ),
+        CategoryDetail(
+            SupportCategory.LIMITED,
+            "Some very limited support: indirect, through extensive effort "
+            "by the user, and/or very incomplete.",
+        ),
+        CategoryDetail(
+            SupportCategory.NONE,
+            "No direct support for the model/language on the device. "
+            "There are certainly ways to still utilize the device, like "
+            "creating custom headers and linking to libraries directly, "
+            "or utilizing ISO_C_BINDING in Fortran.",
+        ),
+    )
+}
+
+
+def legend_lines() -> list[str]:
+    """The category legend as rendered under Figure 1."""
+    return [
+        f"  {c.symbol}  {c.label}" for c in CATEGORY_ORDER
+    ]
+
+
+def best(categories) -> SupportCategory:
+    """Highest-ranked category of a non-empty iterable."""
+    return max(categories, key=lambda c: c.rank)

@@ -1,0 +1,89 @@
+"""The §3 rating rules: measured route coverage → support category.
+
+The paper assesses combinations "by available information"; the
+reproduction makes the assessment executable.  A route's category is a
+function of four things the registry + probes provide:
+
+1. **coverage** — the fraction of the probe suite that compiles and
+   verifies (the "complete implementation" / "some specific features
+   are not available" axis);
+2. **maturity** — experimental / research / unmaintained routes cap at
+   *limited support* regardless of coverage (§4's GPUFORT, chipStar,
+   roc-stdpar, ZLUDA, ComputeCpp treatments);
+3. **provider class** — device vendor, another GPU vendor, or the
+   community/HPE (the vendor vs. non-vendor axis of the categories);
+4. **mechanism** — direct implementations vs. mapping/translation/
+   binding routes (the *full* vs. *indirect* axis).
+
+Thresholds are explicit (:class:`Thresholds`) so the ablation bench can
+measure the sensitivity of Figure 1 to each cut-point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enums import Maturity, Mechanism, Provider, SupportCategory, Vendor
+from repro.core.routes import Route
+
+_DIRECT = (Mechanism.NATIVE, Mechanism.LAYERED)
+_VENDORS = (Provider.NVIDIA, Provider.AMD, Provider.INTEL)
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Coverage cut-points of the classifier.
+
+    Attributes:
+        full: Minimum coverage for *full support* (vendor, direct).
+        comprehensive: Minimum coverage for *non-vendor good support*
+            ("comprehensive" third-party implementations).
+        indirect: Minimum coverage for *indirect good support*
+            (vendor mapping/translation routes).
+        usable: Below this, any route is at most *limited support*.
+    """
+
+    full: float = 0.90
+    comprehensive: float = 0.85
+    indirect: float = 0.70
+    usable: float = 0.50
+
+
+DEFAULT_THRESHOLDS = Thresholds()
+
+
+def classify_route(route: Route, coverage: float,
+                   thresholds: Thresholds = DEFAULT_THRESHOLDS) -> SupportCategory:
+    """Category contributed by one route given its measured coverage."""
+    if coverage <= 0.0:
+        return SupportCategory.NONE
+    if not route.maturity.is_dependable:
+        return SupportCategory.LIMITED
+    if coverage < thresholds.usable:
+        return SupportCategory.LIMITED
+
+    is_device_vendor = route.provider.is_device_vendor(route.vendor)
+    is_vendor = route.provider in _VENDORS
+
+    if route.mechanism in _DIRECT:
+        if is_device_vendor:
+            if coverage >= thresholds.full:
+                return SupportCategory.FULL
+            return SupportCategory.SOME
+        if coverage >= thresholds.comprehensive:
+            return SupportCategory.NONVENDOR
+        return SupportCategory.LIMITED
+
+    # Mapping / translation / bindings routes.
+    if is_vendor:
+        if coverage >= thresholds.indirect:
+            return SupportCategory.INDIRECT
+        return SupportCategory.SOME
+    if coverage >= thresholds.comprehensive:
+        return SupportCategory.NONVENDOR
+    return SupportCategory.LIMITED
+
+
+def provider_class(route: Route) -> str:
+    """"vendor" (any GPU vendor) or "community" (incl. HPE)."""
+    return "vendor" if route.provider in _VENDORS else "community"

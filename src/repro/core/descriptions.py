@@ -1,0 +1,261 @@
+"""The 44 encyclopedic descriptions of §4.
+
+Each entry condenses one numbered description from the paper, keeps its
+bibliography keys, and records which Figure 1 cells it covers (entries
+4, 6, 14, and 16 are shared between platforms, which is how 51 cells
+map to 44 unique descriptions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enums import Language, Model, Vendor
+
+CPP, F, PY = Language.CPP, Language.FORTRAN, Language.PYTHON
+NV, AMD, INT = Vendor.NVIDIA, Vendor.AMD, Vendor.INTEL
+
+
+@dataclass(frozen=True)
+class Description:
+    """One numbered §4 entry."""
+
+    number: int
+    cells: tuple[tuple[Vendor, Model, Language], ...]
+    title: str
+    text: str
+    references: tuple[int, ...] = ()
+
+
+_D = Description
+
+DESCRIPTIONS: dict[int, Description] = {
+    d.number: d
+    for d in (
+        _D(1, ((NV, Model.CUDA, CPP),), "NVIDIA · CUDA · C++",
+           "CUDA C/C++ is supported through the CUDA Toolkit (first "
+           "released 2007, current version 12.2): API and language "
+           "extensions, libraries, profiling/debugging tools, compiler, "
+           "management tools. Higher languages are translated to the PTX "
+           "virtual ISA, then compiled to SASS. As the reference for the "
+           "platform, support is very comprehensive. NVIDIA GPUs can also "
+           "be used by Clang via LLVM's PTX backend.", (10,)),
+        _D(2, ((NV, Model.CUDA, F),), "NVIDIA · CUDA · Fortran",
+           "CUDA Fortran, a proprietary Fortran extension, is supported "
+           "via the NVIDIA HPC SDK (-cuda in nvfortran), implementing most "
+           "CUDA API features in Fortran, modeled closely after the C++ "
+           "definitions. cuf kernels let the compiler generate GPU code "
+           "automatically. CUDA Fortran support was recently merged into "
+           "LLVM Flang.", (11,)),
+        _D(3, ((NV, Model.HIP, CPP),), "NVIDIA · HIP · C++",
+           "HIP programs can directly use NVIDIA GPUs via a CUDA backend. "
+           "API calls are named similarly (hipMalloc for cudaMalloc), "
+           "kernel syntax is identical, and HIP interfaces to CUDA "
+           "libraries exist (hipblasSaxpy for cublasSaxpy). Target NVIDIA "
+           "with HIP_PLATFORM=nvidia under hipcc; HIPIFY converts CUDA "
+           "sources to HIP.", (12,)),
+        _D(4, ((NV, Model.HIP, F), (AMD, Model.HIP, F)),
+           "NVIDIA, AMD · HIP · Fortran",
+           "No Fortran version of HIP exists; HIP is solely a C/C++ "
+           "model. AMD offers hipfort (MIT-licensed): ready-made "
+           "interfaces to the HIP API and ROCm libraries implementing C "
+           "functionality, with CUDA-like Fortran extensions to write "
+           "kernels.", (13,)),
+        _D(5, ((NV, Model.SYCL, CPP),), "NVIDIA · SYCL · C++",
+           "No direct SYCL support by NVIDIA, but several venues exist: "
+           "DPC++ (Intel's open-source LLVM project, also a oneAPI "
+           "plugin), Open SYCL (previously hipSYCL) via LLVM CUDA or "
+           "nvc++, and formerly ComputeCpp (unsupported since September "
+           "2023). SYCLomatic translates CUDA code to SYCL.", (14, 15)),
+        _D(6, ((NV, Model.SYCL, F), (AMD, Model.SYCL, F), (INT, Model.SYCL, F)),
+           "NVIDIA, AMD, Intel · SYCL · Fortran",
+           "SYCL is a C++-based programming model (C++17) and by its "
+           "nature does not support Fortran; no pre-made bindings are "
+           "available.", (16,)),
+        _D(7, ((NV, Model.OPENACC, CPP),), "NVIDIA · OpenACC · C++",
+           "Most extensive support through the NVIDIA HPC SDK (nvc/nvc++, "
+           "-acc -gpu), conforming to OpenACC 2.7 — very comprehensive. "
+           "GCC supports OpenACC 2.6 since GCC 5.0 via nvptx "
+           "(-fopenacc). Clacc implements OpenACC in LLVM by translating "
+           "to OpenMP in the Clang frontend.", (17, 18, 19, 20)),
+        _D(8, ((NV, Model.OPENACC, F),), "NVIDIA · OpenACC · Fortran",
+           "Similar to C++: NVHPC nvfortran, GCC gfortran (identical "
+           "options), LLVM Flang via the Flacc contributions, and the HPE "
+           "Cray Programming Environment (ftn -hacc).", (17, 18, 21)),
+        _D(9, ((NV, Model.OPENMP, CPP),), "NVIDIA · OpenMP · C++",
+           "Offloading supported through multiple venues: NVHPC (nvc/"
+           "nvc++, -mp) implements only a subset of OpenMP 5.0; GCC "
+           "(-fopenmp, -foffload) has complete 4.5 with 5.x in progress; "
+           "Clang implements 4.5 and selected 5.0/5.1; HPE Cray CE a "
+           "subset of 5.0/5.1; AMD's AOMP also supports NVIDIA GPUs.",
+           (17, 22, 23, 24)),
+        _D(10, ((NV, Model.OPENMP, F),), "NVIDIA · OpenMP · Fortran",
+           "Nearly identical to C/C++: NVHPC nvfortran, GCC gfortran, "
+           "LLVM Flang (-mp), and the HPE Cray Programming Environment.",
+           (17, 22, 24, 25)),
+        _D(11, ((NV, Model.STANDARD, CPP),), "NVIDIA · Standard · C++",
+           "Parallel algorithms of the C++ standard library offload via "
+           "nvc++ -stdpar=gpu. Open SYCL is adding pSTL support "
+           "(--hipsycl-stdpar), and Intel's oneDPL reaches NVIDIA GPUs "
+           "through DPC++'s CUDA support.", (17, 15, 26)),
+        _D(12, ((NV, Model.STANDARD, F),), "NVIDIA · Standard · Fortran",
+           "Fortran standard parallelism (do concurrent) offloads through "
+           "nvfortran -stdpar=gpu.", (17,)),
+        _D(13, ((NV, Model.KOKKOS, CPP),), "NVIDIA · Kokkos · C++",
+           "Kokkos supports NVIDIA GPUs with multiple backends: native "
+           "CUDA (nvcc), NVHPC (nvc++), and Clang (CUDA directly or via "
+           "OpenMP offload).", (27,)),
+        _D(14, ((NV, Model.KOKKOS, F), (AMD, Model.KOKKOS, F),
+                (INT, Model.KOKKOS, F)),
+           "NVIDIA, AMD, Intel · Kokkos · Fortran",
+           "Kokkos is a C++ model, but the official Fortran Language "
+           "Compatibility Layer (FLCL) lets Fortran use GPUs as supported "
+           "by Kokkos C++.", (27,)),
+        _D(15, ((NV, Model.ALPAKA, CPP),), "NVIDIA · Alpaka · C++",
+           "Alpaka supports NVIDIA GPUs in C++17, through nvcc or Clang's "
+           "CUDA support.", (28,)),
+        _D(16, ((NV, Model.ALPAKA, F), (AMD, Model.ALPAKA, F),
+                (INT, Model.ALPAKA, F)),
+           "NVIDIA, AMD, Intel · Alpaka · Fortran",
+           "Alpaka is a C++ programming model and no ready-made Fortran "
+           "support exists.", (28,)),
+        _D(17, ((NV, Model.PYTHON, PY),), "NVIDIA · etc · Python",
+           "Multiple venues: NVIDIA's CUDA Python low-level bindings "
+           "(cuda-python), community PyCUDA, CuPy (NumPy-compatible "
+           "arrays, custom kernels, library bindings), Numba (JIT "
+           "decorators), and cuNumeric (NumPy API over Legate for "
+           "multi-GPU).", (29, 30, 31, 32, 33)),
+        _D(18, ((AMD, Model.CUDA, CPP),), "AMD · CUDA · C++",
+           "CUDA is not directly supported on AMD GPUs, but AMD's HIPIFY "
+           "translates CUDA to HIP; translated code runs under hipcc with "
+           "HIP_PLATFORM=amd.", (12,)),
+        _D(19, ((AMD, Model.CUDA, F),), "AMD · CUDA · Fortran",
+           "No direct CUDA Fortran support; AMD's GPUFORT source-to-source "
+           "translator converts some CUDA Fortran to Fortran+OpenMP (AOMP) "
+           "or Fortran+hipfort with extracted C kernels. Coverage is "
+           "use-case driven; the last commit is two years old.", (34,)),
+        _D(20, ((AMD, Model.HIP, CPP),), "AMD · HIP · C++",
+           "HIP C++ is the native model for AMD GPUs and fully supports "
+           "them, as part of the mostly open-source ROCm platform. hipcc "
+           "is a compiler driver around AMD's Clang (AMDGPU backend); use "
+           "HIP_PLATFORM=amd and --offload-arch=gfx90a.", (12,)),
+        _D(21, ((AMD, Model.SYCL, CPP),), "AMD · SYCL · C++",
+           "No direct SYCL support by AMD; Open SYCL supports AMD GPUs via "
+           "HIP/ROCm in Clang, and DPC++ (open source or the oneAPI "
+           "toolkit's ROCm plugin) also targets AMD. Unlike CUDA, no "
+           "SYCLomatic-style conversion exists for HIP.", (15, 14)),
+        _D(22, ((AMD, Model.OPENACC, CPP),), "AMD · OpenACC · C++",
+           "Not supported by AMD itself; third-party support through GCC "
+           "(-fopenacc -foffload=amdgcn-amdhsa) and Clacc (OpenACC-to-"
+           "OpenMP in Clang, -fopenmp-targets=amdgcn-amd-amdhsa). Intel's "
+           "OpenACC-to-OpenMP translator can also be used.", (18, 19)),
+        _D(23, ((AMD, Model.OPENACC, F),), "AMD · OpenACC · Fortran",
+           "No native support; AMD's GPUFORT (research, stale) translates "
+           "OpenACC Fortran to OpenMP or hipfort. Community support "
+           "through GCC gfortran and upcoming in LLVM (Flacc); the HPE "
+           "Cray Programming Environment supports OpenACC Fortran on AMD "
+           "GPUs; Intel's translator applies too.", (34, 18, 21)),
+        _D(24, ((AMD, Model.OPENMP, CPP),), "AMD · OpenMP · C++",
+           "AMD offers AOMP, a dedicated Clang-based offload compiler "
+           "shipped with ROCm, supporting most OpenMP 4.5 and some 5.0 "
+           "features (-fopenmp). The HPE Cray PE also supports OpenMP on "
+           "AMD GPUs.", (35, 7, 24)),
+        _D(25, ((AMD, Model.OPENMP, F),), "AMD · OpenMP · Fortran",
+           "Through AOMP's flang executable with Clang-typical options "
+           "(-fopenmp); also supported by the HPE Cray Programming "
+           "Environment.", (35, 24)),
+        _D(26, ((AMD, Model.STANDARD, CPP),), "AMD · Standard · C++",
+           "No production-grade support yet. roc-stdpar (ROCm Standard "
+           "Parallelism Runtime, -stdpar) is under development aiming at "
+           "upstream LLVM; Open SYCL is adding --hipsycl-stdpar; oneDPL "
+           "reaches AMD GPUs through DPC++'s experimental AMD support.",
+           (36, 15, 26)),
+        _D(27, ((AMD, Model.STANDARD, F),), "AMD · Standard · Fortran",
+           "There is no (known) way to launch standard-based parallel "
+           "Fortran algorithms on AMD GPUs."),
+        _D(28, ((AMD, Model.KOKKOS, CPP),), "AMD · Kokkos · C++",
+           "Kokkos supports AMD GPUs mainly through the HIP/ROCm backend; "
+           "an OpenMP offloading backend is also available.", (27,)),
+        _D(29, ((AMD, Model.ALPAKA, CPP),), "AMD · Alpaka · C++",
+           "Alpaka supports AMD GPUs through HIP or through an OpenMP "
+           "backend.", (28,)),
+        _D(30, ((AMD, Model.PYTHON, PY),), "AMD · etc · Python",
+           "AMD does not officially support Python GPU programming; "
+           "third-party: CuPy experimentally supports ROCm "
+           "(cupy-rocm-5-0), Numba's AMD support is unmaintained, "
+           "low-level bindings exist (PyHIP, PyOpenCL).", (29,)),
+        _D(31, ((INT, Model.CUDA, CPP),), "Intel · CUDA · C++",
+           "Intel does not support CUDA C/C++ on their GPUs but offers "
+           "SYCLomatic (open source; commercially the DPC++ Compatibility "
+           "Tool) to translate CUDA to SYCL. The community project "
+           "chipStar (previously CHIP-SPV, 1.0) targets Intel GPUs from "
+           "CUDA via Clang (cuspv); ZLUDA existed but is unmaintained.",
+           (37, 38, 39)),
+        _D(32, ((INT, Model.CUDA, F),), "Intel · CUDA · Fortran",
+           "No direct support. A simple example binds SYCL to a (CUDA) "
+           "Fortran program via ISO_C_BINDING."),
+        _D(33, ((INT, Model.HIP, CPP),), "Intel · HIP · C++",
+           "No native support; chipStar supports HIP on Intel GPUs by "
+           "mapping it to OpenCL or Level Zero, via an LLVM-based "
+           "toolchain using HIP and SPIR-V functionality.", (38,)),
+        _D(34, ((INT, Model.HIP, F),), "Intel · HIP · Fortran",
+           "HIP for Fortran does not exist, and there are no translation "
+           "efforts for Intel GPUs."),
+        _D(35, ((INT, Model.SYCL, CPP),), "Intel · SYCL · C++",
+           "SYCL (C++17-based) is Intel's prime programming model for "
+           "their GPUs, implemented via DPC++ (LLVM fork being "
+           "upstreamed; commercial Intel oneAPI DPC++). Open SYCL also "
+           "supports Intel GPUs via SPIR-V or Level Zero; ComputeCpp was "
+           "retired in September 2023.", (14, 39, 15)),
+        _D(36, ((INT, Model.OPENACC, CPP),), "Intel · OpenACC · C++",
+           "No direct support; Intel offers a Python-based source "
+           "translator, the Application Migration Tool for OpenACC to "
+           "OpenMP API.", (40,)),
+        _D(37, ((INT, Model.OPENACC, F),), "Intel · OpenACC · Fortran",
+           "No direct support; Intel's OpenACC-to-OpenMP migration tool "
+           "also handles Fortran.", (40,)),
+        _D(38, ((INT, Model.OPENMP, CPP),), "Intel · OpenMP · C++",
+           "OpenMP is a second key model for Intel GPUs, built into Intel "
+           "oneAPI DPC++/C++ (icpx -qopenmp -fopenmp-targets=spir64): all "
+           "OpenMP 4.5 and most 5.0/5.1 features.", (39,)),
+        _D(39, ((INT, Model.OPENMP, F),), "Intel · OpenMP · Fortran",
+           "Intel's main route for Fortran applications: OpenMP offload in "
+           "the LLVM-based ifx compiler (-qopenmp "
+           "-fopenmp-targets=spir64), part of the oneAPI HPC Toolkit.",
+           (39,)),
+        _D(40, ((INT, Model.STANDARD, CPP),), "Intel · Standard · C++",
+           "Intel supports the pSTL through the open-source oneDPL over "
+           "DPC++; algorithms and policies live in the oneapi::dpl:: "
+           "namespace. Open SYCL is adding --hipsycl-stdpar.", (26,)),
+        _D(41, ((INT, Model.STANDARD, F),), "Intel · Standard · Fortran",
+           "do concurrent offload is supported through ifx (since oneAPI "
+           "2022.1, extended since), enabled via -qopenmp with "
+           "-fopenmp-target-do-concurrent and -fopenmp-targets=spir64.",
+           (39,)),
+        _D(42, ((INT, Model.KOKKOS, CPP),), "Intel · Kokkos · C++",
+           "No direct support by Intel; Kokkos targets Intel GPUs through "
+           "an experimental SYCL backend.", (27,)),
+        _D(43, ((INT, Model.ALPAKA, CPP),), "Intel · Alpaka · C++",
+           "Since v0.9.0, Alpaka contains experimental SYCL support "
+           "targeting Intel GPUs; an OpenMP fallback exists."),
+        _D(44, ((INT, Model.PYTHON, PY),), "Intel · etc · Python",
+           "Three notable Intel packages: dpctl (low-level SYCL bindings), "
+           "numba-dpex (Numba JIT extension), and dpnp (NumPy API "
+           "extension), the latest versions partly GitHub-only.",
+           (41, 42, 43)),
+    )
+}
+
+assert len(DESCRIPTIONS) == 44, f"expected 44 descriptions, got {len(DESCRIPTIONS)}"
+
+#: Cell -> description number (covers all 51 cells).
+CELL_TO_DESCRIPTION: dict[tuple[Vendor, Model, Language], int] = {
+    cell: d.number for d in DESCRIPTIONS.values() for cell in d.cells
+}
+
+assert len(CELL_TO_DESCRIPTION) == 51
+
+
+def describe_cell(vendor: Vendor, model: Model, language: Language) -> Description:
+    """The §4 description covering one Figure 1 cell."""
+    return DESCRIPTIONS[CELL_TO_DESCRIPTION[(vendor, model, language)]]

@@ -1,0 +1,87 @@
+"""Snapshot diffing: tracking the evolving landscape (§5 Topicality).
+
+"Of course, the landscape of Figure 1 evolves swiftly; the progress is
+tracked in a GitHub repository, open for suggestions" (§6).  This
+module is that tracking machinery: diff two snapshots of the matrix and
+produce a changelog of cells whose ratings moved, with direction and
+justification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.descriptions import CELL_TO_DESCRIPTION
+from repro.data.snapshots import Snapshot, SnapshotCell
+from repro.enums import Language, Model, SupportCategory, Vendor, all_cells
+
+
+@dataclass(frozen=True)
+class CellChange:
+    """One cell whose rating changed between snapshots."""
+
+    vendor: Vendor
+    model: Model
+    language: Language
+    old: SnapshotCell
+    new: SnapshotCell
+
+    @property
+    def direction(self) -> str:
+        if self.new.primary.rank > self.old.primary.rank:
+            return "improved"
+        if self.new.primary.rank < self.old.primary.rank:
+            return "regressed"
+        return "re-rated"
+
+    @property
+    def description_number(self) -> int:
+        return CELL_TO_DESCRIPTION[(self.vendor, self.model, self.language)]
+
+    def summary(self) -> str:
+        def fmt(cell: SnapshotCell) -> str:
+            text = cell.primary.label
+            if cell.secondary is not None:
+                text += f" + {cell.secondary.label}"
+            return text
+
+        return (f"{self.vendor.value} · {self.model.value} · "
+                f"{self.language.value}: {fmt(self.old)} -> {fmt(self.new)} "
+                f"[{self.direction}] (description {self.description_number})")
+
+
+def diff(old: Snapshot, new: Snapshot) -> list[CellChange]:
+    """Cells whose (primary, secondary) rating changed between snapshots."""
+    changes: list[CellChange] = []
+    for key in all_cells():
+        old_cell = old.cells[key]
+        new_cell = new.cells[key]
+        if (old_cell.primary, old_cell.secondary) != (
+                new_cell.primary, new_cell.secondary):
+            changes.append(CellChange(*key, old=old_cell, new=new_cell))
+    return changes
+
+
+def changelog(old: Snapshot, new: Snapshot) -> str:
+    """Human-readable changelog between two snapshots."""
+    changes = diff(old, new)
+    lines = [
+        f"changes {old.name} ({old.date}) -> {new.name} ({new.date}): "
+        f"{len(changes)} of {len(all_cells())} cells",
+        "",
+    ]
+    for change in changes:
+        lines.append(change.summary())
+        if change.new.note:
+            lines.append(f"    why: {change.new.note}")
+    improved = sum(1 for c in changes if c.direction == "improved")
+    regressed = sum(1 for c in changes if c.direction == "regressed")
+    lines += ["", f"improved: {improved}, regressed: {regressed}, "
+                  f"re-rated: {len(changes) - improved - regressed}"]
+    return "\n".join(lines)
+
+
+def stability(old: Snapshot, new: Snapshot) -> float:
+    """Fraction of cells whose rating did not change."""
+    total = len(all_cells())
+    return (total - len(diff(old, new))) / total

@@ -1,0 +1,184 @@
+"""The extended matrix: RAJA and OpenCL columns (beyond Figure 1).
+
+§5 names RAJA and OpenCL as the most notable exclusions from the
+paper's model selection and explains both choices.  This module is the
+"further models" extension the discussion invites: the same route →
+probe → classify machinery applied to two extra columns, with expected
+ratings that are **this reproduction's own assessment** (clearly not
+from Figure 1), each justified against §5's prose:
+
+* RAJA "is similar in spirit to ... Kokkos" — and measures like it:
+  comprehensive community support on NVIDIA/AMD, an experimental SYCL
+  backend for Intel;
+* OpenCL "never gained much traction ... mostly due to the lukewarm
+  support by NVIDIA" — the NVIDIA driver's 1.2-era feature set measures
+  *some support*, AMD's 2.0 runtime likewise, Intel's complete runtime
+  *full support*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classifier import DEFAULT_THRESHOLDS, Thresholds
+from repro.core.matrix import CellResult, CompatibilityMatrix, evaluate_route
+from repro.core.probes import PROBE_SUITES, Probe
+from repro.core.routes import Route
+from repro.enums import (
+    EXTENDED_MODEL_ORDER,
+    MODEL_LANGUAGES,
+    VENDOR_ORDER,
+    Language,
+    Maturity,
+    Mechanism,
+    Model,
+    Provider,
+    SupportCategory,
+    Vendor,
+)
+from repro.gpu.runtime import System
+
+C = SupportCategory
+CPP = Language.CPP
+
+# Register the extension probe suites alongside the Figure 1 ones.
+PROBE_SUITES.setdefault("raja", (
+    Probe("forall over range segments", "probe_forall"),
+    Probe("ReduceSum reducers", "probe_reduce"),
+    Probe("nested kernel policies", "probe_kernel_nested"),
+    Probe("exclusive scan", "probe_scan"),
+))
+PROBE_SUITES.setdefault("opencl", (
+    Probe("kernels, buffers, program build", "probe_kernels"),
+    Probe("command queues", "probe_queues"),
+    Probe("event profiling", "probe_events"),
+    Probe("shared virtual memory (2.0)", "probe_svm"),
+    Probe("sub-group operations (2.1)", "probe_subgroups"),
+))
+
+
+def _raja(policy: str):
+    def make(device):
+        from repro.models.raja import Raja
+
+        return Raja(device, policy=policy)
+
+    return make
+
+
+def _opencl():
+    def make(device):
+        from repro.models.opencl import ClContext
+
+        return ClContext(device)
+
+    return make
+
+
+_R = Route
+NV, AMD, INTEL = Vendor.NVIDIA, Vendor.AMD, Vendor.INTEL
+
+#: Extension routes (description_id 0: not a §4 entry).
+EXTENDED_ROUTES: tuple[Route, ...] = (
+    _R("ext-nv-raja-cpp", NV, Model.RAJA, CPP, Provider.COMMUNITY,
+       Mechanism.LAYERED, Maturity.PRODUCTION, "RAJA CUDA backend",
+       "RAJA::cuda_exec (nvcc)", "raja", _raja("cuda_exec"), 0),
+    _R("ext-amd-raja-cpp", AMD, Model.RAJA, CPP, Provider.COMMUNITY,
+       Mechanism.LAYERED, Maturity.PRODUCTION, "RAJA HIP backend",
+       "RAJA::hip_exec (hipcc)", "raja", _raja("hip_exec"), 0),
+    _R("ext-intel-raja-cpp", INTEL, Model.RAJA, CPP, Provider.COMMUNITY,
+       Mechanism.LAYERED, Maturity.EXPERIMENTAL,
+       "RAJA SYCL backend (experimental)", "RAJA::sycl_exec (dpcpp)",
+       "raja", _raja("sycl_exec"), 0),
+    _R("ext-nv-opencl-cpp", NV, Model.OPENCL, CPP, Provider.NVIDIA,
+       Mechanism.NATIVE, Maturity.PRODUCTION, "NVIDIA OpenCL driver",
+       "libOpenCL (1.2-era)", "opencl", _opencl(), 0),
+    _R("ext-amd-opencl-cpp", AMD, Model.OPENCL, CPP, Provider.AMD,
+       Mechanism.NATIVE, Maturity.PRODUCTION, "ROCm OpenCL",
+       "rocm-opencl-runtime (2.0)", "opencl", _opencl(), 0),
+    _R("ext-intel-opencl-cpp", INTEL, Model.OPENCL, CPP, Provider.INTEL,
+       Mechanism.NATIVE, Maturity.PRODUCTION, "Intel Compute Runtime",
+       "intel-compute-runtime (3.0)", "opencl", _opencl(), 0),
+)
+
+
+@dataclass(frozen=True)
+class ExtendedExpectation:
+    """Our (non-paper) expected rating, justified against §5 prose."""
+
+    primary: SupportCategory
+    rationale: str
+
+
+EXTENDED_EXPECTED: dict[tuple[Vendor, Model, Language], ExtendedExpectation] = {
+    (NV, Model.RAJA, CPP): ExtendedExpectation(
+        C.NONVENDOR, "similar in spirit to Kokkos: comprehensive community "
+                     "support via the CUDA backend"),
+    (AMD, Model.RAJA, CPP): ExtendedExpectation(
+        C.NONVENDOR, "comprehensive community support via the HIP backend"),
+    (INTEL, Model.RAJA, CPP): ExtendedExpectation(
+        C.LIMITED, "SYCL backend experimental, like Kokkos's "
+                   "(description 42 analogue)"),
+    (NV, Model.OPENCL, CPP): ExtendedExpectation(
+        C.SOME, "§5: 'lukewarm support by NVIDIA' — the driver's 1.2-era "
+                "feature set (no SVM, no sub-groups)"),
+    (AMD, Model.OPENCL, CPP): ExtendedExpectation(
+        C.SOME, "ROCm OpenCL stops at 2.0 (no sub-group extensions)"),
+    (INTEL, Model.OPENCL, CPP): ExtendedExpectation(
+        C.FULL, "Intel's compute runtime is complete (OpenCL is the "
+                "sibling of Level Zero)"),
+}
+
+
+def extended_cells() -> list[tuple[Vendor, Model, Language]]:
+    """The six extension cells (RAJA/OpenCL are C++-only)."""
+    return [
+        (vendor, model, language)
+        for vendor in VENDOR_ORDER
+        for model in EXTENDED_MODEL_ORDER
+        for language in MODEL_LANGUAGES[model]
+    ]
+
+
+def build_extended_matrix(system: System | None = None,
+                          thresholds: Thresholds = DEFAULT_THRESHOLDS
+                          ) -> CompatibilityMatrix:
+    """Probe the extension routes and classify, like Figure 1's build."""
+    if system is None:
+        system = System.default()
+    cells: dict = {}
+    for key in extended_cells():
+        cell = CellResult(*key)
+        for route in EXTENDED_ROUTES:
+            if (route.vendor, route.model, route.language) == key:
+                cell.routes.append(evaluate_route(route, system, thresholds))
+        cells[key] = cell
+    return CompatibilityMatrix(cells=cells, thresholds=thresholds)
+
+
+def render_extended_text(matrix: CompatibilityMatrix) -> str:
+    """Monospace table of the two extension columns."""
+    lines = [
+        "Extended columns (this reproduction's assessment, not Figure 1)",
+        "",
+        " " * 8 + "RAJA   OpenCL",
+        " " * 8 + "C++    C++",
+        "-" * 24,
+    ]
+    for vendor in VENDOR_ORDER:
+        row = vendor.value.ljust(8)
+        for model in EXTENDED_MODEL_ORDER:
+            cell = matrix.cell(vendor, model, CPP)
+            row += cell.primary.symbol.ljust(7)
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def compare_extended(matrix: CompatibilityMatrix) -> list[tuple]:
+    """Mismatches between derived and expected extension ratings."""
+    mismatches = []
+    for key, expectation in EXTENDED_EXPECTED.items():
+        derived = matrix.cell(*key).primary
+        if derived is not expectation.primary:
+            mismatches.append((key, expectation.primary, derived))
+    return mismatches

@@ -1,0 +1,158 @@
+"""Building the compatibility matrix (Figure 1) empirically.
+
+:func:`build_matrix` walks all 51 (vendor, model, language) cells,
+runs every registered route's probe suite on the corresponding
+simulated device, classifies each route with the §3 rules, and
+aggregates per cell:
+
+* **primary** rating — the best category any route achieves;
+* **secondary** rating — the best category achieved by the *other*
+  provider class (vendor vs. community), when it differs; this is how
+  the paper's dual-rated cells (NVIDIA·Python, Intel·CUDA·C++, §5)
+  arise naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classifier import (
+    DEFAULT_THRESHOLDS,
+    Thresholds,
+    classify_route,
+    provider_class,
+)
+from repro.core.probes import PROBE_SUITES, SuiteResult, run_probe_suite
+from repro.core.routes import Route, routes_for
+from repro.enums import (
+    Language,
+    Model,
+    SupportCategory,
+    Vendor,
+    all_cells,
+)
+from repro.gpu.runtime import System
+
+
+@dataclass
+class RouteResult:
+    """One route's measured outcome."""
+
+    route: Route
+    suite: SuiteResult
+    category: SupportCategory
+
+    @property
+    def coverage(self) -> float:
+        return self.suite.coverage
+
+
+@dataclass
+class CellResult:
+    """One Figure 1 cell: ratings plus the evidence behind them."""
+
+    vendor: Vendor
+    model: Model
+    language: Language
+    routes: list[RouteResult] = field(default_factory=list)
+
+    @property
+    def primary(self) -> SupportCategory:
+        cats = [r.category for r in self.routes
+                if r.category is not SupportCategory.NONE]
+        if not cats:
+            return SupportCategory.NONE
+        return max(cats, key=lambda c: c.rank)
+
+    @property
+    def secondary(self) -> SupportCategory | None:
+        """Best category of the provider class that does not own primary."""
+        primary = self.primary
+        if primary is SupportCategory.NONE:
+            return None
+        best_route = max(
+            (r for r in self.routes if r.category is not SupportCategory.NONE),
+            key=lambda r: r.category.rank,
+        )
+        own_class = provider_class(best_route.route)
+        other = [
+            r.category
+            for r in self.routes
+            if provider_class(r.route) != own_class
+            and r.category is not SupportCategory.NONE
+        ]
+        if not other:
+            return None
+        cat = max(other, key=lambda c: c.rank)
+        return cat if cat is not primary else None
+
+    @property
+    def categories(self) -> set[SupportCategory]:
+        return {r.category for r in self.routes} or {SupportCategory.NONE}
+
+    def best_route(self) -> RouteResult | None:
+        usable = [r for r in self.routes if r.category is not SupportCategory.NONE]
+        if not usable:
+            return None
+        return max(usable, key=lambda r: (r.category.rank, r.coverage))
+
+
+@dataclass
+class CompatibilityMatrix:
+    """The derived Figure 1."""
+
+    cells: dict[tuple[Vendor, Model, Language], CellResult]
+    thresholds: Thresholds
+
+    def cell(self, vendor: Vendor, model: Model, language: Language) -> CellResult:
+        return self.cells[(vendor, model, language)]
+
+    def __iter__(self):
+        return iter(self.cells.values())
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def n_routes(self) -> int:
+        return sum(len(c.routes) for c in self.cells.values())
+
+    def supported_cells(self) -> list[CellResult]:
+        return [c for c in self if c.primary is not SupportCategory.NONE]
+
+
+def evaluate_route(route: Route, system: System,
+                   thresholds: Thresholds = DEFAULT_THRESHOLDS,
+                   probe_filter=None) -> RouteResult:
+    """Probe one route on its vendor's device and classify it."""
+    device = system.device(route.vendor)
+    probes = PROBE_SUITES[route.probe_suite]
+    if probe_filter is not None:
+        probes = tuple(p for p in probes if probe_filter(p))
+    suite = run_probe_suite(route, device, probes)
+    category = classify_route(route, suite.coverage, thresholds)
+    return RouteResult(route=route, suite=suite, category=category)
+
+
+def build_matrix(system: System | None = None,
+                 thresholds: Thresholds = DEFAULT_THRESHOLDS,
+                 probe_filter=None) -> CompatibilityMatrix:
+    """Derive the full 51-cell matrix by probing every route.
+
+    Args:
+        system: Simulated machine (defaults to one flagship per vendor).
+        thresholds: Classifier cut-points (ablation hook).
+        probe_filter: Optional predicate on :class:`Probe` restricting
+            the suites (ablation hook: probe-suite sensitivity).
+    """
+    if system is None:
+        system = System.default()
+    cells: dict[tuple[Vendor, Model, Language], CellResult] = {}
+    for vendor, model, language in all_cells():
+        cell = CellResult(vendor=vendor, model=model, language=language)
+        for route in routes_for(vendor, model, language):
+            cell.routes.append(
+                evaluate_route(route, system, thresholds, probe_filter)
+            )
+        cells[(vendor, model, language)] = cell
+    return CompatibilityMatrix(cells=cells, thresholds=thresholds)

@@ -1,0 +1,196 @@
+"""Probe suites: the executable basis of the support ratings.
+
+A *probe* is a small, numerically verified program exercising one
+capability a §4 description hinges on (async streams, managed memory,
+an OpenMP 5.0 metadirective, a Kokkos TeamPolicy...).  Each programming
+model defines its probe methods on its runtime (``probe_*``); this
+module groups them into per-model suites and runs a route's suite
+against a device.
+
+Coverage — the fraction of probes that compile *and* produce correct
+results — is what the §3 classifier consumes.  A fresh runtime is
+constructed per probe so no state (e.g. accumulated feature tags)
+bleeds between measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ReproError
+from repro.gpu.device import Device
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.routes import Route
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One capability probe: a label plus the runtime method to call."""
+
+    label: str
+    method: str
+
+
+#: Per-model probe suites.  Order is stable (reports index into it).
+PROBE_SUITES: dict[str, tuple[Probe, ...]] = {
+    "cuda_cpp": (
+        Probe("kernel definition, launch, memcpy", "probe_kernels"),
+        Probe("asynchronous streams", "probe_streams"),
+        Probe("event timing", "probe_events"),
+        Probe("managed (unified) memory", "probe_managed"),
+        Probe("vendor BLAS libraries", "probe_libraries"),
+        Probe("task graphs", "probe_graphs"),
+        Probe("cooperative groups", "probe_cooperative"),
+    ),
+    "cuda_fortran": (
+        Probe("explicit Fortran kernels + memcpy", "probe_kernels"),
+        Probe("!$cuf auto-parallelized kernels", "probe_cuf_kernels"),
+        Probe("asynchronous streams", "probe_streams"),
+        Probe("event timing", "probe_events"),
+    ),
+    "hip_cpp": (
+        Probe("kernel definition, launch, memcpy", "probe_kernels"),
+        Probe("asynchronous streams", "probe_streams"),
+        Probe("event timing", "probe_events"),
+        Probe("hipBLAS libraries", "probe_libraries"),
+        Probe("hipGraph capture/replay", "probe_graphs"),
+    ),
+    "hip_fortran": (
+        Probe("kernels via Fortran interfaces", "probe_kernels"),
+        Probe("asynchronous streams", "probe_streams"),
+        Probe("event timing", "probe_events"),
+        Probe("hipBLAS interfaces", "probe_libraries"),
+        Probe("hipGraph capture/replay", "probe_graphs"),
+    ),
+    "sycl_cpp": (
+        Probe("queues + USM device memory", "probe_queues"),
+        Probe("buffers and accessors", "probe_buffers"),
+        Probe("nd_range with local memory", "probe_nd_range"),
+        Probe("USM shared allocations", "probe_usm_shared"),
+        Probe("sycl::reduction", "probe_reduction"),
+        Probe("profiling events", "probe_events"),
+    ),
+    "openmp": (
+        Probe("target teams distribute parallel for + map", "probe_target"),
+        Probe("target reductions", "probe_reduction"),
+        Probe("collapse(2) loop nests", "probe_collapse"),
+        Probe("simd construct", "probe_simd"),
+        Probe("loop construct (5.0)", "probe_loop_construct"),
+        Probe("metadirective (5.0)", "probe_metadirective"),
+        Probe("declare variant (5.0)", "probe_declare_variant"),
+        Probe("unified shared memory (5.0)", "probe_usm"),
+        Probe("assume (5.1)", "probe_assume"),
+        Probe("masked (5.1)", "probe_masked"),
+    ),
+    "openacc": (
+        Probe("parallel loop regions", "probe_parallel"),
+        Probe("kernels construct", "probe_kernels_construct"),
+        Probe("structured data regions", "probe_data_region"),
+        Probe("reductions", "probe_reduction"),
+        Probe("gang/worker/vector mapping", "probe_gang_vector"),
+        Probe("async queues + wait", "probe_async_wait"),
+        Probe("serial construct (3.0)", "probe_serial"),
+    ),
+    "stdpar_cpp": (
+        Probe("for_each(par_unseq)", "probe_for_each"),
+        Probe("transform", "probe_transform"),
+        Probe("reduce", "probe_reduce"),
+        Probe("transform_reduce", "probe_transform_reduce"),
+        Probe("inclusive_scan", "probe_scan"),
+        Probe("sort", "probe_sort"),
+        Probe("algorithms in namespace std::", "probe_std_namespace"),
+    ),
+    "stdpar_fortran": (
+        Probe("do concurrent offload", "probe_do_concurrent"),
+        Probe("locality specifiers", "probe_locality"),
+        Probe("reduce clauses (F2023)", "probe_reduce"),
+    ),
+    "kokkos": (
+        Probe("parallel_for over RangePolicy", "probe_range_for"),
+        Probe("parallel_reduce", "probe_reduce"),
+        Probe("views + deep_copy", "probe_views"),
+        Probe("MDRangePolicy", "probe_mdrange"),
+        Probe("TeamPolicy", "probe_teams"),
+        Probe("parallel_scan", "probe_scan"),
+    ),
+    "alpaka": (
+        Probe("kernel execution", "probe_exec"),
+        Probe("explicit work divisions", "probe_workdiv"),
+        Probe("buffer management", "probe_buffers"),
+        Probe("reductions", "probe_reduce"),
+    ),
+    "python": (
+        Probe("NumPy-style ufunc expressions", "probe_ufuncs"),
+        Probe("custom kernels from Python", "probe_custom_kernel"),
+        Probe("device reductions", "probe_reduction"),
+        Probe("streams from Python", "probe_streams"),
+        Probe("library (BLAS) bindings", "probe_blas"),
+        Probe("NumPy interop", "probe_numpy_interop"),
+    ),
+}
+
+
+@dataclass
+class ProbeOutcome:
+    """Result of one probe on one route."""
+
+    probe: Probe
+    passed: bool
+    error: str = ""
+
+
+@dataclass
+class SuiteResult:
+    """Probe-suite outcome for one route on one device."""
+
+    suite: str
+    outcomes: list[ProbeOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for o in self.outcomes if o.passed)
+
+    @property
+    def coverage(self) -> float:
+        return self.passed / self.total if self.total else 0.0
+
+    @property
+    def failures(self) -> list[ProbeOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+
+def run_probe_suite(route: "Route", device: Device,
+                    probes: tuple[Probe, ...] | None = None) -> SuiteResult:
+    """Run a route's probe suite on a device.
+
+    Every probe gets a freshly constructed runtime (via the route's
+    factory).  Any :class:`~repro.errors.ReproError` — compile
+    rejection, missing feature, API gap, wrong numerics — fails that
+    probe; unexpected exception types propagate (they indicate
+    simulator bugs, not compatibility gaps).
+    """
+    if probes is None:
+        probes = PROBE_SUITES[route.probe_suite]
+    result = SuiteResult(suite=route.probe_suite)
+    for probe in probes:
+        try:
+            runtime = route.runtime_factory(device)
+            method: Callable[[], None] = getattr(runtime, probe.method)
+            method()
+        except ReproError as exc:
+            result.outcomes.append(
+                ProbeOutcome(probe, passed=False, error=f"{type(exc).__name__}: {exc}")
+            )
+        except AttributeError as exc:
+            result.outcomes.append(
+                ProbeOutcome(probe, passed=False, error=f"not exposed: {exc}")
+            )
+        else:
+            result.outcomes.append(ProbeOutcome(probe, passed=True))
+    return result

@@ -1,0 +1,228 @@
+"""Renderers for the compatibility matrix (Figure 1).
+
+The paper's acknowledgments describe the real pipeline: "source data in
+YAML form with conversion to HTML and TeX".  This module reproduces
+that: the derived (or reconstructed) matrix renders as a terminal
+table, Markdown, HTML, TeX, and the YAML source-data form.
+
+All renderers share one tabular model: vendors as rows, the eight
+C++/Fortran model columns plus Python, a symbol per cell (two symbols
+for dual-rated cells), and the §3 category legend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.categories import CATEGORY_DETAILS, legend_lines
+from repro.core.matrix import CompatibilityMatrix
+from repro.data.paper_matrix import PAPER_MATRIX
+from repro.enums import (
+    MODEL_LANGUAGES,
+    MODEL_ORDER,
+    VENDOR_ORDER,
+    Language,
+    Model,
+    SupportCategory,
+    Vendor,
+)
+
+#: (category-primary, category-secondary-or-None) per cell.
+CellRating = tuple[SupportCategory, SupportCategory | None]
+RatingLookup = Callable[[Vendor, Model, Language], CellRating]
+
+
+def matrix_lookup(matrix: CompatibilityMatrix) -> RatingLookup:
+    """Rating lookup over a derived matrix."""
+
+    def look(vendor: Vendor, model: Model, language: Language) -> CellRating:
+        cell = matrix.cell(vendor, model, language)
+        return cell.primary, cell.secondary
+
+    return look
+
+
+def paper_lookup() -> RatingLookup:
+    """Rating lookup over the reconstructed published matrix."""
+
+    def look(vendor: Vendor, model: Model, language: Language) -> CellRating:
+        cell = PAPER_MATRIX[(vendor, model, language)]
+        return cell.primary, cell.secondary
+
+    return look
+
+
+def _columns() -> list[tuple[Model, Language]]:
+    cols: list[tuple[Model, Language]] = []
+    for model in MODEL_ORDER:
+        for language in MODEL_LANGUAGES[model]:
+            cols.append((model, language))
+    return cols
+
+
+def _symbol(rating: CellRating) -> str:
+    primary, secondary = rating
+    if secondary is not None:
+        return f"{primary.symbol}{secondary.symbol}"
+    return primary.symbol
+
+
+# ---------------------------------------------------------------------------
+# Terminal / plain text
+# ---------------------------------------------------------------------------
+
+
+def render_text(lookup: RatingLookup, title: str = "Figure 1") -> str:
+    """Monospace rendering in the layout of Figure 1."""
+    cols = _columns()
+    lang_short = {Language.CPP: "C++", Language.FORTRAN: "F", Language.PYTHON: "Py"}
+    width = 7
+
+    lines = [title, ""]
+    header1 = " " * 8
+    prev_model = None
+    for model, _lang in cols:
+        header1 += (model.value if model is not prev_model else "").ljust(width)
+        prev_model = model
+    header2 = " " * 8 + "".join(
+        lang_short[lang].ljust(width) for _m, lang in cols
+    )
+    lines += [header1.rstrip(), header2.rstrip()]
+    lines.append("-" * (8 + width * len(cols)))
+    for vendor in VENDOR_ORDER:
+        row = vendor.value.ljust(8)
+        for model, lang in cols:
+            row += _symbol(lookup(vendor, model, lang)).ljust(width)
+        lines.append(row.rstrip())
+    lines += ["", "Legend:"] + legend_lines()
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Markdown
+# ---------------------------------------------------------------------------
+
+
+def render_markdown(lookup: RatingLookup, title: str = "Figure 1") -> str:
+    cols = _columns()
+    lang_short = {Language.CPP: "C++", Language.FORTRAN: "Fortran",
+                  Language.PYTHON: "Python"}
+    head = "| Vendor | " + " | ".join(
+        f"{m.value} {lang_short[l]}" if m is not Model.PYTHON else "Python"
+        for m, l in cols
+    ) + " |"
+    sep = "|" + "---|" * (len(cols) + 1)
+    rows = []
+    for vendor in VENDOR_ORDER:
+        cells = " | ".join(_symbol(lookup(vendor, m, l)) for m, l in cols)
+        rows.append(f"| {vendor.value} | {cells} |")
+    legend = "\n".join(
+        f"- {c.symbol} — {c.label}: {CATEGORY_DETAILS[c].definition}"
+        for c in CATEGORY_DETAILS
+    )
+    return f"## {title}\n\n{head}\n{sep}\n" + "\n".join(rows) + f"\n\n{legend}\n"
+
+
+# ---------------------------------------------------------------------------
+# HTML (the gpu-lang-compat page form)
+# ---------------------------------------------------------------------------
+
+
+def render_html(lookup: RatingLookup, title: str = "Figure 1") -> str:
+    cols = _columns()
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{title}</title>",
+        "<style>table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:4px 8px;text-align:center}"
+        "caption{font-weight:bold;padding:6px}</style>",
+        "</head><body>",
+        f"<table><caption>{title}</caption>",
+    ]
+    header = "<tr><th></th>" + "".join(
+        f"<th>{m.value}<br><small>{l.value}</small></th>" for m, l in cols
+    ) + "</tr>"
+    parts.append(header)
+    for vendor in VENDOR_ORDER:
+        cells = "".join(
+            f"<td title='{lookup(vendor, m, l)[0].label}'>"
+            f"{_symbol(lookup(vendor, m, l))}</td>"
+            for m, l in cols
+        )
+        parts.append(f"<tr><th>{vendor.value}</th>{cells}</tr>")
+    parts.append("</table><ul>")
+    for cat, detail in CATEGORY_DETAILS.items():
+        parts.append(f"<li>{cat.symbol} <b>{cat.label}</b>: {detail.definition}</li>")
+    parts.append("</ul></body></html>")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# TeX
+# ---------------------------------------------------------------------------
+
+
+def render_tex(lookup: RatingLookup, title: str = "Figure 1") -> str:
+    cols = _columns()
+    colspec = "l" + "c" * len(cols)
+    lines = [
+        "% generated by repro.core.render",
+        "\\begin{table}",
+        f"  \\caption{{{title}}}",
+        f"  \\begin{{tabular}}{{{colspec}}}",
+        "    \\toprule",
+    ]
+    head = "    Vendor & " + " & ".join(
+        f"\\rotatebox{{90}}{{{m.value} {l.value}}}" for m, l in cols
+    ) + " \\\\"
+    lines += [head, "    \\midrule"]
+    macro = {
+        SupportCategory.FULL: "\\fullsupport",
+        SupportCategory.INDIRECT: "\\indirectsupport",
+        SupportCategory.SOME: "\\somesupport",
+        SupportCategory.NONVENDOR: "\\nonvendorsupport",
+        SupportCategory.LIMITED: "\\limitedsupport",
+        SupportCategory.NONE: "\\nosupport",
+    }
+    for vendor in VENDOR_ORDER:
+        cells = []
+        for m, l in cols:
+            primary, secondary = lookup(vendor, m, l)
+            tex = macro[primary]
+            if secondary is not None:
+                tex += macro[secondary]
+            cells.append(tex)
+        lines.append(f"    {vendor.value} & " + " & ".join(cells) + " \\\\")
+    lines += ["    \\bottomrule", "  \\end{tabular}", "\\end{table}"]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# YAML source data (the author's repository format)
+# ---------------------------------------------------------------------------
+
+
+def render_yaml(lookup: RatingLookup) -> str:
+    """Emit the matrix as YAML source data (no external YAML dependency)."""
+    lines = ["# GPU vendor / programming model compatibility data",
+             "# categories: " + ", ".join(c.label for c in CATEGORY_DETAILS)]
+    for vendor in VENDOR_ORDER:
+        lines.append(f"{vendor.value}:")
+        for model, lang in _columns():
+            primary, secondary = lookup(vendor, model, lang)
+            key = f"{model.value}-{lang.value}".replace("+", "p").lower()
+            entry = f"  {key}: {primary.label}"
+            if secondary is not None:
+                entry += f" / {secondary.label}"
+            lines.append(entry)
+    return "\n".join(lines) + "\n"
+
+
+RENDERERS: dict[str, Callable[[RatingLookup], str]] = {
+    "text": render_text,
+    "markdown": render_markdown,
+    "html": render_html,
+    "tex": render_tex,
+    "yaml": lambda look: render_yaml(look),
+}

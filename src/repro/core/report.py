@@ -1,0 +1,133 @@
+"""Derived-vs-paper comparison: the agreement report.
+
+Compares the probe-derived matrix against the reconstructed published
+ratings cell by cell, with the §5-flagged ambivalent cells broken out
+separately (they are the cells the paper itself says are debatable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.matrix import CompatibilityMatrix
+from repro.data.paper_matrix import PAPER_MATRIX, PaperCell
+from repro.enums import Language, Model, SupportCategory, Vendor, all_cells
+
+#: The cells §5 discusses as ambivalent ratings.
+AMBIVALENT_CELLS: tuple[tuple[Vendor, Model, Language], ...] = (
+    (Vendor.NVIDIA, Model.OPENMP, Language.CPP),
+    (Vendor.NVIDIA, Model.PYTHON, Language.PYTHON),
+    (Vendor.AMD, Model.STANDARD, Language.CPP),
+    (Vendor.INTEL, Model.CUDA, Language.CPP),
+    (Vendor.INTEL, Model.STANDARD, Language.CPP),
+)
+
+
+@dataclass
+class CellComparison:
+    """One cell's derived-vs-paper outcome."""
+
+    vendor: Vendor
+    model: Model
+    language: Language
+    expected: PaperCell
+    derived_primary: SupportCategory
+    derived_secondary: SupportCategory | None
+
+    @property
+    def primary_match(self) -> bool:
+        return self.derived_primary is self.expected.primary
+
+    @property
+    def secondary_match(self) -> bool:
+        if self.expected.secondary is None:
+            return True
+        return self.derived_secondary is self.expected.secondary
+
+    @property
+    def match(self) -> bool:
+        return self.primary_match and self.secondary_match
+
+    @property
+    def is_ambivalent(self) -> bool:
+        return (self.vendor, self.model, self.language) in AMBIVALENT_CELLS
+
+
+@dataclass
+class AgreementReport:
+    """Full 51-cell agreement summary."""
+
+    comparisons: list[CellComparison] = field(default_factory=list)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.comparisons)
+
+    @property
+    def n_primary_matches(self) -> int:
+        return sum(1 for c in self.comparisons if c.primary_match)
+
+    @property
+    def n_full_matches(self) -> int:
+        return sum(1 for c in self.comparisons if c.match)
+
+    @property
+    def agreement(self) -> float:
+        return self.n_primary_matches / self.n_cells if self.n_cells else 0.0
+
+    @property
+    def mismatches(self) -> list[CellComparison]:
+        return [c for c in self.comparisons if not c.match]
+
+    def ambivalent(self) -> list[CellComparison]:
+        return [c for c in self.comparisons if c.is_ambivalent]
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"cells compared:        {self.n_cells}",
+            f"primary matches:       {self.n_primary_matches}/{self.n_cells} "
+            f"({self.agreement:.1%})",
+            f"primary+dual matches:  {self.n_full_matches}/{self.n_cells}",
+            "",
+            "ambivalent cells (flagged in the paper's own discussion, §5):",
+        ]
+        for c in self.ambivalent():
+            got = c.derived_primary.label
+            if c.derived_secondary:
+                got += f" / {c.derived_secondary.label}"
+            want = c.expected.primary.label
+            if c.expected.secondary:
+                want += f" / {c.expected.secondary.label}"
+            tick = "ok" if c.match else "MISMATCH"
+            lines.append(
+                f"  {c.vendor.value:7s} {c.model.value:9s} "
+                f"{c.language.value:8s} paper={want:40s} derived={got:40s} {tick}"
+            )
+        if self.mismatches:
+            lines.append("")
+            lines.append("mismatching cells:")
+            for c in self.mismatches:
+                lines.append(
+                    f"  {c.vendor.value} · {c.model.value} · {c.language.value}: "
+                    f"paper={c.expected.primary.label}, "
+                    f"derived={c.derived_primary.label}"
+                )
+        return lines
+
+
+def compare(matrix: CompatibilityMatrix) -> AgreementReport:
+    """Compare a derived matrix against the reconstructed Figure 1."""
+    report = AgreementReport()
+    for key in all_cells():
+        cell = matrix.cell(*key)
+        report.comparisons.append(
+            CellComparison(
+                vendor=key[0],
+                model=key[1],
+                language=key[2],
+                expected=PAPER_MATRIX[key],
+                derived_primary=cell.primary,
+                derived_secondary=cell.secondary,
+            )
+        )
+    return report

@@ -1,0 +1,498 @@
+"""The route registry: every support route named in §4.
+
+A :class:`Route` is one concrete way to drive one GPU platform from one
+(programming model, language) pair — a toolchain, a translator +
+toolchain chain, a layered library over a backend, or a Python package.
+The paper identifies "more than 50 routes"; this registry enumerates
+them with the provenance data (provider, mechanism, maturity) the §3
+classifier needs, plus a factory that builds a runnable runtime for the
+probe suite.
+
+The registry is *the* executable encoding of §4: each route cites its
+description number, and the probe-measured coverage of these routes is
+what regenerates Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.enums import Language, Maturity, Mechanism, Model, Provider, Vendor
+from repro.gpu.device import Device
+
+CPP = Language.CPP
+F = Language.FORTRAN
+PY = Language.PYTHON
+
+
+@dataclass(frozen=True)
+class Route:
+    """One support route for a (vendor, model, language) cell."""
+
+    route_id: str
+    vendor: Vendor
+    model: Model
+    language: Language
+    provider: Provider
+    mechanism: Mechanism
+    maturity: Maturity
+    label: str
+    via: str  # the toolchain/translator/package chain, human-readable
+    probe_suite: str
+    runtime_factory: Callable[[Device], object]
+    description_id: int  # the §4 entry this route appears in
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Route {self.route_id} via {self.via}>"
+
+
+# -- runtime factories -------------------------------------------------------
+# Imports happen inside the factories so importing the registry stays cheap.
+
+
+def _cuda(toolchain: str, language: Language = CPP, translator=None):
+    def make(device: Device):
+        from repro.models.cuda import Cuda
+
+        rt = Cuda(device, toolchain, language=language)
+        if translator is not None:
+            rt.translator = translator()
+        return rt
+
+    return make
+
+
+def _hip(toolchain: str, language: Language = CPP):
+    def make(device: Device):
+        from repro.models.hip import Hip
+
+        return Hip(device, toolchain, language=language)
+
+    return make
+
+
+def _sycl(toolchain: str):
+    def make(device: Device):
+        from repro.models.sycl import SyclQueue
+
+        return SyclQueue(device, toolchain)
+
+    return make
+
+
+def _openmp(toolchain: str, language: Language = CPP):
+    def make(device: Device):
+        from repro.models.openmp import OpenMP
+
+        return OpenMP(device, toolchain, language=language)
+
+    return make
+
+
+def _openacc(toolchain: str, language: Language = CPP, translator=None):
+    def make(device: Device):
+        from repro.models.openacc import OpenACC
+
+        rt = OpenACC(device, toolchain, language=language)
+        if translator is not None:
+            rt.translator = translator()
+        return rt
+
+    return make
+
+
+def _stdpar(toolchain: str):
+    def make(device: Device):
+        from repro.models.stdpar import StdPar
+
+        return StdPar(device, toolchain)
+
+    return make
+
+
+def _doconcurrent(toolchain: str):
+    def make(device: Device):
+        from repro.models.stdpar import DoConcurrent
+
+        return DoConcurrent(device, toolchain)
+
+    return make
+
+
+def _kokkos(backend: str, toolchain: str | None = None, flcl: bool = False):
+    def make(device: Device):
+        from repro.models.kokkos import FLCL, Kokkos
+
+        cls = FLCL if flcl else Kokkos
+        return cls(device, backend=backend, toolchain=toolchain)
+
+    return make
+
+
+def _alpaka(accelerator: str):
+    def make(device: Device):
+        from repro.models.alpaka import Alpaka
+
+        return Alpaka(device, accelerator=accelerator)
+
+    return make
+
+
+def _pypkg(name: str):
+    def make(device: Device):
+        from repro.models.pymodels import make_package
+
+        return make_package(name, device)
+
+    return make
+
+
+def _hipify():
+    from repro.translate import Hipify
+
+    return Hipify()
+
+
+def _syclomatic():
+    from repro.translate import Syclomatic
+
+    return Syclomatic()
+
+
+def _gpufort_cuda():
+    from repro.enums import Model as M
+    from repro.translate import Gpufort
+
+    return Gpufort(source=M.CUDA)
+
+
+def _gpufort_acc():
+    from repro.enums import Model as M
+    from repro.translate import Gpufort
+
+    return Gpufort(source=M.OPENACC)
+
+
+def _acc2omp():
+    from repro.translate import AccToOmp
+
+    return AccToOmp()
+
+
+def _acc_translated(toolchain: str, language: Language = CPP):
+    return _openacc(toolchain, language, translator=_acc2omp)
+
+
+def _gpufort_acc_runtime(language: Language = F):
+    def make(device: Device):
+        from repro.models.openacc import OpenACC
+
+        rt = OpenACC(device, "aomp", language=language)
+        rt.translator = _gpufort_acc()
+        return rt
+
+    return make
+
+
+# -- the registry ---------------------------------------------------------------
+
+_R = Route
+_PROD = Maturity.PRODUCTION
+_EXP = Maturity.EXPERIMENTAL
+_RES = Maturity.RESEARCH
+_DEAD = Maturity.UNMAINTAINED
+
+NV, AMD, INTEL = Vendor.NVIDIA, Vendor.AMD, Vendor.INTEL
+P_NV, P_AMD, P_INT = Provider.NVIDIA, Provider.AMD, Provider.INTEL
+P_COM, P_HPE = Provider.COMMUNITY, Provider.HPE
+NAT, MAP, TRA, LAY, BIN = (
+    Mechanism.NATIVE, Mechanism.MAPPING, Mechanism.TRANSLATION,
+    Mechanism.LAYERED, Mechanism.BINDINGS,
+)
+
+
+def _build_registry() -> list[Route]:
+    routes: list[Route] = []
+    add = routes.append
+
+    # ---------------- NVIDIA ----------------
+    add(_R("nv-cuda-cpp-nvcc", NV, Model.CUDA, CPP, P_NV, NAT, _PROD,
+           "CUDA Toolkit", "nvcc", "cuda_cpp", _cuda("nvcc"), 1))
+    add(_R("nv-cuda-cpp-nvhpc", NV, Model.CUDA, CPP, P_NV, NAT, _PROD,
+           "NVIDIA HPC SDK", "nvc++ -cuda", "cuda_cpp", _cuda("nvhpc"), 1))
+    add(_R("nv-cuda-cpp-clang", NV, Model.CUDA, CPP, P_COM, NAT, _PROD,
+           "Clang CUDA support", "clang++ (LLVM PTX)", "cuda_cpp",
+           _cuda("clang"), 1))
+    add(_R("nv-cuda-f-nvhpc", NV, Model.CUDA, F, P_NV, NAT, _PROD,
+           "CUDA Fortran", "nvfortran -cuda", "cuda_fortran",
+           _cuda("nvhpc", F), 2))
+    add(_R("nv-cuda-f-flang", NV, Model.CUDA, F, P_COM, NAT, _EXP,
+           "CUDA Fortran in Flang (recently merged)", "flang (LLVM main)",
+           "cuda_fortran", _cuda("flang-cuda", F), 2))
+    add(_R("nv-hip-cpp-hipcc", NV, Model.HIP, CPP, P_AMD, MAP, _PROD,
+           "HIP CUDA backend", "hipcc, HIP_PLATFORM=nvidia", "hip_cpp",
+           _hip("hipcc"), 3))
+    add(_R("nv-hip-f-hipfort", NV, Model.HIP, F, P_AMD, BIN, _PROD,
+           "hipfort interfaces", "hipfort + gfortran (CUDA backend)",
+           "hip_fortran", _hip("hipfort", F), 4))
+    add(_R("nv-sycl-cpp-dpcpp", NV, Model.SYCL, CPP, P_INT, NAT, _PROD,
+           "DPC++ CUDA plugin", "dpcpp (LLVM PTX)", "sycl_cpp",
+           _sycl("dpcpp"), 5))
+    add(_R("nv-sycl-cpp-opensycl", NV, Model.SYCL, CPP, P_COM, NAT, _PROD,
+           "Open SYCL", "opensycl (CUDA/LLVM or nvc++)", "sycl_cpp",
+           _sycl("opensycl"), 5))
+    add(_R("nv-sycl-cpp-computecpp", NV, Model.SYCL, CPP, P_COM, NAT, _DEAD,
+           "ComputeCpp (retired)", "computecpp", "sycl_cpp",
+           _sycl("computecpp"), 5))
+    add(_R("nv-acc-cpp-nvhpc", NV, Model.OPENACC, CPP, P_NV, NAT, _PROD,
+           "NVHPC OpenACC", "nvc++ -acc -gpu", "openacc",
+           _openacc("nvhpc"), 7))
+    add(_R("nv-acc-cpp-gcc", NV, Model.OPENACC, CPP, P_COM, NAT, _PROD,
+           "GCC OpenACC", "g++ -fopenacc (nvptx)", "openacc",
+           _openacc("gcc"), 7))
+    add(_R("nv-acc-cpp-clacc", NV, Model.OPENACC, CPP, P_COM, TRA, _PROD,
+           "Clacc", "clacc-clang -fopenacc (ACC->OMP)", "openacc",
+           _openacc("clacc"), 7))
+    add(_R("nv-acc-f-nvhpc", NV, Model.OPENACC, F, P_NV, NAT, _PROD,
+           "NVHPC OpenACC Fortran", "nvfortran -acc", "openacc",
+           _openacc("nvhpc", F), 8))
+    add(_R("nv-acc-f-gcc", NV, Model.OPENACC, F, P_COM, NAT, _PROD,
+           "GCC OpenACC Fortran", "gfortran -fopenacc", "openacc",
+           _openacc("gcc", F), 8))
+    add(_R("nv-acc-f-flacc", NV, Model.OPENACC, F, P_COM, NAT, _EXP,
+           "Flacc (in progress)", "flang -fopenacc", "openacc",
+           _openacc("flacc", F), 8))
+    add(_R("nv-acc-f-cray", NV, Model.OPENACC, F, P_HPE, NAT, _PROD,
+           "HPE Cray PE", "ftn -hacc", "openacc", _openacc("cray-ce", F), 8))
+    add(_R("nv-omp-cpp-nvhpc", NV, Model.OPENMP, CPP, P_NV, NAT, _PROD,
+           "NVHPC OpenMP", "nvc++ -mp=gpu", "openmp", _openmp("nvhpc"), 9))
+    add(_R("nv-omp-cpp-gcc", NV, Model.OPENMP, CPP, P_COM, NAT, _PROD,
+           "GCC OpenMP offload", "g++ -fopenmp -foffload=nvptx-none",
+           "openmp", _openmp("gcc"), 9))
+    add(_R("nv-omp-cpp-clang", NV, Model.OPENMP, CPP, P_COM, NAT, _PROD,
+           "Clang OpenMP offload", "clang++ -fopenmp -fopenmp-targets=nvptx64",
+           "openmp", _openmp("clang"), 9))
+    add(_R("nv-omp-cpp-cray", NV, Model.OPENMP, CPP, P_HPE, NAT, _PROD,
+           "HPE Cray PE", "CC -fopenmp", "openmp", _openmp("cray-ce"), 9))
+    add(_R("nv-omp-cpp-aomp", NV, Model.OPENMP, CPP, P_AMD, NAT, _PROD,
+           "AOMP (NVIDIA target)", "aomp-clang -fopenmp", "openmp",
+           _openmp("aomp"), 9))
+    add(_R("nv-omp-f-nvhpc", NV, Model.OPENMP, F, P_NV, NAT, _PROD,
+           "NVHPC OpenMP Fortran", "nvfortran -mp=gpu", "openmp",
+           _openmp("nvhpc", F), 10))
+    add(_R("nv-omp-f-gcc", NV, Model.OPENMP, F, P_COM, NAT, _PROD,
+           "GCC gfortran offload", "gfortran -fopenmp", "openmp",
+           _openmp("gcc", F), 10))
+    add(_R("nv-omp-f-flang", NV, Model.OPENMP, F, P_COM, NAT, _PROD,
+           "LLVM Flang", "flang -mp", "openmp", _openmp("flang", F), 10))
+    add(_R("nv-omp-f-cray", NV, Model.OPENMP, F, P_HPE, NAT, _PROD,
+           "HPE Cray PE Fortran", "ftn -fopenmp", "openmp",
+           _openmp("cray-ce", F), 10))
+    add(_R("nv-std-cpp-nvhpc", NV, Model.STANDARD, CPP, P_NV, NAT, _PROD,
+           "NVHPC stdpar", "nvc++ -stdpar=gpu", "stdpar_cpp",
+           _stdpar("nvhpc"), 11))
+    add(_R("nv-std-cpp-onedpl", NV, Model.STANDARD, CPP, P_INT, LAY, _PROD,
+           "oneDPL via DPC++ PTX", "onedpl + dpcpp", "stdpar_cpp",
+           _stdpar("onedpl"), 11))
+    add(_R("nv-std-cpp-opensycl", NV, Model.STANDARD, CPP, P_COM, LAY, _EXP,
+           "Open SYCL stdpar", "--hipsycl-stdpar", "stdpar_cpp",
+           _stdpar("opensycl-stdpar"), 11))
+    add(_R("nv-std-f-nvhpc", NV, Model.STANDARD, F, P_NV, NAT, _PROD,
+           "NVHPC do concurrent", "nvfortran -stdpar=gpu", "stdpar_fortran",
+           _doconcurrent("nvhpc"), 12))
+    add(_R("nv-kokkos-cpp-cuda", NV, Model.KOKKOS, CPP, P_COM, LAY, _PROD,
+           "Kokkos CUDA backend", "Kokkos::Cuda (nvcc)", "kokkos",
+           _kokkos("cuda"), 13))
+    add(_R("nv-kokkos-cpp-omp", NV, Model.KOKKOS, CPP, P_COM, LAY, _PROD,
+           "Kokkos OpenMP-offload backend", "Kokkos (clang++ OpenMP)",
+           "kokkos", _kokkos("openmp"), 13))
+    add(_R("nv-kokkos-f-flcl", NV, Model.KOKKOS, F, P_COM, BIN, _PROD,
+           "Kokkos FLCL", "FLCL over Kokkos::Cuda", "kokkos",
+           _kokkos("cuda", flcl=True), 14))
+    add(_R("nv-alpaka-cpp", NV, Model.ALPAKA, CPP, P_COM, LAY, _PROD,
+           "Alpaka CUDA backend", "AccGpuCudaRt (nvcc/clang)", "alpaka",
+           _alpaka("AccGpuCudaRt"), 15))
+    add(_R("nv-py-cudapython", NV, Model.PYTHON, PY, P_NV, NAT, _PROD,
+           "CUDA Python", "cuda-python (PyPI)", "python",
+           _pypkg("cuda-python"), 17))
+    add(_R("nv-py-cupy", NV, Model.PYTHON, PY, P_COM, LAY, _PROD,
+           "CuPy", "cupy-cuda12x (PyPI)", "python", _pypkg("cupy"), 17))
+    add(_R("nv-py-pycuda", NV, Model.PYTHON, PY, P_COM, BIN, _PROD,
+           "PyCUDA", "pycuda (PyPI)", "python", _pypkg("pycuda"), 17))
+    add(_R("nv-py-numba", NV, Model.PYTHON, PY, P_COM, LAY, _PROD,
+           "Numba", "numba @cuda.jit (PyPI)", "python", _pypkg("numba"), 17))
+
+    # ---------------- AMD ----------------
+    add(_R("amd-cuda-cpp-hipify", AMD, Model.CUDA, CPP, P_AMD, TRA, _PROD,
+           "HIPIFY + ROCm", "hipify-clang -> hipcc, HIP_PLATFORM=amd",
+           "cuda_cpp", _cuda("hipcc", translator=_hipify), 18))
+    add(_R("amd-cuda-f-gpufort", AMD, Model.CUDA, F, P_AMD, TRA, _RES,
+           "GPUFORT (research)", "gpufort -> Fortran+OpenMP (AOMP)",
+           "cuda_fortran",
+           _cuda("aomp", F, translator=_gpufort_cuda), 19))
+    add(_R("amd-hip-cpp-hipcc", AMD, Model.HIP, CPP, P_AMD, NAT, _PROD,
+           "ROCm HIP", "hipcc --offload-arch=gfx90a", "hip_cpp",
+           _hip("hipcc"), 20))
+    add(_R("amd-hip-f-hipfort", AMD, Model.HIP, F, P_AMD, BIN, _PROD,
+           "hipfort interfaces", "hipfort + gfortran", "hip_fortran",
+           _hip("hipfort", F), 4))
+    add(_R("amd-sycl-cpp-opensycl", AMD, Model.SYCL, CPP, P_COM, NAT, _PROD,
+           "Open SYCL", "opensycl (HIP/ROCm in Clang)", "sycl_cpp",
+           _sycl("opensycl"), 21))
+    add(_R("amd-sycl-cpp-dpcpp", AMD, Model.SYCL, CPP, P_INT, NAT, _PROD,
+           "DPC++ ROCm plugin", "dpcpp (AMD plugin)", "sycl_cpp",
+           _sycl("dpcpp"), 21))
+    add(_R("amd-acc-cpp-gcc", AMD, Model.OPENACC, CPP, P_COM, NAT, _PROD,
+           "GCC OpenACC", "g++ -fopenacc -foffload=amdgcn-amdhsa",
+           "openacc", _openacc("gcc"), 22))
+    add(_R("amd-acc-cpp-clacc", AMD, Model.OPENACC, CPP, P_COM, TRA, _PROD,
+           "Clacc", "clacc-clang -fopenmp-targets=amdgcn-amd-amdhsa",
+           "openacc", _openacc("clacc"), 22))
+    add(_R("amd-acc-cpp-acc2omp", AMD, Model.OPENACC, CPP, P_INT, TRA, _PROD,
+           "Intel ACC->OMP migration tool", "acc2omp -> aomp", "openacc",
+           _acc_translated("aomp"), 22))
+    add(_R("amd-acc-f-gpufort", AMD, Model.OPENACC, F, P_AMD, TRA, _RES,
+           "GPUFORT (research)", "gpufort -> Fortran+OpenMP (AOMP)",
+           "openacc", _gpufort_acc_runtime(), 23))
+    add(_R("amd-acc-f-gcc", AMD, Model.OPENACC, F, P_COM, NAT, _PROD,
+           "GCC gfortran OpenACC", "gfortran -fopenacc", "openacc",
+           _openacc("gcc", F), 23))
+    add(_R("amd-acc-f-flacc", AMD, Model.OPENACC, F, P_COM, NAT, _EXP,
+           "Flacc (in progress)", "flang -fopenacc", "openacc",
+           _openacc("flacc", F), 23))
+    add(_R("amd-acc-f-cray", AMD, Model.OPENACC, F, P_HPE, NAT, _PROD,
+           "HPE Cray PE", "ftn -hacc", "openacc",
+           _openacc("cray-ce", F), 23))
+    add(_R("amd-omp-cpp-aomp", AMD, Model.OPENMP, CPP, P_AMD, NAT, _PROD,
+           "AOMP", "aomp-clang -fopenmp", "openmp", _openmp("aomp"), 24))
+    add(_R("amd-omp-cpp-gcc", AMD, Model.OPENMP, CPP, P_COM, NAT, _PROD,
+           "GCC OpenMP offload", "g++ -fopenmp -foffload=amdgcn", "openmp",
+           _openmp("gcc"), 24))
+    add(_R("amd-omp-cpp-clang", AMD, Model.OPENMP, CPP, P_COM, NAT, _PROD,
+           "Clang OpenMP offload", "clang++ -fopenmp-targets=amdgcn",
+           "openmp", _openmp("clang"), 24))
+    add(_R("amd-omp-cpp-cray", AMD, Model.OPENMP, CPP, P_HPE, NAT, _PROD,
+           "HPE Cray PE", "CC -fopenmp", "openmp", _openmp("cray-ce"), 24))
+    add(_R("amd-omp-f-aomp", AMD, Model.OPENMP, F, P_AMD, NAT, _PROD,
+           "AOMP flang", "flang -fopenmp", "openmp", _openmp("aomp", F), 25))
+    add(_R("amd-omp-f-gcc", AMD, Model.OPENMP, F, P_COM, NAT, _PROD,
+           "GCC gfortran offload", "gfortran -fopenmp", "openmp",
+           _openmp("gcc", F), 25))
+    add(_R("amd-omp-f-cray", AMD, Model.OPENMP, F, P_HPE, NAT, _PROD,
+           "HPE Cray PE Fortran", "ftn -fopenmp", "openmp",
+           _openmp("cray-ce", F), 25))
+    add(_R("amd-std-cpp-rocstdpar", AMD, Model.STANDARD, CPP, P_AMD, NAT, _EXP,
+           "roc-stdpar (in development)", "-stdpar (pre-upstream)",
+           "stdpar_cpp", _stdpar("roc-stdpar"), 26))
+    add(_R("amd-std-cpp-opensycl", AMD, Model.STANDARD, CPP, P_COM, LAY, _EXP,
+           "Open SYCL stdpar", "--hipsycl-stdpar", "stdpar_cpp",
+           _stdpar("opensycl-stdpar"), 26))
+    add(_R("amd-std-cpp-onedpl", AMD, Model.STANDARD, CPP, P_INT, LAY, _EXP,
+           "oneDPL via DPC++ (experimental AMD)", "onedpl + dpcpp ROCm",
+           "stdpar_cpp", _stdpar("onedpl"), 26))
+    add(_R("amd-kokkos-cpp-hip", AMD, Model.KOKKOS, CPP, P_COM, LAY, _PROD,
+           "Kokkos HIP backend", "Kokkos::HIP (hipcc)", "kokkos",
+           _kokkos("hip"), 28))
+    add(_R("amd-kokkos-cpp-omp", AMD, Model.KOKKOS, CPP, P_COM, LAY, _PROD,
+           "Kokkos OpenMP-offload backend", "Kokkos (aomp)", "kokkos",
+           _kokkos("openmp", toolchain="aomp"), 28))
+    add(_R("amd-kokkos-f-flcl", AMD, Model.KOKKOS, F, P_COM, BIN, _PROD,
+           "Kokkos FLCL", "FLCL over Kokkos::HIP", "kokkos",
+           _kokkos("hip", flcl=True), 14))
+    add(_R("amd-alpaka-cpp", AMD, Model.ALPAKA, CPP, P_COM, LAY, _PROD,
+           "Alpaka HIP backend", "AccGpuHipRt (hipcc)", "alpaka",
+           _alpaka("AccGpuHipRt"), 29))
+    add(_R("amd-py-cupyrocm", AMD, Model.PYTHON, PY, P_COM, LAY, _EXP,
+           "CuPy ROCm (experimental)", "cupy-rocm-5-0 (PyPI)", "python",
+           _pypkg("cupy-rocm"), 30))
+    add(_R("amd-py-pyhip", AMD, Model.PYTHON, PY, P_COM, BIN, _PROD,
+           "PyHIP", "pyhip-interface (PyPI)", "python", _pypkg("pyhip"), 30))
+    add(_R("amd-py-numba", AMD, Model.PYTHON, PY, P_COM, LAY, _DEAD,
+           "Numba ROC (unmaintained)", "numba.roc (removed)", "python",
+           _pypkg("numba-amd"), 30))
+    add(_R("amd-py-pyopencl", AMD, Model.PYTHON, PY, P_COM, BIN, _PROD,
+           "PyOpenCL", "pyopencl (PyPI, via ROCm OpenCL)", "python",
+           _pypkg("pyopencl"), 30))
+
+    # ---------------- Intel ----------------
+    add(_R("intel-cuda-cpp-syclomatic", INTEL, Model.CUDA, CPP, P_INT, TRA,
+           _PROD, "SYCLomatic + DPC++",
+           "syclomatic/DPC++ Compatibility Tool -> dpcpp", "cuda_cpp",
+           _cuda("dpcpp", translator=_syclomatic), 31))
+    add(_R("intel-cuda-cpp-chipstar", INTEL, Model.CUDA, CPP, P_COM, MAP,
+           _RES, "chipStar (research)", "cuspv (CUDA via Clang -> SPIR-V)",
+           "cuda_cpp", _cuda("chipstar"), 31))
+    add(_R("intel-cuda-cpp-zluda", INTEL, Model.CUDA, CPP, P_COM, MAP, _DEAD,
+           "ZLUDA (unmaintained)", "zluda", "cuda_cpp", _cuda("zluda"), 31))
+    add(_R("intel-hip-cpp-chipstar", INTEL, Model.HIP, CPP, P_COM, MAP, _RES,
+           "chipStar (research)", "chipStar (HIP -> OpenCL/Level Zero)",
+           "hip_cpp", _hip("chipstar"), 33))
+    add(_R("intel-sycl-cpp-dpcpp", INTEL, Model.SYCL, CPP, P_INT, NAT, _PROD,
+           "Intel oneAPI DPC++", "icpx -fsycl (SPIR-V/Level Zero)",
+           "sycl_cpp", _sycl("dpcpp"), 35))
+    add(_R("intel-sycl-cpp-opensycl", INTEL, Model.SYCL, CPP, P_COM, NAT,
+           _PROD, "Open SYCL", "opensycl (SPIR-V or Level Zero)", "sycl_cpp",
+           _sycl("opensycl"), 35))
+    add(_R("intel-sycl-cpp-computecpp", INTEL, Model.SYCL, CPP, P_COM, NAT,
+           _DEAD, "ComputeCpp (retired)", "computecpp", "sycl_cpp",
+           _sycl("computecpp"), 35))
+    add(_R("intel-acc-cpp-acc2omp", INTEL, Model.OPENACC, CPP, P_INT, TRA,
+           _PROD, "ACC->OMP migration tool",
+           "intel-application-migration-tool -> icpx", "openacc",
+           _acc_translated("dpcpp"), 36))
+    add(_R("intel-acc-f-acc2omp", INTEL, Model.OPENACC, F, P_INT, TRA, _PROD,
+           "ACC->OMP migration tool (Fortran)",
+           "intel-application-migration-tool -> ifx", "openacc",
+           _acc_translated("ifx", F), 37))
+    add(_R("intel-omp-cpp-icpx", INTEL, Model.OPENMP, CPP, P_INT, NAT, _PROD,
+           "Intel oneAPI DPC++/C++", "icpx -qopenmp -fopenmp-targets=spir64",
+           "openmp", _openmp("dpcpp"), 38))
+    add(_R("intel-omp-f-ifx", INTEL, Model.OPENMP, F, P_INT, NAT, _PROD,
+           "Intel Fortran (ifx)", "ifx -qopenmp -fopenmp-targets=spir64",
+           "openmp", _openmp("ifx", F), 39))
+    add(_R("intel-std-cpp-onedpl", INTEL, Model.STANDARD, CPP, P_INT, LAY,
+           _PROD, "oneDPL", "oneapi::dpl over DPC++", "stdpar_cpp",
+           _stdpar("onedpl"), 40))
+    add(_R("intel-std-cpp-opensycl", INTEL, Model.STANDARD, CPP, P_COM, LAY,
+           _EXP, "Open SYCL stdpar", "--hipsycl-stdpar", "stdpar_cpp",
+           _stdpar("opensycl-stdpar"), 40))
+    add(_R("intel-std-f-ifx", INTEL, Model.STANDARD, F, P_INT, NAT, _PROD,
+           "ifx do concurrent", "ifx -fopenmp-target-do-concurrent",
+           "stdpar_fortran", _doconcurrent("ifx"), 41))
+    add(_R("intel-kokkos-cpp-sycl", INTEL, Model.KOKKOS, CPP, P_COM, LAY,
+           _EXP, "Kokkos SYCL backend (experimental)",
+           "Kokkos::Experimental::SYCL (dpcpp)", "kokkos",
+           _kokkos("sycl"), 42))
+    add(_R("intel-kokkos-f-flcl", INTEL, Model.KOKKOS, F, P_COM, BIN, _EXP,
+           "Kokkos FLCL over SYCL backend", "FLCL + Kokkos SYCL", "kokkos",
+           _kokkos("sycl", flcl=True), 14))
+    add(_R("intel-alpaka-cpp", INTEL, Model.ALPAKA, CPP, P_COM, LAY, _EXP,
+           "Alpaka SYCL backend (experimental, v0.9.0)",
+           "AccGpuSyclIntel", "alpaka", _alpaka("AccGpuSyclIntel"), 43))
+    add(_R("intel-py-dpctl", INTEL, Model.PYTHON, PY, P_INT, NAT, _PROD,
+           "dpctl", "dpctl (PyPI)", "python", _pypkg("dpctl"), 44))
+    add(_R("intel-py-dpnp", INTEL, Model.PYTHON, PY, P_INT, LAY, _PROD,
+           "dpnp", "dpnp (PyPI/GitHub)", "python", _pypkg("dpnp"), 44))
+    add(_R("intel-py-numbadpex", INTEL, Model.PYTHON, PY, P_INT, LAY, _PROD,
+           "numba-dpex", "numba-dpex (Anaconda)", "python",
+           _pypkg("numba-dpex"), 44))
+
+    ids = [r.route_id for r in routes]
+    assert len(ids) == len(set(ids)), "duplicate route ids"
+    return routes
+
+
+@lru_cache(maxsize=1)
+def all_routes() -> tuple[Route, ...]:
+    """Every registered route (cached)."""
+    return tuple(_build_registry())
+
+
+def routes_for(vendor: Vendor, model: Model, language: Language) -> list[Route]:
+    """Routes for one Figure 1 cell (possibly empty — "no support")."""
+    return [
+        r for r in all_routes()
+        if r.vendor is vendor and r.model is model and r.language is language
+    ]

@@ -1,0 +1,198 @@
+"""Standard-conformance validation suites (V&V-style).
+
+The paper grounds several ratings in dedicated validation suites — the
+ECP SOLLVE OpenMP V&V suite [8, 51], the OpenACC V&V suite [9, 50] —
+and in the per-compiler feature tables of the 2022 ECP Community BoF
+[7].  This module reproduces that layer on the simulated ecosystem:
+
+* a **conformance suite** is a list of named, verified test programs,
+  each labeled with the standard version that introduced the feature;
+* :func:`run_conformance` runs a suite against one (toolchain, device)
+  pair and reports per-version conformance ("OpenMP 4.5: full, 5.0:
+  2/4, 5.1: none") — the shape of the SOLLVE status tables;
+* :func:`compiler_table` sweeps every toolchain that accepts the model
+  and renders the BoF-style compiler × version matrix.
+
+The suites deliberately reuse the probe programs (they are the
+executable feature definitions); what validation adds is the
+version-grouped, per-compiler reporting the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compilers.registry import all_toolchains
+from repro.enums import Language, Model
+from repro.errors import ReproError
+from repro.gpu.device import Device
+from repro.gpu.runtime import System
+
+
+@dataclass(frozen=True)
+class ConformanceTest:
+    """One V&V test: feature name, introducing version, runner method."""
+
+    name: str
+    version: str
+    method: str
+
+
+#: SOLLVE-style OpenMP offloading V&V suite.
+OPENMP_VV: tuple[ConformanceTest, ...] = (
+    ConformanceTest("target_teams_distribute", "4.5", "probe_target"),
+    ConformanceTest("target_reductions", "4.5", "probe_reduction"),
+    ConformanceTest("collapse_clauses", "4.5", "probe_collapse"),
+    ConformanceTest("simd_construct", "4.5", "probe_simd"),
+    ConformanceTest("loop_construct", "5.0", "probe_loop_construct"),
+    ConformanceTest("metadirective", "5.0", "probe_metadirective"),
+    ConformanceTest("declare_variant", "5.0", "probe_declare_variant"),
+    ConformanceTest("unified_shared_memory", "5.0", "probe_usm"),
+    ConformanceTest("assume_directive", "5.1", "probe_assume"),
+    ConformanceTest("masked_construct", "5.1", "probe_masked"),
+)
+
+#: OpenACC V&V suite (Jarmusch et al. cover 3.0 and above).
+OPENACC_VV: tuple[ConformanceTest, ...] = (
+    ConformanceTest("parallel_construct", "2.6", "probe_parallel"),
+    ConformanceTest("kernels_construct", "2.6", "probe_kernels_construct"),
+    ConformanceTest("data_regions", "2.6", "probe_data_region"),
+    ConformanceTest("reductions", "2.6", "probe_reduction"),
+    ConformanceTest("gang_worker_vector", "2.6", "probe_gang_vector"),
+    ConformanceTest("async_wait", "2.7", "probe_async_wait"),
+    ConformanceTest("serial_construct", "3.0", "probe_serial"),
+)
+
+SUITES: dict[Model, tuple[ConformanceTest, ...]] = {
+    Model.OPENMP: OPENMP_VV,
+    Model.OPENACC: OPENACC_VV,
+}
+
+
+@dataclass
+class TestOutcome:
+    test: ConformanceTest
+    passed: bool
+    error: str = ""
+
+
+@dataclass
+class ConformanceReport:
+    """Per-version conformance of one toolchain for one model/language."""
+
+    model: Model
+    language: Language
+    toolchain: str
+    device: str
+    outcomes: list[TestOutcome] = field(default_factory=list)
+
+    def versions(self) -> list[str]:
+        seen: list[str] = []
+        for outcome in self.outcomes:
+            if outcome.test.version not in seen:
+                seen.append(outcome.test.version)
+        return seen
+
+    def version_results(self, version: str) -> tuple[int, int]:
+        """(passed, total) for tests introduced in ``version``."""
+        relevant = [o for o in self.outcomes if o.test.version == version]
+        return sum(1 for o in relevant if o.passed), len(relevant)
+
+    def version_verdict(self, version: str) -> str:
+        passed, total = self.version_results(version)
+        if total == 0:
+            return "n/a"
+        if passed == total:
+            return "full"
+        if passed == 0:
+            return "none"
+        return f"partial ({passed}/{total})"
+
+    def conforms_to(self) -> str | None:
+        """Highest version with full conformance (cumulative)."""
+        best: str | None = None
+        for version in self.versions():
+            if self.version_verdict(version) == "full":
+                best = version
+            else:
+                break
+        return best
+
+    def summary(self) -> str:
+        parts = [f"{v}: {self.version_verdict(v)}" for v in self.versions()]
+        return (f"{self.toolchain:12s} {self.model.value}/"
+                f"{self.language.value:8s} on {self.device}: "
+                + ", ".join(parts))
+
+
+def _make_runtime(model: Model, language: Language, toolchain: str,
+                  device: Device):
+    if model is Model.OPENMP:
+        from repro.models.openmp import OpenMP
+
+        return OpenMP(device, toolchain, language=language)
+    if model is Model.OPENACC:
+        from repro.models.openacc import OpenACC
+
+        return OpenACC(device, toolchain, language=language)
+    raise KeyError(f"no conformance suite for {model.value}")
+
+
+def run_conformance(model: Model, language: Language, toolchain: str,
+                    device: Device) -> ConformanceReport:
+    """Run the model's V&V suite against one toolchain on one device."""
+    suite = SUITES[model]
+    report = ConformanceReport(
+        model=model, language=language, toolchain=toolchain,
+        device=device.spec.name,
+    )
+    for test in suite:
+        try:
+            runtime = _make_runtime(model, language, toolchain, device)
+            getattr(runtime, test.method)()
+        except ReproError as exc:
+            report.outcomes.append(
+                TestOutcome(test, False, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            report.outcomes.append(TestOutcome(test, True))
+    return report
+
+
+def compiler_table(model: Model, language: Language,
+                   system: System | None = None) -> list[ConformanceReport]:
+    """The ECP-BoF-style compiler table: every capable toolchain probed.
+
+    A toolchain appears once per vendor platform it can target for this
+    (model, language); the result is the familiar "which compiler
+    supports which version on which GPU" matrix.
+    """
+    if system is None:
+        system = System.default()
+    reports: list[ConformanceReport] = []
+    for tc in all_toolchains():
+        cap = tc.capability(model, language)
+        if cap is None:
+            continue
+        for device in system:
+            if device.isa in cap.targets:
+                reports.append(
+                    run_conformance(model, language, tc.name, device)
+                )
+    return reports
+
+
+def render_compiler_table(reports: list[ConformanceReport]) -> str:
+    """Monospace rendering of a compiler table."""
+    if not reports:
+        return "(no capable toolchains)"
+    versions = reports[0].versions()
+    header = (f"{'toolchain':14s} {'device':20s} "
+              + " ".join(f"{v:>14s}" for v in versions))
+    lines = [header, "-" * len(header)]
+    for report in reports:
+        cells = " ".join(
+            f"{report.version_verdict(v):>14s}" for v in versions
+        )
+        lines.append(f"{report.toolchain:14s} {report.device:20s} {cells}")
+    return "\n".join(lines)

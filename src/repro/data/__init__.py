@@ -1,0 +1,4 @@
+"""Reference data: the reconstructed Figure 1 and the bibliography."""
+
+from repro.data.paper_matrix import PAPER_MATRIX, PaperCell, expected  # noqa: F401
+from repro.data.references import REFERENCES  # noqa: F401

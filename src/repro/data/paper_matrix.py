@@ -1,0 +1,215 @@
+"""The reconstructed Figure 1: expected rating per combination.
+
+**Reconstruction caveat.**  Figure 1 is an image in the paper's PDF and
+is not part of the text this reproduction was built from.  Every cell
+below is therefore *reconstructed* from the §4 description prose and
+the §5 discussion; each carries its description number and the
+sentence-level rationale.  The agreement benchmark
+(``benchmarks/bench_agreement.py``) treats these as the reference and
+reports per-cell matches of the empirically derived matrix.
+
+Dual ratings (``secondary``) reproduce the two cells §5 explicitly
+discusses as double-rated: Python on NVIDIA GPUs ("the pick-up of the
+Open Source community was acknowledged through the added non-vendor
+support category") and CUDA C++ on Intel GPUs ("the double-rating ...
+honors the research project chipStar, besides the CUDA-to-SYCL
+conversion tool").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enums import Language, Model, SupportCategory, Vendor
+
+C = SupportCategory
+CPP, F, PY = Language.CPP, Language.FORTRAN, Language.PYTHON
+NV, AMD, INT = Vendor.NVIDIA, Vendor.AMD, Vendor.INTEL
+
+
+@dataclass(frozen=True)
+class PaperCell:
+    """One expected Figure 1 cell."""
+
+    vendor: Vendor
+    model: Model
+    language: Language
+    primary: SupportCategory
+    description_id: int
+    rationale: str
+    secondary: SupportCategory | None = None
+
+
+_CELLS = [
+    # ----- NVIDIA -----
+    PaperCell(NV, Model.CUDA, CPP, C.FULL, 1,
+              "'As it is the reference for the platform, the support for "
+              "NVIDIA GPUs through CUDA C/C++ is very comprehensive.'"),
+    PaperCell(NV, Model.CUDA, F, C.FULL, 2,
+              "CUDA Fortran supported via NVHPC; 'implements most features "
+              "of the CUDA API in Fortran', incl. cuf kernels."),
+    PaperCell(NV, Model.HIP, CPP, C.INDIRECT, 3,
+              "'HIP programs can directly use NVIDIA GPUs via a CUDA "
+              "backend' — comprehensive vendor-provided mapping."),
+    PaperCell(NV, Model.HIP, F, C.SOME, 4,
+              "No Fortran HIP; AMD's hipfort provides 'an extensive set of "
+              "ready-made interfaces' — usable but not the full model."),
+    PaperCell(NV, Model.SYCL, CPP, C.NONVENDOR, 5,
+              "'No direct support for SYCL is available by NVIDIA', but "
+              "DPC++ and Open SYCL provide comprehensive third-party "
+              "support."),
+    PaperCell(NV, Model.SYCL, F, C.NONE, 6,
+              "'SYCL is a C++-based programming model and by its nature "
+              "does not support Fortran. Also, no pre-made bindings.'"),
+    PaperCell(NV, Model.OPENACC, CPP, C.FULL, 7,
+              "'The support of OpenACC in this vendor-delivered compiler is "
+              "very comprehensive' (§5: rated complete)."),
+    PaperCell(NV, Model.OPENACC, F, C.FULL, 8,
+              "'Support of OpenACC Fortran on NVIDIA GPUs is similar to "
+              "OpenACC C/C++' through nvfortran."),
+    PaperCell(NV, Model.OPENMP, CPP, C.SOME, 9,
+              "NVHPC implements 'only a subset of the entire OpenMP 5.0 "
+              "standard'; §5: 'NVIDIA is upfront in acknowledging that some "
+              "features ... are still missing'."),
+    PaperCell(NV, Model.OPENMP, F, C.SOME, 10,
+              "'OpenMP in Fortran is supported on NVIDIA GPUs nearly "
+              "identical to C/C++' — same subset caveat."),
+    PaperCell(NV, Model.STANDARD, CPP, C.FULL, 11,
+              "pSTL offload 'supported ... through the nvc++ compiler of "
+              "the NVIDIA HPC SDK' with -stdpar=gpu."),
+    PaperCell(NV, Model.STANDARD, F, C.FULL, 12,
+              "'do concurrent is supported on NVIDIA GPUs through the "
+              "nvfortran compiler' with -stdpar=gpu."),
+    PaperCell(NV, Model.KOKKOS, CPP, C.NONVENDOR, 13,
+              "Kokkos (community) supports NVIDIA GPUs with CUDA, NVHPC, "
+              "and Clang backends."),
+    PaperCell(NV, Model.KOKKOS, F, C.LIMITED, 14,
+              "Fortran reaches Kokkos only through the FLCL compatibility "
+              "layer."),
+    PaperCell(NV, Model.ALPAKA, CPP, C.NONVENDOR, 15,
+              "Alpaka (community) supports NVIDIA GPUs via nvcc or Clang "
+              "CUDA."),
+    PaperCell(NV, Model.ALPAKA, F, C.NONE, 16,
+              "'Alpaka is a C++ programming model and no ready-made Fortran "
+              "support exists.'"),
+    PaperCell(NV, Model.PYTHON, PY, C.FULL, 17,
+              "Vendor CUDA Python plus the community stack (PyCUDA, CuPy, "
+              "Numba, cuNumeric).",
+              secondary=C.NONVENDOR),
+    # ----- AMD -----
+    PaperCell(AMD, Model.CUDA, CPP, C.INDIRECT, 18,
+              "'While CUDA is not directly supported on AMD GPUs, it can be "
+              "translated to HIP through AMD's HIPIFY' and run via hipcc."),
+    PaperCell(AMD, Model.CUDA, F, C.LIMITED, 19,
+              "Only GPUFORT: coverage 'driven by use-case requirements; the "
+              "last commit is two years old'."),
+    PaperCell(AMD, Model.HIP, CPP, C.FULL, 20,
+              "'HIP C++ is the native programming model for AMD GPUs and, "
+              "as such, fully supports the devices.'"),
+    PaperCell(AMD, Model.HIP, F, C.SOME, 4,
+              "hipfort interfaces (shared description with NVIDIA·HIP·"
+              "Fortran): C functionality + kernel extensions, not the full "
+              "driver surface."),
+    PaperCell(AMD, Model.SYCL, CPP, C.NONVENDOR, 21,
+              "'No direct support for SYCL is available by AMD'; Open SYCL "
+              "and DPC++ (ROCm plugin) provide it."),
+    PaperCell(AMD, Model.SYCL, F, C.NONE, 6,
+              "SYCL is C++-only (shared description 6)."),
+    PaperCell(AMD, Model.OPENACC, CPP, C.NONVENDOR, 22,
+              "'OpenACC C/C++ is not supported by AMD itself, but "
+              "third-party support is available ... through GCC or Clacc'."),
+    PaperCell(AMD, Model.OPENACC, F, C.NONVENDOR, 23,
+              "No native support; GPUFORT is research, but GCC (gfortran) "
+              "and the HPE Cray PE support OpenACC Fortran on AMD GPUs."),
+    PaperCell(AMD, Model.OPENMP, CPP, C.SOME, 24,
+              "AOMP 'supports most OpenMP 4.5 and some OpenMP 5.0 "
+              "features'."),
+    PaperCell(AMD, Model.OPENMP, F, C.SOME, 25,
+              "AOMP flang supports OpenMP offload in Fortran — same "
+              "subset caveat as C/C++."),
+    PaperCell(AMD, Model.STANDARD, CPP, C.LIMITED, 26,
+              "'AMD does not yet provide production-grade support'; "
+              "roc-stdpar/Open SYCL stdpar/DPC++-AMD are all in development "
+              "or experimental (§5: 'most ambivalence')."),
+    PaperCell(AMD, Model.STANDARD, F, C.NONE, 27,
+              "'There is no (known) way to launch Standard-based parallel "
+              "algorithms in Fortran on AMD GPUs.'"),
+    PaperCell(AMD, Model.KOKKOS, CPP, C.NONVENDOR, 28,
+              "Kokkos supports AMD GPUs mainly through the HIP/ROCm "
+              "backend."),
+    PaperCell(AMD, Model.KOKKOS, F, C.LIMITED, 14,
+              "FLCL only (shared description 14)."),
+    PaperCell(AMD, Model.ALPAKA, CPP, C.NONVENDOR, 29,
+              "Alpaka supports AMD GPUs through HIP or an OpenMP backend."),
+    PaperCell(AMD, Model.ALPAKA, F, C.NONE, 16,
+              "No Fortran Alpaka (shared description 16)."),
+    PaperCell(AMD, Model.PYTHON, PY, C.LIMITED, 30,
+              "'AMD does not officially support GPU programming with "
+              "Python'; CuPy-ROCm is experimental, Numba support "
+              "unmaintained, PyHIP is low-level bindings."),
+    # ----- Intel -----
+    PaperCell(INT, Model.CUDA, CPP, C.INDIRECT, 31,
+              "Intel's SYCLomatic/DPC++ Compatibility Tool translates CUDA "
+              "to SYCL; §5's double-rating honors chipStar (research) "
+              "besides it.",
+              secondary=C.LIMITED),
+    PaperCell(INT, Model.CUDA, F, C.NONE, 32,
+              "'No direct support exists for CUDA Fortran on Intel GPUs' — "
+              "only an ISO_C_BINDING example (the no-support category's own "
+              "escape hatch)."),
+    PaperCell(INT, Model.HIP, CPP, C.LIMITED, 33,
+              "Only chipStar (research project per §5) maps HIP to "
+              "OpenCL/Level Zero."),
+    PaperCell(INT, Model.HIP, F, C.NONE, 34,
+              "'HIP for Fortran does not exist, and also no translation "
+              "efforts for Intel GPUs.'"),
+    PaperCell(INT, Model.SYCL, CPP, C.FULL, 35,
+              "'SYCL is ... selected by Intel as the prime programming "
+              "model for Intel GPUs', implemented via DPC++."),
+    PaperCell(INT, Model.SYCL, F, C.NONE, 6,
+              "SYCL is C++-only (shared description 6)."),
+    PaperCell(INT, Model.OPENACC, CPP, C.LIMITED, 36,
+              "'No direct support for OpenACC C/C++ is available for Intel "
+              "GPUs'; only the source-to-source migration tool exists."),
+    PaperCell(INT, Model.OPENACC, F, C.LIMITED, 37,
+              "Same: only the ACC-to-OMP translation tool, which 'also "
+              "supports Fortran'."),
+    PaperCell(INT, Model.OPENMP, CPP, C.FULL, 38,
+              "'OpenMP is a second key programming model for Intel GPUs and "
+              "well-supported': all 4.5 and most 5.0/5.1 features."),
+    PaperCell(INT, Model.OPENMP, F, C.FULL, 39,
+              "'OpenMP in Fortran is Intel's main selected route to bring "
+              "Fortran applications to their GPUs' (ifx)."),
+    PaperCell(INT, Model.STANDARD, CPP, C.SOME, 40,
+              "oneDPL implements the pSTL, but §5: 'all pSTL functionality "
+              "currently resides in a custom namespace'."),
+    PaperCell(INT, Model.STANDARD, F, C.FULL, 41,
+              "'Standard language parallelism of Fortran is supported by "
+              "Intel on their GPUs through the Intel Fortran Compiler "
+              "ifx' (do concurrent since oneAPI 2022.1)."),
+    PaperCell(INT, Model.KOKKOS, CPP, C.LIMITED, 42,
+              "'Kokkos supports Intel GPUs through an experimental SYCL "
+              "backend.'"),
+    PaperCell(INT, Model.KOKKOS, F, C.LIMITED, 14,
+              "FLCL over the experimental SYCL backend (shared description "
+              "14)."),
+    PaperCell(INT, Model.ALPAKA, CPP, C.LIMITED, 43,
+              "'Since v0.9.0, Alpaka contains experimental SYCL support "
+              "with which Intel GPUs can be targeted.'"),
+    PaperCell(INT, Model.ALPAKA, F, C.NONE, 16,
+              "No Fortran Alpaka (shared description 16)."),
+    PaperCell(INT, Model.PYTHON, PY, C.FULL, 44,
+              "Three vendor packages: dpctl, numba-dpex, dpnp — Intel's own "
+              "Python stack for their GPUs."),
+]
+
+PAPER_MATRIX: dict[tuple[Vendor, Model, Language], PaperCell] = {
+    (c.vendor, c.model, c.language): c for c in _CELLS
+}
+
+assert len(PAPER_MATRIX) == 51, f"expected 51 cells, got {len(PAPER_MATRIX)}"
+
+
+def expected(vendor: Vendor, model: Model, language: Language) -> PaperCell:
+    """The reconstructed paper rating for one cell."""
+    return PAPER_MATRIX[(vendor, model, language)]

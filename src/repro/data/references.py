@@ -1,0 +1,110 @@
+"""Bibliography entries referenced by the descriptions (paper [n])."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One bibliography entry."""
+
+    key: int
+    citation: str
+    url: str = ""
+
+
+REFERENCES: dict[int, Reference] = {
+    r.key: r
+    for r in (
+        Reference(1, "TOP500 List, June 2023",
+                  "https://www.top500.org/lists/top500/2023/06/"),
+        Reference(4, "Hammond et al., Benchmarking Fortran DO CONCURRENT on "
+                     "CPUs and GPUs Using BabelStream, PMBS@SC 2022"),
+        Reference(5, "Markomanolis et al., Evaluating GPU Programming Models "
+                     "for the LUMI Supercomputer, 2022"),
+        Reference(6, "Hammond, Shifting through the Gears of GPU "
+                     "Programming, GTC 2022"),
+        Reference(7, "ECP, OpenMP Roadmap for Accelerators Across DOE "
+                     "Pre-Exascale/Exascale Machines, 2022"),
+        Reference(8, "Huber et al., ECP SOLLVE: Validation and Verification "
+                     "Testsuite Status Update, P3HPC 2022"),
+        Reference(9, "Jarmusch et al., Analysis of Validating and Verifying "
+                     "OpenACC Compilers 3.0 and Above, WACCPD 2022"),
+        Reference(10, "NVIDIA, CUDA Toolkit",
+                  "https://developer.nvidia.com/cuda-toolkit"),
+        Reference(11, "NVIDIA, CUDA Fortran",
+                  "https://developer.nvidia.com/cuda-fortran"),
+        Reference(12, "AMD, HIP",
+                  "https://rocm.docs.amd.com/projects/HIP/en/latest/"),
+        Reference(13, "AMD, hipfort",
+                  "https://rocm.docs.amd.com/projects/hipfort/en/latest/"),
+        Reference(14, "Intel and Contributors, oneAPI DPC++ Compiler",
+                  "https://github.com/intel/llvm"),
+        Reference(15, "Alpay et al., Exploring the possibility of a "
+                      "hipSYCL-based implementation of oneAPI, IWOCL 2022"),
+        Reference(16, "Khronos Group, SYCL", "https://www.khronos.org/sycl/"),
+        Reference(17, "NVIDIA, NVIDIA HPC SDK",
+                  "https://developer.nvidia.com/hpc-sdk"),
+        Reference(18, "GCC, GCC OpenACC", "https://gcc.gnu.org/wiki/OpenACC"),
+        Reference(19, "Denny et al., CLACC: Translating OpenACC to OpenMP in "
+                      "Clang, LLVM-HPC 2018"),
+        Reference(20, "Jarmusch et al., Analysis of Validating and Verifying "
+                      "OpenACC Compilers 3.0 and Above, WACCPD 2022"),
+        Reference(21, "Clement and Vetter, Flacc: Towards OpenACC support "
+                      "for Fortran in the LLVM Ecosystem, LLVM-HPC 2021"),
+        Reference(22, "GCC Developers, GCC OpenMP",
+                  "https://gcc.gnu.org/wiki/openmp"),
+        Reference(23, "LLVM/Clang Developers, Clang OpenMP",
+                  "https://clang.llvm.org/docs/OpenMPSupport.html"),
+        Reference(24, "HPE, HPE Cray Programming Environment",
+                  "https://www.hpe.com/psnow/doc/a50002303enw"),
+        Reference(25, "LLVM/Flang, Flang", "https://flang.llvm.org/"),
+        Reference(26, "Intel, oneDPL",
+                  "https://oneapi-src.github.io/oneDPL/index.html"),
+        Reference(27, "Trott et al., Kokkos 3: Programming Model Extensions "
+                      "for the Exascale Era, IEEE TPDS 33(4), 2022"),
+        Reference(28, "Matthes et al., Tuning and optimization for a variety "
+                      "of many-core architectures ... using the Alpaka "
+                      "library, 2017"),
+        Reference(29, "NVIDIA, CUDA Python",
+                  "https://nvidia.github.io/cuda-python/index.html"),
+        Reference(30, "Kloeckner et al., PyCUDA v2022.2.2, 2023"),
+        Reference(31, "Okuta et al., CuPy: A NumPy-Compatible Library for "
+                      "NVIDIA GPU Calculations, LearningSys@NIPS 2017"),
+        Reference(32, "Lam et al., numba/numba 0.57.1, 2023"),
+        Reference(33, "NVIDIA, cuNumeric",
+                  "https://developer.nvidia.com/cunumeric"),
+        Reference(34, "AMD, GPUFORT",
+                  "https://github.com/ROCmSoftwarePlatform/gpufort"),
+        Reference(35, "AMD, AOMP",
+                  "https://github.com/ROCm-Developer-Tools/aomp"),
+        Reference(36, "AMD, roc-stdpar",
+                  "https://github.com/ROCmSoftwarePlatform/roc-stdpar"),
+        Reference(37, "Intel, SYCLomatic",
+                  "https://github.com/oneapi-src/SYCLomatic"),
+        Reference(38, "Zhao et al., HIPLZ: Enabling Performance Portability "
+                      "for Exascale Systems, Euro-Par 2022 Workshops"),
+        Reference(39, "Intel, oneAPI toolkits",
+                  "https://www.intel.com/content/www/us/en/developer/tools/"
+                  "oneapi/toolkits.html"),
+        Reference(40, "Intel, Application Migration Tool for OpenACC to "
+                      "OpenMP API",
+                  "https://github.com/intel/intel-application-migration-tool"
+                  "-for-openacc-to-openmp"),
+        Reference(41, "Intel, Data Parallel Control (dpctl)",
+                  "https://github.com/IntelPython/dpctl"),
+        Reference(42, "Intel, Data-parallel Extension to Numba (numba-dpex)",
+                  "https://github.com/IntelPython/numba-dpex"),
+        Reference(43, "Intel, Data Parallel Extension for Numpy (dpnp)",
+                  "https://github.com/IntelPython/dpnp"),
+        Reference(44, "RAJA Performance Portability Layer",
+                  "https://github.com/LLNL/RAJA"),
+        Reference(53, "Deakin et al., Evaluating attainable memory bandwidth "
+                      "of parallel programming models via BabelStream, "
+                      "IJCSE 17(3), 2018"),
+        Reference(55, "Herten, GPU Vendor/Programming Model Compatibility "
+                      "Table",
+                  "https://github.com/AndiH/gpu-lang-compat"),
+    )
+}

@@ -1,0 +1,114 @@
+"""Historical snapshots of the compatibility table.
+
+The paper is explicitly a *snapshot of a living overview*: "A previous
+version of this work was shown in a presentation at a workshop
+[October 2022] ... The goal is a living overview of the evolving field,
+with snapshots in paper form at regular intervals" (Acknowledgments),
+and §5 (Topicality) names the cells that moved between that workshop
+version and the paper.
+
+This module encodes the October 2022 workshop state as *overrides* of
+the paper's (mid/late-2023) matrix, each justified by the paper's own
+prose about what changed:
+
+* C++ standard parallelism on AMD "made great progress in the past
+  year, and now multiple venues exist" — in 2022 there was no known way
+  (no roc-stdpar, no ``--hipsycl-stdpar``, no DPC++-on-AMD pSTL).
+* chipStar "recently released a 1.0 version" (it was the early CHIP-SPV
+  research code in 2022, not yet the second rating of Intel·CUDA·C++
+  nor a usable HIP route).
+* Intel's ``do concurrent`` offload "was added in the oneAPI 2022.1
+  update and extended in further releases" — young and partial at the
+  workshop, full by the paper.
+* ComputeCpp "became unsupported in September 2023" — still a live
+  product in the 2022 snapshot (affects route maturity, not ratings,
+  since DPC++/Open SYCL already led those cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.paper_matrix import PAPER_MATRIX
+from repro.enums import Language, Model, SupportCategory, Vendor
+
+C = SupportCategory
+
+
+@dataclass(frozen=True)
+class SnapshotCell:
+    """One cell's rating at a snapshot date."""
+
+    primary: SupportCategory
+    secondary: SupportCategory | None
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A full 51-cell table at one point in time."""
+
+    name: str
+    date: str
+    cells: dict[tuple[Vendor, Model, Language], SnapshotCell]
+
+    def cell(self, vendor: Vendor, model: Model,
+             language: Language) -> SnapshotCell:
+        return self.cells[(vendor, model, language)]
+
+
+def _paper_cells() -> dict:
+    return {
+        key: SnapshotCell(cell.primary, cell.secondary, cell.rationale)
+        for key, cell in PAPER_MATRIX.items()
+    }
+
+
+#: The paper itself (submission-time state).
+SNAPSHOT_2023 = Snapshot(
+    name="SC-W 2023 paper",
+    date="2023-09",
+    cells=_paper_cells(),
+)
+
+_OVERRIDES_2022: dict[tuple[Vendor, Model, Language], SnapshotCell] = {
+    (Vendor.AMD, Model.STANDARD, Language.CPP): SnapshotCell(
+        C.NONE, None,
+        "pre roc-stdpar / --hipsycl-stdpar / DPC++-AMD: §5 'made great "
+        "progress in the past year, and now multiple venues exist'",
+    ),
+    (Vendor.INTEL, Model.CUDA, Language.CPP): SnapshotCell(
+        C.INDIRECT, None,
+        "SYCLomatic only; CHIP-SPV had not released chipStar 1.0, so no "
+        "second rating yet",
+    ),
+    (Vendor.INTEL, Model.HIP, Language.CPP): SnapshotCell(
+        C.NONE, None,
+        "HIP on Intel arrives with chipStar; CHIP-SPV was early research "
+        "in October 2022",
+    ),
+    (Vendor.INTEL, Model.STANDARD, Language.FORTRAN): SnapshotCell(
+        C.SOME, None,
+        "do concurrent offload 'added in oneAPI 2022.1 and extended in "
+        "further releases' — new and partial at the workshop",
+    ),
+}
+
+
+def _snapshot_2022_cells() -> dict:
+    cells = _paper_cells()
+    cells.update(_OVERRIDES_2022)
+    return cells
+
+
+#: The October 2022 workshop version (DKRZ natESM hands-on, Acknowledgments).
+SNAPSHOT_2022 = Snapshot(
+    name="October 2022 workshop",
+    date="2022-10",
+    cells=_snapshot_2022_cells(),
+)
+
+SNAPSHOTS: dict[str, Snapshot] = {
+    SNAPSHOT_2022.date: SNAPSHOT_2022,
+    SNAPSHOT_2023.date: SNAPSHOT_2023,
+}

@@ -1,0 +1,163 @@
+"""Exception hierarchy for the simulated GPU ecosystem.
+
+The hierarchy mirrors the failure surfaces of a real heterogeneous
+toolchain: source-level rejections (:class:`FrontendError`), toolchain
+rejections (:class:`CompileError` and friends), translator limitations
+(:class:`TranslationError`), and runtime faults on the simulated devices
+(:class:`DeviceError` and friends).
+
+The compatibility probes in :mod:`repro.core.probes` rely on this taxonomy:
+a probe that raises :class:`UnsupportedFeatureError` counts as a *feature
+gap* (partial coverage), whereas :class:`UnsupportedRouteError` means the
+route does not exist at all for the requested combination.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Source / frontend errors
+# ---------------------------------------------------------------------------
+
+
+class FrontendError(ReproError):
+    """A source construct was rejected before IR generation."""
+
+
+class KernelSyntaxError(FrontendError):
+    """The kernel DSL compiler met an unsupported Python construct."""
+
+
+class KernelTypeError(FrontendError):
+    """Kernel parameter/operand types are inconsistent or unannotated."""
+
+
+class LanguageError(FrontendError):
+    """The programming model does not accept the source language.
+
+    Example: SYCL is a C++17 model; presenting a Fortran translation unit
+    raises this error (paper description 6).
+    """
+
+
+class DirectiveError(FrontendError):
+    """An OpenMP/OpenACC directive string could not be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Compilation errors
+# ---------------------------------------------------------------------------
+
+
+class CompileError(ReproError):
+    """A toolchain failed to lower a translation unit to a target ISA."""
+
+
+class UnsupportedFeatureError(CompileError):
+    """The toolchain recognizes the feature but does not implement it.
+
+    Carries the feature name so probe harnesses can attribute coverage
+    gaps; e.g. NVHPC's OpenMP frontend raising for a 5.0-only feature.
+    """
+
+    def __init__(self, feature: str, toolchain: str = "?", detail: str = ""):
+        self.feature = feature
+        self.toolchain = toolchain
+        msg = f"feature '{feature}' is not supported by toolchain '{toolchain}'"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class UnsupportedTargetError(CompileError):
+    """The toolchain cannot emit code for the requested ISA/device."""
+
+
+class UnsupportedRouteError(CompileError):
+    """No toolchain/translator chain exists for the combination at all."""
+
+
+class LinkError(CompileError):
+    """Module-level inconsistency detected when finalizing a binary."""
+
+
+# ---------------------------------------------------------------------------
+# IR errors
+# ---------------------------------------------------------------------------
+
+
+class IRError(ReproError):
+    """Malformed intermediate representation."""
+
+
+class VerificationError(IRError):
+    """The IR verifier found a structural or type violation."""
+
+
+class LegalizationError(IRError):
+    """An IR construct cannot be legalized for the target ISA."""
+
+
+# ---------------------------------------------------------------------------
+# Translation (source-to-source) errors
+# ---------------------------------------------------------------------------
+
+
+class TranslationError(ReproError):
+    """A source-to-source translator could not convert a construct."""
+
+    def __init__(self, translator: str, construct: str, detail: str = ""):
+        self.translator = translator
+        self.construct = construct
+        msg = f"{translator}: cannot translate construct '{construct}'"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+# ---------------------------------------------------------------------------
+# Runtime / device errors
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-device runtime failures."""
+
+
+class InvalidBinaryError(DeviceError):
+    """A device was asked to load a module for a foreign ISA.
+
+    This is the simulator's equivalent of `CUDA_ERROR_INVALID_SOURCE` /
+    `hipErrorInvalidDeviceFunction`: e.g. loading PTX onto an AMD device.
+    """
+
+
+class MemoryFaultError(DeviceError):
+    """Out-of-bounds or use-after-free access to device memory."""
+
+
+class AllocationError(DeviceError):
+    """The device memory pool could not satisfy an allocation."""
+
+
+class LaunchError(DeviceError):
+    """Kernel launch configuration is invalid for the device."""
+
+
+class StreamError(DeviceError):
+    """Illegal stream/event operation (e.g. cross-device event wait)."""
+
+
+class DivergentBarrierError(DeviceError):
+    """``barrier()`` was executed by only part of a thread block.
+
+    Real hardware deadlocks or corrupts state; the simulator raises.
+    """
+
+
+class ApiError(ReproError):
+    """A programming-model host API was misused (wrong handle, order...)."""

@@ -1,0 +1,24 @@
+"""Frontends: how kernel and host source enters the ecosystem.
+
+* :mod:`repro.frontends.kernel_dsl` — the restricted-Python kernel
+  language compiled to abstract IR; the device-code substrate every
+  programming model shares (the way real models all lower to LLVM IR).
+* :mod:`repro.frontends.source` — translation units: kernel collections
+  tagged with (programming model, language), which is the unit the
+  toolchains accept or reject.
+"""
+
+from repro.frontends.kernel_dsl import (  # noqa: F401
+    ArrayAnn,
+    KernelFn,
+    TypeRef,
+    compile_kernel,
+    f32,
+    f64,
+    i32,
+    i64,
+    kernel,
+    u32,
+    u64,
+)
+from repro.frontends.source import TranslationUnit  # noqa: F401

@@ -1,0 +1,682 @@
+"""The kernel DSL: restricted Python compiled to abstract kernel IR.
+
+Kernels are written as annotated Python functions::
+
+    from repro.frontends import kernel, f64, i64
+
+    @kernel
+    def saxpy(n: i64, a: f64, x: f64[:], y: f64[:]):
+        i = gid(0)
+        if i >= n:
+            return
+        y[i] = a * x[i] + y[i]
+
+The decorator never executes the body; it parses the source with
+:mod:`ast` and emits IR through :class:`~repro.isa.builder.IRBuilder`.
+The supported subset is what GPU kernels are made of: scalar arithmetic,
+array subscripts, ``if``/``while``/``for range(...)``, early ``return``,
+and intrinsics (resolved by *name* inside kernel bodies, no import
+needed):
+
+==================  =====================================================
+``gid(d)``          global thread index along dimension ``d`` (i64)
+``lid(d)``          thread index within the block (``threadIdx``)
+``bid(d)``          block index (``blockIdx``)
+``bdim(d)``         block size (``blockDim``)
+``gdim(d)``         grid size in blocks (``gridDim``)
+``gsize(d)``        total threads along ``d`` (for grid-stride loops)
+``lane()``          lane within the warp/wavefront/sub-group
+``warpsize()``      execution width (legalized to an ISA constant)
+``barrier()``       block-level barrier
+``shared(T, n)``    statically allocate ``n`` elements of shared memory
+``atomic_add/min/max/exch(arr, idx, val)``  atomics (return old value)
+``atomic_cas(arr, idx, expected, desired)`` compare-and-swap
+``shfl_idx/up/down/xor(value, lane)``       cross-lane shuffles
+``sqrt, rsqrt, exp, log, sin, cos, tanh, floor, ceil, abs, min, max``
+``f32(x), i64(x), ...``                     explicit conversions
+==================  =====================================================
+
+Python names that are not locals, parameters, or intrinsics are resolved
+against the function's globals/closure at compile time and must be
+numeric constants (they are frozen into the kernel as immediates).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import KernelSyntaxError, KernelTypeError
+from repro.isa import dtypes
+from repro.isa.builder import IRBuilder
+from repro.isa.dtypes import DType
+from repro.isa.instructions import Imm, MemSpace, Operand, Register
+from repro.isa.module import KernelIR
+
+
+# ---------------------------------------------------------------------------
+# Annotation objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayAnn:
+    """Annotation for a pointer/array parameter (``f64[:]``)."""
+
+    dtype: DType
+
+
+class TypeRef:
+    """A scalar type usable as annotation, cast function, and ``T[:]``."""
+
+    def __init__(self, dtype: DType):
+        self.dtype = dtype
+
+    def __getitem__(self, _slice) -> ArrayAnn:
+        return ArrayAnn(self.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<dsl type {self.dtype.name}>"
+
+
+f32 = TypeRef(dtypes.F32)
+f64 = TypeRef(dtypes.F64)
+i32 = TypeRef(dtypes.I32)
+i64 = TypeRef(dtypes.I64)
+u32 = TypeRef(dtypes.U32)
+u64 = TypeRef(dtypes.U64)
+
+_TYPE_REFS = {"f32": f32, "f64": f64, "i32": i32, "i64": i64, "u32": u32, "u64": u64}
+
+_MATH_UNARY = {
+    "sqrt": "sqrt", "rsqrt": "rsqrt", "exp": "exp", "log": "log",
+    "sin": "sin", "cos": "cos", "tanh": "tanh", "floor": "floor",
+    "ceil": "ceil", "abs": "abs",
+}
+
+_SPECIAL_DIMS = "xyz"
+
+
+# ---------------------------------------------------------------------------
+# Symbol table entries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Var:
+    """A scalar local variable bound to a stable named register."""
+
+    reg: Register
+
+
+@dataclass
+class _ArrayVal:
+    """An array value: base byte-address register + element type + space."""
+
+    base: Operand
+    dtype: DType
+    space: str
+
+
+# ---------------------------------------------------------------------------
+# Compiled kernel handle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelFn:
+    """A DSL function compiled to IR, ready for toolchain legalization."""
+
+    name: str
+    ir: KernelIR
+    arg_is_pointer: tuple[bool, ...]
+    arg_dtypes: tuple[DType, ...]
+    pyfunc: Callable
+
+    @property
+    def features(self) -> frozenset[str]:
+        return self.ir.features
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelFn {self.name} features={sorted(self.ir.features)}>"
+
+
+def kernel(func: Callable) -> KernelFn:
+    """Decorator: compile a DSL function to a :class:`KernelFn`."""
+    return compile_kernel(func)
+
+
+def compile_kernel(func: Callable, name: str | None = None) -> KernelFn:
+    """Compile ``func`` (a DSL function) to IR."""
+    try:
+        src = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError) as exc:
+        raise KernelSyntaxError(
+            f"cannot retrieve source of {func!r}; kernels must be defined "
+            "in a file"
+        ) from exc
+    tree = ast.parse(src)
+    fdef = next(
+        (n for n in tree.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))),
+        None,
+    )
+    if fdef is None:
+        raise KernelSyntaxError("expected a function definition")
+    compiler = _Compiler(func, fdef, name or func.__name__)
+    return compiler.run()
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+class _Compiler:
+    def __init__(self, func: Callable, fdef: ast.FunctionDef, name: str):
+        self.func = func
+        self.fdef = fdef
+        self.b = IRBuilder(name)
+        self.sym: dict[str, object] = {}
+        self.arg_is_pointer: list[bool] = []
+        self.arg_dtypes: list[DType] = []
+
+    # -- helpers ----------------------------------------------------------------
+
+    def fail(self, node: ast.AST, msg: str) -> KernelSyntaxError:
+        line = getattr(node, "lineno", "?")
+        return KernelSyntaxError(f"{self.b.name}:{line}: {msg}")
+
+    def resolve_global(self, name: str):
+        if name in self.func.__globals__:
+            return self.func.__globals__[name]
+        closure = self.func.__closure__ or ()
+        freevars = self.func.__code__.co_freevars
+        for var, cell in zip(freevars, closure):
+            if var == name:
+                return cell.cell_contents
+        builtins = self.func.__globals__.get("__builtins__", {})
+        if isinstance(builtins, dict) and name in builtins:
+            return builtins[name]
+        raise KeyError(name)
+
+    def _annotation_to_type(self, node: ast.AST, arg: ast.arg):
+        """Evaluate a parameter annotation to a TypeRef/ArrayAnn."""
+        expr = ast.Expression(body=node)
+        ast.fix_missing_locations(expr)
+        try:
+            value = eval(  # noqa: S307 - annotations are trusted DSL types
+                compile(expr, "<annotation>", "eval"),
+                self.func.__globals__,
+                _TYPE_REFS,
+            )
+        except Exception as exc:
+            raise self.fail(arg, f"cannot evaluate annotation of '{arg.arg}'") from exc
+        if isinstance(value, str):
+            # Forward-reference strings: "i64", "f64[:]" (Numba-style).
+            text = value.strip()
+            if text.endswith("[:]"):
+                base = _TYPE_REFS.get(text[:-3].strip())
+                if base is not None:
+                    return ArrayAnn(base.dtype)
+            elif text in _TYPE_REFS:
+                return _TYPE_REFS[text]
+        return value
+
+    # -- top level ---------------------------------------------------------------
+
+    def run(self) -> KernelFn:
+        args = self.fdef.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+            raise self.fail(self.fdef, "kernels take plain positional parameters only")
+        for arg in args.args:
+            if arg.annotation is None:
+                raise self.fail(arg, f"parameter '{arg.arg}' needs a type annotation")
+            ann = self._annotation_to_type(arg.annotation, arg)
+            if isinstance(ann, ArrayAnn):
+                reg = self.b.param(arg.arg, ann.dtype, pointer=True)
+                self.sym[arg.arg] = _ArrayVal(reg, ann.dtype, MemSpace.GLOBAL)
+                self.arg_is_pointer.append(True)
+                self.arg_dtypes.append(ann.dtype)
+            elif isinstance(ann, TypeRef):
+                reg = self.b.param(arg.arg, ann.dtype)
+                self.sym[arg.arg] = _Var(reg)
+                self.arg_is_pointer.append(False)
+                self.arg_dtypes.append(ann.dtype)
+            else:
+                raise self.fail(
+                    arg,
+                    f"parameter '{arg.arg}' annotation must be a DSL type "
+                    f"(f64, i32[:], ...), got {ann!r}",
+                )
+        self.compile_body(self.fdef.body)
+        ir = self.b.build()
+        return KernelFn(
+            name=self.b.name,
+            ir=ir,
+            arg_is_pointer=tuple(self.arg_is_pointer),
+            arg_dtypes=tuple(self.arg_dtypes),
+            pyfunc=self.func,
+        )
+
+    # -- statements ---------------------------------------------------------------
+
+    def compile_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.compile_stmt(stmt)
+
+    def compile_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._stmt_assign(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            self._stmt_ann_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._stmt_aug_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._stmt_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._stmt_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._stmt_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                raise self.fail(stmt, "kernels cannot return values")
+            self.b.exit()
+        elif isinstance(stmt, ast.Expr):
+            self._stmt_expr(stmt)
+        elif isinstance(stmt, ast.Pass):
+            pass
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            raise self.fail(stmt, "break/continue are not supported; restructure the loop condition")
+        else:
+            raise self.fail(stmt, f"unsupported statement {type(stmt).__name__}")
+
+    def _bind_scalar(self, name: str, value: Operand, node: ast.AST) -> None:
+        existing = self.sym.get(name)
+        if isinstance(existing, _ArrayVal):
+            raise self.fail(node, f"cannot rebind array '{name}' to a scalar")
+        if isinstance(existing, _Var):
+            self.b.mov(existing.reg, value)
+        else:
+            reg = self.b.named(f"{name}", _operand_dtype(value))
+            self.b.mov(reg, value)
+            self.sym[name] = _Var(reg)
+
+    def _stmt_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise self.fail(stmt, "chained assignment is not supported")
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            value = self.compile_expr(stmt.value)
+            if isinstance(value, _ArrayVal):
+                self.sym[target.id] = value
+                return
+            self._bind_scalar(target.id, value, stmt)
+        elif isinstance(target, ast.Subscript):
+            self._store_subscript(target, stmt.value)
+        else:
+            raise self.fail(stmt, "assignment target must be a name or subscript")
+
+    def _stmt_ann_assign(self, stmt: ast.AnnAssign) -> None:
+        if not isinstance(stmt.target, ast.Name) or stmt.value is None:
+            raise self.fail(stmt, "annotated assignment needs a name and a value")
+        ann = self._annotation_to_type(stmt.annotation, ast.arg(arg=stmt.target.id))
+        if not isinstance(ann, TypeRef):
+            raise self.fail(stmt, "variable annotations must be scalar DSL types")
+        value = self.compile_expr(stmt.value)
+        if isinstance(value, _ArrayVal):
+            raise self.fail(stmt, "cannot annotate an array binding with a scalar type")
+        self._bind_scalar(stmt.target.id, self.b.cvt(value, ann.dtype), stmt)
+
+    _AUG_OPS = {
+        ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul", ast.Div: "div",
+        ast.Mod: "rem", ast.Pow: "pow", ast.BitAnd: "and", ast.BitOr: "or",
+        ast.BitXor: "xor", ast.LShift: "shl", ast.RShift: "shr",
+        ast.FloorDiv: "div",
+    }
+
+    def _stmt_aug_assign(self, stmt: ast.AugAssign) -> None:
+        op = self._AUG_OPS.get(type(stmt.op))
+        if op is None:
+            raise self.fail(stmt, f"unsupported augmented op {type(stmt.op).__name__}")
+        if isinstance(stmt.target, ast.Name):
+            var = self.sym.get(stmt.target.id)
+            if not isinstance(var, _Var):
+                raise self.fail(stmt, f"'{stmt.target.id}' is not a scalar variable")
+            rhs = self._as_scalar(self.compile_expr(stmt.value), stmt)
+            self.b.mov(var.reg, self.b.binop(op, var.reg, self.b.cvt(rhs, var.reg.dtype)))
+        elif isinstance(stmt.target, ast.Subscript):
+            arr, index = self._subscript_parts(stmt.target)
+            old = self.b.load_elem(arr.base, index, arr.dtype, arr.space)
+            rhs = self._as_scalar(self.compile_expr(stmt.value), stmt)
+            new = self.b.binop(op, old, self.b.cvt(rhs, arr.dtype))
+            self.b.store_elem(arr.base, index, new, arr.dtype, arr.space)
+        else:
+            raise self.fail(stmt, "augmented target must be a name or subscript")
+
+    def _stmt_if(self, stmt: ast.If) -> None:
+        cond = self._as_pred(self.compile_expr(stmt.test), stmt)
+        with self.b.if_(cond) as iff:
+            self.compile_body(stmt.body)
+        if stmt.orelse:
+            with self.b.orelse(iff):
+                self.compile_body(stmt.orelse)
+
+    def _stmt_while(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise self.fail(stmt, "while/else is not supported")
+        with self.b.while_() as loop:
+            with loop.cond():
+                loop.set_cond(self._as_pred(self.compile_expr(stmt.test), stmt))
+            self.compile_body(stmt.body)
+
+    def _stmt_for(self, stmt: ast.For) -> None:
+        if stmt.orelse:
+            raise self.fail(stmt, "for/else is not supported")
+        if not (
+            isinstance(stmt.iter, ast.Call)
+            and isinstance(stmt.iter.func, ast.Name)
+            and stmt.iter.func.id == "range"
+        ):
+            raise self.fail(stmt, "for loops must iterate over range(...)")
+        if not isinstance(stmt.target, ast.Name):
+            raise self.fail(stmt, "loop variable must be a simple name")
+        parts = [self._as_scalar(self.compile_expr(a), stmt) for a in stmt.iter.args]
+        if len(parts) == 1:
+            start, stop, step = Imm(0, dtypes.I64), parts[0], Imm(1, dtypes.I64)
+        elif len(parts) == 2:
+            start, stop = parts
+            step = Imm(1, dtypes.I64)
+        elif len(parts) == 3:
+            start, stop, step = parts
+        else:
+            raise self.fail(stmt, "range() takes 1-3 arguments")
+
+        descending = isinstance(step, Imm) and step.value < 0
+        i = self.b.named(stmt.target.id, dtypes.I64)
+        self.b.mov(i, self.b.cvt(start, dtypes.I64))
+        self.sym[stmt.target.id] = _Var(i)
+        stop64 = self.b.cvt(stop, dtypes.I64)
+        step64 = self.b.cvt(step, dtypes.I64)
+        with self.b.while_() as loop:
+            with loop.cond():
+                cond = self.b.gt(i, stop64) if descending else self.b.lt(i, stop64)
+                loop.set_cond(cond)
+            self.compile_body(stmt.body)
+            self.b.mov(i, self.b.add(i, step64))
+
+    def _stmt_expr(self, stmt: ast.Expr) -> None:
+        value = stmt.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return  # docstring
+        if isinstance(value, ast.Call):
+            self.compile_call(value, as_statement=True)
+            return
+        raise self.fail(stmt, "expression statements must be intrinsic calls")
+
+    # -- expressions -----------------------------------------------------------
+
+    _BIN_OPS = {
+        ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul", ast.Div: "div",
+        ast.Mod: "rem", ast.Pow: "pow", ast.BitAnd: "and", ast.BitOr: "or",
+        ast.BitXor: "xor", ast.LShift: "shl", ast.RShift: "shr",
+    }
+    _CMP_OPS = {
+        ast.Eq: "eq", ast.NotEq: "ne", ast.Lt: "lt", ast.LtE: "le",
+        ast.Gt: "gt", ast.GtE: "ge",
+    }
+
+    def _as_scalar(self, value, node: ast.AST) -> Operand:
+        if isinstance(value, _ArrayVal):
+            raise self.fail(node, "array value used where a scalar is required")
+        if value is None:
+            raise self.fail(node, "void intrinsic used as a value")
+        return value
+
+    def _as_pred(self, value, node: ast.AST) -> Operand:
+        value = self._as_scalar(value, node)
+        if _operand_dtype(value).is_pred:
+            return value
+        # Pythonic truthiness: nonzero means true.
+        return self.b.ne(value, Imm(0, _operand_dtype(value)))
+
+    def compile_expr(self, node: ast.expr):
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return Imm(v, dtypes.PRED)
+            if isinstance(v, int):
+                return Imm(v, dtypes.I64)
+            if isinstance(v, float):
+                return Imm(v, dtypes.F64)
+            raise self.fail(node, f"unsupported constant {v!r}")
+
+        if isinstance(node, ast.Name):
+            entry = self.sym.get(node.id)
+            if isinstance(entry, _Var):
+                return entry.reg
+            if isinstance(entry, _ArrayVal):
+                return entry
+            try:
+                value = self.resolve_global(node.id)
+            except KeyError:
+                raise self.fail(node, f"unknown name '{node.id}'") from None
+            if isinstance(value, bool):
+                return Imm(value, dtypes.PRED)
+            if isinstance(value, int):
+                return Imm(value, dtypes.I64)
+            if isinstance(value, float):
+                return Imm(value, dtypes.F64)
+            raise self.fail(
+                node,
+                f"captured name '{node.id}' must be a numeric constant, "
+                f"got {type(value).__name__}",
+            )
+
+        if isinstance(node, ast.BinOp):
+            op = self._BIN_OPS.get(type(node.op))
+            a = self._as_scalar(self.compile_expr(node.left), node)
+            b_ = self._as_scalar(self.compile_expr(node.right), node)
+            if isinstance(node.op, ast.FloorDiv):
+                return self.b.binop("div", a, b_)
+            if op is None:
+                raise self.fail(node, f"unsupported operator {type(node.op).__name__}")
+            if isinstance(node.op, ast.Div):
+                adt, bdt = _operand_dtype(a), _operand_dtype(b_)
+                if adt.is_integer and bdt.is_integer:
+                    # True division of integers yields f64, as in Python.
+                    a = self.b.cvt(a, dtypes.F64)
+                    b_ = self.b.cvt(b_, dtypes.F64)
+            return self.b.binop(op, a, b_)
+
+        if isinstance(node, ast.UnaryOp):
+            v = self._as_scalar(self.compile_expr(node.operand), node)
+            if isinstance(node.op, ast.USub):
+                if isinstance(v, Imm) and not v.dtype.is_pred:
+                    # Fold so `-2` is a negative immediate (range steps,
+                    # constant folding) rather than a neg instruction.
+                    return Imm(-v.value, v.dtype)
+                return self.b.unary("neg", v)
+            if isinstance(node.op, ast.UAdd):
+                return v
+            if isinstance(node.op, ast.Not):
+                return self.b.unary("not", self._as_pred(v, node))
+            if isinstance(node.op, ast.Invert):
+                return self.b.unary("bitnot", v)
+            raise self.fail(node, "unsupported unary operator")
+
+        if isinstance(node, ast.Compare):
+            left = self._as_scalar(self.compile_expr(node.left), node)
+            result = None
+            for op_node, comparator in zip(node.ops, node.comparators):
+                op = self._CMP_OPS.get(type(op_node))
+                if op is None:
+                    raise self.fail(node, f"unsupported comparison {type(op_node).__name__}")
+                right = self._as_scalar(self.compile_expr(comparator), node)
+                this = self.b.cmp(op, left, right)
+                result = this if result is None else self.b.logical_and(result, this)
+                left = right
+            return result
+
+        if isinstance(node, ast.BoolOp):
+            values = [self._as_pred(self.compile_expr(v), node) for v in node.values]
+            combine = self.b.logical_and if isinstance(node.op, ast.And) else self.b.logical_or
+            result = values[0]
+            for v in values[1:]:
+                result = combine(result, v)
+            return result
+
+        if isinstance(node, ast.IfExp):
+            pred = self._as_pred(self.compile_expr(node.test), node)
+            a = self._as_scalar(self.compile_expr(node.body), node)
+            b_ = self._as_scalar(self.compile_expr(node.orelse), node)
+            return self.b.select(pred, a, b_)
+
+        if isinstance(node, ast.Subscript):
+            arr, index = self._subscript_parts(node)
+            return self.b.load_elem(arr.base, index, arr.dtype, arr.space)
+
+        if isinstance(node, ast.Call):
+            return self.compile_call(node, as_statement=False)
+
+        raise self.fail(node, f"unsupported expression {type(node).__name__}")
+
+    def _subscript_parts(self, node: ast.Subscript) -> tuple[_ArrayVal, Operand]:
+        target = self.compile_expr(node.value)
+        if not isinstance(target, _ArrayVal):
+            raise self.fail(node, "subscript base must be an array")
+        index = self._as_scalar(self.compile_expr(node.slice), node)
+        return target, index
+
+    def _store_subscript(self, target: ast.Subscript, value_node: ast.expr) -> None:
+        arr, index = self._subscript_parts(target)
+        value = self._as_scalar(self.compile_expr(value_node), target)
+        self.b.store_elem(arr.base, index, value, arr.dtype, arr.space)
+
+    # -- intrinsic calls ---------------------------------------------------------
+
+    def _const_dim(self, node: ast.Call) -> int:
+        if not node.args:
+            return 0
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, int) and 0 <= arg.value <= 2:
+            return arg.value
+        raise self.fail(node, "dimension argument must be a literal 0, 1, or 2")
+
+    def compile_call(self, node: ast.Call, as_statement: bool):
+        if not isinstance(node.func, ast.Name):
+            raise self.fail(node, "only direct intrinsic calls are supported")
+        if node.keywords:
+            raise self.fail(node, "intrinsics take positional arguments only")
+        fname = node.func.id
+        b = self.b
+
+        if fname == "gid":
+            return b.global_id(self._const_dim(node))
+        if fname == "gsize":
+            return b.global_size(self._const_dim(node))
+        if fname in ("lid", "bid", "bdim", "gdim"):
+            special = {"lid": "tid", "bid": "ctaid", "bdim": "ntid", "gdim": "nctaid"}
+            axis = _SPECIAL_DIMS[self._const_dim(node)]
+            return b.cvt(b.special(f"{special[fname]}.{axis}"), dtypes.I64)
+        if fname == "lane":
+            return b.cvt(b.special("laneid"), dtypes.I64)
+        if fname == "warpsize":
+            return b.cvt(b.special("warpsize"), dtypes.I64)
+        if fname == "barrier":
+            if not as_statement:
+                raise self.fail(node, "barrier() is a statement")
+            b.barrier()
+            return None
+        if fname == "shared":
+            if len(node.args) != 2:
+                raise self.fail(node, "shared(T, count) takes a type and a size")
+            tref = self.compile_type_arg(node.args[0], node)
+            count_node = node.args[1]
+            if not (isinstance(count_node, ast.Constant) and isinstance(count_node.value, int)):
+                count = self._resolve_const_int(count_node, node)
+            else:
+                count = count_node.value
+            base = b.shared_alloc(tref.dtype, count)
+            return _ArrayVal(base, tref.dtype, MemSpace.SHARED)
+        if fname in ("atomic_add", "atomic_min", "atomic_max", "atomic_exch"):
+            if len(node.args) != 3:
+                raise self.fail(node, f"{fname}(array, index, value)")
+            arr = self.compile_expr(node.args[0])
+            if not isinstance(arr, _ArrayVal):
+                raise self.fail(node, "first atomic argument must be an array")
+            index = self._as_scalar(self.compile_expr(node.args[1]), node)
+            value = self._as_scalar(self.compile_expr(node.args[2]), node)
+            addr = b.elem_addr(arr.base, index, arr.dtype)
+            return b.atomic(
+                fname.removeprefix("atomic_"), addr, value, space=arr.space,
+                dtype=arr.dtype, want_old=not as_statement,
+            )
+        if fname == "atomic_cas":
+            if len(node.args) != 4:
+                raise self.fail(node, "atomic_cas(array, index, expected, desired)")
+            arr = self.compile_expr(node.args[0])
+            if not isinstance(arr, _ArrayVal):
+                raise self.fail(node, "first atomic argument must be an array")
+            index = self._as_scalar(self.compile_expr(node.args[1]), node)
+            expected = self._as_scalar(self.compile_expr(node.args[2]), node)
+            desired = self._as_scalar(self.compile_expr(node.args[3]), node)
+            addr = b.elem_addr(arr.base, index, arr.dtype)
+            return b.atomic(
+                "cas", addr, desired, space=arr.space, dtype=arr.dtype,
+                compare=expected, want_old=True,
+            )
+        if fname in ("shfl_idx", "shfl_up", "shfl_down", "shfl_xor"):
+            if len(node.args) != 2:
+                raise self.fail(node, f"{fname}(value, lane)")
+            value = self._as_scalar(self.compile_expr(node.args[0]), node)
+            lane = self._as_scalar(self.compile_expr(node.args[1]), node)
+            return b.shuffle(fname.removeprefix("shfl_"), value, lane)
+        if fname in _MATH_UNARY:
+            if len(node.args) != 1:
+                raise self.fail(node, f"{fname}() takes one argument")
+            v = self._as_scalar(self.compile_expr(node.args[0]), node)
+            if fname != "abs" and not _operand_dtype(v).is_float:
+                v = b.cvt(v, dtypes.F64)
+            return b.unary(_MATH_UNARY[fname], v)
+        if fname in ("min", "max"):
+            if len(node.args) != 2:
+                raise self.fail(node, f"{fname}() takes two arguments")
+            a = self._as_scalar(self.compile_expr(node.args[0]), node)
+            b_ = self._as_scalar(self.compile_expr(node.args[1]), node)
+            return b.binop(fname, a, b_)
+        if fname in _TYPE_REFS:
+            if len(node.args) != 1:
+                raise self.fail(node, f"{fname}(x) takes one argument")
+            v = self._as_scalar(self.compile_expr(node.args[0]), node)
+            return b.cvt(v, _TYPE_REFS[fname].dtype)
+        raise self.fail(node, f"unknown intrinsic '{fname}'")
+
+    def compile_type_arg(self, node: ast.expr, ctx: ast.AST) -> TypeRef:
+        if isinstance(node, ast.Name):
+            if node.id in _TYPE_REFS:
+                return _TYPE_REFS[node.id]
+            try:
+                value = self.resolve_global(node.id)
+            except KeyError:
+                value = None
+            if isinstance(value, TypeRef):
+                return value
+        raise self.fail(ctx, "expected a DSL scalar type (f32, f64, i32, ...)")
+
+    def _resolve_const_int(self, node: ast.expr, ctx: ast.AST) -> int:
+        """Shared-memory sizes must be compile-time integers."""
+        if isinstance(node, ast.Name):
+            try:
+                value = self.resolve_global(node.id)
+            except KeyError:
+                raise self.fail(ctx, f"unknown constant '{node.id}'") from None
+            if isinstance(value, int):
+                return value
+        raise self.fail(ctx, "shared() size must be a compile-time integer")
+
+
+def _operand_dtype(op: Operand) -> DType:
+    return op.dtype

@@ -1,0 +1,74 @@
+"""Translation units: the object toolchains compile.
+
+A :class:`TranslationUnit` bundles compiled DSL kernels with the
+metadata that drives the compatibility machinery: which *programming
+model* the code is written against and which *source language* it
+represents.  A simulated toolchain accepts or rejects a translation
+unit based on exactly this pair plus the kernels' feature tags —
+mirroring how ``nvcc`` compiles CUDA C++ but not CUDA Fortran, and
+``ifx`` compiles OpenMP Fortran but not HIP anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.enums import Language, Model
+from repro.errors import FrontendError
+from repro.frontends.kernel_dsl import KernelFn
+
+
+@dataclass
+class TranslationUnit:
+    """Source-level unit of compilation.
+
+    Attributes:
+        name: Module name carried through to the device binary.
+        model: The programming model the source is written in.
+        language: The host language the source represents.  The embedded
+            DSL is Python either way; the tag models what a real source
+            file would be and is what language-restricted toolchains and
+            models check (e.g. SYCL rejects ``Language.FORTRAN``).
+        kernels: The device kernels of this unit.
+        features: Host-level feature tags beyond what kernels carry
+            (e.g. ``"openmp:metadirective"``, ``"async_streams"``),
+            consumed by the toolchain capability check.
+    """
+
+    name: str
+    model: Model
+    language: Language
+    kernels: list[KernelFn] = field(default_factory=list)
+    features: set[str] = field(default_factory=set)
+
+    def add(self, kernel: KernelFn) -> KernelFn:
+        if any(k.name == kernel.name for k in self.kernels):
+            raise FrontendError(
+                f"translation unit '{self.name}' already has kernel '{kernel.name}'"
+            )
+        self.kernels.append(kernel)
+        return kernel
+
+    def require(self, *features: str) -> "TranslationUnit":
+        """Tag host-level feature requirements (chainable)."""
+        self.features.update(features)
+        return self
+
+    def all_features(self) -> frozenset[str]:
+        """Union of host-level and per-kernel feature tags."""
+        tags = set(self.features)
+        for k in self.kernels:
+            tags |= k.ir.features
+        return frozenset(tags)
+
+    def kernel(self, name: str) -> KernelFn:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(f"no kernel '{name}' in translation unit '{self.name}'")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TU {self.name} model={self.model.value} lang={self.language.value} "
+            f"kernels={[k.name for k in self.kernels]}>"
+        )

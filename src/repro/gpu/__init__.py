@@ -1,0 +1,21 @@
+"""Simulated HPC GPU devices for the three vendors.
+
+* :mod:`repro.gpu.specs` — device spec catalog (A100/H100, MI100/MI250X,
+  Ponte Vecchio) with the public bandwidth/FLOP figures.
+* :mod:`repro.gpu.memory` — byte-addressable device memory with a
+  first-fit allocator and vectorized bounds/liveness checking.
+* :mod:`repro.gpu.perfmodel` — roofline timing model that converts the
+  interpreter's work counters into simulated seconds.
+* :mod:`repro.gpu.stream` — streams and events on a simulated timeline.
+* :mod:`repro.gpu.device` — the device object: loads ISA-checked
+  binaries, launches kernels, moves data.
+* :mod:`repro.gpu.runtime` — the simulated "machine": one device per
+  vendor, discovery helpers used by every programming model runtime.
+"""
+
+from repro.gpu.specs import DeviceSpec, SPEC_CATALOG, default_spec  # noqa: F401
+from repro.gpu.memory import Allocation, DeviceMemory  # noqa: F401
+from repro.gpu.perfmodel import PerfModel, LaunchTiming  # noqa: F401
+from repro.gpu.stream import Event, Stream  # noqa: F401
+from repro.gpu.device import Device  # noqa: F401
+from repro.gpu.runtime import System, default_system, get_device, reset_system  # noqa: F401

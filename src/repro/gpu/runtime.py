@@ -1,0 +1,86 @@
+"""The simulated machine: device discovery and the default system.
+
+Every programming-model runtime asks this module for devices, the way
+real runtimes enumerate GPUs through the driver.  The default system has
+one flagship device per vendor (H100, MI250X GCD, Ponte Vecchio) —
+"JUPITER, Frontier, and Aurora in one chassis" — which is what the
+compatibility probes and the BabelStream sweep run against.
+"""
+
+from __future__ import annotations
+
+from repro.enums import Vendor
+from repro.errors import ApiError
+from repro.gpu.device import DEFAULT_BACKING_BYTES, Device
+from repro.gpu.specs import SPEC_CATALOG, default_spec
+
+
+class System:
+    """A collection of simulated devices, indexable by vendor or id."""
+
+    def __init__(self, devices: list[Device]):
+        if not devices:
+            raise ApiError("a simulated system needs at least one device")
+        self.devices = devices
+        for i, d in enumerate(devices):
+            d.device_id = i
+
+    @classmethod
+    def default(cls, backing_bytes: int = DEFAULT_BACKING_BYTES) -> "System":
+        """One flagship device per vendor."""
+        return cls(
+            [
+                Device(default_spec(v), backing_bytes=backing_bytes)
+                for v in (Vendor.AMD, Vendor.INTEL, Vendor.NVIDIA)
+            ]
+        )
+
+    @classmethod
+    def of(cls, *names: str, backing_bytes: int = DEFAULT_BACKING_BYTES) -> "System":
+        """Build a system from spec-catalog names (e.g. two MI250X GCDs)."""
+        return cls([Device(SPEC_CATALOG[n], backing_bytes=backing_bytes) for n in names])
+
+    def device(self, selector: Vendor | int) -> Device:
+        """Select a device by vendor (first match) or ordinal id."""
+        if isinstance(selector, Vendor):
+            for d in self.devices:
+                if d.vendor is selector:
+                    return d
+            raise ApiError(f"no {selector.value} device in this system")
+        try:
+            return self.devices[selector]
+        except IndexError:
+            raise ApiError(
+                f"device id {selector} out of range ({len(self.devices)} devices)"
+            ) from None
+
+    def by_vendor(self, vendor: Vendor) -> list[Device]:
+        return [d for d in self.devices if d.vendor is vendor]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+
+_default_system: System | None = None
+
+
+def default_system() -> System:
+    """Process-wide default system (lazily created)."""
+    global _default_system
+    if _default_system is None:
+        _default_system = System.default()
+    return _default_system
+
+
+def get_device(vendor: Vendor) -> Device:
+    """Default system's device for a vendor."""
+    return default_system().device(vendor)
+
+
+def reset_system() -> None:
+    """Discard the default system (test isolation)."""
+    global _default_system
+    _default_system = None

@@ -1,0 +1,166 @@
+"""Device specification catalog.
+
+Numbers are the public datasheet figures for the HPC GPUs named in the
+paper's introduction: Frontier's MI250X (one GCD is the schedulable
+device, as on Frontier itself), Aurora's Data Center GPU Max (Ponte
+Vecchio), and NVIDIA's A100/H100 generation.  The perf model consumes
+bandwidth/FLOP rates; the execution engine consumes the geometric limits
+(threads per block, shared memory, execution width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enums import ISA, Vendor
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one simulated GPU."""
+
+    name: str
+    vendor: Vendor
+    isa: ISA
+    compute_units: int  # SMs / CUs / Xe-cores
+    warp_size: int  # warp / wavefront / sub-group width
+    max_threads_per_block: int
+    shared_per_block: int  # bytes of shared memory / LDS / SLM
+    memory_bytes: int  # advertised HBM capacity
+    bandwidth_gbs: float  # peak HBM bandwidth, GB/s
+    fp64_gflops: float  # peak vector FP64, GFLOP/s
+    fp32_gflops: float
+    interconnect_gbs: float  # host link (PCIe/NVLink-C2C/Infinity)
+    launch_overhead_us: float  # fixed kernel-launch latency
+    clock_ghz: float
+    simd_lanes_per_cu: int  # per-CU SIMT lane count (issue-rate model)
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Rough full-occupancy thread count (2048/CU class devices)."""
+        return self.compute_units * 2048
+
+
+SPEC_CATALOG: dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (
+        DeviceSpec(
+            name="A100-SXM4-80GB",
+            vendor=Vendor.NVIDIA,
+            isa=ISA.PTX,
+            compute_units=108,
+            warp_size=32,
+            max_threads_per_block=1024,
+            shared_per_block=164 * 1024,
+            memory_bytes=80 * 1024**3,
+            bandwidth_gbs=2039.0,
+            fp64_gflops=9_700.0,
+            fp32_gflops=19_500.0,
+            interconnect_gbs=64.0,
+            launch_overhead_us=4.0,
+            clock_ghz=1.41,
+            simd_lanes_per_cu=128,
+        ),
+        DeviceSpec(
+            name="H100-SXM5",
+            vendor=Vendor.NVIDIA,
+            isa=ISA.PTX,
+            compute_units=132,
+            warp_size=32,
+            max_threads_per_block=1024,
+            shared_per_block=228 * 1024,
+            memory_bytes=80 * 1024**3,
+            bandwidth_gbs=3350.0,
+            fp64_gflops=33_500.0,
+            fp32_gflops=66_900.0,
+            interconnect_gbs=128.0,
+            launch_overhead_us=3.5,
+            clock_ghz=1.83,
+            simd_lanes_per_cu=128,
+        ),
+        DeviceSpec(
+            name="MI100",
+            vendor=Vendor.AMD,
+            isa=ISA.AMDGCN,
+            compute_units=120,
+            warp_size=64,
+            max_threads_per_block=1024,
+            shared_per_block=64 * 1024,
+            memory_bytes=32 * 1024**3,
+            bandwidth_gbs=1228.8,
+            fp64_gflops=11_500.0,
+            fp32_gflops=23_100.0,
+            interconnect_gbs=64.0,
+            launch_overhead_us=5.0,
+            clock_ghz=1.50,
+            simd_lanes_per_cu=64,
+        ),
+        DeviceSpec(
+            # One MI250X Graphics Compute Die: Frontier schedules per GCD.
+            name="MI250X-GCD",
+            vendor=Vendor.AMD,
+            isa=ISA.AMDGCN,
+            compute_units=110,
+            warp_size=64,
+            max_threads_per_block=1024,
+            shared_per_block=64 * 1024,
+            memory_bytes=64 * 1024**3,
+            bandwidth_gbs=1638.0,
+            fp64_gflops=23_950.0,
+            fp32_gflops=23_950.0,
+            interconnect_gbs=72.0,
+            launch_overhead_us=5.0,
+            clock_ghz=1.70,
+            simd_lanes_per_cu=64,
+        ),
+        DeviceSpec(
+            # El Capitan's APU (the intro's "next-generation AMD GPUs").
+            name="MI300A",
+            vendor=Vendor.AMD,
+            isa=ISA.AMDGCN,
+            compute_units=228,
+            warp_size=64,
+            max_threads_per_block=1024,
+            shared_per_block=64 * 1024,
+            memory_bytes=128 * 1024**3,
+            bandwidth_gbs=5300.0,
+            fp64_gflops=61_300.0,
+            fp32_gflops=122_600.0,
+            interconnect_gbs=128.0,  # unified memory APU fabric
+            launch_overhead_us=4.0,
+            clock_ghz=2.10,
+            simd_lanes_per_cu=64,
+        ),
+        DeviceSpec(
+            # Intel Data Center GPU Max 1550 (Ponte Vecchio), one OAM.
+            name="DataCenterMax-1550",
+            vendor=Vendor.INTEL,
+            isa=ISA.SPIRV,
+            compute_units=128,  # Xe-cores
+            warp_size=16,
+            max_threads_per_block=1024,
+            shared_per_block=128 * 1024,
+            memory_bytes=128 * 1024**3,
+            bandwidth_gbs=3276.8,
+            fp64_gflops=52_000.0,
+            fp32_gflops=52_000.0,
+            interconnect_gbs=64.0,
+            launch_overhead_us=6.0,
+            clock_ghz=1.60,
+            simd_lanes_per_cu=128,
+        ),
+    )
+}
+
+#: Flagship device per vendor, used by the default simulated system:
+#: the JUPITER/Frontier/Aurora-class parts the paper's introduction names.
+DEFAULT_DEVICE: dict[Vendor, str] = {
+    Vendor.NVIDIA: "H100-SXM5",
+    Vendor.AMD: "MI250X-GCD",
+    Vendor.INTEL: "DataCenterMax-1550",
+}
+
+
+def default_spec(vendor: Vendor) -> DeviceSpec:
+    """The default simulated device for a vendor."""
+    return SPEC_CATALOG[DEFAULT_DEVICE[vendor]]

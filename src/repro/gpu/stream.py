@@ -1,0 +1,93 @@
+"""Streams and events on a simulated timeline.
+
+Work submitted to a stream executes in FIFO order; distinct streams may
+overlap.  Because the interpreter runs work eagerly (host-side), the
+"timeline" is bookkeeping: each stream tracks the simulated time at
+which its last enqueued operation completes, events capture those times,
+and cross-stream waits propagate them — enough to reproduce the
+synchronization *semantics* (and the simulated-time consequences of
+overlap) that the CUDA/HIP/SYCL models expose to users.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import StreamError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Device
+
+_ids = itertools.count(1)
+
+
+class Event:
+    """A marker on a stream's timeline (cudaEvent/hipEvent analog)."""
+
+    def __init__(self, device: "Device"):
+        self.device = device
+        self.event_id = next(_ids)
+        self.recorded = False
+        self.time_s: float = 0.0
+
+    def elapsed_since(self, earlier: "Event") -> float:
+        """Seconds between two recorded events (cudaEventElapsedTime)."""
+        if not (self.recorded and earlier.recorded):
+            raise StreamError("elapsed time of unrecorded event(s)")
+        return self.time_s - earlier.time_s
+
+
+class Stream:
+    """An in-order work queue on one device."""
+
+    def __init__(self, device: "Device", default: bool = False):
+        self.device = device
+        self.stream_id = 0 if default else next(_ids)
+        self.default = default
+        self.tail_s: float = 0.0  # completion time of last enqueued op
+        self.ops_enqueued = 0
+        self.destroyed = False
+
+    # -- timeline -------------------------------------------------------------
+
+    def push(self, duration_s: float, start_not_before: float = 0.0,
+             label: str | None = None, category: str = "op") -> float:
+        """Enqueue an operation; returns its simulated completion time."""
+        if self.destroyed:
+            raise StreamError("operation on destroyed stream")
+        start = max(self.tail_s, start_not_before, self.device.now_s)
+        self.tail_s = start + duration_s
+        self.ops_enqueued += 1
+        tracer = getattr(self.device, "tracer", None)
+        if tracer is not None:
+            tracer.record(label or "op", category, self.stream_id,
+                          start, self.tail_s)
+        return self.tail_s
+
+    # -- synchronization ---------------------------------------------------
+
+    def record(self, event: Event) -> Event:
+        if event.device is not self.device:
+            raise StreamError("event recorded on a foreign device's stream")
+        event.recorded = True
+        event.time_s = self.tail_s
+        return event
+
+    def wait_event(self, event: Event) -> None:
+        """Future work on this stream starts after ``event`` (cross-stream)."""
+        if not event.recorded:
+            raise StreamError("wait on unrecorded event")
+        if event.device is not self.device:
+            raise StreamError("cross-device event wait is not supported")
+        self.tail_s = max(self.tail_s, event.time_s)
+
+    def synchronize(self) -> float:
+        """Block the (simulated) host until the stream drains."""
+        self.device.advance_host(self.tail_s)
+        return self.tail_s
+
+    def destroy(self) -> None:
+        if self.default:
+            raise StreamError("cannot destroy the default stream")
+        self.destroyed = True

@@ -1,0 +1,114 @@
+"""Timeline tracing of simulated device activity (nsys/rocprof-style).
+
+Attach a :class:`Tracer` to a device and every stream operation (kernel
+launch, copy) is recorded with its simulated start/end time, stream, and
+label.  The trace exports to the Chrome ``chrome://tracing`` /
+Perfetto JSON format, so simulated timelines can be inspected with the
+same tooling real GPU profiles use.
+
+Usage::
+
+    device = get_device(Vendor.NVIDIA)
+    tracer = attach_tracer(device)
+    ... run kernels ...
+    tracer.save("timeline.json")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Device
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed operation on a stream timeline."""
+
+    name: str
+    category: str  # "kernel" | "memcpy" | "op"
+    stream_id: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class Tracer:
+    """Collects events from one device."""
+
+    device_name: str
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, name: str, category: str, stream_id: int,
+               start_s: float, end_s: float) -> None:
+        if self.enabled:
+            self.events.append(
+                TraceEvent(name, category, stream_id, start_s, end_s)
+            )
+
+    # -- queries ---------------------------------------------------------------
+
+    def kernels(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == "kernel"]
+
+    def copies(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.category == "memcpy"]
+
+    def busy_time(self, stream_id: int | None = None) -> float:
+        """Total busy seconds (per stream, or across all streams)."""
+        return sum(
+            e.duration_s for e in self.events
+            if stream_id is None or e.stream_id == stream_id
+        )
+
+    def span(self) -> float:
+        """Wall span from first start to last end."""
+        if not self.events:
+            return 0.0
+        return (max(e.end_s for e in self.events)
+                - min(e.start_s for e in self.events))
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome_trace(self) -> str:
+        """Serialize to the Chrome tracing JSON format (µs timestamps)."""
+        records = [
+            {
+                "name": e.name,
+                "cat": e.category,
+                "ph": "X",  # complete event
+                "ts": e.start_s * 1e6,
+                "dur": e.duration_s * 1e6,
+                "pid": self.device_name,
+                "tid": f"stream {e.stream_id}",
+            }
+            for e in self.events
+        ]
+        return json.dumps({"traceEvents": records,
+                           "displayTimeUnit": "ns"}, indent=1)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_chrome_trace())
+
+
+def attach_tracer(device: "Device") -> Tracer:
+    """Attach (or return the existing) tracer of a device."""
+    if getattr(device, "tracer", None) is None:
+        device.tracer = Tracer(device_name=device.spec.name)
+    return device.tracer
+
+
+def detach_tracer(device: "Device") -> Tracer | None:
+    """Remove and return the device's tracer."""
+    tracer = getattr(device, "tracer", None)
+    device.tracer = None
+    return tracer

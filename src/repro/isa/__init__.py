@@ -1,0 +1,58 @@
+"""Virtual instruction sets and the abstract kernel IR.
+
+This package provides the lowest layer of the simulated GPU ecosystem:
+
+* :mod:`repro.isa.dtypes` — scalar value types shared by IR and devices.
+* :mod:`repro.isa.instructions` — the abstract kernel IR: a register
+  machine with structured control flow (``If``/``While``), typed
+  memory operations, barriers, atomics, and cross-lane shuffles.
+* :mod:`repro.isa.module` — kernels, modules, and ISA-targeted binaries.
+* :mod:`repro.isa.builder` — convenience builder used by all frontends.
+* :mod:`repro.isa.verifier` — structural/type verification of kernels.
+* :mod:`repro.isa.targets` — lowering ("legalization") of abstract
+  modules to the three vendor ISAs (PTX, AMDGCN, SPIR-V).
+* :mod:`repro.isa.interpreter` — the vectorized SIMT executor: one NumPy
+  lane per thread, mask-based divergence, per-block shared memory.
+* :mod:`repro.isa.assembly` — textual disassembly in per-ISA syntax.
+"""
+
+from repro.isa.dtypes import (  # noqa: F401
+    DType,
+    F32,
+    F64,
+    I32,
+    I64,
+    PRED,
+    U8,
+    U32,
+    U64,
+    SCALAR_TYPES,
+)
+from repro.isa.instructions import (  # noqa: F401
+    AtomicOp,
+    Barrier,
+    BinOp,
+    Cmp,
+    Cvt,
+    Exit,
+    If,
+    Imm,
+    Load,
+    MemSpace,
+    Mov,
+    Param,
+    Register,
+    Select,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    SpecialReg,
+    Store,
+    UnaryOp,
+    While,
+)
+from repro.isa.module import KernelIR, ModuleIR, TargetModule  # noqa: F401
+from repro.isa.builder import IRBuilder  # noqa: F401
+from repro.isa.verifier import verify_kernel, verify_module  # noqa: F401
+from repro.isa.targets import get_target, legalize  # noqa: F401
+from repro.isa.interpreter import KernelExecutor, LaunchStats  # noqa: F401

@@ -1,0 +1,225 @@
+"""Textual disassembly of kernels in per-ISA syntax.
+
+Purely for inspection and provenance: compile results carry a
+human-readable listing in the flavour of the real ISA (PTX mnemonics,
+GCN-style ``v_``/``s_`` ops, SPIR-V ``Op*`` instructions), the way
+``cuobjdump``/``roc-obj``/``spirv-dis`` would show them.  There is no
+parser; the :class:`~repro.isa.module.TargetModule` object remains the
+executable artifact.
+"""
+
+from __future__ import annotations
+
+from repro.enums import ISA
+from repro.isa.instructions import (
+    AtomicOp,
+    Barrier,
+    BinOp,
+    Cmp,
+    Cvt,
+    Exit,
+    If,
+    Imm,
+    Load,
+    Mov,
+    Operand,
+    Select,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    Store,
+    UnaryOp,
+    While,
+)
+from repro.isa.module import KernelIR, TargetModule
+
+_PTX_BIN = {
+    "add": "add", "sub": "sub", "mul": "mul", "div": "div", "rem": "rem",
+    "min": "min", "max": "max", "pow": "pow", "and": "and", "or": "or",
+    "xor": "xor", "shl": "shl", "shr": "shr",
+}
+
+_GCN_BIN = {
+    "add": "v_add", "sub": "v_sub", "mul": "v_mul", "div": "v_div",
+    "rem": "v_rem", "min": "v_min", "max": "v_max", "pow": "v_pow",
+    "and": "v_and", "or": "v_or", "xor": "v_xor", "shl": "v_lshl",
+    "shr": "v_lshr",
+}
+
+_SPV_BIN = {
+    "add": "OpIAdd", "sub": "OpISub", "mul": "OpIMul", "div": "OpSDiv",
+    "rem": "OpSRem", "min": "OpExtInst_min", "max": "OpExtInst_max",
+    "pow": "OpExtInst_pow", "and": "OpBitwiseAnd", "or": "OpBitwiseOr",
+    "xor": "OpBitwiseXor", "shl": "OpShiftLeftLogical",
+    "shr": "OpShiftRightLogical",
+}
+
+_SPV_FLOAT_BIN = {"add": "OpFAdd", "sub": "OpFSub", "mul": "OpFMul", "div": "OpFDiv"}
+
+
+def _op(o: Operand) -> str:
+    if isinstance(o, Imm):
+        return repr(o.value)
+    return f"%{o.name}"
+
+
+class _Emitter:
+    def __init__(self, isa: ISA):
+        self.isa = isa
+        self.lines: list[str] = []
+        self.depth = 1
+
+    def put(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def emit_body(self, body) -> None:
+        for instr in body:
+            self.emit(instr)
+
+    # One flavour function per ISA keeps the mnemonic tables honest.
+    def emit(self, instr) -> None:
+        isa = self.isa
+        if isinstance(instr, Mov):
+            if isa is ISA.SPIRV:
+                self.put(f"{_op(instr.dst)} = OpCopyObject {_op(instr.src)}")
+            else:
+                mn = "mov" if isa is ISA.PTX else "v_mov_b32"
+                self.put(f"{mn}.{instr.dst.dtype.name} {_op(instr.dst)}, {_op(instr.src)};")
+        elif isinstance(instr, BinOp):
+            t = instr.dst.dtype
+            if isa is ISA.PTX:
+                self.put(f"{_PTX_BIN[instr.op]}.{t.name} {_op(instr.dst)}, {_op(instr.a)}, {_op(instr.b)};")
+            elif isa is ISA.AMDGCN:
+                self.put(f"{_GCN_BIN[instr.op]}_{t.name} {_op(instr.dst)}, {_op(instr.a)}, {_op(instr.b)}")
+            else:
+                mn = _SPV_FLOAT_BIN.get(instr.op, _SPV_BIN[instr.op]) if t.is_float else _SPV_BIN[instr.op]
+                self.put(f"{_op(instr.dst)} = {mn} {_op(instr.a)} {_op(instr.b)}")
+        elif isinstance(instr, UnaryOp):
+            if isa is ISA.PTX:
+                self.put(f"{instr.op}.{instr.dst.dtype.name} {_op(instr.dst)}, {_op(instr.src)};")
+            elif isa is ISA.AMDGCN:
+                self.put(f"v_{instr.op}_{instr.dst.dtype.name} {_op(instr.dst)}, {_op(instr.src)}")
+            else:
+                self.put(f"{_op(instr.dst)} = OpExtInst_{instr.op} {_op(instr.src)}")
+        elif isinstance(instr, Cmp):
+            if isa is ISA.PTX:
+                self.put(f"setp.{instr.op}.{instr.a.dtype.name} {_op(instr.dst)}, {_op(instr.a)}, {_op(instr.b)};")
+            elif isa is ISA.AMDGCN:
+                self.put(f"v_cmp_{instr.op}_{instr.a.dtype.name} {_op(instr.dst)}, {_op(instr.a)}, {_op(instr.b)}")
+            else:
+                kind = "OpFOrd" if instr.a.dtype.is_float else "OpI"
+                self.put(f"{_op(instr.dst)} = {kind}{instr.op.capitalize()} {_op(instr.a)} {_op(instr.b)}")
+        elif isinstance(instr, Select):
+            mn = {"ptx": "selp", "amdgcn": "v_cndmask_b32", "spirv": "OpSelect"}[self.isa.value]
+            self.put(f"{mn} {_op(instr.dst)}, {_op(instr.a)}, {_op(instr.b)}, {_op(instr.pred)};")
+        elif isinstance(instr, Cvt):
+            if isa is ISA.SPIRV:
+                self.put(f"{_op(instr.dst)} = OpConvert {_op(instr.src)}")
+            else:
+                mn = "cvt" if isa is ISA.PTX else "v_cvt"
+                self.put(f"{mn}.{instr.dst.dtype.name}.{instr.src.dtype.name} {_op(instr.dst)}, {_op(instr.src)};")
+        elif isinstance(instr, Load):
+            t = instr.dst.dtype.name
+            if isa is ISA.PTX:
+                self.put(f"ld.{instr.space}.{t} {_op(instr.dst)}, [{_op(instr.addr)}];")
+            elif isa is ISA.AMDGCN:
+                mn = "global_load" if instr.space == "global" else "ds_read"
+                self.put(f"{mn}_{t} {_op(instr.dst)}, {_op(instr.addr)}")
+            else:
+                self.put(f"{_op(instr.dst)} = OpLoad[{instr.space}] {_op(instr.addr)}")
+        elif isinstance(instr, Store):
+            t = instr.src.dtype.name
+            if isa is ISA.PTX:
+                self.put(f"st.{instr.space}.{t} [{_op(instr.addr)}], {_op(instr.src)};")
+            elif isa is ISA.AMDGCN:
+                mn = "global_store" if instr.space == "global" else "ds_write"
+                self.put(f"{mn}_{t} {_op(instr.addr)}, {_op(instr.src)}")
+            else:
+                self.put(f"OpStore[{instr.space}] {_op(instr.addr)} {_op(instr.src)}")
+        elif isinstance(instr, SpecialRead):
+            if isa is ISA.PTX:
+                self.put(f"mov.u32 {_op(instr.dst)}, %{instr.which};")
+            elif isa is ISA.AMDGCN:
+                self.put(f"s_get_{instr.which.replace('.', '_')} {_op(instr.dst)}")
+            else:
+                self.put(f"{_op(instr.dst)} = OpBuiltin {instr.which}")
+        elif isinstance(instr, Barrier):
+            mn = {"ptx": "bar.sync 0;", "amdgcn": "s_barrier",
+                  "spirv": "OpControlBarrier Workgroup"}[self.isa.value]
+            self.put(mn)
+        elif isinstance(instr, AtomicOp):
+            if isa is ISA.PTX:
+                self.put(f"atom.{instr.space}.{instr.op}.{instr.src.dtype.name} "
+                         f"{_op(instr.dst) if instr.dst else '_'}, [{_op(instr.addr)}], {_op(instr.src)};")
+            elif isa is ISA.AMDGCN:
+                self.put(f"global_atomic_{instr.op} {_op(instr.addr)}, {_op(instr.src)}")
+            else:
+                self.put(f"OpAtomic{instr.op.capitalize()} {_op(instr.addr)} {_op(instr.src)}")
+        elif isinstance(instr, Shuffle):
+            if isa is ISA.PTX:
+                self.put(f"shfl.sync.{instr.mode}.b32 {_op(instr.dst)}, {_op(instr.src)}, {_op(instr.lane)};")
+            elif isa is ISA.AMDGCN:
+                self.put(f"ds_permute_{instr.mode} {_op(instr.dst)}, {_op(instr.src)}, {_op(instr.lane)}")
+            else:
+                self.put(f"{_op(instr.dst)} = OpGroupNonUniformShuffle[{instr.mode}] {_op(instr.src)} {_op(instr.lane)}")
+        elif isinstance(instr, SharedAlloc):
+            self.put(f"// .shared .align {instr.dtype.itemsize} "
+                     f".b8 [{instr.count * instr.dtype.itemsize}] -> {_op(instr.dst)}")
+        elif isinstance(instr, Exit):
+            mn = {"ptx": "ret;", "amdgcn": "s_endpgm", "spirv": "OpReturn"}[self.isa.value]
+            self.put(mn)
+        elif isinstance(instr, If):
+            self.put(f"@!{_op(instr.cond)} {{  // if")
+            self.depth += 1
+            self.emit_body(instr.then_body)
+            self.depth -= 1
+            if instr.else_body:
+                self.put("} else {")
+                self.depth += 1
+                self.emit_body(instr.else_body)
+                self.depth -= 1
+            self.put("}")
+        elif isinstance(instr, While):
+            self.put("loop {  // while")
+            self.depth += 1
+            self.emit_body(instr.cond_body)
+            self.put(f"@!{_op(instr.cond)} break;")
+            self.emit_body(instr.body)
+            self.depth -= 1
+            self.put("}")
+        else:  # pragma: no cover
+            self.put(f"// <unknown {type(instr).__name__}>")
+
+
+def disassemble_kernel(kernel: KernelIR, isa: ISA) -> str:
+    """Render one kernel in the assembly flavour of ``isa``."""
+    em = _Emitter(isa)
+    if isa is ISA.PTX:
+        header = f".visible .entry {kernel.name}("
+        params = ", ".join(f".param .{p.dtype.name} {p.name}" for p in kernel.params)
+        em.lines.append(header + params + ")")
+        em.lines.append("{")
+        em.emit_body(kernel.body)
+        em.lines.append("}")
+    elif isa is ISA.AMDGCN:
+        em.lines.append(f".amdgcn_kernel {kernel.name}")
+        for p in kernel.params:
+            em.lines.append(f"    ; arg {p.name}: {p.dtype.name}{'*' if p.is_pointer else ''}")
+        em.emit_body(kernel.body)
+        em.lines.append("    s_endpgm")
+    else:
+        em.lines.append(f"OpEntryPoint Kernel %{kernel.name}")
+        for p in kernel.params:
+            em.lines.append(f"OpFunctionParameter %{p.name} ; {p.dtype.name}")
+        em.emit_body(kernel.body)
+        em.lines.append("OpFunctionEnd")
+    return "\n".join(em.lines)
+
+
+def disassemble(binary: TargetModule) -> str:
+    """Render every kernel of a target module."""
+    parts = [f"// module {binary.name}  isa={binary.isa.value}  "
+             f"warp={binary.warp_size}  producer={binary.producer}"]
+    for kernel in binary.module:
+        parts.append(disassemble_kernel(kernel, binary.isa))
+    return "\n\n".join(parts)

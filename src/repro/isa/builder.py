@@ -1,0 +1,425 @@
+"""Convenience builder for constructing kernel IR.
+
+All frontends (the kernel DSL, the model runtimes, the translators' code
+generators) build IR through this class rather than instantiating
+instruction dataclasses directly.  The builder:
+
+* allocates fresh virtual registers,
+* auto-promotes mixed-type arithmetic operands (inserting ``Cvt``),
+* coerces Python numbers to immediates of the right type,
+* provides structured-control-flow context managers, and
+* offers composite helpers (``global_id``, ``elem_addr``, ``for_range``)
+  that every programming model needs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Union
+
+from repro.errors import IRError
+from repro.isa import dtypes
+from repro.isa.dtypes import DType
+from repro.isa.instructions import (
+    ATOMIC_OPS,
+    BINARY_OPS,
+    CMP_OPS,
+    SHUFFLE_MODES,
+    UNARY_OPS,
+    AtomicOp,
+    Barrier,
+    BinOp,
+    Cmp,
+    Cvt,
+    Exit,
+    If,
+    Imm,
+    Instruction,
+    Load,
+    MemSpace,
+    Mov,
+    Operand,
+    Param,
+    Register,
+    Select,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    SpecialReg,
+    Store,
+    UnaryOp,
+    While,
+)
+from repro.isa.module import KernelIR
+
+Number = Union[int, float, bool]
+OperandLike = Union[Register, Imm, Number]
+
+
+class IRBuilder:
+    """Builds one :class:`~repro.isa.module.KernelIR`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.params: list[Param] = []
+        self._body: list[Instruction] = []
+        self._stack: list[list[Instruction]] = [self._body]
+        self._counter = 0
+        self._features: set[str] = set()
+        self._names: set[str] = set()
+
+    # -- parameters and registers ------------------------------------------
+
+    def param(self, name: str, dtype: DType, pointer: bool = False) -> Register:
+        """Declare a kernel parameter and return its register."""
+        if name in self._names:
+            raise IRError(f"duplicate parameter name '{name}'")
+        self._names.add(name)
+        p = Param(name, dtype, is_pointer=pointer)
+        self.params.append(p)
+        return p.reg
+
+    def fresh(self, dtype: DType, hint: str = "t") -> Register:
+        """Allocate a fresh virtual register."""
+        self._counter += 1
+        return Register(f"{hint}{self._counter}", dtype)
+
+    def named(self, name: str, dtype: DType) -> Register:
+        """A stable, user-named register (for DSL variables)."""
+        return Register(name, dtype)
+
+    def feature(self, tag: str) -> None:
+        """Attach a feature tag to the kernel (consumed by toolchains)."""
+        self._features.add(tag)
+
+    # -- emission ------------------------------------------------------------
+
+    @property
+    def _cur(self) -> list[Instruction]:
+        return self._stack[-1]
+
+    def emit(self, instr: Instruction) -> Instruction:
+        self._cur.append(instr)
+        return instr
+
+    def operand(self, value: OperandLike, dtype: DType | None = None) -> Operand:
+        """Coerce a Python number (or pass through an operand)."""
+        if isinstance(value, (Register, Imm)):
+            return value
+        if dtype is None:
+            if isinstance(value, bool):
+                dtype = dtypes.PRED
+            elif isinstance(value, int):
+                dtype = dtypes.I64
+            else:
+                dtype = dtypes.F64
+        return Imm(value, dtype)
+
+    # -- data movement ---------------------------------------------------------
+
+    def mov(self, dst: Register, src: OperandLike) -> Register:
+        src_op = self.operand(src, dst.dtype)
+        if src_op.dtype != dst.dtype:
+            src_op = self.cvt(src_op, dst.dtype)
+        self.emit(Mov(dst, src_op))
+        return dst
+
+    def cvt(self, src: OperandLike, dtype: DType) -> Operand:
+        """Convert ``src`` to ``dtype`` (no-op when already there)."""
+        src_op = self.operand(src)
+        if src_op.dtype == dtype:
+            return src_op
+        if isinstance(src_op, Imm) and not (src_op.dtype.is_pred or dtype.is_pred):
+            # Fold immediate conversions at build time.
+            return Imm(src_op.value, dtype)
+        dst = self.fresh(dtype, "cv")
+        self.emit(Cvt(dst, src_op))
+        return dst
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _coerce_pair(self, a: OperandLike, b: OperandLike) -> tuple[Operand, Operand, DType]:
+        # Give bare Python numbers the dtype of the other operand when
+        # possible, so `b.add(i32_reg, 1)` does the obvious thing.
+        a_known = isinstance(a, (Register, Imm))
+        b_known = isinstance(b, (Register, Imm))
+        if a_known and not b_known:
+            a_op = self.operand(a)
+            b_op = self.operand(b, a_op.dtype)
+        elif b_known and not a_known:
+            b_op = self.operand(b)
+            a_op = self.operand(a, b_op.dtype)
+        else:
+            a_op, b_op = self.operand(a), self.operand(b)
+        result = dtypes.promote(a_op.dtype, b_op.dtype)
+        return self.cvt(a_op, result), self.cvt(b_op, result), result
+
+    def binop(self, op: str, a: OperandLike, b: OperandLike) -> Register:
+        if op not in BINARY_OPS:
+            raise IRError(f"unknown binary op '{op}'")
+        a_op, b_op, result = self._coerce_pair(a, b)
+        dst = self.fresh(result, op[:2])
+        self.emit(BinOp(op, dst, a_op, b_op))
+        return dst
+
+    def unary(self, op: str, src: OperandLike) -> Register:
+        if op not in UNARY_OPS:
+            raise IRError(f"unknown unary op '{op}'")
+        src_op = self.operand(src)
+        dtype = dtypes.PRED if op == "not" else src_op.dtype
+        if op in ("sqrt", "rsqrt", "exp", "log", "sin", "cos", "tanh") and not src_op.dtype.is_float:
+            src_op = self.cvt(src_op, dtypes.F64)
+            dtype = dtypes.F64
+        dst = self.fresh(dtype, op[:2])
+        self.emit(UnaryOp(op, dst, src_op))
+        return dst
+
+    def add(self, a, b):
+        return self.binop("add", a, b)
+
+    def sub(self, a, b):
+        return self.binop("sub", a, b)
+
+    def mul(self, a, b):
+        return self.binop("mul", a, b)
+
+    def div(self, a, b):
+        return self.binop("div", a, b)
+
+    def rem(self, a, b):
+        return self.binop("rem", a, b)
+
+    def min(self, a, b):
+        return self.binop("min", a, b)
+
+    def max(self, a, b):
+        return self.binop("max", a, b)
+
+    def cmp(self, op: str, a: OperandLike, b: OperandLike) -> Register:
+        if op not in CMP_OPS:
+            raise IRError(f"unknown comparison op '{op}'")
+        a_op, b_op, _ = self._coerce_pair(a, b)
+        dst = self.fresh(dtypes.PRED, "p")
+        self.emit(Cmp(op, dst, a_op, b_op))
+        return dst
+
+    def eq(self, a, b):
+        return self.cmp("eq", a, b)
+
+    def ne(self, a, b):
+        return self.cmp("ne", a, b)
+
+    def lt(self, a, b):
+        return self.cmp("lt", a, b)
+
+    def le(self, a, b):
+        return self.cmp("le", a, b)
+
+    def gt(self, a, b):
+        return self.cmp("gt", a, b)
+
+    def ge(self, a, b):
+        return self.cmp("ge", a, b)
+
+    def logical_and(self, a: OperandLike, b: OperandLike) -> Register:
+        a_op = self.operand(a, dtypes.PRED)
+        b_op = self.operand(b, dtypes.PRED)
+        dst = self.fresh(dtypes.PRED, "p")
+        self.emit(BinOp("and", dst, a_op, b_op))
+        return dst
+
+    def logical_or(self, a: OperandLike, b: OperandLike) -> Register:
+        a_op = self.operand(a, dtypes.PRED)
+        b_op = self.operand(b, dtypes.PRED)
+        dst = self.fresh(dtypes.PRED, "p")
+        self.emit(BinOp("or", dst, a_op, b_op))
+        return dst
+
+    def select(self, pred: OperandLike, a: OperandLike, b: OperandLike) -> Register:
+        a_op, b_op, result = self._coerce_pair(a, b)
+        dst = self.fresh(result, "sel")
+        self.emit(Select(dst, self.operand(pred, dtypes.PRED), a_op, b_op))
+        return dst
+
+    # -- memory ---------------------------------------------------------------
+
+    def elem_addr(self, base: OperandLike, index: OperandLike, dtype: DType) -> Register:
+        """Byte address of ``base[index]`` for elements of ``dtype``."""
+        base_op = self.cvt(base, dtypes.U64)
+        idx_op = self.cvt(index, dtypes.U64)
+        offset = self.binop("mul", idx_op, Imm(dtype.itemsize, dtypes.U64))
+        return self.binop("add", base_op, offset)
+
+    def load(self, dtype: DType, addr: OperandLike, space: str = MemSpace.GLOBAL) -> Register:
+        dst = self.fresh(dtype, "ld")
+        self.emit(Load(dst, space, self.cvt(addr, dtypes.U64)))
+        return dst
+
+    def store(self, addr: OperandLike, src: OperandLike, space: str = MemSpace.GLOBAL) -> None:
+        self.emit(Store(space, self.cvt(addr, dtypes.U64), self.operand(src)))
+
+    def load_elem(self, base: OperandLike, index: OperandLike, dtype: DType,
+                  space: str = MemSpace.GLOBAL) -> Register:
+        return self.load(dtype, self.elem_addr(base, index, dtype), space)
+
+    def store_elem(self, base: OperandLike, index: OperandLike, src: OperandLike,
+                   dtype: DType, space: str = MemSpace.GLOBAL) -> None:
+        self.store(self.elem_addr(base, index, dtype), self.cvt(src, dtype), space)
+
+    def shared_alloc(self, dtype: DType, count: int) -> Register:
+        if len(self._stack) != 1:
+            raise IRError("shared memory must be allocated at kernel top level")
+        dst = self.fresh(dtypes.U64, "smem")
+        self.emit(SharedAlloc(dst, dtype, count))
+        self.feature("shared_memory")
+        return dst
+
+    def atomic(self, op: str, addr: OperandLike, src: OperandLike,
+               space: str = MemSpace.GLOBAL, dtype: DType | None = None,
+               compare: OperandLike | None = None,
+               want_old: bool = False) -> Register | None:
+        if op not in ATOMIC_OPS:
+            raise IRError(f"unknown atomic op '{op}'")
+        src_op = self.operand(src) if dtype is None else self.cvt(src, dtype)
+        dst = self.fresh(src_op.dtype, "old") if want_old or op == "cas" else None
+        cmp_op = None if compare is None else self.cvt(compare, src_op.dtype)
+        self.emit(AtomicOp(op, dst, space, self.cvt(addr, dtypes.U64), src_op, cmp_op))
+        self.feature("atomics")
+        return dst
+
+    # -- special values ---------------------------------------------------------
+
+    def special(self, which: str) -> Register:
+        if which not in SpecialReg.ALL:
+            raise IRError(f"unknown special register '{which}'")
+        dst = self.fresh(dtypes.U32, which.replace(".", "_"))
+        self.emit(SpecialRead(dst, which))
+        return dst
+
+    def global_id(self, dim: int = 0) -> Register:
+        """``ctaid[dim] * ntid[dim] + tid[dim]`` widened to i64."""
+        axis = "xyz"[dim]
+        ctaid = self.special(f"ctaid.{axis}")
+        ntid = self.special(f"ntid.{axis}")
+        tid = self.special(f"tid.{axis}")
+        wide = self.binop("mul", self.cvt(ctaid, dtypes.I64), self.cvt(ntid, dtypes.I64))
+        return self.binop("add", wide, self.cvt(tid, dtypes.I64))
+
+    def global_size(self, dim: int = 0) -> Register:
+        """Total launched threads along ``dim`` as i64 (for grid-stride loops)."""
+        axis = "xyz"[dim]
+        nctaid = self.special(f"nctaid.{axis}")
+        ntid = self.special(f"ntid.{axis}")
+        return self.binop(
+            "mul", self.cvt(nctaid, dtypes.I64), self.cvt(ntid, dtypes.I64)
+        )
+
+    def barrier(self) -> None:
+        self.emit(Barrier())
+        self.feature("barrier")
+
+    def shuffle(self, mode: str, src: OperandLike, lane: OperandLike) -> Register:
+        if mode not in SHUFFLE_MODES:
+            raise IRError(f"unknown shuffle mode '{mode}'")
+        src_op = self.operand(src)
+        dst = self.fresh(src_op.dtype, "shfl")
+        self.emit(Shuffle(mode, dst, src_op, self.cvt(lane, dtypes.U32)))
+        self.feature("shuffle")
+        return dst
+
+    def exit(self) -> None:
+        self.emit(Exit())
+
+    # -- structured control flow --------------------------------------------
+
+    @contextlib.contextmanager
+    def if_(self, cond: OperandLike) -> Iterator[If]:
+        """``with b.if_(p): ...`` — yields the If for a later orelse()."""
+        instr = If(self.operand(cond, dtypes.PRED))
+        self.emit(instr)
+        self._stack.append(instr.then_body)
+        try:
+            yield instr
+        finally:
+            self._stack.pop()
+
+    @contextlib.contextmanager
+    def orelse(self, instr: If) -> Iterator[None]:
+        self._stack.append(instr.else_body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextlib.contextmanager
+    def while_(self) -> Iterator["_WhileCtx"]:
+        """Structured loop::
+
+            with b.while_() as loop:
+                with loop.cond():
+                    loop.set_cond(b.lt(i, n))
+                # loop body is emitted directly inside the with-block
+                ...
+        """
+        instr = While(cond_body=[], cond=None, body=[])  # type: ignore[arg-type]
+        self.emit(instr)
+        ctx = _WhileCtx(self, instr)
+        self._stack.append(instr.body)
+        try:
+            yield ctx
+        except BaseException:
+            self._stack.pop()
+            raise
+        else:
+            self._stack.pop()
+            if instr.cond is None:
+                raise IRError("while_ loop closed without set_cond()")
+
+    @contextlib.contextmanager
+    def for_range(self, start: OperandLike, stop: OperandLike,
+                  step: OperandLike = 1) -> Iterator[Register]:
+        """Counted ascending loop; yields the induction register (i64)."""
+        i = self.fresh(dtypes.I64, "i")
+        self.mov(i, self.cvt(start, dtypes.I64))
+        stop_op = self.cvt(stop, dtypes.I64)
+        step_op = self.cvt(step, dtypes.I64)
+        with self.while_() as loop:
+            with loop.cond():
+                loop.set_cond(self.lt(i, stop_op))
+            yield i
+            self.mov(i, self.add(i, step_op))
+
+    # -- finalization ----------------------------------------------------------
+
+    def build(self) -> KernelIR:
+        from repro.isa.verifier import verify_kernel
+
+        kernel = KernelIR(
+            name=self.name,
+            params=self.params,
+            body=self._body,
+            features=frozenset(self._features),
+        )
+        verify_kernel(kernel)
+        return kernel
+
+
+class _WhileCtx:
+    """Helper handle yielded by :meth:`IRBuilder.while_`."""
+
+    def __init__(self, builder: IRBuilder, instr: While):
+        self._b = builder
+        self._instr = instr
+
+    @contextlib.contextmanager
+    def cond(self) -> Iterator[None]:
+        self._b._stack.append(self._instr.cond_body)
+        try:
+            yield
+        finally:
+            self._b._stack.pop()
+
+    def set_cond(self, reg: Register) -> None:
+        if reg.dtype != dtypes.PRED:
+            raise IRError("loop condition must be a predicate register")
+        self._instr.cond = reg

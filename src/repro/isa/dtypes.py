@@ -1,0 +1,106 @@
+"""Scalar value types shared by the IR, the devices, and the frontends.
+
+Each :class:`DType` wraps an explicit NumPy dtype, following the
+hpc-parallel guideline of pinning dtypes rather than relying on Python
+number semantics.  The set matches what HPC kernels actually use: 32/64-bit
+signed/unsigned integers, single/double floats, predicates, and raw bytes
+(for the byte-addressable memory model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar type usable in registers and memory.
+
+    Attributes:
+        name: Short mnemonic used in assembly output (``f64``, ``u32``...).
+        np_dtype: The backing NumPy dtype (always an exact-width type).
+        kind: One of ``"float"``, ``"int"``, ``"uint"``, ``"pred"``.
+    """
+
+    name: str
+    np_dtype: np.dtype = field(compare=False)
+    kind: str = field(compare=False)
+
+    @property
+    def itemsize(self) -> int:
+        """Width in bytes (predicates are stored as one byte)."""
+        return int(self.np_dtype.itemsize)
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("int", "uint")
+
+    @property
+    def is_pred(self) -> bool:
+        return self.kind == "pred"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+PRED = DType("pred", np.dtype(np.bool_), "pred")
+U8 = DType("u8", np.dtype(np.uint8), "uint")
+I32 = DType("i32", np.dtype(np.int32), "int")
+I64 = DType("i64", np.dtype(np.int64), "int")
+U32 = DType("u32", np.dtype(np.uint32), "uint")
+U64 = DType("u64", np.dtype(np.uint64), "uint")
+F32 = DType("f32", np.dtype(np.float32), "float")
+F64 = DType("f64", np.dtype(np.float64), "float")
+
+#: All scalar types by name, for lookup from annotations/assembly.
+SCALAR_TYPES: dict[str, DType] = {
+    t.name: t for t in (PRED, U8, I32, I64, U32, U64, F32, F64)
+}
+
+
+def from_name(name: str) -> DType:
+    """Look up a dtype by mnemonic, raising ``KeyError`` with context."""
+    try:
+        return SCALAR_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scalar type '{name}'; expected one of {sorted(SCALAR_TYPES)}"
+        ) from None
+
+
+def from_numpy(np_dtype: np.dtype) -> DType:
+    """Map a NumPy dtype to the corresponding :class:`DType`."""
+    np_dtype = np.dtype(np_dtype)
+    for t in SCALAR_TYPES.values():
+        if t.np_dtype == np_dtype:
+            return t
+    raise KeyError(f"no scalar type for numpy dtype {np_dtype}")
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Binary-operation result type, mirroring C-like promotion.
+
+    Floats dominate integers, wider dominates narrower, and mixing signed
+    with unsigned of the same width yields the unsigned type (as in C).
+    Predicates never participate in arithmetic promotion.
+    """
+    if a.is_pred or b.is_pred:
+        if a == b:
+            return a
+        raise TypeError("cannot promote predicate with non-predicate")
+    if a == b:
+        return a
+    if a.is_float or b.is_float:
+        if a.is_float and b.is_float:
+            return a if a.itemsize >= b.itemsize else b
+        return a if a.is_float else b
+    # both integers
+    if a.itemsize != b.itemsize:
+        return a if a.itemsize > b.itemsize else b
+    return a if a.kind == "uint" else b

@@ -1,0 +1,318 @@
+"""The abstract kernel IR: operands and instructions.
+
+The IR is a register machine with *structured* control flow: ``If`` and
+``While`` own nested instruction lists instead of branches to labels.
+Structured control flow is what makes the vectorized SIMT interpreter
+(:mod:`repro.isa.interpreter`) possible: divergence is handled with lane
+masks pushed/popped around the nested bodies, the same way real GPUs
+handle reconvergence with hardware stacks.
+
+Registers are virtual and mutable (non-SSA); frontends simply reassign.
+All memory operations are byte-addressed into one of two spaces
+(:class:`MemSpace`), with the element type taken from the destination /
+source register, mirroring PTX's ``ld.global.f64``-style typed accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.isa import dtypes
+from repro.isa.dtypes import DType
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Register:
+    """A virtual register with a fixed scalar type."""
+
+    name: str
+    dtype: DType
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"%{self.name}:{self.dtype.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate (compile-time constant) operand."""
+
+    value: Union[int, float, bool]
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        # Normalize the Python value through the dtype so that e.g.
+        # Imm(3, F64) and Imm(3.0, F64) compare equal and integer overflow
+        # wraps exactly like it will at execution time.  (NumPy 2 raises
+        # on out-of-range Python ints, so wrap explicitly.)
+        if self.dtype.is_integer:
+            bits = self.dtype.itemsize * 8
+            wrapped = int(self.value) & ((1 << bits) - 1)
+            if self.dtype.kind == "int" and wrapped >= 1 << (bits - 1):
+                wrapped -= 1 << bits
+            object.__setattr__(self, "value", wrapped)
+        else:
+            coerced = self.dtype.np_dtype.type(self.value)
+            object.__setattr__(self, "value", coerced.item())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value}:{self.dtype.name}"
+
+
+Operand = Union[Register, Imm]
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel parameter.
+
+    Pointer parameters hold a *byte address* into the device's global
+    memory at execution time; ``dtype`` is then the pointee element type.
+    """
+
+    name: str
+    dtype: DType
+    is_pointer: bool = False
+
+    @property
+    def reg(self) -> Register:
+        """The register through which the kernel body reads this param."""
+        return Register(self.name, dtypes.U64 if self.is_pointer else self.dtype)
+
+
+# ---------------------------------------------------------------------------
+# Memory spaces and special registers
+# ---------------------------------------------------------------------------
+
+
+class MemSpace:
+    """Address spaces of the simulated devices."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+
+    ALL = (GLOBAL, SHARED)
+
+
+class SpecialReg:
+    """Hardware-provided values readable via :class:`SpecialRead`."""
+
+    TID_X, TID_Y, TID_Z = "tid.x", "tid.y", "tid.z"
+    CTAID_X, CTAID_Y, CTAID_Z = "ctaid.x", "ctaid.y", "ctaid.z"
+    NTID_X, NTID_Y, NTID_Z = "ntid.x", "ntid.y", "ntid.z"
+    NCTAID_X, NCTAID_Y, NCTAID_Z = "nctaid.x", "nctaid.y", "nctaid.z"
+    LANEID = "laneid"
+    WARPSIZE = "warpsize"
+
+    ALL = (
+        TID_X, TID_Y, TID_Z,
+        CTAID_X, CTAID_Y, CTAID_Z,
+        NTID_X, NTID_Y, NTID_Z,
+        NCTAID_X, NCTAID_Y, NCTAID_Z,
+        LANEID, WARPSIZE,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+
+class Instruction:
+    """Marker base class; concrete instructions are dataclasses below."""
+
+    __slots__ = ()
+
+
+UNARY_OPS = (
+    "neg", "abs", "sqrt", "rsqrt", "exp", "log", "sin", "cos", "tanh",
+    "floor", "ceil", "round", "not", "bitnot",
+)
+
+BINARY_OPS = (
+    "add", "sub", "mul", "div", "rem", "min", "max", "pow",
+    "and", "or", "xor", "shl", "shr",
+)
+
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+ATOMIC_OPS = ("add", "min", "max", "exch", "cas")
+
+SHUFFLE_MODES = ("idx", "up", "down", "xor")
+
+
+@dataclass
+class Mov(Instruction):
+    """``dst = src`` (types must match exactly; use :class:`Cvt` to widen)."""
+
+    dst: Register
+    src: Operand
+
+
+@dataclass
+class UnaryOp(Instruction):
+    """``dst = op(src)``."""
+
+    op: str
+    dst: Register
+    src: Operand
+
+
+@dataclass
+class BinOp(Instruction):
+    """``dst = a op b``; operand and result types must all match."""
+
+    op: str
+    dst: Register
+    a: Operand
+    b: Operand
+
+
+@dataclass
+class Cmp(Instruction):
+    """``dst = a cmp b`` with a predicate destination."""
+
+    op: str
+    dst: Register
+    a: Operand
+    b: Operand
+
+
+@dataclass
+class Select(Instruction):
+    """``dst = pred ? a : b`` (branchless select)."""
+
+    dst: Register
+    pred: Operand
+    a: Operand
+    b: Operand
+
+
+@dataclass
+class Cvt(Instruction):
+    """``dst = (dst.dtype) src`` — explicit scalar conversion."""
+
+    dst: Register
+    src: Operand
+
+
+@dataclass
+class Load(Instruction):
+    """``dst = *(dst.dtype*)(space + addr)`` with ``addr`` in bytes."""
+
+    dst: Register
+    space: str
+    addr: Operand
+
+
+@dataclass
+class Store(Instruction):
+    """``*(src.dtype*)(space + addr) = src`` with ``addr`` in bytes."""
+
+    space: str
+    addr: Operand
+    src: Operand
+
+
+@dataclass
+class SpecialRead(Instruction):
+    """Read a hardware special register (thread/block indices etc.)."""
+
+    dst: Register
+    which: str
+
+
+@dataclass
+class Barrier(Instruction):
+    """Block-level barrier (``__syncthreads`` / ``barrier(CLK_...)``).
+
+    The interpreter raises :class:`repro.errors.DivergentBarrierError`
+    when executed under a partial lane mask, mirroring the undefined
+    behaviour (usually a hang) on real hardware.
+    """
+
+
+@dataclass
+class AtomicOp(Instruction):
+    """Atomic read-modify-write on memory; ``dst`` receives the old value.
+
+    ``cas`` additionally uses ``compare``; all other ops ignore it.
+    """
+
+    op: str
+    dst: Register | None
+    space: str
+    addr: Operand
+    src: Operand
+    compare: Operand | None = None
+
+
+@dataclass
+class Shuffle(Instruction):
+    """Cross-lane data exchange within a warp/wavefront/sub-group."""
+
+    mode: str
+    dst: Register
+    src: Operand
+    lane: Operand  # target lane (idx), delta (up/down), or mask (xor)
+
+
+@dataclass
+class SharedAlloc(Instruction):
+    """Statically allocate ``count`` elements of ``dtype`` in shared memory.
+
+    ``dst`` receives the byte offset of the allocation within the block's
+    shared-memory segment.  Must appear at the top level of a kernel body
+    (the verifier enforces this), as on real devices where shared memory
+    is statically sized per launch.
+    """
+
+    dst: Register
+    dtype: DType
+    count: int
+
+
+@dataclass
+class Exit(Instruction):
+    """Retire the executing thread (the ``return`` statement in kernels)."""
+
+
+@dataclass
+class If(Instruction):
+    """Structured conditional over nested bodies."""
+
+    cond: Operand
+    then_body: list[Instruction] = field(default_factory=list)
+    else_body: list[Instruction] = field(default_factory=list)
+
+
+@dataclass
+class While(Instruction):
+    """Structured loop: re-evaluate ``cond_body`` then test ``cond``.
+
+    ``cond_body`` computes the loop condition into the predicate register
+    ``cond`` before every iteration; ``body`` runs for lanes where the
+    predicate holds.  ``For`` loops are desugared to this form by the
+    kernel DSL.
+    """
+
+    cond_body: list[Instruction]
+    cond: Register
+    body: list[Instruction] = field(default_factory=list)
+
+
+def walk(body: list[Instruction]):
+    """Yield every instruction in ``body``, recursing into nested blocks."""
+    for instr in body:
+        yield instr
+        if isinstance(instr, If):
+            yield from walk(instr.then_body)
+            yield from walk(instr.else_body)
+        elif isinstance(instr, While):
+            yield from walk(instr.cond_body)
+            yield from walk(instr.body)

@@ -1,0 +1,682 @@
+"""Vectorized SIMT interpreter for target modules.
+
+Execution model
+---------------
+One NumPy *lane* per GPU thread.  A launch is split into batches: kernels
+that use shared memory or barriers execute one thread block per batch
+(so shared memory and barrier semantics are exact); all other kernels
+batch many blocks together, bounded by ``chunk_lanes``, so elementwise
+kernels run as a handful of whole-array NumPy operations — the
+"vectorize the hot loop" rule of the hpc-parallel guides applied to an
+interpreter.
+
+Divergence is handled with boolean lane masks, exactly like the
+reconvergence stacks in real SIMT hardware:
+
+* ``If`` executes both arms under complementary sub-masks;
+* ``While`` keeps a *live* mask that lanes leave as their condition
+  fails;
+* ``Exit`` (the kernel ``return``) retires lanes for the rest of the
+  batch via a shared ``exited`` mask;
+* ``Barrier`` under a partial mask raises
+  :class:`~repro.errors.DivergentBarrierError` — the simulator's version
+  of the hang that divergent ``__syncthreads()`` causes on hardware.
+
+The interpreter also meters work (flops, bytes, atomics) per launch;
+:mod:`repro.gpu.perfmodel` turns those counters into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    DivergentBarrierError,
+    IRError,
+    LaunchError,
+    MemoryFaultError,
+)
+from repro.isa import dtypes
+from repro.isa.instructions import (
+    AtomicOp,
+    Barrier,
+    BinOp,
+    Cmp,
+    Cvt,
+    Exit,
+    If,
+    Imm,
+    Load,
+    MemSpace,
+    Mov,
+    Operand,
+    Register,
+    Select,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    Store,
+    UnaryOp,
+    While,
+)
+from repro.isa.module import KernelIR
+
+#: Signature of the bounds-check hook supplied by the device memory
+#: system: ``validator(byte_addrs, itemsize, write)`` raises
+#: :class:`MemoryFaultError` for illegal accesses.
+AccessValidator = Callable[[np.ndarray, int, bool], None]
+
+_MAX_LOOP_TRIPS = 10_000_000  # runaway-loop guard for buggy frontends
+
+
+@dataclass
+class LaunchStats:
+    """Work metered during one kernel launch (inputs to the perf model)."""
+
+    threads: int = 0
+    instructions: int = 0
+    flops: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    atomic_ops: int = 0
+    barriers: int = 0
+    batches: int = 0
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.bytes_loaded + self.bytes_stored
+
+    def merge(self, other: "LaunchStats") -> None:
+        self.threads += other.threads
+        self.instructions += other.instructions
+        self.flops += other.flops
+        self.bytes_loaded += other.bytes_loaded
+        self.bytes_stored += other.bytes_stored
+        self.atomic_ops += other.atomic_ops
+        self.barriers += other.barriers
+        self.batches += other.batches
+
+
+@dataclass
+class _Batch:
+    """Lane geometry of one interpreter batch."""
+
+    lanes: int
+    tid: tuple[np.ndarray, np.ndarray, np.ndarray]
+    ctaid: tuple[np.ndarray, np.ndarray, np.ndarray]
+    block_linear: np.ndarray  # per-lane linear index within its block
+    warp_base: np.ndarray  # per-lane: batch index of lane 0 of its warp
+    warp_len: np.ndarray  # per-lane: populated width of its warp
+
+
+def _c_int_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Integer division truncating toward zero (C semantics, not floor)."""
+    b_safe = np.where(b == 0, 1, b)
+    q = a // b_safe
+    r = a - q * b_safe
+    fix = (r != 0) & ((a < 0) != (b_safe < 0))
+    q = q + fix.astype(q.dtype)
+    return np.where(b == 0, 0, q)
+
+
+def _c_int_rem(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Integer remainder with the sign of the dividend (C semantics)."""
+    return a - _c_int_div(a, b) * np.where(b == 0, 1, b)
+
+
+class KernelExecutor:
+    """Executes one kernel on one simulated device's memory.
+
+    Args:
+        kernel: Verified kernel IR (typically from a ``TargetModule``).
+        warp_size: Execution width baked into the target binary.
+        global_memory: The device's global memory as a flat ``uint8``
+            array (modified in place by stores/atomics).
+        validator: Bounds/liveness hook from the device allocator; may be
+            ``None`` for raw (allocator-less) execution in unit tests.
+        shared_limit: Per-block shared memory capacity in bytes.
+        max_block_threads: Device limit on threads per block.
+        chunk_lanes: Upper bound on lanes per batch for block-batched
+            (shared-memory-free) execution.
+    """
+
+    def __init__(
+        self,
+        kernel: KernelIR,
+        warp_size: int,
+        global_memory: np.ndarray,
+        validator: AccessValidator | None = None,
+        shared_limit: int = 64 * 1024,
+        max_block_threads: int = 1024,
+        chunk_lanes: int = 1 << 18,
+    ):
+        if global_memory.dtype != np.uint8 or global_memory.ndim != 1:
+            raise LaunchError("global memory must be a flat uint8 array")
+        self.kernel = kernel
+        self.warp_size = int(warp_size)
+        self.gmem = global_memory
+        self.validator = validator
+        self.shared_limit = shared_limit
+        self.max_block_threads = max_block_threads
+        self.chunk_lanes = chunk_lanes
+        # Typed views of global memory, built lazily per element type.
+        self._gviews: dict[str, np.ndarray] = {}
+        self._needs_block_isolation = kernel.uses_shared() or any(
+            isinstance(i, Barrier) for i in _walk_all(kernel.body)
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def launch(
+        self,
+        grid: Sequence[int],
+        block: Sequence[int],
+        args: Sequence[object],
+    ) -> LaunchStats:
+        """Run the kernel over ``grid`` × ``block`` threads.
+
+        ``args`` must match the kernel parameters positionally: Python
+        numbers for scalars, integer byte addresses for pointers.
+        """
+        grid = tuple(int(g) for g in grid) + (1,) * (3 - len(grid))
+        block = tuple(int(b) for b in block) + (1,) * (3 - len(block))
+        if any(g <= 0 for g in grid) or any(b <= 0 for b in block):
+            raise LaunchError(f"non-positive launch configuration {grid}x{block}")
+        block_threads = block[0] * block[1] * block[2]
+        if block_threads > self.max_block_threads:
+            raise LaunchError(
+                f"block of {block_threads} threads exceeds device limit "
+                f"{self.max_block_threads}"
+            )
+        if self.kernel.shared_bytes > self.shared_limit:
+            raise LaunchError(
+                f"kernel needs {self.kernel.shared_bytes} B shared memory, "
+                f"device provides {self.shared_limit} B"
+            )
+        if len(args) != len(self.kernel.params):
+            raise LaunchError(
+                f"kernel '{self.kernel.name}' takes {len(self.kernel.params)} "
+                f"arguments, got {len(args)}"
+            )
+
+        n_blocks = grid[0] * grid[1] * grid[2]
+        total = n_blocks * block_threads
+        stats = LaunchStats(threads=total)
+
+        if self._needs_block_isolation:
+            blocks_per_batch = 1
+        else:
+            blocks_per_batch = max(1, self.chunk_lanes // block_threads)
+
+        dims = {
+            "ntid.x": block[0], "ntid.y": block[1], "ntid.z": block[2],
+            "nctaid.x": grid[0], "nctaid.y": grid[1], "nctaid.z": grid[2],
+        }
+        with np.errstate(all="ignore"):
+            for first_block in range(0, n_blocks, blocks_per_batch):
+                n = min(blocks_per_batch, n_blocks - first_block)
+                batch = self._make_batch(first_block, n, grid, block)
+                self._run_batch(batch, args, stats, dims)
+                stats.batches += 1
+        return stats
+
+    # -- batch construction ------------------------------------------------
+
+    def _make_batch(
+        self,
+        first_block: int,
+        n_blocks: int,
+        grid: tuple[int, int, int],
+        block: tuple[int, int, int],
+    ) -> _Batch:
+        bx, by, bz = block
+        gx, gy, _gz = grid
+        block_threads = bx * by * bz
+        lanes = n_blocks * block_threads
+
+        lin = np.arange(lanes, dtype=np.int64)
+        block_lin = lin % block_threads
+        blk = first_block + lin // block_threads
+
+        tid_x = (block_lin % bx).astype(np.uint32)
+        tid_y = ((block_lin // bx) % by).astype(np.uint32)
+        tid_z = (block_lin // (bx * by)).astype(np.uint32)
+        ctaid_x = (blk % gx).astype(np.uint32)
+        ctaid_y = ((blk // gx) % gy).astype(np.uint32)
+        ctaid_z = (blk // (gx * gy)).astype(np.uint32)
+
+        # Warp geometry: warps never span blocks; the last warp of a block
+        # may be partial.
+        warp_in_block = block_lin // self.warp_size
+        warp_start_in_block = warp_in_block * self.warp_size
+        batch_block_start = lin - block_lin
+        warp_base = batch_block_start + warp_start_in_block
+        warp_len = np.minimum(
+            self.warp_size, block_threads - warp_start_in_block
+        ).astype(np.int64)
+
+        return _Batch(
+            lanes=lanes,
+            tid=(tid_x, tid_y, tid_z),
+            ctaid=(ctaid_x, ctaid_y, ctaid_z),
+            block_linear=block_lin,
+            warp_base=warp_base,
+            warp_len=warp_len,
+        )
+
+    # -- batch execution ---------------------------------------------------
+
+    def _run_batch(self, batch: _Batch, args: Sequence[object],
+                   stats: LaunchStats, dims: dict[str, int]) -> None:
+        env: dict[str, np.ndarray] = {}
+        for param, value in zip(self.kernel.params, args):
+            dt = dtypes.U64 if param.is_pointer else param.dtype
+            env[param.name] = np.full(batch.lanes, value, dtype=dt.np_dtype)
+
+        state = _ExecState(
+            executor=self,
+            batch=batch,
+            env=env,
+            exited=np.zeros(batch.lanes, dtype=bool),
+            shared=np.zeros(max(self.kernel.shared_bytes, 8), dtype=np.uint8),
+            stats=stats,
+            dims=dims,
+        )
+        mask = np.ones(batch.lanes, dtype=bool)
+        state.exec_body(self.kernel.body, mask)
+
+    def _gview(self, dtype: dtypes.DType) -> np.ndarray:
+        view = self._gviews.get(dtype.name)
+        if view is None:
+            usable = (self.gmem.size // dtype.itemsize) * dtype.itemsize
+            view = self.gmem[:usable].view(dtype.np_dtype)
+            self._gviews[dtype.name] = view
+        return view
+
+
+def _walk_all(body):
+    from repro.isa.instructions import walk
+
+    return walk(body)
+
+
+class _ExecState:
+    """Mutable per-batch interpreter state."""
+
+    def __init__(self, executor: KernelExecutor, batch: _Batch,
+                 env: dict[str, np.ndarray], exited: np.ndarray,
+                 shared: np.ndarray, stats: LaunchStats,
+                 dims: dict[str, int]):
+        self.x = executor
+        self.batch = batch
+        self.env = env
+        self.exited = exited
+        self.shared = shared
+        self.stats = stats
+        self.dims = dims
+        self._special_cache: dict[str, np.ndarray] = {}
+        self._shared_views: dict[str, np.ndarray] = {}
+        self._shared_cursor = 0
+
+    # -- operand access -------------------------------------------------------
+
+    def read(self, op: Operand):
+        if isinstance(op, Imm):
+            return op.dtype.np_dtype.type(op.value)
+        try:
+            return self.env[op.name]
+        except KeyError:  # pragma: no cover - verifier prevents this
+            raise IRError(f"register '{op.name}' undefined at execution") from None
+
+    def assign(self, reg: Register, values, eff: np.ndarray, copy: bool = False) -> None:
+        arr = np.asarray(values)
+        if arr.dtype != reg.dtype.np_dtype:
+            arr = arr.astype(reg.dtype.np_dtype)
+        if arr.ndim == 0:
+            arr = np.full(self.batch.lanes, arr)
+        elif copy:
+            # Callers pass copy=True when `values` may alias long-lived
+            # storage (another register, the special-reg cache): without
+            # the copy a later in-place masked update would corrupt it.
+            arr = arr.copy()
+        old = self.env.get(reg.name)
+        if old is None or eff.all():
+            self.env[reg.name] = arr
+        elif old is not arr:
+            old[eff] = arr[eff]
+
+    # -- special registers ---------------------------------------------------
+
+    def special(self, which: str) -> np.ndarray:
+        cached = self._special_cache.get(which)
+        if cached is not None:
+            return cached
+        b = self.batch
+        table = {
+            "tid.x": b.tid[0], "tid.y": b.tid[1], "tid.z": b.tid[2],
+            "ctaid.x": b.ctaid[0], "ctaid.y": b.ctaid[1], "ctaid.z": b.ctaid[2],
+        }
+        if which in table:
+            arr = table[which]
+        elif which == "laneid":
+            arr = (b.block_linear % self.x.warp_size).astype(np.uint32)
+        elif which == "warpsize":
+            arr = np.full(b.lanes, self.x.warp_size, dtype=np.uint32)
+        else:
+            # ntid.* / nctaid.* are uniform across the launch.
+            arr = np.full(self.batch.lanes, self.dims[which], dtype=np.uint32)
+        self._special_cache[which] = arr
+        return arr
+
+    # -- execution ------------------------------------------------------------
+
+    def exec_body(self, body, mask: np.ndarray) -> None:
+        for instr in body:
+            eff = mask & ~self.exited
+            if not eff.any():
+                return
+            self.step(instr, eff, mask)
+
+    def step(self, instr, eff: np.ndarray, mask: np.ndarray) -> None:
+        st = self.stats
+        n_active = int(eff.sum())
+        st.instructions += n_active
+
+        if isinstance(instr, Mov):
+            self.assign(instr.dst, self.read(instr.src), eff,
+                        copy=isinstance(instr.src, Register))
+
+        elif isinstance(instr, BinOp):
+            a, b = self.read(instr.a), self.read(instr.b)
+            self.assign(instr.dst, self._binop(instr.op, a, b, instr.dst.dtype), eff)
+            if instr.dst.dtype.is_float:
+                st.flops += n_active
+
+        elif isinstance(instr, UnaryOp):
+            src = self.read(instr.src)
+            self.assign(instr.dst, self._unary(instr.op, src), eff)
+            if instr.dst.dtype.is_float:
+                st.flops += n_active
+
+        elif isinstance(instr, Cmp):
+            a, b = self.read(instr.a), self.read(instr.b)
+            fn = {"eq": np.equal, "ne": np.not_equal, "lt": np.less,
+                  "le": np.less_equal, "gt": np.greater, "ge": np.greater_equal}[instr.op]
+            self.assign(instr.dst, fn(a, b), eff)
+
+        elif isinstance(instr, Select):
+            p = self.read(instr.pred)
+            self.assign(instr.dst, np.where(p, self.read(instr.a), self.read(instr.b)), eff)
+
+        elif isinstance(instr, Cvt):
+            src = self.read(instr.src)
+            self.assign(instr.dst, np.asarray(src).astype(instr.dst.dtype.np_dtype), eff)
+
+        elif isinstance(instr, SpecialRead):
+            self.assign(instr.dst, self.special(instr.which), eff, copy=True)
+
+        elif isinstance(instr, Load):
+            self._load(instr, eff)
+            st.bytes_loaded += n_active * instr.dst.dtype.itemsize
+
+        elif isinstance(instr, Store):
+            self._store(instr, eff)
+            st.bytes_stored += n_active * _operand_dtype(instr.src).itemsize
+
+        elif isinstance(instr, SharedAlloc):
+            nbytes = instr.dtype.itemsize * instr.count
+            # Align allocations to the element size.
+            align = instr.dtype.itemsize
+            self._shared_cursor = -(-self._shared_cursor // align) * align
+            base = self._shared_cursor
+            self._shared_cursor += nbytes
+            self.assign(instr.dst, np.uint64(base), eff)
+
+        elif isinstance(instr, Barrier):
+            st.barriers += 1
+            expected = ~self.exited
+            if not np.array_equal(eff, expected):
+                raise DivergentBarrierError(
+                    f"kernel '{self.x.kernel.name}': barrier reached by "
+                    f"{n_active} of {int(expected.sum())} live threads"
+                )
+
+        elif isinstance(instr, AtomicOp):
+            self._atomic(instr, eff)
+            st.atomic_ops += n_active
+
+        elif isinstance(instr, Shuffle):
+            self._shuffle(instr, eff)
+
+        elif isinstance(instr, Exit):
+            self.exited |= eff
+
+        elif isinstance(instr, If):
+            cond = self.read(instr.cond)
+            if np.ndim(cond) == 0:
+                cond = np.full(self.batch.lanes, bool(cond))
+            then_mask = mask & cond
+            if (then_mask & ~self.exited).any():
+                self.exec_body(instr.then_body, then_mask)
+            else_mask = mask & ~cond
+            if instr.else_body and (else_mask & ~self.exited).any():
+                self.exec_body(instr.else_body, else_mask)
+
+        elif isinstance(instr, While):
+            live = mask.copy()
+            trips = 0
+            while True:
+                live &= ~self.exited
+                if not live.any():
+                    break
+                self.exec_body(instr.cond_body, live)
+                cond = self.read(instr.cond)
+                if np.ndim(cond) == 0:
+                    cond = np.full(self.batch.lanes, bool(cond))
+                live = live & cond & ~self.exited
+                if not live.any():
+                    break
+                self.exec_body(instr.body, live)
+                trips += 1
+                if trips > _MAX_LOOP_TRIPS:
+                    raise IRError(
+                        f"kernel '{self.x.kernel.name}': loop exceeded "
+                        f"{_MAX_LOOP_TRIPS} iterations (runaway loop?)"
+                    )
+        else:  # pragma: no cover - verifier prevents this
+            raise IRError(f"unknown instruction {instr!r}")
+
+    # -- arithmetic helpers ------------------------------------------------
+
+    def _binop(self, op: str, a, b, result: dtypes.DType):
+        if op in ("add", "sub", "mul"):
+            return {"add": np.add, "sub": np.subtract, "mul": np.multiply}[op](a, b)
+        if op == "div":
+            if result.is_float:
+                return np.divide(a, b)
+            return _c_int_div(np.asarray(a), np.asarray(b))
+        if op == "rem":
+            if result.is_float:
+                return np.mod(a, b)
+            return _c_int_rem(np.asarray(a), np.asarray(b))
+        if op == "min":
+            return np.minimum(a, b)
+        if op == "max":
+            return np.maximum(a, b)
+        if op == "pow":
+            return np.power(a, b)
+        if op == "and":
+            return np.logical_and(a, b) if result.is_pred else np.bitwise_and(a, b)
+        if op == "or":
+            return np.logical_or(a, b) if result.is_pred else np.bitwise_or(a, b)
+        if op == "xor":
+            return np.logical_xor(a, b) if result.is_pred else np.bitwise_xor(a, b)
+        if op == "shl":
+            return np.left_shift(a, b)
+        if op == "shr":
+            return np.right_shift(a, b)
+        raise IRError(f"unknown binary op '{op}'")  # pragma: no cover
+
+    def _unary(self, op: str, src):
+        fns = {
+            "neg": np.negative, "abs": np.abs, "sqrt": np.sqrt,
+            "exp": np.exp, "log": np.log, "sin": np.sin, "cos": np.cos,
+            "tanh": np.tanh, "floor": np.floor, "ceil": np.ceil,
+            "round": np.rint, "not": np.logical_not,
+            "bitnot": np.bitwise_not,
+        }
+        if op == "rsqrt":
+            return 1.0 / np.sqrt(src)
+        return fns[op](src)
+
+    # -- memory helpers ---------------------------------------------------------
+
+    def _resolve(self, instr, dtype: dtypes.DType, eff: np.ndarray, write: bool):
+        """Validate addresses and return (typed_view, element_indices)."""
+        addr = self.read(instr.addr)
+        if np.ndim(addr) == 0:
+            addr = np.full(self.batch.lanes, addr, dtype=np.uint64)
+        active_addr = addr[eff]
+        if ((active_addr % dtype.itemsize) != 0).any():
+            raise MemoryFaultError(
+                f"kernel '{self.x.kernel.name}': misaligned {dtype.name} access"
+            )
+        if instr.space == MemSpace.GLOBAL:
+            if self.x.validator is not None:
+                self.x.validator(active_addr, dtype.itemsize, write)
+            elif (active_addr.astype(np.int64) + dtype.itemsize > self.x.gmem.size).any():
+                raise MemoryFaultError("global access out of device memory")
+            view = self.x._gview(dtype)
+        else:
+            limit = self.shared.size
+            if (active_addr.astype(np.int64) + dtype.itemsize > limit).any():
+                raise MemoryFaultError(
+                    f"kernel '{self.x.kernel.name}': shared access beyond "
+                    f"{limit} allocated bytes"
+                )
+            key = dtype.name
+            view = self._shared_views.get(key)
+            if view is None:
+                usable = (self.shared.size // dtype.itemsize) * dtype.itemsize
+                view = self.shared[:usable].view(dtype.np_dtype)
+                self._shared_views[key] = view
+        idx = (addr // dtype.itemsize).astype(np.int64)
+        # Park inactive lanes on element 0 so gathers cannot fault.
+        np.copyto(idx, 0, where=~eff)
+        return view, idx
+
+    def _load(self, instr: Load, eff: np.ndarray) -> None:
+        view, idx = self._resolve(instr, instr.dst.dtype, eff, write=False)
+        self.assign(instr.dst, view[idx], eff)
+
+    def _store(self, instr: Store, eff: np.ndarray) -> None:
+        dtype = _operand_dtype(instr.src)
+        view, idx = self._resolve(instr, dtype, eff, write=True)
+        src = self.read(instr.src)
+        if np.ndim(src) == 0:
+            view[idx[eff]] = src
+        else:
+            view[idx[eff]] = src[eff]
+
+    def _atomic(self, instr: AtomicOp, eff: np.ndarray) -> None:
+        dtype = _operand_dtype(instr.src)
+        view, idx = self._resolve(instr, dtype, eff, write=True)
+        src = self.read(instr.src)
+        if np.ndim(src) == 0:
+            src = np.full(self.batch.lanes, src, dtype=dtype.np_dtype)
+        sel = idx[eff]
+        vals = src[eff]
+
+        if instr.op == "add":
+            old = None
+            if instr.dst is not None:
+                old = self._prefix_old(view, sel, vals)
+            np.add.at(view, sel, vals)
+        elif instr.op == "min":
+            old = view[sel].copy() if instr.dst is not None else None
+            np.minimum.at(view, sel, vals)
+        elif instr.op == "max":
+            old = view[sel].copy() if instr.dst is not None else None
+            np.maximum.at(view, sel, vals)
+        elif instr.op == "exch":
+            old = view[sel].copy() if instr.dst is not None else None
+            view[sel] = vals
+        elif instr.op == "cas":
+            compare = self.read(instr.compare)
+            if np.ndim(compare) == 0:
+                compare = np.full(self.batch.lanes, compare, dtype=dtype.np_dtype)
+            old = view[sel].copy()
+            # Within one batch step, only the first lane touching each
+            # address may win its CAS; later lanes observe the post-CAS
+            # value (and, in a CAS loop, retry next trip) — the legal
+            # schedule where the first lane serializes before the rest.
+            _uniq, first = np.unique(sel, return_index=True)
+            winner = np.zeros(sel.size, dtype=bool)
+            winner[first] = True
+            success = winner & (old == compare[eff])
+            view[sel[success]] = vals[success]
+            old = np.where(winner, old, view[sel])
+        else:  # pragma: no cover - verifier prevents this
+            raise IRError(f"unknown atomic '{instr.op}'")
+
+        if instr.dst is not None and old is not None:
+            full_old = np.zeros(self.batch.lanes, dtype=dtype.np_dtype)
+            full_old[eff] = old
+            self.assign(instr.dst, full_old, eff)
+
+    @staticmethod
+    def _prefix_old(view: np.ndarray, sel: np.ndarray, vals: np.ndarray) -> np.ndarray:
+        """Old values for atomic-add with duplicate addresses.
+
+        Simulates the schedule where lanes hit each address in batch-lane
+        order: lane k's old value is the base plus the sum of earlier
+        lanes' contributions to the same address.
+        """
+        order = np.argsort(sel, kind="stable")
+        sorted_sel = sel[order]
+        sorted_vals = vals[order]
+        csum = np.cumsum(sorted_vals)
+        excl = csum - sorted_vals  # exclusive prefix over the whole batch
+        group_start = np.concatenate(([True], sorted_sel[1:] != sorted_sel[:-1]))
+        group_first = np.maximum.accumulate(
+            np.where(group_start, np.arange(sel.size), 0)
+        )
+        prefix = excl - excl[group_first]  # exclusive prefix within each address
+        old_sorted = view[sorted_sel] + prefix.astype(view.dtype, copy=False)
+        old = np.empty_like(old_sorted)
+        old[order] = old_sorted
+        return old
+
+    # -- cross-lane ---------------------------------------------------------
+
+    def _shuffle(self, instr: Shuffle, eff: np.ndarray) -> None:
+        src = self.read(instr.src)
+        if np.ndim(src) == 0:
+            src = np.full(self.batch.lanes, src)
+        lane = self.read(instr.lane)
+        if np.ndim(lane) == 0:
+            lane = np.full(self.batch.lanes, lane, dtype=np.uint32)
+        b = self.batch
+        my = np.arange(b.lanes, dtype=np.int64)
+        in_warp = my - b.warp_base
+        w = self.x.warp_size
+        if instr.mode == "idx":
+            target = lane.astype(np.int64) % w
+        elif instr.mode == "up":
+            target = in_warp - lane.astype(np.int64)
+        elif instr.mode == "down":
+            target = in_warp + lane.astype(np.int64)
+        else:  # xor
+            target = in_warp ^ lane.astype(np.int64)
+        # Out-of-range targets (or lanes beyond the populated warp width)
+        # keep their own value, matching __shfl_*_sync clamping behaviour.
+        valid = (target >= 0) & (target < b.warp_len)
+        source_lane = np.where(valid, b.warp_base + target, my)
+        self.assign(instr.dst, src[source_lane], eff)
+
+
+def _operand_dtype(op: Operand) -> dtypes.DType:
+    return op.dtype

@@ -1,0 +1,119 @@
+"""Kernels, modules, and ISA-targeted binaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.enums import ISA
+from repro.isa.instructions import (
+    Instruction,
+    Load,
+    Param,
+    SharedAlloc,
+    Store,
+    walk,
+)
+from repro.isa.instructions import MemSpace
+
+
+@dataclass
+class KernelIR:
+    """A single device kernel in the abstract IR.
+
+    Attributes:
+        name: Kernel symbol name (must be unique within a module).
+        params: Ordered kernel parameters.
+        body: Top-level instruction list (structured control flow nests).
+        features: Free-form feature tags attached by the producing
+            frontend (e.g. ``"reduction"``, ``"shuffle"``); toolchains use
+            these to reject kernels they cannot lower.
+    """
+
+    name: str
+    params: list[Param] = field(default_factory=list)
+    body: list[Instruction] = field(default_factory=list)
+    features: frozenset[str] = frozenset()
+
+    @property
+    def shared_bytes(self) -> int:
+        """Total statically-allocated shared memory, in bytes."""
+        total = 0
+        for instr in self.body:
+            if isinstance(instr, SharedAlloc):
+                total += instr.dtype.itemsize * instr.count
+        return total
+
+    def uses_shared(self) -> bool:
+        """Whether any instruction touches the shared address space."""
+        for instr in walk(self.body):
+            if isinstance(instr, SharedAlloc):
+                return True
+            if isinstance(instr, (Load, Store)) and instr.space == MemSpace.SHARED:
+                return True
+        return False
+
+    def instruction_count(self) -> int:
+        """Total instructions, including nested bodies."""
+        return sum(1 for _ in walk(self.body))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sig = ", ".join(
+            f"{p.name}:{'*' if p.is_pointer else ''}{p.dtype.name}" for p in self.params
+        )
+        return f"<kernel {self.name}({sig}) {self.instruction_count()} instrs>"
+
+
+@dataclass
+class ModuleIR:
+    """A collection of kernels in the abstract (target-independent) IR."""
+
+    name: str
+    kernels: dict[str, KernelIR] = field(default_factory=dict)
+
+    def add(self, kernel: KernelIR) -> KernelIR:
+        if kernel.name in self.kernels:
+            raise ValueError(f"duplicate kernel '{kernel.name}' in module '{self.name}'")
+        self.kernels[kernel.name] = kernel
+        return kernel
+
+    def __getitem__(self, name: str) -> KernelIR:
+        return self.kernels[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.kernels
+
+    def __iter__(self):
+        return iter(self.kernels.values())
+
+
+@dataclass
+class TargetModule:
+    """A module legalized for one concrete ISA ("device binary").
+
+    Produced by :func:`repro.isa.targets.legalize`; the only artifact a
+    simulated device will load.  ``warp_size`` is baked in at legalization
+    time (PTX: 32, AMDGCN: 64, SPIR-V: configurable sub-group, default 16),
+    matching how real binaries encode their execution width.
+    """
+
+    module: ModuleIR
+    isa: ISA
+    warp_size: int
+    producer: str = "unknown"  # toolchain identifier, for provenance
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+    def kernel(self, name: str):
+        return self.module.kernels[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.module.kernels
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<binary {self.module.name} isa={self.isa.value} "
+            f"warp={self.warp_size} kernels={sorted(self.module.kernels)} "
+            f"by {self.producer}>"
+        )

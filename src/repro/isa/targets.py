@@ -1,0 +1,158 @@
+"""Lowering of abstract modules to the three vendor ISAs.
+
+A :class:`TargetISA` describes one virtual instruction set: its execution
+width (warp/wavefront/sub-group), capability limits, and assembly
+flavour.  :func:`legalize` turns an abstract :class:`ModuleIR` into a
+:class:`TargetModule` for one ISA:
+
+* ``warpsize`` special reads are constant-folded to the ISA's width
+  (real binaries bake this in the same way);
+* cross-lane shuffles are checked against the ISA's supported modes;
+* shared-memory footprints are checked against the ISA's segment size.
+
+Devices (:mod:`repro.gpu.device`) refuse to load a :class:`TargetModule`
+whose ISA differs from their own — that refusal is the mechanism that
+makes the paper's compatibility matrix *real* in this simulator: a
+toolchain that cannot emit AMDGCN simply cannot put code on a simulated
+MI250X.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.enums import ISA
+from repro.errors import LegalizationError
+from repro.isa import dtypes
+from repro.isa.instructions import (
+    Imm,
+    Instruction,
+    If,
+    Mov,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    SpecialReg,
+    While,
+)
+from repro.isa.module import KernelIR, ModuleIR, TargetModule
+
+
+@dataclass(frozen=True)
+class TargetISA:
+    """Capabilities of one virtual instruction set."""
+
+    isa: ISA
+    name: str
+    warp_size: int
+    max_shared_bytes: int
+    shuffle_modes: frozenset[str]
+    fp64: bool
+    description: str
+
+
+_PTX = TargetISA(
+    isa=ISA.PTX,
+    name="ptx",
+    warp_size=32,
+    max_shared_bytes=228 * 1024,  # Hopper-generation shared/L1 carveout
+    shuffle_modes=frozenset({"idx", "up", "down", "xor"}),
+    fp64=True,
+    description="NVIDIA parallel thread execution virtual ISA",
+)
+
+_AMDGCN = TargetISA(
+    isa=ISA.AMDGCN,
+    name="amdgcn",
+    warp_size=64,  # CDNA wavefront
+    max_shared_bytes=64 * 1024,  # LDS per workgroup
+    shuffle_modes=frozenset({"idx", "up", "down", "xor"}),
+    fp64=True,
+    description="AMD GCN/CDNA machine ISA",
+)
+
+_SPIRV = TargetISA(
+    isa=ISA.SPIRV,
+    name="spirv",
+    warp_size=16,  # Xe-HPC default sub-group size
+    max_shared_bytes=128 * 1024,  # Xe-core SLM
+    shuffle_modes=frozenset({"idx", "xor", "up", "down"}),
+    fp64=True,
+    description="Khronos SPIR-V with Intel Xe sub-group semantics",
+)
+
+_TARGETS: dict[ISA, TargetISA] = {
+    ISA.PTX: _PTX,
+    ISA.AMDGCN: _AMDGCN,
+    ISA.SPIRV: _SPIRV,
+}
+
+
+def get_target(isa: ISA) -> TargetISA:
+    """Look up the capability record for an ISA."""
+    return _TARGETS[isa]
+
+
+def _legalize_body(body: list[Instruction], target: TargetISA, kernel: str) -> None:
+    for pos, instr in enumerate(body):
+        if isinstance(instr, SpecialRead) and instr.which == SpecialReg.WARPSIZE:
+            body[pos] = Mov(instr.dst, Imm(target.warp_size, dtypes.U32))
+        elif isinstance(instr, Shuffle):
+            if instr.mode not in target.shuffle_modes:
+                raise LegalizationError(
+                    f"kernel '{kernel}': shuffle mode '{instr.mode}' is not "
+                    f"available on {target.name}"
+                )
+        elif isinstance(instr, If):
+            _legalize_body(instr.then_body, target, kernel)
+            _legalize_body(instr.else_body, target, kernel)
+        elif isinstance(instr, While):
+            _legalize_body(instr.cond_body, target, kernel)
+            _legalize_body(instr.body, target, kernel)
+
+
+def _legalize_kernel(kernel: KernelIR, target: TargetISA) -> KernelIR:
+    lowered = copy.deepcopy(kernel)
+    if lowered.shared_bytes > target.max_shared_bytes:
+        raise LegalizationError(
+            f"kernel '{kernel.name}' uses {lowered.shared_bytes} B shared "
+            f"memory; {target.name} provides {target.max_shared_bytes} B"
+        )
+    has_fp64 = any(
+        isinstance(i, SharedAlloc) and i.dtype == dtypes.F64 for i in lowered.body
+    ) or any(
+        getattr(op, "dtype", None) == dtypes.F64
+        for instr in _walk(lowered.body)
+        for op in _operands(instr)
+    )
+    if has_fp64 and not target.fp64:
+        raise LegalizationError(
+            f"kernel '{kernel.name}' uses fp64, unsupported on {target.name}"
+        )
+    _legalize_body(lowered.body, target, kernel.name)
+    return lowered
+
+
+def legalize(module: ModuleIR, isa: ISA, producer: str = "unknown") -> TargetModule:
+    """Lower an abstract module to a loadable binary for ``isa``."""
+    target = get_target(isa)
+    lowered = ModuleIR(name=module.name)
+    for kernel in module:
+        lowered.add(_legalize_kernel(kernel, target))
+    return TargetModule(
+        module=lowered, isa=isa, warp_size=target.warp_size, producer=producer
+    )
+
+
+def _walk(body):
+    from repro.isa.instructions import walk
+
+    return walk(body)
+
+
+def _operands(instr: Instruction):
+    for attr in ("dst", "src", "a", "b", "pred", "addr", "cond", "lane", "compare"):
+        op = getattr(instr, attr, None)
+        if op is not None and hasattr(op, "dtype"):
+            yield op

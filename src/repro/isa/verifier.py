@@ -1,0 +1,271 @@
+"""Structural and type verification of kernel IR.
+
+Frontends are many (every programming model lowers through the IR), so
+a strict verifier catches miscompiles at build time instead of as silent
+NumPy broadcasting surprises inside the interpreter.  The checks:
+
+* every operand register is defined before use (conservative dataflow
+  over the structured control-flow tree);
+* one name, one dtype — a register may be reassigned but never retyped;
+* per-instruction typing rules (e.g. ``BinOp`` operands and destination
+  share one dtype; comparison destinations are predicates);
+* shared-memory allocations only at the kernel top level;
+* ``While`` conditions are computed inside their own ``cond_body``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.isa import dtypes
+from repro.isa.instructions import (
+    ATOMIC_OPS,
+    BINARY_OPS,
+    CMP_OPS,
+    SHUFFLE_MODES,
+    UNARY_OPS,
+    AtomicOp,
+    Barrier,
+    BinOp,
+    Cmp,
+    Cvt,
+    Exit,
+    If,
+    Imm,
+    Instruction,
+    Load,
+    MemSpace,
+    Mov,
+    Operand,
+    Register,
+    Select,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    SpecialReg,
+    Store,
+    UnaryOp,
+    While,
+)
+from repro.isa.module import KernelIR, ModuleIR
+
+#: Binary ops restricted to integer operands.
+_INT_ONLY_BINOPS = {"shl", "shr"}
+#: Binary ops additionally allowed on predicates (logical connectives).
+_PRED_BINOPS = {"and", "or", "xor"}
+#: Unary float-only transcendentals.
+_FLOAT_ONLY_UNARY = {"sqrt", "rsqrt", "exp", "log", "sin", "cos", "tanh"}
+
+
+class _Scope:
+    """Tracks defined registers and their dtypes along one path."""
+
+    def __init__(self, defined: set[str], types: dict[str, dtypes.DType]):
+        self.defined = defined
+        self.types = types
+
+    def clone(self) -> "_Scope":
+        return _Scope(set(self.defined), self.types)  # types dict is global
+
+    def define(self, reg: Register, where: str) -> None:
+        prev = self.types.get(reg.name)
+        if prev is not None and prev != reg.dtype:
+            raise VerificationError(
+                f"{where}: register '{reg.name}' retyped from {prev.name} "
+                f"to {reg.dtype.name}"
+            )
+        self.types[reg.name] = reg.dtype
+        self.defined.add(reg.name)
+
+    def use(self, op: Operand, where: str) -> None:
+        if isinstance(op, Imm):
+            return
+        if op.name not in self.defined:
+            raise VerificationError(
+                f"{where}: register '{op.name}' used before definition"
+            )
+        if self.types[op.name] != op.dtype:
+            raise VerificationError(
+                f"{where}: register '{op.name}' used as {op.dtype.name} but "
+                f"defined as {self.types[op.name].name}"
+            )
+
+
+def _check_same(where: str, *operands: Operand) -> None:
+    first = operands[0].dtype
+    for op in operands[1:]:
+        if op.dtype != first:
+            raise VerificationError(
+                f"{where}: operand dtypes disagree "
+                f"({', '.join(o.dtype.name for o in operands)})"
+            )
+
+
+def _verify_body(body: list[Instruction], scope: _Scope, kernel: str,
+                 top_level: bool) -> None:
+    for pos, instr in enumerate(body):
+        where = f"kernel '{kernel}', {type(instr).__name__} @{pos}"
+
+        if isinstance(instr, Mov):
+            scope.use(instr.src, where)
+            _check_same(where, instr.dst, instr.src)
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, UnaryOp):
+            if instr.op not in UNARY_OPS:
+                raise VerificationError(f"{where}: bad unary op '{instr.op}'")
+            scope.use(instr.src, where)
+            if instr.op in _FLOAT_ONLY_UNARY and not instr.src.dtype.is_float:
+                raise VerificationError(
+                    f"{where}: '{instr.op}' requires a float operand"
+                )
+            if instr.op == "not":
+                if not (instr.src.dtype.is_pred and instr.dst.dtype.is_pred):
+                    raise VerificationError(f"{where}: 'not' is predicate-only")
+            else:
+                _check_same(where, instr.dst, instr.src)
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, BinOp):
+            if instr.op not in BINARY_OPS:
+                raise VerificationError(f"{where}: bad binary op '{instr.op}'")
+            scope.use(instr.a, where)
+            scope.use(instr.b, where)
+            _check_same(where, instr.dst, instr.a, instr.b)
+            dt = instr.a.dtype
+            if dt.is_pred and instr.op not in _PRED_BINOPS:
+                raise VerificationError(
+                    f"{where}: '{instr.op}' not defined on predicates"
+                )
+            if instr.op in _INT_ONLY_BINOPS and not dt.is_integer:
+                raise VerificationError(
+                    f"{where}: '{instr.op}' requires integer operands"
+                )
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, Cmp):
+            if instr.op not in CMP_OPS:
+                raise VerificationError(f"{where}: bad comparison '{instr.op}'")
+            scope.use(instr.a, where)
+            scope.use(instr.b, where)
+            _check_same(where, instr.a, instr.b)
+            if not instr.dst.dtype.is_pred:
+                raise VerificationError(f"{where}: comparison dst must be pred")
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, Select):
+            scope.use(instr.pred, where)
+            scope.use(instr.a, where)
+            scope.use(instr.b, where)
+            if not instr.pred.dtype.is_pred:
+                raise VerificationError(f"{where}: select predicate must be pred")
+            _check_same(where, instr.dst, instr.a, instr.b)
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, Cvt):
+            scope.use(instr.src, where)
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, Load):
+            scope.use(instr.addr, where)
+            if instr.addr.dtype != dtypes.U64:
+                raise VerificationError(f"{where}: load address must be u64")
+            if instr.space not in MemSpace.ALL:
+                raise VerificationError(f"{where}: bad space '{instr.space}'")
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, Store):
+            scope.use(instr.addr, where)
+            scope.use(instr.src, where)
+            if instr.addr.dtype != dtypes.U64:
+                raise VerificationError(f"{where}: store address must be u64")
+            if instr.space not in MemSpace.ALL:
+                raise VerificationError(f"{where}: bad space '{instr.space}'")
+
+        elif isinstance(instr, SpecialRead):
+            if instr.which not in SpecialReg.ALL:
+                raise VerificationError(
+                    f"{where}: bad special register '{instr.which}'"
+                )
+            if instr.dst.dtype != dtypes.U32:
+                raise VerificationError(f"{where}: special reads are u32")
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, AtomicOp):
+            if instr.op not in ATOMIC_OPS:
+                raise VerificationError(f"{where}: bad atomic '{instr.op}'")
+            scope.use(instr.addr, where)
+            scope.use(instr.src, where)
+            if instr.addr.dtype != dtypes.U64:
+                raise VerificationError(f"{where}: atomic address must be u64")
+            if instr.op == "cas":
+                if instr.compare is None:
+                    raise VerificationError(f"{where}: cas requires compare value")
+                scope.use(instr.compare, where)
+                _check_same(where, instr.src, instr.compare)
+            if instr.dst is not None:
+                _check_same(where, instr.dst, instr.src)
+                scope.define(instr.dst, where)
+
+        elif isinstance(instr, Shuffle):
+            if instr.mode not in SHUFFLE_MODES:
+                raise VerificationError(f"{where}: bad shuffle mode '{instr.mode}'")
+            scope.use(instr.src, where)
+            scope.use(instr.lane, where)
+            if instr.lane.dtype != dtypes.U32:
+                raise VerificationError(f"{where}: shuffle lane must be u32")
+            _check_same(where, instr.dst, instr.src)
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, SharedAlloc):
+            if not top_level:
+                raise VerificationError(
+                    f"{where}: shared memory must be allocated at top level"
+                )
+            if instr.count <= 0:
+                raise VerificationError(f"{where}: shared count must be positive")
+            if instr.dst.dtype != dtypes.U64:
+                raise VerificationError(f"{where}: shared base must be u64")
+            scope.define(instr.dst, where)
+
+        elif isinstance(instr, (Barrier, Exit)):
+            pass
+
+        elif isinstance(instr, If):
+            scope.use(instr.cond, where)
+            if instr.cond.dtype != dtypes.PRED:
+                raise VerificationError(f"{where}: if condition must be pred")
+            then_scope = scope.clone()
+            else_scope = scope.clone()
+            _verify_body(instr.then_body, then_scope, kernel, False)
+            _verify_body(instr.else_body, else_scope, kernel, False)
+            # Only definitions made on *both* paths survive the join.
+            scope.defined |= then_scope.defined & else_scope.defined
+
+        elif isinstance(instr, While):
+            if instr.cond is None or instr.cond.dtype != dtypes.PRED:
+                raise VerificationError(f"{where}: while condition must be pred")
+            cond_scope = scope.clone()
+            _verify_body(instr.cond_body, cond_scope, kernel, False)
+            cond_scope.use(instr.cond, where + " (condition)")
+            body_scope = cond_scope.clone()
+            _verify_body(instr.body, body_scope, kernel, False)
+            # Definitions inside the loop may never happen (zero trips):
+            # nothing new joins the outer scope.
+
+        else:
+            raise VerificationError(f"{where}: unknown instruction")
+
+
+def verify_kernel(kernel: KernelIR) -> None:
+    """Verify one kernel; raises :class:`VerificationError` on failure."""
+    types: dict[str, dtypes.DType] = {}
+    scope = _Scope(set(), types)
+    for p in kernel.params:
+        scope.define(p.reg, f"kernel '{kernel.name}' params")
+    _verify_body(kernel.body, scope, kernel.name, top_level=True)
+
+
+def verify_module(module: ModuleIR) -> None:
+    """Verify every kernel in a module."""
+    for kernel in module:
+        verify_kernel(kernel)

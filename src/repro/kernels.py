@@ -1,0 +1,366 @@
+"""Shared library of device kernels, written once in the kernel DSL.
+
+Every programming-model runtime lowers to the same abstract IR, so the
+actual device code for the common operations (BabelStream kernels,
+reductions, histograms, scans, sorts, stencils) lives here and each
+model compiles it through *its own* toolchain for *its own* target —
+exactly how the same ``saxpy`` loop body ends up in CUDA, HIP, SYCL,
+and OpenMP programs in the real world.
+
+Unless noted otherwise, reduction-style kernels assume a block size of
+:data:`BLOCK` threads (their shared-memory tiles are sized for it).
+"""
+
+from __future__ import annotations
+
+from repro.frontends import f32, f64, i32, i64, kernel, u64  # noqa: F401
+
+#: Default block size; reduction kernels assume exactly this.
+BLOCK = 256
+_HALF = BLOCK // 2
+
+# ---------------------------------------------------------------------------
+# BabelStream kernels (Deakin et al.): Copy, Mul, Add, Triad, Dot
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def stream_copy(n: i64, a: f64[:], c: f64[:]):
+    """``c[i] = a[i]`` — STREAM Copy."""
+    i = gid(0)
+    if i < n:
+        c[i] = a[i]
+
+
+@kernel
+def stream_mul(n: i64, scalar: f64, b: f64[:], c: f64[:]):
+    """``b[i] = scalar * c[i]`` — STREAM Mul."""
+    i = gid(0)
+    if i < n:
+        b[i] = scalar * c[i]
+
+
+@kernel
+def stream_add(n: i64, a: f64[:], b: f64[:], c: f64[:]):
+    """``c[i] = a[i] + b[i]`` — STREAM Add."""
+    i = gid(0)
+    if i < n:
+        c[i] = a[i] + b[i]
+
+
+@kernel
+def stream_triad(n: i64, scalar: f64, a: f64[:], b: f64[:], c: f64[:]):
+    """``a[i] = b[i] + scalar * c[i]`` — STREAM Triad."""
+    i = gid(0)
+    if i < n:
+        a[i] = b[i] + scalar * c[i]
+
+
+@kernel
+def stream_dot(n: i64, a: f64[:], b: f64[:], out: f64[:]):
+    """``out[0] += sum_i a[i]*b[i]`` — grid-stride dot with block tree."""
+    tile = shared(f64, 256)
+    i = gid(0)
+    t = lid(0)
+    stride = gsize(0)
+    acc = 0.0
+    while i < n:
+        acc += a[i] * b[i]
+        i += stride
+    tile[t] = acc
+    barrier()
+    s = 128
+    while s > 0:
+        if t < s:
+            tile[t] = tile[t] + tile[t + s]
+        barrier()
+        s = s // 2
+    if t == 0:
+        atomic_add(out, 0, tile[0])
+
+
+# ---------------------------------------------------------------------------
+# BLAS-style kernels
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def axpy(n: i64, alpha: f64, x: f64[:], y: f64[:]):
+    """``y[i] = alpha*x[i] + y[i]`` (cublasDaxpy-class)."""
+    i = gid(0)
+    if i < n:
+        y[i] = alpha * x[i] + y[i]
+
+
+@kernel
+def gemv(m: i64, n: i64, alpha: f64, a: f64[:], x: f64[:], beta: f64, y: f64[:]):
+    """``y = alpha*A@x + beta*y`` with row-major A, one row per thread."""
+    row = gid(0)
+    if row < m:
+        acc = 0.0
+        for j in range(n):
+            acc += a[row * n + j] * x[j]
+        y[row] = alpha * acc + beta * y[row]
+
+
+@kernel
+def fill(n: i64, value: f64, x: f64[:]):
+    """``x[i] = value``."""
+    i = gid(0)
+    if i < n:
+        x[i] = value
+
+
+@kernel
+def scale_inplace(n: i64, alpha: f64, x: f64[:]):
+    """``x[i] *= alpha``."""
+    i = gid(0)
+    if i < n:
+        x[i] = alpha * x[i]
+
+
+# ---------------------------------------------------------------------------
+# Elementwise maps (the Python ufunc layer builds on these)
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def ew_add(n: i64, a: f64[:], b: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = a[i] + b[i]
+
+
+@kernel
+def ew_sub(n: i64, a: f64[:], b: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = a[i] - b[i]
+
+
+@kernel
+def ew_mul(n: i64, a: f64[:], b: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = a[i] * b[i]
+
+
+@kernel
+def ew_div(n: i64, a: f64[:], b: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = a[i] / b[i]
+
+
+@kernel
+def ew_scalar_add(n: i64, s: f64, a: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = a[i] + s
+
+
+@kernel
+def ew_scalar_mul(n: i64, s: f64, a: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = s * a[i]
+
+
+@kernel
+def ew_sqrt(n: i64, a: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = sqrt(a[i])
+
+
+@kernel
+def ew_exp(n: i64, a: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = exp(a[i])
+
+
+@kernel
+def ew_maximum(n: i64, a: f64[:], b: f64[:], out: f64[:]):
+    i = gid(0)
+    if i < n:
+        out[i] = max(a[i], b[i])
+
+
+# ---------------------------------------------------------------------------
+# Reductions beyond dot
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def reduce_sum(n: i64, x: f64[:], out: f64[:]):
+    """``out[0] += sum_i x[i]`` — grid-stride + block tree + atomic."""
+    tile = shared(f64, 256)
+    i = gid(0)
+    t = lid(0)
+    stride = gsize(0)
+    acc = 0.0
+    while i < n:
+        acc += x[i]
+        i += stride
+    tile[t] = acc
+    barrier()
+    s = 128
+    while s > 0:
+        if t < s:
+            tile[t] = tile[t] + tile[t + s]
+        barrier()
+        s = s // 2
+    if t == 0:
+        atomic_add(out, 0, tile[0])
+
+
+@kernel
+def reduce_max(n: i64, x: f64[:], out: f64[:]):
+    """``out[0] = max(out[0], max_i x[i])`` (initialize out beforehand)."""
+    tile = shared(f64, 256)
+    i = gid(0)
+    t = lid(0)
+    stride = gsize(0)
+    acc = -1.0e308
+    while i < n:
+        acc = max(acc, x[i])
+        i += stride
+    tile[t] = acc
+    barrier()
+    s = 128
+    while s > 0:
+        if t < s:
+            tile[t] = max(tile[t], tile[t + s])
+        barrier()
+        s = s // 2
+    if t == 0:
+        atomic_max(out, 0, tile[0])
+
+
+@kernel
+def warp_reduce_sum(n: i64, x: f64[:], out: f64[:]):
+    """Sum via cross-lane shuffles: one atomic per warp, no shared memory."""
+    i = gid(0)
+    stride = gsize(0)
+    acc = 0.0
+    while i < n:
+        acc += x[i]
+        i += stride
+    w = warpsize()
+    offset = w // 2
+    while offset > 0:
+        acc += shfl_down(acc, offset)
+        offset = offset // 2
+    if lane() == 0:
+        atomic_add(out, 0, acc)
+
+
+# ---------------------------------------------------------------------------
+# Histogram and sort/scan building blocks
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def histogram(n: i64, nbins: i64, data: i32[:], bins: i32[:]):
+    """``bins[data[i] % nbins] += 1`` with global atomics."""
+    i = gid(0)
+    if i < n:
+        b = i64(data[i]) % nbins
+        atomic_add(bins, b, i32(1))
+
+
+@kernel
+def bitonic_step(n: i64, j: i64, k: i64, data: f64[:]):
+    """One compare-exchange step of a bitonic sort network."""
+    i = gid(0)
+    if i < n:
+        partner = i ^ j
+        if partner > i:
+            up = (i & k) == 0
+            a = data[i]
+            b = data[partner]
+            if up and a > b:
+                data[i] = b
+                data[partner] = a
+            if (not up) and a < b:
+                data[i] = b
+                data[partner] = a
+
+
+@kernel
+def scan_step(n: i64, offset: i64, src: f64[:], dst: f64[:]):
+    """One Hillis-Steele pass: ``dst[i] = src[i] + src[i-offset]``."""
+    i = gid(0)
+    if i < n:
+        if i >= offset:
+            dst[i] = src[i] + src[i - offset]
+        else:
+            dst[i] = src[i]
+
+
+# ---------------------------------------------------------------------------
+# Structured-grid kernels
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def flops_burner(n: i64, iters: i64, x: f64[:]):
+    """Arithmetic-dominated kernel (5 flops x ``iters`` per element).
+
+    Used by the perf-model ablation: with enough iterations the roofline
+    classifies it compute/issue-bound, which a bandwidth-only model
+    cannot see.
+    """
+    i = gid(0)
+    if i < n:
+        v = x[i]
+        for _k in range(iters):
+            v = v * 1.0000001 + 0.5
+            v = (v - 0.5) * 0.9999999
+        x[i] = v
+
+
+@kernel
+def jacobi2d(nx: i64, ny: i64, inp: f64[:], out: f64[:]):
+    """5-point Jacobi sweep on an ``nx``×``ny`` grid (2-D launch)."""
+    x = gid(0)
+    y = gid(1)
+    if x > 0 and x < nx - 1 and y > 0 and y < ny - 1:
+        c = y * nx + x
+        out[c] = 0.25 * (inp[c - 1] + inp[c + 1] + inp[c - nx] + inp[c + nx])
+
+
+@kernel
+def nbody_forces(n: i64, softening: f64, pos: f64[:], acc_out: f64[:]):
+    """Direct-sum 2-D N-body accelerations (positions packed x,y)."""
+    i = gid(0)
+    if i < n:
+        xi = pos[2 * i]
+        yi = pos[2 * i + 1]
+        ax = 0.0
+        ay = 0.0
+        for j in range(n):
+            dx = pos[2 * j] - xi
+            dy = pos[2 * j + 1] - yi
+            inv = 1.0 / sqrt(dx * dx + dy * dy + softening)
+            inv3 = inv * inv * inv
+            ax += dx * inv3
+            ay += dy * inv3
+        acc_out[2 * i] = ax
+        acc_out[2 * i + 1] = ay
+
+
+#: All kernels by name, for registries and tests.
+KERNEL_LIBRARY = {
+    k.name: k
+    for k in (
+        stream_copy, stream_mul, stream_add, stream_triad, stream_dot,
+        axpy, gemv, fill, scale_inplace,
+        ew_add, ew_sub, ew_mul, ew_div, ew_scalar_add, ew_scalar_mul,
+        ew_sqrt, ew_exp, ew_maximum, flops_burner,
+        reduce_sum, reduce_max, warp_reduce_sum,
+        histogram, bitonic_step, scan_step,
+        jacobi2d, nbody_forces,
+    )
+}

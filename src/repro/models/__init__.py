@@ -1,0 +1,24 @@
+"""Executable embedded versions of the GPU programming models.
+
+One subpackage per column of Figure 1:
+
+* :mod:`repro.models.cuda` — the CUDA runtime API + CUDA Fortran.
+* :mod:`repro.models.hip` — HIP (mirroring CUDA) + hipfort.
+* :mod:`repro.models.sycl` — SYCL queues/buffers/USM (DPC++/Open SYCL).
+* :mod:`repro.models.openmp` — OpenMP target offloading with a
+  directive parser and per-compiler standard-version coverage.
+* :mod:`repro.models.openacc` — OpenACC parallel/kernels/data regions.
+* :mod:`repro.models.stdpar` — C++ pSTL algorithms and Fortran
+  ``do concurrent``.
+* :mod:`repro.models.kokkos` — views, policies, parallel patterns.
+* :mod:`repro.models.alpaka` — accelerators, work divisions, buffers.
+* :mod:`repro.models.pymodels` — the Python layer (CuPy-like arrays,
+  Numba-like JIT, the Intel dpctl/dpnp stack, PyHIP-like bindings).
+
+All models share :mod:`repro.models.base`'s offload core (compile
+through a toolchain, launch on a simulated device) and the kernel
+library in :mod:`repro.kernels` — mirroring how the real models share
+LLVM and differ in API surface, language rules, and feature coverage.
+"""
+
+from repro.models.base import DeviceArray, OffloadRuntime  # noqa: F401

@@ -1,0 +1,232 @@
+"""The offload core shared by every programming-model runtime.
+
+:class:`OffloadRuntime` owns the mechanics every model needs — building
+translation units, compiling them through a configurable toolchain for
+the bound device's ISA, caching binaries, launching kernels, and moving
+data — so each model subpackage only implements its API surface, its
+language rules, and its feature-tag vocabulary.
+
+Design notes:
+
+* **Language enforcement** happens here (``LANGUAGES``): a SYCL runtime
+  constructed with ``Language.FORTRAN`` raises
+  :class:`~repro.errors.LanguageError` at construction, reproducing
+  description 6 ("SYCL ... by its nature does not support Fortran").
+* **Feature tags** accumulate on the translation unit from the API
+  calls actually made, so a program that never touches streams compiles
+  fine on a toolchain without stream support — coverage is per-feature,
+  exactly how the probe suite measures it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.compilers.registry import get_toolchain
+from repro.compilers.toolchain import Toolchain
+from repro.enums import Language, Model
+from repro.errors import ApiError, LanguageError
+from repro.frontends.kernel_dsl import KernelFn
+from repro.frontends.source import TranslationUnit
+from repro.gpu.device import Device
+from repro.gpu.memory import Allocation
+from repro.gpu.stream import Event, Stream
+from repro.isa.module import TargetModule
+from repro.kernels import BLOCK
+
+
+class DeviceArray:
+    """A typed device allocation handle used by all model runtimes."""
+
+    def __init__(self, runtime: "OffloadRuntime", dtype: np.dtype, count: int,
+                 managed: bool = False):
+        self.runtime = runtime
+        self.dtype = np.dtype(dtype)
+        self.count = int(count)
+        self.managed = managed
+        self.allocation: Allocation | None = runtime.device.alloc(
+            self.dtype.itemsize * self.count
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.dtype.itemsize * self.count
+
+    @property
+    def addr(self) -> int:
+        if self.allocation is None:
+            raise ApiError("use of freed device array")
+        return int(self.allocation)
+
+    def _live(self) -> Allocation:
+        if self.allocation is None:
+            raise ApiError("use of freed device array")
+        return self.allocation
+
+    def copy_from_host(self, host: np.ndarray, stream: Stream | None = None) -> None:
+        host = np.ascontiguousarray(host, dtype=self.dtype).reshape(-1)
+        if host.size > self.count:
+            raise ApiError(
+                f"host array of {host.size} elements exceeds device array "
+                f"of {self.count}"
+            )
+        self.runtime.device.memcpy_h2d(self._live(), host, stream=stream)
+
+    def copy_to_host(self, stream: Stream | None = None) -> np.ndarray:
+        return self.runtime.device.memcpy_d2h(
+            self._live(), self.dtype, self.count, stream=stream
+        )
+
+    def view(self) -> np.ndarray:
+        """Zero-copy host view (managed/USM-style access)."""
+        return self.runtime.device.memory.view(self._live(), self.dtype, self.count)
+
+    def free(self) -> None:
+        if self.allocation is not None:
+            self.runtime.device.free(self.allocation)
+            self.allocation = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        # Expression chains in the Python array layer create temporaries;
+        # reclaim them like CuPy does when the GC drops the handle.
+        try:
+            self.free()
+        except Exception:
+            pass
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class OffloadRuntime:
+    """Base class for the per-model runtimes."""
+
+    #: Overridden by subclasses.
+    MODEL: Model = Model.CUDA
+    LANGUAGES: tuple[Language, ...] = (Language.CPP,)
+    #: Default toolchain when none is given (subclass override).
+    DEFAULT_TOOLCHAIN: str = "nvcc"
+    #: Optional source-to-source translator applied before compilation
+    #: (set by translated routes, e.g. HIPIFY for CUDA-on-AMD).  The
+    #: program is written against this runtime's model; the translator
+    #: rewrites each translation unit into the target model the bound
+    #: toolchain actually compiles.
+    translator = None
+    #: Host-side dispatch latency this model adds per kernel launch
+    #: (seconds of simulated time).  The native models submit straight
+    #: through the driver (0); directive runtimes, abstraction layers,
+    #: and especially the Python interpreter pay more — the per-model
+    #: overhead axis of Hammond's "gears of GPU programming" comparison
+    #: the paper cites [6].  Negligible for large kernels, visible for
+    #: small ones.
+    DISPATCH_OVERHEAD_S: float = 0.0
+
+    def __init__(self, device: Device, toolchain: str | Toolchain | None = None,
+                 language: Language = Language.CPP):
+        if language not in self.LANGUAGES:
+            raise LanguageError(
+                f"{self.MODEL.value} is not available from {language.value} "
+                f"(supported: {[l.value for l in self.LANGUAGES]})"
+            )
+        self.device = device
+        self.language = language
+        if toolchain is None:
+            toolchain = self.DEFAULT_TOOLCHAIN
+        self.toolchain = (
+            toolchain if isinstance(toolchain, Toolchain) else get_toolchain(toolchain)
+        )
+        #: Instance-level override of the class default (layered models
+        #: set this on their backend runtime).
+        self.dispatch_overhead_s: float = self.DISPATCH_OVERHEAD_S
+        self._binaries: dict[tuple, TargetModule] = {}
+        self._tu_counter = 0
+
+    # -- feature vocabulary -----------------------------------------------------
+
+    #: Prefix for this model's feature tags ("cuda", "hip", "sycl", ...).
+    TAG_PREFIX: str = "cuda"
+
+    def tag(self, suffix: str) -> str:
+        return f"{self.TAG_PREFIX}:{suffix}"
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, kernels: Sequence[KernelFn],
+                features: Sequence[str] = ()) -> TargetModule:
+        """Compile kernels (+ feature requirements) for this device.
+
+        Results are cached per (kernel set, feature set); cache hits are
+        the norm since models re-launch the same library kernels.
+        """
+        key = (tuple(id(k) for k in kernels), frozenset(features))
+        cached = self._binaries.get(key)
+        if cached is not None:
+            return cached
+        self._tu_counter += 1
+        tu = TranslationUnit(
+            name=f"{self.MODEL.value.lower()}_tu{self._tu_counter}",
+            model=self.MODEL,
+            language=self.language,
+        )
+        for k in kernels:
+            tu.add(k)
+        tu.require(*features)
+        if self.translator is not None:
+            tu = self.translator.translate_unit(tu)
+        result = self.toolchain.compile(tu, self.device.isa)
+        self.device.load_module(result.binary)
+        self._binaries[key] = result.binary
+        return result.binary
+
+    # -- memory ------------------------------------------------------------------
+
+    def alloc(self, dtype: np.dtype, count: int) -> DeviceArray:
+        return DeviceArray(self, dtype, count)
+
+    def to_device(self, host: np.ndarray) -> DeviceArray:
+        host = np.ascontiguousarray(host)
+        arr = DeviceArray(self, host.dtype, host.size)
+        arr.copy_from_host(host)
+        return arr
+
+    # -- execution ----------------------------------------------------------------
+
+    def launch(self, binary: TargetModule, kernel_name: str, grid, block,
+               args: Sequence[object], stream: Stream | None = None):
+        resolved = [a.addr if isinstance(a, DeviceArray) else a for a in args]
+        overhead = self.dispatch_overhead_s
+        if overhead > 0.0:
+            s = stream or self.device.default_stream
+            s.push(overhead, label=f"{self.MODEL.value} dispatch",
+                   category="dispatch")
+        return self.device.launch(
+            binary, kernel_name, grid, block, resolved, stream=stream
+        )
+
+    def launch_n(self, kernelfn: KernelFn, n: int, args: Sequence[object],
+                 features: Sequence[str] = (), stream: Stream | None = None,
+                 block: int = BLOCK, grid: int | None = None):
+        """Compile-and-launch a 1-D kernel over ``n`` elements."""
+        binary = self.compile([kernelfn], features)
+        if grid is None:
+            grid = max(1, (n + block - 1) // block)
+        return self.launch(binary, kernelfn.name, (grid,), (block,), args, stream)
+
+    def synchronize(self) -> float:
+        return self.device.synchronize()
+
+    # -- streams/events (models that expose them wrap these) ------------------
+
+    def _new_stream(self) -> Stream:
+        return self.device.create_stream()
+
+    def _new_event(self) -> Event:
+        return self.device.create_event()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} on {self.device.spec.name} via "
+            f"{self.toolchain.name} ({self.language.value})>"
+        )

@@ -1,0 +1,64 @@
+"""CUDA: NVIDIA's native programming model (descriptions 1/2/18/19/31/32).
+
+:class:`Cuda` exposes the runtime-API surface under its CUDA names
+(``cudaMalloc``, ``cudaMemcpy``, ``cudaStreamCreate``, ...) over the
+shared CUDA-like core.  ``language=Language.FORTRAN`` selects CUDA
+Fortran — only compilable by NVHPC (``nvfortran -cuda``), including the
+``!$cuf kernel do`` auto-parallelized loops.
+
+Typical use::
+
+    from repro.enums import Vendor
+    from repro.gpu import get_device
+    from repro.models.cuda import Cuda
+    from repro import kernels as KL
+
+    rt = Cuda(get_device(Vendor.NVIDIA))       # nvcc by default
+    x = rt.cudaMallocTyped("float64", 1024)
+    rt.cudaMemcpyHtoD(x, host_array)
+    rt.launch_1d(KL.scale_inplace, 1024, [1024, 2.0, x])
+    out = rt.cudaMemcpyDtoH(x)
+"""
+
+from __future__ import annotations
+
+from repro.enums import Language, Model
+from repro.models.cudalike import CudaLikeRuntime, GraphExec  # noqa: F401
+
+
+class Cuda(CudaLikeRuntime):
+    """The CUDA runtime API on a simulated device."""
+
+    MODEL = Model.CUDA
+    LANGUAGES = (Language.CPP, Language.FORTRAN)
+    TAG_PREFIX = "cuda"
+    DEFAULT_TOOLCHAIN = "nvcc"
+
+    def __init__(self, device, toolchain=None, language=Language.CPP):
+        if toolchain is None and language is Language.FORTRAN:
+            toolchain = "nvhpc"  # CUDA Fortran lives in the HPC SDK
+        super().__init__(device, toolchain, language)
+
+    # CUDA-flavoured aliases -------------------------------------------------
+    cudaMalloc = CudaLikeRuntime.malloc
+    cudaMallocTyped = CudaLikeRuntime.malloc_typed
+    cudaMallocManaged = CudaLikeRuntime.malloc_managed
+    cudaMemcpyHtoD = CudaLikeRuntime.memcpy_htod
+    cudaMemcpyDtoH = CudaLikeRuntime.memcpy_dtoh
+    cudaMemcpyDtoD = CudaLikeRuntime.memcpy_dtod
+    cudaFree = CudaLikeRuntime.free
+    cudaStreamCreate = CudaLikeRuntime.stream_create
+    cudaStreamDestroy = CudaLikeRuntime.stream_destroy
+    cudaStreamSynchronize = CudaLikeRuntime.stream_synchronize
+    cudaEventCreate = CudaLikeRuntime.event_create
+    cudaEventRecord = CudaLikeRuntime.event_record
+    cudaEventElapsedTime = CudaLikeRuntime.event_elapsed
+    cudaStreamWaitEvent = CudaLikeRuntime.stream_wait_event
+    cudaDeviceSynchronize = CudaLikeRuntime.device_synchronize
+    cudaLaunchKernel = CudaLikeRuntime.launch_kernel
+    cudaLaunchCooperativeKernel = CudaLikeRuntime.launch_cooperative
+    cudaGraphBeginCapture = CudaLikeRuntime.graph_begin_capture
+    cudaGraphEndCapture = CudaLikeRuntime.graph_end_capture
+    cublasDaxpy = CudaLikeRuntime.blas_axpy
+    cublasDdot = CudaLikeRuntime.blas_dot
+    cublasDgemv = CudaLikeRuntime.blas_gemv

@@ -1,0 +1,327 @@
+"""Shared implementation of the CUDA-style runtime APIs.
+
+HIP "is strongly inspired by CUDA; the mapping is relatively
+straight-forward; API calls are named similarly" (description 3) — so
+the simulator implements the common runtime once and the
+:mod:`repro.models.cuda` / :mod:`repro.models.hip` packages expose it
+under their own API names and feature-tag vocabularies.
+
+The API surface covers what the paper's support assessments hinge on:
+explicit memory management, async streams, events, managed/unified
+memory, task graphs, cooperative launch, and vendor BLAS-class library
+calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import kernels as KL
+from repro.enums import Language, Model
+from repro.errors import ApiError, LaunchError
+from repro.frontends.kernel_dsl import KernelFn
+from repro.gpu.stream import Event, Stream
+from repro.kernels import BLOCK
+from repro.models.base import DeviceArray, OffloadRuntime
+
+
+@dataclass
+class GraphNode:
+    kernelfn: KernelFn
+    grid: tuple
+    block: tuple
+    args: tuple
+    features: tuple
+
+
+@dataclass
+class GraphExec:
+    """An instantiated task graph ready for replay."""
+
+    runtime: "CudaLikeRuntime"
+    nodes: list[GraphNode] = field(default_factory=list)
+    launches: int = 0
+
+    def launch(self, stream: Stream | None = None) -> None:
+        for node in self.nodes:
+            binary = self.runtime.compile([node.kernelfn], node.features)
+            self.runtime.launch(
+                binary, node.kernelfn.name, node.grid, node.block,
+                list(node.args), stream=stream,
+            )
+        self.launches += 1
+
+
+class CudaLikeRuntime(OffloadRuntime):
+    """Common CUDA/HIP runtime semantics."""
+
+    MODEL = Model.CUDA
+    LANGUAGES = (Language.CPP, Language.FORTRAN)
+    TAG_PREFIX = "cuda"
+
+    def __init__(self, device, toolchain=None, language=Language.CPP):
+        super().__init__(device, toolchain, language)
+        self._capture: list[GraphNode] | None = None
+
+    # -- tag helpers --------------------------------------------------------
+
+    def _kernel_tags(self) -> tuple[str, ...]:
+        """Kernel-definition tags differ for CUDA Fortran (cuf:kernels)."""
+        if self.MODEL is Model.CUDA and self.language is Language.FORTRAN:
+            return ("cuf:kernels", self.tag("memcpy"))
+        return (self.tag("kernels"), self.tag("memcpy"))
+
+    # -- memory management API -------------------------------------------------
+
+    def malloc(self, nbytes: int) -> DeviceArray:
+        """cudaMalloc/hipMalloc: raw byte allocation (uint8-typed)."""
+        return self.alloc(np.uint8, nbytes)
+
+    def malloc_typed(self, dtype: np.dtype, count: int) -> DeviceArray:
+        return self.alloc(dtype, count)
+
+    def malloc_managed(self, dtype: np.dtype, count: int) -> DeviceArray:
+        """cudaMallocManaged: host-visible allocation (``.view()`` works)."""
+        arr = DeviceArray(self, dtype, count, managed=True)
+        return arr
+
+    def memcpy_htod(self, dst: DeviceArray, src: np.ndarray,
+                    stream: Stream | None = None) -> None:
+        dst.copy_from_host(src, stream=stream)
+
+    def memcpy_dtoh(self, src: DeviceArray, stream: Stream | None = None) -> np.ndarray:
+        return src.copy_to_host(stream=stream)
+
+    def memcpy_dtod(self, dst: DeviceArray, src: DeviceArray) -> None:
+        self.device.memcpy_d2d(dst.allocation, src.allocation,
+                               min(dst.nbytes, src.nbytes))
+
+    def free(self, arr: DeviceArray) -> None:
+        arr.free()
+
+    # -- streams and events ------------------------------------------------------
+
+    def stream_create(self) -> Stream:
+        return self._new_stream()
+
+    def stream_destroy(self, stream: Stream) -> None:
+        stream.destroy()
+
+    def stream_synchronize(self, stream: Stream) -> float:
+        return stream.synchronize()
+
+    def event_create(self) -> Event:
+        return self._new_event()
+
+    def event_record(self, event: Event, stream: Stream | None = None) -> Event:
+        s = stream or self.device.default_stream
+        return s.record(event)
+
+    def event_elapsed(self, start: Event, end: Event) -> float:
+        """Elapsed simulated seconds between two recorded events."""
+        return end.elapsed_since(start)
+
+    def stream_wait_event(self, stream: Stream, event: Event) -> None:
+        stream.wait_event(event)
+
+    def device_synchronize(self) -> float:
+        return self.synchronize()
+
+    # -- kernel launch ----------------------------------------------------------
+
+    def launch_kernel(self, kernelfn: KernelFn, grid, block, args,
+                      stream: Stream | None = None,
+                      extra_features: tuple[str, ...] = ()):
+        """``kernel<<<grid, block, 0, stream>>>(args...)``."""
+        features = self._kernel_tags() + extra_features
+        if self._capture is not None:
+            grid_t = grid if isinstance(grid, tuple) else (grid,)
+            block_t = block if isinstance(block, tuple) else (block,)
+            self._capture.append(
+                GraphNode(kernelfn, grid_t, block_t, tuple(args), features)
+            )
+            return None
+        binary = self.compile([kernelfn], features)
+        return self.launch(binary, kernelfn.name, grid, block, args, stream)
+
+    def launch_1d(self, kernelfn: KernelFn, n: int, args,
+                  stream: Stream | None = None,
+                  extra_features: tuple[str, ...] = ()):
+        grid = max(1, (n + BLOCK - 1) // BLOCK)
+        return self.launch_kernel(kernelfn, (grid,), (BLOCK,), args, stream,
+                                  extra_features)
+
+    def launch_cooperative(self, kernelfn: KernelFn, grid, block, args,
+                           stream: Stream | None = None):
+        """cudaLaunchCooperativeKernel: whole grid must be co-resident."""
+        grid_t = grid if isinstance(grid, tuple) else (grid,)
+        block_t = block if isinstance(block, tuple) else (block,)
+        threads = int(np.prod(grid_t)) * int(np.prod(block_t))
+        if threads > self.device.spec.max_resident_threads:
+            raise LaunchError(
+                f"cooperative launch of {threads} threads exceeds resident "
+                f"capacity {self.device.spec.max_resident_threads}"
+            )
+        return self.launch_kernel(
+            kernelfn, grid, block, args, stream,
+            extra_features=(self.tag("cooperative_groups"),),
+        )
+
+    # -- task graphs ------------------------------------------------------------
+
+    def graph_begin_capture(self) -> None:
+        if self._capture is not None:
+            raise ApiError("graph capture already in progress")
+        self._capture = []
+
+    def graph_end_capture(self) -> GraphExec:
+        if self._capture is None:
+            raise ApiError("no graph capture in progress")
+        nodes = self._capture
+        self._capture = None
+        # Instantiation compiles every node eagerly with the graph tag,
+        # so toolchains without graph support fail here, like real ones.
+        exec_ = GraphExec(self, nodes)
+        for node in nodes:
+            node.features = node.features + (self.tag("graphs"),)
+            self.compile([node.kernelfn], node.features)
+        return exec_
+
+    # -- vendor library layer (cuBLAS / hipBLAS lite) ----------------------------
+
+    def blas_axpy(self, n: int, alpha: float, x: DeviceArray, y: DeviceArray,
+                  stream: Stream | None = None) -> None:
+        features = self._kernel_tags() + (self.tag("libraries"),)
+        binary = self.compile([KL.axpy], features)
+        grid = max(1, (n + BLOCK - 1) // BLOCK)
+        self.launch(binary, "axpy", (grid,), (BLOCK,), [n, alpha, x, y], stream)
+
+    def blas_dot(self, n: int, x: DeviceArray, y: DeviceArray) -> float:
+        features = self._kernel_tags() + (self.tag("libraries"),)
+        binary = self.compile([KL.stream_dot], features)
+        out = self.alloc(np.float64, 1)
+        grid = min(256, max(1, (n + BLOCK - 1) // BLOCK))
+        self.launch(binary, "stream_dot", (grid,), (BLOCK,), [n, x, y, out])
+        result = float(out.copy_to_host()[0])
+        out.free()
+        return result
+
+    def blas_gemv(self, m: int, n: int, alpha: float, a: DeviceArray,
+                  x: DeviceArray, beta: float, y: DeviceArray) -> None:
+        features = self._kernel_tags() + (self.tag("libraries"),)
+        binary = self.compile([KL.gemv], features)
+        grid = max(1, (m + BLOCK - 1) // BLOCK)
+        self.launch(binary, "gemv", (grid,), (BLOCK,), [m, n, alpha, a, x, beta, y])
+
+    # -- CUDA Fortran sugar ------------------------------------------------------
+
+    def cuf_kernel_do(self, kernelfn: KernelFn, n: int, args,
+                      stream: Stream | None = None):
+        """``!$cuf kernel do``: compiler-parallelized loop (CUDA Fortran)."""
+        if not (self.MODEL is Model.CUDA and self.language is Language.FORTRAN):
+            raise ApiError("cuf kernels exist only in CUDA Fortran")
+        return self.launch_1d(
+            kernelfn, n, args, stream,
+            extra_features=("cuf:cuf_kernels",),
+        )
+
+    # ======================================================================
+    # Probe surface (used by repro.core.probes)
+    # ======================================================================
+
+    def probe_kernels(self, n: int = 4096) -> None:
+        """Define + launch a kernel, move data both ways, verify."""
+        rng = np.random.default_rng(7)
+        b_h, c_h = rng.random(n), rng.random(n)
+        a = self.alloc(np.float64, n)
+        b = self.to_device(b_h)
+        c = self.to_device(c_h)
+        self.launch_1d(KL.stream_triad, n, [n, 2.5, a, b, c])
+        got = a.copy_to_host()
+        if not np.allclose(got, b_h + 2.5 * c_h):
+            raise ApiError("triad verification failed")
+        for arr in (a, b, c):
+            arr.free()
+
+    def probe_streams(self, n: int = 4096) -> None:
+        """Two streams with independent copies + launches, then sync."""
+        s1, s2 = self.stream_create(), self.stream_create()
+        x_h = np.ones(n)
+        x1, x2 = self.to_device(x_h), self.to_device(x_h)
+        self.launch_1d(KL.scale_inplace, n, [n, 2.0, x1], stream=s1,
+                       extra_features=(self.tag("streams"),))
+        self.launch_1d(KL.scale_inplace, n, [n, 3.0, x2], stream=s2,
+                       extra_features=(self.tag("streams"),))
+        self.stream_synchronize(s1)
+        self.stream_synchronize(s2)
+        if not np.allclose(x1.copy_to_host(), 2.0):
+            raise ApiError("stream 1 result wrong")
+        if not np.allclose(x2.copy_to_host(), 3.0):
+            raise ApiError("stream 2 result wrong")
+        x1.free(); x2.free()
+
+    def probe_events(self, n: int = 4096) -> None:
+        """Event-based timing brackets a launch; elapsed must be > 0."""
+        start, end = self.event_create(), self.event_create()
+        x = self.to_device(np.ones(n))
+        self.event_record(start)
+        self.launch_1d(KL.scale_inplace, n, [n, 2.0, x],
+                       extra_features=(self.tag("events"),))
+        self.event_record(end)
+        if self.event_elapsed(start, end) <= 0:
+            raise ApiError("event timing returned non-positive duration")
+        x.free()
+
+    def probe_managed(self, n: int = 1024) -> None:
+        """Managed memory: host writes via the mapped view, device reads."""
+        arr = self.malloc_managed(np.float64, n)
+        arr.view()[:] = np.arange(n, dtype=np.float64)
+        self.launch_1d(KL.scale_inplace, n, [n, 2.0, arr],
+                       extra_features=(self.tag("managed_memory"),))
+        if not np.allclose(arr.view(), 2.0 * np.arange(n)):
+            raise ApiError("managed memory roundtrip failed")
+        arr.free()
+
+    def probe_libraries(self, n: int = 4096) -> None:
+        """Vendor BLAS layer: axpy then dot, verified against NumPy."""
+        rng = np.random.default_rng(13)
+        x_h, y_h = rng.random(n), rng.random(n)
+        x, y = self.to_device(x_h), self.to_device(y_h)
+        self.blas_axpy(n, 1.5, x, y)
+        expect = 1.5 * x_h + y_h
+        got = self.blas_dot(n, x, y)
+        if not np.isclose(got, x_h @ expect):
+            raise ApiError("library dot mismatch")
+        x.free(); y.free()
+
+    def probe_graphs(self, n: int = 2048) -> None:
+        """Capture three launches into a graph and replay it twice."""
+        x = self.to_device(np.ones(n))
+        self.graph_begin_capture()
+        for _ in range(3):
+            self.launch_1d(KL.scale_inplace, n, [n, 2.0, x])
+        graph = self.graph_end_capture()
+        graph.launch()
+        graph.launch()
+        if not np.allclose(x.copy_to_host(), 2.0 ** 6):
+            raise ApiError("graph replay produced wrong values")
+        x.free()
+
+    def probe_cooperative(self, n: int = 8192) -> None:
+        """Cooperative (co-resident) launch path."""
+        x = self.to_device(np.ones(n))
+        grid = max(1, (n + BLOCK - 1) // BLOCK)
+        self.launch_cooperative(KL.scale_inplace, (grid,), (BLOCK,), [n, 2.0, x])
+        if not np.allclose(x.copy_to_host(), 2.0):
+            raise ApiError("cooperative launch result wrong")
+        x.free()
+
+    def probe_cuf_kernels(self, n: int = 4096) -> None:
+        """CUDA Fortran's !$cuf auto-kernel loops."""
+        x = self.to_device(np.ones(n))
+        self.cuf_kernel_do(KL.scale_inplace, n, [n, 4.0, x])
+        if not np.allclose(x.copy_to_host(), 4.0):
+            raise ApiError("cuf kernel result wrong")
+        x.free()

@@ -1,0 +1,165 @@
+"""cuNumeric-like distributed arrays over multiple simulated GPUs.
+
+Description 17 names cuNumeric as the arguably highest-level Python
+venue: "allows to access the GPU via Numpy-inspired functions (like
+CuPy), but utilizes the Legate library to transparently scale to
+multiple GPUs."  This module reproduces that model on the simulator:
+
+* a :class:`LegateRuntime` owns several (NVIDIA) devices;
+* a :class:`LegateArray` is sharded across them in equal contiguous
+  blocks;
+* NumPy-inspired operations (``add``, ``multiply``, scalar ops,
+  ``sum``, ``dot``) dispatch one kernel per shard — on *independent
+  device timelines*, so the simulated wall time genuinely shrinks as
+  devices are added (the "transparent scaling" being advertised).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import kernels as KL
+from repro.enums import Vendor
+from repro.errors import ApiError
+from repro.gpu.device import Device
+from repro.kernels import BLOCK
+from repro.models.base import DeviceArray
+from repro.models.cuda import Cuda
+
+
+class LegateArray:
+    """A float64 array sharded across the runtime's devices."""
+
+    def __init__(self, runtime: "LegateRuntime", size: int,
+                 shards: list[DeviceArray]):
+        self.runtime = runtime
+        self.size = size
+        self.shards = shards
+
+    @property
+    def shard_sizes(self) -> list[int]:
+        return [s.count for s in self.shards]
+
+    # -- NumPy-inspired operators -------------------------------------------
+
+    def _binary(self, other, kern, scalar_kern):
+        rt = self.runtime
+        out = rt.empty(self.size)
+        if isinstance(other, LegateArray):
+            if other.size != self.size:
+                raise ApiError("shape mismatch between legate arrays")
+            for cuda, a, b, o in zip(rt.runtimes, self.shards, other.shards,
+                                     out.shards):
+                n = a.count
+                cuda.launch_1d(kern, n, [n, a, b, o])
+        else:
+            for cuda, a, o in zip(rt.runtimes, self.shards, out.shards):
+                n = a.count
+                cuda.launch_1d(scalar_kern, n, [n, float(other), a, o])
+        return out
+
+    def __add__(self, other):
+        return self._binary(other, KL.ew_add, KL.ew_scalar_add)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        return self._binary(other, KL.ew_mul, KL.ew_scalar_mul)
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other):
+        if not isinstance(other, LegateArray):
+            return self + (-float(other))
+        return self._binary(other, KL.ew_sub, None)
+
+    def sum(self) -> float:
+        """Per-device partial sums, combined on the host."""
+        total = 0.0
+        for cuda, shard in zip(self.runtime.runtimes, self.shards):
+            out = cuda.alloc(np.float64, 1)
+            n = shard.count
+            grid = min(256, max(1, (n + BLOCK - 1) // BLOCK))
+            cuda.launch_n(KL.reduce_sum, n, [n, shard, out],
+                          features=cuda._kernel_tags(), grid=grid)
+            total += float(out.copy_to_host()[0])
+            out.free()
+        return total
+
+    def dot(self, other: "LegateArray") -> float:
+        if other.size != self.size:
+            raise ApiError("shape mismatch between legate arrays")
+        total = 0.0
+        for cuda, a, b in zip(self.runtime.runtimes, self.shards,
+                              other.shards):
+            out = cuda.alloc(np.float64, 1)
+            n = a.count
+            grid = min(256, max(1, (n + BLOCK - 1) // BLOCK))
+            cuda.launch_n(KL.stream_dot, n, [n, a, b, out],
+                          features=cuda._kernel_tags(), grid=grid)
+            total += float(out.copy_to_host()[0])
+            out.free()
+        return total
+
+    def get(self) -> np.ndarray:
+        """Gather the distributed array back to the host."""
+        return np.concatenate([s.copy_to_host() for s in self.shards])
+
+    def free(self) -> None:
+        for s in self.shards:
+            s.free()
+
+
+class LegateRuntime:
+    """The Legate-style runtime: a set of same-vendor devices."""
+
+    def __init__(self, devices: list[Device]):
+        if not devices:
+            raise ApiError("legate runtime needs at least one device")
+        vendors = {d.vendor for d in devices}
+        if vendors != {Vendor.NVIDIA}:
+            raise ApiError(
+                "cuNumeric targets NVIDIA GPUs (description 17); got "
+                f"{[v.value for v in vendors]}"
+            )
+        self.devices = devices
+        self.runtimes = [Cuda(d) for d in devices]
+        for rt in self.runtimes:
+            # Legate task scheduling costs more than a raw launch.
+            rt.dispatch_overhead_s += 10.0e-6
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    def _split(self, size: int) -> list[int]:
+        base, extra = divmod(size, self.n_devices)
+        return [base + (1 if i < extra else 0) for i in range(self.n_devices)]
+
+    def empty(self, size: int) -> LegateArray:
+        if size <= 0:
+            raise ApiError("legate arrays must have positive size")
+        # Tiny arrays occupy only the first devices (zero-sized shards
+        # are skipped; shard i always lives on device i).
+        shards = [
+            rt.alloc(np.float64, n)
+            for rt, n in zip(self.runtimes, self._split(size))
+            if n > 0
+        ]
+        return LegateArray(self, size, shards)
+
+    def array(self, host: np.ndarray) -> LegateArray:
+        host = np.ascontiguousarray(host, dtype=np.float64).reshape(-1)
+        out = self.empty(host.size)
+        offset = 0
+        for shard in out.shards:
+            shard.copy_from_host(host[offset:offset + shard.count])
+            offset += shard.count
+        return out
+
+    def zeros(self, size: int) -> LegateArray:
+        return self.array(np.zeros(size))
+
+    def synchronize(self) -> float:
+        """Drain every device; returns the slowest device's time."""
+        return max(d.synchronize() for d in self.devices)

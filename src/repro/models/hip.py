@@ -1,0 +1,65 @@
+"""HIP: AMD's native model, deliberately CUDA-shaped (descriptions 3/4/20/33/34).
+
+:class:`Hip` mirrors the CUDA runtime under HIP names (``hipMalloc``
+instead of ``cudaMalloc``, ``hipblasDaxpy`` instead of ``cublasDaxpy``
+— the exact renaming the paper uses as its example).  The compiler
+driver is ``hipcc``; the target platform follows the device, which is
+the simulator's version of ``HIP_PLATFORM={amd,nvidia}``: bind the
+runtime to a simulated MI250X and hipcc emits AMDGCN, bind it to an
+H100 and hipcc emits PTX through its CUDA backend.
+
+``language=Language.FORTRAN`` selects hipfort, AMD's ready-made Fortran
+interface set (description 4): the C API surface and kernel-writing
+extensions are available, but newer driver features (events wrapping,
+graphs) are not — measured by the probes as partial coverage.
+"""
+
+from __future__ import annotations
+
+from repro.enums import Language, Model
+from repro.models.cudalike import CudaLikeRuntime
+
+
+class Hip(CudaLikeRuntime):
+    """The HIP runtime API on a simulated device."""
+
+    MODEL = Model.HIP
+    LANGUAGES = (Language.CPP, Language.FORTRAN)
+    TAG_PREFIX = "hip"
+    DEFAULT_TOOLCHAIN = "hipcc"
+
+    def __init__(self, device, toolchain=None, language=Language.CPP):
+        if toolchain is None and language is Language.FORTRAN:
+            toolchain = "hipfort"
+        super().__init__(device, toolchain, language)
+
+    def _kernel_tags(self) -> tuple[str, ...]:
+        return (self.tag("kernels"), self.tag("memcpy"))
+
+    @property
+    def hip_platform(self) -> str:
+        """What ``HIP_PLATFORM`` would be for the bound device."""
+        return self.device.vendor.value.lower()
+
+    # HIP-flavoured aliases ------------------------------------------------
+    hipMalloc = CudaLikeRuntime.malloc
+    hipMallocTyped = CudaLikeRuntime.malloc_typed
+    hipMallocManaged = CudaLikeRuntime.malloc_managed
+    hipMemcpyHtoD = CudaLikeRuntime.memcpy_htod
+    hipMemcpyDtoH = CudaLikeRuntime.memcpy_dtoh
+    hipMemcpyDtoD = CudaLikeRuntime.memcpy_dtod
+    hipFree = CudaLikeRuntime.free
+    hipStreamCreate = CudaLikeRuntime.stream_create
+    hipStreamDestroy = CudaLikeRuntime.stream_destroy
+    hipStreamSynchronize = CudaLikeRuntime.stream_synchronize
+    hipEventCreate = CudaLikeRuntime.event_create
+    hipEventRecord = CudaLikeRuntime.event_record
+    hipEventElapsedTime = CudaLikeRuntime.event_elapsed
+    hipStreamWaitEvent = CudaLikeRuntime.stream_wait_event
+    hipDeviceSynchronize = CudaLikeRuntime.device_synchronize
+    hipLaunchKernelGGL = CudaLikeRuntime.launch_kernel
+    hipGraphBeginCapture = CudaLikeRuntime.graph_begin_capture
+    hipGraphEndCapture = CudaLikeRuntime.graph_end_capture
+    hipblasDaxpy = CudaLikeRuntime.blas_axpy
+    hipblasDdot = CudaLikeRuntime.blas_dot
+    hipblasDgemv = CudaLikeRuntime.blas_gemv

@@ -1,0 +1,266 @@
+"""OpenACC (descriptions 7/8/22/23/36/37).
+
+Directive-shaped API over the offload core: ``parallel loop`` and
+``kernels`` regions, structured ``data`` regions with
+``copyin``/``copyout``/``create`` clauses, ``gang``/``worker``/
+``vector`` mapping, reductions, ``async``/``wait`` queues (mapped to
+simulated streams), and the OpenACC 3.0 ``serial`` construct.
+
+Compilers follow §4: NVHPC implements the full probed set ("very
+comprehensive, conforms to version 2.7" and beyond), GCC implements
+2.6, Clacc tracks the 3.x specification via its OpenACC-to-OpenMP
+translation inside Clang, Cray CE supports Fortran, and Intel's
+platform has only the source-to-source migration tool.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro import kernels as KL
+from repro.enums import Language, Model
+from repro.errors import ApiError, DirectiveError
+from repro.frontends.kernel_dsl import KernelFn
+from repro.gpu.stream import Stream
+from repro.kernels import BLOCK
+from repro.models.base import DeviceArray, OffloadRuntime
+
+_CONSTRUCT_TAGS = {
+    "parallel": "acc:parallel",
+    "kernels": "acc:kernels",
+    "serial": "acc:serial",
+    "data": "acc:data",
+    "loop": "acc:loop",
+    "wait": "acc:wait",
+    "enter": "acc:data",
+    "exit": "acc:data",
+}
+
+_CLAUSE_TAGS = {
+    "copyin": "acc:copyin_copyout",
+    "copyout": "acc:copyin_copyout",
+    "copy": "acc:copyin_copyout",
+    "create": "acc:data",
+    "reduction": "acc:reduction",
+    "gang": "acc:gang_worker_vector",
+    "worker": "acc:gang_worker_vector",
+    "vector": "acc:gang_worker_vector",
+    "vector_length": "acc:gang_worker_vector",
+    "num_gangs": "acc:gang_worker_vector",
+    "num_workers": "acc:gang_worker_vector",
+    "async": "acc:async",
+    "attach": "acc:attach",
+    "self": "acc:self",
+}
+
+_TOKEN_RE = re.compile(r"(\w+)\s*(\(([^()]*)\))?")
+
+
+def parse_acc_directive(text: str) -> frozenset[str]:
+    """Parse ``#pragma acc ...`` / ``!$acc ...`` content into feature tags."""
+    tags: set[str] = set()
+    pos = 0
+    stripped = text.strip()
+    saw_construct = False
+    while pos < len(stripped):
+        match = _TOKEN_RE.match(stripped, pos)
+        if match is None or match.start() != pos:
+            raise DirectiveError(f"cannot parse OpenACC directive at: '{stripped[pos:]}'")
+        word = match.group(1)
+        has_parens = match.group(3) is not None
+        if not has_parens and word in _CONSTRUCT_TAGS:
+            tags.add(_CONSTRUCT_TAGS[word])
+            saw_construct = True
+        elif word in _CLAUSE_TAGS:
+            tags.add(_CLAUSE_TAGS[word])
+        elif word in _CONSTRUCT_TAGS:
+            tags.add(_CONSTRUCT_TAGS[word])
+            saw_construct = True
+        else:
+            raise DirectiveError(f"unknown OpenACC token '{word}'")
+        pos = match.end()
+        while pos < len(stripped) and stripped[pos] in " ,\t":
+            pos += 1
+    if not saw_construct:
+        raise DirectiveError(f"OpenACC directive has no construct: '{text}'")
+    return frozenset(tags)
+
+
+class _AccData:
+    """A structured OpenACC data region."""
+
+    def __init__(self, runtime: "OpenACC", copyin, copyout, copy, create):
+        self.runtime = runtime
+        self._copyin, self._copyout = list(copyin), list(copyout)
+        self._copy, self._create = list(copy), list(create)
+        self._map: dict[int, DeviceArray] = {}
+
+    def __enter__(self) -> "_AccData":
+        for host in self._copyin + self._copy:
+            self._map[id(host)] = self.runtime.to_device(host)
+        for host in self._copyout + self._create:
+            self._map[id(host)] = self.runtime.alloc(host.dtype, host.size)
+        return self
+
+    def device(self, host: np.ndarray) -> DeviceArray:
+        try:
+            return self._map[id(host)]
+        except KeyError:
+            raise ApiError("array not present in this acc data region") from None
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None:
+            for host in self._copyout + self._copy:
+                np.copyto(host.reshape(-1), self._map[id(host)].copy_to_host())
+        for arr in self._map.values():
+            arr.free()
+
+
+class OpenACC(OffloadRuntime):
+    """OpenACC runtime bound to one device + compiler."""
+
+    MODEL = Model.OPENACC
+    LANGUAGES = (Language.CPP, Language.FORTRAN)
+    TAG_PREFIX = "acc"
+    DEFAULT_TOOLCHAIN = "nvhpc"
+    DISPATCH_OVERHEAD_S = 0.8e-6  # data-environment bookkeeping
+
+    def __init__(self, device, toolchain=None, language=Language.CPP):
+        super().__init__(device, toolchain, language)
+        self._queues: dict[int, Stream] = {}
+
+    @property
+    def sentinel(self) -> str:
+        return "!$acc" if self.language is Language.FORTRAN else "#pragma acc"
+
+    def _queue(self, async_: int | None) -> Stream | None:
+        if async_ is None:
+            return None
+        if async_ not in self._queues:
+            self._queues[async_] = self._new_stream()
+        return self._queues[async_]
+
+    def _region(self, directive: str, kernelfn: KernelFn, grid, block, args,
+                async_: int | None = None):
+        tags = parse_acc_directive(directive)
+        binary = self.compile([kernelfn], sorted(tags))
+        return self.launch(binary, kernelfn.name, grid, block, args,
+                           stream=self._queue(async_))
+
+    # -- public directive API -----------------------------------------------
+
+    def data(self, copyin=(), copyout=(), copy=(), create=()) -> _AccData:
+        """``{sentinel} data copyin(...) copyout(...) create(...)``."""
+        parse_acc_directive("data copyin(a) copyout(b) create(c)")
+        return _AccData(self, copyin, copyout, copy, create)
+
+    def parallel_loop(self, n: int, kernelfn: KernelFn, args,
+                      reduction: str | None = None,
+                      gang: int | None = None, vector: int | None = None,
+                      async_: int | None = None):
+        """``{sentinel} parallel loop [clauses]``."""
+        parts = ["parallel loop copyin(data)"]
+        if reduction:
+            parts.append(f"reduction({reduction})")
+        if gang or vector:
+            parts.append(f"gang num_gangs({gang or 0}) vector_length({vector or 0})")
+        if async_ is not None:
+            parts.append(f"async({async_})")
+        block = vector or BLOCK
+        grid = gang or max(1, (n + block - 1) // block)
+        return self._region(" ".join(parts), kernelfn, (grid,), (block,), args,
+                            async_=async_)
+
+    def kernels_region(self, n: int, kernelfn: KernelFn, args):
+        """``{sentinel} kernels``: compiler-discovered parallelism."""
+        grid = max(1, (n + BLOCK - 1) // BLOCK)
+        return self._region("kernels copyin(data)", kernelfn, (grid,), (BLOCK,), args)
+
+    def serial_region(self, kernelfn: KernelFn, args):
+        """``{sentinel} serial`` (OpenACC 3.0): one gang of one thread."""
+        return self._region("serial copyin(data)", kernelfn, (1,), (1,), args)
+
+    def reduce_sum(self, n: int, data: DeviceArray) -> float:
+        out = self.alloc(np.float64, 1)
+        grid = min(256, max(1, (n + BLOCK - 1) // BLOCK))
+        self._region("parallel loop reduction(+: acc) copyin(data)",
+                     KL.reduce_sum, (grid,), (BLOCK,), [n, data, out])
+        result = float(out.copy_to_host()[0])
+        out.free()
+        return result
+
+    def wait(self, async_: int | None = None) -> None:
+        """``{sentinel} wait [(queue)]``."""
+        parse_acc_directive("wait")
+        if async_ is None:
+            for queue in self._queues.values():
+                queue.synchronize()
+            self.synchronize()
+        else:
+            self._queue(async_).synchronize()
+
+    # ======================================================================
+    # Probe surface
+    # ======================================================================
+
+    def probe_parallel(self, n: int = 4096) -> None:
+        rng = np.random.default_rng(11)
+        x_h, y_h = rng.random(n), rng.random(n)
+        expect = 3.0 * x_h + y_h
+        x, y = self.to_device(x_h), self.to_device(y_h)
+        self.parallel_loop(n, KL.axpy, [n, 3.0, x, y])
+        if not np.allclose(y.copy_to_host(), expect):
+            raise ApiError("acc parallel loop wrong")
+        x.free(); y.free()
+
+    def probe_kernels_construct(self, n: int = 4096) -> None:
+        x = self.to_device(np.ones(n))
+        self.kernels_region(n, KL.scale_inplace, [n, 2.0, x])
+        if not np.allclose(x.copy_to_host(), 2.0):
+            raise ApiError("acc kernels region wrong")
+        x.free()
+
+    def probe_data_region(self, n: int = 2048) -> None:
+        a_h = np.full(n, 2.0)
+        b_h = np.zeros(n)
+        with self.data(copyin=[a_h], copyout=[b_h]) as region:
+            self.parallel_loop(
+                n, KL.stream_copy, [n, region.device(a_h), region.device(b_h)]
+            )
+        if not np.allclose(b_h, 2.0):
+            raise ApiError("acc data region copyout wrong")
+
+    def probe_reduction(self, n: int = 8192) -> None:
+        x = self.to_device(np.full(n, 0.125))
+        if not np.isclose(self.reduce_sum(n, x), 0.125 * n):
+            raise ApiError("acc reduction wrong")
+        x.free()
+
+    def probe_gang_vector(self, n: int = 4096) -> None:
+        x = self.to_device(np.ones(n))
+        self.parallel_loop(n, KL.scale_inplace, [n, 2.0, x],
+                           gang=(n + 127) // 128, vector=128)
+        if not np.allclose(x.copy_to_host(), 2.0):
+            raise ApiError("acc gang/vector mapping wrong")
+        x.free()
+
+    def probe_async_wait(self, n: int = 4096) -> None:
+        x1 = self.to_device(np.ones(n))
+        x2 = self.to_device(np.ones(n))
+        self.parallel_loop(n, KL.scale_inplace, [n, 2.0, x1], async_=1)
+        self.parallel_loop(n, KL.scale_inplace, [n, 3.0, x2], async_=2)
+        self.wait()
+        if not (np.allclose(x1.copy_to_host(), 2.0)
+                and np.allclose(x2.copy_to_host(), 3.0)):
+            raise ApiError("acc async queues wrong")
+        x1.free(); x2.free()
+
+    def probe_serial(self, n: int = 8) -> None:
+        out = self.alloc(np.float64, n)
+        self.serial_region(KL.fill, [1, 9.0, out])
+        got = out.copy_to_host()
+        if not (got[0] == 9.0 and np.all(got[1:] == 0.0)):
+            raise ApiError("acc serial construct wrong")
+        out.free()

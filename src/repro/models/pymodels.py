@@ -1,0 +1,327 @@
+"""The Python layer: GPU access from Python (descriptions 17/30/44).
+
+One shared machinery (:class:`PyPackage` + the CuPy-style
+:class:`GpuArray`) instantiated as the concrete packages the paper
+names, each with its measured capability subset:
+
+========================  ========  ==========================================
+package                   backend   notes (from §4)
+========================  ========  ==========================================
+``cuda-python``           CUDA      NVIDIA's own low-level bindings (PyPI)
+``pycuda``                CUDA      community bindings + gpuarray layer
+``cupy``                  CUDA      NumPy-compatible arrays, kernels, libs
+``numba``                 CUDA      JIT kernels via decorators
+``cupy-rocm``             HIP       experimental AMD support (cupy-rocm-5-0)
+``pyhip``                 HIP       low-level bindings (pyhip-interface)
+``numba-amd``             HIP       once existed, no longer maintained
+``dpctl``                 SYCL      Intel's Data Parallel Control bindings
+``dpnp``                  SYCL      Intel's Data Parallel Extension for NumPy
+``numba-dpex``            SYCL      Intel's Numba extension
+========================  ========  ==========================================
+
+A :class:`GpuArray` supports NumPy-style expressions (``2.0 * x + y``)
+by launching elementwise kernels on the simulated device, reductions,
+and explicit host interop — the surface the Python-column probes
+measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import kernels as KL
+from repro.enums import Language, Maturity, Model, Provider, Vendor
+from repro.errors import ApiError, UnsupportedFeatureError
+from repro.frontends.kernel_dsl import KernelFn, compile_kernel
+from repro.models.base import DeviceArray
+from repro.models.cuda import Cuda
+from repro.models.hip import Hip
+from repro.models.sycl import Range, SyclQueue
+
+
+class GpuArray:
+    """A device-resident float64 array with NumPy-style operators."""
+
+    def __init__(self, package: "PyPackage", device_array: DeviceArray):
+        self.package = package
+        self.device_array = device_array
+
+    @property
+    def size(self) -> int:
+        return self.device_array.count
+
+    @property
+    def addr(self) -> int:
+        return self.device_array.addr
+
+    # -- operators (each launches a device kernel) -------------------------
+
+    def _binary(self, other, kern: KernelFn, scalar_kern: KernelFn | None):
+        pkg = self.package
+        pkg._need("py:ufuncs")
+        out = pkg.empty(self.size)
+        if isinstance(other, GpuArray):
+            pkg._launch(kern, self.size, [self.size, self, other, out])
+        elif scalar_kern is not None:
+            pkg._launch(scalar_kern, self.size,
+                        [self.size, float(other), self, out])
+        else:
+            return NotImplemented
+        return out
+
+    def __add__(self, other):
+        return self._binary(other, KL.ew_add, KL.ew_scalar_add)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binary(other, KL.ew_sub, None)
+
+    def __mul__(self, other):
+        return self._binary(other, KL.ew_mul, KL.ew_scalar_mul)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._binary(other, KL.ew_div, None)
+
+    def sum(self) -> float:
+        return self.package.sum(self)
+
+    def dot(self, other: "GpuArray") -> float:
+        return self.package.dot(self, other)
+
+    def get(self) -> np.ndarray:
+        """Copy back to host (CuPy's ``.get()``)."""
+        return self.package.asnumpy(self)
+
+    def free(self) -> None:
+        self.device_array.free()
+
+
+class PyPackage:
+    """One Python GPU package with a measured capability subset."""
+
+    def __init__(self, name: str, device, backend: str, toolchain: str,
+                 features: frozenset[str], provider: Provider,
+                 maturity: Maturity = Maturity.PRODUCTION):
+        self.name = name
+        self.features = features
+        self.provider = provider
+        self.maturity = maturity
+        if backend == "cuda":
+            self._rt = Cuda(device, toolchain)
+        elif backend == "hip":
+            self._rt = Hip(device, toolchain)
+        elif backend == "sycl":
+            self._rt = SyclQueue(device, toolchain)
+        elif backend == "opencl":
+            from repro.models.opencl import _ClRuntime
+
+            self._rt = _ClRuntime(device)
+        else:
+            raise ApiError(f"unknown Python backend '{backend}'")
+        # Interpreter dispatch: each launch crosses the Python/C boundary.
+        self._rt.dispatch_overhead_s += 8.0e-6
+        self.backend = backend
+        self.device = device
+
+    def _need(self, tag: str) -> None:
+        if tag not in self.features:
+            raise UnsupportedFeatureError(tag, toolchain=self.name)
+
+    def _launch(self, kernelfn: KernelFn, n: int, args, grid=None,
+                stream=None) -> None:
+        resolved = [a.addr if isinstance(a, GpuArray) else a for a in args]
+        rt = self._rt
+        if isinstance(rt, SyclQueue):
+            rng = Range(n) if grid is None else Range(n)
+            rt.parallel_for(rng, kernelfn, resolved)
+            rt.wait()
+        elif hasattr(rt, "launch_1d"):
+            if grid is None:
+                rt.launch_1d(kernelfn, n, resolved, stream=stream)
+            else:
+                rt.launch_kernel(kernelfn, (grid,), (KL.BLOCK,), resolved,
+                                 stream=stream)
+        else:  # generic offload runtime (e.g. the OpenCL driver path)
+            rt.launch_n(kernelfn, n, resolved,
+                        features=sorted(getattr(rt, "_tags", ())),
+                        stream=stream, grid=grid)
+
+    # -- array construction ------------------------------------------------------
+
+    def asarray(self, host: np.ndarray) -> GpuArray:
+        self._need("py:numpy_interop")
+        host = np.asarray(host, dtype=np.float64)
+        return GpuArray(self, self._rt.to_device(host))
+
+    def empty(self, n: int) -> GpuArray:
+        return GpuArray(self, self._rt.alloc(np.float64, n))
+
+    def asnumpy(self, arr: GpuArray) -> np.ndarray:
+        self._need("py:numpy_interop")
+        return arr.device_array.copy_to_host()
+
+    # -- reductions and BLAS ------------------------------------------------------
+
+    def sum(self, arr: GpuArray) -> float:
+        self._need("py:reduction")
+        out = self._rt.alloc(np.float64, 1)
+        n = arr.size
+        grid = min(256, max(1, (n + KL.BLOCK - 1) // KL.BLOCK))
+        self._launch(KL.reduce_sum, n, [n, arr, out], grid=grid)
+        result = float(out.copy_to_host()[0])
+        out.free()
+        return result
+
+    def dot(self, a: GpuArray, b: GpuArray) -> float:
+        self._need("py:reduction")
+        out = self._rt.alloc(np.float64, 1)
+        n = min(a.size, b.size)
+        grid = min(256, max(1, (n + KL.BLOCK - 1) // KL.BLOCK))
+        self._launch(KL.stream_dot, n, [n, a, b, out], grid=grid)
+        result = float(out.copy_to_host()[0])
+        out.free()
+        return result
+
+    def blas_axpy(self, alpha: float, x: GpuArray, y: GpuArray) -> None:
+        self._need("py:blas")
+        rt = self._rt
+        if isinstance(rt, SyclQueue):
+            self._launch(KL.axpy, x.size, [x.size, alpha, x, y])
+        else:
+            rt.blas_axpy(x.size, alpha, x.device_array, y.device_array)
+
+    # -- kernels and streams -----------------------------------------------------
+
+    def raw_kernel(self, kernelfn: KernelFn):
+        """CuPy RawKernel / Numba @cuda.jit analog: a callable launcher."""
+        self._need("py:custom_kernels")
+
+        def launcher(n: int, args) -> None:
+            self._launch(kernelfn, n, args)
+
+        return launcher
+
+    def jit(self, pyfunc):
+        """Numba-style decorator: compile a DSL function to a launcher."""
+        self._need("py:custom_kernels")
+        kernelfn = compile_kernel(pyfunc)
+        return self.raw_kernel(kernelfn)
+
+    def stream(self):
+        self._need("py:streams")
+        if isinstance(self._rt, SyclQueue):
+            return self._rt._new_stream()
+        return self._rt.stream_create()
+
+    # ======================================================================
+    # Probe surface
+    # ======================================================================
+
+    def probe_ufuncs(self, n: int = 2048) -> None:
+        rng = np.random.default_rng(41)
+        x_h, y_h = rng.random(n), rng.random(n)
+        x, y = self.asarray(x_h), self.asarray(y_h)
+        z = 2.0 * x + y
+        if not np.allclose(z.get(), 2.0 * x_h + y_h):
+            raise ApiError("python ufunc expression wrong")
+        for a in (x, y, z):
+            a.free()
+
+    def probe_custom_kernel(self, n: int = 2048) -> None:
+        launcher = self.raw_kernel(KL.scale_inplace)
+        x = GpuArray(self, self._rt.to_device(np.ones(n)))
+        launcher(n, [n, 7.0, x])
+        if not np.allclose(x.device_array.copy_to_host(), 7.0):
+            raise ApiError("python raw kernel wrong")
+        x.free()
+
+    def probe_reduction(self, n: int = 8192) -> None:
+        x = GpuArray(self, self._rt.to_device(np.full(n, 0.5)))
+        if not np.isclose(self.sum(x), 0.5 * n):
+            raise ApiError("python reduction wrong")
+        x.free()
+
+    def probe_streams(self, n: int = 2048) -> None:
+        s = self.stream()
+        x = GpuArray(self, self._rt.to_device(np.ones(n)))
+        self._launch(KL.scale_inplace, n, [n, 2.0, x], stream=s)
+        s.synchronize()
+        if not np.allclose(x.device_array.copy_to_host(), 2.0):
+            raise ApiError("python stream launch wrong")
+        x.free()
+
+    def probe_blas(self, n: int = 4096) -> None:
+        rng = np.random.default_rng(43)
+        x_h, y_h = rng.random(n), rng.random(n)
+        x, y = self.asarray(x_h), self.asarray(y_h)
+        self.blas_axpy(1.5, x, y)
+        if not np.allclose(y.get(), 1.5 * x_h + y_h):
+            raise ApiError("python blas axpy wrong")
+        x.free(); y.free()
+
+    def probe_numpy_interop(self, n: int = 1024) -> None:
+        data = np.arange(n, dtype=np.float64)
+        x = self.asarray(data)
+        if not np.array_equal(x.get(), data):
+            raise ApiError("python numpy interop roundtrip wrong")
+        x.free()
+
+
+_ALL = frozenset({"py:ufuncs", "py:custom_kernels", "py:reduction",
+                  "py:streams", "py:blas", "py:numpy_interop"})
+
+
+def make_package(name: str, device) -> PyPackage:
+    """Instantiate one of the named Python packages on a device."""
+    vendor = device.vendor
+    table: dict[str, tuple] = {
+        # NVIDIA ecosystem (description 17)
+        "cuda-python": ("cuda", "nvcc", _ALL, Provider.NVIDIA,
+                        Maturity.PRODUCTION, Vendor.NVIDIA),
+        "pycuda": ("cuda", "nvcc", _ALL - {"py:blas"}, Provider.COMMUNITY,
+                   Maturity.PRODUCTION, Vendor.NVIDIA),
+        "cupy": ("cuda", "nvcc", _ALL, Provider.COMMUNITY,
+                 Maturity.PRODUCTION, Vendor.NVIDIA),
+        "numba": ("cuda", "nvcc", _ALL - {"py:blas"}, Provider.COMMUNITY,
+                  Maturity.PRODUCTION, Vendor.NVIDIA),
+        # AMD ecosystem (description 30)
+        "cupy-rocm": ("hip", "hipcc", _ALL, Provider.COMMUNITY,
+                      Maturity.EXPERIMENTAL, Vendor.AMD),
+        "pyhip": ("hip", "hipcc",
+                  frozenset({"py:custom_kernels", "py:numpy_interop"}),
+                  Provider.COMMUNITY, Maturity.PRODUCTION, Vendor.AMD),
+        "numba-amd": ("hip", "hipcc", _ALL - {"py:blas"}, Provider.COMMUNITY,
+                      Maturity.UNMAINTAINED, Vendor.AMD),
+        # 'Bindings to OpenCL also exist (PyOpenCL)' — description 30.
+        "pyopencl": ("opencl", None,
+                     frozenset({"py:ufuncs", "py:custom_kernels",
+                                "py:reduction", "py:numpy_interop"}),
+                     Provider.COMMUNITY, Maturity.PRODUCTION, Vendor.AMD),
+        # Intel ecosystem (description 44)
+        "dpctl": ("sycl", "dpcpp", _ALL - {"py:blas"}, Provider.INTEL,
+                  Maturity.PRODUCTION, Vendor.INTEL),
+        "dpnp": ("sycl", "dpcpp", _ALL, Provider.INTEL,
+                 Maturity.PRODUCTION, Vendor.INTEL),
+        "numba-dpex": ("sycl", "dpcpp", _ALL, Provider.INTEL,
+                       Maturity.PRODUCTION, Vendor.INTEL),
+    }
+    try:
+        backend, toolchain, feats, provider, maturity, home = table[name]
+    except KeyError:
+        raise ApiError(f"unknown Python package '{name}'") from None
+    if vendor is not home:
+        raise ApiError(
+            f"package '{name}' targets {home.value} GPUs, not {vendor.value}"
+        )
+    return PyPackage(name, device, backend, toolchain, feats, provider, maturity)
+
+
+#: Packages available per vendor (the paper's description numbers).
+PACKAGES_BY_VENDOR: dict[Vendor, tuple[str, ...]] = {
+    Vendor.NVIDIA: ("cuda-python", "pycuda", "cupy", "numba"),
+    Vendor.AMD: ("cupy-rocm", "pyhip", "numba-amd", "pyopencl"),
+    Vendor.INTEL: ("dpctl", "dpnp", "numba-dpex"),
+}

@@ -1,0 +1,199 @@
+"""RAJA: LLNL's performance-portability layer (extension model).
+
+§5: "The most notable exclusion is certainly RAJA. The choice for
+omitting was made because it is similar in spirit to, albeit not as
+popular as Kokkos."  This extension restores it, with the RAJA idioms
+rather than Kokkos's: execution-policy-tagged ``forall`` over index
+ranges (raw pointers, no view abstraction), reducer objects
+(``ReduceSum``), nested ``kernel`` launches for loop nests, and
+``exclusive_scan``-style operations — all delegating to the CUDA, HIP,
+or (experimental) SYCL backends like the real library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import kernels as KL
+from repro.enums import Language, Model, Vendor
+from repro.errors import ApiError
+from repro.frontends.kernel_dsl import KernelFn
+from repro.gpu.device import Device
+from repro.kernels import BLOCK
+from repro.models.base import DeviceArray
+from repro.models.cuda import Cuda
+from repro.models.hip import Hip
+from repro.models.sycl import NdRange, Range, SyclQueue
+
+#: execution policy -> (runtime class, default toolchain, experimental?)
+EXEC_POLICIES = {
+    "cuda_exec": (Cuda, "nvcc", False),
+    "hip_exec": (Hip, "hipcc", False),
+    "sycl_exec": (SyclQueue, "dpcpp", True),  # experimental, like Kokkos's
+}
+
+_DEFAULT_POLICY = {
+    Vendor.NVIDIA: "cuda_exec",
+    Vendor.AMD: "hip_exec",
+    Vendor.INTEL: "sycl_exec",
+}
+
+
+class ReduceSum:
+    """RAJA::ReduceSum<policy, double> — accumulates across a forall."""
+
+    def __init__(self, raja: "Raja", initial: float = 0.0):
+        self._raja = raja
+        self._initial = initial
+        self._buffer: DeviceArray = raja._rt.alloc(np.float64, 1)
+        self._buffer.copy_from_host(np.array([initial]))
+
+    @property
+    def addr(self) -> int:
+        return self._buffer.addr
+
+    def get(self) -> float:
+        """Final reduced value (RAJA's implicit conversion)."""
+        value = float(self._buffer.copy_to_host()[0])
+        return value
+
+    def free(self) -> None:
+        self._buffer.free()
+
+
+class Raja:
+    """A RAJA context bound to one device + execution policy."""
+
+    MODEL = Model.RAJA
+    language = Language.CPP
+
+    def __init__(self, device: Device, policy: str | None = None,
+                 toolchain: str | None = None):
+        if policy is None:
+            policy = _DEFAULT_POLICY[device.vendor]
+        try:
+            runtime_cls, default_tc, experimental = EXEC_POLICIES[policy]
+        except KeyError:
+            raise ApiError(
+                f"unknown execution policy '{policy}'; "
+                f"known: {sorted(EXEC_POLICIES)}"
+            ) from None
+        self.policy = policy
+        self.experimental_backend = experimental
+        self._rt = runtime_cls(device, toolchain or default_tc)
+        # RAJA's abstraction cost, comparable to Kokkos's.
+        self._rt.dispatch_overhead_s += 0.6e-6
+        self.device = device
+
+    # -- data (RAJA works on raw device pointers) ------------------------------
+
+    def device_alloc(self, count: int, dtype=np.float64) -> DeviceArray:
+        return self._rt.alloc(np.dtype(dtype), count)
+
+    def to_device(self, host: np.ndarray) -> DeviceArray:
+        return self._rt.to_device(host)
+
+    # -- kernels -----------------------------------------------------------------
+
+    def _dispatch(self, kernelfn: KernelFn, n: int, args,
+                  grid: int | None = None) -> None:
+        resolved = [a.addr if isinstance(a, (DeviceArray, ReduceSum))
+                    else a for a in args]
+        rt = self._rt
+        if isinstance(rt, (Cuda, Hip)):
+            if grid is None:
+                rt.launch_1d(kernelfn, n, resolved)
+            else:
+                rt.launch_kernel(kernelfn, (grid,), (BLOCK,), resolved)
+        else:
+            if grid is None:
+                rt.parallel_for(Range(n), kernelfn, resolved)
+            else:
+                rt.parallel_for(NdRange(grid * BLOCK, BLOCK), kernelfn,
+                                resolved)
+            rt.wait()
+
+    def forall(self, n: int, kernelfn: KernelFn, args) -> None:
+        """RAJA::forall<policy>(RangeSegment(0, n), body)."""
+        self._dispatch(kernelfn, n, args)
+
+    def forall_reduce(self, n: int, kernelfn: KernelFn, args,
+                      reducer: ReduceSum) -> float:
+        """forall with a reducer argument; returns the reduced value."""
+        grid = min(256, max(1, (n + BLOCK - 1) // BLOCK))
+        self._dispatch(kernelfn, n, list(args) + [reducer], grid=grid)
+        return reducer.get()
+
+    def kernel_nested(self, nx: int, ny: int, kernelfn: KernelFn,
+                      args) -> None:
+        """RAJA::kernel over a 2-D iteration space."""
+        resolved = [a.addr if isinstance(a, DeviceArray) else a for a in args]
+        rt = self._rt
+        gx, gy = (nx + 15) // 16, (ny + 15) // 16
+        if isinstance(rt, (Cuda, Hip)):
+            binary = rt.compile([kernelfn], rt._kernel_tags())
+        else:
+            binary = rt.compile([kernelfn], [rt.tag("queues"),
+                                             rt.tag("nd_range")])
+        rt.launch(binary, kernelfn.name, (gx, gy), (16, 16), resolved)
+
+    def exclusive_scan_inplace(self, data: DeviceArray) -> None:
+        """RAJA::exclusive_scan (via the inclusive ladder + shift)."""
+        n = data.count
+        host = None
+        tmp = self._rt.alloc(np.float64, n)
+        src_addr, dst_addr = data.addr, tmp.addr
+        offset = 1
+        while offset < n:
+            self._dispatch(KL.scan_step, n, [n, offset, src_addr, dst_addr])
+            src_addr, dst_addr = dst_addr, src_addr
+            offset *= 2
+        # inclusive -> exclusive: shift right, first element 0.
+        final = data if src_addr == data.addr else tmp
+        host = final.copy_to_host()
+        shifted = np.concatenate(([0.0], host[:-1]))
+        data.copy_from_host(shifted)
+        tmp.free()
+
+    def synchronize(self) -> None:
+        self._rt.synchronize()
+
+    # ======================================================================
+    # Probe surface
+    # ======================================================================
+
+    def probe_forall(self, n: int = 4096) -> None:
+        x = self.to_device(np.ones(n))
+        self.forall(n, KL.scale_inplace, [n, 2.0, x])
+        self.synchronize()
+        if not np.allclose(x.copy_to_host(), 2.0):
+            raise ApiError("raja forall wrong")
+        x.free()
+
+    def probe_reduce(self, n: int = 8192) -> None:
+        x = self.to_device(np.full(n, 0.5))
+        reducer = ReduceSum(self)
+        total = self.forall_reduce(n, KL.reduce_sum, [n, x], reducer)
+        if not np.isclose(total, 0.5 * n):
+            raise ApiError("raja ReduceSum wrong")
+        x.free()
+        reducer.free()
+
+    def probe_kernel_nested(self, nx: int = 48, ny: int = 48) -> None:
+        host = np.zeros((ny, nx))
+        host[0, :] = 4.0
+        inp, out = self.to_device(host), self.to_device(host)
+        self.kernel_nested(nx, ny, KL.jacobi2d, [nx, ny, inp, out])
+        self.synchronize()
+        if not np.isclose(out.copy_to_host().reshape(ny, nx)[1, 1], 1.0):
+            raise ApiError("raja nested kernel wrong")
+        inp.free(); out.free()
+
+    def probe_scan(self, n: int = 512) -> None:
+        data = np.random.default_rng(47).random(n)
+        x = self.to_device(data)
+        self.exclusive_scan_inplace(x)
+        expected = np.concatenate(([0.0], np.cumsum(data)[:-1]))
+        if not np.allclose(x.copy_to_host(), expected):
+            raise ApiError("raja exclusive scan wrong")
+        x.free()

@@ -1,0 +1,254 @@
+"""SYCL: the C++17 single-source model (descriptions 5/6/21/35).
+
+The central object is the :class:`SyclQueue`, with the two memory
+styles real SYCL offers: **buffers/accessors** (RAII write-back) and
+**USM** (``malloc_device``/``malloc_shared``).  Kernels launch through
+``parallel_for`` over a :class:`Range` or an :class:`NdRange` (which
+adds work-group control, local memory, and barriers).
+
+SYCL is C++-only by nature — constructing a runtime with
+``Language.FORTRAN`` raises :class:`~repro.errors.LanguageError`
+(description 6: "no pre-made bindings are available").
+
+Implementations: ``dpcpp`` (Intel's LLVM-based compiler; SPIR-V
+natively, PTX/AMDGCN through plugins), ``opensycl`` (the independent
+implementation, previously hipSYCL), and the retired ``computecpp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import kernels as KL
+from repro.enums import Language, Model
+from repro.errors import ApiError
+from repro.frontends.kernel_dsl import KernelFn
+from repro.kernels import BLOCK
+from repro.models.base import DeviceArray, OffloadRuntime
+
+
+@dataclass(frozen=True)
+class Range:
+    """A 1-D global iteration range."""
+
+    size: int
+
+
+@dataclass(frozen=True)
+class NdRange:
+    """Global size plus explicit work-group size."""
+
+    global_size: int
+    local_size: int
+
+    def __post_init__(self):
+        if self.global_size % self.local_size:
+            raise ApiError(
+                "nd_range global size must be a multiple of the local size"
+            )
+
+
+class SyclBuffer:
+    """Buffer + accessor semantics: device copy with host write-back.
+
+    Use as a context manager; the device result is written back to the
+    wrapped host array when the buffer is closed, as in SYCL's RAII.
+    """
+
+    def __init__(self, queue: "SyclQueue", host: np.ndarray):
+        self.queue = queue
+        self.host = host
+        self.device_array = queue.to_device(host)
+        self._open = True
+        queue._note_feature("buffers")
+        queue._note_feature("accessors")
+
+    @property
+    def addr(self) -> int:
+        if not self._open:
+            raise ApiError("buffer used after close")
+        return self.device_array.addr
+
+    def close(self) -> None:
+        if self._open:
+            np.copyto(
+                self.host.reshape(-1), self.device_array.copy_to_host(),
+                casting="unsafe",
+            )
+            self.device_array.free()
+            self._open = False
+
+    def abandon(self) -> None:
+        """Release the device copy without writing back."""
+        if self._open:
+            self.device_array.free()
+            self._open = False
+
+    def __enter__(self) -> "SyclBuffer":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abandon()
+
+
+class SyclEvent:
+    """Wraps a stream event pair for profiling-style queries."""
+
+    def __init__(self, start, end):
+        self._start = start
+        self._end = end
+
+    def elapsed_seconds(self) -> float:
+        return self._end.elapsed_since(self._start)
+
+
+class SyclQueue(OffloadRuntime):
+    """An in-order SYCL queue bound to one simulated device."""
+
+    MODEL = Model.SYCL
+    LANGUAGES = (Language.CPP,)
+    TAG_PREFIX = "sycl"
+    DEFAULT_TOOLCHAIN = "dpcpp"
+    DISPATCH_OVERHEAD_S = 0.3e-6  # command-group submission cost
+
+    def __init__(self, device, toolchain=None, language=Language.CPP):
+        super().__init__(device, toolchain, language)
+        self._stream = device.default_stream
+        self._features_seen: set[str] = {self.tag("queues")}
+
+    def _note_feature(self, suffix: str) -> None:
+        self._features_seen.add(self.tag(suffix))
+
+    def _launch_features(self, extra: tuple[str, ...] = ()) -> tuple[str, ...]:
+        return tuple(sorted(self._features_seen)) + extra
+
+    # -- USM --------------------------------------------------------------------
+
+    def malloc_device(self, dtype: np.dtype, count: int) -> DeviceArray:
+        self._note_feature("usm")
+        return self.alloc(dtype, count)
+
+    def malloc_shared(self, dtype: np.dtype, count: int) -> DeviceArray:
+        self._note_feature("usm")
+        return DeviceArray(self, dtype, count, managed=True)
+
+    def memcpy(self, dst: DeviceArray, src: np.ndarray) -> None:
+        dst.copy_from_host(src)
+
+    def buffer(self, host: np.ndarray) -> SyclBuffer:
+        return SyclBuffer(self, host)
+
+    # -- kernel submission ---------------------------------------------------
+
+    def parallel_for(self, rng: Range | NdRange | int, kernelfn: KernelFn,
+                     args, profile: bool = False):
+        """Submit a kernel over a range; returns a SyclEvent if profiling."""
+        if isinstance(rng, int):
+            rng = Range(rng)
+        resolved = [a.addr if isinstance(a, SyclBuffer) else a for a in args]
+        if isinstance(rng, NdRange):
+            self._note_feature("nd_range")
+            grid = rng.global_size // rng.local_size
+            block = rng.local_size
+        else:
+            grid = max(1, (rng.size + BLOCK - 1) // BLOCK)
+            block = BLOCK
+        features = self._launch_features()
+        binary = self.compile([kernelfn], features)
+        start = end = None
+        if profile:
+            self._note_feature("events")
+            start = self._new_event()
+            self._stream.record(start)
+        self.launch(binary, kernelfn.name, (grid,), (block,), resolved,
+                    stream=self._stream)
+        if profile:
+            end = self._new_event()
+            self._stream.record(end)
+            return SyclEvent(start, end)
+        return None
+
+    def parallel_reduce_sum(self, n: int, data: DeviceArray) -> float:
+        """``sycl::reduction``-style sum over a device array."""
+        self._note_feature("reduction")
+        out = self.alloc(np.float64, 1)
+        grid = min(256, max(1, (n + BLOCK - 1) // BLOCK))
+        binary = self.compile([KL.reduce_sum], self._launch_features())
+        self.launch(binary, "reduce_sum", (grid,), (BLOCK,), [n, data, out],
+                    stream=self._stream)
+        result = float(out.copy_to_host()[0])
+        out.free()
+        return result
+
+    def wait(self) -> float:
+        return self._stream.synchronize()
+
+    # ======================================================================
+    # Probe surface
+    # ======================================================================
+
+    def probe_queues(self, n: int = 4096) -> None:
+        """USM device allocation + parallel_for over a plain range."""
+        rng = np.random.default_rng(3)
+        b_h, c_h = rng.random(n), rng.random(n)
+        a = self.malloc_device(np.float64, n)
+        b = self.to_device(b_h)
+        c = self.to_device(c_h)
+        self.parallel_for(Range(n), KL.stream_triad, [n, 2.0, a, b, c])
+        self.wait()
+        if not np.allclose(a.copy_to_host(), b_h + 2.0 * c_h):
+            raise ApiError("sycl triad verification failed")
+        for arr in (a, b, c):
+            arr.free()
+
+    def probe_buffers(self, n: int = 2048) -> None:
+        """Buffer/accessor path with RAII write-back."""
+        host = np.ones(n)
+        with self.buffer(host) as buf:
+            self.parallel_for(Range(n), KL.scale_inplace, [n, 3.0, buf])
+            self.wait()
+        if not np.allclose(host, 3.0):
+            raise ApiError("buffer write-back failed")
+
+    def probe_nd_range(self, n: int = 4096) -> None:
+        """nd_range kernel using work-group local memory and barriers."""
+        x = self.to_device(np.ones(n))
+        out = self.malloc_device(np.float64, 1)
+        out.copy_from_host(np.zeros(1))
+        self.parallel_for(NdRange(4096, 256), KL.reduce_sum, [n, x, out])
+        self.wait()
+        if not np.isclose(out.copy_to_host()[0], n):
+            raise ApiError("nd_range reduction wrong")
+        x.free(); out.free()
+
+    def probe_usm_shared(self, n: int = 1024) -> None:
+        """malloc_shared: host-visible USM."""
+        arr = self.malloc_shared(np.float64, n)
+        arr.view()[:] = 2.0
+        self.parallel_for(Range(n), KL.scale_inplace, [n, 5.0, arr])
+        self.wait()
+        if not np.allclose(arr.view(), 10.0):
+            raise ApiError("usm shared roundtrip failed")
+        arr.free()
+
+    def probe_reduction(self, n: int = 8192) -> None:
+        """sycl::reduction object."""
+        x = self.to_device(np.full(n, 0.5))
+        if not np.isclose(self.parallel_reduce_sum(n, x), 0.5 * n):
+            raise ApiError("sycl reduction wrong")
+        x.free()
+
+    def probe_events(self, n: int = 2048) -> None:
+        """Profiling events on submissions."""
+        x = self.to_device(np.ones(n))
+        ev = self.parallel_for(Range(n), KL.scale_inplace, [n, 2.0, x],
+                               profile=True)
+        self.wait()
+        if ev.elapsed_seconds() <= 0:
+            raise ApiError("sycl event timing non-positive")
+        x.free()

@@ -1,0 +1,32 @@
+"""Source-to-source translators between programming models.
+
+These realize the "indirect" and "limited" support routes of Figure 1:
+
+* :mod:`repro.translate.hipify` — AMD HIPIFY: CUDA C++ → HIP C++
+  (descriptions 3/18).
+* :mod:`repro.translate.syclomatic` — Intel SYCLomatic / DPC++
+  Compatibility Tool: CUDA C++ → SYCL (descriptions 5/31).
+* :mod:`repro.translate.gpufort` — AMD GPUFORT: CUDA Fortran /
+  OpenACC Fortran → OpenMP Fortran (research, stale; descriptions
+  19/23).
+* :mod:`repro.translate.acc2omp` — Intel Application Migration Tool
+  for OpenACC to OpenMP (descriptions 22/23/36/37).
+
+Each translator offers two levels:
+
+* ``translate_unit(tu)`` — rewrite an embedded
+  :class:`~repro.frontends.source.TranslationUnit` (model + feature
+  tags) so a target-model toolchain can compile it; untranslatable
+  features raise :class:`~repro.errors.TranslationError`, which is how
+  partial tools measure as partial coverage.
+* ``translate_source(text)`` — rewrite real source *strings* in the
+  models' surface syntax (``cudaMalloc`` → ``hipMalloc``; ``!$acc
+  parallel loop`` → ``!$omp target teams distribute parallel do``),
+  the level the real tools operate at.
+"""
+
+from repro.translate.base import SourceTranslator, TranslationReport  # noqa: F401
+from repro.translate.hipify import Hipify  # noqa: F401
+from repro.translate.syclomatic import Syclomatic  # noqa: F401
+from repro.translate.gpufort import Gpufort  # noqa: F401
+from repro.translate.acc2omp import AccToOmp  # noqa: F401

@@ -1,0 +1,73 @@
+"""Intel Application Migration Tool for OpenACC to OpenMP (descr. 36/37).
+
+A Python-based, directive-level source converter.  It handles the
+common structured constructs (``parallel``/``kernels``/``data`` regions
+with data clauses and loops); the parts of OpenACC that lack a clean
+directive-for-directive image — reductions across gangs, explicit
+gang/worker/vector mappings, async queues, ``serial`` — are emitted as
+TODO comments for the programmer, i.e. they do not translate.  That
+narrow coverage is why OpenACC on Intel GPUs rates *limited support*
+rather than indirect support.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.enums import Language, Maturity, Model, Provider
+from repro.translate.base import SourceTranslator
+
+
+class AccToOmp(SourceTranslator):
+    """OpenACC (C++ or Fortran) → OpenMP."""
+
+    NAME = "acc2omp"
+    PROVIDER = Provider.INTEL
+    MATURITY = Maturity.PRODUCTION
+    SOURCE_MODEL = Model.OPENACC
+    TARGET_MODEL = Model.OPENMP
+    LANGUAGES = (Language.CPP, Language.FORTRAN)
+
+    TAG_MAP = {
+        "acc:parallel": ("omp:target", "omp:teams", "omp:distribute",
+                         "omp:parallel_for"),
+        "acc:kernels": ("omp:target", "omp:teams", "omp:parallel_for"),
+        "acc:loop": ("omp:parallel_for",),
+        "acc:data": ("omp:target", "omp:map"),
+        "acc:copyin_copyout": ("omp:map",),
+        # Emitted as TODO comments by the real tool:
+        "acc:reduction": None,
+        "acc:gang_worker_vector": None,
+        "acc:async": None,
+        "acc:wait": None,
+        "acc:serial": None,
+        "acc:attach": None,
+        "acc:self": None,
+    }
+
+    IDENTIFIER_MAP = {
+        "#pragma acc parallel loop": "#pragma omp target teams distribute parallel for",
+        "#pragma acc kernels": "#pragma omp target teams",
+        "#pragma acc data": "#pragma omp target data",
+        "#pragma acc enter data": "#pragma omp target enter data",
+        "#pragma acc exit data": "#pragma omp target exit data",
+        "!$acc parallel loop": "!$omp target teams distribute parallel do",
+        "!$acc kernels": "!$omp target teams",
+        "!$acc data": "!$omp target data",
+        "!$acc end parallel": "!$omp end target teams",
+        "copyin(": "map(to: ",
+        "copyout(": "map(from: ",
+        "copy(": "map(tofrom: ",
+        "present(": "map(alloc: ",
+    }
+
+    PATTERN_RULES = (
+        # async/gang/worker/vector clauses are dropped with a marker.
+        (r"(async|gang|worker|vector(_length)?|num_gangs|num_workers)\s*(\([^)]*\))?",
+         r"/* TODO(acc2omp): unsupported clause \1 */"),
+    )
+
+    _ACC_IDENT = re.compile(r"(#pragma\s+acc\s+\w+|!\$acc\s+\w+)")
+
+    def leftover_identifiers(self, text: str) -> list[str]:
+        return sorted(set(self._ACC_IDENT.findall(text)))

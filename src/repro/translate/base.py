@@ -1,0 +1,107 @@
+"""Translator base class: tag mapping plus string rewriting."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.enums import Language, Maturity, Model, Provider
+from repro.errors import TranslationError
+from repro.frontends.source import TranslationUnit
+
+
+@dataclass
+class TranslationReport:
+    """What a source-string translation did (mirrors HIPIFY's stats)."""
+
+    replacements: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+
+class SourceTranslator:
+    """One source-to-source conversion tool.
+
+    Subclasses define:
+
+    * ``SOURCE_MODEL`` / ``TARGET_MODEL`` (+ accepted languages);
+    * ``TAG_MAP`` — feature-tag translation; a tag mapping to ``None``
+      is *explicitly untranslatable* (raises); a tag absent from the
+      map and not universally safe also raises;
+    * ``IDENTIFIER_MAP`` — exact source-identifier replacements;
+    * ``PATTERN_RULES`` — ``(regex, replacement)`` pairs applied after
+      identifiers.
+    """
+
+    NAME = "translator"
+    PROVIDER = Provider.COMMUNITY
+    MATURITY = Maturity.PRODUCTION
+    SOURCE_MODEL: Model = Model.CUDA
+    TARGET_MODEL: Model = Model.HIP
+    LANGUAGES: tuple[Language, ...] = (Language.CPP,)
+    TAG_MAP: dict[str, tuple[str, ...] | None] = {}
+    IDENTIFIER_MAP: dict[str, str] = {}
+    PATTERN_RULES: tuple[tuple[str, str], ...] = ()
+    #: Tags passed through untouched (hardware-level tags).
+    PASSTHROUGH = frozenset({"barrier", "atomics", "shared_memory", "shuffle"})
+
+    # -- unit-level translation ---------------------------------------------
+
+    def translate_unit(self, tu: TranslationUnit) -> TranslationUnit:
+        if tu.model is not self.SOURCE_MODEL:
+            raise TranslationError(
+                self.NAME, tu.model.value,
+                f"tool translates {self.SOURCE_MODEL.value} only",
+            )
+        if tu.language not in self.LANGUAGES:
+            raise TranslationError(
+                self.NAME, tu.language.value,
+                f"tool handles {[l.value for l in self.LANGUAGES]}",
+            )
+        new_tags: set[str] = set()
+        for tag in sorted(tu.all_features()):
+            if tag in self.PASSTHROUGH:
+                continue  # kernels carry these; they translate 1:1
+            if tag not in self.TAG_MAP:
+                raise TranslationError(self.NAME, tag, "construct not recognized")
+            mapped = self.TAG_MAP[tag]
+            if mapped is None:
+                raise TranslationError(
+                    self.NAME, tag, "construct has no equivalent in the target model"
+                )
+            new_tags.update(mapped)
+        out = TranslationUnit(
+            name=f"{tu.name}.{self.NAME}",
+            model=self.TARGET_MODEL,
+            language=self.target_language(tu.language),
+            kernels=list(tu.kernels),
+            features=new_tags,
+        )
+        return out
+
+    def target_language(self, language: Language) -> Language:
+        """Most tools keep the language; GPUFORT-style tools may not."""
+        return language
+
+    # -- string-level translation ----------------------------------------------
+
+    def translate_source(self, text: str) -> tuple[str, TranslationReport]:
+        """Rewrite a source string; returns (new_text, report)."""
+        report = TranslationReport()
+        out = text
+        for old, new in self.IDENTIFIER_MAP.items():
+            count = out.count(old)
+            if count:
+                out = out.replace(old, new)
+                report.replacements += count
+        for pattern, replacement in self.PATTERN_RULES:
+            out, n = re.subn(pattern, replacement, out)
+            report.replacements += n
+        for leftover in self.leftover_identifiers(out):
+            report.warnings.append(
+                f"{self.NAME}: unconverted identifier '{leftover}'"
+            )
+        return out, report
+
+    def leftover_identifiers(self, text: str) -> list[str]:
+        """Source-model identifiers still present after translation."""
+        return []

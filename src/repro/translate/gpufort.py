@@ -1,0 +1,92 @@
+"""GPUFORT: AMD's Fortran source translator (descriptions 19/23).
+
+A research project converting CUDA Fortran and OpenACC Fortran into
+either Fortran-with-OpenMP (compiled by AOMP) or Fortran with hipfort
+bindings and extracted C kernels.  "The covered functionality is
+driven by use-case requirements; the last commit is two years old" —
+modeled as research maturity plus a deliberately narrow construct map:
+the basic kernel/loop constructs convert, the asynchronous machinery
+does not.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.enums import Language, Maturity, Model, Provider
+from repro.errors import TranslationError
+from repro.frontends.source import TranslationUnit
+from repro.translate.base import SourceTranslator
+
+
+class Gpufort(SourceTranslator):
+    """CUDA Fortran / OpenACC Fortran → OpenMP Fortran.
+
+    One instance handles one source model; construct with
+    ``Gpufort(source=Model.CUDA)`` or ``Gpufort(source=Model.OPENACC)``.
+    """
+
+    NAME = "gpufort"
+    PROVIDER = Provider.AMD
+    MATURITY = Maturity.RESEARCH
+    TARGET_MODEL = Model.OPENMP
+    LANGUAGES = (Language.FORTRAN,)
+
+    _CUDA_TAGS = {
+        "cuf:kernels": ("omp:target", "omp:teams", "omp:distribute",
+                        "omp:parallel_for", "omp:map"),
+        "cuf:cuf_kernels": ("omp:target", "omp:teams", "omp:distribute",
+                            "omp:parallel_for", "omp:map"),
+        "cuda:memcpy": ("omp:map",),
+        # Use-case-driven coverage: async machinery never made it in.
+        "cuda:streams": None,
+        "cuda:events": None,
+        "cuda:managed_memory": None,
+        "cuda:libraries": None,
+        "cuda:graphs": None,
+        "cuda:cooperative_groups": None,
+    }
+    _ACC_TAGS = {
+        "acc:parallel": ("omp:target", "omp:teams", "omp:parallel_for"),
+        "acc:kernels": ("omp:target", "omp:teams", "omp:parallel_for"),
+        "acc:loop": ("omp:parallel_for",),
+        "acc:data": ("omp:map",),
+        "acc:copyin_copyout": ("omp:map",),
+        "acc:reduction": ("omp:reduction",),
+        "acc:gang_worker_vector": None,
+        "acc:async": None,
+        "acc:wait": None,
+        "acc:serial": None,
+        "acc:attach": None,
+        "acc:self": None,
+    }
+
+    IDENTIFIER_MAP = {
+        "!$cuf kernel do": "!$omp target teams distribute parallel do",
+        "attributes(global)": "!$omp declare target",
+        "cudaMalloc": "omp_target_alloc",
+        "cudaMemcpy": "omp_target_memcpy",
+        "!$acc parallel loop": "!$omp target teams distribute parallel do",
+        "!$acc kernels": "!$omp target teams",
+        "!$acc data": "!$omp target data",
+        "!$acc end": "!$omp end",
+        "copyin": "map(to:",
+        "copyout": "map(from:",
+    }
+
+    def __init__(self, source: Model = Model.CUDA):
+        if source not in (Model.CUDA, Model.OPENACC):
+            raise TranslationError(self.NAME, source.value,
+                                   "handles CUDA Fortran or OpenACC Fortran")
+        self.SOURCE_MODEL = source
+        self.TAG_MAP = self._CUDA_TAGS if source is Model.CUDA else self._ACC_TAGS
+
+    def translate_unit(self, tu: TranslationUnit) -> TranslationUnit:
+        out = super().translate_unit(tu)
+        # GPUFORT emits Fortran-with-OpenMP; language stays Fortran.
+        return out
+
+    _CUF_IDENT = re.compile(r"(!\$cuf\s+\w+|!\$acc\s+\w+|cuda[A-Z]\w*)")
+
+    def leftover_identifiers(self, text: str) -> list[str]:
+        return sorted(set(self._CUF_IDENT.findall(text)))

@@ -1,0 +1,85 @@
+"""HIPIFY: AMD's CUDA → HIP conversion tool (descriptions 3/18).
+
+"As HIP is strongly inspired by CUDA, the mapping is relatively
+straight-forward; API calls are named similarly (for example:
+``hipMalloc()`` instead of ``cudaMalloc()``)" — the identifier table
+below is that mapping.  What does *not* convert is the CUDA-only
+cooperative-groups machinery, which HIPIFY flags for manual porting;
+everything else (kernels, copies, streams, events, managed memory,
+graphs, cuBLAS→hipBLAS) goes through.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.enums import Language, Maturity, Model, Provider
+from repro.translate.base import SourceTranslator
+
+
+class Hipify(SourceTranslator):
+    """CUDA C++ → HIP C++."""
+
+    NAME = "hipify"
+    PROVIDER = Provider.AMD
+    MATURITY = Maturity.PRODUCTION
+    SOURCE_MODEL = Model.CUDA
+    TARGET_MODEL = Model.HIP
+    LANGUAGES = (Language.CPP,)
+
+    TAG_MAP = {
+        "cuda:kernels": ("hip:kernels",),
+        "cuda:memcpy": ("hip:memcpy",),
+        "cuda:streams": ("hip:streams",),
+        "cuda:events": ("hip:events",),
+        "cuda:managed_memory": ("hip:managed_memory",),
+        "cuda:libraries": ("hip:libraries",),
+        "cuda:graphs": ("hip:graphs",),
+        # Cooperative groups have no HIP equivalent HIPIFY will emit.
+        "cuda:cooperative_groups": None,
+    }
+
+    IDENTIFIER_MAP = {
+        "cudaMallocManaged": "hipMallocManaged",
+        "cudaMalloc": "hipMalloc",
+        "cudaMemcpyAsync": "hipMemcpyAsync",
+        "cudaMemcpyDeviceToHost": "hipMemcpyDeviceToHost",
+        "cudaMemcpyHostToDevice": "hipMemcpyHostToDevice",
+        "cudaMemcpy": "hipMemcpy",
+        "cudaFree": "hipFree",
+        "cudaStreamCreate": "hipStreamCreate",
+        "cudaStreamDestroy": "hipStreamDestroy",
+        "cudaStreamSynchronize": "hipStreamSynchronize",
+        "cudaStream_t": "hipStream_t",
+        "cudaEventCreate": "hipEventCreate",
+        "cudaEventRecord": "hipEventRecord",
+        "cudaEventSynchronize": "hipEventSynchronize",
+        "cudaEventElapsedTime": "hipEventElapsedTime",
+        "cudaEvent_t": "hipEvent_t",
+        "cudaDeviceSynchronize": "hipDeviceSynchronize",
+        "cudaGetDeviceCount": "hipGetDeviceCount",
+        "cudaSetDevice": "hipSetDevice",
+        "cudaGraphLaunch": "hipGraphLaunch",
+        "cudaGraph_t": "hipGraph_t",
+        "cudaError_t": "hipError_t",
+        "cudaSuccess": "hipSuccess",
+        "cublasSaxpy": "hipblasSaxpy",  # the paper's own example
+        "cublasDaxpy": "hipblasDaxpy",
+        "cublasDdot": "hipblasDdot",
+        "cublasHandle_t": "hipblasHandle_t",
+        "cublasCreate": "hipblasCreate",
+        "cuda_runtime.h": "hip/hip_runtime.h",
+    }
+
+    #: ``kernel<<<grid, block>>>(args)`` → hipLaunchKernelGGL(...)
+    PATTERN_RULES = (
+        (
+            r"(\w+)\s*<<<\s*([^,>]+)\s*,\s*([^,>]+)\s*>>>\s*\(",
+            r"hipLaunchKernelGGL(\1, \2, \3, 0, 0, ",
+        ),
+    )
+
+    _CUDA_IDENT = re.compile(r"\b(cuda[A-Z]\w*|cublas[A-Z]\w*)\b")
+
+    def leftover_identifiers(self, text: str) -> list[str]:
+        return sorted(set(self._CUDA_IDENT.findall(text)))

@@ -1,0 +1,72 @@
+"""SYCLomatic: Intel's CUDA → SYCL migration tool (descriptions 5/31).
+
+Open-source sibling of the commercial *DPC++ Compatibility Tool*.
+CUDA's execution and memory constructs map onto SYCL equivalents
+(kernels → ``parallel_for`` over ``nd_range``, streams → in-order
+queues, managed memory → USM shared allocations, cuBLAS → oneMKL);
+CUDA task graphs and cooperative groups have no SYCL 2020 equivalent
+and are reported as unmigratable, which is what keeps the converted
+coverage below HIPIFY's.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.enums import Language, Maturity, Model, Provider
+from repro.translate.base import SourceTranslator
+
+
+class Syclomatic(SourceTranslator):
+    """CUDA C++ → SYCL C++."""
+
+    NAME = "syclomatic"
+    PROVIDER = Provider.INTEL
+    MATURITY = Maturity.PRODUCTION
+    SOURCE_MODEL = Model.CUDA
+    TARGET_MODEL = Model.SYCL
+    LANGUAGES = (Language.CPP,)
+
+    TAG_MAP = {
+        "cuda:kernels": ("sycl:queues", "sycl:nd_range"),
+        "cuda:memcpy": ("sycl:queues",),
+        "cuda:streams": ("sycl:queues",),
+        "cuda:events": ("sycl:events",),
+        "cuda:managed_memory": ("sycl:usm",),
+        "cuda:libraries": ("sycl:queues",),  # cuBLAS -> oneMKL over queues
+        "cuda:graphs": None,
+        "cuda:cooperative_groups": None,
+    }
+
+    IDENTIFIER_MAP = {
+        "cudaMallocManaged": "sycl::malloc_shared",
+        "cudaMalloc": "sycl::malloc_device",
+        "cudaMemcpy": "q.memcpy",
+        "cudaFree": "sycl::free",
+        "cudaStreamCreate": "sycl::queue",
+        "cudaStreamSynchronize": "q.wait",
+        "cudaStream_t": "sycl::queue",
+        "cudaEventElapsedTime": "event.profiling_info",
+        "cudaEvent_t": "sycl::event",
+        "cudaDeviceSynchronize": "q.wait",
+        "cublasDaxpy": "oneapi::mkl::blas::axpy",
+        "cublasDdot": "oneapi::mkl::blas::dot",
+        "cuda_runtime.h": "sycl/sycl.hpp",
+        "__global__": "/* kernel lambda */",
+        "threadIdx.x": "item.get_local_id(0)",
+        "blockIdx.x": "item.get_group(0)",
+        "blockDim.x": "item.get_local_range(0)",
+    }
+
+    PATTERN_RULES = (
+        (
+            r"(\w+)\s*<<<\s*([^,>]+)\s*,\s*([^,>]+)\s*>>>\s*\(([^)]*)\)",
+            r"q.parallel_for(sycl::nd_range<1>(\2*\3, \3), "
+            r"[=](sycl::nd_item<1> item) { \1(\4); })",
+        ),
+    )
+
+    _CUDA_IDENT = re.compile(r"\b(cuda[A-Z]\w*|cublas[A-Z]\w*)\b")
+
+    def leftover_identifiers(self, text: str) -> list[str]:
+        return sorted(set(self._CUDA_IDENT.findall(text)))

@@ -1,0 +1,22 @@
+"""Workloads: BabelStream across all models, and mini-applications.
+
+* :mod:`repro.workloads.babelstream` — the Copy/Mul/Add/Triad/Dot
+  kernels of BabelStream (Deakin et al. [53]), written once per
+  programming model; §5 names this exact suite as the closest thing to
+  a performance overview and the natural extension of the paper.
+* :mod:`repro.workloads.miniapps` — runnable mini-applications (Jacobi,
+  N-body, histogram) used by the examples and the translator corpus.
+"""
+
+from repro.workloads.babelstream import (  # noqa: F401
+    BABELSTREAM_MODELS,
+    StreamResult,
+    available_models,
+    run_babelstream,
+)
+from repro.workloads.miniapps import (  # noqa: F401
+    CUDA_MINIAPP_SOURCES,
+    jacobi_solve,
+    nbody_step,
+    run_histogram,
+)

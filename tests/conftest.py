@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.enums import Vendor
+from repro.gpu import Device, System
+from repro.gpu.specs import SPEC_CATALOG
+
+
+@pytest.fixture(scope="session")
+def system() -> System:
+    """One flagship device per vendor, shared across the session."""
+    return System.default()
+
+
+@pytest.fixture(scope="session")
+def nvidia(system) -> Device:
+    return system.device(Vendor.NVIDIA)
+
+
+@pytest.fixture(scope="session")
+def amd(system) -> Device:
+    return system.device(Vendor.AMD)
+
+
+@pytest.fixture(scope="session")
+def intel(system) -> Device:
+    return system.device(Vendor.INTEL)
+
+
+@pytest.fixture
+def small_device() -> Device:
+    """A fresh small-memory device for allocation/fault tests."""
+    return Device(SPEC_CATALOG["A100-SXM4-80GB"], backing_bytes=1 << 20)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,136 @@
+"""The §3 classifier: every rule branch, threshold behaviour."""
+
+import pytest
+
+from repro.core.classifier import (
+    DEFAULT_THRESHOLDS,
+    Thresholds,
+    classify_route,
+    provider_class,
+)
+from repro.core.routes import Route
+from repro.enums import (
+    Language,
+    Maturity,
+    Mechanism,
+    Model,
+    Provider,
+    SupportCategory,
+    Vendor,
+)
+
+C = SupportCategory
+
+
+def _route(provider=Provider.NVIDIA, mechanism=Mechanism.NATIVE,
+           maturity=Maturity.PRODUCTION, vendor=Vendor.NVIDIA):
+    return Route(
+        route_id="t", vendor=vendor, model=Model.CUDA, language=Language.CPP,
+        provider=provider, mechanism=mechanism, maturity=maturity,
+        label="t", via="t", probe_suite="cuda_cpp",
+        runtime_factory=lambda d: None, description_id=1,
+    )
+
+
+def test_zero_coverage_is_none():
+    assert classify_route(_route(), 0.0) is C.NONE
+
+
+@pytest.mark.parametrize("maturity", [Maturity.EXPERIMENTAL,
+                                      Maturity.RESEARCH,
+                                      Maturity.UNMAINTAINED])
+def test_non_production_caps_at_limited(maturity):
+    route = _route(maturity=maturity)
+    assert classify_route(route, 1.0) is C.LIMITED
+
+
+def test_low_coverage_is_limited_regardless_of_provider():
+    for provider in Provider:
+        route = _route(provider=provider)
+        assert classify_route(route, 0.3) is C.LIMITED
+
+
+def test_vendor_native_full_vs_some():
+    route = _route()  # NVIDIA on NVIDIA, native
+    assert classify_route(route, 1.0) is C.FULL
+    assert classify_route(route, 0.92) is C.FULL
+    assert classify_route(route, 0.89) is C.SOME
+    assert classify_route(route, 0.55) is C.SOME
+
+
+def test_vendor_layered_counts_as_direct():
+    route = _route(mechanism=Mechanism.LAYERED)
+    assert classify_route(route, 0.95) is C.FULL
+    assert classify_route(route, 0.8) is C.SOME
+
+
+def test_vendor_translation_indirect_vs_some():
+    route = _route(mechanism=Mechanism.TRANSLATION)
+    assert classify_route(route, 0.86) is C.INDIRECT
+    assert classify_route(route, 0.71) is C.INDIRECT
+    assert classify_route(route, 0.65) is C.SOME
+
+
+def test_other_vendor_mapping_is_indirect():
+    # AMD's hipcc mapping HIP onto NVIDIA's CUDA stack:
+    route = _route(provider=Provider.AMD, mechanism=Mechanism.MAPPING,
+                   vendor=Vendor.NVIDIA)
+    assert classify_route(route, 1.0) is C.INDIRECT
+    assert classify_route(route, 0.6) is C.SOME
+
+
+def test_other_vendor_native_is_nonvendor():
+    # Intel's DPC++ implementing SYCL natively for NVIDIA GPUs:
+    route = _route(provider=Provider.INTEL, mechanism=Mechanism.NATIVE,
+                   vendor=Vendor.NVIDIA)
+    assert classify_route(route, 0.9) is C.NONVENDOR
+    assert classify_route(route, 0.7) is C.LIMITED
+
+
+def test_community_routes():
+    route = _route(provider=Provider.COMMUNITY)
+    assert classify_route(route, 1.0) is C.NONVENDOR
+    assert classify_route(route, 0.86) is C.NONVENDOR
+    assert classify_route(route, 0.8) is C.LIMITED
+    bindings = _route(provider=Provider.COMMUNITY,
+                      mechanism=Mechanism.BINDINGS)
+    assert classify_route(bindings, 0.9) is C.NONVENDOR
+    assert classify_route(bindings, 0.6) is C.LIMITED
+
+
+def test_hpe_counts_as_non_vendor():
+    route = _route(provider=Provider.HPE)
+    assert classify_route(route, 1.0) is C.NONVENDOR
+    assert provider_class(route) == "community"
+
+
+def test_provider_class_split():
+    assert provider_class(_route(provider=Provider.AMD)) == "vendor"
+    assert provider_class(_route(provider=Provider.INTEL)) == "vendor"
+    assert provider_class(_route(provider=Provider.COMMUNITY)) == "community"
+
+
+def test_custom_thresholds():
+    strict = Thresholds(full=0.99)
+    route = _route()
+    assert classify_route(route, 0.95, strict) is C.SOME
+    assert classify_route(route, 0.95, DEFAULT_THRESHOLDS) is C.FULL
+    lax = Thresholds(usable=0.2)
+    assert classify_route(route, 0.3, lax) is C.SOME
+
+
+def test_default_thresholds_values():
+    t = DEFAULT_THRESHOLDS
+    assert t.full == 0.90
+    assert t.comprehensive == 0.85
+    assert t.indirect == 0.70
+    assert t.usable == 0.50
+    assert t.full > t.comprehensive > t.indirect > t.usable
+
+
+def test_boundary_values_inclusive():
+    """Thresholds are >= comparisons."""
+    assert classify_route(_route(), 0.90) is C.FULL
+    assert classify_route(_route(provider=Provider.COMMUNITY), 0.85) is C.NONVENDOR
+    assert classify_route(_route(mechanism=Mechanism.TRANSLATION), 0.70) is C.INDIRECT
+    assert classify_route(_route(), 0.50) is C.SOME

@@ -1,0 +1,187 @@
+"""Matrix aggregation, agreement report, descriptions, and data integrity."""
+
+import pytest
+
+from repro.core.descriptions import (
+    CELL_TO_DESCRIPTION,
+    DESCRIPTIONS,
+    describe_cell,
+)
+from repro.core.matrix import CellResult, RouteResult, evaluate_route
+from repro.core.probes import SuiteResult, ProbeOutcome, Probe
+from repro.core.routes import Route, all_routes
+from repro.data.paper_matrix import PAPER_MATRIX, expected
+from repro.data.references import REFERENCES
+from repro.enums import (
+    Language,
+    Maturity,
+    Mechanism,
+    Model,
+    Provider,
+    SupportCategory,
+    Vendor,
+    all_cells,
+)
+
+C = SupportCategory
+
+
+def _route_result(category, provider=Provider.NVIDIA, coverage=1.0):
+    route = Route(
+        route_id=f"r-{provider.value}-{category.name}-{coverage}",
+        vendor=Vendor.NVIDIA, model=Model.CUDA, language=Language.CPP,
+        provider=provider, mechanism=Mechanism.NATIVE,
+        maturity=Maturity.PRODUCTION, label="x", via="x",
+        probe_suite="cuda_cpp", runtime_factory=lambda d: None,
+        description_id=1,
+    )
+    n_pass = round(coverage * 10)
+    outcomes = [ProbeOutcome(Probe(f"p{i}", "m"), passed=i < n_pass)
+                for i in range(10)]
+    return RouteResult(route=route,
+                       suite=SuiteResult("cuda_cpp", outcomes),
+                       category=category)
+
+
+def _cell(*results):
+    cell = CellResult(Vendor.NVIDIA, Model.CUDA, Language.CPP)
+    cell.routes.extend(results)
+    return cell
+
+
+def test_empty_cell_is_none():
+    cell = _cell()
+    assert cell.primary is C.NONE
+    assert cell.secondary is None
+    assert cell.best_route() is None
+
+
+def test_primary_is_best_rank():
+    cell = _cell(_route_result(C.LIMITED), _route_result(C.FULL),
+                 _route_result(C.SOME))
+    assert cell.primary is C.FULL
+
+
+def test_secondary_from_other_provider_class():
+    cell = _cell(
+        _route_result(C.FULL, Provider.NVIDIA),
+        _route_result(C.NONVENDOR, Provider.COMMUNITY),
+    )
+    assert cell.primary is C.FULL
+    assert cell.secondary is C.NONVENDOR
+
+
+def test_no_secondary_when_single_class():
+    cell = _cell(
+        _route_result(C.FULL, Provider.NVIDIA),
+        _route_result(C.SOME, Provider.AMD),  # also a vendor
+    )
+    assert cell.secondary is None
+
+
+def test_no_secondary_when_same_category():
+    cell = _cell(
+        _route_result(C.NONVENDOR, Provider.INTEL),
+        _route_result(C.NONVENDOR, Provider.COMMUNITY),
+    )
+    assert cell.secondary is None
+
+
+def test_best_route_prefers_rank_then_coverage():
+    weak = _route_result(C.SOME, coverage=0.6)
+    strong = _route_result(C.SOME, coverage=0.8)
+    full = _route_result(C.FULL, coverage=0.9)
+    cell = _cell(weak, strong, full)
+    assert cell.best_route() is full
+    cell2 = _cell(weak, strong)
+    assert cell2.best_route() is strong
+
+
+def test_evaluate_route_end_to_end(system):
+    route = next(r for r in all_routes() if r.route_id == "amd-hip-cpp-hipcc")
+    result = evaluate_route(route, system)
+    assert result.coverage == 1.0
+    assert result.category is C.FULL
+
+
+# -- descriptions --------------------------------------------------------------
+
+
+def test_descriptions_numbering_is_papers():
+    assert sorted(DESCRIPTIONS) == list(range(1, 45))
+    assert describe_cell(Vendor.AMD, Model.OPENMP, Language.FORTRAN).number == 25
+    assert describe_cell(Vendor.INTEL, Model.PYTHON, Language.PYTHON).number == 44
+    assert describe_cell(Vendor.NVIDIA, Model.CUDA, Language.CPP).number == 1
+
+
+def test_shared_descriptions_cover_multiple_cells():
+    assert len(DESCRIPTIONS[4].cells) == 2  # HIP Fortran
+    assert len(DESCRIPTIONS[6].cells) == 3  # SYCL Fortran
+    assert len(DESCRIPTIONS[14].cells) == 3  # Kokkos Fortran
+    assert len(DESCRIPTIONS[16].cells) == 3  # Alpaka Fortran
+
+
+def test_description_titles_name_their_cells():
+    for desc in DESCRIPTIONS.values():
+        vendors = {vendor.value for vendor, _m, _l in desc.cells}
+        for vendor in vendors:
+            assert vendor in desc.title, desc.number
+
+
+def test_description_references_resolve():
+    for desc in DESCRIPTIONS.values():
+        for key in desc.references:
+            assert key in REFERENCES, (desc.number, key)
+
+
+def test_paper_matrix_description_ids_match():
+    for cell, paper in PAPER_MATRIX.items():
+        assert CELL_TO_DESCRIPTION[cell] == paper.description_id
+
+
+def test_paper_matrix_category_counts():
+    from collections import Counter
+
+    counts = Counter(c.primary for c in PAPER_MATRIX.values())
+    assert sum(counts.values()) == 51
+    assert counts[C.NONE] == 9
+    assert counts[C.FULL] == 13
+    assert counts[C.INDIRECT] == 3
+    assert counts[C.NONVENDOR] == 8
+    assert counts[C.SOME] == 7
+    assert counts[C.LIMITED] == 11
+
+
+def test_paper_matrix_dual_ratings():
+    duals = {cell: p for cell, p in PAPER_MATRIX.items()
+             if p.secondary is not None}
+    assert set(duals) == {
+        (Vendor.NVIDIA, Model.PYTHON, Language.PYTHON),
+        (Vendor.INTEL, Model.CUDA, Language.CPP),
+    }
+
+
+def test_paper_matrix_rationales_cite_text():
+    for paper in PAPER_MATRIX.values():
+        assert len(paper.rationale) > 20
+
+
+def test_expected_lookup():
+    cell = expected(Vendor.AMD, Model.STANDARD, Language.CPP)
+    assert cell.primary is C.LIMITED
+    with pytest.raises(KeyError):
+        expected(Vendor.AMD, Model.SYCL, Language.PYTHON)
+
+
+def test_vendor_native_diagonal_is_full():
+    assert expected(Vendor.NVIDIA, Model.CUDA, Language.CPP).primary is C.FULL
+    assert expected(Vendor.AMD, Model.HIP, Language.CPP).primary is C.FULL
+    assert expected(Vendor.INTEL, Model.SYCL, Language.CPP).primary is C.FULL
+
+
+def test_report_ambivalent_cells():
+    from repro.core.report import AMBIVALENT_CELLS
+
+    assert len(AMBIVALENT_CELLS) == 5
+    for cell in AMBIVALENT_CELLS:
+        assert cell in PAPER_MATRIX

@@ -1,0 +1,163 @@
+"""Route registry integrity and the probe harness."""
+
+import pytest
+
+from repro.core.probes import PROBE_SUITES, Probe, run_probe_suite
+from repro.core.routes import all_routes, routes_for
+from repro.enums import (
+    Language,
+    Maturity,
+    Mechanism,
+    Model,
+    Provider,
+    Vendor,
+    all_cells,
+)
+
+
+def test_registry_exceeds_fifty_routes():
+    assert len(all_routes()) > 50
+
+
+def test_route_ids_unique_and_structured():
+    routes = all_routes()
+    ids = [r.route_id for r in routes]
+    assert len(set(ids)) == len(ids)
+    prefix = {Vendor.NVIDIA: "nv-", Vendor.AMD: "amd-", Vendor.INTEL: "intel-"}
+    for r in routes:
+        assert r.route_id.startswith(prefix[r.vendor]), r.route_id
+
+
+def test_every_route_has_a_known_probe_suite():
+    for r in all_routes():
+        assert r.probe_suite in PROBE_SUITES, r.route_id
+
+
+def test_probe_suites_reference_real_methods():
+    """Every probe method must exist on the runtime its routes build."""
+    from repro.gpu import System
+
+    system = System.default()
+    checked = set()
+    for route in all_routes():
+        key = (type(route.runtime_factory), route.probe_suite)
+        if key in checked:
+            continue
+        checked.add(key)
+        runtime = route.runtime_factory(system.device(route.vendor))
+        for probe in PROBE_SUITES[route.probe_suite]:
+            assert hasattr(runtime, probe.method), (
+                f"{route.route_id}: runtime lacks {probe.method}"
+            )
+
+
+def test_routes_for_cell_filtering():
+    cuda_nv = routes_for(Vendor.NVIDIA, Model.CUDA, Language.CPP)
+    assert {r.route_id for r in cuda_nv} == {
+        "nv-cuda-cpp-nvcc", "nv-cuda-cpp-nvhpc", "nv-cuda-cpp-clang"}
+    assert routes_for(Vendor.INTEL, Model.SYCL, Language.FORTRAN) == []
+
+
+def test_native_models_have_native_vendor_routes():
+    natives = [
+        (Vendor.NVIDIA, Model.CUDA, Provider.NVIDIA),
+        (Vendor.AMD, Model.HIP, Provider.AMD),
+        (Vendor.INTEL, Model.SYCL, Provider.INTEL),
+    ]
+    for vendor, model, provider in natives:
+        routes = routes_for(vendor, model, Language.CPP)
+        assert any(
+            r.provider is provider and r.mechanism is Mechanism.NATIVE
+            and r.maturity is Maturity.PRODUCTION
+            for r in routes
+        ), (vendor, model)
+
+
+def test_research_and_unmaintained_routes_flagged():
+    by_id = {r.route_id: r for r in all_routes()}
+    assert by_id["amd-cuda-f-gpufort"].maturity is Maturity.RESEARCH
+    assert by_id["intel-cuda-cpp-chipstar"].maturity is Maturity.RESEARCH
+    assert by_id["intel-cuda-cpp-zluda"].maturity is Maturity.UNMAINTAINED
+    assert by_id["amd-py-numba"].maturity is Maturity.UNMAINTAINED
+    assert by_id["amd-std-cpp-rocstdpar"].maturity is Maturity.EXPERIMENTAL
+
+
+def test_translation_routes_marked():
+    by_id = {r.route_id: r for r in all_routes()}
+    for route_id in ("amd-cuda-cpp-hipify", "intel-cuda-cpp-syclomatic",
+                     "intel-acc-cpp-acc2omp"):
+        assert by_id[route_id].mechanism is Mechanism.TRANSLATION
+
+
+def test_description_ids_valid():
+    from repro.core.descriptions import DESCRIPTIONS
+
+    for r in all_routes():
+        assert r.description_id in DESCRIPTIONS
+
+
+def test_run_probe_suite_counts(system):
+    route = next(r for r in all_routes() if r.route_id == "nv-cuda-cpp-nvcc")
+    result = run_probe_suite(route, system.device(Vendor.NVIDIA))
+    assert result.total == 7
+    assert result.passed == 7
+    assert result.coverage == 1.0
+    assert not result.failures
+
+
+def test_run_probe_suite_records_failures(system):
+    route = next(r for r in all_routes()
+                 if r.route_id == "nv-omp-cpp-nvhpc")
+    result = run_probe_suite(route, system.device(Vendor.NVIDIA))
+    assert result.passed == 6 and result.total == 10
+    failed_labels = {o.probe.label for o in result.failures}
+    assert "metadirective (5.0)" in failed_labels
+    for outcome in result.failures:
+        assert "UnsupportedFeatureError" in outcome.error
+
+
+def test_run_probe_suite_with_subset(system):
+    route = next(r for r in all_routes() if r.route_id == "nv-cuda-cpp-nvcc")
+    subset = (Probe("just kernels", "probe_kernels"),)
+    result = run_probe_suite(route, system.device(Vendor.NVIDIA), subset)
+    assert result.total == 1 and result.passed == 1
+
+
+def test_fresh_runtime_per_probe(system):
+    """Probe isolation: a runtime-corrupting probe must not leak state."""
+    route = next(r for r in all_routes() if r.route_id == "intel-sycl-cpp-dpcpp")
+    device = system.device(Vendor.INTEL)
+    first = run_probe_suite(route, device)
+    second = run_probe_suite(route, device)
+    assert first.coverage == second.coverage == 1.0
+
+
+def test_simulator_bugs_propagate(system):
+    """Non-ReproError exceptions are not swallowed as probe failures."""
+
+    class Exploding:
+        def probe_kernels(self):
+            raise ZeroDivisionError("simulator bug")
+
+    from repro.core.routes import Route
+
+    route = Route(
+        route_id="x", vendor=Vendor.NVIDIA, model=Model.CUDA,
+        language=Language.CPP, provider=Provider.NVIDIA,
+        mechanism=Mechanism.NATIVE, maturity=Maturity.PRODUCTION,
+        label="x", via="x", probe_suite="cuda_cpp",
+        runtime_factory=lambda device: Exploding(), description_id=1,
+    )
+    probes = (Probe("k", "probe_kernels"),)
+    with pytest.raises(ZeroDivisionError):
+        run_probe_suite(route, system.device(Vendor.NVIDIA), probes)
+
+
+def test_all_51_cells_covered_or_deliberately_empty():
+    from repro.data.paper_matrix import PAPER_MATRIX
+    from repro.enums import SupportCategory
+
+    for cell in all_cells():
+        has_routes = bool(routes_for(*cell))
+        expect_support = PAPER_MATRIX[cell].primary is not SupportCategory.NONE
+        assert has_routes == expect_support, cell

@@ -1,0 +1,319 @@
+"""Kernel DSL: supported constructs, typing, and rejection of the rest."""
+
+import numpy as np
+import pytest
+
+from repro.enums import ISA
+from repro.errors import KernelSyntaxError
+from repro.frontends import compile_kernel, f32, f64, i32, i64, kernel, u64
+from repro.isa import KernelExecutor, ModuleIR, legalize
+
+_CAPTURED = 17
+
+
+def _run(kernelfn, n_threads, args, mem_bytes=1 << 16, block=64):
+    mem = np.zeros(mem_bytes, dtype=np.uint8)
+    ex = KernelExecutor(kernelfn.ir, 32, mem)
+    ex.launch(((n_threads + block - 1) // block,), (block,), args)
+    return mem
+
+
+def test_kernel_metadata():
+    @kernel
+    def k(n: i64, a: f64, x: f64[:], out: f64[:]):
+        i = gid(0)
+        if i < n:
+            out[i] = a * x[i]
+
+    assert k.name == "k"
+    assert k.arg_is_pointer == (False, False, True, True)
+    assert [t.name for t in k.arg_dtypes] == ["i64", "f64", "f64", "f64"]
+
+
+def test_missing_annotation_rejected():
+    with pytest.raises(KernelSyntaxError, match="needs a type annotation"):
+        @kernel
+        def k(n, x: f64[:]):  # noqa: ANN001
+            pass
+
+
+def test_bad_annotation_rejected():
+    with pytest.raises(KernelSyntaxError, match="must be a DSL type"):
+        @kernel
+        def k(n: int, x: f64[:]):
+            pass
+
+
+def test_captured_numeric_constant():
+    @kernel
+    def k(out: i64[:]):
+        i = gid(0)
+        out[i] = _CAPTURED
+
+    mem = _run(k, 32, [0])
+    assert (mem[:32 * 8].view(np.int64) == 17).all()
+
+
+def test_captured_nonnumeric_rejected():
+    helper = [1, 2, 3]
+    with pytest.raises(KernelSyntaxError, match="numeric constant"):
+        @kernel
+        def k(out: i64[:]):
+            out[0] = helper  # noqa: F821
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KernelSyntaxError, match="unknown name"):
+        @kernel
+        def k(out: i64[:]):
+            out[0] = totally_undefined  # noqa: F821
+
+
+def test_while_and_augmented_assignment():
+    @kernel
+    def k(n: i64, out: f64[:]):
+        i = gid(0)
+        if i >= n:
+            return
+        acc = 0.0
+        j = 0
+        while j < 10:
+            acc += 2.0
+            j += 1
+        out[i] = acc
+
+    mem = _run(k, 16, [16, 0])
+    assert (mem[:16 * 8].view(np.float64) == 20.0).all()
+
+
+def test_for_range_variants():
+    @kernel
+    def k(out: i64[:]):
+        i = gid(0)
+        a = 0
+        for j in range(5):
+            a += j
+        b = 0
+        for j in range(2, 8):
+            b += j
+        c = 0
+        for j in range(10, 0, -2):
+            c += j
+        out[3 * i] = a
+        out[3 * i + 1] = b
+        out[3 * i + 2] = c
+
+    mem = _run(k, 1, [0], block=1)
+    got = mem[:24].view(np.int64)
+    assert list(got) == [10, 27, 30]
+
+
+def test_chained_comparison():
+    @kernel
+    def k(n: i64, out: f64[:]):
+        i = gid(0)
+        if 2 <= i < n:
+            out[i] = 1.0
+
+    mem = _run(k, 32, [8, 0])
+    got = mem[:32 * 8].view(np.float64)
+    assert got.sum() == 6  # i in {2..7}
+
+
+def test_boolean_operators_and_ifexp():
+    @kernel
+    def k(out: f64[:]):
+        i = gid(0)
+        flag = (i > 2 and i < 6) or i == 0
+        out[i] = 1.0 if flag else 0.0
+
+    mem = _run(k, 8, [0])
+    got = mem[:8 * 8].view(np.float64)
+    assert list(got) == [1.0, 0, 0, 1.0, 1.0, 1.0, 0, 0]
+
+
+def test_integer_true_division_yields_float():
+    @kernel
+    def k(out: f64[:]):
+        i = gid(0)
+        out[i] = (i + 1) / 2
+
+    mem = _run(k, 4, [0])
+    assert list(mem[:32].view(np.float64)) == [0.5, 1.0, 1.5, 2.0]
+
+
+def test_floor_division_stays_integer():
+    @kernel
+    def k(out: i64[:]):
+        i = gid(0)
+        out[i] = (i + 10) // 3
+
+    mem = _run(k, 4, [0])
+    assert list(mem[:32].view(np.int64)) == [3, 3, 4, 4]
+
+
+def test_math_intrinsics():
+    @kernel
+    def k(x: f64[:], out: f64[:]):
+        i = gid(0)
+        out[i] = sqrt(x[i]) + abs(-1.0) + min(x[i], 2.0) + max(x[i], 0.5)
+
+    xs = np.array([1.0, 4.0, 9.0])
+    mem = np.zeros(1 << 12, dtype=np.uint8)
+    mem[:24] = xs.view(np.uint8)
+    KernelExecutor(k.ir, 32, mem).launch((1,), (3,), [0, 64])
+    got = mem[64:64 + 24].view(np.float64)
+    expected = np.sqrt(xs) + 1.0 + np.minimum(xs, 2.0) + np.maximum(xs, 0.5)
+    np.testing.assert_allclose(got, expected)
+
+
+def test_type_cast_intrinsics():
+    @kernel
+    def k(out: i32[:]):
+        i = gid(0)
+        out[i] = i32(f64(i) * 2.5)
+
+    mem = _run(k, 4, [0])
+    assert list(mem[:16].view(np.int32)) == [0, 2, 5, 7]
+
+
+def test_shared_and_barrier_feature_tags():
+    @kernel
+    def k(n: i64, x: f64[:], out: f64[:]):
+        tile = shared(f64, 64)
+        t = lid(0)
+        tile[t] = x[t]
+        barrier()
+        out[t] = tile[63 - t]
+
+    assert {"shared_memory", "barrier"} <= set(k.features)
+    xs = np.arange(64, dtype=np.float64)
+    mem = np.zeros(1 << 12, dtype=np.uint8)
+    mem[:64 * 8] = xs.view(np.uint8)
+    KernelExecutor(k.ir, 32, mem).launch((1,), (64,), [64, 0, 64 * 8])
+    got = mem[64 * 8:128 * 8].view(np.float64)
+    np.testing.assert_array_equal(got, xs[::-1])
+
+
+def test_shared_size_from_captured_constant():
+    @kernel
+    def k(out: f64[:]):
+        tile = shared(f64, _CAPTURED)
+        t = lid(0)
+        if t < _CAPTURED:
+            tile[t] = 1.0
+        out[t] = 0.0
+
+    assert k.ir.shared_bytes == _CAPTURED * 8
+
+
+def test_atomics_return_values():
+    @kernel
+    def k(counter: i64[:], out: i64[:]):
+        i = gid(0)
+        old = atomic_add(counter, 0, i64(1))
+        out[i] = old
+
+    mem = _run(k, 64, [0, 64])
+    olds = mem[64:64 + 64 * 8].view(np.int64)
+    np.testing.assert_array_equal(np.sort(olds), np.arange(64))
+
+
+def test_atomic_cas_intrinsic():
+    @kernel
+    def k(slot: i64[:], wins: i64[:]):
+        i = gid(0)
+        old = atomic_cas(slot, 0, i64(0), i + 1)
+        if old == 0:
+            atomic_add(wins, 0, i64(1))
+
+    mem = _run(k, 64, [0, 64])
+    assert mem[64:72].view(np.int64)[0] == 1
+
+
+def test_unsupported_constructs_rejected():
+    with pytest.raises(KernelSyntaxError, match="break/continue"):
+        @kernel
+        def k1(out: f64[:]):
+            for j in range(10):
+                break
+
+    with pytest.raises(KernelSyntaxError, match="cannot return values"):
+        @kernel
+        def k2(out: f64[:]):
+            return 1
+
+    with pytest.raises(KernelSyntaxError, match="range"):
+        @kernel
+        def k3(out: f64[:]):
+            for j in [1, 2, 3]:
+                out[j] = 1.0
+
+    with pytest.raises(KernelSyntaxError, match="unknown intrinsic"):
+        @kernel
+        def k4(out: f64[:]):
+            out[0] = print(1)  # noqa: T201
+
+    with pytest.raises(KernelSyntaxError, match="chained assignment"):
+        @kernel
+        def k5(out: f64[:]):
+            a = b = 1.0  # noqa: F841
+
+
+def test_keyword_args_to_intrinsics_rejected():
+    with pytest.raises(KernelSyntaxError, match="positional"):
+        @kernel
+        def k(out: f64[:]):
+            out[gid(dim=0)] = 1.0
+
+
+def test_docstring_allowed():
+    @kernel
+    def k(out: f64[:]):
+        """This docstring is ignored by the compiler."""
+        out[gid(0)] = 1.0
+
+    _run(k, 4, [0])
+
+
+def test_annotated_local_assignment():
+    @kernel
+    def k(out: f32[:]):
+        i = gid(0)
+        v: f32 = 1.5
+        out[i] = v
+
+    mem = _run(k, 4, [0])
+    assert (mem[:16].view(np.float32) == 1.5).all()
+
+
+def test_lid_bid_bdim_gdim():
+    @kernel
+    def k(out: i64[:]):
+        i = gid(0)
+        out[i] = lid(0) + 1000 * bid(0) + 1000000 * bdim(0) + 1000000000 * gdim(0)
+
+    mem = _run(k, 128, [0], block=64)
+    got = mem[:128 * 8].view(np.int64)
+    lanes = np.arange(128)
+    expected = (lanes % 64 + 1000 * (lanes // 64) + 1000000 * 64
+                + 1000000000 * 2)
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_kernels_run_on_all_isas():
+    @kernel
+    def k(n: i64, x: f64[:]):
+        i = gid(0)
+        if i < n:
+            x[i] = x[i] * 3.0
+
+    mod = ModuleIR("m")
+    mod.add(k.ir)
+    for isa in ISA:
+        binary = legalize(mod, isa)
+        mem = np.zeros(1 << 12, dtype=np.uint8)
+        mem[:80] = np.ones(10).view(np.uint8)
+        KernelExecutor(binary.kernel("k"), binary.warp_size, mem).launch(
+            (1,), (32,), [10, 0])
+        assert (mem[:80].view(np.float64) == 3.0).all()

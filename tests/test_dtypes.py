@@ -1,0 +1,96 @@
+"""Scalar type system: lookup, widths, promotion rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import dtypes
+from repro.isa.dtypes import (
+    F32, F64, I32, I64, PRED, U8, U32, U64, SCALAR_TYPES, from_name,
+    from_numpy, promote,
+)
+
+_ARITH = [I32, I64, U32, U64, F32, F64]
+
+
+def test_itemsizes():
+    assert PRED.itemsize == 1
+    assert U8.itemsize == 1
+    assert I32.itemsize == U32.itemsize == F32.itemsize == 4
+    assert I64.itemsize == U64.itemsize == F64.itemsize == 8
+
+
+def test_kind_predicates():
+    assert F64.is_float and not F64.is_integer and not F64.is_pred
+    assert I32.is_integer and not I32.is_float
+    assert U64.is_integer
+    assert PRED.is_pred and not PRED.is_integer
+
+
+def test_from_name_roundtrip():
+    for name, dtype in SCALAR_TYPES.items():
+        assert from_name(name) is dtype
+
+
+def test_from_name_unknown():
+    with pytest.raises(KeyError, match="unknown scalar type"):
+        from_name("f16")
+
+
+def test_from_numpy():
+    assert from_numpy(np.float64) is F64
+    assert from_numpy(np.dtype("int32")) is I32
+    assert from_numpy(np.bool_) is PRED
+    with pytest.raises(KeyError):
+        from_numpy(np.complex128)
+
+
+def test_promotion_float_dominates():
+    assert promote(I64, F32) is F32
+    assert promote(F64, U32) is F64
+    assert promote(F32, F64) is F64
+
+
+def test_promotion_width_dominates():
+    assert promote(I32, I64) is I64
+    assert promote(U32, U64) is U64
+
+
+def test_promotion_unsigned_wins_same_width():
+    assert promote(I32, U32) is U32
+    assert promote(I64, U64) is U64
+
+
+def test_promotion_pred_rules():
+    assert promote(PRED, PRED) is PRED
+    with pytest.raises(TypeError):
+        promote(PRED, I32)
+
+
+@given(st.sampled_from(_ARITH), st.sampled_from(_ARITH))
+def test_promotion_commutative(a, b):
+    assert promote(a, b) is promote(b, a)
+
+
+@given(st.sampled_from(_ARITH))
+def test_promotion_idempotent(a):
+    assert promote(a, a) is a
+
+
+@given(st.sampled_from(_ARITH), st.sampled_from(_ARITH),
+       st.sampled_from(_ARITH))
+def test_promotion_associative(a, b, c):
+    assert promote(promote(a, b), c) is promote(a, promote(b, c))
+
+
+@given(st.sampled_from(_ARITH), st.sampled_from(_ARITH))
+def test_promotion_never_narrows(a, b):
+    result = promote(a, b)
+    assert result.itemsize >= max(a.itemsize, b.itemsize) or result.is_float
+
+
+def test_dtype_equality_by_name():
+    clone = dtypes.DType("f64", np.dtype(np.float64), "float")
+    assert clone == F64
+    assert hash(clone) == hash(F64)

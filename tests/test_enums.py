@@ -1,0 +1,89 @@
+"""Shared vocabulary: vendors, models, languages, categories."""
+
+import pytest
+
+from repro.enums import (
+    CATEGORY_ORDER,
+    ISA,
+    ISA_VENDOR,
+    MODEL_LANGUAGES,
+    MODEL_ORDER,
+    VENDOR_ISA,
+    VENDOR_ORDER,
+    Language,
+    Maturity,
+    Model,
+    Provider,
+    SupportCategory,
+    Vendor,
+    all_cells,
+)
+
+
+def test_three_vendors_alphabetical():
+    assert [v.value for v in VENDOR_ORDER] == ["AMD", "Intel", "NVIDIA"]
+
+
+def test_model_column_order_matches_figure1():
+    assert [m.value for m in MODEL_ORDER] == [
+        "CUDA", "HIP", "SYCL", "OpenACC", "OpenMP", "Standard",
+        "Kokkos", "Alpaka", "Python",
+    ]
+
+
+def test_model_languages():
+    for model in MODEL_ORDER:
+        langs = MODEL_LANGUAGES[model]
+        if model is Model.PYTHON:
+            assert langs == (Language.PYTHON,)
+        else:
+            assert langs == (Language.CPP, Language.FORTRAN)
+
+
+def test_all_cells_is_51():
+    cells = all_cells()
+    assert len(cells) == 51
+    assert len(set(cells)) == 51
+
+
+def test_vendor_isa_bijection():
+    assert VENDOR_ISA[Vendor.NVIDIA] is ISA.PTX
+    assert VENDOR_ISA[Vendor.AMD] is ISA.AMDGCN
+    assert VENDOR_ISA[Vendor.INTEL] is ISA.SPIRV
+    for isa, vendor in ISA_VENDOR.items():
+        assert VENDOR_ISA[vendor] is isa
+
+
+def test_category_ranks_strictly_ordered():
+    ranks = [c.rank for c in CATEGORY_ORDER]
+    assert ranks == sorted(ranks, reverse=True)
+    assert len(set(ranks)) == 6
+
+
+def test_category_symbols_unique():
+    symbols = [c.symbol for c in SupportCategory]
+    assert len(set(symbols)) == 6
+
+
+def test_category_usability_split():
+    usable = {c for c in SupportCategory if c.is_usable}
+    assert usable == {SupportCategory.FULL, SupportCategory.INDIRECT,
+                      SupportCategory.SOME, SupportCategory.NONVENDOR}
+
+
+@pytest.mark.parametrize("provider,vendor,expected", [
+    (Provider.NVIDIA, Vendor.NVIDIA, True),
+    (Provider.NVIDIA, Vendor.AMD, False),
+    (Provider.AMD, Vendor.AMD, True),
+    (Provider.INTEL, Vendor.INTEL, True),
+    (Provider.COMMUNITY, Vendor.NVIDIA, False),
+    (Provider.HPE, Vendor.AMD, False),
+])
+def test_provider_device_vendor(provider, vendor, expected):
+    assert provider.is_device_vendor(vendor) is expected
+
+
+def test_maturity_dependability():
+    assert Maturity.PRODUCTION.is_dependable
+    for m in (Maturity.EXPERIMENTAL, Maturity.RESEARCH, Maturity.UNMAINTAINED):
+        assert not m.is_dependable

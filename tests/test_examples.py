@@ -1,0 +1,38 @@
+"""Smoke-run every example script end to end (deliverable b)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "portability_audit.py", "cuda_migration.py",
+            "fortran_landscape.py", "babelstream_sweep.py",
+            "ecosystem_tools.py"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    args = [sys.executable, str(script)]
+    if script.name == "babelstream_sweep.py":
+        args.append(str(1 << 16))  # keep the sweep example quick
+    proc = subprocess.run(
+        args, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout  # every example narrates what it shows
+
+
+def test_quickstart_reports_agreement():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "51/51" in proc.stdout

@@ -1,0 +1,208 @@
+"""The extension models: RAJA and OpenCL (§5's notable exclusions)."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.enums import (
+    MODEL_ORDER,
+    Language,
+    Model,
+    SupportCategory,
+    Vendor,
+    all_cells,
+)
+from repro.errors import ApiError, UnsupportedFeatureError
+from repro.models.opencl import ClContext
+from repro.models.raja import Raja, ReduceSum
+
+
+def test_extension_models_not_in_figure1():
+    assert Model.RAJA not in MODEL_ORDER
+    assert Model.OPENCL not in MODEL_ORDER
+    assert len(all_cells()) == 51  # Figure 1 untouched
+
+
+# -- RAJA -----------------------------------------------------------------
+
+
+def test_raja_default_policies(nvidia, amd, intel):
+    assert Raja(nvidia).policy == "cuda_exec"
+    assert Raja(amd).policy == "hip_exec"
+    assert Raja(intel).policy == "sycl_exec"
+    assert Raja(intel).experimental_backend
+    with pytest.raises(ApiError, match="unknown execution policy"):
+        Raja(nvidia, policy="omp_target_exec")
+
+
+def test_raja_forall(nvidia, rng):
+    raja = Raja(nvidia)
+    data = rng.random(2048)
+    x = raja.to_device(data)
+    raja.forall(2048, KL.scale_inplace, [2048, 3.0, x])
+    raja.synchronize()
+    np.testing.assert_allclose(x.copy_to_host(), 3.0 * data)
+    x.free()
+
+
+def test_raja_reduce_sum(amd, rng):
+    raja = Raja(amd)
+    data = rng.random(5000)
+    x = raja.to_device(data)
+    reducer = ReduceSum(raja)
+    total = raja.forall_reduce(5000, KL.reduce_sum, [5000, x], reducer)
+    assert np.isclose(total, data.sum())
+    x.free()
+    reducer.free()
+
+
+def test_raja_reducer_initial_value(nvidia):
+    raja = Raja(nvidia)
+    x = raja.to_device(np.ones(100))
+    reducer = ReduceSum(raja, initial=10.0)
+    total = raja.forall_reduce(100, KL.reduce_sum, [100, x], reducer)
+    assert np.isclose(total, 110.0)
+    x.free()
+    reducer.free()
+
+
+def test_raja_nested_kernel(intel):
+    Raja(intel).probe_kernel_nested()
+
+
+def test_raja_exclusive_scan(nvidia, rng):
+    raja = Raja(nvidia)
+    data = rng.random(300)
+    x = raja.to_device(data)
+    raja.exclusive_scan_inplace(x)
+    expected = np.concatenate(([0.0], np.cumsum(data)[:-1]))
+    np.testing.assert_allclose(x.copy_to_host(), expected)
+    x.free()
+
+
+def test_raja_probes_pass_on_all_vendors(nvidia, amd, intel):
+    for device in (nvidia, amd, intel):
+        for method in ("probe_forall", "probe_reduce",
+                       "probe_kernel_nested", "probe_scan"):
+            getattr(Raja(device), method)()
+
+
+# -- OpenCL ---------------------------------------------------------------
+
+
+def test_opencl_driver_selection(nvidia, amd, intel):
+    assert ClContext(nvidia).driver == "nvidia-opencl"
+    assert ClContext(amd).driver == "amd-opencl"
+    assert ClContext(intel).driver == "intel-opencl"
+
+
+def test_opencl_program_queue_buffer_flow(intel, rng):
+    ctx = ClContext(intel)
+    n = 1024
+    data = rng.random(n)
+    program = ctx.program([KL.scale_inplace, KL.stream_copy])
+    queue = ctx.queue()
+    src, dst = ctx.buffer(n), ctx.buffer(n)
+    queue.enqueue_write(src, data)
+    queue.enqueue_nd_range(program, "scale_inplace", n, args=[n, 2.0, src])
+    queue.enqueue_nd_range(program, "stream_copy", n, args=[n, src, dst])
+    out = queue.enqueue_read(dst)
+    queue.finish()
+    np.testing.assert_allclose(out, 2.0 * data)
+    src.free(); dst.free()
+
+
+def test_opencl_unknown_kernel(intel):
+    ctx = ClContext(intel)
+    program = ctx.program([KL.fill])
+    with pytest.raises(ApiError, match="no kernel"):
+        program.kernel("ghost")
+
+
+def test_opencl_feature_ladder(nvidia, amd, intel):
+    """NVIDIA 1.2 < AMD 2.0 < Intel 2.1+, per driver capability."""
+    # Everyone runs the 1.2 core.
+    for device in (nvidia, amd, intel):
+        ClContext(device).probe_kernels()
+        ClContext(device).probe_events()
+    # SVM (2.0): AMD and Intel only.
+    ClContext(amd).probe_svm()
+    ClContext(intel).probe_svm()
+    with pytest.raises(UnsupportedFeatureError):
+        ClContext(nvidia).probe_svm()
+    # Sub-groups (2.1): Intel only.
+    ClContext(intel).probe_subgroups()
+    for device in (nvidia, amd):
+        with pytest.raises(UnsupportedFeatureError):
+            ClContext(device).probe_subgroups()
+
+
+def test_opencl_profiling_events(amd):
+    ctx = ClContext(amd)
+    program = ctx.program([KL.scale_inplace])
+    queue = ctx.queue(profiling=True)
+    buf = ctx.buffer(512)
+    queue.enqueue_write(buf, np.ones(512))
+    event = queue.enqueue_nd_range(program, "scale_inplace", 512,
+                                   args=[512, 2.0, buf])
+    queue.finish()
+    assert event.profiling_seconds() > 0
+    buf.free()
+
+
+# -- the extended matrix ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def extended_matrix(system):
+    from repro.core.extended import build_extended_matrix
+
+    return build_extended_matrix(system)
+
+
+def test_extended_matrix_matches_expectations(extended_matrix):
+    from repro.core.extended import compare_extended
+
+    assert compare_extended(extended_matrix) == []
+
+
+def test_extended_matrix_shape(extended_matrix):
+    from repro.core.extended import EXTENDED_EXPECTED, extended_cells
+
+    assert len(extended_cells()) == 6
+    assert set(EXTENDED_EXPECTED) == set(extended_cells())
+    # The §5 'lukewarm' claim, measured:
+    nv_ocl = extended_matrix.cell(Vendor.NVIDIA, Model.OPENCL, Language.CPP)
+    assert nv_ocl.primary is SupportCategory.SOME
+    assert nv_ocl.best_route().coverage == 0.6
+    intel_ocl = extended_matrix.cell(Vendor.INTEL, Model.OPENCL, Language.CPP)
+    assert intel_ocl.primary is SupportCategory.FULL
+    # RAJA mirrors Kokkos's shape:
+    assert (extended_matrix.cell(Vendor.NVIDIA, Model.RAJA, Language.CPP)
+            .primary is SupportCategory.NONVENDOR)
+    assert (extended_matrix.cell(Vendor.INTEL, Model.RAJA, Language.CPP)
+            .primary is SupportCategory.LIMITED)
+
+
+def test_extended_render(extended_matrix):
+    from repro.core.extended import render_extended_text
+
+    text = render_extended_text(extended_matrix)
+    assert "RAJA" in text and "OpenCL" in text
+    assert "not Figure 1" in text
+
+
+def test_raja_tracks_kokkos(extended_matrix, system):
+    """§5's stated reason for excluding RAJA: 'similar in spirit to
+    Kokkos'. Measured: identical ratings on every platform."""
+    from repro.core.matrix import evaluate_route
+    from repro.core.routes import routes_for
+
+    for vendor in Vendor:
+        raja = extended_matrix.cell(vendor, Model.RAJA, Language.CPP).primary
+        kokkos_routes = routes_for(vendor, Model.KOKKOS, Language.CPP)
+        kokkos = max(
+            (evaluate_route(r, system).category for r in kokkos_routes),
+            key=lambda c: c.rank,
+        )
+        assert raja is kokkos, vendor

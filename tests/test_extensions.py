@@ -1,0 +1,268 @@
+"""Extension layers: tracing, conformance suites, evolution, cuNumeric."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.enums import Language, Model, SupportCategory, Vendor
+from repro.errors import ApiError
+from repro.gpu import Device, System
+from repro.gpu.specs import default_spec
+from repro.gpu.trace import Tracer, attach_tracer, detach_tracer
+from repro.models.cuda import Cuda
+
+
+# -- timeline tracing ---------------------------------------------------------
+
+
+@pytest.fixture
+def traced_device():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 22)
+    tracer = attach_tracer(device)
+    return device, tracer
+
+
+def test_tracer_records_kernels_and_copies(traced_device):
+    device, tracer = traced_device
+    rt = Cuda(device)
+    x = rt.to_device(np.ones(1 << 14))
+    rt.launch_1d(KL.scale_inplace, 1 << 14, [1 << 14, 2.0, x])
+    x.copy_to_host()
+    names = [e.name for e in tracer.events]
+    assert any("H2D" in n for n in names)
+    assert "scale_inplace" in names
+    assert any("D2H" in n for n in names)
+    assert len(tracer.kernels()) == 1
+    assert len(tracer.copies()) == 2
+
+
+def test_trace_events_are_ordered_and_positive(traced_device):
+    device, tracer = traced_device
+    rt = Cuda(device)
+    x = rt.to_device(np.ones(4096))
+    for _ in range(3):
+        rt.launch_1d(KL.scale_inplace, 4096, [4096, 2.0, x])
+    kernels = tracer.kernels()
+    assert len(kernels) == 3
+    for e in kernels:
+        assert e.end_s > e.start_s >= 0
+    # FIFO on one stream: each kernel starts at/after the previous end.
+    for first, second in zip(kernels, kernels[1:]):
+        assert second.start_s >= first.end_s
+
+
+def test_trace_busy_time_and_span(traced_device):
+    device, tracer = traced_device
+    rt = Cuda(device)
+    x = rt.to_device(np.ones(4096))
+    rt.launch_1d(KL.scale_inplace, 4096, [4096, 2.0, x])
+    assert tracer.busy_time() > 0
+    assert tracer.span() >= tracer.busy_time() - 1e-12
+    assert tracer.busy_time(stream_id=0) == tracer.busy_time()
+
+
+def test_chrome_trace_export(traced_device, tmp_path):
+    device, tracer = traced_device
+    rt = Cuda(device)
+    x = rt.to_device(np.ones(1024))
+    rt.launch_1d(KL.scale_inplace, 1024, [1024, 2.0, x])
+    path = tmp_path / "trace.json"
+    tracer.save(str(path))
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert events and all(e["ph"] == "X" for e in events)
+    assert any(e["name"] == "scale_inplace" for e in events)
+    assert all(e["pid"] == device.spec.name for e in events)
+
+
+def test_detach_tracer(traced_device):
+    device, tracer = traced_device
+    assert detach_tracer(device) is tracer
+    rt = Cuda(device)
+    x = rt.to_device(np.ones(64))
+    rt.launch_1d(KL.scale_inplace, 64, [64, 2.0, x])
+    assert len(tracer.kernels()) == 0  # no longer recording
+
+
+def test_multi_stream_trace(traced_device):
+    device, tracer = traced_device
+    rt = Cuda(device)
+    s1, s2 = rt.cudaStreamCreate(), rt.cudaStreamCreate()
+    x = rt.to_device(np.ones(1 << 16))
+    y = rt.to_device(np.ones(1 << 16))
+    rt.launch_1d(KL.scale_inplace, 1 << 16, [1 << 16, 2.0, x], stream=s1,
+                 extra_features=("cuda:streams",))
+    rt.launch_1d(KL.scale_inplace, 1 << 16, [1 << 16, 3.0, y], stream=s2,
+                 extra_features=("cuda:streams",))
+    streams = {e.stream_id for e in tracer.kernels()}
+    assert len(streams) == 2
+    # Overlap: the two kernels start at the same simulated time.
+    k1, k2 = tracer.kernels()
+    assert k1.start_s == k2.start_s
+
+
+# -- conformance suites ------------------------------------------------------
+
+
+def test_openmp_conformance_report(system):
+    from repro.core.validation import run_conformance
+
+    nvhpc = run_conformance(Model.OPENMP, Language.CPP, "nvhpc",
+                            system.device(Vendor.NVIDIA))
+    assert nvhpc.version_verdict("4.5") == "full"
+    assert nvhpc.version_verdict("5.0").startswith("partial")
+    assert nvhpc.version_verdict("5.1") == "none"
+    assert nvhpc.conforms_to() == "4.5"
+
+    intel = run_conformance(Model.OPENMP, Language.CPP, "dpcpp",
+                            system.device(Vendor.INTEL))
+    assert intel.conforms_to() == "5.1"
+    assert "5.1: full" in intel.summary()
+
+
+def test_openacc_conformance_report(system):
+    from repro.core.validation import run_conformance
+
+    gcc = run_conformance(Model.OPENACC, Language.CPP, "gcc",
+                          system.device(Vendor.AMD))
+    assert gcc.version_verdict("2.6") == "full"
+    assert gcc.version_verdict("2.7") == "none"
+    assert gcc.conforms_to() == "2.6"
+    nvhpc = run_conformance(Model.OPENACC, Language.CPP, "nvhpc",
+                            system.device(Vendor.NVIDIA))
+    assert nvhpc.conforms_to() == "3.0"
+
+
+def test_compiler_table_shape(system):
+    from repro.core.validation import compiler_table, render_compiler_table
+
+    reports = compiler_table(Model.OPENMP, Language.FORTRAN, system)
+    toolchains = {r.toolchain for r in reports}
+    assert {"nvhpc", "aomp", "gcc", "flang", "cray-ce", "ifx"} <= toolchains
+    # A toolchain appears once per platform it can target:
+    gcc_rows = [r for r in reports if r.toolchain == "gcc"]
+    assert {r.device for r in gcc_rows} == {"H100-SXM5", "MI250X-GCD"}
+    text = render_compiler_table(reports)
+    assert "4.5" in text and "ifx" in text
+
+
+def test_conformance_unknown_model(system):
+    from repro.core.validation import run_conformance
+
+    with pytest.raises(KeyError):
+        run_conformance(Model.SYCL, Language.CPP, "dpcpp",
+                        system.device(Vendor.INTEL))
+
+
+# -- evolution ----------------------------------------------------------------
+
+
+def test_snapshot_diff_matches_topicality():
+    from repro.core.evolution import changelog, diff, stability
+    from repro.data.snapshots import SNAPSHOT_2022, SNAPSHOT_2023
+
+    changes = diff(SNAPSHOT_2022, SNAPSHOT_2023)
+    changed = {(c.vendor, c.model, c.language) for c in changes}
+    assert (Vendor.AMD, Model.STANDARD, Language.CPP) in changed
+    assert (Vendor.INTEL, Model.CUDA, Language.CPP) in changed
+    assert (Vendor.INTEL, Model.HIP, Language.CPP) in changed
+    assert (Vendor.INTEL, Model.STANDARD, Language.FORTRAN) in changed
+    assert len(changes) == 4
+    # Three cells improved; Intel CUDA C++ kept its primary rating and
+    # gained the chipStar second rating (a re-rate, not a rank change).
+    directions = {(c.vendor, c.model): c.direction for c in changes}
+    assert directions[(Vendor.INTEL, Model.CUDA)] == "re-rated"
+    assert sum(1 for c in changes if c.direction == "improved") == 3
+    assert stability(SNAPSHOT_2022, SNAPSHOT_2023) == pytest.approx(47 / 51)
+    log = changelog(SNAPSHOT_2022, SNAPSHOT_2023)
+    assert "improved: 3, regressed: 0, re-rated: 1" in log
+    assert "roc-stdpar" in log or "progress" in log
+
+
+def test_snapshot_self_diff_empty():
+    from repro.core.evolution import diff
+    from repro.data.snapshots import SNAPSHOT_2023
+
+    assert diff(SNAPSHOT_2023, SNAPSHOT_2023) == []
+
+
+def test_snapshot_2022_values():
+    from repro.data.snapshots import SNAPSHOT_2022
+
+    cell = SNAPSHOT_2022.cell(Vendor.AMD, Model.STANDARD, Language.CPP)
+    assert cell.primary is SupportCategory.NONE
+    cell = SNAPSHOT_2022.cell(Vendor.INTEL, Model.CUDA, Language.CPP)
+    assert cell.primary is SupportCategory.INDIRECT
+    assert cell.secondary is None  # the dual rating arrives with chipStar
+
+
+# -- cuNumeric / Legate ---------------------------------------------------------
+
+
+@pytest.fixture
+def legate():
+    from repro.models.cunumeric import LegateRuntime
+
+    system = System.of("H100-SXM5", "H100-SXM5", "H100-SXM5",
+                       backing_bytes=1 << 22)
+    return LegateRuntime(list(system))
+
+
+def test_legate_rejects_mixed_vendors():
+    from repro.models.cunumeric import LegateRuntime
+
+    system = System.default()
+    with pytest.raises(ApiError, match="NVIDIA"):
+        LegateRuntime(list(system))
+    with pytest.raises(ApiError, match="at least one"):
+        LegateRuntime([])
+
+
+def test_legate_sharding(legate):
+    arr = legate.array(np.arange(10.0))
+    assert arr.shard_sizes == [4, 3, 3]
+    np.testing.assert_array_equal(arr.get(), np.arange(10.0))
+
+
+def test_legate_tiny_array_skips_devices(legate):
+    arr = legate.array(np.ones(2))
+    assert arr.shard_sizes == [1, 1]
+    assert arr.get().size == 2
+
+
+def test_legate_elementwise_and_reduction(legate, rng):
+    x_h, y_h = rng.random(1000), rng.random(1000)
+    x, y = legate.array(x_h), legate.array(y_h)
+    z = 2.0 * x + y
+    np.testing.assert_allclose(z.get(), 2.0 * x_h + y_h)
+    assert np.isclose(z.sum(), (2.0 * x_h + y_h).sum())
+    assert np.isclose(x.dot(y), x_h @ y_h)
+
+
+def test_legate_shape_mismatch(legate):
+    x = legate.array(np.ones(10))
+    y = legate.array(np.ones(12))
+    with pytest.raises(ApiError, match="shape mismatch"):
+        _ = x + y
+
+
+def test_legate_transparent_scaling():
+    """More devices -> less simulated time for the same problem."""
+    from repro.models.cunumeric import LegateRuntime
+
+    n = 1 << 22  # large enough to amortize per-launch latency
+
+    def run(n_devices: int) -> float:
+        system = System.of(*["H100-SXM5"] * n_devices,
+                           backing_bytes=1 << 27)
+        runtime = LegateRuntime(list(system))
+        x = runtime.array(np.ones(n))
+        t0 = runtime.synchronize()
+        for _ in range(4):
+            x = 2.0 * x + x
+        return runtime.synchronize() - t0
+
+    t1, t4 = run(1), run(4)
+    assert t4 < t1 * 0.5, (t1, t4)

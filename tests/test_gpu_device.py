@@ -1,0 +1,246 @@
+"""Devices, streams, events, perf model, and the system registry."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.enums import ISA, Vendor
+from repro.errors import ApiError, InvalidBinaryError, LaunchError, StreamError
+from repro.gpu import Device, System
+from repro.gpu.perfmodel import PerfModel
+from repro.gpu.specs import SPEC_CATALOG, default_spec
+from repro.isa import ModuleIR, legalize
+from repro.isa.interpreter import LaunchStats
+
+
+def _binary(isa, kernelfn=KL.axpy):
+    mod = ModuleIR("m")
+    mod.add(kernelfn.ir)
+    return legalize(mod, isa, "test")
+
+
+# -- specs --------------------------------------------------------------------
+
+
+def test_catalog_contents():
+    assert {"A100-SXM4-80GB", "H100-SXM5", "MI100", "MI250X-GCD",
+            "DataCenterMax-1550"} <= set(SPEC_CATALOG)
+    for spec in SPEC_CATALOG.values():
+        assert spec.bandwidth_gbs > 0
+        assert spec.warp_size in (16, 32, 64)
+        assert spec.max_resident_threads == spec.compute_units * 2048
+
+
+def test_default_specs_are_flagships():
+    assert default_spec(Vendor.NVIDIA).name == "H100-SXM5"
+    assert default_spec(Vendor.AMD).name == "MI250X-GCD"
+    assert default_spec(Vendor.INTEL).name == "DataCenterMax-1550"
+
+
+# -- device -------------------------------------------------------------------
+
+
+def test_isa_gate_is_strict(system):
+    ptx = _binary(ISA.PTX)
+    amdgcn = _binary(ISA.AMDGCN)
+    spirv = _binary(ISA.SPIRV)
+    table = {
+        Vendor.NVIDIA: (ptx, amdgcn),
+        Vendor.AMD: (amdgcn, spirv),
+        Vendor.INTEL: (spirv, ptx),
+    }
+    for vendor, (good, bad) in table.items():
+        device = system.device(vendor)
+        device.load_module(good)
+        with pytest.raises(InvalidBinaryError, match="cannot load"):
+            device.load_module(bad)
+
+
+def test_launch_unknown_kernel(nvidia):
+    binary = _binary(ISA.PTX)
+    with pytest.raises(LaunchError, match="no kernel"):
+        nvidia.launch(binary, "ghost", (1,), (32,), [])
+
+
+def test_launch_and_counters():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 20)
+    binary = _binary(ISA.PTX)
+    n = 1000
+    x = device.alloc(n * 8)
+    y = device.alloc(n * 8)
+    device.memcpy_h2d(x, np.ones(n))
+    device.memcpy_h2d(y, np.zeros(n))
+    timing = device.launch(binary, "axpy", ((n + 255) // 256,), (256,),
+                           [n, 2.0, x, y])
+    out = device.memcpy_d2h(y, np.float64, n)
+    np.testing.assert_array_equal(out, np.full(n, 2.0))
+    assert timing.seconds > 0
+    assert device.counters.launches == 1
+    assert device.counters.h2d_copies == 2
+    assert device.counters.d2h_copies == 1
+    assert device.counters.stats.threads >= n
+
+
+def test_simulated_capacity_limit():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 20)
+    with pytest.raises(LaunchError, match="simulated capacity"):
+        device.alloc(100 * 1024**3)  # beyond even the H100's 80 GB
+
+
+def test_d2d_copy():
+    device = Device(default_spec(Vendor.AMD), backing_bytes=1 << 20)
+    a = device.alloc(80)
+    b = device.alloc(80)
+    device.memory.upload(a, np.arange(10, dtype=np.float64))
+    device.memcpy_d2d(b, a, 80)
+    np.testing.assert_array_equal(
+        device.memory.download(b, np.float64, 10), np.arange(10))
+
+
+# -- streams and events -----------------------------------------------------
+
+
+def test_stream_fifo_ordering():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 20)
+    s = device.create_stream()
+    t1 = s.push(1e-3)
+    t2 = s.push(1e-3)
+    assert t2 == pytest.approx(t1 + 1e-3)
+
+
+def test_streams_overlap():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 20)
+    s1, s2 = device.create_stream(), device.create_stream()
+    s1.push(5e-3)
+    s2.push(5e-3)
+    # Independent streams overlap: device drains at ~5 ms, not 10 ms.
+    assert device.synchronize() == pytest.approx(5e-3)
+
+
+def test_events_measure_elapsed():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 20)
+    s = device.create_stream()
+    e1, e2 = device.create_event(), device.create_event()
+    s.record(e1)
+    s.push(2e-3)
+    s.record(e2)
+    assert e2.elapsed_since(e1) == pytest.approx(2e-3)
+
+
+def test_unrecorded_event_errors():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 20)
+    e1, e2 = device.create_event(), device.create_event()
+    with pytest.raises(StreamError, match="unrecorded"):
+        e2.elapsed_since(e1)
+
+
+def test_cross_stream_event_wait():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 20)
+    s1, s2 = device.create_stream(), device.create_stream()
+    s1.push(4e-3)
+    event = device.create_event()
+    s1.record(event)
+    s2.wait_event(event)
+    end = s2.push(1e-3)
+    assert end == pytest.approx(5e-3)  # serialized behind s1's work
+
+
+def test_destroyed_stream_rejects_work():
+    device = Device(default_spec(Vendor.NVIDIA), backing_bytes=1 << 20)
+    s = device.create_stream()
+    s.destroy()
+    with pytest.raises(StreamError, match="destroyed"):
+        s.push(1e-3)
+    with pytest.raises(StreamError, match="default"):
+        device.default_stream.destroy()
+
+
+# -- perf model ---------------------------------------------------------------
+
+
+def test_roofline_memory_bound():
+    model = PerfModel(default_spec(Vendor.NVIDIA))
+    stats = LaunchStats(threads=1 << 20, instructions=1 << 22,
+                        flops=1 << 20, bytes_loaded=1 << 28,
+                        bytes_stored=1 << 27)
+    timing = model.time_launch(stats)
+    assert timing.bound == "memory"
+    assert timing.seconds > timing.overhead_s
+
+
+def test_roofline_compute_bound():
+    model = PerfModel(default_spec(Vendor.NVIDIA))
+    stats = LaunchStats(threads=1 << 20, instructions=1 << 20,
+                        flops=10**12, bytes_loaded=1 << 10, bytes_stored=0)
+    timing = model.time_launch(stats)
+    assert timing.bound == "compute"
+
+
+def test_latency_bound_for_tiny_launches():
+    model = PerfModel(default_spec(Vendor.NVIDIA))
+    stats = LaunchStats(threads=32, instructions=320, flops=32,
+                        bytes_loaded=256, bytes_stored=256)
+    timing = model.time_launch(stats)
+    assert timing.bound == "latency"
+
+
+def test_occupancy_penalty():
+    model = PerfModel(default_spec(Vendor.NVIDIA))
+    base = dict(instructions=1 << 24, flops=1 << 24,
+                bytes_loaded=1 << 28, bytes_stored=0)
+    full = model.time_launch(LaunchStats(threads=1 << 20, **base))
+    tiny = model.time_launch(LaunchStats(threads=1 << 10, **base))
+    assert tiny.seconds > full.seconds
+
+
+def test_transfer_time_scales():
+    model = PerfModel(default_spec(Vendor.AMD))
+    t_small = model.time_transfer(1 << 10)
+    t_big = model.time_transfer(1 << 30)
+    assert t_big > t_small > 0
+    assert model.time_transfer(1 << 20, peer_to_peer=True) < \
+        model.time_transfer(1 << 20)
+
+
+def test_bandwidth_only_variant():
+    spec = default_spec(Vendor.NVIDIA)
+    stats = LaunchStats(threads=1 << 20, instructions=1 << 20, flops=10**12,
+                        bytes_loaded=1 << 20, bytes_stored=0)
+    roofline = PerfModel(spec).time_launch(stats)
+    bw_only = PerfModel(spec, bandwidth_only=True).time_launch(stats)
+    assert bw_only.seconds < roofline.seconds  # ignores the flops wall
+
+
+# -- system -------------------------------------------------------------------
+
+
+def test_default_system_has_one_device_per_vendor(system):
+    assert len(system) == 3
+    vendors = {d.vendor for d in system}
+    assert vendors == {Vendor.NVIDIA, Vendor.AMD, Vendor.INTEL}
+
+
+def test_system_of_names():
+    s = System.of("MI100", "MI250X-GCD", backing_bytes=1 << 20)
+    assert len(s) == 2
+    assert all(d.vendor is Vendor.AMD for d in s)
+    assert s.device(1).spec.name == "MI250X-GCD"
+
+
+def test_system_selector_errors(system):
+    with pytest.raises(ApiError, match="out of range"):
+        system.device(99)
+    single = System.of("H100-SXM5", backing_bytes=1 << 20)
+    with pytest.raises(ApiError, match="no AMD device"):
+        single.device(Vendor.AMD)
+
+
+def test_default_system_is_cached_and_resettable():
+    from repro.gpu import default_system, get_device, reset_system
+
+    reset_system()
+    first = default_system()
+    assert default_system() is first
+    assert get_device(Vendor.AMD) is first.device(Vendor.AMD)
+    reset_system()
+    assert default_system() is not first

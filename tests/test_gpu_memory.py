@@ -1,0 +1,183 @@
+"""Device memory: allocator behaviour, validation, data movement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, MemoryFaultError
+from repro.gpu.memory import DeviceMemory
+
+
+def test_alloc_alignment_and_zeroing():
+    mem = DeviceMemory(1 << 16)
+    a = mem.alloc(100)
+    b = mem.alloc(100)
+    assert a.addr % 256 == 0
+    assert b.addr % 256 == 0
+    assert b.addr >= a.addr + 256
+    assert (mem.buffer[a.addr:a.addr + 100] == 0).all()
+
+
+def test_oom():
+    mem = DeviceMemory(1 << 12)
+    mem.alloc(2048)
+    with pytest.raises(AllocationError, match="out of device memory"):
+        mem.alloc(4096)
+
+
+def test_invalid_sizes():
+    mem = DeviceMemory(1 << 12)
+    with pytest.raises(AllocationError):
+        mem.alloc(0)
+    with pytest.raises(AllocationError):
+        mem.alloc(-8)
+
+
+def test_free_and_reuse():
+    mem = DeviceMemory(1 << 12)
+    a = mem.alloc(1024)
+    addr = a.addr
+    mem.free(a)
+    b = mem.alloc(1024)
+    assert b.addr == addr  # first fit reuses the hole
+
+
+def test_double_free_rejected():
+    mem = DeviceMemory(1 << 12)
+    a = mem.alloc(64)
+    mem.free(a)
+    with pytest.raises(MemoryFaultError, match="already-freed"):
+        mem.free(a)
+
+
+def test_free_coalescing():
+    """Three adjacent frees coalesce into one block big enough to reuse."""
+    mem = DeviceMemory(3 * 256 + 256)
+    blocks = [mem.alloc(256) for _ in range(3)]
+    for blk in blocks:
+        mem.free(blk)
+    big = mem.alloc(3 * 256)  # only satisfiable if coalesced
+    assert big.addr == blocks[0].addr
+
+
+def test_counters():
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc(1000)
+    assert mem.n_allocs == 1
+    assert mem.bytes_in_use == 1024  # rounded to granules
+    assert mem.peak_bytes == 1024
+    mem.free(a)
+    assert mem.bytes_in_use == 0
+    assert mem.peak_bytes == 1024
+
+
+def test_upload_download_roundtrip(rng):
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc(800)
+    data = rng.random(100)
+    mem.upload(a, data)
+    out = mem.download(a, np.float64, 100)
+    np.testing.assert_array_equal(out, data)
+    assert out.base is None  # download copies
+
+
+def test_upload_outside_allocation_faults():
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc(64)
+    with pytest.raises(MemoryFaultError, match="upload"):
+        mem.upload(a, np.zeros(100))  # 800 bytes into a 64-byte block
+
+
+def test_view_is_zero_copy():
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc(80)
+    view = mem.view(a, np.float64, 10)
+    view[:] = 7.0
+    assert (mem.download(a, np.float64, 10) == 7.0).all()
+
+
+def test_view_misalignment_rejected():
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc(128)
+    with pytest.raises(MemoryFaultError, match="misaligned"):
+        mem.view(a, np.float64, 4, byte_offset=4)
+
+
+def test_copy_within():
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc(80)
+    b = mem.alloc(80)
+    mem.upload(a, np.arange(10, dtype=np.float64))
+    mem.copy_within(b, a, 80)
+    np.testing.assert_array_equal(mem.download(b, np.float64, 10),
+                                  np.arange(10))
+
+
+def test_validate_catches_oob_and_freed():
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc(64)
+    addrs = np.array([a.addr, a.addr + 56], dtype=np.uint64)
+    mem.validate(addrs, 8, write=False)  # in bounds
+    with pytest.raises(MemoryFaultError, match="out-of-bounds"):
+        mem.validate(np.array([a.addr + 64], dtype=np.uint64), 8, False)
+    # straddles the end of the allocation
+    with pytest.raises(MemoryFaultError):
+        mem.validate(np.array([a.addr + 60], dtype=np.uint64), 8, False)
+    mem.free(a)
+    with pytest.raises(MemoryFaultError):
+        mem.validate(addrs, 8, False)
+
+
+def test_validate_between_allocations():
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc(64)
+    b = mem.alloc(64)
+    mem.free(a)
+    # b is alive, the hole where a was is not
+    mem.validate(np.array([b.addr], dtype=np.uint64), 8, False)
+    with pytest.raises(MemoryFaultError):
+        mem.validate(np.array([a.addr], dtype=np.uint64), 8, False)
+
+
+def test_validate_reports_faulting_lane_count():
+    mem = DeviceMemory(1 << 14)
+    mem.alloc(64)
+    bad = np.full(5, 1 << 13, dtype=np.uint64)
+    with pytest.raises(MemoryFaultError, match="5 faulting lanes"):
+        mem.validate(bad, 8, True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=8, max_value=2000), min_size=1,
+                max_size=30))
+def test_allocator_invariants(sizes):
+    """Property: live allocations never overlap and stay in bounds."""
+    mem = DeviceMemory(1 << 16)
+    live = []
+    for k, size in enumerate(sizes):
+        try:
+            a = mem.alloc(size)
+        except AllocationError:
+            if live:
+                mem.free(live.pop(0))
+            continue
+        live.append(a)
+        if k % 3 == 2 and live:
+            mem.free(live.pop(0))
+    intervals = sorted((a.addr, a.end) for a in live)
+    for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2, "allocations overlap"
+    for s, e in intervals:
+        assert 0 <= s < e <= mem.buffer.size
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 100), st.integers(0, 50))
+def test_upload_download_property(count, offset_elems):
+    mem = DeviceMemory(1 << 14)
+    a = mem.alloc((count + offset_elems) * 8)
+    data = np.arange(count, dtype=np.float64)
+    mem.upload(a, data, byte_offset=offset_elems * 8)
+    out = mem.download(a, np.float64, count, byte_offset=offset_elems * 8)
+    np.testing.assert_array_equal(out, data)

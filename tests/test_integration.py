@@ -1,0 +1,143 @@
+"""End-to-end integration scenarios spanning the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.core.matrix import build_matrix
+from repro.core.report import compare
+from repro.enums import Language, Model, SupportCategory, Vendor
+
+
+@pytest.fixture(scope="module")
+def full_matrix(system):
+    return build_matrix(system)
+
+
+def test_full_pipeline_reproduces_figure1(full_matrix):
+    """The headline result: 51/51 primary ratings match the paper."""
+    report = compare(full_matrix)
+    assert report.agreement == 1.0
+    assert report.n_full_matches == 51
+
+
+def test_matrix_internal_consistency(full_matrix):
+    for cell in full_matrix:
+        for rr in cell.routes:
+            # Categories must be re-derivable from the measured coverage.
+            from repro.core.classifier import classify_route
+
+            assert classify_route(rr.route, rr.coverage) is rr.category
+        assert cell.primary in cell.categories
+
+
+def test_route_failures_are_feature_gaps_not_crashes(full_matrix):
+    """Every probe failure across all 89 routes is a typed gap."""
+    allowed = ("UnsupportedFeatureError", "UnsupportedRouteError",
+               "UnsupportedTargetError", "TranslationError", "ApiError",
+               "LanguageError", "not exposed")
+    for cell in full_matrix:
+        for rr in cell.routes:
+            for outcome in rr.suite.failures:
+                assert any(tag in outcome.error for tag in allowed), (
+                    rr.route.route_id, outcome.probe.label, outcome.error)
+
+
+def test_one_kernel_source_runs_via_six_models(nvidia, rng):
+    """The portability pitch: one DSL kernel, six model frontends."""
+    from repro.models.cuda import Cuda
+    from repro.models.hip import Hip
+    from repro.models.kokkos import Kokkos, RangePolicy, deep_copy
+    from repro.models.openacc import OpenACC
+    from repro.models.openmp import OpenMP
+    from repro.models.sycl import Range, SyclQueue
+
+    n = 1024
+    x_h = rng.random(n)
+    expected = 2.0 * x_h
+
+    def cuda_run():
+        rt = Cuda(nvidia)
+        x = rt.to_device(x_h)
+        rt.launch_1d(KL.scale_inplace, n, [n, 2.0, x])
+        return x.copy_to_host()
+
+    def hip_run():
+        rt = Hip(nvidia)  # HIP on NVIDIA via the CUDA backend
+        x = rt.to_device(x_h)
+        rt.launch_1d(KL.scale_inplace, n, [n, 2.0, x])
+        return x.copy_to_host()
+
+    def sycl_run():
+        q = SyclQueue(nvidia)
+        x = q.to_device(x_h)
+        q.parallel_for(Range(n), KL.scale_inplace, [n, 2.0, x])
+        q.wait()
+        return x.copy_to_host()
+
+    def omp_run():
+        omp = OpenMP(nvidia, "nvhpc")
+        x = omp.to_device(x_h)
+        omp.target_loop(n, KL.scale_inplace, [n, 2.0, x])
+        return x.copy_to_host()
+
+    def acc_run():
+        acc = OpenACC(nvidia, "nvhpc")
+        x = acc.to_device(x_h)
+        acc.parallel_loop(n, KL.scale_inplace, [n, 2.0, x])
+        return x.copy_to_host()
+
+    def kokkos_run():
+        kk = Kokkos(nvidia)
+        v = kk.view("x", n)
+        deep_copy(v, x_h)
+        kk.parallel_for("scale", RangePolicy(n), KL.scale_inplace,
+                        [n, 2.0, v])
+        kk.fence()
+        out = v.create_mirror_view()
+        deep_copy(out, v)
+        return out
+
+    for runner in (cuda_run, hip_run, sycl_run, omp_run, acc_run, kokkos_run):
+        np.testing.assert_allclose(runner(), expected, err_msg=runner.__name__)
+
+
+def test_simulated_timelines_accumulate(nvidia):
+    from repro.models.cuda import Cuda
+
+    rt = Cuda(nvidia)
+    t0 = nvidia.synchronize()
+    x = rt.to_device(np.ones(1 << 18))
+    for _ in range(5):
+        rt.launch_1d(KL.scale_inplace, 1 << 18, [1 << 18, 1.0, x])
+    t1 = nvidia.synchronize()
+    assert t1 > t0
+
+
+def test_memory_is_reclaimed_across_probe_sweeps(system):
+    """A full matrix build must not leak device allocations."""
+    device = system.device(Vendor.NVIDIA)
+    before = device.memory.bytes_in_use
+    build_matrix(system, probe_filter=lambda p: p.method in (
+        "probe_kernels", "probe_queues", "probe_parallel", "probe_target",
+        "probe_for_each", "probe_do_concurrent", "probe_range_for",
+        "probe_exec", "probe_ufuncs"))
+    after = device.memory.bytes_in_use
+    assert after == before
+
+
+def test_derived_matrix_shape_claims(full_matrix):
+    """The §6 conclusion claims, from the derived (not expected) matrix."""
+    # OpenACC has no Intel support beyond the migration tool:
+    acc_intel = full_matrix.cell(Vendor.INTEL, Model.OPENACC, Language.CPP)
+    assert acc_intel.primary is SupportCategory.LIMITED
+    # SYCL reaches all three platforms:
+    for vendor in Vendor:
+        assert full_matrix.cell(vendor, Model.SYCL,
+                                Language.CPP).primary.is_usable
+    # Fortran is 'severely different': count usable cells per language.
+    usable = {Language.CPP: 0, Language.FORTRAN: 0}
+    for cell in full_matrix:
+        if cell.language in usable and cell.primary.is_usable:
+            usable[cell.language] += 1
+    assert usable[Language.CPP] >= 1.5 * usable[Language.FORTRAN]

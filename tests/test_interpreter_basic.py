@@ -1,0 +1,231 @@
+"""Interpreter arithmetic semantics, checked against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import IRBuilder, KernelExecutor, ModuleIR, dtypes, legalize
+from repro.enums import ISA
+
+
+def _run_elementwise(build_fn, inputs: dict[str, np.ndarray],
+                     out_dtype=np.float64, n=None):
+    """Build a kernel with one output array and the given input arrays."""
+    n = n if n is not None else len(next(iter(inputs.values())))
+    b = IRBuilder("k")
+    n_reg = b.param("n", dtypes.I64)
+    in_regs = {}
+    for name, arr in inputs.items():
+        in_regs[name] = b.param(name, dtypes.from_numpy(arr.dtype), pointer=True)
+    out_reg = b.param("out", dtypes.from_numpy(np.dtype(out_dtype)),
+                      pointer=True)
+    i = b.global_id()
+    with b.if_(b.lt(i, n_reg)):
+        loaded = {
+            name: b.load_elem(reg, i, dtypes.from_numpy(inputs[name].dtype))
+            for name, reg in in_regs.items()
+        }
+        result = build_fn(b, loaded)
+        b.store_elem(out_reg, i, b.cvt(result, dtypes.from_numpy(np.dtype(out_dtype))),
+                     dtypes.from_numpy(np.dtype(out_dtype)))
+    kernel = b.build()
+    mod = ModuleIR("m")
+    mod.add(kernel)
+    binary = legalize(mod, ISA.PTX, "test")
+
+    mem = np.zeros(1 << 20, dtype=np.uint8)
+    addr = 0
+    addrs = []
+    for arr in inputs.values():
+        raw = arr.view(np.uint8)
+        mem[addr:addr + raw.size] = raw
+        addrs.append(addr)
+        addr += (raw.size + 7) // 8 * 8
+    out_addr = addr
+    ex = KernelExecutor(kernel, 32, mem)
+    ex.launch(((n + 255) // 256,), (256,), [n] + addrs + [out_addr])
+    itemsize = np.dtype(out_dtype).itemsize
+    return mem[out_addr:out_addr + n * itemsize].view(out_dtype)
+
+
+@pytest.mark.parametrize("op,ref", [
+    ("add", np.add), ("sub", np.subtract), ("mul", np.multiply),
+    ("div", np.divide), ("min", np.minimum), ("max", np.maximum),
+])
+def test_float_binops(op, ref, rng):
+    a = rng.random(500) + 0.5
+    b_arr = rng.random(500) + 0.5
+    out = _run_elementwise(
+        lambda b, v: b.binop(op, v["a"], v["b"]), {"a": a, "b": b_arr}
+    )
+    np.testing.assert_allclose(out, ref(a, b_arr))
+
+
+@pytest.mark.parametrize("op,ref", [
+    ("neg", np.negative), ("abs", np.abs), ("sqrt", np.sqrt),
+    ("exp", np.exp), ("log", np.log), ("sin", np.sin), ("cos", np.cos),
+    ("tanh", np.tanh), ("floor", np.floor), ("ceil", np.ceil),
+])
+def test_float_unary(op, ref, rng):
+    a = rng.random(300) + 0.1
+    out = _run_elementwise(lambda b, v: b.unary(op, v["a"]), {"a": a})
+    np.testing.assert_allclose(out, ref(a), rtol=1e-12)
+
+
+def test_rsqrt(rng):
+    a = rng.random(100) + 0.1
+    out = _run_elementwise(lambda b, v: b.unary("rsqrt", v["a"]), {"a": a})
+    np.testing.assert_allclose(out, 1.0 / np.sqrt(a))
+
+
+def test_integer_division_truncates_toward_zero(rng):
+    """C semantics, not Python floor semantics."""
+    a = rng.integers(-100, 100, 400).astype(np.int64)
+    b_arr = rng.integers(1, 10, 400).astype(np.int64)
+    b_arr *= rng.choice([-1, 1], 400)
+    out = _run_elementwise(
+        lambda b, v: b.binop("div", v["a"], v["b"]),
+        {"a": a, "b": b_arr}, out_dtype=np.int64,
+    )
+    expected = (np.abs(a) // np.abs(b_arr)) * np.sign(a) * np.sign(b_arr)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_integer_remainder_sign_of_dividend(rng):
+    a = rng.integers(-100, 100, 400).astype(np.int64)
+    b_arr = rng.integers(1, 10, 400).astype(np.int64)
+    out = _run_elementwise(
+        lambda b, v: b.binop("rem", v["a"], v["b"]),
+        {"a": a, "b": b_arr}, out_dtype=np.int64,
+    )
+    expected = np.fmod(a, b_arr)  # fmod keeps the dividend's sign
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_integer_division_by_zero_yields_zero():
+    a = np.array([7, -7, 0, 5], dtype=np.int64)
+    b_arr = np.array([0, 0, 0, 0], dtype=np.int64)
+    out = _run_elementwise(
+        lambda b, v: b.binop("div", v["a"], v["b"]),
+        {"a": a, "b": b_arr}, out_dtype=np.int64,
+    )
+    np.testing.assert_array_equal(out, np.zeros(4, dtype=np.int64))
+
+
+@pytest.mark.parametrize("op", ["and", "or", "xor", "shl", "shr"])
+def test_integer_bitops(op, rng):
+    a = rng.integers(0, 1 << 20, 200).astype(np.int64)
+    b_arr = rng.integers(0, 8, 200).astype(np.int64)
+    refs = {"and": np.bitwise_and, "or": np.bitwise_or,
+            "xor": np.bitwise_xor, "shl": np.left_shift,
+            "shr": np.right_shift}
+    out = _run_elementwise(
+        lambda b, v: b.binop(op, v["a"], v["b"]),
+        {"a": a, "b": b_arr}, out_dtype=np.int64,
+    )
+    np.testing.assert_array_equal(out, refs[op](a, b_arr))
+
+
+@pytest.mark.parametrize("op,ref", [
+    ("eq", np.equal), ("ne", np.not_equal), ("lt", np.less),
+    ("le", np.less_equal), ("gt", np.greater), ("ge", np.greater_equal),
+])
+def test_comparisons_via_select(op, ref, rng):
+    a = rng.integers(0, 5, 300).astype(np.int64)
+    b_arr = rng.integers(0, 5, 300).astype(np.int64)
+    out = _run_elementwise(
+        lambda b, v: b.select(b.cmp(op, v["a"], v["b"]), 1.0, 0.0),
+        {"a": a, "b": b_arr},
+    )
+    np.testing.assert_array_equal(out, ref(a, b_arr).astype(np.float64))
+
+
+def test_conversions_round_trip(rng):
+    a = rng.integers(-1000, 1000, 200).astype(np.int64)
+    out = _run_elementwise(
+        lambda b, v: b.cvt(b.cvt(v["a"], dtypes.F64), dtypes.I64),
+        {"a": a}, out_dtype=np.int64,
+    )
+    np.testing.assert_array_equal(out, a)
+
+
+def test_float_to_int_truncation():
+    a = np.array([1.9, -1.9, 0.5, -0.5], dtype=np.float64)
+    out = _run_elementwise(
+        lambda b, v: b.cvt(v["a"], dtypes.I64), {"a": a}, out_dtype=np.int64,
+    )
+    np.testing.assert_array_equal(out, np.array([1, -1, 0, 0]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200),
+       st.floats(min_value=-100, max_value=100, allow_nan=False))
+def test_fma_matches_numpy(values, scalar):
+    """Property: a*x + x for arbitrary float inputs matches NumPy."""
+    a = np.array(values, dtype=np.float64)
+    out = _run_elementwise(
+        lambda b, v: b.add(b.mul(b.operand(scalar, dtypes.F64), v["a"]),
+                           v["a"]),
+        {"a": a},
+    )
+    np.testing.assert_allclose(out, scalar * a + a, rtol=1e-12)
+
+
+def test_special_registers(rng):
+    """gid = ctaid*ntid+tid over a multi-block launch."""
+    n = 1000
+    b = IRBuilder("ids")
+    n_reg = b.param("n", dtypes.I64)
+    out = b.param("out", dtypes.I64, pointer=True)
+    i = b.global_id()
+    with b.if_(b.lt(i, n_reg)):
+        b.store_elem(out, i, i, dtypes.I64)
+    kernel = b.build()
+    mem = np.zeros(1 << 14, dtype=np.uint8)
+    ex = KernelExecutor(kernel, 32, mem)
+    ex.launch(((n + 63) // 64,), (64,), [n, 0])
+    np.testing.assert_array_equal(mem[:n * 8].view(np.int64), np.arange(n))
+
+
+def test_gsize_and_grid_stride():
+    n = 10_000
+    b = IRBuilder("gs")
+    n_reg = b.param("n", dtypes.I64)
+    out = b.param("out", dtypes.F64, pointer=True)
+    i = b.global_id()
+    stride = b.global_size()
+    cursor = b.named("c", dtypes.I64)
+    b.mov(cursor, i)
+    with b.while_() as loop:
+        with loop.cond():
+            loop.set_cond(b.lt(cursor, n_reg))
+        b.store_elem(out, cursor, 1.0, dtypes.F64)
+        b.mov(cursor, b.add(cursor, stride))
+    kernel = b.build()
+    mem = np.zeros(n * 8 + 64, dtype=np.uint8)
+    ex = KernelExecutor(kernel, 32, mem)
+    ex.launch((4,), (128,), [n, 0])  # far fewer threads than elements
+    np.testing.assert_array_equal(mem[:n * 8].view(np.float64), np.ones(n))
+
+
+def test_2d_and_3d_launch_geometry():
+    b = IRBuilder("geo")
+    out = b.param("out", dtypes.I64, pointer=True)
+    x = b.global_id(0)
+    y = b.global_id(1)
+    z = b.global_id(2)
+    ny = b.cvt(b.mul(b.special("nctaid.y"), b.cvt(b.special("ntid.y"),
+                                                  dtypes.U32)), dtypes.I64)
+    nx = b.cvt(b.mul(b.special("nctaid.x"), b.cvt(b.special("ntid.x"),
+                                                  dtypes.U32)), dtypes.I64)
+    linear = b.add(b.mul(b.add(b.mul(z, ny), y), nx), x)
+    b.store_elem(out, linear, linear, dtypes.I64)
+    kernel = b.build()
+    total = 4 * 4 * 4  # (2 blocks x 2 threads) per dimension
+    mem = np.zeros(total * 8 + 64, dtype=np.uint8)
+    ex = KernelExecutor(kernel, 32, mem)
+    ex.launch((2, 2, 2), (2, 2, 2), [0])
+    np.testing.assert_array_equal(mem[:total * 8].view(np.int64),
+                                  np.arange(total))

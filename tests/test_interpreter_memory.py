@@ -1,0 +1,220 @@
+"""Interpreter memory semantics: global/shared access, faults, atomics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DivergentBarrierError, MemoryFaultError
+from repro.isa import IRBuilder, KernelExecutor, dtypes
+
+
+def _exec(kernel, grid, block, args, mem_bytes=1 << 16, warp_size=32,
+          validator=None):
+    mem = np.zeros(mem_bytes, dtype=np.uint8)
+    ex = KernelExecutor(kernel, warp_size, mem, validator=validator)
+    stats = ex.launch(grid, block, args)
+    return mem, stats
+
+
+def test_gather_scatter_arbitrary_indices(rng):
+    """Indirect addressing: out[perm[i]] = data[i]."""
+    n = 256
+    b = IRBuilder("k")
+    data = b.param("data", dtypes.F64, pointer=True)
+    perm = b.param("perm", dtypes.I64, pointer=True)
+    out = b.param("out", dtypes.F64, pointer=True)
+    i = b.global_id()
+    target = b.load_elem(perm, i, dtypes.I64)
+    value = b.load_elem(data, i, dtypes.F64)
+    b.store_elem(out, target, value, dtypes.F64)
+    kernel = b.build()
+
+    data_h = rng.random(n)
+    perm_h = rng.permutation(n).astype(np.int64)
+    mem = np.zeros(1 << 16, dtype=np.uint8)
+    mem[:n * 8] = data_h.view(np.uint8)
+    mem[n * 8:2 * n * 8] = perm_h.view(np.uint8)
+    ex = KernelExecutor(kernel, 32, mem)
+    ex.launch((1,), (n,), [0, n * 8, 2 * n * 8])
+    got = mem[2 * n * 8:3 * n * 8].view(np.float64)
+    expected = np.zeros(n)
+    expected[perm_h] = data_h
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_misaligned_access_faults():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64, pointer=True)
+    i = b.global_id()
+    addr = b.add(b.cvt(x, dtypes.U64), b.cvt(i, dtypes.U64))  # byte offsets!
+    b.store(addr, b.operand(1.0, dtypes.F64))
+    with pytest.raises(MemoryFaultError, match="misaligned"):
+        _exec(b.build(), (1,), (8,), [4])  # addr 4+lane not 8-aligned
+
+
+def test_out_of_bounds_faults_without_validator():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64, pointer=True)
+    i = b.global_id()
+    b.store_elem(x, i, 1.0, dtypes.F64)
+    with pytest.raises(MemoryFaultError):
+        _exec(b.build(), (1,), (64,), [1 << 16], mem_bytes=1 << 10)
+
+
+def test_validator_hook_called():
+    calls = []
+
+    def validator(addrs, itemsize, write):
+        calls.append((addrs.size, itemsize, write))
+
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64, pointer=True)
+    i = b.global_id()
+    v = b.load_elem(x, i, dtypes.F64)
+    b.store_elem(x, i, b.mul(v, 2.0), dtypes.F64)
+    _exec(b.build(), (1,), (32,), [0], validator=validator)
+    assert (32, 8, False) in calls  # the load
+    assert (32, 8, True) in calls  # the store
+
+
+def test_inactive_lanes_do_not_fault():
+    """Masked-off lanes may hold garbage addresses without faulting."""
+    b = IRBuilder("k")
+    n = b.param("n", dtypes.I64)
+    x = b.param("x", dtypes.F64, pointer=True)
+    i = b.global_id()
+    with b.if_(b.lt(i, n)):
+        b.store_elem(x, i, 1.0, dtypes.F64)  # i up to 255 would be OOB
+    mem, _ = _exec(b.build(), (1,), (256,), [4, 0], mem_bytes=1 << 10)
+    assert mem[:4 * 8].view(np.float64).sum() == 4.0
+
+
+def test_shared_memory_private_per_block():
+    """Each block sees its own zero-initialized shared tile."""
+    b = IRBuilder("k")
+    out = b.param("out", dtypes.F64, pointer=True)
+    tile = b.shared_alloc(dtypes.F64, 64)
+    t = b.cvt(b.special("tid.x"), dtypes.I64)
+    blk = b.cvt(b.special("ctaid.x"), dtypes.I64)
+    # Each thread adds its block id+1 into shared slot t, then reads back.
+    b.store_elem(tile, t, b.cvt(b.add(blk, 1), dtypes.F64), dtypes.F64,
+                 space="shared")
+    b.barrier()
+    value = b.load_elem(tile, t, dtypes.F64, space="shared")
+    i = b.global_id()
+    b.store_elem(out, i, value, dtypes.F64)
+    mem, stats = _exec(b.build(), (4,), (64,), [0], mem_bytes=1 << 14)
+    got = mem[:256 * 8].view(np.float64)
+    expected = np.repeat(np.arange(1.0, 5.0), 64)
+    np.testing.assert_array_equal(got, expected)
+    assert stats.batches == 4  # shared memory forces per-block batches
+
+
+def test_shared_memory_out_of_bounds():
+    b = IRBuilder("k")
+    b.param("out", dtypes.F64, pointer=True)
+    tile = b.shared_alloc(dtypes.F64, 8)
+    t = b.cvt(b.special("tid.x"), dtypes.I64)
+    b.store_elem(tile, t, 1.0, dtypes.F64, space="shared")
+    with pytest.raises(MemoryFaultError, match="shared"):
+        _exec(b.build(), (1,), (64,), [0])
+
+
+def test_divergent_barrier_raises():
+    b = IRBuilder("k")
+    b.param("out", dtypes.F64, pointer=True)
+    t = b.cvt(b.special("tid.x"), dtypes.I64)
+    with b.if_(b.lt(t, 16)):
+        b.barrier()
+    with pytest.raises(DivergentBarrierError, match="16 of 64"):
+        _exec(b.build(), (1,), (64,), [0])
+
+
+def test_barrier_after_exit_is_legal():
+    """Exited lanes are excluded from the barrier arrival set."""
+    b = IRBuilder("k")
+    out = b.param("out", dtypes.F64, pointer=True)
+    t = b.cvt(b.special("tid.x"), dtypes.I64)
+    with b.if_(b.ge(t, 32)):
+        b.exit()
+    b.barrier()
+    b.store_elem(out, t, 1.0, dtypes.F64)
+    mem, _ = _exec(b.build(), (1,), (64,), [0])
+    assert mem[:32 * 8].view(np.float64).sum() == 32
+
+
+def test_atomic_add_contention():
+    """All threads hammer one counter; the total is exact."""
+    b = IRBuilder("k")
+    counter = b.param("counter", dtypes.I64, pointer=True)
+    b.atomic("add", b.elem_addr(counter, 0, dtypes.I64),
+             b.operand(1, dtypes.I64))
+    mem, stats = _exec(b.build(), (16,), (256,), [0])
+    assert mem[:8].view(np.int64)[0] == 16 * 256
+    assert stats.atomic_ops == 16 * 256
+
+
+def test_atomic_add_returns_unique_old_values():
+    """With duplicates in one batch, returned old values are a valid
+    serialization: all distinct, covering 0..n-1."""
+    b = IRBuilder("k")
+    counter = b.param("counter", dtypes.I64, pointer=True)
+    out = b.param("out", dtypes.I64, pointer=True)
+    i = b.global_id()
+    old = b.atomic("add", b.elem_addr(counter, 0, dtypes.I64),
+                   b.operand(1, dtypes.I64), want_old=True)
+    b.store_elem(out, i, old, dtypes.I64)
+    mem, _ = _exec(b.build(), (1,), (256,), [0, 64])
+    olds = mem[64:64 + 256 * 8].view(np.int64)
+    np.testing.assert_array_equal(np.sort(olds), np.arange(256))
+
+
+def test_atomic_min_max():
+    b = IRBuilder("k")
+    lo = b.param("lo", dtypes.I64, pointer=True)
+    hi = b.param("hi", dtypes.I64, pointer=True)
+    i = b.global_id()
+    b.atomic("min", b.elem_addr(lo, 0, dtypes.I64), i)
+    b.atomic("max", b.elem_addr(hi, 0, dtypes.I64), i)
+    mem = np.zeros(1 << 12, dtype=np.uint8)
+    mem[:8].view(np.int64)[0] = 10**9
+    ex = KernelExecutor(b.build(), 32, mem)
+    ex.launch((2,), (128,), [0, 8])
+    assert mem[:8].view(np.int64)[0] == 0
+    assert mem[8:16].view(np.int64)[0] == 255
+
+
+def test_atomic_cas_lock_like():
+    """Every lane CASes 0->lane+1 on one word; exactly one wins per batch
+    step and the winner's id lands in the slot."""
+    b = IRBuilder("k")
+    slot = b.param("slot", dtypes.I64, pointer=True)
+    won = b.param("won", dtypes.I64, pointer=True)
+    i = b.global_id()
+    old = b.atomic("cas", b.elem_addr(slot, 0, dtypes.I64),
+                   b.add(i, b.operand(1, dtypes.I64)),
+                   dtype=dtypes.I64, compare=0)
+    with b.if_(b.eq(old, 0)):
+        b.atomic("add", b.elem_addr(won, 0, dtypes.I64),
+                 b.operand(1, dtypes.I64))
+    mem, _ = _exec(b.build(), (1,), (128,), [0, 8])
+    assert mem[8:16].view(np.int64)[0] == 1  # exactly one winner
+    winner = mem[:8].view(np.int64)[0]
+    assert 1 <= winner <= 128
+
+
+def test_float_atomic_add_precision(rng):
+    values = rng.random(512)
+    b = IRBuilder("k")
+    n = b.param("n", dtypes.I64)
+    x = b.param("x", dtypes.F64, pointer=True)
+    total = b.param("total", dtypes.F64, pointer=True)
+    i = b.global_id()
+    with b.if_(b.lt(i, n)):
+        v = b.load_elem(x, i, dtypes.F64)
+        b.atomic("add", b.elem_addr(total, 0, dtypes.F64), v, dtype=dtypes.F64)
+    mem = np.zeros(1 << 14, dtype=np.uint8)
+    mem[:512 * 8] = values.view(np.uint8)
+    ex = KernelExecutor(b.build(), 32, mem)
+    ex.launch((2,), (256,), [512, 0, 512 * 8])
+    got = mem[512 * 8:512 * 8 + 8].view(np.float64)[0]
+    assert np.isclose(got, values.sum())

@@ -1,0 +1,130 @@
+"""Cross-lane shuffles under the three execution widths."""
+
+import numpy as np
+import pytest
+
+from repro.isa import IRBuilder, KernelExecutor, dtypes
+
+
+def _shuffle_kernel(mode):
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64, pointer=True)
+    out = b.param("out", dtypes.F64, pointer=True)
+    lane_arg = b.param("lane", dtypes.I64)
+    i = b.global_id()
+    v = b.load_elem(x, i, dtypes.F64)
+    shuffled = b.shuffle(mode, v, b.cvt(lane_arg, dtypes.U32))
+    b.store_elem(out, i, shuffled, dtypes.F64)
+    return b.build()
+
+
+def _run(kernel, n, lane, warp_size, block=None):
+    block = block or n
+    mem = np.zeros(1 << 14, dtype=np.uint8)
+    mem[:n * 8] = np.arange(n, dtype=np.float64).view(np.uint8)
+    ex = KernelExecutor(kernel, warp_size, mem)
+    ex.launch(((n + block - 1) // block,), (block,), [0, n * 8, lane])
+    return mem[n * 8:2 * n * 8].view(np.float64)
+
+
+@pytest.mark.parametrize("warp", [16, 32, 64])
+def test_shfl_down(warp):
+    n = warp * 2
+    out = _run(_shuffle_kernel("down"), n, 1, warp)
+    lanes = np.arange(n)
+    in_warp = lanes % warp
+    expected = np.where(in_warp + 1 < warp, lanes + 1, lanes).astype(float)
+    np.testing.assert_array_equal(out, expected)
+
+
+@pytest.mark.parametrize("warp", [16, 32, 64])
+def test_shfl_up(warp):
+    n = warp * 2
+    out = _run(_shuffle_kernel("up"), n, 1, warp)
+    lanes = np.arange(n)
+    in_warp = lanes % warp
+    expected = np.where(in_warp >= 1, lanes - 1, lanes).astype(float)
+    np.testing.assert_array_equal(out, expected)
+
+
+@pytest.mark.parametrize("warp", [16, 32, 64])
+def test_shfl_xor_butterfly(warp):
+    n = warp
+    out = _run(_shuffle_kernel("xor"), n, 1, warp)
+    expected = (np.arange(n) ^ 1).astype(float)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_shfl_idx_broadcast():
+    """idx mode broadcasts one lane's value across the warp."""
+    warp = 32
+    out = _run(_shuffle_kernel("idx"), warp, 5, warp)
+    np.testing.assert_array_equal(out, np.full(warp, 5.0))
+
+
+def test_partial_warp_clamps_to_own_value():
+    """The trailing partial warp keeps own values for OOB targets."""
+    warp = 32
+    block = 40  # one full warp + 8-lane partial warp
+    out = _run(_shuffle_kernel("down"), block, 1, warp, block=block)
+    lanes = np.arange(block)
+    in_warp = lanes % warp
+    warp_len = np.where(lanes < 32, 32, 8)
+    expected = np.where(in_warp + 1 < warp_len, lanes + 1, lanes).astype(float)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_warps_do_not_cross_blocks():
+    """Lane 31 of block 0 must not read lane 0 of block 1."""
+    warp = 32
+    kernel = _shuffle_kernel("down")
+    out = _run(kernel, 64, 1, warp, block=32)  # two single-warp blocks
+    # last lane of each block keeps its own value
+    assert out[31] == 31.0
+    assert out[63] == 63.0
+
+
+def test_warp_reduction_via_shuffles():
+    """The classic shfl_down tree reduces a warp to lane 0."""
+    warp = 32
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64, pointer=True)
+    out = b.param("out", dtypes.F64, pointer=True)
+    i = b.global_id()
+    acc = b.named("acc", dtypes.F64)
+    b.mov(acc, b.load_elem(x, i, dtypes.F64))
+    offset = b.named("off", dtypes.I64)
+    b.mov(offset, 16)
+    with b.while_() as loop:
+        with loop.cond():
+            loop.set_cond(b.gt(offset, 0))
+        b.mov(acc, b.add(acc, b.shuffle("down", acc, b.cvt(offset, dtypes.U32))))
+        b.mov(offset, b.div(offset, b.operand(2, dtypes.I64)))
+    with b.if_(b.eq(b.cvt(b.special("laneid"), dtypes.I64), 0)):
+        b.store_elem(out, b.div(i, b.operand(32, dtypes.I64)), acc, dtypes.F64)
+    kernel = b.build()
+    n = 128
+    mem = np.zeros(1 << 14, dtype=np.uint8)
+    values = np.arange(n, dtype=np.float64)
+    mem[:n * 8] = values.view(np.uint8)
+    ex = KernelExecutor(kernel, warp, mem)
+    ex.launch((1,), (n,), [0, n * 8])
+    got = mem[n * 8:n * 8 + 4 * 8].view(np.float64)
+    expected = values.reshape(4, 32).sum(axis=1)
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_laneid_and_warpsize_specials():
+    b = IRBuilder("k")
+    lanes = b.param("lanes", dtypes.I64, pointer=True)
+    sizes = b.param("sizes", dtypes.I64, pointer=True)
+    i = b.global_id()
+    b.store_elem(lanes, i, b.cvt(b.special("laneid"), dtypes.I64), dtypes.I64)
+    b.store_elem(sizes, i, b.cvt(b.special("warpsize"), dtypes.I64), dtypes.I64)
+    kernel = b.build()
+    mem = np.zeros(1 << 14, dtype=np.uint8)
+    ex = KernelExecutor(kernel, 64, mem)
+    ex.launch((1,), (128,), [0, 128 * 8])
+    np.testing.assert_array_equal(mem[:128 * 8].view(np.int64),
+                                  np.arange(128) % 64)
+    assert (mem[128 * 8:256 * 8].view(np.int64) == 64).all()

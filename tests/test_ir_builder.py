@@ -1,0 +1,200 @@
+"""IR builder: emission, operand coercion, structured control flow."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.isa import IRBuilder
+from repro.isa import dtypes
+from repro.isa.instructions import (
+    BinOp, Cmp, Cvt, If, Imm, Mov, SharedAlloc, While, walk,
+)
+
+
+def test_param_registers():
+    b = IRBuilder("k")
+    n = b.param("n", dtypes.I64)
+    p = b.param("x", dtypes.F64, pointer=True)
+    assert n.dtype is dtypes.I64
+    # Pointer params carry addresses, so their register is u64.
+    assert p.dtype is dtypes.U64
+    kernel = b.build()
+    assert [prm.name for prm in kernel.params] == ["n", "x"]
+    assert kernel.params[1].is_pointer
+
+
+def test_duplicate_param_rejected():
+    b = IRBuilder("k")
+    b.param("n", dtypes.I64)
+    with pytest.raises(IRError, match="duplicate parameter"):
+        b.param("n", dtypes.F64)
+
+
+def test_fresh_registers_unique():
+    b = IRBuilder("k")
+    regs = {b.fresh(dtypes.F64).name for _ in range(100)}
+    assert len(regs) == 100
+
+
+def test_binop_promotes_mixed_operands():
+    b = IRBuilder("k")
+    i = b.param("i", dtypes.I32)
+    f = b.param("f", dtypes.F64)
+    out = b.add(i, f)
+    assert out.dtype is dtypes.F64
+    # A Cvt must have been inserted for the i32 operand.
+    kernel = b.build()
+    assert any(isinstance(instr, Cvt) for instr in walk(kernel.body))
+
+
+def test_python_number_takes_other_operands_dtype():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F32)
+    out = b.mul(x, 2)
+    assert out.dtype is dtypes.F32
+    binop = next(i for i in b.build().body if isinstance(i, BinOp))
+    assert isinstance(binop.b, Imm)
+    assert binop.b.dtype is dtypes.F32
+
+
+def test_imm_normalizes_through_numpy():
+    assert Imm(3, dtypes.F64).value == 3.0
+    assert isinstance(Imm(3, dtypes.F64).value, float)
+    assert Imm(2**32 + 5, dtypes.U32).value == 5  # wraps like the hardware
+
+
+def test_unknown_ops_rejected():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64)
+    with pytest.raises(IRError):
+        b.binop("bogus", x, x)
+    with pytest.raises(IRError):
+        b.unary("bogus", x)
+    with pytest.raises(IRError):
+        b.cmp("bogus", x, x)
+    with pytest.raises(IRError):
+        b.shuffle("bogus", x, 0)
+
+
+def test_cmp_produces_predicate():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64)
+    p = b.lt(x, 1.0)
+    assert p.dtype is dtypes.PRED
+
+
+def test_transcendental_int_operand_widens_to_f64():
+    b = IRBuilder("k")
+    i = b.param("i", dtypes.I64)
+    out = b.unary("sqrt", i)
+    assert out.dtype is dtypes.F64
+
+
+def test_elem_addr_scales_by_itemsize():
+    b = IRBuilder("k")
+    base = b.param("x", dtypes.F64, pointer=True)
+    addr = b.elem_addr(base, 3, dtypes.F64)
+    assert addr.dtype is dtypes.U64
+    muls = [i for i in b.build().body if isinstance(i, BinOp) and i.op == "mul"]
+    assert any(isinstance(m.b, Imm) and m.b.value == 8 for m in muls)
+
+
+def test_if_orelse_structure():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64)
+    with b.if_(b.gt(x, 0.0)) as iff:
+        b.mov(b.named("v", dtypes.F64), 1.0)
+    with b.orelse(iff):
+        b.mov(b.named("v", dtypes.F64), 2.0)
+    kernel = b.build()
+    ifs = [i for i in kernel.body if isinstance(i, If)]
+    assert len(ifs) == 1
+    assert len(ifs[0].then_body) == 1
+    assert len(ifs[0].else_body) == 1
+
+
+def test_while_requires_condition():
+    b = IRBuilder("k")
+    b.param("x", dtypes.F64)
+    with pytest.raises(IRError, match="set_cond"):
+        with b.while_():
+            pass
+
+
+def test_while_condition_must_be_pred():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64)
+    with pytest.raises(IRError, match="predicate"):
+        with b.while_() as loop:
+            with loop.cond():
+                loop.set_cond(x)  # not a predicate
+
+
+def test_for_range_desugars_to_while():
+    b = IRBuilder("k")
+    acc = b.named("acc", dtypes.I64)
+    b.mov(acc, 0)
+    with b.for_range(0, 10) as i:
+        b.mov(acc, b.add(acc, i))
+    kernel = b.build()
+    assert any(isinstance(instr, While) for instr in kernel.body)
+
+
+def test_shared_alloc_top_level_only():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64)
+    with b.if_(b.gt(x, 0.0)):
+        with pytest.raises(IRError, match="top level"):
+            b.shared_alloc(dtypes.F64, 16)
+
+
+def test_shared_alloc_feature_tag():
+    b = IRBuilder("k")
+    b.shared_alloc(dtypes.F64, 16)
+    assert "shared_memory" in b.build().features
+
+
+def test_feature_tags_collected():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64, pointer=True)
+    b.barrier()
+    b.atomic("add", b.elem_addr(x, 0, dtypes.F64), 1.0, dtype=dtypes.F64)
+    b.shuffle("down", b.load_elem(x, 0, dtypes.F64), 1)
+    features = b.build().features
+    assert {"barrier", "atomics", "shuffle"} <= features
+
+
+def test_cas_requires_compare_value():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64, pointer=True)
+    addr = b.elem_addr(x, 0, dtypes.F64)
+    old = b.atomic("cas", addr, 1.0, dtype=dtypes.F64, compare=0.0)
+    assert old is not None
+    assert old.dtype is dtypes.F64
+
+
+def test_mov_auto_converts():
+    b = IRBuilder("k")
+    dst = b.named("v", dtypes.F32)
+    b.mov(dst, Imm(1, dtypes.I64))
+    movs = [i for i in b.build().body if isinstance(i, Mov)]
+    assert movs[-1].src.dtype is dtypes.F32
+
+
+def test_build_runs_verifier():
+    b = IRBuilder("k")
+    undefined = b.named("ghost", dtypes.F64)
+    b.emit(Mov(b.fresh(dtypes.F64), undefined))
+    from repro.errors import VerificationError
+
+    with pytest.raises(VerificationError):
+        b.build()
+
+
+def test_instruction_count_and_repr():
+    b = IRBuilder("k")
+    x = b.param("x", dtypes.F64)
+    with b.if_(b.gt(x, 0.0)):
+        b.mov(b.named("y", dtypes.F64), x)
+    kernel = b.build()
+    assert kernel.instruction_count() >= 3
+    assert "k(" in repr(kernel)

@@ -1,0 +1,78 @@
+"""Late additions: Flang CUDA Fortran, PyOpenCL, MI300A."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.core.matrix import evaluate_route
+from repro.core.routes import all_routes, routes_for
+from repro.enums import Language, Maturity, Model, SupportCategory, Vendor
+
+
+def test_flang_cuda_fortran_route(system):
+    """Description 2: 'CUDA Fortran support was also merged into Flang'."""
+    routes = routes_for(Vendor.NVIDIA, Model.CUDA, Language.FORTRAN)
+    ids = {r.route_id for r in routes}
+    assert ids == {"nv-cuda-f-nvhpc", "nv-cuda-f-flang"}
+    flang = next(r for r in routes if r.route_id == "nv-cuda-f-flang")
+    assert flang.maturity is Maturity.EXPERIMENTAL
+    result = evaluate_route(flang, system)
+    # Young upstream support: kernels work, !$cuf/streams/events do not.
+    assert 0 < result.coverage < 1.0
+    assert result.category is SupportCategory.LIMITED
+    # The cell's primary rating is still NVHPC's full support.
+    nvhpc = next(r for r in routes if r.route_id == "nv-cuda-f-nvhpc")
+    assert evaluate_route(nvhpc, system).category is SupportCategory.FULL
+
+
+def test_flang_cuda_runs_basic_kernels(nvidia):
+    from repro.models.cuda import Cuda
+
+    rt = Cuda(nvidia, "flang-cuda", language=Language.FORTRAN)
+    x = rt.to_device(np.ones(256))
+    rt.launch_1d(KL.scale_inplace, 256, [256, 2.0, x])
+    assert (x.copy_to_host() == 2.0).all()
+    from repro.errors import UnsupportedFeatureError
+
+    with pytest.raises(UnsupportedFeatureError):
+        Cuda(nvidia, "flang-cuda", language=Language.FORTRAN).probe_cuf_kernels()
+
+
+def test_pyopencl_package(amd, rng):
+    """Description 30: 'Bindings to OpenCL also exist (PyOpenCL)'."""
+    from repro.models.pymodels import PACKAGES_BY_VENDOR, make_package
+
+    assert "pyopencl" in PACKAGES_BY_VENDOR[Vendor.AMD]
+    pkg = make_package("pyopencl", amd)
+    assert pkg.backend == "opencl"
+    x_h = rng.random(512)
+    x = pkg.asarray(x_h)
+    y = 2.0 * x + x
+    np.testing.assert_allclose(y.get(), 3.0 * x_h)
+    assert np.isclose(y.sum(), 3.0 * x_h.sum())
+
+
+def test_pyopencl_route_stays_limited(system):
+    route = next(r for r in all_routes() if r.route_id == "amd-py-pyopencl")
+    result = evaluate_route(route, system)
+    assert result.category is SupportCategory.LIMITED  # 4/6 bindings
+    assert result.coverage == pytest.approx(4 / 6)
+
+
+def test_mi300a_in_catalog():
+    from repro.gpu.specs import SPEC_CATALOG
+
+    spec = SPEC_CATALOG["MI300A"]
+    assert spec.vendor is Vendor.AMD
+    assert spec.bandwidth_gbs > SPEC_CATALOG["MI250X-GCD"].bandwidth_gbs
+    assert spec.fp64_gflops > SPEC_CATALOG["MI250X-GCD"].fp64_gflops
+
+
+def test_matrix_agreement_still_perfect_after_additions(system):
+    """The new routes must not disturb any Figure 1 rating."""
+    from repro.core.matrix import build_matrix
+    from repro.core.report import compare
+
+    report = compare(build_matrix(system))
+    assert report.agreement == 1.0
+    assert report.n_full_matches == 51

@@ -1,0 +1,194 @@
+"""CUDA and HIP runtime models: API semantics and platform behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.enums import ISA, Language, Model
+from repro.errors import ApiError, LaunchError, UnsupportedFeatureError
+from repro.frontends import f64, i64, kernel
+from repro.models.cuda import Cuda
+from repro.models.hip import Hip
+
+
+def test_cuda_malloc_memcpy_roundtrip(nvidia, rng):
+    rt = Cuda(nvidia)
+    data = rng.random(1000)
+    d = rt.cudaMallocTyped(np.float64, 1000)
+    rt.cudaMemcpyHtoD(d, data)
+    out = rt.cudaMemcpyDtoH(d)
+    np.testing.assert_array_equal(out, data)
+    rt.cudaFree(d)
+    with pytest.raises(ApiError, match="freed"):
+        d.addr
+
+
+def test_cuda_kernel_launch_named_api(nvidia):
+    rt = Cuda(nvidia)
+    n = 512
+    x = rt.to_device(np.ones(n))
+    y = rt.to_device(np.full(n, 3.0))
+    rt.cudaLaunchKernel(KL.axpy, (2,), (256,), [n, 2.0, x, y])
+    np.testing.assert_array_equal(y.copy_to_host(), np.full(n, 5.0))
+
+
+def test_cuda_dtod_copy(nvidia):
+    rt = Cuda(nvidia)
+    a = rt.to_device(np.arange(10.0))
+    b = rt.cudaMallocTyped(np.float64, 10)
+    rt.cudaMemcpyDtoD(b, a)
+    np.testing.assert_array_equal(b.copy_to_host(), np.arange(10.0))
+
+
+def test_cuda_stream_wait_event_chains(nvidia):
+    rt = Cuda(nvidia)
+    s1, s2 = rt.cudaStreamCreate(), rt.cudaStreamCreate()
+    n = 1 << 16
+    x = rt.to_device(np.ones(n))
+    rt.launch_1d(KL.scale_inplace, n, [n, 2.0, x], stream=s1,
+                 extra_features=("cuda:streams",))
+    event = rt.cudaEventCreate()
+    rt.cudaEventRecord(event, s1)
+    rt.cudaStreamWaitEvent(s2, event)
+    rt.launch_1d(KL.scale_inplace, n, [n, 3.0, x], stream=s2,
+                 extra_features=("cuda:streams",))
+    rt.cudaStreamSynchronize(s2)
+    assert s2.tail_s >= s1.tail_s
+    np.testing.assert_array_equal(x.copy_to_host(), np.full(n, 6.0))
+
+
+def test_cuda_graph_capture_semantics(nvidia):
+    rt = Cuda(nvidia)
+    n = 256
+    x = rt.to_device(np.ones(n))
+    rt.cudaGraphBeginCapture()
+    rt.launch_1d(KL.scale_inplace, n, [n, 2.0, x])
+    # captured launches must not execute yet
+    graph = rt.cudaGraphEndCapture()
+    np.testing.assert_array_equal(x.copy_to_host(), np.ones(n))
+    graph.launch()
+    graph.launch()
+    np.testing.assert_array_equal(x.copy_to_host(), np.full(n, 4.0))
+    assert graph.launches == 2
+
+
+def test_cuda_graph_capture_misuse(nvidia):
+    rt = Cuda(nvidia)
+    with pytest.raises(ApiError, match="no graph capture"):
+        rt.cudaGraphEndCapture()
+    rt.cudaGraphBeginCapture()
+    with pytest.raises(ApiError, match="already in progress"):
+        rt.cudaGraphBeginCapture()
+
+
+def test_cooperative_launch_capacity_gate(nvidia):
+    rt = Cuda(nvidia)
+    too_many = nvidia.spec.max_resident_threads + 1024
+    x = rt.to_device(np.ones(256))
+    with pytest.raises(LaunchError, match="cooperative"):
+        rt.cudaLaunchCooperativeKernel(
+            KL.scale_inplace, (too_many // 256,), (256,), [256, 2.0, x])
+
+
+def test_cublas_layer(nvidia, rng):
+    rt = Cuda(nvidia)
+    n = 1024
+    x_h, y_h = rng.random(n), rng.random(n)
+    x, y = rt.to_device(x_h), rt.to_device(y_h)
+    rt.cublasDaxpy(n, 2.0, x, y)
+    assert np.isclose(rt.cublasDdot(n, x, y), x_h @ (2.0 * x_h + y_h))
+
+
+def test_cublas_gemv(nvidia, rng):
+    rt = Cuda(nvidia)
+    m, n = 16, 8
+    a_h = rng.random((m, n))
+    x_h = rng.random(n)
+    y_h = rng.random(m)
+    a, x, y = rt.to_device(a_h), rt.to_device(x_h), rt.to_device(y_h)
+    rt.cublasDgemv(m, n, 2.0, a, x, 0.5, y)
+    np.testing.assert_allclose(y.copy_to_host(), 2.0 * a_h @ x_h + 0.5 * y_h)
+
+
+def test_cuda_fortran_requires_nvhpc(nvidia):
+    rt = Cuda(nvidia, language=Language.FORTRAN)
+    assert rt.toolchain.name == "nvhpc"
+    # nvcc cannot compile CUDA Fortran:
+    from repro.errors import UnsupportedRouteError
+
+    bad = Cuda(nvidia, "nvcc", language=Language.FORTRAN)
+    with pytest.raises(UnsupportedRouteError):
+        bad.probe_kernels()
+
+
+def test_cuf_kernels_only_in_cuda_fortran(nvidia):
+    cpp_rt = Cuda(nvidia)
+    with pytest.raises(ApiError, match="cuf kernels"):
+        cpp_rt.cuf_kernel_do(KL.scale_inplace, 16, [16, 2.0, None])
+
+
+def test_hip_mirrors_cuda_api(amd):
+    rt = Hip(amd)
+    for cuda_name, hip_name in (
+        ("cudaMalloc", "hipMalloc"), ("cudaMemcpyHtoD", "hipMemcpyHtoD"),
+        ("cudaStreamCreate", "hipStreamCreate"),
+        ("cudaEventCreate", "hipEventCreate"),
+        ("cublasDaxpy", "hipblasDaxpy"),
+    ):
+        assert hasattr(rt, hip_name), hip_name
+        assert not hasattr(rt, cuda_name), cuda_name
+
+
+def test_hip_platform_follows_device(amd, nvidia):
+    assert Hip(amd).hip_platform == "amd"
+    assert Hip(nvidia).hip_platform == "nvidia"
+
+
+def test_hip_same_source_both_platforms(amd, nvidia, rng):
+    """Description 3/20: one HIP program, AMD and NVIDIA devices."""
+    n = 2048
+    x_h = rng.random(n)
+    for device, isa in ((amd, ISA.AMDGCN), (nvidia, ISA.PTX)):
+        rt = Hip(device)
+        x = rt.to_device(x_h)
+        rt.hipLaunchKernelGGL(KL.scale_inplace, (8,), (256,), [n, 2.0, x])
+        np.testing.assert_allclose(x.copy_to_host(), 2.0 * x_h)
+        binary = rt.compile([KL.scale_inplace], rt._kernel_tags())
+        assert binary.isa is isa  # hipcc really swapped backends
+
+
+def test_hipfort_feature_gaps(amd):
+    rt = Hip(amd, language=Language.FORTRAN)
+    assert rt.toolchain.name == "hipfort"
+    rt.probe_kernels()
+    with pytest.raises(UnsupportedFeatureError):
+        Hip(amd, language=Language.FORTRAN).probe_events()
+    with pytest.raises(UnsupportedFeatureError):
+        Hip(amd, language=Language.FORTRAN).probe_graphs()
+
+
+def test_user_defined_kernel_through_cuda(nvidia):
+    @kernel
+    def fused(n: i64, a: f64, x: f64[:], y: f64[:], out: f64[:]):
+        i = gid(0)
+        if i < n:
+            out[i] = sqrt(a * x[i] * x[i] + y[i] * y[i])
+
+    rt = Cuda(nvidia)
+    n = 500
+    rng = np.random.default_rng(0)
+    x_h, y_h = rng.random(n), rng.random(n)
+    x, y = rt.to_device(x_h), rt.to_device(y_h)
+    out = rt.cudaMallocTyped(np.float64, n)
+    rt.launch_1d(fused, n, [n, 4.0, x, y, out])
+    np.testing.assert_allclose(out.copy_to_host(),
+                               np.sqrt(4.0 * x_h**2 + y_h**2))
+
+
+def test_compile_cache_reuses_binaries(nvidia):
+    rt = Cuda(nvidia)
+    b1 = rt.compile([KL.axpy], rt._kernel_tags())
+    b2 = rt.compile([KL.axpy], rt._kernel_tags())
+    assert b1 is b2
+    b3 = rt.compile([KL.axpy], rt._kernel_tags() + ("cuda:graphs",))
+    assert b3 is not b1

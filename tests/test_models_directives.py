@@ -1,0 +1,199 @@
+"""OpenMP and OpenACC models: directive parsing and offload semantics."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.enums import Language
+from repro.errors import ApiError, DirectiveError, UnsupportedFeatureError
+from repro.models.openacc import OpenACC, parse_acc_directive
+from repro.models.openmp import OpenMP, parse_directive
+
+F = Language.FORTRAN
+
+
+# -- OpenMP directive parser -------------------------------------------------
+
+
+def test_parse_combined_construct():
+    d = parse_directive("target teams distribute parallel for "
+                        "map(to: x) reduction(+: acc) collapse(2)")
+    assert d.constructs == ["target", "teams", "distribute", "parallel", "for"]
+    assert d.clauses["map"] == "to: x"
+    assert d.clauses["collapse"] == "2"
+    assert {"omp:target", "omp:teams", "omp:distribute", "omp:parallel_for",
+            "omp:map", "omp:reduction", "omp:collapse"} == set(d.tags)
+
+
+def test_parse_fortran_spelling():
+    d = parse_directive("target teams distribute parallel do")
+    assert "omp:parallel_for" in d.tags
+
+
+def test_parse_50_51_constructs():
+    assert "omp:loop" in parse_directive("target teams loop").tags
+    assert "omp:metadirective" in parse_directive(
+        "metadirective when(device: target) default(parallel)").tags
+    assert "omp:masked" in parse_directive("target teams masked").tags
+    assert "omp:assume" in parse_directive("assume").tags
+
+
+def test_parse_rejects_unknown():
+    with pytest.raises(DirectiveError, match="unknown OpenMP construct"):
+        parse_directive("target banana")
+    with pytest.raises(DirectiveError, match="unknown OpenMP clause"):
+        parse_directive("target banana(7)")
+    with pytest.raises(DirectiveError, match="no construct"):
+        parse_directive("map(to: x)")
+
+
+# -- OpenMP offload semantics -----------------------------------------------
+
+
+def test_target_data_mapping_semantics(nvidia, rng):
+    omp = OpenMP(nvidia, "nvhpc")
+    n = 512
+    x_h = rng.random(n)
+    y_h = np.ones(n)
+    x_before = x_h.copy()
+    with omp.target_data(to=[x_h], tofrom=[y_h]) as region:
+        omp.target_loop(n, KL.axpy, [n, 3.0, region.device(x_h),
+                                     region.device(y_h)])
+    np.testing.assert_array_equal(x_h, x_before)  # map(to:) not written back
+    np.testing.assert_allclose(y_h, 3.0 * x_h + 1.0)  # map(tofrom:) is
+
+
+def test_target_data_unmapped_array_rejected(nvidia):
+    omp = OpenMP(nvidia, "nvhpc")
+    other = np.ones(4)
+    with omp.target_data(to=[np.ones(4)]) as region:
+        with pytest.raises(ApiError, match="not mapped"):
+            region.device(other)
+
+
+def test_usm_requires_declaration(nvidia):
+    omp = OpenMP(nvidia, "nvhpc")
+    with pytest.raises(ApiError, match="requires_unified_shared_memory"):
+        omp.shared_alloc(np.float64, 16)
+
+
+def test_openmp_feature_coverage_by_compiler(nvidia, amd, intel):
+    """The §4 coverage ordering: Intel > NVHPC/AOMP/Cray > GCC/Flang."""
+    suites = {
+        ("nvhpc", nvidia): 6, ("aomp", amd): 6, ("dpcpp", intel): 10,
+        ("gcc", nvidia): 5, ("clang", amd): 6, ("cray-ce", amd): 6,
+    }
+    probe_methods = [
+        "probe_target", "probe_reduction", "probe_collapse", "probe_simd",
+        "probe_loop_construct", "probe_metadirective",
+        "probe_declare_variant", "probe_usm", "probe_assume", "probe_masked",
+    ]
+    for (toolchain, device), expected in suites.items():
+        passed = 0
+        for method in probe_methods:
+            try:
+                getattr(OpenMP(device, toolchain), method)()
+                passed += 1
+            except UnsupportedFeatureError:
+                pass
+        assert passed == expected, (toolchain, passed)
+
+
+def test_openmp_fortran_same_coverage_as_cpp(nvidia):
+    """Description 10: 'nearly identical to C/C++'."""
+    for method in ("probe_target", "probe_reduction", "probe_loop_construct"):
+        getattr(OpenMP(nvidia, "nvhpc", language=F), method)()
+    with pytest.raises(UnsupportedFeatureError):
+        OpenMP(nvidia, "nvhpc", language=F).probe_metadirective()
+
+
+def test_declare_variant_picks_device_flavour(amd):
+    omp = OpenMP(amd, "aomp")
+    marker = {}
+    variants = {"amd": KL.scale_inplace}
+    chosen = omp.declare_variant(KL.fill, variants)
+    assert chosen is KL.scale_inplace
+    chosen = omp.declare_variant(KL.fill, {})
+    assert chosen is KL.fill
+    assert not marker
+
+
+def test_sentinel_per_language(nvidia):
+    assert OpenMP(nvidia, "nvhpc").sentinel == "#pragma omp"
+    assert OpenMP(nvidia, "nvhpc", language=F).sentinel == "!$omp"
+
+
+# -- OpenACC ---------------------------------------------------------------
+
+
+def test_parse_acc_directive_tags():
+    tags = parse_acc_directive(
+        "parallel loop copyin(x) reduction(+: s) gang vector_length(128) "
+        "async(2)")
+    assert {"acc:parallel", "acc:loop", "acc:copyin_copyout",
+            "acc:reduction", "acc:gang_worker_vector", "acc:async"} == set(tags)
+
+
+def test_parse_acc_rejects_unknown():
+    with pytest.raises(DirectiveError, match="unknown OpenACC token"):
+        parse_acc_directive("parallel whatever")
+    with pytest.raises(DirectiveError, match="no construct"):
+        parse_acc_directive("copyin(x)")
+
+
+def test_acc_data_region_clauses(nvidia, rng):
+    acc = OpenACC(nvidia, "nvhpc")
+    n = 256
+    a_h = rng.random(n)
+    b_h = np.zeros(n)
+    c_h = np.full(n, -1.0)
+    with acc.data(copyin=[a_h], copyout=[b_h], create=[c_h]) as region:
+        acc.parallel_loop(n, KL.stream_copy,
+                          [n, region.device(a_h), region.device(b_h)])
+    np.testing.assert_array_equal(b_h, a_h)  # copyout materialized
+    assert (c_h == -1.0).all()  # create is device-only scratch
+
+
+def test_acc_async_queues_are_streams(nvidia):
+    acc = OpenACC(nvidia, "nvhpc")
+    n = 1 << 14
+    x = acc.to_device(np.ones(n))
+    acc.parallel_loop(n, KL.scale_inplace, [n, 2.0, x], async_=3)
+    q3 = acc._queue(3)
+    assert q3 is acc._queue(3)  # stable per id
+    acc.wait(3)
+    assert (x.copy_to_host() == 2.0).all()
+
+
+def test_acc_serial_single_thread(nvidia):
+    acc = OpenACC(nvidia, "nvhpc")
+    out = acc.alloc(np.float64, 16)
+    acc.serial_region(KL.fill, [1, 2.5, out])
+    got = out.copy_to_host()
+    assert got[0] == 2.5 and (got[1:] == 0).all()
+
+
+def test_acc_gcc_misses_27_and_30_features(amd):
+    """Description 22: GCC supports OpenACC 2.6."""
+    OpenACC(amd, "gcc").probe_parallel()
+    OpenACC(amd, "gcc").probe_data_region()
+    with pytest.raises(UnsupportedFeatureError):
+        OpenACC(amd, "gcc").probe_async_wait()
+    with pytest.raises(UnsupportedFeatureError):
+        OpenACC(amd, "gcc").probe_serial()
+
+
+def test_acc_clacc_covers_30_features(amd):
+    for method in ("probe_parallel", "probe_async_wait", "probe_serial",
+                   "probe_gang_vector"):
+        getattr(OpenACC(amd, "clacc"), method)()
+
+
+def test_acc_fortran_through_cray(amd, rng):
+    acc = OpenACC(amd, "cray-ce", language=F)
+    n = 512
+    x_h = rng.random(n)
+    x = acc.to_device(x_h)
+    acc.parallel_loop(n, KL.scale_inplace, [n, 2.0, x])
+    np.testing.assert_allclose(x.copy_to_host(), 2.0 * x_h)
+    assert acc.sentinel == "!$acc"

@@ -1,0 +1,178 @@
+"""Kokkos and Alpaka: views, policies, backends, FLCL."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.enums import ISA, Vendor
+from repro.errors import ApiError
+from repro.models.alpaka import Alpaka, WorkDiv
+from repro.models.kokkos import (
+    FLCL,
+    Kokkos,
+    MDRangePolicy,
+    RangePolicy,
+    TeamPolicy,
+    deep_copy,
+)
+
+
+def test_kokkos_default_backend_follows_vendor(nvidia, amd, intel):
+    assert Kokkos(nvidia).backend == "cuda"
+    assert Kokkos(amd).backend == "hip"
+    assert Kokkos(intel).backend == "sycl"
+    assert Kokkos(intel).experimental_backend
+    assert not Kokkos(nvidia).experimental_backend
+
+
+def test_kokkos_unknown_backend(nvidia):
+    with pytest.raises(ApiError, match="unknown Kokkos backend"):
+        Kokkos(nvidia, backend="metal")
+
+
+def test_view_lifecycle_and_deep_copy(nvidia, rng):
+    kk = Kokkos(nvidia)
+    v = kk.view("data", 128)
+    host = rng.random(128)
+    deep_copy(v, host)
+    mirror = v.create_mirror_view()
+    assert (mirror == 0).all()  # mirrors start zeroed
+    deep_copy(mirror, v)
+    np.testing.assert_array_equal(mirror, host)
+    v.free()
+
+
+def test_deep_copy_requires_a_view():
+    with pytest.raises(ApiError, match="deep_copy needs"):
+        deep_copy(np.ones(4), np.ones(4))
+
+
+def test_parallel_for_int_policy_sugar(nvidia):
+    kk = Kokkos(nvidia)
+    v = kk.view("x", 256)
+    deep_copy(v, np.ones(256))
+    kk.parallel_for("scale", 256, KL.scale_inplace, [256, 2.0, v])
+    kk.fence()
+    out = v.create_mirror_view()
+    deep_copy(out, v)
+    assert (out == 2.0).all()
+
+
+def test_range_policy_with_begin(nvidia):
+    policy = RangePolicy(100, begin=10)
+    assert policy.extent == 90
+
+
+@pytest.mark.parametrize("backend,device_fixture", [
+    ("cuda", "nvidia"), ("hip", "amd"), ("sycl", "intel"),
+    ("openmp", "nvidia"),
+])
+def test_kokkos_backends_run_reductions(backend, device_fixture, request):
+    device = request.getfixturevalue(device_fixture)
+    kk = Kokkos(device, backend=backend)
+    v = kk.view("x", 4096)
+    deep_copy(v, np.full(4096, 0.25))
+    assert np.isclose(kk.parallel_reduce("sum", 4096, v), 1024.0)
+    v.free()
+
+
+def test_kokkos_really_compiles_through_backend(amd):
+    kk = Kokkos(amd, backend="hip")
+    binary = kk._rt.compile([KL.scale_inplace], kk._rt._kernel_tags())
+    assert binary.isa is ISA.AMDGCN
+    assert binary.producer.startswith("hipcc")
+
+
+def test_mdrange_stencil(nvidia):
+    kk = Kokkos(nvidia)
+    nx = ny = 32
+    host = np.zeros((ny, nx))
+    host[0, :] = 8.0
+    inp, out = kk.view("in", nx * ny), kk.view("out", nx * ny)
+    deep_copy(inp, host)
+    deep_copy(out, host)
+    kk.parallel_for("jacobi", MDRangePolicy((ny, nx)), KL.jacobi2d,
+                    [nx, ny, inp, out])
+    kk.fence()
+    mirror = out.create_mirror_view()
+    deep_copy(mirror, out)
+    assert mirror.reshape(ny, nx)[1, 5] == 2.0
+
+
+def test_team_policy_scratch_reduction(amd):
+    kk = Kokkos(amd)
+    n = 2048
+    v, total = kk.view("x", n), kk.view("sum", 1)
+    deep_copy(v, np.ones(n))
+    kk.parallel_for("teams", TeamPolicy(8, 256), KL.reduce_sum,
+                    [n, v, total])
+    kk.fence()
+    mirror = total.create_mirror_view()
+    deep_copy(mirror, total)
+    assert mirror[0] == n
+
+
+def test_parallel_scan(intel, rng):
+    kk = Kokkos(intel)
+    data = rng.random(512)
+    v = kk.view("x", 512)
+    deep_copy(v, data)
+    kk.parallel_scan("scan", v)
+    kk.fence()
+    mirror = v.create_mirror_view()
+    deep_copy(mirror, v)
+    np.testing.assert_allclose(mirror, np.cumsum(data))
+
+
+def test_flcl_subset(nvidia):
+    flcl = FLCL(nvidia)
+    v = flcl.view("x", 128)
+    deep_copy(v, np.ones(128))
+    flcl.parallel_for("ok", RangePolicy(128), KL.scale_inplace,
+                      [128, 2.0, v])
+    with pytest.raises(ApiError, match="FLCL"):
+        flcl.parallel_for("no", MDRangePolicy((8, 8)), KL.jacobi2d, [])
+    with pytest.raises(ApiError, match="FLCL"):
+        flcl.parallel_for("no", TeamPolicy(2, 64), KL.reduce_sum, [])
+    with pytest.raises(ApiError, match="FLCL"):
+        flcl.parallel_scan("no", v)
+
+
+# -- Alpaka -----------------------------------------------------------------
+
+
+def test_alpaka_default_accelerators(nvidia, amd, intel):
+    assert Alpaka(nvidia).accelerator == "AccGpuCudaRt"
+    assert Alpaka(amd).accelerator == "AccGpuHipRt"
+    assert Alpaka(intel).accelerator == "AccGpuSyclIntel"
+    assert Alpaka(intel).experimental_backend
+
+
+def test_alpaka_unknown_accelerator(nvidia):
+    with pytest.raises(ApiError, match="unknown accelerator"):
+        Alpaka(nvidia, accelerator="AccFpga")
+
+
+def test_workdiv_extent():
+    wd = WorkDiv(blocks=4, threads_per_block=128)
+    assert wd.extent == 512
+
+
+def test_alpaka_exec_with_explicit_workdiv(amd, rng):
+    acc = Alpaka(amd)
+    n = 1024
+    data = rng.random(n)
+    buf = acc.alloc_buf(n)
+    acc.memcpy_to(buf, data)
+    acc.exec(WorkDiv(8, 128), KL.scale_inplace, [n, 3.0, buf])
+    acc.wait()
+    np.testing.assert_allclose(acc.memcpy_from(buf), 3.0 * data)
+
+
+def test_alpaka_openmp_fallback(nvidia):
+    acc = Alpaka(nvidia, accelerator="AccOmp5")
+    buf = acc.alloc_buf(256)
+    acc.memcpy_to(buf, np.ones(256))
+    acc.exec_elements(256, KL.scale_inplace, [256, 2.0, buf])
+    acc.wait()
+    assert (acc.memcpy_from(buf) == 2.0).all()

@@ -1,0 +1,135 @@
+"""The Python layer: GpuArray expressions, packages, feature gating."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels as KL
+from repro.enums import Maturity, Provider, Vendor
+from repro.errors import ApiError, UnsupportedFeatureError
+from repro.models.pymodels import PACKAGES_BY_VENDOR, GpuArray, make_package
+
+
+def test_package_vendor_matching(nvidia, amd, intel):
+    assert make_package("cupy", nvidia).backend == "cuda"
+    assert make_package("cupy-rocm", amd).backend == "hip"
+    assert make_package("dpnp", intel).backend == "sycl"
+    with pytest.raises(ApiError, match="targets NVIDIA"):
+        make_package("cupy", amd)
+    with pytest.raises(ApiError, match="unknown Python package"):
+        make_package("tensorflow", nvidia)
+
+
+def test_packages_by_vendor_table():
+    assert set(PACKAGES_BY_VENDOR) == set(Vendor)
+    assert "cuda-python" in PACKAGES_BY_VENDOR[Vendor.NVIDIA]
+    assert "pyhip" in PACKAGES_BY_VENDOR[Vendor.AMD]
+    assert "dpnp" in PACKAGES_BY_VENDOR[Vendor.INTEL]
+
+
+def test_package_metadata(nvidia, amd):
+    cupy = make_package("cupy", nvidia)
+    assert cupy.provider is Provider.COMMUNITY
+    assert cupy.maturity is Maturity.PRODUCTION
+    cupy_rocm = make_package("cupy-rocm", amd)
+    assert cupy_rocm.maturity is Maturity.EXPERIMENTAL
+    assert make_package("numba-amd", amd).maturity is Maturity.UNMAINTAINED
+    assert make_package("cuda-python", nvidia).provider is Provider.NVIDIA
+
+
+def test_array_expression_chain(nvidia, rng):
+    pkg = make_package("cupy", nvidia)
+    x_h, y_h = rng.random(512), rng.random(512)
+    x, y = pkg.asarray(x_h), pkg.asarray(y_h)
+    z = (2.0 * x + y) * x - y
+    np.testing.assert_allclose(z.get(), (2.0 * x_h + y_h) * x_h - y_h)
+
+
+def test_scalar_and_division_ops(nvidia, rng):
+    pkg = make_package("cupy", nvidia)
+    x_h = rng.random(128) + 1.0
+    y_h = rng.random(128) + 1.0
+    x, y = pkg.asarray(x_h), pkg.asarray(y_h)
+    np.testing.assert_allclose((x + 1.5).get(), x_h + 1.5)
+    np.testing.assert_allclose((x / y).get(), x_h / y_h)
+    np.testing.assert_allclose((x - y).get(), x_h - y_h)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=200),
+       st.floats(min_value=-10, max_value=10, allow_nan=False))
+def test_expression_property(values, scalar):
+    """Property: GpuArray expressions equal their NumPy counterparts."""
+    from repro.gpu import get_device
+
+    pkg = make_package("cupy", get_device(Vendor.NVIDIA))
+    data = np.array(values)
+    x = pkg.asarray(data)
+    result = (scalar * x + x).get()
+    np.testing.assert_allclose(result, scalar * data + data, rtol=1e-12)
+    x.free()
+
+
+def test_reductions_and_dot(nvidia, rng):
+    pkg = make_package("cuda-python", nvidia)
+    a_h, b_h = rng.random(5000), rng.random(5000)
+    a, b = pkg.asarray(a_h), pkg.asarray(b_h)
+    assert np.isclose(a.sum(), a_h.sum())
+    assert np.isclose(a.dot(b), a_h @ b_h)
+
+
+def test_numba_like_jit_decorator(nvidia):
+    pkg = make_package("numba", nvidia)
+
+    def my_kernel(n: "i64", x: "f64[:]"):  # noqa: F821
+        i = gid(0)  # noqa: F821
+        if i < n:
+            x[i] = x[i] * x[i]
+
+    launcher = pkg.jit(my_kernel)
+    x = pkg.asarray(np.arange(8.0))
+    launcher(8, [8, x])
+    np.testing.assert_array_equal(x.get(), np.arange(8.0) ** 2)
+
+
+def test_feature_gating_pyhip(amd):
+    """PyHIP is low-level bindings: kernels yes, ufuncs/blas no."""
+    make_package("pyhip", amd).probe_custom_kernel()
+    with pytest.raises(UnsupportedFeatureError):
+        make_package("pyhip", amd).probe_ufuncs()
+    with pytest.raises(UnsupportedFeatureError):
+        make_package("pyhip", amd).probe_blas()
+    with pytest.raises(UnsupportedFeatureError):
+        make_package("pyhip", amd).probe_reduction()
+
+
+def test_feature_gating_numba_no_blas(nvidia):
+    with pytest.raises(UnsupportedFeatureError):
+        make_package("numba", nvidia).probe_blas()
+
+
+def test_intel_stack_full_coverage(intel):
+    for name in ("dpnp", "numba-dpex"):
+        for method in ("probe_ufuncs", "probe_custom_kernel",
+                       "probe_reduction", "probe_streams", "probe_blas",
+                       "probe_numpy_interop"):
+            getattr(make_package(name, intel), method)()
+
+
+def test_gpu_array_size_and_free(nvidia):
+    pkg = make_package("cupy", nvidia)
+    x = pkg.asarray(np.ones(77))
+    assert x.size == 77
+    x.free()
+    with pytest.raises(ApiError):
+        x.get()
+
+
+def test_blas_layer_on_sycl_backend(intel, rng):
+    pkg = make_package("dpnp", intel)
+    x_h, y_h = rng.random(300), rng.random(300)
+    x, y = pkg.asarray(x_h), pkg.asarray(y_h)
+    pkg.blas_axpy(2.0, x, y)
+    np.testing.assert_allclose(y.get(), 2.0 * x_h + y_h)

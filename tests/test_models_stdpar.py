@@ -1,0 +1,132 @@
+"""Standard parallelism: pSTL algorithms and do concurrent."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enums import Language
+from repro.errors import ApiError, LanguageError, UnsupportedFeatureError
+from repro.models.stdpar import DoConcurrent, StdPar
+
+
+def test_policies_gate_offload(nvidia):
+    par = StdPar(nvidia, "nvhpc")
+    x = par.to_device(np.ones(64))
+    par.for_each_scale(x, 2.0, policy="par")
+    par.for_each_scale(x, 2.0, policy="par_unseq")
+    with pytest.raises(ApiError, match="does not offload"):
+        par.for_each_scale(x, 2.0, policy="seq")
+
+
+def test_transform_unary_and_binary(nvidia, rng):
+    par = StdPar(nvidia, "nvhpc")
+    a_h = rng.random(256) + 0.1
+    b_h = rng.random(256)
+    a, b = par.to_device(a_h), par.to_device(b_h)
+    out = par.alloc(np.float64, 256)
+    par.transform(a, None, out, "sqrt")
+    np.testing.assert_allclose(out.copy_to_host(), np.sqrt(a_h))
+    par.transform(a, b, out, "mul")
+    np.testing.assert_allclose(out.copy_to_host(), a_h * b_h)
+    with pytest.raises(ApiError, match="unknown binary"):
+        par.transform(a, b, out, "hypot")
+
+
+def test_reduce_and_transform_reduce(nvidia, rng):
+    par = StdPar(nvidia, "nvhpc")
+    a_h, b_h = rng.random(3000), rng.random(3000)
+    a, b = par.to_device(a_h), par.to_device(b_h)
+    assert np.isclose(par.reduce(a), a_h.sum())
+    assert np.isclose(par.transform_reduce(a, b), a_h @ b_h)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=1, max_size=300))
+def test_sort_property(values):
+    """Property: device bitonic sort == np.sort for any float list."""
+    from repro.gpu import get_device
+    from repro.enums import Vendor
+
+    par = StdPar(get_device(Vendor.NVIDIA), "nvhpc")
+    data = np.array(values)
+    x = par.to_device(data)
+    par.sort(x)
+    np.testing.assert_array_equal(x.copy_to_host(), np.sort(data))
+    x.free()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False),
+                min_size=1, max_size=300))
+def test_scan_property(values):
+    """Property: device inclusive scan == np.cumsum."""
+    from repro.gpu import get_device
+    from repro.enums import Vendor
+
+    par = StdPar(get_device(Vendor.NVIDIA), "nvhpc")
+    data = np.array(values)
+    x = par.to_device(data)
+    par.inclusive_scan(x)
+    np.testing.assert_allclose(x.copy_to_host(), np.cumsum(data),
+                               rtol=1e-9, atol=1e-9)
+    x.free()
+
+
+def test_sort_power_of_two_and_padding(nvidia, rng):
+    par = StdPar(nvidia, "nvhpc")
+    for n in (256, 257, 1000, 1):
+        data = rng.random(n)
+        x = par.to_device(data)
+        par.sort(x)
+        np.testing.assert_array_equal(x.copy_to_host(), np.sort(data))
+        x.free()
+
+
+def test_namespace_semantics(nvidia, intel):
+    assert StdPar(nvidia, "nvhpc").namespace == "std"
+    assert StdPar(intel, "onedpl").namespace == "oneapi::dpl"
+    StdPar(nvidia, "nvhpc").probe_std_namespace()
+    with pytest.raises(UnsupportedFeatureError):
+        StdPar(intel, "onedpl").probe_std_namespace()
+
+
+def test_onedpl_runs_everything_else(intel):
+    for method in ("probe_for_each", "probe_transform", "probe_reduce",
+                   "probe_transform_reduce", "probe_scan", "probe_sort"):
+        getattr(StdPar(intel, "onedpl"), method)()
+
+
+def test_do_concurrent_is_fortran_only(nvidia):
+    with pytest.raises(LanguageError):
+        DoConcurrent(nvidia, "nvhpc", language=Language.CPP)
+
+
+def test_do_concurrent_reduce(nvidia, rng):
+    dc = DoConcurrent(nvidia, "nvhpc")
+    data = rng.random(4096)
+    x = dc.to_device(data)
+    assert np.isclose(dc.reduce_sum(4096, x), data.sum())
+
+
+def test_do_concurrent_on_intel_via_ifx(intel):
+    from repro import kernels as KL
+
+    dc = DoConcurrent(intel, "ifx")
+    x = dc.to_device(np.ones(512))
+    dc.do_concurrent(512, KL.scale_inplace, [512, 2.0, x],
+                     locality=("local(tmp)",))
+    assert (x.copy_to_host() == 2.0).all()
+
+
+def test_do_concurrent_has_no_amd_route(amd):
+    """Description 27, enforced at the toolchain layer."""
+    from repro.errors import UnsupportedRouteError, UnsupportedTargetError
+    from repro import kernels as KL
+
+    for toolchain in ("nvhpc", "ifx"):
+        dc = DoConcurrent(amd, toolchain)
+        with pytest.raises((UnsupportedRouteError, UnsupportedTargetError)):
+            dc.do_concurrent(64, KL.scale_inplace,
+                             [64, 2.0, dc.alloc(np.float64, 64)])

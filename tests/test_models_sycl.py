@@ -1,0 +1,128 @@
+"""SYCL model: queues, buffers, USM, nd_range, implementations."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.enums import ISA, Language
+from repro.errors import ApiError, LanguageError
+from repro.models.sycl import NdRange, Range, SyclBuffer, SyclQueue
+
+
+def test_fortran_rejected_at_construction(intel):
+    with pytest.raises(LanguageError, match="SYCL is not available"):
+        SyclQueue(intel, language=Language.FORTRAN)
+
+
+def test_usm_device_and_parallel_for(intel, rng):
+    q = SyclQueue(intel)
+    n = 1024
+    x_h = rng.random(n)
+    x = q.malloc_device(np.float64, n)
+    q.memcpy(x, x_h)
+    q.parallel_for(Range(n), KL.scale_inplace, [n, 2.0, x])
+    q.wait()
+    np.testing.assert_allclose(x.copy_to_host(), 2.0 * x_h)
+
+
+def test_buffer_write_back_on_close(intel):
+    q = SyclQueue(intel)
+    host = np.ones(256)
+    with q.buffer(host) as buf:
+        q.parallel_for(Range(256), KL.scale_inplace, [256, 5.0, buf])
+        q.wait()
+        # Not yet written back inside the scope:
+        assert (host == 1.0).all()
+    assert (host == 5.0).all()
+
+
+def test_buffer_no_write_back_on_exception(intel):
+    q = SyclQueue(intel)
+    host = np.ones(64)
+    with pytest.raises(RuntimeError):
+        with q.buffer(host) as buf:
+            q.parallel_for(Range(64), KL.scale_inplace, [64, 9.0, buf])
+            raise RuntimeError("user code failed")
+    assert (host == 1.0).all()
+
+
+def test_buffer_use_after_close(intel):
+    q = SyclQueue(intel)
+    buf = q.buffer(np.ones(16))
+    buf.close()
+    with pytest.raises(ApiError, match="after close"):
+        buf.addr
+
+
+def test_nd_range_divisibility(intel):
+    with pytest.raises(ApiError, match="multiple"):
+        NdRange(1000, 256)
+    nd = NdRange(1024, 256)
+    assert nd.global_size // nd.local_size == 4
+
+
+def test_nd_range_local_memory_reduction(intel):
+    q = SyclQueue(intel)
+    n = 2048
+    x = q.malloc_device(np.float64, n)
+    q.memcpy(x, np.full(n, 2.0))
+    out = q.malloc_device(np.float64, 1)
+    q.parallel_for(NdRange(2048, 256), KL.reduce_sum, [n, x, out])
+    q.wait()
+    assert out.copy_to_host()[0] == 2.0 * n
+
+
+def test_malloc_shared_host_visible(intel):
+    q = SyclQueue(intel)
+    arr = q.malloc_shared(np.float64, 128)
+    arr.view()[:] = 3.0
+    q.parallel_for(Range(128), KL.scale_inplace, [128, 2.0, arr])
+    q.wait()
+    assert (arr.view() == 6.0).all()
+
+
+def test_profiling_events(intel):
+    q = SyclQueue(intel)
+    x = q.to_device(np.ones(4096))
+    ev = q.parallel_for(Range(4096), KL.scale_inplace, [4096, 2.0, x],
+                        profile=True)
+    q.wait()
+    assert ev.elapsed_seconds() > 0
+
+
+def test_reduction_object(intel, rng):
+    q = SyclQueue(intel)
+    data = rng.random(5000)
+    x = q.to_device(data)
+    assert np.isclose(q.parallel_reduce_sum(5000, x), data.sum())
+
+
+@pytest.mark.parametrize("toolchain,device_fixture,isa", [
+    ("dpcpp", "intel", ISA.SPIRV),
+    ("dpcpp", "nvidia", ISA.PTX),
+    ("dpcpp", "amd", ISA.AMDGCN),
+    ("opensycl", "intel", ISA.SPIRV),
+    ("opensycl", "nvidia", ISA.PTX),
+    ("opensycl", "amd", ISA.AMDGCN),
+])
+def test_sycl_implementations_cover_all_platforms(toolchain, device_fixture,
+                                                  isa, request):
+    """Descriptions 5/21/35: DPC++ and Open SYCL reach every vendor."""
+    device = request.getfixturevalue(device_fixture)
+    q = SyclQueue(device, toolchain)
+    x = q.to_device(np.ones(512))
+    q.parallel_for(Range(512), KL.scale_inplace, [512, 2.0, x])
+    q.wait()
+    assert (x.copy_to_host() == 2.0).all()
+    binary = q.compile([KL.scale_inplace], [q.tag("queues")])
+    assert binary.isa is isa
+
+
+def test_computecpp_lacks_usm(nvidia):
+    """The retired ComputeCpp was pre-USM SYCL."""
+    from repro.errors import UnsupportedFeatureError
+
+    q = SyclQueue(nvidia, "computecpp")
+    with pytest.raises(UnsupportedFeatureError):
+        q.probe_usm_shared()
+    SyclQueue(nvidia, "computecpp").probe_buffers()

@@ -1,0 +1,238 @@
+"""Renderers, the advisor, and the command-line interface."""
+
+import pytest
+
+from repro.core.advisor import Advisor
+from repro.core.render import (
+    paper_lookup,
+    render_html,
+    render_markdown,
+    render_tex,
+    render_text,
+    render_yaml,
+)
+from repro.enums import Language, Model, SupportCategory, Vendor
+
+C = SupportCategory
+
+
+# -- renderers ----------------------------------------------------------------
+
+
+def test_text_layout_matches_figure1():
+    text = render_text(paper_lookup())
+    lines = text.splitlines()
+    assert any(line.startswith("AMD") for line in lines)
+    assert any(line.startswith("Intel") for line in lines)
+    assert any(line.startswith("NVIDIA") for line in lines)
+    # NVIDIA native CUDA is the first cell of the NVIDIA row.
+    nvidia_row = next(line for line in lines if line.startswith("NVIDIA"))
+    assert nvidia_row.split()[1] == C.FULL.symbol
+    # Legend includes all six categories.
+    for cat in C:
+        assert cat.label in text
+
+
+def test_text_dual_rating_rendered():
+    text = render_text(paper_lookup())
+    nvidia_row = next(line for line in text.splitlines()
+                      if line.startswith("NVIDIA"))
+    assert C.FULL.symbol + C.NONVENDOR.symbol in nvidia_row  # Python cell
+
+
+def test_markdown_table_shape():
+    md = render_markdown(paper_lookup())
+    header = next(line for line in md.splitlines() if line.startswith("| Vendor"))
+    assert header.count("|") == 19  # vendor + 17 columns + trailing
+    assert "CUDA C++" in header
+    assert "Python" in header
+    assert md.count("\n| ") >= 3
+
+
+def test_html_is_wellformed_enough():
+    html = render_html(paper_lookup())
+    assert html.count("<tr>") == 4  # header + three vendor rows
+    assert html.count("</html>") == 1
+    assert "full support" in html
+
+
+def test_tex_macros_and_rows():
+    tex = render_tex(paper_lookup())
+    assert "\\begin{tabular}" in tex
+    assert tex.count("\\\\") >= 4
+    # the dual-rated NVIDIA Python cell renders both macros side by side
+    assert "\\fullsupport\\nonvendorsupport" in tex
+
+
+def test_tex_macro_counts_exact():
+    tex = render_tex(paper_lookup())
+    counts = {
+        "\\fullsupport": 13,
+        "\\indirectsupport": 3,
+        "\\nosupport": 9,
+    }
+    for macro, expected in counts.items():
+        assert tex.count(macro) == expected, macro
+
+
+def test_yaml_round_structure():
+    yaml_text = render_yaml(paper_lookup())
+    for vendor in ("AMD", "Intel", "NVIDIA"):
+        assert f"{vendor}:" in yaml_text
+    assert "cuda-cpp: full support" in yaml_text
+    assert "python-python: full support / non-vendor good support" in yaml_text
+
+
+# -- advisor ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return Advisor(minimum=SupportCategory.LIMITED)  # paper-rating backed
+
+
+def test_models_for_platform_sorted(advisor):
+    recs = advisor.models_for_platform(Vendor.NVIDIA, Language.CPP)
+    ranks = [r.category.rank for r in recs]
+    assert ranks == sorted(ranks, reverse=True)
+    assert recs[0].category is C.FULL
+
+
+def test_models_for_platform_respects_minimum():
+    strict = Advisor(minimum=SupportCategory.FULL)
+    recs = strict.models_for_platform(Vendor.AMD, Language.CPP)
+    assert {r.model for r in recs} == {Model.HIP}
+
+
+def test_platforms_for_model(advisor):
+    recs = advisor.platforms_for_model(Model.OPENACC, Language.CPP)
+    by_vendor = {r.vendor: r.category for r in recs}
+    assert by_vendor[Vendor.NVIDIA] is C.FULL
+    assert by_vendor[Vendor.AMD] is C.NONVENDOR
+    assert by_vendor[Vendor.INTEL] is C.LIMITED
+
+
+def test_portable_models_cpp_vs_fortran(advisor):
+    cpp = advisor.portable_models(Language.CPP, SupportCategory.LIMITED)
+    assert Model.PYTHON not in cpp  # not a C++ column
+    assert {Model.CUDA, Model.SYCL, Model.OPENMP, Model.KOKKOS} <= set(cpp)
+    fortran_some = advisor.portable_models(Language.FORTRAN,
+                                           SupportCategory.SOME)
+    assert fortran_some == [Model.OPENMP]  # the paper's conclusion
+
+
+def test_migration_plan_with_route(advisor):
+    steps = advisor.migration_plan(Model.CUDA, Language.CPP, Vendor.AMD)
+    text = "\n".join(steps)
+    assert "indirect good support" in text
+    assert "description 18" in text
+
+
+def test_migration_plan_no_route(advisor):
+    steps = advisor.migration_plan(Model.CUDA, Language.FORTRAN, Vendor.INTEL)
+    text = "\n".join(steps)
+    assert "no route exists" in text
+    assert "candidate" in text
+
+
+def test_advisor_over_derived_matrix(system):
+    """The advisor also runs over an empirically derived matrix."""
+    from repro.core.matrix import build_matrix
+    from repro.core.probes import PROBE_SUITES
+
+    # Restrict probing to the basic probes for speed; ratings inflate,
+    # but the query machinery is what's under test.
+    matrix = build_matrix(
+        system, probe_filter=lambda p: p.method in (
+            "probe_kernels", "probe_target", "probe_queues",
+            "probe_parallel", "probe_for_each", "probe_do_concurrent",
+            "probe_range_for", "probe_exec", "probe_ufuncs"),
+    )
+    adv = Advisor(matrix, minimum=SupportCategory.LIMITED)
+    recs = adv.platforms_for_model(Model.HIP, Language.CPP)
+    assert recs[0].vendor in (Vendor.AMD, Vendor.NVIDIA)
+    assert "hipcc" in recs[0].via
+
+
+# -- CLI ------------------------------------------------------------------------
+
+
+def test_cli_table(capsys):
+    from repro.cli import main
+
+    assert main(["table", "--format", "text"]) == 0
+    out = capsys.readouterr().out
+    assert "NVIDIA" in out and "full support" in out
+
+
+def test_cli_table_formats(capsys):
+    from repro.cli import main
+
+    for fmt, marker in (("markdown", "| Vendor |"), ("html", "<table>"),
+                        ("tex", "\\begin{tabular}"), ("yaml", "AMD:")):
+        assert main(["table", "--format", fmt]) == 0
+        assert marker in capsys.readouterr().out
+
+
+def test_cli_describe(capsys):
+    from repro.cli import main
+
+    assert main(["describe", "amd", "cuda", "c++"]) == 0
+    out = capsys.readouterr().out
+    assert "[18]" in out
+    assert "HIPIFY" in out
+    assert "routes:" in out
+
+
+def test_cli_describe_no_support(capsys):
+    from repro.cli import main
+
+    assert main(["describe", "intel", "hip", "fortran"]) == 0
+    out = capsys.readouterr().out
+    assert "none (no support)" in out
+
+
+def test_cli_advise_variants(capsys):
+    from repro.cli import main
+
+    assert main(["advise"]) == 0
+    assert "portable models" in capsys.readouterr().out
+    assert main(["advise", "--vendor", "amd", "--language", "fortran"]) == 0
+    assert "models usable on AMD" in capsys.readouterr().out
+    assert main(["advise", "--model", "sycl", "--language", "c++"]) == 0
+    assert "platforms for SYCL" in capsys.readouterr().out
+
+
+def test_cli_routes(capsys):
+    from repro.cli import main
+
+    assert main(["routes"]) == 0
+    out = capsys.readouterr().out
+    assert "registered routes" in out
+    assert "nv-cuda-cpp-nvcc" in out
+
+
+def test_cli_rejects_bad_arguments():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["describe", "3dfx", "cuda", "c++"])
+    with pytest.raises(SystemExit):
+        main(["table", "--format", "pdf"])
+
+
+def test_cli_conformance(capsys):
+    from repro.cli import main
+
+    assert main(["conformance", "--model", "openacc",
+                 "--language", "fortran"]) == 0
+    out = capsys.readouterr().out
+    assert "cray-ce" in out and "2.6" in out and "full" in out
+
+
+def test_cli_changelog(capsys):
+    from repro.cli import main
+
+    assert main(["changelog"]) == 0
+    out = capsys.readouterr().out
+    assert "2022" in out and "chipStar" in out or "4 of 51" in out

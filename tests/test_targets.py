@@ -1,0 +1,180 @@
+"""ISA targets: legalization, capability gates, disassembly."""
+
+import pytest
+
+from repro.enums import ISA
+from repro.errors import LegalizationError
+from repro.isa import IRBuilder, ModuleIR, dtypes, get_target, legalize
+from repro.isa.assembly import disassemble, disassemble_kernel
+from repro.isa.instructions import Imm, Mov, SpecialRead, walk
+
+
+def _module_with(build_fn, name="k"):
+    b = IRBuilder(name)
+    build_fn(b)
+    mod = ModuleIR("m")
+    mod.add(b.build())
+    return mod
+
+
+def test_target_widths():
+    assert get_target(ISA.PTX).warp_size == 32
+    assert get_target(ISA.AMDGCN).warp_size == 64
+    assert get_target(ISA.SPIRV).warp_size == 16
+
+
+def test_legalize_tags_module():
+    mod = _module_with(lambda b: b.mov(b.named("x", dtypes.F64), 1.0))
+    for isa in ISA:
+        binary = legalize(mod, isa, producer="test-1.0")
+        assert binary.isa is isa
+        assert binary.warp_size == get_target(isa).warp_size
+        assert binary.producer == "test-1.0"
+        assert "k" in binary
+
+
+def test_warpsize_constant_folded_per_target():
+    def build(b):
+        w = b.special("warpsize")
+        b.mov(b.named("keep", dtypes.U32), w)
+
+    mod = _module_with(build)
+    for isa, width in ((ISA.PTX, 32), (ISA.AMDGCN, 64), (ISA.SPIRV, 16)):
+        binary = legalize(mod, isa)
+        body = binary.kernel("k").body
+        assert not any(
+            isinstance(i, SpecialRead) and i.which == "warpsize"
+            for i in walk(body)
+        )
+        folded = [i for i in walk(body)
+                  if isinstance(i, Mov) and isinstance(i.src, Imm)
+                  and i.src.value == width]
+        assert folded, f"warp width {width} not folded for {isa}"
+
+
+def test_legalize_does_not_mutate_source_module():
+    def build(b):
+        b.mov(b.named("w", dtypes.U32), b.special("warpsize"))
+
+    mod = _module_with(build)
+    before = sum(1 for i in walk(mod["k"].body) if isinstance(i, SpecialRead))
+    legalize(mod, ISA.PTX)
+    after = sum(1 for i in walk(mod["k"].body) if isinstance(i, SpecialRead))
+    assert before == after == 1  # warpsize read still abstract in source
+
+
+def test_shared_memory_capacity_gate():
+    def build(b):
+        b.shared_alloc(dtypes.F64, 100 * 1024)  # 800 KB
+
+    mod = _module_with(build)
+    for isa in ISA:
+        with pytest.raises(LegalizationError, match="shared"):
+            legalize(mod, isa)
+
+
+def test_shared_fits_larger_targets_only():
+    def build(b):
+        b.shared_alloc(dtypes.F64, 12 * 1024)  # 96 KB
+
+    mod = _module_with(build)
+    legalize(mod, ISA.PTX)  # 228 KB limit: fine
+    legalize(mod, ISA.SPIRV)  # 128 KB: fine
+    with pytest.raises(LegalizationError):
+        legalize(mod, ISA.AMDGCN)  # 64 KB LDS: too small
+
+
+def test_duplicate_kernel_names_rejected():
+    mod = ModuleIR("m")
+    b = IRBuilder("same")
+    mod.add(b.build())
+    b2 = IRBuilder("same")
+    with pytest.raises(ValueError, match="duplicate kernel"):
+        mod.add(b2.build())
+
+
+@pytest.mark.parametrize("isa,marker", [
+    (ISA.PTX, ".visible .entry"),
+    (ISA.AMDGCN, ".amdgcn_kernel"),
+    (ISA.SPIRV, "OpEntryPoint"),
+])
+def test_disassembly_flavours(isa, marker):
+    def build(b):
+        n = b.param("n", dtypes.I64)
+        x = b.param("x", dtypes.F64, pointer=True)
+        i = b.global_id()
+        with b.if_(b.lt(i, n)):
+            v = b.load_elem(x, i, dtypes.F64)
+            b.store_elem(x, i, b.mul(v, 2.0), dtypes.F64)
+
+    mod = _module_with(build)
+    binary = legalize(mod, isa)
+    text = disassemble(binary)
+    assert marker in text
+    assert f"isa={isa.value}" in text
+
+
+def test_ptx_disassembly_mnemonics():
+    def build(b):
+        x = b.param("x", dtypes.F64, pointer=True)
+        i = b.global_id()
+        v = b.load_elem(x, i, dtypes.F64)
+        b.store_elem(x, i, b.add(v, 1.0), dtypes.F64)
+        b.barrier()
+
+    mod = _module_with(build)
+    text = disassemble_kernel(legalize(mod, ISA.PTX).kernel("k"), ISA.PTX)
+    assert "ld.global.f64" in text
+    assert "st.global.f64" in text
+    assert "add.f64" in text
+    assert "bar.sync 0;" in text
+    assert "mov.u32" in text  # special register reads
+
+
+def test_amdgcn_disassembly_mnemonics():
+    def build(b):
+        x = b.param("x", dtypes.F64, pointer=True)
+        v = b.load_elem(x, 0, dtypes.F64)
+        b.store_elem(x, 0, b.mul(v, 2.0), dtypes.F64)
+        b.barrier()
+
+    mod = _module_with(build)
+    text = disassemble_kernel(legalize(mod, ISA.AMDGCN).kernel("k"), ISA.AMDGCN)
+    assert "global_load_f64" in text
+    assert "global_store_f64" in text
+    assert "s_barrier" in text
+    assert "s_endpgm" in text
+
+
+def test_spirv_disassembly_mnemonics():
+    def build(b):
+        x = b.param("x", dtypes.F64, pointer=True)
+        v = b.load_elem(x, 0, dtypes.F64)
+        b.store_elem(x, 0, b.add(v, 1.0), dtypes.F64)
+
+    mod = _module_with(build)
+    text = disassemble_kernel(legalize(mod, ISA.SPIRV).kernel("k"), ISA.SPIRV)
+    assert "OpLoad" in text
+    assert "OpStore" in text
+    assert "OpFAdd" in text
+    assert "OpFunctionEnd" in text
+
+
+def test_structured_control_flow_rendered():
+    def build(b):
+        x = b.param("x", dtypes.I64)
+        with b.if_(b.gt(x, 0)) as iff:
+            b.mov(b.named("v", dtypes.I64), 1)
+        with b.orelse(iff):
+            b.mov(b.named("v", dtypes.I64), 2)
+        acc = b.named("acc", dtypes.I64)
+        b.mov(acc, 0)
+        with b.for_range(0, 3):
+            b.mov(acc, b.add(acc, 1))
+
+    mod = _module_with(build)
+    text = disassemble_kernel(legalize(mod, ISA.PTX).kernel("k"), ISA.PTX)
+    assert "// if" in text
+    assert "} else {" in text
+    assert "loop {" in text
+    assert "break;" in text

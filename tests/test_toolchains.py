@@ -1,0 +1,165 @@
+"""Toolchains: capability tables match §4, gates fire correctly."""
+
+import pytest
+
+from repro.compilers import all_toolchains, get_toolchain
+from repro.compilers.features import describe
+from repro.compilers.registry import toolchains_for
+from repro.enums import ISA, Language, Maturity, Model, Provider
+from repro.errors import (
+    UnsupportedFeatureError,
+    UnsupportedRouteError,
+    UnsupportedTargetError,
+)
+from repro.frontends import TranslationUnit
+from repro import kernels as KL
+
+CPP, F = Language.CPP, Language.FORTRAN
+
+
+def _tu(model, language, features=(), kernelfn=KL.axpy):
+    tu = TranslationUnit("t", model, language)
+    tu.add(kernelfn)
+    tu.require(*features)
+    return tu
+
+
+def test_registry_is_shared_instances():
+    assert get_toolchain("nvcc") is get_toolchain("nvcc")
+    assert len(all_toolchains()) == 24  # 20 Figure-1 toolchains + 3 OpenCL drivers + flang-cuda
+
+
+def test_unknown_toolchain():
+    with pytest.raises(KeyError, match="unknown toolchain"):
+        get_toolchain("icc")
+
+
+# -- §4 capability spot checks ---------------------------------------------
+
+
+def test_nvcc_capabilities():
+    nvcc = get_toolchain("nvcc")
+    assert nvcc.provider is Provider.NVIDIA
+    assert nvcc.accepts(Model.CUDA, CPP)
+    assert not nvcc.accepts(Model.CUDA, F)  # CUDA Fortran is NVHPC's
+    assert nvcc.targets_for(Model.CUDA, CPP) == {ISA.PTX}
+    assert nvcc.supports_feature(Model.CUDA, CPP, "cuda:graphs")
+
+
+def test_nvhpc_covers_five_models():
+    nvhpc = get_toolchain("nvhpc")
+    models = {(c.model, c.language) for c in nvhpc.capabilities}
+    assert (Model.CUDA, F) in models
+    assert (Model.OPENACC, CPP) in models and (Model.OPENACC, F) in models
+    assert (Model.OPENMP, CPP) in models and (Model.OPENMP, F) in models
+    assert (Model.STANDARD, CPP) in models and (Model.STANDARD, F) in models
+    # "only a subset of the entire OpenMP 5.0 standard":
+    assert not nvhpc.supports_feature(Model.OPENMP, CPP, "omp:metadirective")
+    assert nvhpc.supports_feature(Model.OPENMP, CPP, "omp:reduction")
+
+
+def test_hipcc_targets_both_platforms():
+    hipcc = get_toolchain("hipcc")
+    assert hipcc.targets_for(Model.HIP, CPP) == {ISA.AMDGCN, ISA.PTX}
+    cap = hipcc.capability(Model.HIP, CPP)
+    assert "HIP_PLATFORM" in cap.flag
+
+
+def test_hipfort_gaps():
+    hipfort = get_toolchain("hipfort")
+    assert hipfort.accepts(Model.HIP, F)
+    assert hipfort.supports_feature(Model.HIP, F, "hip:kernels")
+    assert not hipfort.supports_feature(Model.HIP, F, "hip:events")
+    assert not hipfort.supports_feature(Model.HIP, F, "hip:graphs")
+
+
+def test_intel_openmp_is_comprehensive():
+    for name, lang in (("dpcpp", CPP), ("ifx", F)):
+        tc = get_toolchain(name)
+        for tag in ("omp:metadirective", "omp:usm", "omp:assume",
+                    "omp:masked", "omp:loop"):
+            assert tc.supports_feature(Model.OPENMP, lang, tag), (name, tag)
+
+
+def test_gcc_openacc_is_26():
+    gcc = get_toolchain("gcc")
+    assert gcc.supports_feature(Model.OPENACC, CPP, "acc:parallel")
+    assert not gcc.supports_feature(Model.OPENACC, CPP, "acc:async")
+    assert not gcc.supports_feature(Model.OPENACC, CPP, "acc:serial")
+
+
+def test_onedpl_namespace_gap():
+    onedpl = get_toolchain("onedpl")
+    assert onedpl.supports_feature(Model.STANDARD, CPP, "stdpar:reduce")
+    assert not onedpl.supports_feature(Model.STANDARD, CPP,
+                                       "stdpar:std_namespace")
+
+
+def test_maturity_annotations():
+    assert get_toolchain("chipstar").maturity is Maturity.RESEARCH
+    assert get_toolchain("roc-stdpar").maturity is Maturity.EXPERIMENTAL
+    assert get_toolchain("flacc").maturity is Maturity.EXPERIMENTAL
+    assert get_toolchain("zluda").maturity is Maturity.UNMAINTAINED
+    assert get_toolchain("computecpp").maturity is Maturity.UNMAINTAINED
+
+
+def test_cray_provider_is_hpe():
+    cray = get_toolchain("cray-ce")
+    assert cray.provider is Provider.HPE
+    assert cray.accepts(Model.OPENACC, F)
+    assert not cray.accepts(Model.OPENACC, CPP)
+
+
+# -- gates -------------------------------------------------------------------
+
+
+def test_route_gate():
+    with pytest.raises(UnsupportedRouteError, match="does not compile"):
+        get_toolchain("ifx").compile(_tu(Model.HIP, CPP), ISA.SPIRV)
+
+
+def test_target_gate():
+    with pytest.raises(UnsupportedTargetError, match="cannot emit"):
+        get_toolchain("nvcc").compile(_tu(Model.CUDA, CPP), ISA.SPIRV)
+
+
+def test_feature_gate_names_the_feature():
+    tu = _tu(Model.OPENMP, CPP, features=["omp:target", "omp:metadirective"])
+    with pytest.raises(UnsupportedFeatureError) as err:
+        get_toolchain("nvhpc").compile(tu, ISA.PTX)
+    assert err.value.feature == "omp:metadirective"
+    assert err.value.toolchain == "nvhpc"
+
+
+def test_hw_features_always_pass():
+    tu = _tu(Model.OPENMP, CPP,
+             features=["omp:target", "omp:map"], kernelfn=KL.reduce_sum)
+    # reduce_sum carries barrier/atomics/shared hardware tags.
+    result = get_toolchain("gcc").compile(tu, ISA.AMDGCN)
+    assert result.binary.isa is ISA.AMDGCN
+
+
+def test_compile_result_contents():
+    result = get_toolchain("nvcc").compile(_tu(Model.CUDA, CPP), ISA.PTX)
+    assert result.toolchain == "nvcc"
+    assert result.target is ISA.PTX
+    assert "folds" in result.pass_report
+    assert ".visible .entry axpy" in result.disassemble()
+    assert result.binary.producer.startswith("nvcc-")
+
+
+def test_toolchains_for_lookup():
+    names = {t.name for t in toolchains_for(Model.SYCL, CPP, ISA.PTX)}
+    assert names == {"dpcpp", "opensycl", "computecpp"}
+    names = {t.name for t in toolchains_for(Model.STANDARD, F, ISA.SPIRV)}
+    assert names == {"ifx"}
+    assert toolchains_for(Model.HIP, F, ISA.SPIRV) == []
+
+
+def test_feature_descriptions_exist_for_all_capability_tags():
+    for tc in all_toolchains():
+        for cap in tc.capabilities:
+            for tag in cap.features:
+                assert describe(tag) != tag or ":" not in tag, (
+                    f"{tc.name} uses undocumented feature tag '{tag}'"
+                )

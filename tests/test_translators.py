@@ -1,0 +1,216 @@
+"""Source-to-source translators: tag maps, string rewriting, gates."""
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.enums import Language, Maturity, Model, Provider
+from repro.errors import TranslationError
+from repro.frontends import TranslationUnit
+from repro.translate import AccToOmp, Gpufort, Hipify, Syclomatic
+
+
+def _tu(model, language, features, name="app"):
+    tu = TranslationUnit(name, model, language)
+    tu.add(KL.axpy)
+    tu.require(*features)
+    return tu
+
+
+# -- unit-level ---------------------------------------------------------------
+
+
+def test_hipify_maps_the_full_core():
+    out = Hipify().translate_unit(
+        _tu(Model.CUDA, Language.CPP,
+            ["cuda:kernels", "cuda:memcpy", "cuda:streams", "cuda:events",
+             "cuda:managed_memory", "cuda:libraries", "cuda:graphs"])
+    )
+    assert out.model is Model.HIP
+    assert out.language is Language.CPP
+    assert {"hip:kernels", "hip:memcpy", "hip:streams", "hip:events",
+            "hip:managed_memory", "hip:libraries", "hip:graphs"} == out.features
+
+
+def test_hipify_rejects_cooperative_groups():
+    with pytest.raises(TranslationError, match="no equivalent"):
+        Hipify().translate_unit(
+            _tu(Model.CUDA, Language.CPP,
+                ["cuda:kernels", "cuda:cooperative_groups"])
+        )
+
+
+def test_hipify_rejects_wrong_source():
+    with pytest.raises(TranslationError, match="translates CUDA only"):
+        Hipify().translate_unit(_tu(Model.OPENMP, Language.CPP, []))
+    with pytest.raises(TranslationError):
+        Hipify().translate_unit(_tu(Model.CUDA, Language.FORTRAN, []))
+
+
+def test_syclomatic_maps_to_sycl_constructs():
+    out = Syclomatic().translate_unit(
+        _tu(Model.CUDA, Language.CPP,
+            ["cuda:kernels", "cuda:streams", "cuda:managed_memory"])
+    )
+    assert out.model is Model.SYCL
+    assert {"sycl:queues", "sycl:nd_range", "sycl:usm"} == out.features
+
+
+def test_syclomatic_rejects_graphs_and_coop():
+    for tag in ("cuda:graphs", "cuda:cooperative_groups"):
+        with pytest.raises(TranslationError):
+            Syclomatic().translate_unit(
+                _tu(Model.CUDA, Language.CPP, ["cuda:kernels", tag]))
+
+
+def test_hw_tags_pass_through():
+    out = Hipify().translate_unit(
+        TranslationUnit("t", Model.CUDA, Language.CPP,
+                        kernels=[KL.reduce_sum],
+                        features={"cuda:kernels"})
+    )
+    # barrier/atomics/shared stay on the kernels, not the TU features
+    assert "barrier" not in out.features
+    assert KL.reduce_sum in out.kernels
+
+
+def test_gpufort_source_models():
+    cuda_f = Gpufort(source=Model.CUDA)
+    acc_f = Gpufort(source=Model.OPENACC)
+    assert cuda_f.MATURITY is Maturity.RESEARCH
+    out = cuda_f.translate_unit(
+        _tu(Model.CUDA, Language.FORTRAN, ["cuf:kernels", "cuda:memcpy"]))
+    assert out.model is Model.OPENMP
+    assert out.language is Language.FORTRAN
+    assert "omp:target" in out.features
+    out2 = acc_f.translate_unit(
+        _tu(Model.OPENACC, Language.FORTRAN, ["acc:parallel", "acc:loop"]))
+    assert "omp:teams" in out2.features
+    with pytest.raises(TranslationError):
+        Gpufort(source=Model.SYCL)
+
+
+def test_gpufort_use_case_gaps():
+    with pytest.raises(TranslationError):
+        Gpufort(source=Model.CUDA).translate_unit(
+            _tu(Model.CUDA, Language.FORTRAN, ["cuf:kernels", "cuda:streams"]))
+
+
+def test_acc2omp_both_languages_and_gaps():
+    tool = AccToOmp()
+    for lang in (Language.CPP, Language.FORTRAN):
+        out = tool.translate_unit(
+            _tu(Model.OPENACC, lang, ["acc:parallel", "acc:data",
+                                      "acc:copyin_copyout"]))
+        assert out.model is Model.OPENMP
+        assert out.language is lang
+    for tag in ("acc:reduction", "acc:async", "acc:serial",
+                "acc:gang_worker_vector"):
+        with pytest.raises(TranslationError):
+            tool.translate_unit(
+                _tu(Model.OPENACC, Language.CPP, ["acc:parallel", tag]))
+
+
+def test_translated_unit_is_renamed():
+    out = Hipify().translate_unit(_tu(Model.CUDA, Language.CPP,
+                                      ["cuda:kernels"], name="myapp"))
+    assert out.name == "myapp.hipify"
+
+
+# -- string level --------------------------------------------------------------
+
+
+def test_hipify_identifier_table():
+    src = ("cudaMalloc(&p, n); cudaMemcpyAsync(d, h, n, "
+           "cudaMemcpyHostToDevice, s); cudaEventElapsedTime(&ms, a, b); "
+           "cublasSaxpy(h, n, &a, x, 1, y, 1);")
+    out, report = Hipify().translate_source(src)
+    assert "hipMalloc" in out and "hipMemcpyAsync" in out
+    assert "hipMemcpyHostToDevice" in out
+    assert "hipEventElapsedTime" in out
+    assert "hipblasSaxpy" in out  # the paper's own example pair
+    assert "cuda" not in out
+    assert report.replacements >= 5
+    assert not report.warnings
+
+
+def test_hipify_kernel_launch_syntax():
+    out, _ = Hipify().translate_source("saxpy<<<grid, block>>>(n, a, x, y);")
+    assert out == "hipLaunchKernelGGL(saxpy, grid, block, 0, 0, n, a, x, y);"
+
+
+def test_hipify_warns_on_unconverted():
+    out, report = Hipify().translate_source(
+        "cudaMalloc(&p, n); cudaFrobnicate(p);")
+    assert any("cudaFrobnicate" in w for w in report.warnings)
+
+
+def test_syclomatic_string_rewrites():
+    src = ("cudaMallocManaged(&p, n); kernel<<<g, b>>>(p);\n"
+           "cudaDeviceSynchronize();")
+    out, report = Syclomatic().translate_source(src)
+    assert "sycl::malloc_shared" in out
+    assert "q.parallel_for" in out
+    assert "q.wait" in out
+    assert report.replacements >= 3
+
+
+def test_acc2omp_directive_rewrites():
+    src = ("#pragma acc parallel loop copyin(x[0:n]) async(1)\n"
+           "for (int i = 0; i < n; ++i) y[i] = x[i];")
+    out, _ = AccToOmp().translate_source(src)
+    assert "#pragma omp target teams distribute parallel for" in out
+    assert "map(to: x[0:n])" in out
+    assert "TODO(acc2omp)" in out  # async dropped with marker
+
+
+def test_acc2omp_fortran_sentinels():
+    out, _ = AccToOmp().translate_source(
+        "!$acc parallel loop copy(y)\ndo i = 1, n\n  y(i) = 1\nend do")
+    assert "!$omp target teams distribute parallel do" in out
+    assert "map(tofrom: y)" in out
+
+
+def test_gpufort_string_rewrites():
+    src = "!$cuf kernel do\ndo i = 1, n\n  y(i) = a * x(i)\nend do"
+    out, report = Gpufort().translate_source(src)
+    assert "!$omp target teams distribute parallel do" in out
+    assert report.replacements == 1
+
+
+# -- end-to-end through simulated devices ----------------------------------
+
+
+def test_hipified_cuda_runs_on_amd(amd, rng):
+    from repro.models.cuda import Cuda
+
+    rt = Cuda(amd, "hipcc")
+    rt.translator = Hipify()
+    n = 1024
+    x_h = rng.random(n)
+    x = rt.to_device(x_h)
+    y = rt.to_device(np.ones(n))
+    rt.launch_1d(KL.axpy, n, [n, 2.0, x, y])
+    np.testing.assert_allclose(y.copy_to_host(), 2.0 * x_h + 1.0)
+    binary = rt.compile([KL.axpy], rt._kernel_tags())
+    from repro.enums import ISA
+
+    assert binary.isa is ISA.AMDGCN
+
+
+def test_syclomatic_cuda_runs_on_intel(intel, rng):
+    from repro.models.cuda import Cuda
+
+    rt = Cuda(intel, "dpcpp")
+    rt.translator = Syclomatic()
+    n = 512
+    x = rt.to_device(rng.random(n))
+    rt.launch_1d(KL.scale_inplace, n, [n, 2.0, x])
+    assert rt.compile([KL.scale_inplace], rt._kernel_tags()).isa.value == "spirv"
+
+
+def test_provider_metadata():
+    assert Hipify().PROVIDER is Provider.AMD
+    assert Syclomatic().PROVIDER is Provider.INTEL
+    assert AccToOmp().PROVIDER is Provider.INTEL
+    assert Gpufort().PROVIDER is Provider.AMD

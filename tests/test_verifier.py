@@ -1,0 +1,204 @@
+"""IR verifier: each violation class is caught."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.isa import dtypes
+from repro.isa.instructions import (
+    AtomicOp, Barrier, BinOp, Cmp, Cvt, If, Imm, Load, MemSpace, Mov,
+    Param, Register, Select, SharedAlloc, Shuffle, SpecialRead, Store,
+    UnaryOp, While,
+)
+from repro.isa.module import KernelIR, ModuleIR
+from repro.isa.verifier import verify_kernel, verify_module
+
+
+def _kernel(body, params=()):
+    return KernelIR(name="k", params=list(params), body=body)
+
+
+def _r(name, dtype):
+    return Register(name, dtype)
+
+
+F64, I64, U64, PRED, U32 = (dtypes.F64, dtypes.I64, dtypes.U64, dtypes.PRED,
+                            dtypes.U32)
+
+
+def test_use_before_definition():
+    body = [Mov(_r("a", F64), _r("ghost", F64))]
+    with pytest.raises(VerificationError, match="used before definition"):
+        verify_kernel(_kernel(body))
+
+
+def test_register_retyping_rejected():
+    body = [
+        Mov(_r("a", F64), Imm(1.0, F64)),
+        Mov(_r("a", I64), Imm(1, I64)),
+    ]
+    with pytest.raises(VerificationError, match="retyped"):
+        verify_kernel(_kernel(body))
+
+
+def test_binop_operand_mismatch():
+    body = [
+        Mov(_r("a", F64), Imm(1.0, F64)),
+        BinOp("add", _r("c", F64), _r("a", F64), Imm(1, I64)),
+    ]
+    with pytest.raises(VerificationError, match="disagree"):
+        verify_kernel(_kernel(body))
+
+
+def test_shift_requires_integers():
+    body = [BinOp("shl", _r("c", F64), Imm(1.0, F64), Imm(1.0, F64))]
+    with pytest.raises(VerificationError, match="integer"):
+        verify_kernel(_kernel(body))
+
+
+def test_predicate_arithmetic_rejected():
+    body = [BinOp("add", _r("c", PRED), Imm(True, PRED), Imm(False, PRED))]
+    with pytest.raises(VerificationError, match="not defined on predicates"):
+        verify_kernel(_kernel(body))
+
+
+def test_predicate_logic_allowed():
+    body = [BinOp("and", _r("c", PRED), Imm(True, PRED), Imm(False, PRED))]
+    verify_kernel(_kernel(body))
+
+
+def test_cmp_dst_must_be_pred():
+    body = [Cmp("lt", _r("c", F64), Imm(1.0, F64), Imm(2.0, F64))]
+    with pytest.raises(VerificationError, match="pred"):
+        verify_kernel(_kernel(body))
+
+
+def test_float_only_unary():
+    body = [UnaryOp("sqrt", _r("c", I64), Imm(4, I64))]
+    with pytest.raises(VerificationError, match="float"):
+        verify_kernel(_kernel(body))
+
+
+def test_load_address_must_be_u64():
+    body = [Load(_r("v", F64), MemSpace.GLOBAL, Imm(0, I64))]
+    with pytest.raises(VerificationError, match="u64"):
+        verify_kernel(_kernel(body))
+
+
+def test_bad_memory_space():
+    body = [Load(_r("v", F64), "texture", Imm(0, U64))]
+    with pytest.raises(VerificationError, match="bad space"):
+        verify_kernel(_kernel(body))
+
+
+def test_special_read_rules():
+    body = [SpecialRead(_r("t", U32), "tid.w")]
+    with pytest.raises(VerificationError, match="bad special register"):
+        verify_kernel(_kernel(body))
+    body = [SpecialRead(_r("t", I64), "tid.x")]
+    with pytest.raises(VerificationError, match="u32"):
+        verify_kernel(_kernel(body))
+
+
+def test_cas_needs_compare():
+    body = [AtomicOp("cas", _r("old", F64), MemSpace.GLOBAL,
+                     Imm(0, U64), Imm(1.0, F64), compare=None)]
+    with pytest.raises(VerificationError, match="cas requires"):
+        verify_kernel(_kernel(body))
+
+
+def test_shuffle_lane_must_be_u32():
+    body = [Shuffle("down", _r("v", F64), Imm(1.0, F64), Imm(1, I64))]
+    with pytest.raises(VerificationError, match="u32"):
+        verify_kernel(_kernel(body))
+
+
+def test_shared_alloc_only_top_level():
+    inner = SharedAlloc(_r("s", U64), F64, 8)
+    body = [If(Imm(True, PRED), then_body=[inner])]
+    with pytest.raises(VerificationError, match="top level"):
+        verify_kernel(_kernel(body))
+
+
+def test_shared_alloc_positive_count():
+    body = [SharedAlloc(_r("s", U64), F64, 0)]
+    with pytest.raises(VerificationError, match="positive"):
+        verify_kernel(_kernel(body))
+
+
+def test_if_condition_must_be_pred():
+    body = [If(Imm(1, I64))]
+    with pytest.raises(VerificationError, match="pred"):
+        verify_kernel(_kernel(body))
+
+
+def test_branch_definitions_need_both_paths():
+    """A register defined in only one branch is unusable afterwards."""
+    define = Mov(_r("v", F64), Imm(1.0, F64))
+    body = [
+        If(Imm(True, PRED), then_body=[define], else_body=[]),
+        Mov(_r("w", F64), _r("v", F64)),
+    ]
+    with pytest.raises(VerificationError, match="used before definition"):
+        verify_kernel(_kernel(body))
+
+
+def test_branch_definitions_on_both_paths_survive():
+    body = [
+        If(Imm(True, PRED),
+           then_body=[Mov(_r("v", F64), Imm(1.0, F64))],
+           else_body=[Mov(_r("v", F64), Imm(2.0, F64))]),
+        Mov(_r("w", F64), _r("v", F64)),
+    ]
+    verify_kernel(_kernel(body))
+
+
+def test_loop_body_definitions_do_not_escape():
+    """Zero-trip loops may never define their body registers."""
+    cond = _r("p", PRED)
+    body = [
+        While(cond_body=[Cmp("lt", cond, Imm(0, I64), Imm(0, I64))],
+              cond=cond,
+              body=[Mov(_r("v", F64), Imm(1.0, F64))]),
+        Mov(_r("w", F64), _r("v", F64)),
+    ]
+    with pytest.raises(VerificationError, match="used before definition"):
+        verify_kernel(_kernel(body))
+
+
+def test_select_rules():
+    body = [Select(_r("v", F64), Imm(1, I64), Imm(1.0, F64), Imm(2.0, F64))]
+    with pytest.raises(VerificationError, match="pred"):
+        verify_kernel(_kernel(body))
+
+
+def test_params_are_predefined():
+    params = [Param("n", I64), Param("x", F64, is_pointer=True)]
+    body = [
+        Mov(_r("m", I64), _r("n", I64)),
+        Mov(_r("addr", U64), _r("x", U64)),  # pointer param reads as u64
+    ]
+    verify_kernel(_kernel(body, params))
+
+
+def test_verify_module_covers_all_kernels():
+    good = _kernel([Mov(_r("a", F64), Imm(1.0, F64))])
+    bad = KernelIR("bad", [], [Mov(_r("a", F64), _r("ghost", F64))])
+    module = ModuleIR("m")
+    module.add(good)
+    module.add(bad)
+    with pytest.raises(VerificationError):
+        verify_module(module)
+
+
+def test_barrier_and_exit_are_always_wellformed():
+    from repro.isa.instructions import Exit
+
+    verify_kernel(_kernel([Barrier(), Exit()]))
+
+
+def test_store_type_checks():
+    body = [Store(MemSpace.GLOBAL, Imm(0, U64), Imm(1.0, F64))]
+    verify_kernel(_kernel(body))
+    body = [Store(MemSpace.GLOBAL, Imm(0.0, F64), Imm(1.0, F64))]
+    with pytest.raises(VerificationError, match="u64"):
+        verify_kernel(_kernel(body))
