@@ -1,0 +1,112 @@
+"""KERNELSAN — static-analysis findings and cost over bundled workloads.
+
+Two jobs:
+
+1. Lint the kernels the bundled workloads actually launch
+   (``workloads/babelstream.py`` -> the five BabelStream kernels,
+   ``workloads/miniapps.py`` -> jacobi2d / nbody_forces / histogram)
+   plus the rest of the kernel library, and write
+   ``artifacts/kernelsan_report.txt``.  The suite-level guarantee is
+   zero error-severity findings on shipped kernels.
+2. Record lint wall-time per kernel so later PRs can track the cost of
+   new analyses (the lint gate is meant for CI and toolchain pipelines;
+   it has a latency budget).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import AnalysisOptions, LaunchBounds, analyze_kernel
+from repro.kernels import BLOCK, KERNEL_LIBRARY
+
+#: Kernels each bundled workload launches (see workloads/*.py).
+WORKLOAD_KERNELS = {
+    "babelstream": ("stream_copy", "stream_mul", "stream_add",
+                    "stream_triad", "stream_dot"),
+    "miniapps": ("jacobi2d", "nbody_forces", "histogram"),
+}
+
+#: Buffer extents expressible as a scalar parameter or constant.
+#: Products (jacobi2d's nx*ny, nbody's 2n) are beyond the affine extent
+#: language, so those buffers fall back to the conservative top.
+KERNEL_EXTENTS = {
+    "stream_copy": {"a": "n", "c": "n"},
+    "stream_mul": {"b": "n", "c": "n"},
+    "stream_add": {"a": "n", "b": "n", "c": "n"},
+    "stream_triad": {"a": "n", "b": "n", "c": "n"},
+    "stream_dot": {"a": "n", "b": "n", "out": 64},
+    "histogram": {"data": "n", "bins": "nbins"},
+    "axpy": {"x": "n", "y": "n"},
+}
+
+BOUNDS = LaunchBounds.of(block=(BLOCK, 1, 1), grid=(64, 1, 1))
+
+REPS = 5
+
+
+def _lint(name):
+    options = AnalysisOptions(bounds=BOUNDS,
+                              extents=KERNEL_EXTENTS.get(name))
+    kernel = KERNEL_LIBRARY[name].ir
+    best = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        diags = analyze_kernel(kernel, options)
+        best = min(best, time.perf_counter() - t0)
+    return diags, best
+
+
+def test_kernelsan_report(artifacts_dir):
+    workload_names = [n for names in WORKLOAD_KERNELS.values()
+                      for n in names]
+    library_names = [n for n in KERNEL_LIBRARY if n not in workload_names]
+
+    lines = [
+        "kernelsan lint report",
+        f"launch assumption: block={BOUNDS.block} grid={BOUNDS.grid}",
+        "",
+    ]
+    total_errors = 0
+    total_diags = 0
+    timings: dict[str, float] = {}
+
+    for section, names in (("workload kernels (babelstream + miniapps)",
+                            workload_names),
+                           ("remaining kernel library", library_names)):
+        lines.append(f"== {section}")
+        lines.append(f"{'kernel':24s} {'lint ms':>8s}  findings")
+        for name in names:
+            diags, best = _lint(name)
+            timings[name] = best
+            total_errors += sum(1 for d in diags if d.is_error)
+            total_diags += len(diags)
+            note = "; ".join(d.code for d in diags) or "clean"
+            lines.append(f"{name:24s} {best * 1e3:8.2f}  {note}")
+            for d in diags:
+                lines.append(f"    {d.render().splitlines()[0]}")
+        lines.append("")
+
+    slowest = max(timings, key=timings.get)
+    lines += [
+        f"total: {len(timings)} kernels, {total_diags} finding(s), "
+        f"{total_errors} error(s)",
+        f"slowest lint: {slowest} ({timings[slowest] * 1e3:.2f} ms)",
+        f"aggregate lint time: {sum(timings.values()) * 1e3:.2f} ms",
+    ]
+    (artifacts_dir / "kernelsan_report.txt").write_text(
+        "\n".join(lines) + "\n")
+
+    # The shipped corpus must lint clean at error severity.
+    assert total_errors == 0
+
+
+def test_lint_wall_time_is_tracked(artifacts_dir):
+    """Per-kernel lint cost stays interactive (sub-second per kernel)."""
+    worst = 0.0
+    for name in ("stream_dot", "jacobi2d", "nbody_forces", "gemv"):
+        _diags, best = _lint(name)
+        worst = max(worst, best)
+    # Generous bound: the point is catching quadratic blowups from
+    # future analyses, not micro-variance.
+    assert worst < 1.0

@@ -1,0 +1,46 @@
+"""kernelsan — static analysis over the shared kernel IR.
+
+Because every programming model in the compatibility matrix lowers
+through one :class:`~repro.isa.module.ModuleIR`, a sanitizer at this
+layer covers all of them at once: races, barrier divergence, memory
+bounds, shared-memory hygiene and portability hazards are diagnosed the
+same way regardless of which frontend produced the kernel — the same
+argument the paper makes for hanging compatibility tooling off a common
+mid-level IR.
+
+Entry points:
+
+* :func:`analyze_kernel` / :func:`analyze_module` — run the passes;
+* :class:`AnalysisOptions` — launch bounds, buffer extents, pass subset;
+* :mod:`repro.analysis.crosscheck` — differential execution harness
+  that validates static verdicts against interpreter schedules;
+* ``Toolchain.compile(..., sanitize=True)`` and the ``gpu-compat lint``
+  CLI are the integrated front doors.
+"""
+
+from repro.analysis.dataflow import LaunchBounds, analyze_dataflow
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+from repro.analysis.sanitizer import (
+    PASSES,
+    AnalysisOptions,
+    analyze_kernel,
+    analyze_module,
+)
+
+__all__ = [
+    "AnalysisOptions",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "LaunchBounds",
+    "LintReport",
+    "PASSES",
+    "Severity",
+    "analyze_dataflow",
+    "analyze_kernel",
+    "analyze_module",
+]

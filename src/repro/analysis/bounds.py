@@ -1,0 +1,171 @@
+"""Out-of-bounds analysis: interval abstract interpretation of addresses.
+
+Global accesses are checked against caller-declared buffer *extents*
+(``{param_name: element_count}``, where the count may itself name a
+scalar parameter, e.g. ``{"x": "n"}``).  The byte address must decompose
+as ``ptr:<param> + affine offset``; the offset's interval under the
+launch bounds and dominating guards is compared against the extent:
+
+* provably inside -> silent;
+* interval violates by a *constant* margin -> ``OOB01`` (error; the
+  interval bounds are tight for the affine/guard class this walks);
+* violation margin expressible purely over scalar parameters ->
+  ``OOB02`` (may overflow for some runtime sizes);
+* anything involving an unbounded unknown -> silent (lattice top: no
+  claim is better than a wrong claim).
+
+Shared accesses need no declared extents — the allocations are static —
+so every resolvable shared address is checked against the kernel's
+shared segment, and against the *individual* allocation it starts in
+(overrunning ``tile`` into the next allocation is a bug even when it
+stays inside the segment).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import MemSpace
+from repro.isa.module import KernelIR
+from repro.analysis.dataflow import Access, KernelFacts
+from repro.analysis.diagnostics import Diagnostic, make
+from repro.analysis.symbolic import Affine, MaybeAffine
+
+#: Extent of one pointer parameter: an element count, or the name of the
+#: scalar parameter holding it.
+ExtentSpec = int | str
+Extents = dict[str, ExtentSpec]
+
+
+def _split_base(addr: Affine) -> tuple[str, Affine] | None:
+    """Split ``ptr:<p> + offset``; None when no unique unit-coeff base."""
+    ptrs = [(a, c) for a, c in addr.coeffs if a.startswith("ptr:")]
+    if len(ptrs) != 1 or ptrs[0][1] != 1:
+        return None
+    atom = ptrs[0][0]
+    return atom[len("ptr:"):], addr.substitute(atom, Affine())
+
+
+def _extent_bytes(kernel: KernelIR, param: str,
+                  spec: ExtentSpec) -> MaybeAffine:
+    decl = next((p for p in kernel.params if p.name == param), None)
+    if decl is None or not decl.is_pointer:
+        return None
+    item = decl.dtype.itemsize
+    if isinstance(spec, int):
+        return Affine.of_const(spec * item)
+    return Affine.of_atom(f"param:{spec}", item)
+
+
+def _only_param_atoms(expr: Affine) -> bool:
+    return all(a.startswith("param:") for a in expr.atoms)
+
+
+def _check_global(acc: Access, facts: KernelFacts,
+                  extents: Extents) -> Diagnostic | None:
+    kernel = facts.kernel
+    if acc.addr is None:
+        return None
+    split = _split_base(acc.addr)
+    if split is None:
+        return None
+    param, offset = split
+    spec = extents.get(param)
+    if spec is None:
+        return None
+    limit = _extent_bytes(kernel, param, spec)
+    if limit is None:
+        return None
+
+    env = facts.base_bound_env()
+    facts.apply_constraints(env, acc.guards)
+    size = acc.dtype.itemsize
+    end = offset.shift(size)  # exclusive end of the accessed range
+
+    if env.definitely_ge(offset, Affine.of_const(0)) and \
+            env.definitely_le(end, limit):
+        return None
+
+    lo = env.lower(offset)
+    if lo is not None and lo.is_const and lo.const < 0:
+        return make(
+            "OOB01", kernel.name, acc.path,
+            f"{acc.kind} on '{param}' reaches byte offset {lo.const} "
+            f"(offset {offset.pretty()})",
+            hint="guard the access so the index stays non-negative",
+        )
+    over = env.upper(end - limit)  # > 0 means past the end
+    if over is not None and over.is_const and over.const > 0:
+        return make(
+            "OOB01", kernel.name, acc.path,
+            f"{acc.kind} on '{param}' runs {over.const} byte(s) past the "
+            f"declared extent (offset {offset.pretty()}, "
+            f"extent {limit.pretty()} bytes)",
+            hint="guard the access against the buffer length "
+                 "(e.g. `if i < n:`)",
+        )
+    if over is not None and not over.is_const and _only_param_atoms(over):
+        return make(
+            "OOB02", kernel.name, acc.path,
+            f"{acc.kind} on '{param}' may exceed the declared extent for "
+            f"some parameter values (overrun bound {over.pretty()} bytes)",
+            hint="tighten the guard so the worst-case index fits every "
+                 "legal parameter value",
+        )
+    lo_sym = env.lower(offset)
+    if lo_sym is not None and not lo_sym.is_const and _only_param_atoms(lo_sym):
+        return make(
+            "OOB02", kernel.name, acc.path,
+            f"{acc.kind} on '{param}' may reach a negative offset for some "
+            f"parameter values (lower bound {lo_sym.pretty()} bytes)",
+            hint="guard the access so the index stays non-negative",
+        )
+    return None
+
+
+def _check_shared(acc: Access, facts: KernelFacts) -> Diagnostic | None:
+    kernel = facts.kernel
+    total = facts.shared_total
+    if acc.addr is None or total == 0:
+        return None
+    env = facts.base_bound_env()
+    facts.apply_constraints(env, acc.guards)
+    size = acc.dtype.itemsize
+    lo = env.lower(acc.addr)
+    hi = env.upper(acc.addr.shift(size))  # exclusive end
+    if lo is None or hi is None or not lo.is_const or not hi.is_const:
+        return None
+    if lo.const < 0 or hi.const > total:
+        return make(
+            "OOB03", kernel.name, acc.path,
+            f"shared {acc.kind} spans bytes [{lo.const}, {hi.const}) but "
+            f"the kernel allocates only {total} byte(s) of shared memory",
+            hint="size the allocation to the block extent or guard the "
+                 "index against the allocation length",
+        )
+    region = next((r for r in facts.shared_regions
+                   if r.base <= lo.const < r.base + r.nbytes), None)
+    if region is not None and hi.const > region.base + region.nbytes:
+        return make(
+            "OOB03", kernel.name, acc.path,
+            f"shared {acc.kind} starting in allocation '{region.name}' "
+            f"(bytes [{region.base}, {region.base + region.nbytes})) can "
+            f"run into the next allocation (reaches byte {hi.const})",
+            hint="check the index against this allocation's element count",
+        )
+    return None
+
+
+def check_bounds(facts: KernelFacts,
+                 extents: Extents | None = None) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    seen: set[str] = set()
+    for acc in facts.accesses:
+        if acc.space == MemSpace.GLOBAL and extents:
+            diag = _check_global(acc, facts, extents)
+        elif acc.space == MemSpace.SHARED:
+            diag = _check_shared(acc, facts)
+        else:
+            diag = None
+        if diag is not None and diag.path not in seen:
+            seen.add(diag.path)
+            diags.append(diag)
+    return diags

@@ -1,0 +1,444 @@
+"""Differential execution: confirm static verdicts against real schedules.
+
+The lockstep interpreter (:mod:`repro.isa.interpreter`) executes all
+threads of a block in SIMD lockstep — one legal schedule.  This module
+adds a second family of legal schedules: a *serial* interpreter that
+runs one thread at a time, advancing every live thread to its next
+barrier (or to completion) in a configurable order before starting the
+next barrier phase.  Both scheduling disciplines respect the barrier
+semantics of the IR, so:
+
+* a **race-free** kernel must produce identical results under lockstep,
+  serial-forward and serial-reverse execution;
+* a kernel with a shared-memory race generally does not — which is the
+  observable, interpreter-level ground truth the kernelsan race verdict
+  is tested against.
+
+Out-of-bounds findings are cross-validated the same way: the
+interpreter's bounds checks (:class:`~repro.errors.MemoryFaultError`)
+and divergence checks (:class:`~repro.errors.DivergentBarrierError`)
+either fire or they don't, and the static verdict must agree.
+
+The serial interpreter mirrors the lockstep one operationally: C-style
+integer division, element-size-aligned shared allocation, zero-filled
+shared memory, per-address atomic read-modify-write.  Cross-lane
+shuffles are the one exclusion — they are warp-synchronous by
+definition and have no serial equivalent — so kernels using them are
+rejected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import IRError, LaunchError, MemoryFaultError
+from repro.isa import dtypes
+from repro.isa.instructions import (
+    AtomicOp,
+    Barrier,
+    BinOp,
+    Cmp,
+    Cvt,
+    Exit,
+    If,
+    Imm,
+    Load,
+    MemSpace,
+    Mov,
+    Operand,
+    Register,
+    Select,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    Store,
+    UnaryOp,
+    While,
+)
+from repro.isa.interpreter import KernelExecutor
+from repro.isa.module import KernelIR
+
+_MAX_LOOP_TRIPS = 1_000_000
+
+
+def _cast(dt: dtypes.DType, value):
+    """Cast to a dtype with silent wraparound (matching the array path)."""
+    return np.array(value).astype(dt.np_dtype)[()]
+
+
+def _int_div(a, b):
+    a, b = int(a), int(b)
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+class _SerialThread:
+    """One GPU thread, run as a generator that yields at each barrier."""
+
+    def __init__(self, executor: "SerialExecutor", tid: tuple[int, int, int],
+                 ctaid: tuple[int, int, int], linear: int,
+                 env: dict[str, object], shared: np.ndarray,
+                 dims: dict[str, int]):
+        self.x = executor
+        self.tid = tid
+        self.ctaid = ctaid
+        self.linear = linear
+        self.env = env
+        self.shared = shared
+        self.dims = dims
+        self.exited = False
+        self._shared_cursor = 0
+
+    # -- operand access -----------------------------------------------------
+
+    def read(self, op: Operand):
+        if isinstance(op, Imm):
+            return op.dtype.np_dtype.type(op.value)
+        return self.env[op.name]
+
+    def assign(self, reg: Register, value) -> None:
+        self.env[reg.name] = _cast(reg.dtype, value)
+
+    def special(self, which: str):
+        if which.startswith("tid."):
+            return np.uint32(self.tid["xyz".index(which[-1])])
+        if which.startswith("ctaid."):
+            return np.uint32(self.ctaid["xyz".index(which[-1])])
+        if which == "laneid":
+            return np.uint32(self.linear % self.x.warp_size)
+        if which == "warpsize":
+            return np.uint32(self.x.warp_size)
+        return np.uint32(self.dims[which])
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> Iterator[None]:
+        yield from self.exec_body(self.x.kernel.body)
+
+    def exec_body(self, body) -> Iterator[None]:
+        for instr in body:
+            if self.exited:
+                return
+            if isinstance(instr, Barrier):
+                yield
+            elif isinstance(instr, If):
+                cond = bool(self.read(instr.cond))
+                yield from self.exec_body(
+                    instr.then_body if cond else instr.else_body)
+            elif isinstance(instr, While):
+                trips = 0
+                while True:
+                    yield from self.exec_body(instr.cond_body)
+                    if self.exited or not bool(self.read(instr.cond)):
+                        break
+                    yield from self.exec_body(instr.body)
+                    trips += 1
+                    if trips > _MAX_LOOP_TRIPS:
+                        raise IRError(
+                            f"kernel '{self.x.kernel.name}': runaway loop "
+                            f"in serial execution")
+            elif isinstance(instr, Exit):
+                self.exited = True
+                return
+            else:
+                self.step(instr)
+
+    def step(self, instr) -> None:
+        if isinstance(instr, Mov):
+            self.assign(instr.dst, self.read(instr.src))
+        elif isinstance(instr, BinOp):
+            self.assign(instr.dst, self._binop(
+                instr.op, self.read(instr.a), self.read(instr.b),
+                instr.dst.dtype))
+        elif isinstance(instr, UnaryOp):
+            self.assign(instr.dst, self._unary(instr.op, self.read(instr.src)))
+        elif isinstance(instr, Cmp):
+            fn = {"eq": np.equal, "ne": np.not_equal, "lt": np.less,
+                  "le": np.less_equal, "gt": np.greater,
+                  "ge": np.greater_equal}[instr.op]
+            self.env[instr.dst.name] = bool(
+                fn(self.read(instr.a), self.read(instr.b)))
+        elif isinstance(instr, Select):
+            self.assign(instr.dst,
+                        self.read(instr.a) if bool(self.read(instr.pred))
+                        else self.read(instr.b))
+        elif isinstance(instr, Cvt):
+            self.assign(instr.dst, self.read(instr.src))
+        elif isinstance(instr, SpecialRead):
+            self.assign(instr.dst, self.special(instr.which))
+        elif isinstance(instr, SharedAlloc):
+            nbytes = instr.dtype.itemsize * instr.count
+            align = instr.dtype.itemsize
+            self._shared_cursor = -(-self._shared_cursor // align) * align
+            base = self._shared_cursor
+            self._shared_cursor += nbytes
+            self.assign(instr.dst, np.uint64(base))
+        elif isinstance(instr, Load):
+            view, idx = self._resolve(instr, instr.dst.dtype)
+            self.assign(instr.dst, view[idx])
+        elif isinstance(instr, Store):
+            dt = instr.src.dtype
+            view, idx = self._resolve(instr, dt)
+            view[idx] = _cast(dt, self.read(instr.src))
+        elif isinstance(instr, AtomicOp):
+            self._atomic(instr)
+        elif isinstance(instr, Shuffle):
+            raise LaunchError(
+                "cross-lane shuffle has no serial-schedule equivalent")
+        else:  # pragma: no cover - verifier prevents this
+            raise IRError(f"unknown instruction {instr!r}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _binop(self, op: str, a, b, result: dtypes.DType):
+        if op == "div" and not result.is_float:
+            return _int_div(a, b)
+        if op == "rem" and not result.is_float:
+            return int(a) - _int_div(a, b) * (int(b) if int(b) else 1)
+        table = {
+            "add": np.add, "sub": np.subtract, "mul": np.multiply,
+            "div": np.divide, "rem": np.mod,
+            "min": np.minimum, "max": np.maximum, "pow": np.power,
+            "shl": np.left_shift, "shr": np.right_shift,
+        }
+        if op in table:
+            return table[op](a, b)
+        if op in ("and", "or", "xor"):
+            logical = {"and": np.logical_and, "or": np.logical_or,
+                       "xor": np.logical_xor}
+            bitwise = {"and": np.bitwise_and, "or": np.bitwise_or,
+                       "xor": np.bitwise_xor}
+            return (logical if result.is_pred else bitwise)[op](a, b)
+        raise IRError(f"unknown binary op '{op}'")  # pragma: no cover
+
+    def _unary(self, op: str, src):
+        if op == "rsqrt":
+            return 1.0 / np.sqrt(src)
+        fns = {"neg": np.negative, "abs": np.abs, "sqrt": np.sqrt,
+               "exp": np.exp, "log": np.log, "sin": np.sin, "cos": np.cos,
+               "tanh": np.tanh, "floor": np.floor, "ceil": np.ceil,
+               "round": np.rint, "not": np.logical_not,
+               "bitnot": np.bitwise_not}
+        return fns[op](src)
+
+    def _resolve(self, instr, dtype: dtypes.DType):
+        addr = int(self.read(instr.addr))
+        if addr % dtype.itemsize:
+            raise MemoryFaultError(
+                f"kernel '{self.x.kernel.name}': misaligned "
+                f"{dtype.name} access")
+        if instr.space == MemSpace.GLOBAL:
+            mem = self.x.gmem
+            what = "global access out of device memory"
+        else:
+            mem = self.shared
+            what = (f"kernel '{self.x.kernel.name}': shared access beyond "
+                    f"{mem.size} allocated bytes")
+        if addr + dtype.itemsize > mem.size:
+            raise MemoryFaultError(what)
+        usable = (mem.size // dtype.itemsize) * dtype.itemsize
+        return mem[:usable].view(dtype.np_dtype), addr // dtype.itemsize
+
+    def _atomic(self, instr: AtomicOp) -> None:
+        dt = instr.src.dtype
+        view, idx = self._resolve(instr, dt)
+        src = _cast(dt, self.read(instr.src))
+        old = view[idx].copy()
+        if instr.op == "add":
+            view[idx] = old + src
+        elif instr.op == "min":
+            view[idx] = min(old, src)
+        elif instr.op == "max":
+            view[idx] = max(old, src)
+        elif instr.op == "exch":
+            view[idx] = src
+        elif instr.op == "cas":
+            compare = _cast(dt, self.read(instr.compare))
+            if old == compare:
+                view[idx] = src
+        if instr.dst is not None:
+            self.assign(instr.dst, old)
+
+
+class SerialExecutor:
+    """One-thread-at-a-time executor with an explicit schedule order.
+
+    Threads of each block advance in *barrier phases*: in every phase
+    each live thread runs until its next barrier (or until it finishes),
+    visited in ``order`` ("forward": ascending linear thread id,
+    "reverse": descending).  Both are legal schedules of the barrier
+    semantics, so any result difference against the lockstep interpreter
+    is genuine nondeterminism in the kernel.
+    """
+
+    def __init__(self, kernel: KernelIR, warp_size: int,
+                 global_memory: np.ndarray):
+        if global_memory.dtype != np.uint8 or global_memory.ndim != 1:
+            raise LaunchError("global memory must be a flat uint8 array")
+        self.kernel = kernel
+        self.warp_size = int(warp_size)
+        self.gmem = global_memory
+
+    def launch(self, grid: Sequence[int], block: Sequence[int],
+               args: Sequence[object], order: str = "forward") -> None:
+        if order not in ("forward", "reverse"):
+            raise LaunchError(f"unknown schedule order '{order}'")
+        grid = tuple(int(g) for g in grid) + (1,) * (3 - len(grid))
+        block = tuple(int(b) for b in block) + (1,) * (3 - len(block))
+        if any(g <= 0 for g in grid) or any(b <= 0 for b in block):
+            raise LaunchError(
+                f"non-positive launch configuration {grid}x{block}")
+        if len(args) != len(self.kernel.params):
+            raise LaunchError(
+                f"kernel '{self.kernel.name}' takes "
+                f"{len(self.kernel.params)} arguments, got {len(args)}")
+        dims = {
+            "ntid.x": block[0], "ntid.y": block[1], "ntid.z": block[2],
+            "nctaid.x": grid[0], "nctaid.y": grid[1], "nctaid.z": grid[2],
+        }
+        with np.errstate(all="ignore"):
+            for bz in range(grid[2]):
+                for by in range(grid[1]):
+                    for bx in range(grid[0]):
+                        self._run_block((bx, by, bz), block, args, dims, order)
+
+    def _run_block(self, ctaid, block, args, dims, order: str) -> None:
+        shared = np.zeros(max(self.kernel.shared_bytes, 8), dtype=np.uint8)
+        threads: list[_SerialThread] = []
+        linear = 0
+        for tz in range(block[2]):
+            for ty in range(block[1]):
+                for tx in range(block[0]):
+                    env: dict[str, object] = {}
+                    for param, value in zip(self.kernel.params, args):
+                        dt = dtypes.U64 if param.is_pointer else param.dtype
+                        env[param.name] = _cast(dt, value)
+                    threads.append(_SerialThread(
+                        self, (tx, ty, tz), ctaid, linear, env, shared, dims))
+                    linear += 1
+        gens = [t.run() for t in threads]
+        alive = [True] * len(threads)
+        while any(alive):
+            sweep = range(len(threads))
+            if order == "reverse":
+                sweep = reversed(sweep)
+            for i in sweep:
+                if not alive[i]:
+                    continue
+                try:
+                    next(gens[i])
+                except StopIteration:
+                    alive[i] = False
+
+
+# ---------------------------------------------------------------------------
+# Schedule comparison harness
+# ---------------------------------------------------------------------------
+
+#: Schedules compared by default: the lockstep interpreter plus the two
+#: serial orders.
+DEFAULT_SCHEDULES = ("lockstep", "serial-forward", "serial-reverse")
+
+
+@dataclass
+class ScheduleComparison:
+    """Outcome of running one kernel under several legal schedules."""
+
+    schedules: tuple[str, ...]
+    outputs: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)
+    mismatches: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def deterministic(self) -> bool:
+        """All schedules ran and produced (numerically) equal results."""
+        return not self.errors and not self.mismatches
+
+
+def compare_schedules(
+    kernel: KernelIR,
+    *,
+    grid: Sequence[int],
+    block: Sequence[int],
+    buffers: dict[str, np.ndarray],
+    scalars: dict[str, object] | None = None,
+    warp_size: int = 32,
+    schedules: Sequence[str] = DEFAULT_SCHEDULES,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> ScheduleComparison:
+    """Run ``kernel`` under several schedules and diff the output buffers.
+
+    ``buffers`` maps pointer parameter names to initial array contents
+    (laid out into a fresh flat device memory per schedule); ``scalars``
+    maps the remaining parameters to values.  Floating-point outputs are
+    compared with a tolerance: legal schedules may reorder atomic float
+    additions, and that rounding jitter is not a race.
+    """
+    scalars = scalars or {}
+    align = 64
+    layout: dict[str, tuple[int, np.ndarray]] = {}
+    cursor = align  # keep byte 0 unused so "address 0" bugs fault
+    for name, arr in buffers.items():
+        arr = np.ascontiguousarray(arr)
+        layout[name] = (cursor, arr)
+        cursor += arr.nbytes
+        cursor = -(-cursor // align) * align
+    total = cursor + align
+
+    args: list[object] = []
+    for param in kernel.params:
+        if param.is_pointer:
+            if param.name not in layout:
+                raise LaunchError(f"no buffer supplied for '{param.name}'")
+            args.append(layout[param.name][0])
+        else:
+            if param.name not in scalars:
+                raise LaunchError(f"no value supplied for '{param.name}'")
+            args.append(scalars[param.name])
+
+    result = ScheduleComparison(schedules=tuple(schedules))
+    for schedule in schedules:
+        gmem = np.zeros(total, dtype=np.uint8)
+        for name, (base, arr) in layout.items():
+            gmem[base:base + arr.nbytes] = np.frombuffer(
+                arr.tobytes(), dtype=np.uint8)
+        try:
+            if schedule == "lockstep":
+                KernelExecutor(kernel, warp_size, gmem).launch(
+                    grid, block, args)
+            elif schedule == "serial-forward":
+                SerialExecutor(kernel, warp_size, gmem).launch(
+                    grid, block, args, order="forward")
+            elif schedule == "serial-reverse":
+                SerialExecutor(kernel, warp_size, gmem).launch(
+                    grid, block, args, order="reverse")
+            else:
+                raise LaunchError(f"unknown schedule '{schedule}'")
+        except Exception as exc:  # recorded, not raised: callers diff these
+            result.errors[schedule] = f"{type(exc).__name__}: {exc}"
+            continue
+        out: dict[str, np.ndarray] = {}
+        for name, (base, arr) in layout.items():
+            out[name] = gmem[base:base + arr.nbytes].view(
+                arr.dtype).reshape(arr.shape).copy()
+        result.outputs[schedule] = out
+
+    ran = [s for s in schedules if s in result.outputs]
+    for i, s1 in enumerate(ran):
+        for s2 in ran[i + 1:]:
+            for name in buffers:
+                a, b = result.outputs[s1][name], result.outputs[s2][name]
+                if np.issubdtype(a.dtype, np.floating):
+                    same = np.allclose(a, b, rtol=rtol, atol=atol,
+                                       equal_nan=True)
+                else:
+                    same = bool(np.array_equal(a, b))
+                if not same:
+                    result.mismatches.append((s1, s2, name))
+    return result

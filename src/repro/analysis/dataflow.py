@@ -1,0 +1,665 @@
+"""Symbolic dataflow over one kernel: the shared front half of kernelsan.
+
+A single forward walk of the structured IR computes, per instruction:
+
+* an affine symbolic value for every register (:mod:`.symbolic`), with
+  an *opaque atom* minted wherever affine reasoning gives up (loads,
+  float math, non-affine arithmetic, loop-carried names);
+* *thread variance* — whether a value can differ between threads of one
+  block (seeded by ``tid.*``/``laneid`` special reads);
+* the *guard context* — the conjunction of branch/loop conditions
+  dominating the instruction, kept as affine inequalities when the
+  conditions are integer comparisons;
+* a *barrier epoch* — a counter incremented at every ``Barrier``, so two
+  shared accesses with equal epochs are unordered ("same barrier
+  interval") for the race analysis;
+* structural context — enclosing loops, enclosing ``If`` arms, and a
+  human-readable instruction path for diagnostics.
+
+The walk itself judges nothing; it only produces :class:`KernelFacts`
+that the analysis passes (:mod:`.races`, :mod:`.bounds`, :mod:`.lints`)
+consume.  Loops are walked once with loop-carried registers *havocked*
+(bound to fresh atoms) so single-iteration facts are never mistaken for
+invariants; cross-iteration questions are answered by renaming the
+atoms minted inside the loop (see :func:`KernelFacts.loop_atoms`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import dtypes
+from repro.isa.instructions import (
+    AtomicOp,
+    Barrier,
+    BinOp,
+    Cmp,
+    Cvt,
+    Exit,
+    If,
+    Imm,
+    Instruction,
+    Load,
+    MemSpace,
+    Mov,
+    Operand,
+    Register,
+    Select,
+    SharedAlloc,
+    Shuffle,
+    SpecialRead,
+    Store,
+    UnaryOp,
+    While,
+    walk,
+)
+from repro.isa.module import KernelIR
+from repro.analysis.symbolic import (
+    Affine,
+    BoundEnv,
+    MaybeAffine,
+    THREAD_ATOMS,
+    add,
+    mul,
+    sub,
+)
+
+#: Block extent assumed when no launch bounds are declared (the device
+#: maximum); keeps "definite" race/bounds claims honest by default.
+DEFAULT_MAX_BLOCK = 1024
+DEFAULT_MAX_GRID = 1 << 31
+
+
+@dataclass(frozen=True)
+class LaunchBounds:
+    """Optional launch geometry the kernel is analyzed under."""
+
+    block: tuple[int, int, int] | None = None
+    grid: tuple[int, int, int] | None = None
+
+    @staticmethod
+    def of(block=None, grid=None) -> "LaunchBounds":
+        def _pad(t):
+            if t is None:
+                return None
+            t = tuple(int(x) for x in t)
+            return t + (1,) * (3 - len(t))
+        return LaunchBounds(block=_pad(block), grid=_pad(grid))
+
+
+#: One normalized guard constraint: ``("le", lhs, rhs)`` meaning
+#: ``lhs <= rhs`` or ``("eq", lhs, rhs)``; both sides affine.
+Constraint = tuple[str, Affine, Affine]
+
+
+@dataclass(frozen=True)
+class GuardLeaf:
+    """One atomic condition in a guard conjunction."""
+
+    constraint: Constraint | None  # None when not an integer comparison
+    variant: bool  # condition can differ between threads
+
+
+@dataclass
+class Access:
+    """One memory operation, with everything the passes need to judge it."""
+
+    kind: str  # "load" | "store" | "atomic"
+    space: str
+    addr: MaybeAffine  # byte address
+    dtype: "dtypes.DType"
+    path: str
+    seq: int
+    epoch: int
+    guards: tuple[GuardLeaf, ...]
+    loops: tuple[int, ...]  # ids of enclosing While loops, outermost first
+    branches: tuple[tuple[int, str], ...]  # (if_id, "then"/"else") chain
+    addr_variant: bool
+    value_expr: MaybeAffine = None  # stored value (stores only)
+    value_variant: bool = True
+    instr: Instruction | None = None
+
+
+@dataclass
+class BarrierSite:
+    """One ``Barrier``, with the divergence-relevant context."""
+
+    path: str
+    epoch: int
+    guards: tuple[GuardLeaf, ...]
+    in_variant_if: bool
+    in_variant_loop: bool
+
+
+@dataclass
+class SharedRegion:
+    """One static shared-memory allocation with its resolved base."""
+
+    name: str  # destination register name
+    base: int  # byte offset within the block's shared segment
+    nbytes: int
+    dtype: "dtypes.DType"
+    path: str
+
+
+@dataclass
+class LoopInfo:
+    id: int
+    entry_epoch: int
+    exit_epoch: int
+    has_barrier: bool
+    cond_variant: bool
+    parent_loops: tuple[int, ...]
+
+
+@dataclass
+class KernelFacts:
+    """Everything one walk learned about a kernel."""
+
+    kernel: KernelIR
+    bounds: LaunchBounds | None
+    accesses: list[Access] = field(default_factory=list)
+    barriers: list[BarrierSite] = field(default_factory=list)
+    shared_regions: list[SharedRegion] = field(default_factory=list)
+    shuffles: list[tuple[Shuffle, str, tuple[int, ...], MaybeAffine]] = \
+        field(default_factory=list)
+    atomics: list[tuple[AtomicOp, str, tuple[int, ...]]] = field(default_factory=list)
+    loops: dict[int, LoopInfo] = field(default_factory=dict)
+    if_conds: dict[int, bool] = field(default_factory=dict)  # if_id -> variant
+    variant_atoms: set[str] = field(default_factory=set)
+    atom_loops: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    shared_total: int = 0
+
+    # -- derived helpers ------------------------------------------------------
+
+    def is_variant_atom(self, atom: str) -> bool:
+        return atom in THREAD_ATOMS or atom in self.variant_atoms
+
+    def variant_atoms_of(self, expr: MaybeAffine) -> frozenset[str]:
+        if expr is None:
+            return frozenset()
+        return frozenset(a for a in expr.atoms if self.is_variant_atom(a))
+
+    def loop_atoms(self, loop_id: int) -> frozenset[str]:
+        """Atoms minted inside loop ``loop_id`` (loop-carried values)."""
+        return frozenset(
+            a for a, loops in self.atom_loops.items() if loop_id in loops
+        )
+
+    def base_bound_env(self, extra_atoms: frozenset[str] = frozenset()) -> BoundEnv:
+        """Base ranges for hardware atoms under the declared bounds."""
+        env = BoundEnv()
+        block = self.bounds.block if self.bounds else None
+        grid = self.bounds.grid if self.bounds else None
+        for dim, axis in enumerate("xyz"):
+            ntid, nctaid = f"sr:ntid.{axis}", f"sr:nctaid.{axis}"
+            bx = block[dim] if block else None
+            gx = grid[dim] if grid else None
+            env.set_lo(ntid, Affine.of_const(1))
+            env.set_hi(ntid, Affine.of_const(bx if bx else DEFAULT_MAX_BLOCK))
+            if bx:
+                env.set_lo(ntid, Affine.of_const(bx))
+            env.set_lo(nctaid, Affine.of_const(1))
+            env.set_hi(nctaid, Affine.of_const(gx if gx else DEFAULT_MAX_GRID))
+            if gx:
+                env.set_lo(nctaid, Affine.of_const(gx))
+            for base, extent in ((f"sr:tid.{axis}", ntid),
+                                 (f"sr:ctaid.{axis}", nctaid)):
+                env.set_lo(base, Affine.of_const(0))
+                env.set_hi(base, Affine.of_atom(extent).shift(-1))
+        env.set_lo("sr:laneid", Affine.of_const(0))
+        env.set_hi("sr:laneid", Affine.of_atom("sr:warpsize").shift(-1))
+        env.set_lo("sr:warpsize", Affine.of_const(16))
+        env.set_hi("sr:warpsize", Affine.of_const(64))
+        # Renamed copies of hardware atoms inherit the original's range.
+        for atom in extra_atoms:
+            original = atom.split("'", 1)[0]
+            if original != atom:
+                for table in (env.lo, env.hi):
+                    if original in table:
+                        table[atom] = table[original]
+        return env
+
+    def thread_extent(self, atom: str) -> int:
+        """Max number of distinct values a thread atom takes in a block."""
+        base = atom.split("'", 1)[0]
+        block = self.bounds.block if self.bounds else None
+        if base == "sr:laneid":
+            return 64
+        if base.startswith("sr:tid.") and block:
+            return block["xyz".index(base[-1])]
+        if base.startswith("sr:tid."):
+            return DEFAULT_MAX_BLOCK
+        return DEFAULT_MAX_BLOCK
+
+    def apply_constraints(self, env: BoundEnv,
+                          guards: tuple[GuardLeaf, ...],
+                          rename: dict[str, str] | None = None) -> None:
+        """Fold guard constraints into an atom bound environment."""
+        for leaf in guards:
+            if leaf.constraint is None:
+                continue
+            op, lhs, rhs = leaf.constraint
+            if rename:
+                lhs, rhs = lhs.rename(rename), rhs.rename(rename)
+            if op == "eq":
+                _apply_le(env, lhs, rhs)
+                _apply_le(env, rhs, lhs)
+            else:
+                _apply_le(env, lhs, rhs)
+
+
+def _apply_le(env: BoundEnv, lhs: Affine, rhs: Affine) -> None:
+    """Record ``lhs <= rhs`` as per-atom bounds (unit coefficients only)."""
+    diff = lhs - rhs  # diff <= 0
+    for atom, c in diff.coeffs:
+        rest = diff.substitute(atom, Affine())  # diff minus the atom term
+        if c == 1:
+            env.set_hi(atom, rest.scale(-1))
+        elif c == -1:
+            env.set_lo(atom, rest)
+
+
+# ---------------------------------------------------------------------------
+# The walk
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Value:
+    expr: MaybeAffine
+    variant: bool
+    cond: object = None  # _Cond for predicates
+
+
+@dataclass
+class _Cond:
+    """A predicate register's condition as a guard conjunction."""
+
+    leaves: tuple[GuardLeaf, ...] | None  # None = unknown structure
+    negated: tuple[GuardLeaf, ...] | None  # leaves of the negation
+    variant: bool
+
+
+_CMP_NEG = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq"}
+
+
+def _leaf_from_cmp(op: str, a: MaybeAffine, b: MaybeAffine,
+                   variant: bool) -> GuardLeaf:
+    if a is None or b is None:
+        return GuardLeaf(None, variant)
+    if op == "lt":
+        return GuardLeaf(("le", a, b.shift(-1)), variant)
+    if op == "le":
+        return GuardLeaf(("le", a, b), variant)
+    if op == "gt":
+        return GuardLeaf(("le", b.shift(1), a), variant)
+    if op == "ge":
+        return GuardLeaf(("le", b, a), variant)
+    if op == "eq":
+        return GuardLeaf(("eq", a, b), variant)
+    return GuardLeaf(None, variant)  # ne carries no interval information
+
+
+class _Walker:
+    def __init__(self, kernel: KernelIR, bounds: LaunchBounds | None):
+        self.kernel = kernel
+        self.facts = KernelFacts(kernel=kernel, bounds=bounds)
+        self.env: dict[str, _Value] = {}
+        self.guards: list[GuardLeaf] = []
+        self.loops: list[int] = []
+        self.branches: list[tuple[int, str]] = []
+        self.in_variant_if = 0
+        self.in_variant_loop = 0
+        self.epoch = 0
+        self.seq = 0
+        self.shared_cursor = 0
+        self._serial = 0
+        self._loop_serial = 0
+        self._if_serial = 0
+
+        for p in kernel.params:
+            if p.is_pointer:
+                self.env[p.name] = _Value(Affine.of_atom(f"ptr:{p.name}"), False)
+            elif p.dtype.is_integer:
+                self.env[p.name] = _Value(Affine.of_atom(f"param:{p.name}"), False)
+            else:
+                self.env[p.name] = _Value(None, False)
+
+    # -- helpers ------------------------------------------------------------
+
+    def fresh_atom(self, hint: str, variant: bool) -> Affine:
+        self._serial += 1
+        atom = f"op:{hint}#{self._serial}"
+        if variant:
+            self.facts.variant_atoms.add(atom)
+        if self.loops:
+            self.facts.atom_loops[atom] = tuple(self.loops)
+        return Affine.of_atom(atom)
+
+    def opaque(self, reg: Register, variant: bool) -> _Value:
+        return _Value(self.fresh_atom(reg.name, variant), variant)
+
+    def read(self, op: Operand) -> _Value:
+        if isinstance(op, Imm):
+            if op.dtype.is_integer:
+                return _Value(Affine.of_const(int(op.value)), False)
+            return _Value(None, False)
+        val = self.env.get(op.name)
+        if val is None:  # verifier rejects this; stay robust anyway
+            val = _Value(None, True)
+        return val
+
+    def path(self, idx_chain: str, label: str) -> str:
+        return f"{idx_chain}: {label}"
+
+    # -- instruction dispatch -----------------------------------------------
+
+    def walk_body(self, body: list[Instruction], prefix: str) -> None:
+        for pos, instr in enumerate(body):
+            self.seq += 1
+            where = f"{prefix}[{pos}]"
+            self.step(instr, where)
+
+    def step(self, instr: Instruction, where: str) -> None:
+        if isinstance(instr, Mov):
+            val = self.read(instr.src)
+            self.env[instr.dst.name] = _Value(val.expr, val.variant, val.cond)
+
+        elif isinstance(instr, SpecialRead):
+            atom = f"sr:{instr.which}"
+            self.env[instr.dst.name] = _Value(
+                Affine.of_atom(atom), atom in THREAD_ATOMS
+            )
+
+        elif isinstance(instr, BinOp):
+            self._binop(instr)
+
+        elif isinstance(instr, UnaryOp):
+            src = self.read(instr.src)
+            if instr.op == "neg" and src.expr is not None and instr.dst.dtype.is_integer:
+                self.env[instr.dst.name] = _Value(src.expr.scale(-1), src.variant)
+            elif instr.op == "not":
+                cond = src.cond
+                neg = None
+                if isinstance(cond, _Cond):
+                    neg = _Cond(cond.negated, cond.leaves, cond.variant)
+                self.env[instr.dst.name] = _Value(None, src.variant, neg)
+            else:
+                self.env[instr.dst.name] = self.opaque(instr.dst, src.variant)
+
+        elif isinstance(instr, Cmp):
+            a, b = self.read(instr.a), self.read(instr.b)
+            variant = a.variant or b.variant
+            int_ok = (not isinstance(instr.a, Imm) or instr.a.dtype.is_integer) and \
+                     (not isinstance(instr.b, Imm) or instr.b.dtype.is_integer)
+            ae = a.expr if int_ok else None
+            be = b.expr if int_ok else None
+            leaf = _leaf_from_cmp(instr.op, ae, be, variant)
+            neg_leaf = _leaf_from_cmp(_CMP_NEG[instr.op], ae, be, variant)
+            cond = _Cond(
+                leaves=(leaf,),
+                negated=(neg_leaf,),
+                variant=variant,
+            )
+            self.env[instr.dst.name] = _Value(None, variant, cond)
+
+        elif isinstance(instr, Select):
+            p, a, b = (self.read(instr.pred), self.read(instr.a),
+                       self.read(instr.b))
+            variant = p.variant or a.variant or b.variant
+            if a.expr is not None and a.expr == b.expr:
+                self.env[instr.dst.name] = _Value(a.expr, variant)
+            else:
+                self.env[instr.dst.name] = self.opaque(instr.dst, variant)
+
+        elif isinstance(instr, Cvt):
+            src = self.read(instr.src)
+            # Integer<->integer conversions keep the symbolic value (the
+            # analyses ignore wrap-around, as address arithmetic stays in
+            # range in well-formed kernels); anything through floats is
+            # opaque.
+            src_dt = instr.src.dtype
+            if src_dt.is_integer and instr.dst.dtype.is_integer:
+                self.env[instr.dst.name] = _Value(src.expr, src.variant)
+            else:
+                self.env[instr.dst.name] = self.opaque(instr.dst, src.variant)
+
+        elif isinstance(instr, Load):
+            addr = self.read(instr.addr)
+            self._record_access("load", instr.space, addr, instr.dst.dtype,
+                                where, instr)
+            self.env[instr.dst.name] = self.opaque(instr.dst, addr.variant)
+
+        elif isinstance(instr, Store):
+            addr = self.read(instr.addr)
+            src = self.read(instr.src)
+            self._record_access("store", instr.space, addr,
+                                instr.src.dtype, where, instr,
+                                value=src)
+
+        elif isinstance(instr, AtomicOp):
+            addr = self.read(instr.addr)
+            self._record_access("atomic", instr.space, addr,
+                                instr.src.dtype, where, instr)
+            self.facts.atomics.append((instr, where, tuple(self.loops)))
+            if instr.dst is not None:
+                self.env[instr.dst.name] = self.opaque(instr.dst, True)
+
+        elif isinstance(instr, Shuffle):
+            lane = self.read(instr.lane)
+            self.facts.shuffles.append(
+                (instr, where, tuple(self.loops), lane.expr))
+            self.env[instr.dst.name] = self.opaque(instr.dst, True)
+
+        elif isinstance(instr, SharedAlloc):
+            nbytes = instr.dtype.itemsize * instr.count
+            align = instr.dtype.itemsize
+            self.shared_cursor = -(-self.shared_cursor // align) * align
+            base = self.shared_cursor
+            self.shared_cursor += nbytes
+            self.facts.shared_total = self.shared_cursor
+            self.facts.shared_regions.append(SharedRegion(
+                name=instr.dst.name, base=base, nbytes=nbytes,
+                dtype=instr.dtype, path=self.path(where, "SharedAlloc"),
+            ))
+            self.env[instr.dst.name] = _Value(Affine.of_const(base), False)
+
+        elif isinstance(instr, Barrier):
+            self.facts.barriers.append(BarrierSite(
+                path=self.path(where, "Barrier"),
+                epoch=self.epoch,
+                guards=tuple(self.guards),
+                in_variant_if=self.in_variant_if > 0,
+                in_variant_loop=self.in_variant_loop > 0,
+            ))
+            self.epoch += 1
+
+        elif isinstance(instr, Exit):
+            pass  # retired lanes are excluded from barrier expectations
+
+        elif isinstance(instr, If):
+            self._walk_if(instr, where)
+
+        elif isinstance(instr, While):
+            self._walk_while(instr, where)
+
+    # -- compound handling ---------------------------------------------------
+
+    def _binop(self, instr: BinOp) -> None:
+        a, b = self.read(instr.a), self.read(instr.b)
+        variant = a.variant or b.variant
+        dt = instr.dst.dtype
+        expr: MaybeAffine = None
+        if dt.is_integer:
+            if instr.op == "add":
+                expr = add(a.expr, b.expr)
+            elif instr.op == "sub":
+                expr = sub(a.expr, b.expr)
+            elif instr.op == "mul":
+                expr = mul(a.expr, b.expr)
+            elif instr.op == "shl" and b.expr is not None and b.expr.is_const:
+                if a.expr is not None and 0 <= b.expr.const < 64:
+                    expr = a.expr.scale(1 << b.expr.const)
+        if dt.is_pred and instr.op in ("and", "or"):
+            ca = a.cond if isinstance(a.cond, _Cond) else None
+            cb = b.cond if isinstance(b.cond, _Cond) else None
+            leaves = negated = None
+            if instr.op == "and" and ca and cb and ca.leaves is not None \
+                    and cb.leaves is not None:
+                leaves = ca.leaves + cb.leaves  # conjunction composes
+            if instr.op == "or" and ca and cb and ca.negated is not None \
+                    and cb.negated is not None:
+                negated = ca.negated + cb.negated  # De Morgan
+            self.env[instr.dst.name] = _Value(
+                None, variant, _Cond(leaves, negated, variant))
+            return
+        if expr is not None:
+            self.env[instr.dst.name] = _Value(expr, variant)
+        else:
+            self.env[instr.dst.name] = self.opaque(instr.dst, variant)
+
+    def _record_access(self, kind: str, space: str, addr: _Value,
+                       dtype, where: str, instr: Instruction,
+                       value: _Value | None = None) -> None:
+        label = f"{type(instr).__name__}({space})"
+        self.facts.accesses.append(Access(
+            kind=kind,
+            space=space,
+            addr=addr.expr,
+            dtype=dtype,
+            path=self.path(where, label),
+            seq=self.seq,
+            epoch=self.epoch,
+            guards=tuple(self.guards),
+            loops=tuple(self.loops),
+            branches=tuple(self.branches),
+            addr_variant=addr.variant,
+            value_expr=value.expr if value is not None else None,
+            value_variant=value.variant if value is not None else True,
+            instr=instr,
+        ))
+
+    def _cond_of(self, op: Operand) -> _Cond:
+        val = self.read(op)
+        if isinstance(val.cond, _Cond):
+            return val.cond
+        if isinstance(op, Imm):
+            return _Cond((), (), False)  # constant condition: no guard
+        return _Cond(None, None, val.variant)
+
+    def _walk_if(self, instr: If, where: str) -> None:
+        cond = self._cond_of(instr.cond)
+        self._if_serial += 1
+        if_id = self._if_serial
+        self.facts.if_conds[if_id] = cond.variant
+
+        snapshot = dict(self.env)
+        entry_epoch = self.epoch
+
+        def _walk_arm(body, arm: str, leaves) -> tuple[dict, int]:
+            self.env = dict(snapshot)
+            self.epoch = entry_epoch
+            n_guards = 0
+            if leaves:
+                self.guards.extend(leaves)
+                n_guards = len(leaves)
+            self.branches.append((if_id, arm))
+            if cond.variant:
+                self.in_variant_if += 1
+            self.walk_body(body, f"{where}.{arm}")
+            if cond.variant:
+                self.in_variant_if -= 1
+            self.branches.pop()
+            if n_guards:
+                del self.guards[-n_guards:]
+            return self.env, self.epoch
+
+        then_leaves = cond.leaves or (
+            (GuardLeaf(None, cond.variant),) if cond.leaves is None else ())
+        else_leaves = cond.negated or (
+            (GuardLeaf(None, cond.variant),) if cond.negated is None else ())
+        then_env, then_epoch = _walk_arm(instr.then_body, "then", then_leaves)
+        else_env, else_epoch = _walk_arm(instr.else_body, "else", else_leaves)
+
+        # Join: keep agreeing values, havoc the rest.
+        merged: dict[str, _Value] = {}
+        for name in set(then_env) | set(else_env):
+            tv = then_env.get(name, snapshot.get(name))
+            ev = else_env.get(name, snapshot.get(name))
+            if tv is None or ev is None:
+                continue
+            if tv.expr is not None and tv.expr == ev.expr:
+                merged[name] = _Value(tv.expr, tv.variant or ev.variant, tv.cond)
+            elif tv is ev:
+                merged[name] = tv
+            else:
+                variant = tv.variant or ev.variant or cond.variant
+                merged[name] = _Value(
+                    self.fresh_atom(name, variant), variant)
+        self.env = merged
+        self.epoch = max(then_epoch, else_epoch)
+
+    def _walk_while(self, instr: While, where: str) -> None:
+        self._loop_serial += 1
+        loop_id = self._loop_serial
+        parent = tuple(self.loops)
+        self.loops.append(loop_id)
+
+        # Havoc loop-carried names before analyzing the body: values
+        # computed on iteration one are not loop invariants.
+        carried = _defined_names(instr.cond_body) | _defined_names(instr.body)
+        for name in carried:
+            prev = self.env.get(name)
+            variant = prev.variant if prev is not None else True
+            self.env[name] = _Value(self.fresh_atom(name, variant), variant)
+
+        entry_epoch = self.epoch
+        self.walk_body(instr.cond_body, f"{where}.cond")
+        cond = self._cond_of(instr.cond)
+        leaves = cond.leaves if cond.leaves is not None else \
+            (GuardLeaf(None, cond.variant),)
+        self.guards.extend(leaves)
+        if cond.variant:
+            self.in_variant_loop += 1
+        self.walk_body(instr.body, f"{where}.body")
+        if cond.variant:
+            self.in_variant_loop -= 1
+        if leaves:
+            del self.guards[-len(leaves):]
+        exit_epoch = self.epoch
+
+        self.loops.pop()
+        self.facts.loops[loop_id] = LoopInfo(
+            id=loop_id,
+            entry_epoch=entry_epoch,
+            exit_epoch=exit_epoch,
+            has_barrier=exit_epoch > entry_epoch,
+            cond_variant=cond.variant,
+            parent_loops=parent,
+        )
+
+        # After the loop, every carried name (and anything assigned in the
+        # body) holds an unknown final value.
+        for name in carried:
+            prev = self.env.get(name)
+            variant = prev.variant if prev is not None else True
+            variant = variant or cond.variant
+            self.env[name] = _Value(self.fresh_atom(name, variant), variant)
+
+
+def _defined_names(body: list[Instruction]) -> set[str]:
+    names: set[str] = set()
+    for instr in walk(body):
+        dst = getattr(instr, "dst", None)
+        if isinstance(dst, Register):
+            names.add(dst.name)
+    return names
+
+
+def analyze_dataflow(kernel: KernelIR,
+                     bounds: LaunchBounds | None = None) -> KernelFacts:
+    """Run the symbolic walk over ``kernel`` and return its facts."""
+    walker = _Walker(kernel, bounds)
+    walker.walk_body(kernel.body, "body")
+    return walker.facts

@@ -1,0 +1,156 @@
+"""Structured diagnostics emitted by the kernelsan static analyses.
+
+Every analysis pass reports findings as :class:`Diagnostic` objects
+rather than exceptions, so one lint run surfaces *all* problems of a
+kernel at once — the model is a compiler driver printing every warning,
+not a verifier bailing at the first violation.
+
+Each diagnostic carries a stable *code* (``RACE01``, ``DIV02``, ...)
+keyed into :data:`DIAGNOSTIC_CODES`; severities follow the usual
+compiler convention:
+
+* ``ERROR`` — the kernel provably misbehaves on some legal schedule or
+  input within the declared launch bounds (lint gates fail the build);
+* ``WARNING`` — the analysis cannot prove the kernel safe (may-alias,
+  may-overflow) or the construct is portability-hazardous;
+* ``INFO`` — advisory only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Stable code -> (default severity, one-line description).
+DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
+    "RACE01": (Severity.ERROR,
+               "definite shared-memory data race within one barrier interval"),
+    "RACE02": (Severity.WARNING,
+               "possible shared-memory data race (may-alias, unproven)"),
+    "DIV01": (Severity.ERROR,
+              "barrier under a thread-divergent conditional"),
+    "DIV02": (Severity.ERROR,
+              "barrier inside a loop with a thread-divergent trip count"),
+    "OOB01": (Severity.ERROR,
+              "global memory access provably outside the parameter buffer"),
+    "OOB02": (Severity.WARNING,
+              "global memory access may exceed the parameter buffer"),
+    "OOB03": (Severity.ERROR,
+              "shared memory access outside the static allocation"),
+    "UNINIT01": (Severity.WARNING,
+                 "shared memory read before any store to the allocation"),
+    "DEAD01": (Severity.WARNING,
+               "shared memory store never observed by a load"),
+    "PORT01": (Severity.WARNING,
+               "shuffle distance assumes a fixed execution width"),
+    "PORT02": (Severity.INFO,
+               "CAS retry loop relies on vendor forward-progress guarantees"),
+    "PORT03": (Severity.WARNING,
+               "static shared memory exceeds the smallest device capacity"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a kernelsan pass.
+
+    Attributes:
+        code: Stable identifier from :data:`DIAGNOSTIC_CODES`.
+        severity: Finding severity (defaults from the code table).
+        kernel: Name of the kernel the finding is in.
+        path: Human-readable instruction path, e.g.
+            ``"body[3].then[0] Store(shared)"``.
+        message: The finding itself.
+        hint: Suggested fix, empty when there is none.
+    """
+
+    code: str
+    severity: Severity
+    kernel: str
+    path: str
+    message: str
+    hint: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= Severity.ERROR
+
+    def render(self) -> str:
+        """Compiler-style one/two-line rendering."""
+        line = f"{self.kernel}: {self.severity.label}: [{self.code}] {self.message}"
+        if self.path:
+            line += f"\n    at {self.path}"
+        if self.hint:
+            line += f"\n    hint: {self.hint}"
+        return line
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def make(code: str, kernel: str, path: str, message: str, hint: str = "",
+         severity: Severity | None = None) -> Diagnostic:
+    """Build a diagnostic, defaulting severity from the code table."""
+    default, _desc = DIAGNOSTIC_CODES[code]
+    return Diagnostic(
+        code=code,
+        severity=severity if severity is not None else default,
+        kernel=kernel,
+        path=path,
+        message=message,
+        hint=hint,
+    )
+
+
+@dataclass
+class LintReport:
+    """Diagnostics for one module/kernel corpus, with rollups."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, more: list[Diagnostic]) -> None:
+        self.diagnostics.extend(more)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def by_kernel(self) -> dict[str, list[Diagnostic]]:
+        out: dict[str, list[Diagnostic]] = {}
+        for d in self.diagnostics:
+            out.setdefault(d.kernel, []).append(d)
+        return out
+
+    def summary_line(self) -> str:
+        return (f"{self.count(Severity.ERROR)} error(s), "
+                f"{self.count(Severity.WARNING)} warning(s), "
+                f"{self.count(Severity.INFO)} note(s)")
+
+    def render(self) -> str:
+        """Full text report, kernels in first-seen order."""
+        lines: list[str] = []
+        for kernel, diags in self.by_kernel().items():
+            for d in sorted(diags, key=lambda d: -int(d.severity)):
+                lines.append(d.render())
+        lines.append(self.summary_line())
+        return "\n".join(lines)

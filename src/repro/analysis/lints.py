@@ -1,0 +1,144 @@
+"""Shared-memory hygiene and portability lints.
+
+* ``UNINIT01`` — a shared load with no shared store earlier in program
+  order touching the same allocation.  The interpreter zero-fills shared
+  memory, so such kernels *run*, but real devices leave LDS/SLM
+  undefined; this is precisely the class of bug that only shows up when
+  switching vendors.
+* ``DEAD01`` — a shared store never observed by any later load (or by a
+  load anywhere in a common enclosing loop, which covers values carried
+  into the next iteration).
+* ``PORT01`` — a shuffle whose constant lane distance is >= the
+  smallest execution width among the supported ISAs (Intel sub-groups
+  are 16 wide; PTX warps 32; CDNA wavefronts 64).  Such code silently
+  reads its own lane on the narrow target.
+* ``PORT02`` — a compare-and-swap retry loop: forward progress under
+  contention is a vendor-specific guarantee (advisory only).
+* ``PORT03`` — a static shared footprint larger than the smallest
+  per-block capacity in the device catalog.
+
+Granularity is deliberately per-allocation, not per-element: partial
+initialization is treated as initialization.  Accesses whose address
+interval cannot be resolved suppress the hygiene lints for every
+allocation they might touch (conservative silence).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.specs import SPEC_CATALOG
+from repro.isa.instructions import MemSpace
+from repro.isa.targets import get_target
+from repro.enums import ISA
+from repro.analysis.dataflow import Access, KernelFacts, SharedRegion
+from repro.analysis.diagnostics import Diagnostic, make
+
+#: The narrowest execution width among the supported ISAs: a shuffle
+#: distance at or above this leaves the sub-group on some vendor.
+MIN_EXEC_WIDTH = min(get_target(isa).warp_size for isa in ISA)
+
+#: The smallest per-block shared capacity across the device catalog.
+MIN_SHARED_PER_BLOCK = min(s.shared_per_block for s in SPEC_CATALOG.values())
+
+
+def _touched_regions(acc: Access, facts: KernelFacts) -> list[SharedRegion] | None:
+    """Allocations the access interval can intersect; None = unknown."""
+    if acc.addr is None:
+        return None
+    env = facts.base_bound_env()
+    facts.apply_constraints(env, acc.guards)
+    lo = env.lower(acc.addr)
+    hi = env.upper(acc.addr.shift(acc.dtype.itemsize))
+    if lo is None or hi is None or not lo.is_const or not hi.is_const:
+        return None
+    out = [r for r in facts.shared_regions
+           if lo.const < r.base + r.nbytes and hi.const > r.base]
+    return out
+
+
+def check_shared_hygiene(facts: KernelFacts) -> list[Diagnostic]:
+    kernel = facts.kernel.name
+    if not facts.shared_regions:
+        return []
+
+    shared = [a for a in facts.accesses if a.space == MemSpace.SHARED]
+    reads: dict[str, list[Access]] = {r.name: [] for r in facts.shared_regions}
+    writes: dict[str, list[Access]] = {r.name: [] for r in facts.shared_regions}
+    unknown = False
+    for acc in shared:
+        regions = _touched_regions(acc, facts)
+        if regions is None:
+            unknown = True
+            continue
+        for region in regions:
+            # Atomics read and write; count them on both sides.
+            if acc.kind in ("load", "atomic"):
+                reads[region.name].append(acc)
+            if acc.kind in ("store", "atomic"):
+                writes[region.name].append(acc)
+    if unknown:
+        return []  # an unresolvable access may be the missing store/load
+
+    diags: list[Diagnostic] = []
+    for region in facts.shared_regions:
+        rd, wr = reads[region.name], writes[region.name]
+        first_read = min(rd, key=lambda a: a.seq, default=None)
+        if first_read is not None and not any(
+                w.seq < first_read.seq for w in wr):
+            diags.append(make(
+                "UNINIT01", kernel, first_read.path,
+                f"shared allocation '{region.name}' is read before any "
+                f"store to it; device shared memory starts undefined",
+                hint="initialize the allocation (and barrier()) before "
+                     "the first read",
+            ))
+        for w in wr:
+            observed = any(
+                r.seq > w.seq or (set(r.loops) & set(w.loops))
+                for r in rd)
+            if not observed:
+                diags.append(make(
+                    "DEAD01", kernel, w.path,
+                    f"store to shared allocation '{region.name}' is never "
+                    f"read back",
+                    hint="drop the store or the allocation if the value "
+                         "is unused",
+                ))
+                break  # one report per allocation is enough
+    return diags
+
+
+def check_portability(facts: KernelFacts) -> list[Diagnostic]:
+    kernel = facts.kernel.name
+    diags: list[Diagnostic] = []
+    for _instr, path, _loops, lane in facts.shuffles:
+        if lane is not None and lane.is_const and lane.const >= MIN_EXEC_WIDTH:
+            diags.append(make(
+                "PORT01", kernel, f"{path}: Shuffle",
+                f"shuffle distance {lane.const} assumes an execution width "
+                f"> {MIN_EXEC_WIDTH}; sub-groups are only {MIN_EXEC_WIDTH} "
+                f"wide on the narrowest supported ISA "
+                f"({get_target(ISA.SPIRV).name})",
+                hint="derive the distance from warpsize() instead of a "
+                     "hard-coded lane count",
+            ))
+    for instr, path, loops, *_rest in facts.atomics:
+        if instr.op == "cas" and loops:
+            diags.append(make(
+                "PORT02", kernel, f"{path}: AtomicOp(cas)",
+                "compare-and-swap retry loop: forward progress under "
+                "contention differs between vendors' atomics "
+                "implementations",
+                hint="prefer a native atomic op (add/min/max/exch) when "
+                     "one exists, or bound the retries",
+            ))
+    shared_bytes = facts.kernel.shared_bytes
+    if shared_bytes > MIN_SHARED_PER_BLOCK:
+        small = min(SPEC_CATALOG.values(), key=lambda s: s.shared_per_block)
+        diags.append(make(
+            "PORT03", kernel, "kernel",
+            f"static shared memory footprint ({shared_bytes} B) exceeds "
+            f"the smallest per-block capacity in the device catalog "
+            f"({MIN_SHARED_PER_BLOCK} B on {small.name})",
+            hint="shrink the tile or specialize the kernel per device",
+        ))
+    return diags

@@ -1,0 +1,438 @@
+"""Shared-memory race and barrier-divergence analyses.
+
+Race model
+----------
+
+Threads of one block are unordered between two consecutive barriers, so
+two shared-memory accesses can race exactly when (a) they can execute in
+the same *barrier interval*, (b) at least one is a plain (non-atomic)
+store, and (c) their byte addresses can coincide **for two distinct
+threads**.  The dataflow walk already assigned every access a barrier
+epoch, guard context and affine address; this pass decides (c)
+symbolically:
+
+* side B's thread-varying atoms are renamed (``sr:tid.x`` becomes
+  ``sr:tid.x'``) so the two sides model two *different* threads;
+* equality guards that pin a thread atom (``if t == 0``) are substituted
+  first, so a pinned access is credited to its single thread;
+* if the address difference is a constant it answers immediately
+  (non-zero: never alias; zero: alias for *any* thread pair, a definite
+  race unless both sides were pinned to the same thread);
+* otherwise guard-derived interval bounds try to separate the two
+  address ranges (this is what proves the classic ``tile[t] = tile[t] +
+  tile[t+s]`` reduction safe: the store is guarded by ``t < s`` so its
+  range ends below the load's ``t + s`` range);
+* a residual difference over only the two thread atoms is solved
+  exactly over the block extent — and a "same thread" answer is only
+  accepted when the solved/pinned atoms identify the whole thread under
+  the declared block geometry (``tile[tid.x]`` still collides across
+  ``tid.y`` in a 16x16 block);
+* anything still undecided is a *may* race (warning, not error).
+
+Loops are handled by pairing accesses across iterations: for a loop with
+an internal barrier, the last interval of iteration *k* is concurrent
+with the first interval of iteration *k+1* (wraparound); for a
+barrier-free loop every pair of iterations is concurrent.  Loop-carried
+atoms are renamed alongside thread atoms for those pairs.
+
+Divergence model mirrors the interpreter: a barrier is an error whenever
+its lane mask can be partial — under an ``If`` arm with a thread-variant
+condition, or inside a ``While`` whose trip count varies per thread.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import MemSpace
+from repro.analysis.dataflow import Access, GuardLeaf, KernelFacts
+from repro.analysis.diagnostics import Diagnostic, make
+from repro.analysis.lints import MIN_EXEC_WIDTH
+from repro.analysis.symbolic import Affine, THREAD_ATOMS
+
+SAFE, MAYBE, DEFINITE = 0, 1, 2
+
+#: Cap on the exact-solve enumeration; above this the answer is MAYBE.
+_ENUM_LIMIT = 4096
+
+
+def _base_atom(atom: str) -> str:
+    """Strip the cross-thread/iteration rename marker."""
+    return atom.rstrip("'")
+
+
+def _pin_threads(expr: Affine, guards: tuple[GuardLeaf, ...],
+                 facts: KernelFacts,
+                 rename: dict[str, str] | None) -> tuple[Affine, dict[str, Affine]]:
+    """Substitute single-thread equality guards (``t == expr``) into ``expr``.
+
+    Returns the substituted expression plus ``{thread_atom: pinned value}``.
+    """
+    pins: dict[str, Affine] = {}
+    for leaf in guards:
+        if leaf.constraint is None or leaf.constraint[0] != "eq":
+            continue
+        _op, lhs, rhs = leaf.constraint
+        if rename:
+            lhs, rhs = lhs.rename(rename), rhs.rename(rename)
+        diff = lhs - rhs
+        variant = [a for a in diff.atoms if facts.is_variant_atom(_base_atom(a))]
+        if len(variant) != 1:
+            continue
+        atom = variant[0]
+        c = diff.coeff(atom)
+        if c not in (1, -1):
+            continue
+        rest = diff.substitute(atom, Affine())
+        value = rest.scale(-1) if c == 1 else rest
+        if any(facts.is_variant_atom(_base_atom(a)) for a in value.atoms):
+            continue
+        pins[atom] = value
+        expr = expr.substitute(atom, value)
+    return expr, pins
+
+
+def _guards_constrain(atom: str, guards: tuple[GuardLeaf, ...],
+                      rename: dict[str, str] | None) -> bool:
+    """Does any inequality guard mention ``atom``? (eq pins are consumed)."""
+    for leaf in guards:
+        if leaf.constraint is None or leaf.constraint[0] == "eq":
+            continue
+        _op, lhs, rhs = leaf.constraint
+        atoms = lhs.atoms | rhs.atoms
+        if rename:
+            atoms = {rename.get(a, a) for a in atoms}
+        if atom in atoms:
+            return True
+    return False
+
+
+def _pinned_dims(a_pins: dict[str, Affine],
+                 b_pins: dict[str, Affine]) -> set[str]:
+    """Thread atoms pinned to the same value on both sides."""
+    return {atom for atom, val in a_pins.items()
+            if b_pins.get(atom + "'") == val}
+
+
+def _free_dims(determined: set[str], facts: KernelFacts) -> tuple[str, ...]:
+    """Block dimensions that still distinguish threads after ``determined``.
+
+    Concluding "addresses only collide for the *same* thread" from the
+    solved/pinned atoms is only sound when those atoms identify the whole
+    thread: ``tile[tid.x]`` still collides across ``tid.y`` in a 16x16
+    block.  Unknown geometry keeps the 1-D reading (matching the rest of
+    the analysis, which stays conservative-silent without bounds).
+    ``laneid`` repeats every warp, so it only stands in for ``tid.x``
+    when the block is no wider than the narrowest sub-group.
+    """
+    block = facts.bounds.block if facts.bounds else None
+    if not block:
+        return ()
+    if "sr:laneid" in determined and block[0] <= MIN_EXEC_WIDTH:
+        determined = determined | {"sr:tid.x"}
+    return tuple(f"sr:tid.{axis}" for size, axis in zip(block, "xyz")
+                 if size > 1 and f"sr:tid.{axis}" not in determined)
+
+
+def _unconstrained_cross(free: tuple[str, ...], a: Access, b: Access,
+                         rename: dict[str, str]) -> bool:
+    """No inequality guard narrows the free dimensions on either side."""
+    return not any(
+        _guards_constrain(atom, a.guards, None)
+        or _guards_constrain(atom + "'", b.guards, rename)
+        for atom in free)
+
+
+def _alias_verdict(a: Access, b: Access, facts: KernelFacts,
+                   rename_loops: tuple[int, ...]) -> int:
+    """Can ``a`` and ``b`` touch the same byte from two distinct threads?"""
+    if a.addr is None or b.addr is None:
+        return MAYBE
+
+    renamed_atoms = set(facts.variant_atoms) | set(THREAD_ATOMS)
+    for loop_id in rename_loops:
+        renamed_atoms |= facts.loop_atoms(loop_id)
+    rename = {at: at + "'" for at in renamed_atoms}
+
+    a_expr, a_pins = _pin_threads(a.addr, a.guards, facts, None)
+    b_expr, b_pins = _pin_threads(b.addr.rename(rename), b.guards, facts, rename)
+
+    diff = a_expr - b_expr
+    if diff.is_const:
+        if diff.const != 0:
+            return SAFE
+        # Same byte for every thread pair.  If both sides run on one pinned
+        # thread and the pins agree, it is the *same* thread (program order
+        # protects it); different pins or an unpinned side is a real race.
+        if a_pins and b_pins:
+            a_vals = sorted(a_pins.values(), key=repr)
+            b_vals = sorted(b_pins.values(), key=repr)
+            if a_vals == b_vals:
+                free = _free_dims(_pinned_dims(a_pins, b_pins), facts)
+                if not free:
+                    return SAFE
+                if not _unconstrained_cross(free, a, b, rename):
+                    return MAYBE
+        return DEFINITE
+
+    # Interval separation under both sides' guards.
+    env = facts.base_bound_env(frozenset(rename.values()))
+    facts.apply_constraints(env, a.guards)
+    facts.apply_constraints(env, b.guards, rename=rename)
+    size_a = a.dtype.itemsize
+    size_b = b.dtype.itemsize
+    if env.definitely_le(a_expr.shift(size_a), b_expr) or \
+            env.definitely_le(b_expr.shift(size_b), a_expr):
+        return SAFE
+
+    # Exact solve when only the two thread atoms remain.
+    variant_left = [at for at in diff.atoms
+                    if facts.is_variant_atom(_base_atom(at))]
+    uniform_left = [at for at in diff.atoms
+                    if not facts.is_variant_atom(_base_atom(at))]
+    if uniform_left:
+        return MAYBE
+    plain = [at for at in variant_left if not at.endswith("'")]
+    primed = [at for at in variant_left if at.endswith("'")]
+    if len(plain) > 1 or len(primed) > 1:
+        return MAYBE
+    t1 = plain[0] if plain else None
+    t2 = primed[0] if primed else None
+    # The exact solve assumes hardware thread atoms ranging over [0, N):
+    # derived (op:) variants have no such range.
+    for atom in (t1, t2):
+        if atom is not None and not _base_atom(atom).startswith("sr:"):
+            return MAYBE
+    if t1 is not None and t2 is not None \
+            and _base_atom(t1) != _base_atom(t2):
+        return MAYBE
+
+    n1 = facts.thread_extent(t1) if t1 else None
+    n2 = facts.thread_extent(t2) if t2 else None
+    c = diff.const
+    a1 = diff.coeff(t1) if t1 else 0
+    a2 = diff.coeff(t2) if t2 else 0
+
+    # A SAFE answer below is sound even when guards further constrain the
+    # thread atoms (restricting the domain cannot create solutions); a
+    # DEFINITE answer needs the witness pair to actually execute, so it
+    # degrades to MAYBE when inequality guards touch the atoms.
+    def _witness(verdict: int) -> int:
+        if verdict != DEFINITE:
+            return verdict
+        for atom in (t1, t2):
+            if atom is not None and (
+                    _guards_constrain(atom, a.guards, None)
+                    or _guards_constrain(atom, b.guards, rename)):
+                return MAYBE
+        return DEFINITE
+
+    def _pinned_const(pins: dict[str, Affine]) -> int | None:
+        for v in pins.values():
+            if v.is_const:
+                return v.const
+        return None
+
+    if t1 is None and t2 is not None:
+        # a's thread identity is pinned or absent from the address.
+        if a2 == 0 or c % a2:
+            return SAFE
+        sol = -c // a2
+        if not (0 <= sol < n2):
+            return SAFE
+        pin = _pinned_const(a_pins)
+        if pin is not None and sol == pin:
+            free = _free_dims(_pinned_dims(a_pins, b_pins)
+                              | {_base_atom(t2)}, facts)
+            if not free:
+                return SAFE  # only colliding pair is the same thread
+            if not _unconstrained_cross(free, a, b, rename):
+                return MAYBE
+        return _witness(DEFINITE)
+    if t2 is None and t1 is not None:
+        if a1 == 0 or c % a1:
+            return SAFE
+        sol = -c // a1
+        if not (0 <= sol < n1):
+            return SAFE
+        pin = _pinned_const(b_pins)
+        if pin is not None and sol == pin:
+            free = _free_dims(_pinned_dims(a_pins, b_pins)
+                              | {_base_atom(t1)}, facts)
+            if not free:
+                return SAFE
+            if not _unconstrained_cross(free, a, b, rename):
+                return MAYBE
+        return _witness(DEFINITE)
+    if t1 is None and t2 is None:  # pragma: no cover - diff would be const
+        return MAYBE
+
+    same_dims = _pinned_dims(a_pins, b_pins) | {_base_atom(t1 or t2)}
+    free = _free_dims(same_dims, facts)
+
+    if a1 == -a2:
+        # diff = a1*(t1 - t2) + c : alias needs t1 - t2 == -c/a1.
+        if c % a1:
+            return SAFE
+        m = -c // a1
+        if m == 0:
+            # Only aliases for t1 == t2 — the same thread, unless another
+            # block dimension still distinguishes the pair.
+            if not free:
+                return SAFE
+            if not _unconstrained_cross(free, a, b, rename):
+                return MAYBE
+            return _witness(DEFINITE)
+        if abs(m) >= min(n1, n2):
+            return SAFE
+        return _witness(DEFINITE)
+    # Different coefficients: enumerate one side.
+    if a1 == 0 or a2 == 0:  # pragma: no cover - const-diff handled above
+        return MAYBE
+    limit = min(n2, _ENUM_LIMIT)
+    for v2 in range(limit):
+        num = -(c + a2 * v2)
+        if num % a1:
+            continue
+        v1 = num // a1
+        if not (0 <= v1 < n1):
+            continue
+        if v1 != v2:
+            return _witness(DEFINITE)
+        if free:
+            if not _unconstrained_cross(free, a, b, rename):
+                return MAYBE
+            return _witness(DEFINITE)
+    return SAFE
+
+
+def _exclusive_arms(a: Access, b: Access, facts: KernelFacts,
+                    cross_loop: int | None) -> bool:
+    """True when a uniform branch makes the two accesses mutually exclusive.
+
+    A uniform ``If`` means the whole block takes one arm, so then/else
+    accesses never coexist — unless we are pairing *different iterations*
+    of a loop the ``If`` sits inside (the condition may flip between
+    iterations).
+    """
+    arms_b = dict(b.branches)
+    for if_id, arm in a.branches:
+        other = arms_b.get(if_id)
+        if other is None or other == arm:
+            continue
+        if facts.if_conds.get(if_id, True):
+            continue  # variant condition: arms run concurrently
+        if cross_loop is not None and _if_inside_loop(if_id, cross_loop, a, b):
+            continue
+        return True
+    return False
+
+
+def _if_inside_loop(if_id: int, loop_id: int, a: Access, b: Access) -> bool:
+    # Both accesses carry their loop chain; the If is inside the loop iff
+    # the accesses (which are inside the If) list the loop as enclosing.
+    return loop_id in a.loops and loop_id in b.loops
+
+
+def _pair_verdict(a: Access, b: Access, facts: KernelFacts) -> int:
+    """Worst alias verdict over every way ``a``/``b`` can be concurrent."""
+    worst = SAFE
+    if a.epoch == b.epoch and not _exclusive_arms(a, b, facts, None):
+        worst = max(worst, _alias_verdict(a, b, facts, ()))
+    for loop_id in set(a.loops) & set(b.loops):
+        info = facts.loops[loop_id]
+        if info.has_barrier:
+            wraps = (
+                (a.epoch == info.exit_epoch and b.epoch == info.entry_epoch)
+                or (b.epoch == info.exit_epoch and a.epoch == info.entry_epoch)
+            )
+            if not wraps:
+                continue
+        if _exclusive_arms(a, b, facts, loop_id):
+            continue
+        worst = max(worst, _alias_verdict(a, b, facts, (loop_id,)))
+        if worst == DEFINITE:
+            break
+    return worst
+
+
+def _benign_waw(a: Access, b: Access) -> bool:
+    """Write-write with the same uniform value on both sides."""
+    if not (a.kind == "store" and b.kind == "store"
+            and not a.value_variant and not b.value_variant):
+        return False
+    if a is b:
+        # Self-pair: every thread executes the same store of a uniform
+        # value, so whatever lands is the one value (float immediates
+        # included, which have no affine value_expr).
+        return True
+    return a.value_expr is not None and a.value_expr == b.value_expr
+
+
+def check_races(facts: KernelFacts) -> list[Diagnostic]:
+    kernel = facts.kernel.name
+    bounds = facts.bounds
+    if bounds and bounds.block and tuple(bounds.block) == (1, 1, 1):
+        return []  # a single thread per block cannot race on shared memory
+
+    shared = [acc for acc in facts.accesses if acc.space == MemSpace.SHARED]
+    diags: list[Diagnostic] = []
+    seen: set[tuple[str, str]] = set()
+    for i, a in enumerate(shared):
+        for b in shared[i:]:
+            if a is b and a.kind != "store":
+                continue
+            if a.kind == "load" and b.kind == "load":
+                continue
+            if a.kind == "atomic" and b.kind == "atomic":
+                continue  # atomics are ordered against each other
+            if a.kind != "store" and b.kind != "store":
+                continue  # atomic/load mix without a plain store is ordered
+            verdict = _pair_verdict(a, b, facts)
+            if verdict == SAFE:
+                continue
+            key = (a.path, b.path)
+            if key in seen:
+                continue
+            seen.add(key)
+            what = f"{a.kind} at {a.path} and {b.kind} at {b.path}"
+            addr = a.addr.pretty() if a.addr is not None else "<unknown>"
+            if verdict == DEFINITE and not _benign_waw(a, b):
+                diags.append(make(
+                    "RACE01", kernel, a.path,
+                    f"shared-memory race: {what} can touch the same address "
+                    f"({addr}) from two threads in the same barrier interval",
+                    hint="separate the accesses with barrier() or make the "
+                         "index injective per thread",
+                ))
+            else:
+                note = " (write-write of an identical uniform value)" \
+                    if _benign_waw(a, b) else ""
+                diags.append(make(
+                    "RACE02", kernel, a.path,
+                    f"possible shared-memory race: {what} may alias "
+                    f"({addr}) within one barrier interval{note}",
+                    hint="add a barrier() between the accesses or prove the "
+                         "indices disjoint with a guard the analysis can see",
+                ))
+    return diags
+
+
+def check_divergence(facts: KernelFacts) -> list[Diagnostic]:
+    kernel = facts.kernel.name
+    diags: list[Diagnostic] = []
+    for site in facts.barriers:
+        if site.in_variant_if:
+            diags.append(make(
+                "DIV01", kernel, site.path,
+                "barrier() under a condition that varies per thread: "
+                "threads that skip the branch never arrive",
+                hint="hoist the barrier out of the divergent branch",
+            ))
+        elif site.in_variant_loop:
+            diags.append(make(
+                "DIV02", kernel, site.path,
+                "barrier() inside a loop whose trip count varies per "
+                "thread: threads that exit early stop arriving",
+                hint="make the loop bound uniform across the block "
+                     "(e.g. iterate to the block-wide maximum)",
+            ))
+    return diags

@@ -1,0 +1,106 @@
+"""kernelsan: the static-analysis driver.
+
+Runs the independent analysis passes over kernels/modules and collects
+their structured :class:`~repro.analysis.diagnostics.Diagnostic` objects
+into a :class:`~repro.analysis.diagnostics.LintReport`.  Passes share
+one symbolic dataflow walk per kernel (:mod:`.dataflow`) and never
+raise on findings — a kernel with five problems yields five
+diagnostics.
+
+Pass registry:
+
+======== ==================================================== ==========
+name     analysis                                              codes
+======== ==================================================== ==========
+races    shared-memory races within one barrier interval       RACE01/02
+diverge  barriers under thread-divergent control flow          DIV01/02
+bounds   global/shared out-of-bounds via interval analysis     OOB01-03
+shared   uninitialized / dead shared memory                    UNINIT01,
+                                                               DEAD01
+port     portability lints (shuffle width, CAS loops,          PORT01-03
+         shared-memory capacity)
+======== ==================================================== ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.isa.module import KernelIR, ModuleIR
+from repro.isa.verifier import verify_kernel
+from repro.analysis.bounds import Extents, check_bounds
+from repro.analysis.dataflow import KernelFacts, LaunchBounds, analyze_dataflow
+from repro.analysis.diagnostics import Diagnostic, LintReport
+from repro.analysis.lints import check_portability, check_shared_hygiene
+from repro.analysis.races import check_divergence, check_races
+
+#: One analysis pass: ``(facts, options) -> [diagnostics]``.
+AnalysisPass = Callable[[KernelFacts, "AnalysisOptions"], list[Diagnostic]]
+
+PASSES: dict[str, AnalysisPass] = {
+    "races": lambda facts, opts: check_races(facts),
+    "diverge": lambda facts, opts: check_divergence(facts),
+    "bounds": lambda facts, opts: check_bounds(facts, opts.extents),
+    "shared": lambda facts, opts: check_shared_hygiene(facts),
+    "port": lambda facts, opts: check_portability(facts),
+}
+
+
+@dataclass
+class AnalysisOptions:
+    """What to analyze and under which assumptions.
+
+    Attributes:
+        bounds: Launch geometry assumed by the interval analyses; omit
+            for worst-case device limits (block up to 1024 threads).
+        extents: Pointer-parameter buffer extents for the global OOB
+            check, ``{param: element_count or scalar_param_name}``.
+            Global OOB is skipped for parameters without extents.
+        passes: Subset of :data:`PASSES` names to run (all by default).
+        verify: Run the IR verifier first; analyses assume well-formed
+            IR, so this is on unless the caller already verified.
+    """
+
+    bounds: LaunchBounds | None = None
+    extents: Extents | None = None
+    passes: tuple[str, ...] = tuple(PASSES)
+    verify: bool = True
+
+
+def analyze_kernel(kernel: KernelIR,
+                   options: AnalysisOptions | None = None) -> list[Diagnostic]:
+    """Run the selected kernelsan passes over one kernel."""
+    opts = options or AnalysisOptions()
+    if opts.verify:
+        verify_kernel(kernel)
+    facts = analyze_dataflow(kernel, opts.bounds)
+    diags: list[Diagnostic] = []
+    for name in opts.passes:
+        diags.extend(PASSES[name](facts, opts))
+    diags.sort(key=lambda d: (-int(d.severity), d.code, d.path))
+    return diags
+
+
+def analyze_module(module: ModuleIR,
+                   options: AnalysisOptions | None = None,
+                   per_kernel_extents: dict[str, Extents] | None = None
+                   ) -> LintReport:
+    """Run kernelsan over every kernel of a module.
+
+    ``per_kernel_extents`` overrides ``options.extents`` for the named
+    kernels (different kernels usually bind different buffers).
+    """
+    opts = options or AnalysisOptions()
+    report = LintReport()
+    for kernel in module:
+        k_opts = opts
+        if per_kernel_extents and kernel.name in per_kernel_extents:
+            k_opts = AnalysisOptions(
+                bounds=opts.bounds,
+                extents=per_kernel_extents[kernel.name],
+                passes=opts.passes,
+                verify=opts.verify,
+            )
+        report.extend(analyze_kernel(kernel, k_opts))
+    return report

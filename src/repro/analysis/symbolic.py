@@ -1,0 +1,267 @@
+"""Affine symbolic values for the kernelsan analyses.
+
+The analyses reason about addresses and guard conditions as *affine
+expressions* over a small set of atoms::
+
+    expr ::= c0 + c1*a1 + c2*a2 + ...      (integer coefficients)
+
+Atoms are opaque strings minted by the dataflow walk:
+
+* ``sr:tid.x`` ... — hardware special registers;
+* ``param:n`` — scalar kernel parameters;
+* ``ptr:x`` — pointer parameter base addresses;
+* ``op:<reg>#<k>`` — any definition the walk cannot express affinely
+  (loads, float math, products of two non-constants, loop-carried
+  values); each definition site gets a fresh serial, so two different
+  unknown values never compare equal.
+
+Anything non-affine is represented as ``None`` (the lattice top); every
+helper treats ``None`` conservatively.  This is deliberately the same
+shape real bounds checkers use at the LLVM layer: precise for the affine
+index arithmetic GPU kernels are made of, silent for everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Atoms whose value differs between threads of one block.
+THREAD_ATOMS = frozenset({"sr:tid.x", "sr:tid.y", "sr:tid.z", "sr:laneid"})
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``const + sum(coeffs[atom] * atom)`` with integer coefficients."""
+
+    const: int = 0
+    coeffs: tuple[tuple[str, int], ...] = ()  # sorted, zero-free
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def of_const(value: int) -> "Affine":
+        return Affine(const=int(value))
+
+    @staticmethod
+    def of_atom(atom: str, coeff: int = 1) -> "Affine":
+        if coeff == 0:
+            return Affine()
+        return Affine(const=0, coeffs=((atom, int(coeff)),))
+
+    @staticmethod
+    def make(const: int, coeffs: dict[str, int]) -> "Affine":
+        packed = tuple(sorted((a, c) for a, c in coeffs.items() if c != 0))
+        return Affine(const=int(const), coeffs=packed)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def coeff_map(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    @property
+    def atoms(self) -> frozenset[str]:
+        return frozenset(a for a, _c in self.coeffs)
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def coeff(self, atom: str) -> int:
+        return self.coeff_map.get(atom, 0)
+
+    def thread_atoms(self, extra_variant: frozenset[str] = frozenset()) -> frozenset[str]:
+        """Atoms of this expression that vary across threads."""
+        variant = THREAD_ATOMS | extra_variant
+        return frozenset(a for a in self.atoms if a in variant)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "Affine") -> "Affine":
+        coeffs = self.coeff_map
+        for atom, c in other.coeffs:
+            coeffs[atom] = coeffs.get(atom, 0) + c
+        return Affine.make(self.const + other.const, coeffs)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return self + other.scale(-1)
+
+    def scale(self, k: int) -> "Affine":
+        if k == 0:
+            return Affine()
+        return Affine.make(self.const * k,
+                           {a: c * k for a, c in self.coeffs})
+
+    def shift(self, delta: int) -> "Affine":
+        return Affine.make(self.const + delta, self.coeff_map)
+
+    def rename(self, mapping: dict[str, str]) -> "Affine":
+        """Substitute atom names (used to split loop iterations/threads)."""
+        coeffs: dict[str, int] = {}
+        for atom, c in self.coeffs:
+            new = mapping.get(atom, atom)
+            coeffs[new] = coeffs.get(new, 0) + c
+        return Affine.make(self.const, coeffs)
+
+    def substitute(self, atom: str, value: "Affine") -> "Affine":
+        """Replace ``atom`` with an affine ``value``."""
+        k = self.coeff(atom)
+        if k == 0:
+            return self
+        rest = Affine.make(self.const,
+                           {a: c for a, c in self.coeffs if a != atom})
+        return rest + value.scale(k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [str(self.const)] if self.const or not self.coeffs else []
+        for atom, c in self.coeffs:
+            parts.append(f"{'+' if c >= 0 else '-'}{abs(c)}*{atom}")
+        return "(" + " ".join(parts) + ")"
+
+    def pretty(self) -> str:
+        """Human-oriented rendering for diagnostics (strips atom kinds)."""
+        terms: list[str] = []
+        for atom, c in self.coeffs:
+            name = atom.split(":", 1)[-1].split("#", 1)[0]
+            if c == 1:
+                terms.append(name)
+            elif c == -1:
+                terms.append(f"-{name}")
+            else:
+                terms.append(f"{c}*{name}")
+        if self.const or not terms:
+            terms.append(str(self.const))
+        out = " + ".join(terms)
+        return out.replace("+ -", "- ")
+
+
+MaybeAffine = Affine | None  # None == lattice top (unknown)
+
+
+def add(a: MaybeAffine, b: MaybeAffine) -> MaybeAffine:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def sub(a: MaybeAffine, b: MaybeAffine) -> MaybeAffine:
+    if a is None or b is None:
+        return None
+    return a - b
+
+
+def mul(a: MaybeAffine, b: MaybeAffine) -> MaybeAffine:
+    """Affine product — defined only when one side is a constant."""
+    if a is None or b is None:
+        return None
+    if a.is_const:
+        return b.scale(a.const)
+    if b.is_const:
+        return a.scale(b.const)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Bound environments
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BoundEnv:
+    """Per-atom inclusive bounds, themselves affine (or unknown).
+
+    Bounds come from two places: the *base ranges* of hardware atoms
+    (``tid.x`` in ``[0, ntid.x-1]``, refined by launch bounds) and the
+    dominating guard constraints collected by the dataflow walk
+    (``t < s`` gives ``t <= s - 1``).
+    """
+
+    lo: dict[str, Affine] = field(default_factory=dict)
+    hi: dict[str, Affine] = field(default_factory=dict)
+
+    def clone(self) -> "BoundEnv":
+        return BoundEnv(dict(self.lo), dict(self.hi))
+
+    def set_lo(self, atom: str, bound: Affine) -> None:
+        # Keep the *tighter* (larger) lower bound when both are constant.
+        cur = self.lo.get(atom)
+        if cur is not None and cur.is_const and bound.is_const:
+            if cur.const >= bound.const:
+                return
+        self.lo[atom] = bound
+
+    def set_hi(self, atom: str, bound: Affine) -> None:
+        cur = self.hi.get(atom)
+        if cur is not None and cur.is_const and bound.is_const:
+            if cur.const <= bound.const:
+                return
+        self.hi[atom] = bound
+
+    # -- bound computation ---------------------------------------------------
+
+    _MAX_STEPS = 24  # substitution steps; guards rarely chain deeper
+
+    def upper(self, expr: MaybeAffine) -> MaybeAffine:
+        """An affine upper bound of ``expr`` (inclusive), or unknown."""
+        return self._bound(expr, want_hi=True)
+
+    def lower(self, expr: MaybeAffine) -> MaybeAffine:
+        return self._bound(expr, want_hi=False)
+
+    def _bound(self, expr: MaybeAffine, want_hi: bool) -> MaybeAffine:
+        if expr is None:
+            return None
+        cur = expr
+        for _step in range(self._MAX_STEPS):
+            if cur.is_const:
+                return cur
+            # Prefer single substitutions that shrink the atom set: a
+            # guard bound like ``t <= s - 1`` must cancel against an
+            # existing ``-s`` term *before* ``s`` itself is bounded away,
+            # or the relation between the two is lost.
+            reduced = False
+            for atom, c in cur.coeffs:
+                # +coeff wants the atom's hi for an upper bound, lo for a
+                # lower bound; -coeff swaps them.
+                table = (self.hi if (c > 0) == want_hi else self.lo)
+                bound = table.get(atom)
+                if bound is None:
+                    continue
+                candidate = cur.substitute(atom, bound)
+                if len(candidate.coeffs) < len(cur.coeffs):
+                    cur = candidate
+                    reduced = True
+                    break
+            if reduced:
+                continue
+            # No cancelling substitution: bound every atom at once
+            # (handles chains like tid -> ntid-1 -> const).
+            out = Affine.of_const(cur.const)
+            progressed = False
+            for atom, c in cur.coeffs:
+                table = (self.hi if (c > 0) == want_hi else self.lo)
+                bound = table.get(atom)
+                if bound is None:
+                    out = out + Affine.of_atom(atom, c)
+                else:
+                    out = out + bound.scale(c)
+                    progressed = True
+            if not progressed:
+                return cur
+            cur = out
+        return cur
+
+    # -- comparisons ---------------------------------------------------------
+
+    def definitely_le(self, a: MaybeAffine, b: MaybeAffine) -> bool:
+        """Provable ``a <= b`` for all values within bounds."""
+        hi = self.upper(sub(a, b))
+        return hi is not None and hi.is_const and hi.const <= 0
+
+    def definitely_lt(self, a: MaybeAffine, b: MaybeAffine) -> bool:
+        hi = self.upper(sub(a, b))
+        return hi is not None and hi.is_const and hi.const < 0
+
+    def definitely_ge(self, a: MaybeAffine, b: MaybeAffine) -> bool:
+        lo = self.lower(sub(a, b))
+        return lo is not None and lo.is_const and lo.const >= 0

@@ -11,6 +11,25 @@ Subcommands:
 * ``advise --vendor V --language L`` / ``--model M --language L`` —
   route recommendations.
 * ``routes`` — list the full route registry.
+* ``lint [--module MOD] [--kernel NAME] [--block X,Y,Z] [--grid X,Y,Z]
+  [--extent PARAM=COUNT] [--pass NAME]`` — run the kernelsan static
+  analyses over the bundled kernel library (default) or over the
+  ``@kernel`` functions of an importable module.
+
+Exit codes (stable; scripts and CI rely on them):
+
+====  =====================================================================
+code  meaning
+====  =====================================================================
+0     success; for ``lint``: no error-severity diagnostics (warnings OK)
+1     findings: ``lint`` found error-severity diagnostics, or ``report``
+      disagreed with the published matrix
+2     usage error (argparse: unknown flag, missing operand, bad value)
+3     input rejected: the kernel source or IR failed verification
+      (:class:`~repro.errors.VerificationError`,
+      :class:`~repro.errors.FrontendError`,
+      :class:`~repro.errors.CompileError`) — the lint never ran
+====  =====================================================================
 """
 
 from __future__ import annotations
@@ -19,6 +38,7 @@ import argparse
 import sys
 
 from repro.enums import Language, Model, SupportCategory, Vendor
+from repro.errors import CompileError, FrontendError, VerificationError
 
 
 def _vendor(text: str) -> Vendor:
@@ -139,6 +159,86 @@ def cmd_conformance(args) -> int:
     return 0
 
 
+def _dim3(text: str) -> tuple[int, int, int]:
+    parts = [p for p in text.split(",") if p]
+    if not 1 <= len(parts) <= 3:
+        raise argparse.ArgumentTypeError(f"bad geometry '{text}' (use X[,Y[,Z]])")
+    try:
+        dims = [int(p) for p in parts]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad geometry '{text}'") from None
+    if any(d < 1 for d in dims):
+        raise argparse.ArgumentTypeError("geometry dimensions must be >= 1")
+    return tuple(dims + [1] * (3 - len(dims)))  # type: ignore[return-value]
+
+
+def _extent(text: str) -> tuple[str, object]:
+    name, sep, value = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"bad extent '{text}' (use PARAM=COUNT or PARAM=SCALAR_PARAM)")
+    return name, (int(value) if value.lstrip("-").isdigit() else value)
+
+
+def _lint_corpus(args):
+    """Collect the KernelIR objects to lint: library or a user module."""
+    from repro.frontends.kernel_dsl import KernelFn
+
+    if args.module:
+        import importlib
+
+        try:
+            mod = importlib.import_module(args.module)
+        except ImportError as exc:
+            raise argparse.ArgumentTypeError(
+                f"cannot import module '{args.module}': {exc}") from exc
+        fns = [v for v in vars(mod).values() if isinstance(v, KernelFn)]
+        if not fns:
+            raise argparse.ArgumentTypeError(
+                f"module '{args.module}' defines no @kernel functions")
+    else:
+        from repro.kernels import KERNEL_LIBRARY
+
+        fns = list(KERNEL_LIBRARY.values())
+    if args.kernel:
+        by_name = {f.ir.name: f for f in fns}
+        missing = [n for n in args.kernel if n not in by_name]
+        if missing:
+            raise argparse.ArgumentTypeError(
+                f"unknown kernel(s): {', '.join(missing)}")
+        fns = [by_name[n] for n in args.kernel]
+    return fns
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis import AnalysisOptions, LaunchBounds, analyze_module
+    from repro.analysis.sanitizer import PASSES
+    from repro.isa.module import ModuleIR
+
+    fns = _lint_corpus(args)
+    module = ModuleIR(name=args.module or "kernel_library")
+    for fn in fns:
+        module.add(fn.ir)
+
+    passes = tuple(args.passes) if args.passes else tuple(PASSES)
+    unknown = [p for p in passes if p not in PASSES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown pass(es): {', '.join(unknown)} "
+            f"(available: {', '.join(PASSES)})")
+    options = AnalysisOptions(
+        bounds=LaunchBounds.of(block=args.block, grid=args.grid),
+        extents=dict(args.extent) if args.extent else None,
+        passes=passes,
+    )
+    report = analyze_module(module, options)
+    out = report.render()
+    if out:
+        print(out)
+    print(f"linted {len(fns)} kernel(s): {report.summary_line()}")
+    return 1 if report.errors else 0
+
+
 def cmd_changelog(args) -> int:
     from repro.core.evolution import changelog
     from repro.data.snapshots import SNAPSHOT_2022, SNAPSHOT_2023
@@ -190,8 +290,42 @@ def main(argv: list[str] | None = None) -> int:
                            help="2022 workshop -> 2023 paper changes")
     p_log.set_defaults(func=cmd_changelog)
 
+    p_lint = sub.add_parser(
+        "lint", help="kernelsan static analyses over kernel IR")
+    p_lint.add_argument("--module", default=None,
+                        help="importable module whose @kernel functions to "
+                             "lint (default: the bundled kernel library)")
+    p_lint.add_argument("--kernel", action="append", default=None,
+                        metavar="NAME", help="restrict to named kernel(s)")
+    p_lint.add_argument("--block", type=_dim3, default=(256, 1, 1),
+                        metavar="X,Y,Z", help="assumed block (default 256)")
+    p_lint.add_argument("--grid", type=_dim3, default=(64, 1, 1),
+                        metavar="X,Y,Z", help="assumed grid (default 64)")
+    p_lint.add_argument("--extent", type=_extent, action="append",
+                        default=None, metavar="PARAM=COUNT",
+                        help="buffer element count for a pointer param "
+                             "(count or the name of a scalar param); "
+                             "enables the global OOB check")
+    p_lint.add_argument("--pass", dest="passes", action="append",
+                        default=None, metavar="NAME",
+                        help="run only the named analysis pass(es)")
+    p_lint.set_defaults(func=cmd_lint)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (VerificationError, FrontendError, CompileError) as exc:
+        # Rejected input (bad kernel source or malformed IR): the
+        # requested analysis never ran.  Distinct from exit 1, which
+        # means "ran and found problems".
+        print(f"gpu-compat {args.command}: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 3
+    except argparse.ArgumentTypeError as exc:
+        # Late usage errors (e.g. unknown kernel name discovered after
+        # parsing); argparse itself exits 2 for syntactic ones.
+        print(f"gpu-compat {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

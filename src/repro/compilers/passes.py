@@ -305,3 +305,16 @@ def optimize_module(module: ModuleIR, level: int = 2) -> tuple[ModuleIR, dict[st
         for key, val in report.items():
             totals[key] += val
     return out, totals
+
+
+def sanitize_module(module: ModuleIR, options=None):
+    """Run the kernelsan static analyses as a post-optimization stage.
+
+    Returns a :class:`repro.analysis.diagnostics.LintReport`.  Imported
+    lazily so the core pass pipeline keeps zero dependency on the
+    analysis layer (the reverse import direction is the load-bearing
+    one: kernelsan imports the verifier from here).
+    """
+    from repro.analysis import analyze_module
+
+    return analyze_module(module, options)

@@ -51,7 +51,12 @@ class Capability:
 
 @dataclass
 class CompileResult:
-    """Outcome of a successful compilation."""
+    """Outcome of a successful compilation.
+
+    ``diagnostics`` holds kernelsan findings when the compile was run
+    with ``sanitize=True`` (a ``LintReport``); ``None`` means the
+    sanitizer stage was not requested — not that the module is clean.
+    """
 
     binary: TargetModule
     toolchain: str
@@ -59,6 +64,7 @@ class CompileResult:
     options: tuple[str, ...]
     pass_report: dict[str, int] = field(default_factory=dict)
     warnings: list[str] = field(default_factory=list)
+    diagnostics: object | None = None
 
     def disassemble(self) -> str:
         from repro.isa.assembly import disassemble
@@ -118,8 +124,19 @@ class Toolchain:
         tu: TranslationUnit,
         target: ISA,
         options: tuple[str, ...] = (),
+        sanitize: bool = False,
+        sanitize_options=None,
     ) -> CompileResult:
-        """Compile a translation unit to a device binary for ``target``."""
+        """Compile a translation unit to a device binary for ``target``.
+
+        With ``sanitize=True`` the kernelsan static analyses run over
+        the *optimized* module (the form that actually ships) and the
+        resulting ``LintReport`` is attached to the result; findings
+        never abort the compile — policy belongs to the caller.
+        ``sanitize_options`` takes a
+        :class:`repro.analysis.AnalysisOptions` to pin launch bounds or
+        buffer extents.
+        """
         cap = self._caps.get((tu.model, tu.language))
         if cap is None:
             raise UnsupportedRouteError(
@@ -140,6 +157,15 @@ class Toolchain:
         for k in tu.kernels:
             module.add(k.ir)
         optimized, report = optimize_module(module, level=self.opt_level)
+        diagnostics = None
+        warnings: list[str] = []
+        if sanitize:
+            from repro.compilers.passes import sanitize_module
+
+            diagnostics = sanitize_module(optimized, sanitize_options)
+            warnings.extend(
+                d.render() for d in diagnostics.diagnostics if not d.is_error
+            )
         binary = legalize(optimized, target, producer=f"{self.name}-{self.version}")
         return CompileResult(
             binary=binary,
@@ -147,6 +173,8 @@ class Toolchain:
             target=target,
             options=tuple(options),
             pass_report=report,
+            warnings=warnings,
+            diagnostics=diagnostics,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

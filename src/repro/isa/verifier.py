@@ -6,7 +6,9 @@ NumPy broadcasting surprises inside the interpreter.  The checks:
 
 * every operand register is defined before use (conservative dataflow
   over the structured control-flow tree);
-* one name, one dtype — a register may be reassigned but never retyped;
+* one name, one dtype per path — a register may be reassigned but never
+  retyped; exclusive ``If`` arms may each bind a fresh name differently,
+  and such a name is only defined after the join when the arms agree;
 * per-instruction typing rules (e.g. ``BinOp`` operands and destination
   share one dtype; comparison destinations are predicates);
 * shared-memory allocations only at the kernel top level;
@@ -56,15 +58,42 @@ _PRED_BINOPS = {"and", "or", "xor"}
 _FLOAT_ONLY_UNARY = {"sqrt", "rsqrt", "exp", "log", "sin", "cos", "tanh"}
 
 
+class _TypeMap:
+    """Copy-on-write register-type map.
+
+    Branch scopes layer a private overlay over the parent map, so a
+    dtype observed inside one ``If`` arm never leaks into the sibling
+    arm or the outer scope.  (A shared dict here used to reject kernels
+    whose arms each define a scratch register under the same name with
+    different dtypes — a spurious "retyped" error across exclusive
+    paths.)
+    """
+
+    def __init__(self, parent: "_TypeMap | None" = None):
+        self._parent = parent
+        self._local: dict[str, dtypes.DType] = {}
+
+    def get(self, name: str) -> dtypes.DType | None:
+        m: _TypeMap | None = self
+        while m is not None:
+            if name in m._local:
+                return m._local[name]
+            m = m._parent
+        return None
+
+    def set(self, name: str, dtype: dtypes.DType) -> None:
+        self._local[name] = dtype
+
+
 class _Scope:
     """Tracks defined registers and their dtypes along one path."""
 
-    def __init__(self, defined: set[str], types: dict[str, dtypes.DType]):
+    def __init__(self, defined: set[str], types: _TypeMap):
         self.defined = defined
         self.types = types
 
     def clone(self) -> "_Scope":
-        return _Scope(set(self.defined), self.types)  # types dict is global
+        return _Scope(set(self.defined), _TypeMap(parent=self.types))
 
     def define(self, reg: Register, where: str) -> None:
         prev = self.types.get(reg.name)
@@ -73,7 +102,7 @@ class _Scope:
                 f"{where}: register '{reg.name}' retyped from {prev.name} "
                 f"to {reg.dtype.name}"
             )
-        self.types[reg.name] = reg.dtype
+        self.types.set(reg.name, reg.dtype)
         self.defined.add(reg.name)
 
     def use(self, op: Operand, where: str) -> None:
@@ -83,10 +112,11 @@ class _Scope:
             raise VerificationError(
                 f"{where}: register '{op.name}' used before definition"
             )
-        if self.types[op.name] != op.dtype:
+        bound = self.types.get(op.name)
+        if bound != op.dtype:
             raise VerificationError(
                 f"{where}: register '{op.name}' used as {op.dtype.name} but "
-                f"defined as {self.types[op.name].name}"
+                f"defined as {bound.name}"
             )
 
 
@@ -163,6 +193,16 @@ def _verify_body(body: list[Instruction], scope: _Scope, kernel: str,
 
         elif isinstance(instr, Cvt):
             scope.use(instr.src, where)
+            # Conversions are numeric-only: predicates have no arithmetic
+            # representation in any backend ISA (PTX `selp`/`setp` and the
+            # AMDGCN mask registers both special-case them), so pred on
+            # either side is a frontend bug, not a cast.
+            if instr.src.dtype.is_pred or instr.dst.dtype.is_pred:
+                raise VerificationError(
+                    f"{where}: cannot convert "
+                    f"{instr.src.dtype.name} to {instr.dst.dtype.name}; "
+                    "predicates are not convertible (use Select)"
+                )
             scope.define(instr.dst, where)
 
         elif isinstance(instr, Load):
@@ -238,8 +278,18 @@ def _verify_body(body: list[Instruction], scope: _Scope, kernel: str,
             else_scope = scope.clone()
             _verify_body(instr.then_body, then_scope, kernel, False)
             _verify_body(instr.else_body, else_scope, kernel, False)
-            # Only definitions made on *both* paths survive the join.
-            scope.defined |= then_scope.defined & else_scope.defined
+            # Only definitions made on *both* paths survive the join, and
+            # only when the two arms agree on the dtype; a name typed
+            # differently per arm stays undefined afterwards (each arm's
+            # view was private, so neither leaks).
+            for name in then_scope.defined & else_scope.defined:
+                if name in scope.defined:
+                    continue  # already live before the If
+                t_then = then_scope.types.get(name)
+                t_else = else_scope.types.get(name)
+                if t_then == t_else and t_then is not None:
+                    scope.types.set(name, t_then)
+                    scope.defined.add(name)
 
         elif isinstance(instr, While):
             if instr.cond is None or instr.cond.dtype != dtypes.PRED:
@@ -258,8 +308,7 @@ def _verify_body(body: list[Instruction], scope: _Scope, kernel: str,
 
 def verify_kernel(kernel: KernelIR) -> None:
     """Verify one kernel; raises :class:`VerificationError` on failure."""
-    types: dict[str, dtypes.DType] = {}
-    scope = _Scope(set(), types)
+    scope = _Scope(set(), _TypeMap())
     for p in kernel.params:
         scope.define(p.reg, f"kernel '{kernel.name}' params")
     _verify_body(kernel.body, scope, kernel.name, top_level=True)

@@ -1,0 +1,834 @@
+"""kernelsan: table-driven positive/negative cases per analysis family,
+plus differential tests that confirm static verdicts against observed
+interpreter behavior (schedules, divergence faults, memory faults, and
+warp-width sensitivity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisOptions,
+    LaunchBounds,
+    analyze_kernel,
+    analyze_module,
+)
+from repro.analysis.crosscheck import compare_schedules
+from repro.errors import DivergentBarrierError, MemoryFaultError
+from repro.frontends import f64, i32, i64, kernel  # noqa: F401 (annotations)
+from repro.isa.interpreter import KernelExecutor
+from repro.isa.module import ModuleIR
+
+BOUNDS = LaunchBounds.of(block=(256, 1, 1), grid=(64, 1, 1))
+OPTS = AnalysisOptions(bounds=BOUNDS)
+
+
+def codes(kernelfn, options=OPTS):
+    return sorted(d.code for d in analyze_kernel(kernelfn.ir, options))
+
+
+# ---------------------------------------------------------------------------
+# Race family
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def race_store_load(x: f64[:], out: f64[:]):
+    i = gid(0)
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[i]
+    out[i] = tile[255 - t]
+
+
+@kernel
+def race_fixed_by_barrier(x: f64[:], out: f64[:]):
+    i = gid(0)
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[i]
+    barrier()
+    out[i] = tile[255 - t]
+
+
+@kernel
+def race_store_store(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = 1.0
+    tile[255 - t] = 2.0
+    barrier()
+    x[gid(0)] = tile[t]
+
+
+@kernel
+def race_store_atomic(x: f64[:]):
+    i = gid(0)
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[i]
+    atomic_add(tile, 255 - t, 1.0)
+    barrier()
+    x[i] = tile[t]
+
+
+@kernel
+def race_same_thread_only(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[gid(0)]
+    x[gid(0)] = tile[t]
+
+
+@kernel
+def race_guarded_reduction(x: f64[:], out: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[gid(0)]
+    barrier()
+    s = 128
+    while s > 0:
+        if t < s:
+            tile[t] = tile[t] + tile[t + s]
+        barrier()
+        s = s // 2
+    if t == 0:
+        atomic_add(out, 0, tile[0])
+
+
+@kernel
+def race_reduction_missing_barrier(x: f64[:], out: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[gid(0)]
+    barrier()
+    s = 128
+    while s > 0:
+        if t < s:
+            tile[t] = tile[t] + tile[t + s]
+        s = s // 2
+    if t == 0:
+        atomic_add(out, 0, tile[0])
+
+
+@kernel
+def race_benign_waw(x: f64[:]):
+    tile = shared(f64, 256)
+    tile[0] = 3.0
+    barrier()
+    x[gid(0)] = tile[0]
+
+
+@kernel
+def race_neighbor(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[gid(0)]
+    x[gid(0)] = tile[t + 1]
+
+
+@kernel
+def race_parity_disjoint(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 512)
+    tile[2 * t] = x[gid(0)]
+    x[gid(0)] = tile[2 * t + 1]
+
+
+@kernel
+def race_single_writer(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    if t == 0:
+        tile[0] = 1.0
+    x[gid(0)] = tile[0]
+
+
+@kernel
+def race_disjoint_allocs(x: f64[:]):
+    t = lid(0)
+    tile_a = shared(f64, 256)
+    tile_b = shared(f64, 256)
+    tile_a[t] = x[gid(0)]
+    x[gid(0)] = tile_b[t]
+
+
+@kernel
+def race_no_shared(n: i64, x: f64[:]):
+    i = gid(0)
+    if i < n:
+        x[i] = x[i] * 2.0
+
+
+RACE_CASES = [
+    (race_store_load, {"RACE01"}),
+    (race_fixed_by_barrier, set()),
+    (race_store_store, {"RACE01"}),
+    (race_store_atomic, {"RACE01"}),
+    (race_same_thread_only, set()),
+    (race_guarded_reduction, set()),
+    (race_reduction_missing_barrier, {"RACE02"}),
+    (race_benign_waw, {"RACE02"}),
+    (race_neighbor, {"RACE01"}),
+    (race_parity_disjoint, set()),
+    (race_single_writer, {"RACE01"}),
+    (race_disjoint_allocs, set()),
+    (race_no_shared, set()),
+]
+
+
+@pytest.mark.parametrize("fn,expected", RACE_CASES,
+                         ids=[f.ir.name for f, _ in RACE_CASES])
+def test_race_family(fn, expected):
+    got = {c for c in codes(fn) if c.startswith("RACE")}
+    assert got == expected
+
+
+# A tid.x-only shared index does not identify the thread in a 2-D block:
+# threads (t, 0) and (t, 1) collide on tile[t].
+
+
+@kernel
+def race2d_cross_dim(x: "f64[:]", out: "f64[:]"):
+    tile = shared(f64, 256)
+    t = lid(0)
+    y = lid(1)
+    tile[t] = x[y]
+    barrier()
+    out[gid(0)] = tile[t]
+
+
+@kernel
+def race2d_pinned_ok(x: "f64[:]", out: "f64[:]"):
+    tile = shared(f64, 256)
+    t = lid(0)
+    y = lid(1)
+    if y == 0:
+        tile[t] = x[t]
+    barrier()
+    if y == 0:
+        out[gid(0)] = tile[t]
+
+
+OPTS_2D = AnalysisOptions(bounds=LaunchBounds.of(block=(16, 16, 1),
+                                                 grid=(64, 1, 1)))
+
+
+def test_race_2d_block_cross_dimension_collision():
+    got = {c for c in codes(race2d_cross_dim, OPTS_2D) if c.startswith("RACE")}
+    assert got == {"RACE01"}
+
+
+def test_race_2d_block_pinned_second_dimension_is_clean():
+    got = {c for c in codes(race2d_pinned_ok, OPTS_2D) if c.startswith("RACE")}
+    assert got == set()
+
+
+def test_race_2d_kernel_clean_under_1d_block():
+    # With a 1-D block tid.x alone is the thread identity.
+    got = {c for c in codes(race2d_cross_dim) if c.startswith("RACE")}
+    assert got == set()
+
+
+# ---------------------------------------------------------------------------
+# Divergence family
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def div_tid_guard(x: f64[:]):
+    t = lid(0)
+    if t < 16:
+        barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_block_guard_ok(x: f64[:]):
+    if bid(0) == 0:
+        barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_param_guard_ok(n: i64, x: f64[:]):
+    if n > 5:
+        barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_top_level_ok(x: f64[:]):
+    barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_uniform_loop_ok(n: i64, x: f64[:]):
+    for it in range(n):
+        barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_variant_loop(x: f64[:]):
+    t = lid(0)
+    s = t
+    while s > 0:
+        barrier()
+        s = s // 2
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_lane_guard(x: f64[:]):
+    if lane() < 8:
+        barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_nested_uniform_ok(n: i64, x: f64[:]):
+    if n > 1:
+        if n > 2:
+            barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_variant_outer(n: i64, x: f64[:]):
+    t = lid(0)
+    if t < 16:
+        if n > 0:
+            barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_after_branch_ok(x: f64[:]):
+    t = lid(0)
+    if t < 16:
+        x[gid(0)] = 2.0
+    barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_variance_through_binop(x: f64[:]):
+    t = lid(0)
+    if 2 * t < 30:
+        barrier()
+    x[gid(0)] = 1.0
+
+
+@kernel
+def div_variance_through_cvt(x: f64[:]):
+    t = lid(0)
+    c = t / 2
+    if c < 8.0:
+        barrier()
+    x[gid(0)] = 1.0
+
+
+DIV_CASES = [
+    (div_tid_guard, {"DIV01"}),
+    (div_block_guard_ok, set()),
+    (div_param_guard_ok, set()),
+    (div_top_level_ok, set()),
+    (div_uniform_loop_ok, set()),
+    (div_variant_loop, {"DIV02"}),
+    (div_lane_guard, {"DIV01"}),
+    (div_nested_uniform_ok, set()),
+    (div_variant_outer, {"DIV01"}),
+    (div_after_branch_ok, set()),
+    (div_variance_through_binop, {"DIV01"}),
+    (div_variance_through_cvt, {"DIV01"}),
+]
+
+
+@pytest.mark.parametrize("fn,expected", DIV_CASES,
+                         ids=[f.ir.name for f, _ in DIV_CASES])
+def test_divergence_family(fn, expected):
+    got = {c for c in codes(fn) if c.startswith("DIV")}
+    assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Bounds family
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def oob_guarded_ok(n: i64, x: f64[:]):
+    i = gid(0)
+    if i < n:
+        x[i] = 1.0
+
+
+@kernel
+def oob_off_by_one(n: i64, x: f64[:]):
+    i = gid(0)
+    if i < n:
+        x[i + 1] = 1.0
+
+
+@kernel
+def oob_negative(n: i64, x: f64[:]):
+    t = lid(0)
+    x[t - 1] = 1.0
+
+
+@kernel
+def oob_scalar_index(n: i64, k: i64, x: f64[:]):
+    x[k] = 1.0
+
+
+@kernel
+def oob_numeric_ok(x: f64[:]):
+    t = lid(0)
+    x[t] = 1.0
+
+
+@kernel
+def oob_numeric_overrun(x: f64[:]):
+    t = lid(0)
+    x[t + 1] = 1.0
+
+
+@kernel
+def oob_unbounded_gid(n: i64, x: f64[:]):
+    x[gid(0)] = 1.0
+
+
+@kernel
+def oob_on_load(x: f64[:], y: f64[:]):
+    t = lid(0)
+    y[t] = x[t + 300]
+
+
+@kernel
+def oob_shared_ok(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[gid(0)]
+    x[gid(0)] = tile[t]
+
+
+@kernel
+def oob_shared_small_tile(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 128)
+    tile[t] = 1.0
+    x[gid(0)] = tile[0]
+
+
+@kernel
+def oob_shared_const_index(x: f64[:]):
+    tile = shared(f64, 256)
+    tile[256] = 1.0
+    x[gid(0)] = tile[0]
+
+
+@kernel
+def oob_shared_region_cross(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 128)
+    scratch = shared(f64, 128)
+    tile[t] = 1.0
+    x[gid(0)] = scratch[0]
+
+
+OOB_CASES = [
+    # (kernel, extents, expected OOB codes)
+    (oob_guarded_ok, {"x": "n"}, set()),
+    (oob_off_by_one, {"x": "n"}, {"OOB01"}),
+    (oob_negative, {"x": "n"}, {"OOB01"}),
+    (oob_scalar_index, {"x": "n"}, {"OOB02"}),
+    (oob_numeric_ok, {"x": 256}, set()),
+    (oob_numeric_overrun, {"x": 256}, {"OOB01"}),
+    (oob_unbounded_gid, {"x": "n"}, set()),  # conservative top: silent
+    (oob_on_load, {"x": 256, "y": 256}, {"OOB01"}),
+    (oob_guarded_ok, None, set()),  # no extents: global check skipped
+    (oob_shared_ok, None, set()),
+    (oob_shared_small_tile, None, {"OOB03"}),
+    (oob_shared_const_index, None, {"OOB03"}),
+    (oob_shared_region_cross, None, {"OOB03"}),
+]
+
+
+@pytest.mark.parametrize(
+    "fn,extents,expected", OOB_CASES,
+    ids=[f"{f.ir.name}-{i}" for i, (f, _e, _x) in enumerate(OOB_CASES)])
+def test_bounds_family(fn, extents, expected):
+    options = AnalysisOptions(bounds=BOUNDS, extents=extents)
+    got = {c for c in codes(fn, options) if c.startswith("OOB")}
+    assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory hygiene + portability family
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def hyg_uninit_read(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    x[gid(0)] = tile[t]
+
+
+@kernel
+def hyg_init_then_read_ok(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = x[gid(0)]
+    barrier()
+    x[gid(0)] = tile[t]
+
+
+@kernel
+def hyg_dead_store(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = 1.0
+    x[gid(0)] = 2.0
+
+
+@kernel
+def hyg_loop_read_write_ok(n: i64, x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    tile[t] = 0.0
+    for it in range(n):
+        tile[t] = tile[t] + 1.0
+    x[gid(0)] = tile[t]
+
+
+@kernel
+def hyg_atomic_uninit(x: i32[:]):
+    # An atomic RMW on never-written shared memory reads undefined bits,
+    # and its accumulated value is never read back: both lints apply.
+    t = lid(0)
+    hist = shared(i32, 256)
+    old = atomic_add(hist, t, 1)
+    x[gid(0)] = old
+
+
+@kernel
+def hyg_atomic_initialized_ok(x: i32[:]):
+    t = lid(0)
+    hist = shared(i32, 256)
+    hist[t] = 0
+    barrier()
+    old = atomic_add(hist, t, 1)
+    barrier()
+    x[gid(0)] = hist[t]
+
+
+@kernel
+def hyg_unknown_index_silent(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 256)
+    x[gid(0)] = tile[(t * t) % 256]
+
+
+@kernel
+def port_wide_shuffle(x: f64[:]):
+    v = x[gid(0)]
+    w = shfl_down(v, 16)
+    x[gid(0)] = v + w
+
+
+@kernel
+def port_narrow_shuffle_ok(x: f64[:]):
+    v = x[gid(0)]
+    w = shfl_down(v, 8)
+    x[gid(0)] = v + w
+
+
+@kernel
+def port_broadcast_ok(x: f64[:]):
+    v = x[gid(0)]
+    w = shfl_idx(v, 0)
+    x[gid(0)] = v + w
+
+
+@kernel
+def port_warpsize_derived_ok(x: f64[:]):
+    v = x[gid(0)]
+    w = shfl_down(v, warpsize() - 1)
+    x[gid(0)] = v + w
+
+
+@kernel
+def port_cas_loop(n: i64, x: i32[:]):
+    for it in range(n):
+        old = atomic_cas(x, 0, 0, 1)
+
+
+@kernel
+def port_cas_once_ok(x: i32[:]):
+    old = atomic_cas(x, 0, 0, 1)
+    x[gid(0)] = old
+
+
+@kernel
+def port_big_shared(x: f64[:]):
+    t = lid(0)
+    tile = shared(f64, 8200)
+    tile[t] = x[gid(0)]
+    x[gid(0)] = tile[t]
+
+
+HYG_PORT_CASES = [
+    (hyg_uninit_read, {"UNINIT01"}),
+    (hyg_init_then_read_ok, set()),
+    (hyg_dead_store, {"DEAD01"}),
+    (hyg_loop_read_write_ok, set()),
+    (hyg_atomic_uninit, {"UNINIT01", "DEAD01"}),
+    (hyg_atomic_initialized_ok, set()),
+    (hyg_unknown_index_silent, set()),
+    (port_wide_shuffle, {"PORT01"}),
+    (port_narrow_shuffle_ok, set()),
+    (port_broadcast_ok, set()),
+    (port_warpsize_derived_ok, set()),
+    (port_cas_loop, {"PORT02"}),
+    (port_cas_once_ok, set()),
+    (port_big_shared, {"PORT03"}),
+]
+
+
+@pytest.mark.parametrize("fn,expected", HYG_PORT_CASES,
+                         ids=[f.ir.name for f, _ in HYG_PORT_CASES])
+def test_hygiene_portability_family(fn, expected):
+    got = {c for c in codes(fn)
+           if c.startswith(("UNINIT", "DEAD", "PORT"))}
+    assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics surface
+# ---------------------------------------------------------------------------
+
+
+def test_diagnostics_are_structured():
+    diags = analyze_kernel(race_store_load.ir, OPTS)
+    assert diags, "seeded racy kernel must produce findings"
+    d = diags[0]
+    assert d.code == "RACE01"
+    assert d.is_error
+    assert d.kernel == "race_store_load"
+    assert d.path.startswith("body[")
+    assert d.hint
+    rendered = d.render()
+    assert "RACE01" in rendered and "hint:" in rendered
+
+
+def test_multiple_findings_reported_not_raised():
+    @kernel
+    def many_problems(x: f64[:]):
+        t = lid(0)
+        tile = shared(f64, 128)
+        if t < 16:
+            barrier()
+        tile[t] = x[gid(0)]
+        x[gid(0)] = tile[255 - t]
+
+    got = codes(many_problems)
+    assert "DIV01" in got and "OOB03" in got
+
+
+def test_report_aggregation_and_severity_order():
+    module = ModuleIR(name="m")
+    module.add(race_store_load.ir)
+    module.add(hyg_dead_store.ir)
+    report = analyze_module(module, OPTS)
+    assert len(report.diagnostics) == 2
+    assert len(report.errors) == 1
+    assert "1 error(s)" in report.summary_line()
+    by_kernel = report.by_kernel()
+    assert set(by_kernel) == {"race_store_load", "hyg_dead_store"}
+
+
+# ---------------------------------------------------------------------------
+# Differential tests: static verdict vs observed interpreter behavior
+# ---------------------------------------------------------------------------
+
+
+def _buffers(n=256):
+    return {"x": np.arange(n, dtype=np.float64),
+            "out": np.zeros(n, dtype=np.float64)}
+
+
+def test_differential_race_detected_and_observed():
+    """Static RACE01 <-> outputs differ across thread schedules."""
+    assert "RACE01" in codes(race_store_load)
+    cmp = compare_schedules(race_store_load.ir, grid=(1, 1, 1),
+                            block=(256, 1, 1), buffers=_buffers())
+    assert not cmp.errors
+    assert not cmp.deterministic
+
+
+def test_differential_race_clean_and_deterministic():
+    assert codes(race_fixed_by_barrier) == []
+    cmp = compare_schedules(race_fixed_by_barrier.ir, grid=(1, 1, 1),
+                            block=(256, 1, 1), buffers=_buffers())
+    assert not cmp.errors
+    assert cmp.deterministic
+    out = cmp.outputs["lockstep"]["out"]
+    assert np.array_equal(out, np.arange(256, dtype=np.float64)[::-1])
+
+
+def test_differential_divergence_faults_lockstep():
+    """Static DIV01 <-> lockstep interpreter raises DivergentBarrierError."""
+    assert "DIV01" in codes(div_tid_guard)
+    gmem = np.zeros(64 + 256 * 8, dtype=np.uint8)
+    with pytest.raises(DivergentBarrierError):
+        KernelExecutor(div_tid_guard.ir, 32, gmem).launch(
+            (1, 1, 1), (256, 1, 1), (64,))
+
+
+def test_differential_divergence_clean_runs():
+    assert codes(div_top_level_ok) == []
+    gmem = np.zeros(64 + 256 * 8, dtype=np.uint8)
+    KernelExecutor(div_top_level_ok.ir, 32, gmem).launch(
+        (1, 1, 1), (256, 1, 1), (64,))
+    assert np.all(gmem[64:].view(np.float64) == 1.0)
+
+
+def test_differential_oob_faults_interpreter():
+    """Static OOB01 <-> tight buffer faults in the interpreter."""
+    opts = AnalysisOptions(bounds=LaunchBounds.of(block=(256, 1, 1),
+                                                  grid=(1, 1, 1)),
+                           extents={"x": "n"})
+    got = {c for c in codes(oob_off_by_one, opts) if c.startswith("OOB")}
+    assert got == {"OOB01"}
+    n = 256
+    gmem = np.zeros(64 + n * 8, dtype=np.uint8)  # x occupies the tail
+    with pytest.raises(MemoryFaultError):
+        KernelExecutor(oob_off_by_one.ir, 32, gmem).launch(
+            (1, 1, 1), (256, 1, 1), (n, 64))
+
+
+def test_differential_oob_clean_in_bounds():
+    opts = AnalysisOptions(bounds=BOUNDS, extents={"x": "n"})
+    assert codes(oob_guarded_ok, opts) == []
+    n = 256
+    gmem = np.zeros(64 + n * 8, dtype=np.uint8)
+    KernelExecutor(oob_guarded_ok.ir, 32, gmem).launch(
+        (1, 1, 1), (256, 1, 1), (n, 64))
+    assert np.all(gmem[64:].view(np.float64) == 1.0)
+
+
+def test_differential_warp_width_sensitivity():
+    """Static PORT01 <-> output depends on the execution width."""
+    assert "PORT01" in codes(port_wide_shuffle)
+    outs = {}
+    for width in (32, 16):
+        gmem = np.zeros(64 + 256 * 8, dtype=np.uint8)
+        gmem[64:] = np.frombuffer(
+            np.arange(256, dtype=np.float64).tobytes(), dtype=np.uint8)
+        KernelExecutor(port_wide_shuffle.ir, width, gmem).launch(
+            (1, 1, 1), (256, 1, 1), (64,))
+        outs[width] = gmem[64:].view(np.float64).copy()
+    assert not np.array_equal(outs[32], outs[16])
+
+
+def test_differential_warp_width_clean_kernel_stable():
+    assert codes(race_no_shared) == []
+    outs = {}
+    for width in (32, 16):
+        gmem = np.zeros(64 + 256 * 8, dtype=np.uint8)
+        gmem[64:] = np.frombuffer(
+            np.arange(256, dtype=np.float64).tobytes(), dtype=np.uint8)
+        KernelExecutor(race_no_shared.ir, width, gmem).launch(
+            (1, 1, 1), (256, 1, 1), (256, 64))
+        outs[width] = gmem[64:].view(np.float64).copy()
+    assert np.array_equal(outs[32], outs[16])
+
+
+# ---------------------------------------------------------------------------
+# Toolchain + CLI integration
+# ---------------------------------------------------------------------------
+
+
+def test_toolchain_sanitize_attaches_report():
+    from repro.compilers import get_toolchain
+    from repro.enums import ISA, Language, Model
+    from repro.frontends import TranslationUnit
+    from repro import kernels as KL
+
+    tu = TranslationUnit("t", Model.CUDA, Language.CPP)
+    tu.add(KL.reduce_sum)
+    res = get_toolchain("nvcc").compile(
+        tu, ISA.PTX, sanitize=True, sanitize_options=OPTS)
+    assert res.diagnostics is not None
+    assert not res.diagnostics.diagnostics
+
+    res_plain = get_toolchain("nvcc").compile(tu, ISA.PTX)
+    assert res_plain.diagnostics is None
+
+
+def test_cli_lint_library_is_clean(capsys):
+    from repro.cli import main
+
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_cli_lint_flags_racy_module(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    mod = tmp_path / "racy_mod.py"
+    mod.write_text(
+        "from repro.frontends import kernel, f64\n"
+        "\n"
+        "@kernel\n"
+        "def racy(x: f64[:], out: f64[:]):\n"
+        "    i = gid(0)\n"
+        "    t = lid(0)\n"
+        "    tile = shared(f64, 256)\n"
+        "    tile[t] = x[i]\n"
+        "    out[i] = tile[255 - t]\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    assert main(["lint", "--module", "racy_mod"]) == 1
+    out = capsys.readouterr().out
+    assert "RACE01" in out
+
+
+def test_cli_lint_unknown_kernel_is_usage_error(capsys):
+    from repro.cli import main
+
+    assert main(["lint", "--kernel", "no_such_kernel"]) == 2
+    assert "unknown kernel" in capsys.readouterr().err
+
+
+def test_cli_lint_rejected_input_exits_3(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    mod = tmp_path / "broken_mod.py"
+    mod.write_text(
+        "from repro.frontends import kernel, f64\n"
+        "from repro.isa import dtypes\n"
+        "from repro.isa.instructions import Mov, Register\n"
+        "\n"
+        "@kernel\n"
+        "def broken(x: f64[:]):\n"
+        "    x[gid(0)] = 1.0\n"
+        "\n"
+        "broken.ir.body.append(\n"
+        "    Mov(Register('a', dtypes.F64), Register('ghost', dtypes.F64)))\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    assert main(["lint", "--module", "broken_mod"]) == 3
+    assert "VerificationError" in capsys.readouterr().err
+
+
+def test_cli_lint_pass_selection(capsys):
+    from repro.cli import main
+
+    # Only the portability pass: library kernels stay silent, and the
+    # race pass never runs (so the racy corpus check is pass-scoped).
+    assert main(["lint", "--pass", "port", "--kernel", "axpy"]) == 0

@@ -202,3 +202,109 @@ def test_store_type_checks():
     body = [Store(MemSpace.GLOBAL, Imm(0.0, F64), Imm(1.0, F64))]
     with pytest.raises(VerificationError, match="u64"):
         verify_kernel(_kernel(body))
+
+
+def test_cvt_numeric_conversions_allowed():
+    body = [
+        Mov(_r("a", I64), Imm(3, I64)),
+        Cvt(_r("f", F64), _r("a", I64)),
+        Cvt(_r("u", U32), _r("f", F64)),
+    ]
+    verify_kernel(_kernel(body))
+
+
+def test_cvt_from_pred_rejected():
+    body = [
+        Cmp("lt", _r("p", PRED), Imm(0, I64), Imm(1, I64)),
+        Cvt(_r("v", I64), _r("p", PRED)),
+    ]
+    with pytest.raises(VerificationError, match="not convertible"):
+        verify_kernel(_kernel(body))
+
+
+def test_cvt_to_pred_rejected():
+    body = [
+        Mov(_r("a", I64), Imm(1, I64)),
+        Cvt(_r("p", PRED), _r("a", I64)),
+    ]
+    with pytest.raises(VerificationError, match="not convertible"):
+        verify_kernel(_kernel(body))
+
+
+def test_cvt_checks_source_dtype_against_definition():
+    body = [
+        Mov(_r("a", I64), Imm(3, I64)),
+        Cvt(_r("f", F64), _r("a", U32)),  # 'a' is i64, not u32
+    ]
+    with pytest.raises(VerificationError, match="used as u32"):
+        verify_kernel(_kernel(body))
+
+
+def test_branch_local_types_do_not_leak_to_sibling_arm():
+    """Exclusive arms may bind the same scratch name with different dtypes.
+
+    Regression: `_Scope.clone()` used to share one global type map, so
+    the else-arm saw the then-arm's binding and raised a spurious
+    "retyped" error across paths that can never both execute.
+    """
+    body = [
+        If(Imm(True, PRED),
+           then_body=[Mov(_r("tmp", F64), Imm(1.0, F64))],
+           else_body=[Mov(_r("tmp", I64), Imm(2, I64))]),
+    ]
+    verify_kernel(_kernel(body))
+
+
+def test_branch_local_types_do_not_leak_to_outer_scope():
+    body = [
+        If(Imm(True, PRED),
+           then_body=[Mov(_r("tmp", F64), Imm(1.0, F64))],
+           else_body=[]),
+        # Unrelated later binding of the same name with another dtype:
+        # legal, because the branch definition did not survive the join.
+        Mov(_r("tmp", I64), Imm(2, I64)),
+        Mov(_r("w", I64), _r("tmp", I64)),
+    ]
+    verify_kernel(_kernel(body))
+
+
+def test_branch_join_with_conflicting_types_stays_undefined():
+    body = [
+        If(Imm(True, PRED),
+           then_body=[Mov(_r("v", F64), Imm(1.0, F64))],
+           else_body=[Mov(_r("v", I64), Imm(2, I64))]),
+        Mov(_r("w", F64), _r("v", F64)),
+    ]
+    with pytest.raises(VerificationError, match="used before definition"):
+        verify_kernel(_kernel(body))
+
+
+def test_retype_within_one_path_still_rejected():
+    body = [
+        If(Imm(True, PRED),
+           then_body=[Mov(_r("tmp", F64), Imm(1.0, F64)),
+                      Mov(_r("tmp", I64), Imm(2, I64))]),
+    ]
+    with pytest.raises(VerificationError, match="retyped"):
+        verify_kernel(_kernel(body))
+
+
+def test_outer_binding_cannot_be_retyped_inside_branch():
+    body = [
+        Mov(_r("v", F64), Imm(1.0, F64)),
+        If(Imm(True, PRED),
+           then_body=[Mov(_r("v", I64), Imm(2, I64))]),
+    ]
+    with pytest.raises(VerificationError, match="retyped"):
+        verify_kernel(_kernel(body))
+
+
+def test_loop_body_types_do_not_leak():
+    cond = _r("p", PRED)
+    body = [
+        While(cond_body=[Cmp("lt", cond, Imm(0, I64), Imm(1, I64))],
+              cond=cond,
+              body=[Mov(_r("tmp", F64), Imm(1.0, F64))]),
+        Mov(_r("tmp", I64), Imm(2, I64)),
+    ]
+    verify_kernel(_kernel(body))
