@@ -1,0 +1,210 @@
+"""BENCH_interpreter — interpreter batching: elementwise vs barrier kernels.
+
+Times library kernels across interpreter batch widths:
+
+* ``isolated`` — ``max_blocks_per_batch=1``, the historical behaviour
+  where every shared-memory/barrier kernel ran one block per batch;
+* ``narrow`` — 4 blocks per batch;
+* ``max`` — no cap; ``chunk_lanes // block_threads`` blocks per batch.
+
+For each kernel the run also checks that results are bit-identical and
+the work counters (flops, bytes, atomics, barriers) are independent of
+batch width — the differential guarantee the batched execution path
+makes.  Writes ``BENCH_interpreter.json``.
+
+Run as a script (CI smoke gate)::
+
+    PYTHONPATH=src python benchmarks/bench_interpreter.py --quick
+
+Exit code 1 if any barrier/shared-memory kernel fails to beat the
+block-isolated path, or (full mode) if the 2^21-element tree reduction
+speedup falls below the 5x acceptance threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.isa.interpreter import KernelExecutor
+from repro.kernels import BLOCK, KERNEL_LIBRARY
+
+#: Batch-width configurations under test.
+WIDTHS = {"isolated": 1, "narrow": 4, "max": None}
+
+#: The acceptance criterion: tree reduction at 2^21 elements must be at
+#: least this much faster batched than block-isolated.
+ACCEPT_KERNEL = "reduce_sum"
+ACCEPT_N = 1 << 21
+ACCEPT_SPEEDUP = 5.0
+
+#: Kernels with barriers / shared memory / shuffles — the ones the
+#: batched path exists for; elementwise kernels are the control group.
+BARRIER_KERNELS = ("reduce_sum", "stream_dot", "warp_reduce_sum")
+ELEMENTWISE_KERNELS = ("ew_mul", "stream_triad")
+ATOMIC_KERNELS = ("histogram",)
+
+
+def _setup(name: str, n: int, rng: np.random.Generator):
+    """Return (kernel_ir, grid, block, args, initial memory image)."""
+    mem = np.zeros(n * 8 * 3 + (1 << 16), dtype=np.uint8)
+    grid = (n + BLOCK - 1) // BLOCK
+    fa, fb = rng.random(n), rng.random(n)
+    if name in ("reduce_sum", "warp_reduce_sum"):
+        mem[: n * 8] = fa.view(np.uint8)
+        args = [n, 0, n * 8]
+    elif name == "stream_dot":
+        mem[: n * 8] = fa.view(np.uint8)
+        mem[n * 8 : 2 * n * 8] = fb.view(np.uint8)
+        args = [n, 0, n * 8, 2 * n * 8]
+    elif name == "ew_mul":
+        mem[: n * 8] = fa.view(np.uint8)
+        mem[n * 8 : 2 * n * 8] = fb.view(np.uint8)
+        args = [n, 0, n * 8, 2 * n * 8]
+    elif name == "stream_triad":
+        mem[: n * 8] = fa.view(np.uint8)
+        mem[n * 8 : 2 * n * 8] = fb.view(np.uint8)
+        args = [n, 1.5, n * 8, 2 * n * 8, 0]
+    elif name == "histogram":
+        data = rng.integers(0, 1 << 20, n, dtype=np.int32)
+        mem[: n * 4] = data.view(np.uint8)
+        args = [n, 97, 0, n * 4]
+    else:
+        raise ValueError(name)
+    return KERNEL_LIBRARY[name].ir, (grid,), (BLOCK,), args, mem
+
+
+def _counters(stats) -> dict:
+    return {
+        "threads": stats.threads,
+        "instructions": stats.instructions,
+        "flops": stats.flops,
+        "bytes_loaded": stats.bytes_loaded,
+        "bytes_stored": stats.bytes_stored,
+        "atomic_ops": stats.atomic_ops,
+        "barriers": stats.barriers,
+    }
+
+
+def bench_kernel(name: str, n: int, seed: int = 7) -> dict:
+    ir, grid, block, args, image = _setup(name, n,
+                                          np.random.default_rng(seed))
+    row: dict = {"n": n, "grid_blocks": grid[0], "widths": {}}
+    ref_mem = None
+    ref_counters = None
+    for label, width in WIDTHS.items():
+        mem = image.copy()
+        ex = KernelExecutor(ir, 32, mem, max_blocks_per_batch=width)
+        t0 = time.perf_counter()
+        stats = ex.launch(grid, block, args)
+        seconds = time.perf_counter() - t0
+        counters = _counters(stats)
+        if ref_mem is None:
+            ref_mem, ref_counters = mem, counters
+            identical = True
+        else:
+            identical = (np.array_equal(mem, ref_mem)
+                         and counters == ref_counters)
+        row["widths"][label] = {
+            "seconds": seconds,
+            "batches": stats.batches,
+            "matches_isolated": identical,
+        }
+    iso = row["widths"]["isolated"]["seconds"]
+    row["speedup_max_vs_isolated"] = iso / row["widths"]["max"]["seconds"]
+    row["bit_identical"] = all(w["matches_isolated"]
+                               for w in row["widths"].values())
+    return row
+
+
+def run(quick: bool) -> dict:
+    n = 1 << 16 if quick else ACCEPT_N
+    results: dict = {
+        "benchmark": "interpreter batching",
+        "mode": "quick" if quick else "full",
+        "block": BLOCK,
+        "kernels": {},
+    }
+    for name in (*ELEMENTWISE_KERNELS, *BARRIER_KERNELS, *ATOMIC_KERNELS):
+        # The acceptance kernel always runs at its acceptance size.
+        size = ACCEPT_N if (name == ACCEPT_KERNEL and not quick) else n
+        results["kernels"][name] = bench_kernel(name, size)
+
+    accept = results["kernels"][ACCEPT_KERNEL]
+    results["acceptance"] = {
+        "kernel": ACCEPT_KERNEL,
+        "n": accept["n"],
+        "speedup": accept["speedup_max_vs_isolated"],
+        "threshold": ACCEPT_SPEEDUP,
+        "bit_identical": accept["bit_identical"],
+        # In quick mode the gate is only "batched must win"; the 5x bar
+        # applies at the full 2^21 acceptance size.
+        "checked_against_threshold": not quick,
+    }
+    return results
+
+
+def verdict(results: dict) -> list[str]:
+    """Failure messages; empty means the run passes its gates."""
+    problems = []
+    for name, row in results["kernels"].items():
+        if not row["bit_identical"]:
+            problems.append(f"{name}: results/counters differ across widths")
+        if (name in BARRIER_KERNELS
+                and row["speedup_max_vs_isolated"] <= 1.0):
+            problems.append(
+                f"{name}: batched barrier path not faster than "
+                f"block-isolated ({row['speedup_max_vs_isolated']:.2f}x)")
+    acc = results["acceptance"]
+    if acc["checked_against_threshold"] and acc["speedup"] < acc["threshold"]:
+        problems.append(
+            f"acceptance: {acc['kernel']} at n={acc['n']} sped up only "
+            f"{acc['speedup']:.2f}x (< {acc['threshold']}x)")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small sizes (CI smoke); gate is 'batched wins', "
+                         "not the full 5x acceptance bar")
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=pathlib.Path("BENCH_interpreter.json"))
+    args = ap.parse_args(argv)
+
+    results = run(quick=args.quick)
+    problems = verdict(results)
+    results["pass"] = not problems
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    for name, row in results["kernels"].items():
+        w = row["widths"]
+        print(f"{name:18s} n={row['n']:>8} "
+              f"isolated={w['isolated']['seconds']:8.3f}s "
+              f"max={w['max']['seconds']:8.3f}s "
+              f"speedup={row['speedup_max_vs_isolated']:6.2f}x "
+              f"identical={row['bit_identical']}")
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 1 if problems else 0
+
+
+# Pytest entry point: quick differential + speedup smoke, writes the
+# JSON artifact next to the other benchmark outputs.
+def test_interpreter_batching_speedup(artifacts_dir):
+    results = run(quick=True)
+    problems = verdict(results)
+    results["pass"] = not problems
+    (artifacts_dir / "BENCH_interpreter.json").write_text(
+        json.dumps(results, indent=2) + "\n")
+    assert not problems, problems
+
+
+if __name__ == "__main__":
+    sys.exit(main())

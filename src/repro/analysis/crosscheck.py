@@ -410,6 +410,8 @@ def compare_schedules(
                 arr.tobytes(), dtype=np.uint8)
         try:
             if schedule == "lockstep":
+                # Default executor config: multi-block batched, the same
+                # path production launches take.
                 KernelExecutor(kernel, warp_size, gmem).launch(
                     grid, block, args)
             elif schedule == "serial-forward":

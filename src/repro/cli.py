@@ -16,6 +16,11 @@ Subcommands:
   analyses over the bundled kernel library (default) or over the
   ``@kernel`` functions of an importable module.
 
+The global ``--stats`` flag appends a summary of compile-cache
+hit/miss counters and interpreter launch/batch totals after any
+subcommand — the observability hooks for the block-batched execution
+path and the content-keyed compile cache.
+
 Exit codes (stable; scripts and CI rely on them):
 
 ====  =====================================================================
@@ -247,12 +252,32 @@ def cmd_changelog(args) -> int:
     return 0
 
 
+def _print_stats() -> None:
+    """Compile-cache and interpreter counters accumulated this process."""
+    from repro.compilers.toolchain import compile_cache_stats
+    from repro.isa.interpreter import interpreter_totals
+
+    cc = compile_cache_stats()
+    total = cc.hits + cc.misses
+    rate = f" ({cc.hits / total:.0%} hit rate)" if total else ""
+    print(f"[stats] compile cache: {cc.hits} hits, {cc.misses} misses{rate}")
+    it = interpreter_totals()
+    st = it.stats
+    print(f"[stats] interpreter: {it.launches} launches, "
+          f"{st.batches} batches, {st.threads} threads, "
+          f"{st.instructions} instructions, {st.bytes_moved} bytes moved")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="gpu-compat",
         description="GPU programming model vs. vendor compatibility overview "
                     "(Herten, SC-W 2023) — executable reproduction",
     )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print compile-cache and interpreter batching counters "
+             "after the subcommand")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table = sub.add_parser("table", help="render Figure 1")
@@ -313,7 +338,10 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        code = args.func(args)
+        if args.stats:
+            _print_stats()
+        return code
     except (VerificationError, FrontendError, CompileError) as exc:
         # Rejected input (bad kernel source or malformed IR): the
         # requested analysis never ran.  Distinct from exit 1, which

@@ -22,6 +22,7 @@ The compatibility probes rely on this error taxonomy to distinguish
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 from repro.enums import ISA, Language, Maturity, Model, Provider
@@ -72,6 +73,37 @@ class CompileResult:
         return disassemble(self.binary)
 
 
+@dataclass
+class CompileCacheStats:
+    """Hit/miss counters for the content-keyed compile cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+
+#: Process-wide aggregate across all toolchain instances; feeds the CLI
+#: ``--stats`` line and the matrix-rebuild acceptance check.
+_GLOBAL_CACHE_STATS = CompileCacheStats()
+
+#: Live toolchain instances, so :func:`clear_compile_cache` can reach
+#: every per-instance cache (the registry memoizes instances anyway).
+_ALL_TOOLCHAINS: "weakref.WeakSet[Toolchain]" = weakref.WeakSet()
+
+
+def compile_cache_stats() -> CompileCacheStats:
+    """Process-wide compile-cache counters (all toolchains)."""
+    return _GLOBAL_CACHE_STATS
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compile result and zero the global counters."""
+    for tc in _ALL_TOOLCHAINS:
+        tc._compile_cache.clear()
+        tc.cache_stats = CompileCacheStats()
+    _GLOBAL_CACHE_STATS.hits = 0
+    _GLOBAL_CACHE_STATS.misses = 0
+
+
 class Toolchain:
     """One simulated compiler product."""
 
@@ -94,6 +126,9 @@ class Toolchain:
         self._caps: dict[tuple[Model, Language], Capability] = {
             (c.model, c.language): c for c in capabilities
         }
+        self._compile_cache: dict[tuple, CompileResult] = {}
+        self.cache_stats = CompileCacheStats()
+        _ALL_TOOLCHAINS.add(self)
 
     # -- capability queries ---------------------------------------------------
 
@@ -136,6 +171,15 @@ class Toolchain:
         ``sanitize_options`` takes a
         :class:`repro.analysis.AnalysisOptions` to pin launch bounds or
         buffer extents.
+
+        Successful compiles are memoized in a content-keyed cache: the
+        key covers the unit's content fingerprint (model, language,
+        features, kernel IR — but not the unit name), the target ISA,
+        the options, the opt level and the sanitize configuration.  A
+        hit returns the previously built :class:`CompileResult` (its
+        binary may therefore carry a different unit name — launches go
+        by kernel name, never unit name).  The capability gates run on
+        every call, so the error taxonomy is unaffected by caching.
         """
         cap = self._caps.get((tu.model, tu.language))
         if cap is None:
@@ -153,6 +197,16 @@ class Toolchain:
             if tag not in HW_FEATURES and tag not in cap.features:
                 raise UnsupportedFeatureError(tag, toolchain=self.name)
 
+        key = (tu.fingerprint(), target, tuple(options), self.opt_level,
+               sanitize, repr(sanitize_options))
+        cached = self._compile_cache.get(key)
+        if cached is not None:
+            self.cache_stats.hits += 1
+            _GLOBAL_CACHE_STATS.hits += 1
+            return cached
+        self.cache_stats.misses += 1
+        _GLOBAL_CACHE_STATS.misses += 1
+
         module = ModuleIR(name=tu.name)
         for k in tu.kernels:
             module.add(k.ir)
@@ -167,7 +221,7 @@ class Toolchain:
                 d.render() for d in diagnostics.diagnostics if not d.is_error
             )
         binary = legalize(optimized, target, producer=f"{self.name}-{self.version}")
-        return CompileResult(
+        result = CompileResult(
             binary=binary,
             toolchain=self.name,
             target=target,
@@ -176,6 +230,8 @@ class Toolchain:
             warnings=warnings,
             diagnostics=diagnostics,
         )
+        self._compile_cache[key] = result
+        return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         pairs = sorted(f"{m.value}/{l.value}" for m, l in self._caps)

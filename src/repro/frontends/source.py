@@ -11,6 +11,7 @@ mirroring how ``nvcc`` compiles CUDA C++ but not CUDA Fortran, and
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.enums import Language, Model
@@ -60,6 +61,32 @@ class TranslationUnit:
         for k in self.kernels:
             tags |= k.ir.features
         return frozenset(tags)
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that affects the compiled binary.
+
+        The unit *name* is deliberately excluded: runtimes mint a fresh
+        per-instance name for each unit (``cuda_tu3``...) while compiling
+        byte-identical source, and the name never changes code
+        generation.  Instruction/operand dataclasses all have
+        content-based reprs, so ``repr`` of a kernel body is a stable
+        structural fingerprint.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.model.value}|{self.language.value}".encode())
+        for tag in sorted(self.features):
+            h.update(f"|{tag}".encode())
+        for k in self.kernels:
+            ir = k.ir
+            params = ",".join(
+                f"{p.name}:{'*' if p.is_pointer else ''}{p.dtype.name}"
+                for p in ir.params
+            )
+            h.update(f"#{ir.name}({params})".encode())
+            h.update(repr(ir.body).encode())
+            for tag in sorted(ir.features):
+                h.update(f"+{tag}".encode())
+        return h.hexdigest()
 
     def kernel(self, name: str) -> KernelFn:
         for k in self.kernels:

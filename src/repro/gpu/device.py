@@ -46,9 +46,13 @@ class Device:
     """One simulated GPU."""
 
     def __init__(self, spec: DeviceSpec, backing_bytes: int = DEFAULT_BACKING_BYTES,
-                 device_id: int = 0, bandwidth_only_model: bool = False):
+                 device_id: int = 0, bandwidth_only_model: bool = False,
+                 max_blocks_per_batch: int | None = None):
         self.spec = spec
         self.device_id = device_id
+        #: Optional cap on interpreter blocks per batch; ``1`` forces the
+        #: historical block-isolated execution (differential testing).
+        self.max_blocks_per_batch = max_blocks_per_batch
         self.memory = DeviceMemory(backing_bytes, simulated_bytes=spec.memory_bytes)
         self.perf = PerfModel(spec, bandwidth_only=bandwidth_only_model)
         self.default_stream = Stream(self, default=True)
@@ -159,6 +163,7 @@ class Device:
                 validator=self.memory.validate,
                 shared_limit=self.spec.shared_per_block,
                 max_block_threads=self.spec.max_threads_per_block,
+                max_blocks_per_batch=self.max_blocks_per_batch,
             )
             self._executors[key] = executor
 

@@ -2,13 +2,27 @@
 
 Execution model
 ---------------
-One NumPy *lane* per GPU thread.  A launch is split into batches: kernels
-that use shared memory or barriers execute one thread block per batch
-(so shared memory and barrier semantics are exact); all other kernels
-batch many blocks together, bounded by ``chunk_lanes``, so elementwise
-kernels run as a handful of whole-array NumPy operations — the
-"vectorize the hot loop" rule of the hpc-parallel guides applied to an
-interpreter.
+One NumPy *lane* per GPU thread.  A launch is split into batches of
+``blocks_per_batch = max(1, chunk_lanes // block_threads)`` whole thread
+blocks — for *every* kernel, including those that use shared memory or
+barriers.  Elementwise kernels run as a handful of whole-array NumPy
+operations, and barrier/reduction kernels batch just as wide because
+block-private state is kept per batched block:
+
+* **shared memory** is a ``(blocks_in_batch, row_stride)`` arena — one
+  zero-initialized row per block — and shared ``Load``/``Store``/
+  ``AtomicOp`` addresses are offset into the owning block's row;
+* **barriers** are checked per block: within each block that has any
+  lane at the barrier, the arriving mask must equal that block's live
+  (non-exited) mask, so ``DivergentBarrierError`` semantics are exactly
+  those of the old one-block-per-batch path;
+* **warps** never span blocks (``warp_base``/``warp_len`` are computed
+  per block), so cross-lane shuffles are unaffected by batching.
+
+Batch geometry arrays (tid/ctaid/warp tables) are cached per shape and
+the shared arena is reused across batches, so repeated launches of the
+same grid pay no per-batch setup — the "vectorize the hot loop" rule of
+the hpc-parallel guides applied to an interpreter.
 
 Divergence is handled with boolean lane masks, exactly like the
 reconvergence stacks in real SIMT hardware:
@@ -28,7 +42,7 @@ The interpreter also meters work (flops, bytes, atomics) per launch;
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -71,6 +85,15 @@ AccessValidator = Callable[[np.ndarray, int, bool], None]
 
 _MAX_LOOP_TRIPS = 10_000_000  # runaway-loop guard for buggy frontends
 
+#: Shared-arena rows are padded to this many bytes so every element size
+#: divides the row stride (block-row offsets stay exact element counts).
+_SHARED_ROW_ALIGN = 16
+#: Upper bound on the batched shared arena; kernels with large per-block
+#: tiles get their ``blocks_per_batch`` capped instead of a huge arena.
+_SHARED_ARENA_BYTES = 32 * 1024 * 1024
+#: Entries kept in the per-executor batch-geometry cache (FIFO evicted).
+_GEOM_CACHE_ENTRIES = 16
+
 
 @dataclass
 class LaunchStats:
@@ -101,13 +124,47 @@ class LaunchStats:
 
 
 @dataclass
+class InterpreterTotals:
+    """Process-wide interpreter activity (all executors, all devices).
+
+    Feeds the CLI's ``--stats`` line; cheap to maintain (one merge per
+    launch) and independent of how callers construct their systems.
+    """
+
+    launches: int = 0
+    stats: LaunchStats = field(default_factory=LaunchStats)
+
+
+_TOTALS = InterpreterTotals()
+
+
+def interpreter_totals() -> InterpreterTotals:
+    """The process-wide launch/batch totals (read-only use intended)."""
+    return _TOTALS
+
+
+def reset_interpreter_totals() -> None:
+    """Zero the process-wide totals (test isolation)."""
+    _TOTALS.launches = 0
+    _TOTALS.stats = LaunchStats()
+
+
+@dataclass
 class _Batch:
-    """Lane geometry of one interpreter batch."""
+    """Lane geometry of one interpreter batch (``n_blocks`` whole blocks).
+
+    The arrays are cached and shared between batches of the same shape,
+    so they are frozen read-only; consumers must copy before mutating.
+    """
 
     lanes: int
+    n_blocks: int  # blocks in this batch
+    block_threads: int  # threads per block
+    first_block: int  # launch-linear id of the batch's first block
     tid: tuple[np.ndarray, np.ndarray, np.ndarray]
     ctaid: tuple[np.ndarray, np.ndarray, np.ndarray]
     block_linear: np.ndarray  # per-lane linear index within its block
+    block_row: np.ndarray  # per-lane index of its block within the batch
     warp_base: np.ndarray  # per-lane: batch index of lane 0 of its warp
     warp_len: np.ndarray  # per-lane: populated width of its warp
 
@@ -139,8 +196,12 @@ class KernelExecutor:
             ``None`` for raw (allocator-less) execution in unit tests.
         shared_limit: Per-block shared memory capacity in bytes.
         max_block_threads: Device limit on threads per block.
-        chunk_lanes: Upper bound on lanes per batch for block-batched
-            (shared-memory-free) execution.
+        chunk_lanes: Upper bound on lanes per batch; every kernel —
+            including barrier/shared-memory ones — batches
+            ``max(1, chunk_lanes // block_threads)`` blocks at a time.
+        max_blocks_per_batch: Optional cap on blocks per batch.  ``1``
+            reproduces the historical block-isolated execution exactly;
+            the differential tests and benchmarks sweep this knob.
     """
 
     def __init__(
@@ -152,6 +213,7 @@ class KernelExecutor:
         shared_limit: int = 64 * 1024,
         max_block_threads: int = 1024,
         chunk_lanes: int = 1 << 18,
+        max_blocks_per_batch: int | None = None,
     ):
         if global_memory.dtype != np.uint8 or global_memory.ndim != 1:
             raise LaunchError("global memory must be a flat uint8 array")
@@ -162,11 +224,25 @@ class KernelExecutor:
         self.shared_limit = shared_limit
         self.max_block_threads = max_block_threads
         self.chunk_lanes = chunk_lanes
+        self.max_blocks_per_batch = max_blocks_per_batch
         # Typed views of global memory, built lazily per element type.
         self._gviews: dict[str, np.ndarray] = {}
-        self._needs_block_isolation = kernel.uses_shared() or any(
-            isinstance(i, Barrier) for i in _walk_all(kernel.body)
+        self._uses_shared = kernel.uses_shared()
+        # Per-block logical shared size (bounds checks) and the padded
+        # row stride that gives each batched block its own arena row.
+        self._shared_bytes = max(kernel.shared_bytes, 8)
+        self._shared_stride = (
+            -(-self._shared_bytes // _SHARED_ROW_ALIGN) * _SHARED_ROW_ALIGN
         )
+        self._shared_buf: np.ndarray | None = None
+        # Batch-geometry caches: full batches keyed by (first_block,
+        # n_blocks, grid, block); the shape-only part (everything except
+        # ctaid) keyed by (n_blocks, block) so only ctaid is recomputed
+        # when a launch walks the grid.
+        self._batch_cache: dict[tuple, _Batch] = {}
+        self._shape_cache: dict[tuple, tuple] = {}
+        self.geom_cache_hits = 0
+        self.geom_cache_misses = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -206,10 +282,18 @@ class KernelExecutor:
         total = n_blocks * block_threads
         stats = LaunchStats(threads=total)
 
-        if self._needs_block_isolation:
-            blocks_per_batch = 1
-        else:
-            blocks_per_batch = max(1, self.chunk_lanes // block_threads)
+        blocks_per_batch = max(1, self.chunk_lanes // block_threads)
+        if self._uses_shared:
+            # Keep the batched shared arena bounded: kernels with big
+            # per-block tiles trade batch width for arena size.
+            blocks_per_batch = min(
+                blocks_per_batch,
+                max(1, _SHARED_ARENA_BYTES // self._shared_stride),
+            )
+        if self.max_blocks_per_batch is not None:
+            blocks_per_batch = min(
+                blocks_per_batch, max(1, int(self.max_blocks_per_batch))
+            )
 
         dims = {
             "ntid.x": block[0], "ntid.y": block[1], "ntid.z": block[2],
@@ -221,6 +305,8 @@ class KernelExecutor:
                 batch = self._make_batch(first_block, n, grid, block)
                 self._run_batch(batch, args, stats, dims)
                 stats.batches += 1
+        _TOTALS.launches += 1
+        _TOTALS.stats.merge(stats)
         return stats
 
     # -- batch construction ------------------------------------------------
@@ -232,40 +318,69 @@ class KernelExecutor:
         grid: tuple[int, int, int],
         block: tuple[int, int, int],
     ) -> _Batch:
+        key = (first_block, n_blocks, grid, block)
+        cached = self._batch_cache.get(key)
+        if cached is not None:
+            self.geom_cache_hits += 1
+            return cached
+        self.geom_cache_misses += 1
+
         bx, by, bz = block
         gx, gy, _gz = grid
         block_threads = bx * by * bz
         lanes = n_blocks * block_threads
 
-        lin = np.arange(lanes, dtype=np.int64)
-        block_lin = lin % block_threads
-        blk = first_block + lin // block_threads
+        shape_key = (n_blocks, block)
+        shape = self._shape_cache.get(shape_key)
+        if shape is None:
+            lin = np.arange(lanes, dtype=np.int64)
+            block_lin = lin % block_threads
+            block_row = lin // block_threads
+            tid_x = (block_lin % bx).astype(np.uint32)
+            tid_y = ((block_lin // bx) % by).astype(np.uint32)
+            tid_z = (block_lin // (bx * by)).astype(np.uint32)
+            # Warp geometry: warps never span blocks; the last warp of a
+            # block may be partial.
+            warp_in_block = block_lin // self.warp_size
+            warp_start_in_block = warp_in_block * self.warp_size
+            batch_block_start = lin - block_lin
+            warp_base = batch_block_start + warp_start_in_block
+            warp_len = np.minimum(
+                self.warp_size, block_threads - warp_start_in_block
+            ).astype(np.int64)
+            shape = (block_lin, block_row, (tid_x, tid_y, tid_z),
+                     warp_base, warp_len)
+            for arr in (block_lin, block_row, tid_x, tid_y, tid_z,
+                        warp_base, warp_len):
+                arr.flags.writeable = False
+            if len(self._shape_cache) >= _GEOM_CACHE_ENTRIES:
+                self._shape_cache.pop(next(iter(self._shape_cache)))
+            self._shape_cache[shape_key] = shape
+        block_lin, block_row, tid, warp_base, warp_len = shape
 
-        tid_x = (block_lin % bx).astype(np.uint32)
-        tid_y = ((block_lin // bx) % by).astype(np.uint32)
-        tid_z = (block_lin // (bx * by)).astype(np.uint32)
+        blk = first_block + block_row
         ctaid_x = (blk % gx).astype(np.uint32)
         ctaid_y = ((blk // gx) % gy).astype(np.uint32)
         ctaid_z = (blk // (gx * gy)).astype(np.uint32)
+        for arr in (ctaid_x, ctaid_y, ctaid_z):
+            arr.flags.writeable = False
 
-        # Warp geometry: warps never span blocks; the last warp of a block
-        # may be partial.
-        warp_in_block = block_lin // self.warp_size
-        warp_start_in_block = warp_in_block * self.warp_size
-        batch_block_start = lin - block_lin
-        warp_base = batch_block_start + warp_start_in_block
-        warp_len = np.minimum(
-            self.warp_size, block_threads - warp_start_in_block
-        ).astype(np.int64)
-
-        return _Batch(
+        batch = _Batch(
             lanes=lanes,
-            tid=(tid_x, tid_y, tid_z),
+            n_blocks=n_blocks,
+            block_threads=block_threads,
+            first_block=first_block,
+            tid=tid,
             ctaid=(ctaid_x, ctaid_y, ctaid_z),
             block_linear=block_lin,
+            block_row=block_row,
             warp_base=warp_base,
             warp_len=warp_len,
         )
+        if len(self._batch_cache) >= _GEOM_CACHE_ENTRIES:
+            self._batch_cache.pop(next(iter(self._batch_cache)))
+        self._batch_cache[key] = batch
+        return batch
 
     # -- batch execution ---------------------------------------------------
 
@@ -281,12 +396,24 @@ class KernelExecutor:
             batch=batch,
             env=env,
             exited=np.zeros(batch.lanes, dtype=bool),
-            shared=np.zeros(max(self.kernel.shared_bytes, 8), dtype=np.uint8),
+            shared=(self._shared_arena(batch.n_blocks)
+                    if self._uses_shared else None),
             stats=stats,
             dims=dims,
         )
         mask = np.ones(batch.lanes, dtype=bool)
         state.exec_body(self.kernel.body, mask)
+
+    def _shared_arena(self, n_blocks: int) -> np.ndarray:
+        """A zeroed ``(n_blocks, row_stride)`` shared arena, buffer reused."""
+        buf = self._shared_buf
+        if buf is None or buf.shape[0] < n_blocks:
+            buf = np.zeros((n_blocks, self._shared_stride), dtype=np.uint8)
+            self._shared_buf = buf
+            return buf[:n_blocks]
+        arena = buf[:n_blocks]
+        arena.fill(0)
+        return arena
 
     def _gview(self, dtype: dtypes.DType) -> np.ndarray:
         view = self._gviews.get(dtype.name)
@@ -297,18 +424,12 @@ class KernelExecutor:
         return view
 
 
-def _walk_all(body):
-    from repro.isa.instructions import walk
-
-    return walk(body)
-
-
 class _ExecState:
     """Mutable per-batch interpreter state."""
 
     def __init__(self, executor: KernelExecutor, batch: _Batch,
                  env: dict[str, np.ndarray], exited: np.ndarray,
-                 shared: np.ndarray, stats: LaunchStats,
+                 shared: np.ndarray | None, stats: LaunchStats,
                  dims: dict[str, int]):
         self.x = executor
         self.batch = batch
@@ -436,13 +557,25 @@ class _ExecState:
             self.assign(instr.dst, np.uint64(base), eff)
 
         elif isinstance(instr, Barrier):
-            st.barriers += 1
-            expected = ~self.exited
-            if not np.array_equal(eff, expected):
+            # Per-block legality: within every block that has a lane at
+            # the barrier, the arriving mask must equal the block's live
+            # (non-exited) mask.  Blocks with no active lane are not "at"
+            # this barrier (their lanes exited or sit in another branch
+            # of this batch's control flow) and are skipped, exactly as
+            # the old one-block-per-batch path skipped them.
+            b = self.batch
+            act = eff.reshape(b.n_blocks, b.block_threads)
+            live = (~self.exited).reshape(b.n_blocks, b.block_threads)
+            arrived = act.any(axis=1)
+            partial = arrived & (act != live).any(axis=1)
+            if partial.any():
+                i = int(np.argmax(partial))
                 raise DivergentBarrierError(
                     f"kernel '{self.x.kernel.name}': barrier reached by "
-                    f"{n_active} of {int(expected.sum())} live threads"
+                    f"{int(act[i].sum())} of {int(live[i].sum())} live "
+                    f"threads in block {b.first_block + i}"
                 )
+            st.barriers += int(arrived.sum())
 
         elif isinstance(instr, AtomicOp):
             self._atomic(instr, eff)
@@ -544,6 +677,7 @@ class _ExecState:
             raise MemoryFaultError(
                 f"kernel '{self.x.kernel.name}': misaligned {dtype.name} access"
             )
+        idx = (addr // dtype.itemsize).astype(np.int64)
         if instr.space == MemSpace.GLOBAL:
             if self.x.validator is not None:
                 self.x.validator(active_addr, dtype.itemsize, write)
@@ -551,22 +685,31 @@ class _ExecState:
                 raise MemoryFaultError("global access out of device memory")
             view = self.x._gview(dtype)
         else:
-            limit = self.shared.size
+            limit = self.x._shared_bytes
             if (active_addr.astype(np.int64) + dtype.itemsize > limit).any():
                 raise MemoryFaultError(
                     f"kernel '{self.x.kernel.name}': shared access beyond "
                     f"{limit} allocated bytes"
                 )
-            key = dtype.name
-            view = self._shared_views.get(key)
-            if view is None:
-                usable = (self.shared.size // dtype.itemsize) * dtype.itemsize
-                view = self.shared[:usable].view(dtype.np_dtype)
-                self._shared_views[key] = view
-        idx = (addr // dtype.itemsize).astype(np.int64)
+            view = self._shared_view(dtype)
+            # Kernel addresses are block-local; offset each lane into its
+            # own block's arena row.  The row stride is 16-byte aligned,
+            # so the per-row element count is exact for every dtype.
+            idx += self.batch.block_row * (
+                self.x._shared_stride // dtype.itemsize
+            )
         # Park inactive lanes on element 0 so gathers cannot fault.
         np.copyto(idx, 0, where=~eff)
         return view, idx
+
+    def _shared_view(self, dtype: dtypes.DType) -> np.ndarray:
+        view = self._shared_views.get(dtype.name)
+        if view is None:
+            if self.shared is None:  # pragma: no cover - uses_shared gate
+                self.shared = self.x._shared_arena(self.batch.n_blocks)
+            view = self.shared.reshape(-1).view(dtype.np_dtype)
+            self._shared_views[dtype.name] = view
+        return view
 
     def _load(self, instr: Load, eff: np.ndarray) -> None:
         view, idx = self._resolve(instr, instr.dst.dtype, eff, write=False)

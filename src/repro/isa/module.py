@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.enums import ISA
 from repro.isa.instructions import (
+    AtomicOp,
     Instruction,
     Load,
     Param,
@@ -48,7 +49,8 @@ class KernelIR:
         for instr in walk(self.body):
             if isinstance(instr, SharedAlloc):
                 return True
-            if isinstance(instr, (Load, Store)) and instr.space == MemSpace.SHARED:
+            if (isinstance(instr, (Load, Store, AtomicOp))
+                    and instr.space == MemSpace.SHARED):
                 return True
         return False
 

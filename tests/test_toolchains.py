@@ -148,6 +148,44 @@ def test_compile_result_contents():
     assert result.binary.producer.startswith("nvcc-")
 
 
+# -- compile cache ----------------------------------------------------------
+
+
+def test_repeated_identical_compiles_hit_the_cache():
+    from repro.compilers.toolchain import clear_compile_cache, compile_cache_stats
+
+    clear_compile_cache()
+    nvcc = get_toolchain("nvcc")
+    first = nvcc.compile(_tu(Model.CUDA, CPP), ISA.PTX)
+    assert nvcc.cache_stats.misses == 1
+    assert nvcc.cache_stats.hits == 0
+    # A fresh TU object with identical content — and even a different
+    # unit name, since runtimes mint per-instance names — is a hit.
+    tu2 = TranslationUnit("другое", Model.CUDA, CPP)
+    tu2.add(KL.axpy)
+    second = nvcc.compile(tu2, ISA.PTX)
+    assert second is first
+    assert nvcc.cache_stats.hits == 1
+    assert compile_cache_stats().hits >= 1
+
+
+def test_compile_cache_key_separates_configurations():
+    from repro.compilers.toolchain import clear_compile_cache
+
+    clear_compile_cache()
+    hipcc = get_toolchain("hipcc")
+    a = hipcc.compile(_tu(Model.HIP, CPP), ISA.AMDGCN)
+    b = hipcc.compile(_tu(Model.HIP, CPP), ISA.PTX)  # different target
+    c = hipcc.compile(_tu(Model.HIP, CPP, kernelfn=KL.fill), ISA.AMDGCN)
+    d = hipcc.compile(_tu(Model.HIP, CPP), ISA.AMDGCN, sanitize=True)
+    assert len({id(a), id(b), id(c), id(d)}) == 4
+    assert hipcc.cache_stats.misses == 4
+    assert hipcc.cache_stats.hits == 0
+    # Gates still fire on every call, cached or not.
+    with pytest.raises(UnsupportedTargetError):
+        hipcc.compile(_tu(Model.HIP, CPP), ISA.SPIRV)
+
+
 def test_toolchains_for_lookup():
     names = {t.name for t in toolchains_for(Model.SYCL, CPP, ISA.PTX)}
     assert names == {"dpcpp", "opensycl", "computecpp"}
