@@ -14,6 +14,10 @@ Entry points:
 * :class:`AnalysisOptions` — launch bounds, buffer extents, pass subset;
 * :mod:`repro.analysis.crosscheck` — differential execution harness
   that validates static verdicts against interpreter schedules;
+* :mod:`repro.analysis.transval` — translation validation (``TV01``–
+  ``TV06``) for the source-to-source routes;
+* :mod:`repro.analysis.routes_evidence` — static route-evidence
+  derivation of Figure 1 and the paper cross-check (``RE01``–``RE03``);
 * ``Toolchain.compile(..., sanitize=True)`` and the ``gpu-compat lint``
   CLI are the integrated front doors.
 """
@@ -31,6 +35,12 @@ from repro.analysis.sanitizer import (
     analyze_kernel,
     analyze_module,
 )
+from repro.analysis.transval import (
+    kernel_signature,
+    validate_all,
+    validate_translation,
+    validate_translator,
+)
 
 __all__ = [
     "AnalysisOptions",
@@ -43,4 +53,8 @@ __all__ = [
     "analyze_dataflow",
     "analyze_kernel",
     "analyze_module",
+    "kernel_signature",
+    "validate_all",
+    "validate_translation",
+    "validate_translator",
 ]

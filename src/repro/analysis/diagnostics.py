@@ -60,6 +60,32 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
                "CAS retry loop relies on vendor forward-progress guarantees"),
     "PORT03": (Severity.WARNING,
                "static shared memory exceeds the smallest device capacity"),
+    # -- transval: translation validation (source-to-source routes) ----------
+    "TV01": (Severity.ERROR,
+             "feature tag neither mapped nor explicitly rejected by the "
+             "translator"),
+    "TV02": (Severity.ERROR,
+             "translator emits a feature tag outside the target model's "
+             "vocabulary"),
+    "TV03": (Severity.ERROR,
+             "kernel IR not structurally equivalent across the translation"),
+    "TV04": (Severity.WARNING,
+             "source-model identifiers survive translation of the witness "
+             "corpus"),
+    "TV05": (Severity.WARNING,
+             "rewrite rule can never fire (dead or shadowed pattern)"),
+    "TV06": (Severity.WARNING,
+             "constructs dropped to TODO comments without a structured "
+             "warning"),
+    # -- route evidence: derived support vs. recorded Figure-1 rating --------
+    "RE01": (Severity.ERROR,
+             "statically derived support category contradicts the recorded "
+             "paper rating"),
+    "RE02": (Severity.WARNING,
+             "statically derived secondary rating disagrees with the "
+             "recorded dual rating"),
+    "RE03": (Severity.INFO,
+             "derived-vs-paper divergence suppressed by a documented entry"),
 }
 
 
@@ -97,6 +123,17 @@ class Diagnostic:
             line += f"\n    hint: {self.hint}"
         return line
 
+    def to_dict(self) -> dict:
+        """Machine-readable form; the schema CI and transval share."""
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "kernel": self.kernel,
+            "path": self.path,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.render()
 
@@ -120,6 +157,9 @@ class LintReport:
     """Diagnostics for one module/kernel corpus, with rollups."""
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
 
     def extend(self, more: list[Diagnostic]) -> None:
         self.diagnostics.extend(more)
@@ -154,3 +194,19 @@ class LintReport:
                 lines.append(d.render())
         lines.append(self.summary_line())
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: diagnostics plus severity rollups."""
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counts": {
+                "error": self.count(Severity.ERROR),
+                "warning": self.count(Severity.WARNING),
+                "info": self.count(Severity.INFO),
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,475 @@
+"""Static route-evidence analysis: prove Figure 1 without running probes.
+
+The empirical pipeline (:mod:`repro.core.matrix`) *executes* every probe
+suite against simulated devices.  This module derives the same 51-cell
+matrix **statically**: for every registered route it inspects the
+constructed chain — toolchain capabilities, translator tag maps, layered
+backends, Python package feature sets — and computes which probes are
+*provably* supported, without compiling or launching anything.
+
+The per-probe requirement tables below are the analyzer's model of the
+probe suites: the exact feature tags each probe places on its
+translation units (hardware tags included for documentation; they never
+gate a capability check, mirroring
+:meth:`~repro.compilers.toolchain.Toolchain.supports_feature`).  Layered
+models (Kokkos, Alpaka) lower to their backend model's tags, so their
+tables are keyed by ``(suite, backend model)``; Python packages gate on
+their own ``py:*`` feature set.
+
+A probe is provably supported when
+
+1. the chain's toolchain has a :class:`Capability` for the (model,
+   language) it will be asked to compile — *after* translation, for
+   translated routes;
+2. the device ISA is among that capability's targets;
+3. every non-hardware requirement tag survives the chain: translated
+   routes map tags through the translator's ``TAG_MAP`` (an explicit
+   ``None`` rejection fails the probe), layered routes use the backend
+   model's tags, and the final tags must all be capability features;
+4. the layer exposes the API at all (``FLCL.UNSUPPORTED_PROBES``).
+
+Provable coverage then runs through the unmodified §3 classifier and
+the same cell aggregation as the empirical matrix, and the result is
+cross-checked against the reconstructed Figure 1
+(:data:`repro.data.paper_matrix.PAPER_MATRIX`): an undocumented primary
+contradiction is an ``RE01`` error, a dual-rating disagreement on a
+paper-annotated cell is an ``RE02`` warning, and a divergence listed in
+:data:`repro.data.paper_matrix.KNOWN_DIVERGENCES` is reported — never
+silently dropped — as ``RE03`` info.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import LintReport, make
+from repro.compilers.features import HW_FEATURES
+from repro.core.classifier import (
+    DEFAULT_THRESHOLDS,
+    Thresholds,
+    classify_route,
+)
+from repro.core.matrix import aggregate_primary, aggregate_secondary
+from repro.core.probes import PROBE_SUITES
+from repro.core.routes import Route, all_routes
+from repro.data.paper_matrix import KNOWN_DIVERGENCES, PAPER_MATRIX
+from repro.enums import Language, Model, SupportCategory, Vendor, all_cells
+from repro.gpu.runtime import System
+
+_HW_KERNEL = frozenset({"atomics", "barrier", "shared_memory"})
+
+
+def _u(*sets) -> frozenset[str]:
+    out: set[str] = set()
+    for s in sets:
+        out |= set(s) if not isinstance(s, str) else {s}
+    return frozenset(out)
+
+
+_OMP_TARGET = frozenset({"omp:target", "omp:teams", "omp:distribute",
+                         "omp:parallel_for", "omp:map"})
+_ACC_PARALLEL = frozenset({"acc:parallel", "acc:loop", "acc:copyin_copyout"})
+
+#: Source-model feature tags each direct-suite probe puts on its units.
+PROBE_REQUIREMENTS: dict[str, dict[str, frozenset[str]]] = {
+    "cuda_cpp": {
+        "probe_kernels": _u({"cuda:kernels", "cuda:memcpy"}),
+        "probe_streams": _u({"cuda:kernels", "cuda:memcpy", "cuda:streams"}),
+        "probe_events": _u({"cuda:kernels", "cuda:memcpy", "cuda:events"}),
+        "probe_managed": _u({"cuda:kernels", "cuda:memcpy",
+                             "cuda:managed_memory"}),
+        "probe_libraries": _u({"cuda:kernels", "cuda:memcpy",
+                               "cuda:libraries"}, _HW_KERNEL),
+        "probe_graphs": _u({"cuda:kernels", "cuda:memcpy", "cuda:graphs"}),
+        "probe_cooperative": _u({"cuda:kernels", "cuda:memcpy",
+                                 "cuda:cooperative_groups"}),
+    },
+    "cuda_fortran": {
+        "probe_kernels": _u({"cuf:kernels", "cuda:memcpy"}),
+        "probe_cuf_kernels": _u({"cuf:kernels", "cuf:cuf_kernels",
+                                 "cuda:memcpy"}),
+        "probe_streams": _u({"cuf:kernels", "cuda:memcpy", "cuda:streams"}),
+        "probe_events": _u({"cuf:kernels", "cuda:memcpy", "cuda:events"}),
+    },
+    "hip_cpp": {
+        "probe_kernels": _u({"hip:kernels", "hip:memcpy"}),
+        "probe_streams": _u({"hip:kernels", "hip:memcpy", "hip:streams"}),
+        "probe_events": _u({"hip:kernels", "hip:memcpy", "hip:events"}),
+        "probe_libraries": _u({"hip:kernels", "hip:memcpy",
+                               "hip:libraries"}, _HW_KERNEL),
+        "probe_graphs": _u({"hip:kernels", "hip:memcpy", "hip:graphs"}),
+    },
+    "hip_fortran": {
+        "probe_kernels": _u({"hip:kernels", "hip:memcpy"}),
+        "probe_streams": _u({"hip:kernels", "hip:memcpy", "hip:streams"}),
+        "probe_events": _u({"hip:kernels", "hip:memcpy", "hip:events"}),
+        "probe_libraries": _u({"hip:kernels", "hip:memcpy",
+                               "hip:libraries"}, _HW_KERNEL),
+        "probe_graphs": _u({"hip:kernels", "hip:memcpy", "hip:graphs"}),
+    },
+    "sycl_cpp": {
+        "probe_queues": _u({"sycl:queues", "sycl:usm"}),
+        "probe_buffers": _u({"sycl:queues", "sycl:buffers",
+                             "sycl:accessors"}),
+        "probe_nd_range": _u({"sycl:queues", "sycl:usm",
+                              "sycl:nd_range"}, _HW_KERNEL),
+        "probe_usm_shared": _u({"sycl:queues", "sycl:usm"}),
+        "probe_reduction": _u({"sycl:queues", "sycl:reduction"}, _HW_KERNEL),
+        "probe_events": _u({"sycl:queues"}),
+    },
+    "openmp": {
+        "probe_target": _OMP_TARGET,
+        "probe_reduction": _u(_OMP_TARGET, {"omp:reduction"}, _HW_KERNEL),
+        "probe_collapse": _u(_OMP_TARGET, {"omp:collapse"}),
+        "probe_simd": _u(_OMP_TARGET, {"omp:simd"}),
+        "probe_loop_construct": _u({"omp:loop", "omp:map", "omp:target",
+                                    "omp:teams"}),
+        "probe_metadirective": _u({"omp:metadirective", "omp:target",
+                                   "omp:teams", "omp:distribute",
+                                   "omp:parallel_for"}),
+        "probe_declare_variant": _u(_OMP_TARGET, {"omp:declare_variant"}),
+        "probe_usm": _u(_OMP_TARGET, {"omp:usm"}),
+        "probe_assume": _u(_OMP_TARGET, {"omp:assume"}),
+        "probe_masked": _u({"omp:masked", "omp:target", "omp:teams"}),
+    },
+    "openacc": {
+        "probe_parallel": _ACC_PARALLEL,
+        "probe_kernels_construct": _u({"acc:kernels", "acc:copyin_copyout"}),
+        "probe_data_region": _ACC_PARALLEL,
+        "probe_reduction": _u(_ACC_PARALLEL, {"acc:reduction"}, _HW_KERNEL),
+        "probe_gang_vector": _u(_ACC_PARALLEL, {"acc:gang_worker_vector"}),
+        "probe_async_wait": _u(_ACC_PARALLEL, {"acc:async"}),
+        "probe_serial": _u({"acc:serial", "acc:copyin_copyout"}),
+    },
+    "stdpar_cpp": {
+        "probe_for_each": _u({"stdpar:for_each"}),
+        "probe_transform": _u({"stdpar:transform"}),
+        "probe_reduce": _u({"stdpar:reduce"}, _HW_KERNEL),
+        "probe_transform_reduce": _u({"stdpar:transform_reduce"}, _HW_KERNEL),
+        "probe_scan": _u({"stdpar:scan"}),
+        "probe_sort": _u({"stdpar:sort"}),
+        "probe_std_namespace": _u({"stdpar:for_each",
+                                   "stdpar:std_namespace"}),
+    },
+    "stdpar_fortran": {
+        "probe_do_concurrent": _u({"dc:do_concurrent"}),
+        "probe_locality": _u({"dc:do_concurrent",
+                              "dc:locality_specifiers"}),
+        "probe_reduce": _u({"dc:do_concurrent", "dc:reduce"}, _HW_KERNEL),
+    },
+}
+
+#: Backend-model tags the layered suites (Kokkos, Alpaka) lower to.
+LAYERED_PROBE_REQUIREMENTS: dict[tuple[str, Model],
+                                 dict[str, frozenset[str]]] = {
+    ("kokkos", Model.CUDA): {
+        "probe_range_for": _u({"cuda:kernels", "cuda:memcpy"}),
+        "probe_mdrange": _u({"cuda:kernels", "cuda:memcpy"}),
+        "probe_teams": _u({"cuda:kernels", "cuda:memcpy"}, _HW_KERNEL),
+        "probe_reduce": _u({"cuda:kernels", "cuda:memcpy"}, _HW_KERNEL),
+        "probe_scan": _u({"cuda:kernels", "cuda:memcpy"}),
+        "probe_views": frozenset(),
+    },
+    ("kokkos", Model.HIP): {
+        "probe_range_for": _u({"hip:kernels", "hip:memcpy"}),
+        "probe_mdrange": _u({"hip:kernels", "hip:memcpy"}),
+        "probe_teams": _u({"hip:kernels", "hip:memcpy"}, _HW_KERNEL),
+        "probe_reduce": _u({"hip:kernels", "hip:memcpy"}, _HW_KERNEL),
+        "probe_scan": _u({"hip:kernels", "hip:memcpy"}),
+        "probe_views": frozenset(),
+    },
+    ("kokkos", Model.OPENMP): {
+        "probe_range_for": _OMP_TARGET,
+        "probe_mdrange": _u(_OMP_TARGET, {"omp:collapse"}),
+        "probe_teams": _u({"omp:target", "omp:teams",
+                           "omp:parallel_for"}, _HW_KERNEL),
+        "probe_reduce": _u({"omp:target", "omp:teams", "omp:parallel_for",
+                            "omp:map"}, _HW_KERNEL),
+        "probe_scan": _OMP_TARGET,
+        "probe_views": frozenset(),
+    },
+    ("kokkos", Model.SYCL): {
+        "probe_range_for": _u({"sycl:queues"}),
+        "probe_mdrange": _u({"sycl:queues", "sycl:nd_range"}),
+        "probe_teams": _u({"sycl:queues", "sycl:nd_range"}, _HW_KERNEL),
+        "probe_reduce": _u({"sycl:queues", "sycl:nd_range"}, _HW_KERNEL),
+        "probe_scan": _u({"sycl:queues"}),
+        "probe_views": frozenset(),
+    },
+    ("alpaka", Model.CUDA): {
+        "probe_exec": _u({"cuda:kernels", "cuda:memcpy"}),
+        "probe_workdiv": _u({"cuda:kernels", "cuda:memcpy"}),
+        "probe_buffers": _u({"cuda:kernels", "cuda:memcpy"}),
+        "probe_reduce": _u({"cuda:kernels", "cuda:memcpy"}, _HW_KERNEL),
+    },
+    ("alpaka", Model.HIP): {
+        "probe_exec": _u({"hip:kernels", "hip:memcpy"}),
+        "probe_workdiv": _u({"hip:kernels", "hip:memcpy"}),
+        "probe_buffers": _u({"hip:kernels", "hip:memcpy"}),
+        "probe_reduce": _u({"hip:kernels", "hip:memcpy"}, _HW_KERNEL),
+    },
+    ("alpaka", Model.SYCL): {
+        "probe_exec": _u({"sycl:queues", "sycl:nd_range"}),
+        "probe_workdiv": _u({"sycl:queues", "sycl:nd_range"}),
+        "probe_buffers": _u({"sycl:queues", "sycl:nd_range"}),
+        "probe_reduce": _u({"sycl:queues", "sycl:nd_range"}, _HW_KERNEL),
+    },
+}
+
+#: ``py:*`` feature tags each Python-suite probe demands of the package.
+PYTHON_PROBE_REQUIREMENTS: dict[str, frozenset[str]] = {
+    "probe_ufuncs": _u({"py:ufuncs", "py:numpy_interop"}),
+    "probe_custom_kernel": _u({"py:custom_kernels"}),
+    "probe_reduction": _u({"py:reduction"}),
+    "probe_streams": _u({"py:streams"}),
+    "probe_blas": _u({"py:blas", "py:numpy_interop"}),
+    "probe_numpy_interop": _u({"py:numpy_interop"}),
+}
+
+
+def check_tables() -> None:
+    """Fail loudly if the requirement tables drift from the probe suites.
+
+    Every probe of every suite the Figure-1 route registry uses must
+    have a requirement entry; a missing or stale entry would silently
+    skew derived coverage, so this raises instead of skipping.  Suites
+    registered only by the extension layer (RAJA, OpenCL — outside the
+    51-cell matrix) are not audited.
+    """
+    used = {route.probe_suite for route in all_routes()}
+    for suite, probes in PROBE_SUITES.items():
+        if suite not in used:
+            continue
+        methods = {p.method for p in probes}
+        if suite == "python":
+            covered = set(PYTHON_PROBE_REQUIREMENTS)
+        elif suite in ("kokkos", "alpaka"):
+            tables = [t for (s, _), t in LAYERED_PROBE_REQUIREMENTS.items()
+                      if s == suite]
+            covered = set.intersection(*(set(t) for t in tables))
+        else:
+            covered = set(PROBE_REQUIREMENTS.get(suite, {}))
+        if methods != covered:
+            raise RuntimeError(
+                f"route-evidence requirement table for suite '{suite}' is "
+                f"out of date: suite probes {sorted(methods)} vs table "
+                f"entries {sorted(covered)}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Per-route derivation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RouteEvidence:
+    """What is statically provable about one route."""
+
+    route: Route
+    #: probe method -> "" when provably supported, else the reason the
+    #: chain cannot support it.
+    probe_reasons: dict[str, str]
+    category: SupportCategory
+
+    @property
+    def n_provable(self) -> int:
+        return sum(1 for r in self.probe_reasons.values() if not r)
+
+    @property
+    def coverage(self) -> float:
+        return self.n_provable / len(self.probe_reasons)
+
+    def failures(self) -> dict[str, str]:
+        return {m: r for m, r in self.probe_reasons.items() if r}
+
+
+@dataclass
+class DerivedCell:
+    """One statically derived Figure 1 cell."""
+
+    vendor: Vendor
+    model: Model
+    language: Language
+    evidence: list[RouteEvidence] = field(default_factory=list)
+
+    def _pairs(self) -> list[tuple[Route, SupportCategory]]:
+        return [(e.route, e.category) for e in self.evidence]
+
+    @property
+    def primary(self) -> SupportCategory:
+        return aggregate_primary(self._pairs())
+
+    @property
+    def secondary(self) -> SupportCategory | None:
+        return aggregate_secondary(self._pairs())
+
+
+def _capability_reasons(toolchain, model: Model, language: Language,
+                        isa, tags: frozenset[str]) -> str:
+    """Mirror the three compile gates; "" when all pass."""
+    cap = toolchain.capability(model, language)
+    if cap is None:
+        return (f"toolchain {toolchain.name} does not compile "
+                f"{model.value} {language.value}")
+    if isa not in cap.targets:
+        return (f"toolchain {toolchain.name} cannot emit {isa.value} for "
+                f"{model.value} {language.value}")
+    missing = sorted(t for t in tags
+                     if t not in HW_FEATURES and t not in cap.features)
+    if missing:
+        return (f"toolchain {toolchain.name} lacks feature(s) "
+                f"{', '.join(missing)}")
+    return ""
+
+
+def _derive_offload(rt, route: Route, isa) -> dict[str, str]:
+    """Direct and translated routes: translator maps, toolchain gates."""
+    table = PROBE_REQUIREMENTS[route.probe_suite]
+    translator = rt.translator
+    model = translator.TARGET_MODEL if translator is not None else rt.MODEL
+    reasons: dict[str, str] = {}
+    for probe in PROBE_SUITES[route.probe_suite]:
+        reqs = table[probe.method]
+        if translator is not None:
+            mapped: set[str] = set()
+            rejected: list[str] = []
+            for tag in sorted(reqs):
+                if tag in HW_FEATURES or tag in translator.PASSTHROUGH:
+                    continue
+                image = translator.TAG_MAP.get(tag)
+                if image is None:
+                    rejected.append(tag)
+                else:
+                    mapped.update(image)
+            if rejected:
+                reasons[probe.method] = (
+                    f"translator {translator.NAME} does not translate "
+                    f"{', '.join(rejected)}")
+                continue
+            tags = frozenset(mapped)
+        else:
+            tags = reqs
+        reasons[probe.method] = _capability_reasons(
+            rt.toolchain, model, rt.language, isa, tags)
+    return reasons
+
+
+def _derive_layered(rt, route: Route, isa) -> dict[str, str]:
+    """Kokkos/Alpaka: the backend runtime's model and toolchain gate."""
+    backend = rt._rt
+    table = LAYERED_PROBE_REQUIREMENTS[(route.probe_suite, backend.MODEL)]
+    unsupported = getattr(rt, "UNSUPPORTED_PROBES", frozenset())
+    reasons: dict[str, str] = {}
+    for probe in PROBE_SUITES[route.probe_suite]:
+        if probe.method in unsupported:
+            reasons[probe.method] = (
+                f"{type(rt).__name__} does not expose this API")
+            continue
+        reasons[probe.method] = _capability_reasons(
+            backend.toolchain, backend.MODEL, backend.language, isa,
+            table[probe.method])
+    return reasons
+
+
+def _derive_python(rt, route: Route) -> dict[str, str]:
+    """Python packages gate every API call on their own feature set."""
+    reasons: dict[str, str] = {}
+    for probe in PROBE_SUITES[route.probe_suite]:
+        missing = sorted(PYTHON_PROBE_REQUIREMENTS[probe.method]
+                         - set(rt.features))
+        reasons[probe.method] = (
+            "" if not missing
+            else f"package {rt.name} lacks feature(s) {', '.join(missing)}")
+    return reasons
+
+
+def derive_route(route: Route, system: System,
+                 thresholds: Thresholds = DEFAULT_THRESHOLDS) -> RouteEvidence:
+    """Statically derive one route's provable probe support + category."""
+    from repro.models.alpaka import Alpaka
+    from repro.models.kokkos import Kokkos
+    from repro.models.pymodels import PyPackage
+
+    device = system.device(route.vendor)
+    rt = route.chain(device)
+    if isinstance(rt, PyPackage):
+        reasons = _derive_python(rt, route)
+    elif isinstance(rt, (Kokkos, Alpaka)):
+        reasons = _derive_layered(rt, route, device.isa)
+    else:
+        reasons = _derive_offload(rt, route, device.isa)
+    coverage = (sum(1 for r in reasons.values() if not r) / len(reasons))
+    category = classify_route(route, coverage, thresholds)
+    return RouteEvidence(route=route, probe_reasons=reasons,
+                         category=category)
+
+
+def derive_matrix(system: System | None = None,
+                  thresholds: Thresholds = DEFAULT_THRESHOLDS,
+                  ) -> dict[tuple[Vendor, Model, Language], DerivedCell]:
+    """Statically derive all 51 cells from the route registry."""
+    check_tables()
+    if system is None:
+        system = System.default()
+    cells = {
+        key: DerivedCell(vendor=key[0], model=key[1], language=key[2])
+        for key in all_cells()
+    }
+    for route in all_routes():
+        cells[(route.vendor, route.model, route.language)].evidence.append(
+            derive_route(route, system, thresholds)
+        )
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Cross-check against the reconstructed Figure 1
+# ---------------------------------------------------------------------------
+
+
+def cross_check(system: System | None = None,
+                thresholds: Thresholds = DEFAULT_THRESHOLDS) -> LintReport:
+    """Compare the statically derived matrix to the paper matrix.
+
+    Emits one ``RE01`` error per undocumented primary contradiction,
+    ``RE02`` warnings when a paper-annotated dual rating is not derived
+    (derived-only secondaries are not findings — Figure 1 annotates
+    dual ratings only where §5 discusses them), and ``RE03`` info for
+    divergences documented in ``KNOWN_DIVERGENCES``.
+    """
+    report = LintReport()
+    derived = derive_matrix(system, thresholds)
+    for key, cell in derived.items():
+        vendor, model, language = key
+        paper = PAPER_MATRIX[key]
+        where = f"{vendor.value}/{model.value}/{language.value}"
+        routes = ", ".join(e.route.route_id for e in cell.evidence) or "-"
+        if cell.primary is not paper.primary:
+            suppression = KNOWN_DIVERGENCES.get(key)
+            if suppression is not None:
+                report.add(make(
+                    "RE03", where, routes,
+                    f"documented divergence: derived "
+                    f"{cell.primary.label!r} vs paper "
+                    f"{paper.primary.label!r} — {suppression}",
+                ))
+            else:
+                report.add(make(
+                    "RE01", where, routes,
+                    f"derived rating {cell.primary.label!r} contradicts "
+                    f"the paper's {paper.primary.label!r} "
+                    f"(description {paper.description_id})",
+                    hint="fix the route registry / capability data, or "
+                         "document the divergence in KNOWN_DIVERGENCES",
+                ))
+        elif (paper.secondary is not None
+              and cell.secondary is not paper.secondary):
+            got = cell.secondary.label if cell.secondary else "none"
+            report.add(make(
+                "RE02", where, routes,
+                f"paper annotates a dual rating "
+                f"{paper.secondary.label!r} but the derivation yields "
+                f"{got!r}",
+            ))
+    return report

@@ -1,0 +1,297 @@
+"""transval — translation validation for source-to-source routes.
+
+The matrix's *indirect* and *limited* cells all pass through a
+:class:`~repro.translate.base.SourceTranslator` (HIPIFY, SYCLomatic,
+GPUFORT, acc2omp) — exactly the hop where semantics drift silently.
+This module statically certifies each hop on three levels, emitting
+``TV01``–``TV06`` Diagnostics through the shared kernelsan machinery:
+
+1. **Feature-tag conservation** — every tag the source model can put on
+   a unit is either mapped or *explicitly* rejected (``TV01``), and the
+   translator never invents tags outside the target model's vocabulary
+   (``TV02``).
+2. **Kernel-IR structural equivalence** — a translated unit's kernels
+   must match the source unit's after normalization: same memory
+   accesses per address space, same barrier/atomic/shuffle structure,
+   same control shape, modulo register renaming and pure arithmetic
+   (``TV03``).
+3. **Rewrite-rule auditing** — translating the translator's literal
+   witness corpus must leave no source-model identifiers behind
+   (``TV04``), every ``PATTERN_RULES`` entry must be able to fire
+   (``TV05``), and rules that drop constructs into TODO comments must
+   surface structured warnings, not just output text (``TV06``).
+
+The witness corpora are deliberately *literal* source snippets, not
+generated from ``IDENTIFIER_MAP``: deleting a map entry must leave the
+witness intact so the stale identifier is caught, instead of silently
+shrinking the corpus.
+
+Entry points: :func:`validate_translator` (map + witness audit),
+:func:`validate_translation` (one translated unit, used by
+``Toolchain.compile(sanitize=True)``), :func:`validate_all` (every
+shipped translator; the ``gpu-compat transval`` CLI).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, make
+from repro.compilers.features import MODEL_TAG_VOCABULARY
+from repro.frontends.source import TranslationUnit
+from repro.isa.instructions import (
+    AtomicOp,
+    Barrier,
+    Exit,
+    If,
+    Load,
+    SharedAlloc,
+    Shuffle,
+    Store,
+    While,
+)
+
+
+# ---------------------------------------------------------------------------
+# Kernel-IR structural signatures (TV03)
+# ---------------------------------------------------------------------------
+
+
+def _body_signature(body) -> tuple:
+    out = []
+    for ins in body:
+        if isinstance(ins, Load):
+            out.append(("load", ins.space))
+        elif isinstance(ins, Store):
+            out.append(("store", ins.space))
+        elif isinstance(ins, AtomicOp):
+            out.append(("atomic", ins.op, ins.space))
+        elif isinstance(ins, Barrier):
+            out.append(("barrier",))
+        elif isinstance(ins, Shuffle):
+            out.append(("shuffle", ins.mode))
+        elif isinstance(ins, SharedAlloc):
+            out.append(("shared_alloc", ins.dtype.name, ins.count))
+        elif isinstance(ins, Exit):
+            out.append(("exit",))
+        elif isinstance(ins, If):
+            out.append(("if",
+                        _body_signature(ins.then_body),
+                        _body_signature(ins.else_body)))
+        elif isinstance(ins, While):
+            out.append(("while",
+                        _body_signature(ins.cond_body),
+                        _body_signature(ins.body)))
+        # Register-level instructions (Mov/BinOp/Cmp/Select/Cvt/
+        # SpecialRead/...) are deliberately not part of the signature:
+        # a legal translation may rename registers and re-associate pure
+        # arithmetic, but must not change what touches memory or how
+        # threads synchronize.
+    return tuple(out)
+
+
+def kernel_signature(ir) -> tuple:
+    """Normalized structural signature of one kernel IR.
+
+    Two kernels with equal signatures perform the same memory accesses
+    per address space under the same barrier/atomic/shuffle and control
+    structure; parameter and register *names* do not participate.
+    """
+    params = tuple((p.dtype.name, p.is_pointer) for p in ir.params)
+    return (params, _body_signature(ir.body), tuple(sorted(ir.features)))
+
+
+# ---------------------------------------------------------------------------
+# Unit-level validation (the sanitize-pipeline hook)
+# ---------------------------------------------------------------------------
+
+
+def validate_translation(tu: TranslationUnit) -> list[Diagnostic]:
+    """Validate one *translated* unit against its recorded origin.
+
+    ``tu.origin`` must be a
+    :class:`~repro.translate.base.TranslationOrigin`; units without one
+    (authored directly in their model) validate vacuously.
+    """
+    origin = tu.origin
+    if origin is None:
+        return []
+    translator = origin.translator
+    source = origin.source
+    name = translator.NAME
+    diags: list[Diagnostic] = []
+
+    # Tag conservation: every non-passthrough source tag must map, and
+    # the union of the mapped images must be exactly what was emitted.
+    expected: set[str] = set()
+    for tag in sorted(source.all_features()):
+        if tag in translator.PASSTHROUGH:
+            continue
+        mapped = translator.TAG_MAP.get(tag)
+        if mapped is None:
+            diags.append(make(
+                "TV01", name, f"unit {source.name}",
+                f"source tag '{tag}' reached the translated unit without a "
+                f"mapping (translate_unit should have rejected it)",
+                hint="add the tag to TAG_MAP or map it to None to reject it",
+            ))
+            continue
+        expected.update(mapped)
+    emitted = set(tu.features)
+    vocabulary = MODEL_TAG_VOCABULARY.get(tu.model, frozenset())
+    for tag in sorted(emitted - expected):
+        diags.append(make(
+            "TV02", name, f"unit {tu.name}",
+            f"emitted tag '{tag}' derives from no source tag",
+        ))
+    for tag in sorted(expected - emitted):
+        diags.append(make(
+            "TV01", name, f"unit {tu.name}",
+            f"mapped tag '{tag}' was dropped from the translated unit",
+        ))
+    for tag in sorted(emitted - vocabulary):
+        diags.append(make(
+            "TV02", name, f"unit {tu.name}",
+            f"emitted tag '{tag}' is not in the {tu.model.value} "
+            f"model's vocabulary",
+        ))
+
+    # Kernel-IR structural equivalence.
+    src_kernels = {k.name: k for k in source.kernels}
+    out_kernels = {k.name: k for k in tu.kernels}
+    for kname in sorted(src_kernels.keys() - out_kernels.keys()):
+        diags.append(make(
+            "TV03", kname, f"unit {tu.name}",
+            f"kernel '{kname}' of the source unit is missing after "
+            f"translation by {name}",
+        ))
+    for kname in sorted(out_kernels.keys() - src_kernels.keys()):
+        diags.append(make(
+            "TV03", kname, f"unit {tu.name}",
+            f"kernel '{kname}' appeared during translation by {name} "
+            f"without a source counterpart",
+        ))
+    for kname in sorted(src_kernels.keys() & out_kernels.keys()):
+        src_sig = kernel_signature(src_kernels[kname].ir)
+        out_sig = kernel_signature(out_kernels[kname].ir)
+        if src_sig != out_sig:
+            diags.append(make(
+                "TV03", kname, f"unit {tu.name}",
+                f"kernel '{kname}' is not structurally equivalent across "
+                f"{name}: memory/synchronization shape changed",
+                hint="translators may rename registers, not restructure "
+                     "memory accesses or barriers",
+            ))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# Translator-level validation (map + witness audit)
+# ---------------------------------------------------------------------------
+
+
+def validate_translator(translator) -> list[Diagnostic]:
+    """Statically audit one translator's maps and rewrite rules."""
+    name = translator.NAME
+    diags: list[Diagnostic] = []
+
+    # TV01 — domain coverage: every tag the source model can put on a
+    # unit is either mapped or explicitly rejected (None).  A tag simply
+    # *absent* from TAG_MAP makes translate_unit raise "construct not
+    # recognized", which measures as route failure without documenting
+    # whether the construct is untranslatable or just forgotten.
+    domain = frozenset(translator.SOURCE_TAG_DOMAIN) - translator.PASSTHROUGH
+    for tag in sorted(domain - translator.TAG_MAP.keys()):
+        diags.append(make(
+            "TV01", name, f"TAG_MAP[{tag!r}]",
+            f"source tag '{tag}' of the {translator.SOURCE_MODEL.value} "
+            f"domain is neither mapped nor explicitly rejected",
+            hint="map the tag, or map it to None to document the rejection",
+        ))
+
+    # TV02 — image containment: everything the map can emit must be a
+    # legal tag of the target model.
+    vocabulary = MODEL_TAG_VOCABULARY.get(translator.TARGET_MODEL, frozenset())
+    for tag, mapped in sorted(translator.TAG_MAP.items()):
+        if not mapped:
+            continue
+        for out_tag in mapped:
+            if out_tag not in vocabulary:
+                diags.append(make(
+                    "TV02", name, f"TAG_MAP[{tag!r}]",
+                    f"'{tag}' maps to '{out_tag}', which is not in the "
+                    f"{translator.TARGET_MODEL.value} model's vocabulary",
+                ))
+
+    # Witness audit — translate the literal witness corpus.
+    witness = translator.WITNESS_SOURCE
+    if not witness:
+        return diags
+    _translated, report = translator.translate_source(witness)
+
+    # TV04 — identifier completeness: the tool's own leftover scanner
+    # must find nothing in its translated witness.
+    for warning in report.warnings:
+        if "unconverted identifier" in warning:
+            ident = warning.rsplit("'", 2)[-2] if "'" in warning else warning
+            diags.append(make(
+                "TV04", name, "witness",
+                f"identifier '{ident}' survives translation of the "
+                f"witness corpus",
+                hint="restore the IDENTIFIER_MAP entry or extend a "
+                     "PATTERN_RULES rewrite",
+            ))
+
+    # TV05 — dead rules: every PATTERN_RULES entry must fire at least
+    # once on the witness (the witness is written to exercise them all,
+    # so a zero hit count means the pattern is dead or shadowed by an
+    # earlier rewrite).
+    for idx, hits in enumerate(report.rule_hits):
+        if hits == 0:
+            pattern = translator.PATTERN_RULES[idx][0]
+            diags.append(make(
+                "TV05", name, f"PATTERN_RULES[{idx}]",
+                f"rewrite rule {pattern!r} never fires on the witness "
+                f"corpus",
+                hint="fix the pattern or extend WITNESS_SOURCE to cover it",
+            ))
+
+    # TV06 — silent TODO drops: every firing of a TODO-emitting rule
+    # must be accompanied by a structured warning.
+    todo_hits = sum(
+        hits for (  # noqa: B007 - paired iteration
+            _pattern, replacement), hits in zip(
+            translator.PATTERN_RULES, report.rule_hits)
+        if "TODO" in replacement
+    )
+    todo_warnings = sum(1 for w in report.warnings if "TODO" in w)
+    if todo_hits > todo_warnings:
+        diags.append(make(
+            "TV06", name, "witness",
+            f"{todo_hits} construct(s) were rewritten to TODO comments "
+            f"but only {todo_warnings} structured warning(s) were issued",
+            hint="append a warning to TranslationReport.warnings for every "
+                 "dropped construct",
+        ))
+    return diags
+
+
+def shipped_translators() -> list:
+    """One instance of every translator the route registry uses."""
+    from repro.enums import Model
+    from repro.translate import AccToOmp, Gpufort, Hipify, Syclomatic
+
+    return [
+        Hipify(),
+        Syclomatic(),
+        Gpufort(source=Model.CUDA),
+        Gpufort(source=Model.OPENACC),
+        AccToOmp(),
+    ]
+
+
+def validate_all(translators=None) -> LintReport:
+    """Audit every (or the given) translator; the CLI entry point."""
+    report = LintReport()
+    for translator in (translators if translators is not None
+                       else shipped_translators()):
+        report.extend(validate_translator(translator))
+    return report

@@ -12,9 +12,19 @@ Subcommands:
   route recommendations.
 * ``routes`` — list the full route registry.
 * ``lint [--module MOD] [--kernel NAME] [--block X,Y,Z] [--grid X,Y,Z]
-  [--extent PARAM=COUNT] [--pass NAME]`` — run the kernelsan static
-  analyses over the bundled kernel library (default) or over the
-  ``@kernel`` functions of an importable module.
+  [--extent PARAM=COUNT] [--pass NAME] [--format text|json]`` — run the
+  kernelsan static analyses over the bundled kernel library (default)
+  or over the ``@kernel`` functions of an importable module.
+* ``lint --routes [--format text|json]`` — statically derive the
+  51-cell matrix from the route registry (toolchain capabilities +
+  translator maps, no probe execution) and cross-check it against the
+  reconstructed paper ratings (``RE01``–``RE03``).
+* ``transval [--format text|json]`` — audit every shipped
+  source-to-source translator (``TV01``–``TV06``).
+
+``--format json`` prints the ``LintReport`` as JSON (diagnostic code,
+severity, kernel, path, message, hint, plus severity rollups) and
+nothing else, for CI artifact upload and tooling.
 
 The global ``--stats`` flag appends a summary of compile-cache
 hit/miss counters and interpreter launch/batch totals after any
@@ -26,10 +36,17 @@ Exit codes (stable; scripts and CI rely on them):
 ====  =====================================================================
 code  meaning
 ====  =====================================================================
-0     success; for ``lint``: no error-severity diagnostics (warnings OK)
-1     findings: ``lint`` found error-severity diagnostics, or ``report``
+0     success; for ``lint``/``transval``: no error-severity diagnostics
+      (warnings OK); for ``lint --routes``: derived matrix matches the
+      paper (documented RE03 divergences OK)
+1     findings: ``lint``/``transval`` found error-severity diagnostics,
+      ``lint --routes`` found dual-rating warnings (RE02), or ``report``
       disagreed with the published matrix
-2     usage error (argparse: unknown flag, missing operand, bad value)
+2     usage error (argparse: unknown flag, missing operand, bad value);
+      **extension:** ``lint --routes`` also exits 2 on an RE01
+      contradiction — the shipped route registry and the shipped paper
+      matrix disagree, i.e. the tool's own input data is inconsistent,
+      which CI must distinguish from ordinary findings
 3     input rejected: the kernel source or IR failed verification
       (:class:`~repro.errors.VerificationError`,
       :class:`~repro.errors.FrontendError`,
@@ -215,11 +232,30 @@ def _lint_corpus(args):
     return fns
 
 
+def _lint_routes(args) -> int:
+    """``lint --routes``: static route evidence vs. the paper matrix."""
+    from repro.analysis.routes_evidence import cross_check
+
+    report = cross_check()
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        for d in report.diagnostics:
+            print(d.render())
+        print(f"cross-checked 51 cells against the reconstructed paper "
+              f"matrix: {report.summary_line()}")
+    if report.errors:
+        return 2  # registry and paper matrix contradict each other
+    return 1 if report.warnings else 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import AnalysisOptions, LaunchBounds, analyze_module
     from repro.analysis.sanitizer import PASSES
     from repro.isa.module import ModuleIR
 
+    if args.routes:
+        return _lint_routes(args)
     fns = _lint_corpus(args)
     module = ModuleIR(name=args.module or "kernel_library")
     for fn in fns:
@@ -237,10 +273,30 @@ def cmd_lint(args) -> int:
         passes=passes,
     )
     report = analyze_module(module, options)
-    out = report.render()
-    if out:
-        print(out)
-    print(f"linted {len(fns)} kernel(s): {report.summary_line()}")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        out = report.render()
+        if out:
+            print(out)
+        print(f"linted {len(fns)} kernel(s): {report.summary_line()}")
+    return 1 if report.errors else 0
+
+
+def cmd_transval(args) -> int:
+    from repro.analysis.transval import shipped_translators, validate_all
+
+    translators = shipped_translators()
+    report = validate_all(translators)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        for d in report.diagnostics:
+            print(d.render())
+        names = ", ".join(
+            f"{t.NAME}({t.SOURCE_MODEL.value})" for t in translators)
+        print(f"validated {len(translators)} translator instance(s) "
+              f"[{names}]: {report.summary_line()}")
     return 1 if report.errors else 0
 
 
@@ -334,7 +390,20 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--pass", dest="passes", action="append",
                         default=None, metavar="NAME",
                         help="run only the named analysis pass(es)")
+    p_lint.add_argument("--routes", action="store_true",
+                        help="statically derive all 51 matrix cells from "
+                             "the route registry and cross-check them "
+                             "against the paper ratings (RE01-RE03)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="diagnostic output format (default text)")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_tv = sub.add_parser(
+        "transval",
+        help="validate the source-to-source translators (TV01-TV06)")
+    p_tv.add_argument("--format", choices=("text", "json"), default="text",
+                      help="diagnostic output format (default text)")
+    p_tv.set_defaults(func=cmd_transval)
 
     args = parser.parse_args(argv)
     try:

@@ -33,6 +33,14 @@ CUDA_FULL = CUDA_CORE | CUDA_ADVANCED
 CUDA_FORTRAN_CORE = frozenset({
     "cuf:kernels", "cuf:cuf_kernels", "cuda:memcpy", "cuda:streams",
 })
+#: Everything a CUDA Fortran unit may legally require — the core plus
+#: the runtime-API surface shared with CUDA C++ (a Fortran program can
+#: use events or cuBLAS through the module interfaces even when a given
+#: translator cannot convert them).
+CUDA_FORTRAN_FULL = CUDA_FORTRAN_CORE | frozenset({
+    "cuda:events", "cuda:managed_memory", "cuda:libraries",
+    "cuda:graphs", "cuda:cooperative_groups",
+})
 
 # -- HIP ---------------------------------------------------------------------
 
@@ -112,6 +120,37 @@ PYTHON_CORE = frozenset({
     "py:ufuncs", "py:custom_kernels", "py:reduction", "py:streams",
     "py:blas", "py:numpy_interop",
 })
+
+def _model_tag_vocabulary() -> dict:
+    """Full tag vocabulary per programming model, hardware tags included.
+
+    This is the *legal* tag set a translation unit of that model may
+    carry — the union of every standard/version catalog above, not any
+    particular toolchain's supported subset.  Translation validation
+    (TV02) checks that a translator only ever emits tags from its
+    target model's vocabulary; an identifier here that no toolchain
+    implements is still *valid*, just unsupported.
+
+    Kokkos and Alpaka are absent deliberately: those portability layers
+    lower onto CUDA/HIP/SYCL/OpenMP translation units, so their units
+    are covered by the backend model's vocabulary.
+    """
+    from repro.enums import Model
+
+    return {
+        Model.CUDA: CUDA_FULL | CUDA_FORTRAN_CORE | HW_FEATURES,
+        Model.HIP: HIP_FULL | HIPFORT_BINDINGS | HW_FEATURES,
+        Model.SYCL: SYCL_CORE | HW_FEATURES,
+        Model.OPENMP: OPENMP_52 | HW_FEATURES,
+        Model.OPENACC: OPENACC_30 | HW_FEATURES,
+        Model.STANDARD: STDPAR_CPP_FULL | STDPAR_FORTRAN | HW_FEATURES,
+        Model.PYTHON: PYTHON_CORE | HW_FEATURES,
+        Model.OPENCL: OPENCL_21 | HW_FEATURES,
+    }
+
+
+MODEL_TAG_VOCABULARY = _model_tag_vocabulary()
+
 
 #: Human-readable description per tag (documentation + reports).
 FEATURE_DESCRIPTIONS: dict[str, str] = {

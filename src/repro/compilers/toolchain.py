@@ -172,14 +172,24 @@ class Toolchain:
         :class:`repro.analysis.AnalysisOptions` to pin launch bounds or
         buffer extents.
 
+        Units produced by a source-to-source translator carry a
+        :class:`~repro.translate.base.TranslationOrigin`; in sanitize
+        mode these are additionally checked by the translation validator
+        (:func:`repro.analysis.transval.validate_translation`) and any
+        ``TV``-code findings land in the same ``LintReport``.
+
         Successful compiles are memoized in a content-keyed cache: the
         key covers the unit's content fingerprint (model, language,
         features, kernel IR — but not the unit name), the target ISA,
-        the options, the opt level and the sanitize configuration.  A
-        hit returns the previously built :class:`CompileResult` (its
-        binary may therefore carry a different unit name — launches go
-        by kernel name, never unit name).  The capability gates run on
-        every call, so the error taxonomy is unaffected by caching.
+        the options, the opt level, the sanitize configuration, and the
+        unit's translation origin (translator name + source
+        fingerprint), so a translated unit never shares a cache slot
+        with a content-identical unit written directly in the target
+        model — their diagnostics differ.  A hit returns the previously
+        built :class:`CompileResult` (its binary may therefore carry a
+        different unit name — launches go by kernel name, never unit
+        name).  The capability gates run on every call, so the error
+        taxonomy is unaffected by caching.
         """
         cap = self._caps.get((tu.model, tu.language))
         if cap is None:
@@ -197,8 +207,11 @@ class Toolchain:
             if tag not in HW_FEATURES and tag not in cap.features:
                 raise UnsupportedFeatureError(tag, toolchain=self.name)
 
-        key = (tu.fingerprint(), target, tuple(options), self.opt_level,
-               sanitize, repr(sanitize_options))
+        origin_token = (
+            tu.origin.cache_token() if tu.origin is not None else None
+        )
+        key = (tu.fingerprint(), origin_token, target, tuple(options),
+               self.opt_level, sanitize, repr(sanitize_options))
         cached = self._compile_cache.get(key)
         if cached is not None:
             self.cache_stats.hits += 1
@@ -217,6 +230,10 @@ class Toolchain:
             from repro.compilers.passes import sanitize_module
 
             diagnostics = sanitize_module(optimized, sanitize_options)
+            if tu.origin is not None:
+                from repro.analysis.transval import validate_translation
+
+                diagnostics.extend(validate_translation(tu))
             warnings.extend(
                 d.render() for d in diagnostics.diagnostics if not d.is_error
             )

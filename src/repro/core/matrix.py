@@ -47,6 +47,43 @@ class RouteResult:
         return self.suite.coverage
 
 
+def aggregate_primary(
+    pairs: list[tuple[Route, SupportCategory]],
+) -> SupportCategory:
+    """Best category any route achieves (NONE when no route supports)."""
+    cats = [c for _, c in pairs if c is not SupportCategory.NONE]
+    if not cats:
+        return SupportCategory.NONE
+    return max(cats, key=lambda c: c.rank)
+
+
+def aggregate_secondary(
+    pairs: list[tuple[Route, SupportCategory]],
+) -> SupportCategory | None:
+    """Best category of the provider class that does not own primary.
+
+    Shared by the empirical matrix (:class:`CellResult`) and the static
+    route-evidence analyzer, so both derive dual ratings by the same
+    rule.
+    """
+    primary = aggregate_primary(pairs)
+    if primary is SupportCategory.NONE:
+        return None
+    best_route, _ = max(
+        ((r, c) for r, c in pairs if c is not SupportCategory.NONE),
+        key=lambda p: p[1].rank,
+    )
+    own_class = provider_class(best_route)
+    other = [
+        c for r, c in pairs
+        if provider_class(r) != own_class and c is not SupportCategory.NONE
+    ]
+    if not other:
+        return None
+    cat = max(other, key=lambda c: c.rank)
+    return cat if cat is not primary else None
+
+
 @dataclass
 class CellResult:
     """One Figure 1 cell: ratings plus the evidence behind them."""
@@ -56,35 +93,17 @@ class CellResult:
     language: Language
     routes: list[RouteResult] = field(default_factory=list)
 
+    def _pairs(self) -> list[tuple[Route, SupportCategory]]:
+        return [(r.route, r.category) for r in self.routes]
+
     @property
     def primary(self) -> SupportCategory:
-        cats = [r.category for r in self.routes
-                if r.category is not SupportCategory.NONE]
-        if not cats:
-            return SupportCategory.NONE
-        return max(cats, key=lambda c: c.rank)
+        return aggregate_primary(self._pairs())
 
     @property
     def secondary(self) -> SupportCategory | None:
         """Best category of the provider class that does not own primary."""
-        primary = self.primary
-        if primary is SupportCategory.NONE:
-            return None
-        best_route = max(
-            (r for r in self.routes if r.category is not SupportCategory.NONE),
-            key=lambda r: r.category.rank,
-        )
-        own_class = provider_class(best_route.route)
-        other = [
-            r.category
-            for r in self.routes
-            if provider_class(r.route) != own_class
-            and r.category is not SupportCategory.NONE
-        ]
-        if not other:
-            return None
-        cat = max(other, key=lambda c: c.rank)
-        return cat if cat is not primary else None
+        return aggregate_secondary(self._pairs())
 
     @property
     def categories(self) -> set[SupportCategory]:

@@ -44,6 +44,17 @@ class Route:
     runtime_factory: Callable[[Device], object]
     description_id: int  # the §4 entry this route appears in
 
+    def chain(self, device: Device):
+        """Instantiate the full runtime chain for this route.
+
+        Equivalent to ``runtime_factory(device)``, named for the static
+        route-evidence analyzer: constructing the chain wires up the
+        toolchain, any source translator, and any layered backend
+        without compiling anything, so the analyzer can inspect what the
+        route *would* use.
+        """
+        return self.runtime_factory(device)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Route {self.route_id} via {self.via}>"
 

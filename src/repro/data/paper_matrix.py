@@ -213,3 +213,15 @@ assert len(PAPER_MATRIX) == 51, f"expected 51 cells, got {len(PAPER_MATRIX)}"
 def expected(vendor: Vendor, model: Model, language: Language) -> PaperCell:
     """The reconstructed paper rating for one cell."""
     return PAPER_MATRIX[(vendor, model, language)]
+
+
+#: Documented divergences between the statically derived ratings and the
+#: reconstructed Figure 1 above.  The route-evidence analyzer
+#: (``gpu-compat lint --routes``) refuses to pass while an undocumented
+#: contradiction exists: a derived-vs-paper primary mismatch is an
+#: ``RE01`` error *unless* its cell appears here with a rationale, in
+#: which case it is reported as an ``RE03`` info diagnostic instead —
+#: visible, never silent.  Keep this table empty unless a divergence is
+#: genuinely argued for; every entry must say *why* the derivation and
+#: the reconstruction disagree.
+KNOWN_DIVERGENCES: dict[tuple[Vendor, Model, Language], str] = {}

@@ -34,6 +34,14 @@ class TranslationUnit:
         features: Host-level feature tags beyond what kernels carry
             (e.g. ``"openmp:metadirective"``, ``"async_streams"``),
             consumed by the toolchain capability check.
+        origin: Translation provenance
+            (:class:`repro.translate.base.TranslationOrigin`) stamped by
+            :meth:`SourceTranslator.translate_unit`; ``None`` for units
+            authored directly in this model.  Deliberately excluded from
+            :meth:`fingerprint` — provenance never changes code
+            generation — but ``Toolchain.compile(sanitize=True)`` keys
+            its cache on it and runs translation validation (transval)
+            over units that carry one.
     """
 
     name: str
@@ -41,6 +49,7 @@ class TranslationUnit:
     language: Language
     kernels: list[KernelFn] = field(default_factory=list)
     features: set[str] = field(default_factory=set)
+    origin: object | None = None
 
     def add(self, kernel: KernelFn) -> KernelFn:
         if any(k.name == kernel.name for k in self.kernels):

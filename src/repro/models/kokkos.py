@@ -326,6 +326,13 @@ class FLCL(Kokkos):
 
     language = Language.FORTRAN
 
+    #: Probe methods the layer cannot run, by construction — the static
+    #: route-evidence analyzer reads this instead of re-deriving it from
+    #: the ApiErrors below.
+    UNSUPPORTED_PROBES = frozenset(
+        {"probe_mdrange", "probe_teams", "probe_scan"}
+    )
+
     def parallel_for(self, label, policy, functor, args):
         if isinstance(policy, (MDRangePolicy, TeamPolicy)):
             raise ApiError("FLCL does not expose MDRange/Team policies")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import re
 
+from repro.compilers.features import OPENACC_30
 from repro.enums import Language, Maturity, Model, Provider
 from repro.translate.base import SourceTranslator
 
@@ -71,3 +72,35 @@ class AccToOmp(SourceTranslator):
 
     def leftover_identifiers(self, text: str) -> list[str]:
         return sorted(set(self._ACC_IDENT.findall(text)))
+
+    SOURCE_TAG_DOMAIN = OPENACC_30
+
+    #: Literal witness in both host languages (the tool accepts C++ and
+    #: Fortran).  Exercises every directive/clause spelling in the
+    #: identifier table and carries gang/vector/async clauses so the
+    #: TODO-comment rule provably fires (and must warn).
+    WITNESS_SOURCE = """\
+#include <openacc.h>
+
+void triad(int n, double* a, const double* b, const double* c) {
+    #pragma acc data copyin(b[0:n], c[0:n]) copyout(a[0:n])
+    {
+        #pragma acc parallel loop gang vector_length(128) async(1)
+        for (int i = 0; i < n; ++i)
+            a[i] = b[i] + 0.5 * c[i];
+        #pragma acc kernels
+        for (int i = 0; i < n; ++i)
+            a[i] = 2.0 * a[i];
+    }
+    #pragma acc enter data copy(a[0:n])
+    #pragma acc exit data present(a[0:n])
+}
+
+! Fortran flavor of the same constructs
+!$acc data copyin(x)
+!$acc parallel loop num_gangs(64) worker
+! do i = 1, n ; y(i) = a * x(i) + y(i) ; end do
+!$acc end parallel
+!$acc kernels
+! do i = 1, n ; y(i) = 2.0 * y(i) ; end do
+"""

@@ -12,10 +12,38 @@ from repro.frontends.source import TranslationUnit
 
 @dataclass
 class TranslationReport:
-    """What a source-string translation did (mirrors HIPIFY's stats)."""
+    """What a source-string translation did (mirrors HIPIFY's stats).
+
+    Attributes:
+        replacements: Total identifier + pattern replacements applied.
+        warnings: Structured warnings — unconverted identifiers and
+            constructs dropped to TODO comments.  Everything a caller
+            needs to know is here, not only in the output text.
+        rule_hits: Fire count per ``PATTERN_RULES`` entry, by index;
+            the transval dead-rule audit (TV05) consumes this.
+    """
 
     replacements: int = 0
     warnings: list[str] = field(default_factory=list)
+    rule_hits: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class TranslationOrigin:
+    """Provenance stamped on a translated :class:`TranslationUnit`.
+
+    Carries what translation validation needs to re-check the hop:
+    the translator that produced the unit and the unit it consumed.
+    ``Toolchain.compile(sanitize=True)`` validates any unit carrying an
+    origin before compiling it.
+    """
+
+    translator: "SourceTranslator"
+    source: TranslationUnit
+
+    def cache_token(self) -> tuple[str, str]:
+        """Distinguishes translated units in sanitize-aware caches."""
+        return (self.translator.NAME, self.source.fingerprint())
 
 
 class SourceTranslator:
@@ -29,7 +57,14 @@ class SourceTranslator:
       map and not universally safe also raises;
     * ``IDENTIFIER_MAP`` — exact source-identifier replacements;
     * ``PATTERN_RULES`` — ``(regex, replacement)`` pairs applied after
-      identifiers.
+      identifiers;
+    * ``SOURCE_TAG_DOMAIN`` — every feature tag the source model can
+      put on a unit (from :mod:`repro.compilers.features`); transval's
+      conservation check (TV01) audits ``TAG_MAP`` against it;
+    * ``WITNESS_SOURCE`` — a canonical source snippet exercising the
+      tool's identifier surface and every rewrite rule; transval
+      translates it to audit identifier completeness (TV04), dead
+      rules (TV05) and silent TODO drops (TV06).
     """
 
     NAME = "translator"
@@ -41,6 +76,8 @@ class SourceTranslator:
     TAG_MAP: dict[str, tuple[str, ...] | None] = {}
     IDENTIFIER_MAP: dict[str, str] = {}
     PATTERN_RULES: tuple[tuple[str, str], ...] = ()
+    SOURCE_TAG_DOMAIN: frozenset[str] = frozenset()
+    WITNESS_SOURCE: str = ""
     #: Tags passed through untouched (hardware-level tags).
     PASSTHROUGH = frozenset({"barrier", "atomics", "shared_memory", "shuffle"})
 
@@ -75,6 +112,7 @@ class SourceTranslator:
             language=self.target_language(tu.language),
             kernels=list(tu.kernels),
             features=new_tags,
+            origin=TranslationOrigin(translator=self, source=tu),
         )
         return out
 
@@ -94,8 +132,19 @@ class SourceTranslator:
                 out = out.replace(old, new)
                 report.replacements += count
         for pattern, replacement in self.PATTERN_RULES:
+            if "TODO" in replacement:
+                # Constructs about to be dropped as TODO comments must
+                # also surface as structured warnings, not just output
+                # text (the real acc2omp buries them in comments).
+                dropped = [m.group(0) for m in re.finditer(pattern, out)]
+                for construct in dropped:
+                    report.warnings.append(
+                        f"{self.NAME}: unsupported construct "
+                        f"'{construct.strip()}' rewritten to a TODO comment"
+                    )
             out, n = re.subn(pattern, replacement, out)
             report.replacements += n
+            report.rule_hits.append(n)
         for leftover in self.leftover_identifiers(out):
             report.warnings.append(
                 f"{self.NAME}: unconverted identifier '{leftover}'"

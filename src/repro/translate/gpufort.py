@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import re
 
+from repro.compilers.features import CUDA_FORTRAN_FULL, OPENACC_30
 from repro.enums import Language, Maturity, Model, Provider
 from repro.errors import TranslationError
 from repro.frontends.source import TranslationUnit
@@ -80,6 +81,9 @@ class Gpufort(SourceTranslator):
                                    "handles CUDA Fortran or OpenACC Fortran")
         self.SOURCE_MODEL = source
         self.TAG_MAP = self._CUDA_TAGS if source is Model.CUDA else self._ACC_TAGS
+        self.SOURCE_TAG_DOMAIN = (
+            CUDA_FORTRAN_FULL if source is Model.CUDA else OPENACC_30
+        )
 
     def translate_unit(self, tu: TranslationUnit) -> TranslationUnit:
         out = super().translate_unit(tu)
@@ -90,3 +94,40 @@ class Gpufort(SourceTranslator):
 
     def leftover_identifiers(self, text: str) -> list[str]:
         return sorted(set(self._CUF_IDENT.findall(text)))
+
+    #: One Fortran witness covers both source modes — the identifier
+    #: table is shared, only TAG_MAP switches per instance.
+    WITNESS_SOURCE = """\
+module device_kernels
+contains
+  attributes(global) subroutine saxpy(n, a, x, y)
+    integer, value :: n
+    real(8), value :: a
+    real(8) :: x(n), y(n)
+  end subroutine saxpy
+end module device_kernels
+
+program main
+  use device_kernels
+  call cudaMalloc(dx, n * 8)
+  call cudaMemcpy(dx, hx, n * 8)
+
+  !$cuf kernel do
+  do i = 1, n
+    y(i) = a * x(i) + y(i)
+  end do
+
+  !$acc data copyin(x) copyout(y)
+  !$acc parallel loop
+  do i = 1, n
+    y(i) = a * x(i) + y(i)
+  end do
+  !$acc end parallel
+  !$acc kernels
+  do i = 1, n
+    y(i) = 2.0d0 * y(i)
+  end do
+  !$acc end kernels
+  !$acc end data
+end program main
+"""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import re
 
+from repro.compilers.features import CUDA_FULL
 from repro.enums import Language, Maturity, Model, Provider
 from repro.translate.base import SourceTranslator
 
@@ -83,3 +84,56 @@ class Hipify(SourceTranslator):
 
     def leftover_identifiers(self, text: str) -> list[str]:
         return sorted(set(self._CUDA_IDENT.findall(text)))
+
+    SOURCE_TAG_DOMAIN = CUDA_FULL
+
+    #: Canonical CUDA snippet exercising the whole identifier surface and
+    #: the kernel-launch rewrite.  Deliberately a literal (not generated
+    #: from IDENTIFIER_MAP): transval translates it and reports surviving
+    #: ``cuda*``/``cublas*`` identifiers, so a deleted map entry shows up
+    #: as a TV04 diagnostic instead of silently shrinking the witness.
+    WITNESS_SOURCE = """\
+#include <cuda_runtime.h>
+
+__global__ void axpy(int n, double a, const double* x, double* y);
+
+int run(int n, double a, const double* hx, double* hy) {
+    int ndev = 0;
+    cudaError_t err = cudaGetDeviceCount(&ndev);
+    if (err != cudaSuccess) return 1;
+    cudaSetDevice(0);
+    double *x, *y, *u;
+    cudaMalloc(&x, n * sizeof(double));
+    cudaMalloc(&y, n * sizeof(double));
+    cudaMallocManaged(&u, n * sizeof(double));
+    cudaMemcpy(x, hx, n * sizeof(double), cudaMemcpyHostToDevice);
+    cudaStream_t stream;
+    cudaStreamCreate(&stream);
+    cudaMemcpyAsync(y, hy, n * sizeof(double), cudaMemcpyHostToDevice, stream);
+    cudaEvent_t start, stop;
+    cudaEventCreate(&start);
+    cudaEventCreate(&stop);
+    cudaEventRecord(start, stream);
+    axpy<<<n / 256, 256>>>(n, a, x, y);
+    cudaEventRecord(stop, stream);
+    cudaEventSynchronize(stop);
+    float ms = 0.0f;
+    cudaEventElapsedTime(&ms, start, stop);
+    cublasHandle_t handle;
+    cublasCreate(&handle);
+    float sa = (float)a; double dot = 0.0;
+    cublasSaxpy(handle, n, &sa, (float*)x, 1, (float*)y, 1);
+    cublasDaxpy(handle, n, &a, x, 1, y, 1);
+    cublasDdot(handle, n, x, 1, y, 1, &dot);
+    cudaGraph_t graph;
+    cudaGraphLaunch(graph_exec, stream);
+    cudaStreamSynchronize(stream);
+    cudaMemcpy(hy, y, n * sizeof(double), cudaMemcpyDeviceToHost);
+    cudaDeviceSynchronize();
+    cudaStreamDestroy(stream);
+    cudaFree(x);
+    cudaFree(y);
+    cudaFree(u);
+    return 0;
+}
+"""

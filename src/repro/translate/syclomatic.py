@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import re
 
+from repro.compilers.features import CUDA_FULL
 from repro.enums import Language, Maturity, Model, Provider
 from repro.translate.base import SourceTranslator
 
@@ -70,3 +71,40 @@ class Syclomatic(SourceTranslator):
 
     def leftover_identifiers(self, text: str) -> list[str]:
         return sorted(set(self._CUDA_IDENT.findall(text)))
+
+    SOURCE_TAG_DOMAIN = CUDA_FULL
+
+    #: Literal CUDA witness covering the identifier surface and the
+    #: kernel-launch rewrite (see :class:`Hipify` for why it must not be
+    #: generated from IDENTIFIER_MAP).  Sticks to the API subset
+    #: SYCLomatic migrates — no graph or memcpy-kind constants.
+    WITNESS_SOURCE = """\
+#include <cuda_runtime.h>
+
+__global__ void scale(int n, double a, double* x) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) x[i] = a * x[i];
+}
+
+int run(int n, double a, const double* hx, double* hy) {
+    double *x, *u;
+    cudaMalloc(&x, n * sizeof(double));
+    cudaMallocManaged(&u, n * sizeof(double));
+    cudaMemcpy(x, hx, n * sizeof(double));
+    cudaStream_t q0;
+    cudaStreamCreate(&q0);
+    scale<<<n / 256, 256>>>(n, a, x);
+    cudaStreamSynchronize(q0);
+    cudaEvent_t done;
+    float ms = 0.0f;
+    cudaEventElapsedTime(&ms, done, done);
+    double dot = 0.0;
+    cublasDaxpy(handle, n, &a, x, 1, hy, 1);
+    cublasDdot(handle, n, x, 1, hy, 1, &dot);
+    cudaDeviceSynchronize();
+    cudaMemcpy(hy, x, n * sizeof(double));
+    cudaFree(x);
+    cudaFree(u);
+    return 0;
+}
+"""

@@ -1,0 +1,188 @@
+"""Tests for the static route-evidence analyzer (RE01–RE03)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import routes_evidence as re_mod
+from repro.analysis.routes_evidence import (
+    check_tables,
+    cross_check,
+    derive_matrix,
+    derive_route,
+)
+from repro.core.matrix import evaluate_route
+from repro.core.routes import all_routes
+from repro.data.paper_matrix import KNOWN_DIVERGENCES, PAPER_MATRIX
+from repro.enums import SupportCategory, all_cells
+from repro.gpu.runtime import System
+
+
+@pytest.fixture(scope="module")
+def derived():
+    return derive_matrix()
+
+
+# ---------------------------------------------------------------------------
+# Table hygiene and full-matrix derivation
+# ---------------------------------------------------------------------------
+
+
+def test_requirement_tables_match_probe_suites():
+    check_tables()  # raises on drift
+
+
+def test_stale_table_entry_raises(monkeypatch):
+    table = dict(re_mod.PROBE_REQUIREMENTS["cuda_cpp"])
+    del table["probe_graphs"]
+    monkeypatch.setitem(re_mod.PROBE_REQUIREMENTS, "cuda_cpp", table)
+    with pytest.raises(RuntimeError, match="cuda_cpp"):
+        check_tables()
+
+
+def test_derives_all_51_cells(derived):
+    assert set(derived) == set(all_cells())
+    assert len(derived) == 51
+
+
+def test_every_route_contributes_evidence(derived):
+    n_evidence = sum(len(c.evidence) for c in derived.values())
+    assert n_evidence == len(all_routes())
+
+
+def test_derived_primaries_match_the_paper(derived):
+    mismatches = {
+        key: (cell.primary.label, PAPER_MATRIX[key].primary.label)
+        for key, cell in derived.items()
+        if cell.primary is not PAPER_MATRIX[key].primary
+    }
+    assert mismatches == {}
+
+
+def test_cross_check_is_clean_on_shipped_data():
+    report = cross_check()
+    assert report.diagnostics == [], report.render()
+
+
+def test_shipped_divergence_ledger_is_empty():
+    # every derived primary matches, so nothing may be documented away
+    assert KNOWN_DIVERGENCES == {}
+
+
+# ---------------------------------------------------------------------------
+# Static derivation agrees with the dynamic probes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("route_id", [
+    "nv-cuda-cpp-nvcc",        # direct native
+    "amd-cuda-cpp-hipify",     # translated
+    "intel-kokkos-cpp-sycl",   # layered
+    "amd-py-cupyrocm",         # python package
+    "nv-acc-cpp-gcc",          # partial-coverage direct
+])
+def test_static_matches_dynamic(route_id):
+    system = System.default()
+    route = next(r for r in all_routes() if r.route_id == route_id)
+    static = derive_route(route, system)
+    dynamic = evaluate_route(route, system)
+    assert static.coverage == pytest.approx(dynamic.suite.coverage)
+    assert static.category is dynamic.category
+
+
+def test_failure_reasons_are_explanatory(derived):
+    # NVIDIA CUDA C++: nvcc compiles everything => no failure reasons
+    ev = derived[next(k for k in derived
+                      if k[0].value == "NVIDIA" and k[1].value == "CUDA"
+                      and k[2].value == "C++")].evidence
+    nvcc = next(e for e in ev if e.route.route_id == "nv-cuda-cpp-nvcc")
+    assert nvcc.failures() == {}
+    assert nvcc.coverage == 1.0
+    # hipify on AMD rejects cooperative groups with a named reason
+    amd_key = next(k for k in derived
+                   if k[0].value == "AMD" and k[1].value == "CUDA"
+                   and k[2].value == "C++")
+    hipify = next(e for e in derived[amd_key].evidence
+                  if "hipify" in e.route.route_id)
+    reasons = hipify.failures()
+    assert "probe_cooperative" in reasons
+    assert "does not translate" in reasons["probe_cooperative"]
+
+
+# ---------------------------------------------------------------------------
+# RE01/RE02/RE03 — seeded divergences
+# ---------------------------------------------------------------------------
+
+
+def _seed_paper_primary(monkeypatch, key, category):
+    cell = dataclasses.replace(PAPER_MATRIX[key], primary=category)
+    monkeypatch.setitem(PAPER_MATRIX, key, cell)
+
+
+def test_contradiction_fires_re01(monkeypatch):
+    key = next(k for k in PAPER_MATRIX
+               if PAPER_MATRIX[k].primary is SupportCategory.FULL)
+    _seed_paper_primary(monkeypatch, key, SupportCategory.NONE)
+    report = cross_check()
+    re01 = [d for d in report.diagnostics if d.code == "RE01"]
+    assert len(re01) == 1
+    assert re01[0].is_error
+    assert "contradicts" in re01[0].message
+    assert "KNOWN_DIVERGENCES" in re01[0].hint
+
+
+def test_documented_divergence_downgrades_to_re03(monkeypatch):
+    key = next(k for k in PAPER_MATRIX
+               if PAPER_MATRIX[k].primary is SupportCategory.FULL)
+    _seed_paper_primary(monkeypatch, key, SupportCategory.NONE)
+    monkeypatch.setitem(KNOWN_DIVERGENCES, key,
+                        "seeded for the RE03 test")
+    report = cross_check()
+    codes = [d.code for d in report.diagnostics]
+    assert codes == ["RE03"]
+    assert not report.errors
+    assert "seeded for the RE03 test" in report.diagnostics[0].message
+
+
+def test_dual_rating_disagreement_fires_re02(monkeypatch, derived):
+    key = next(k for k in PAPER_MATRIX
+               if PAPER_MATRIX[k].secondary is not None)
+    # keep the primary agreeing; bend only the annotated dual rating to
+    # something the derivation cannot produce for this cell
+    wrong = (SupportCategory.SOME
+             if derived[key].secondary is not SupportCategory.SOME
+             else SupportCategory.LIMITED)
+    cell = dataclasses.replace(PAPER_MATRIX[key], secondary=wrong)
+    monkeypatch.setitem(PAPER_MATRIX, key, cell)
+    report = cross_check()
+    re02 = [d for d in report.diagnostics if d.code == "RE02"]
+    assert len(re02) == 1
+    assert not re02[0].is_error
+    assert "dual rating" in re02[0].message
+
+
+def test_derived_only_secondary_is_not_a_finding(derived):
+    # cells where the derivation yields a secondary but Figure 1 shows a
+    # single rating must stay silent (the repo-wide convention)
+    extra = [k for k, cell in derived.items()
+             if cell.secondary is not None
+             and PAPER_MATRIX[k].secondary is None]
+    assert extra, "expected some derived-only secondaries"
+    assert cross_check().diagnostics == []
+
+
+def test_capability_drift_is_caught(monkeypatch):
+    """Weakening a capability table must contradict the paper."""
+    from repro.compilers.registry import get_toolchain
+
+    nvcc = get_toolchain("nvcc")
+    key = next(iter(nvcc._caps))
+    crippled = {
+        k: (dataclasses.replace(c, targets=frozenset()) if k == key else c)
+        for k, c in nvcc._caps.items()
+    }
+    monkeypatch.setattr(nvcc, "_caps", crippled)
+    report = cross_check()
+    assert any(d.code == "RE01" for d in report.diagnostics)

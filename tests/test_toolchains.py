@@ -186,6 +186,46 @@ def test_compile_cache_key_separates_configurations():
         hipcc.compile(_tu(Model.HIP, CPP), ISA.SPIRV)
 
 
+def test_cache_hit_with_sanitize_still_attaches_diagnostics():
+    from repro.compilers.toolchain import clear_compile_cache
+
+    clear_compile_cache()
+    nvcc = get_toolchain("nvcc")
+    first = nvcc.compile(_tu(Model.CUDA, CPP), ISA.PTX, sanitize=True)
+    assert first.diagnostics is not None
+    second = nvcc.compile(_tu(Model.CUDA, CPP), ISA.PTX, sanitize=True)
+    assert second is first
+    assert nvcc.cache_stats.hits == 1
+    # The hit carries the full LintReport, not a stripped result.
+    assert second.diagnostics is first.diagnostics
+    assert hasattr(second.diagnostics, "diagnostics")
+
+
+def test_cache_separates_translated_from_native_units():
+    """A hipified unit and a hand-written HIP unit share a fingerprint
+    but must not share a cache slot: their TV diagnostics differ."""
+    from repro.compilers.toolchain import clear_compile_cache
+    from repro.translate.hipify import Hipify
+
+    clear_compile_cache()
+    hipcc = get_toolchain("hipcc")
+    translated = Hipify().translate_unit(_tu(Model.CUDA, CPP))
+    native = _tu(Model.HIP, CPP)
+    assert translated.fingerprint() == native.fingerprint()
+    a = hipcc.compile(translated, ISA.AMDGCN, sanitize=True)
+    b = hipcc.compile(native, ISA.AMDGCN, sanitize=True)
+    assert a is not b
+    assert hipcc.cache_stats.misses == 2
+    assert hipcc.cache_stats.hits == 0
+    # A second compile of an identically translated unit is a hit —
+    # and still carries the translation-validated report.
+    c = hipcc.compile(Hipify().translate_unit(_tu(Model.CUDA, CPP)),
+                      ISA.AMDGCN, sanitize=True)
+    assert c is a
+    assert hipcc.cache_stats.hits == 1
+    assert c.diagnostics is not None
+
+
 def test_toolchains_for_lookup():
     names = {t.name for t in toolchains_for(Model.SYCL, CPP, ISA.PTX)}
     assert names == {"dpcpp", "opensycl", "computecpp"}

@@ -1,0 +1,222 @@
+"""Tests for the transval translation validator (TV01–TV06)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels as KL
+from repro.analysis.transval import (
+    kernel_signature,
+    shipped_translators,
+    validate_all,
+    validate_translation,
+    validate_translator,
+)
+from repro.enums import Language, Model
+from repro.frontends.source import TranslationUnit
+from repro.translate.base import SourceTranslator
+from repro.translate.hipify import Hipify
+from repro.translate.syclomatic import Syclomatic
+
+
+def _codes(diags):
+    return sorted(d.code for d in diags)
+
+
+def _cuda_unit(*features):
+    tu = TranslationUnit(name="tv_unit", model=Model.CUDA,
+                        language=Language.CPP)
+    tu.add(KL.stream_dot)
+    tu.require("cuda:kernels", "cuda:memcpy", *features)
+    return tu
+
+
+# ---------------------------------------------------------------------------
+# The shipped translators must validate clean
+# ---------------------------------------------------------------------------
+
+
+def test_shipped_translators_validate_clean():
+    report = validate_all()
+    assert report.diagnostics == [], report.render()
+
+
+def test_shipped_translators_cover_the_registry():
+    names = [(t.NAME, t.SOURCE_MODEL) for t in shipped_translators()]
+    assert ("hipify", Model.CUDA) in names
+    assert ("syclomatic", Model.CUDA) in names
+    assert ("gpufort", Model.CUDA) in names
+    assert ("gpufort", Model.OPENACC) in names
+    assert ("acc2omp", Model.OPENACC) in names
+
+
+def test_translated_unit_validates_clean():
+    tu = _cuda_unit("cuda:streams")
+    out = Hipify().translate_unit(tu)
+    assert validate_translation(out) == []
+
+
+def test_unit_without_origin_validates_vacuously():
+    assert validate_translation(_cuda_unit()) == []
+
+
+# ---------------------------------------------------------------------------
+# Seeded faults — the acceptance-criterion tests
+# ---------------------------------------------------------------------------
+
+
+def test_deleted_hipify_identifier_fires_tv04():
+    """Deleting one IDENTIFIER_MAP entry must surface as TV04.
+
+    ``cudaDeviceSynchronize`` has no shorter map entry as a prefix, so
+    the stale identifier survives the witness translation verbatim and
+    the leftover scanner reports it.
+    """
+    t = Hipify()
+    t.IDENTIFIER_MAP = dict(t.IDENTIFIER_MAP)
+    del t.IDENTIFIER_MAP["cudaDeviceSynchronize"]
+    diags = validate_translator(t)
+    assert "TV04" in _codes(diags)
+    assert any("cudaDeviceSynchronize" in d.message for d in diags)
+
+
+def test_deleted_syclomatic_tag_fires_tv01():
+    """Deleting one TAG_MAP entry must surface as TV01 (unmapped tag)."""
+    t = Syclomatic()
+    t.TAG_MAP = dict(t.TAG_MAP)
+    del t.TAG_MAP["cuda:streams"]
+    diags = validate_translator(t)
+    tv01 = [d for d in diags if d.code == "TV01"]
+    assert tv01, _codes(diags)
+    assert any("cuda:streams" in d.message for d in tv01)
+    assert all(d.is_error for d in tv01)
+
+
+def test_tag_mapped_outside_vocabulary_fires_tv02():
+    t = Hipify()
+    t.TAG_MAP = dict(t.TAG_MAP)
+    t.TAG_MAP["cuda:streams"] = ("hip:not_a_real_tag",)
+    diags = validate_translator(t)
+    tv02 = [d for d in diags if d.code == "TV02"]
+    assert tv02, _codes(diags)
+    assert any("hip:not_a_real_tag" in d.message for d in tv02)
+
+
+def test_dead_pattern_rule_fires_tv05():
+    t = Hipify()
+    t.PATTERN_RULES = t.PATTERN_RULES + (
+        (r"zz_never_in_the_witness_zz", "unreachable"),
+    )
+    diags = validate_translator(t)
+    tv05 = [d for d in diags if d.code == "TV05"]
+    assert tv05, _codes(diags)
+    assert any("zz_never_in_the_witness_zz" in d.message for d in tv05)
+
+
+class _SilentTodoDropper(SourceTranslator):
+    """A translator that buries dropped constructs in TODO comments.
+
+    Models the behaviour transval exists to catch: the rewrite fires,
+    the output text says TODO, but no structured warning is issued.
+    """
+
+    NAME = "silent-dropper"
+    SOURCE_MODEL = Model.CUDA
+    TARGET_MODEL = Model.HIP
+    TAG_MAP = dict(Hipify.TAG_MAP)
+    SOURCE_TAG_DOMAIN = Hipify.SOURCE_TAG_DOMAIN
+    PATTERN_RULES = ((r"special_construct\(\)", "/* TODO: port this */"),)
+    WITNESS_SOURCE = "int f() { special_construct(); return 0; }\n"
+
+    def translate_source(self, text):
+        out, report = super().translate_source(text)
+        report.warnings = [w for w in report.warnings if "TODO" not in w]
+        return out, report
+
+
+def test_silent_todo_drop_fires_tv06():
+    diags = validate_translator(_SilentTodoDropper())
+    tv06 = [d for d in diags if d.code == "TV06"]
+    assert tv06, _codes(diags)
+    assert "structured warning" in tv06[0].message
+
+
+# ---------------------------------------------------------------------------
+# Unit-level tag conservation and IR equivalence
+# ---------------------------------------------------------------------------
+
+
+def test_dropped_mapped_tag_fires_tv01():
+    out = Hipify().translate_unit(_cuda_unit("cuda:streams"))
+    out.features.discard("hip:streams")
+    diags = validate_translation(out)
+    assert "TV01" in _codes(diags)
+    assert any("hip:streams" in d.message for d in diags)
+
+
+def test_invented_tag_fires_tv02():
+    out = Hipify().translate_unit(_cuda_unit())
+    out.features.add("hip:graphs")  # legal HIP tag, but from no source tag
+    diags = validate_translation(out)
+    tv02 = [d for d in diags if d.code == "TV02"]
+    assert tv02, _codes(diags)
+    assert any("hip:graphs" in d.message for d in tv02)
+
+
+def test_out_of_vocabulary_tag_fires_tv02_twice():
+    out = Hipify().translate_unit(_cuda_unit())
+    out.features.add("hip:bogus")
+    codes = _codes(validate_translation(out))
+    # unmotivated AND outside the vocabulary: both TV02 findings apply
+    assert codes.count("TV02") == 2
+
+
+def test_added_kernel_fires_tv03():
+    out = Hipify().translate_unit(_cuda_unit())
+    out.add(KL.axpy)
+    diags = validate_translation(out)
+    tv03 = [d for d in diags if d.code == "TV03"]
+    assert tv03, _codes(diags)
+    assert any("axpy" in d.message for d in tv03)
+
+
+def test_missing_kernel_fires_tv03():
+    out = Hipify().translate_unit(_cuda_unit())
+    out.kernels = [k for k in out.kernels if k.name != "stream_dot"]
+    diags = validate_translation(out)
+    tv03 = [d for d in diags if d.code == "TV03"]
+    assert tv03, _codes(diags)
+    assert any("missing" in d.message for d in tv03)
+
+
+# ---------------------------------------------------------------------------
+# Structural signatures
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_signature_is_stable_across_translation():
+    src = _cuda_unit()
+    out = Hipify().translate_unit(src)
+    assert (kernel_signature(src.kernels[0].ir)
+            == kernel_signature(out.kernels[0].ir))
+
+
+def test_kernel_signature_distinguishes_memory_shapes():
+    sigs = {name: kernel_signature(fn.ir)
+            for name, fn in KL.KERNEL_LIBRARY.items()}
+    # axpy and scale_inplace differ in loads; reduce_sum and stream_dot
+    # share their reduction skeleton but differ in parameter shape.
+    assert sigs["axpy"] != sigs["scale_inplace"]
+    assert sigs["reduce_sum"] != sigs["stream_dot"]
+    # the signature ignores names: two structurally identical
+    # elementwise kernels collide, which is exactly the point
+    assert sigs["ew_add"] == sigs["ew_sub"]
+
+
+def test_validate_all_accepts_explicit_list():
+    t = Syclomatic()
+    t.TAG_MAP = dict(t.TAG_MAP)
+    del t.TAG_MAP["cuda:events"]
+    report = validate_all([t])
+    assert [d.code for d in report.errors] == ["TV01"]
