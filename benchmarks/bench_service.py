@@ -1,0 +1,188 @@
+"""BENCH_service — evaluation service: cold vs warm store, worker scaling.
+
+Times the full 51-cell matrix build through the concurrent scheduler:
+
+* ``sequential`` — the reference ``build_matrix()`` path;
+* ``jobs=1`` / ``jobs=N`` — the scheduler at one and several workers,
+  no store (every cell re-derived);
+* ``cold store`` — scheduler populating an empty result store;
+* ``warm store`` — the same store re-read on a second run, which must
+  perform **zero probe executions** (every cell content-addressed and
+  reloaded).
+
+Every configuration is checked bit-identical to the sequential build —
+the scheduler's core invariant — and the warm run's probe counter is
+asserted to be exactly zero.  Writes ``BENCH_service.json``.
+
+Honesty note on worker scaling: the probe pipeline is pure Python, so
+threads contend on the GIL and ``jobs=N`` is *not* expected to beat
+``jobs=1`` on wall-clock (the JSON records ``cpu_count`` so readers can
+see the machine; this container exposes a single CPU).  The headline
+performance result of the service layer is the warm store, which turns
+a ~2.5 s probe-everything build into a ~0.05 s reload.
+
+Run as a script (CI smoke gate)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+
+Exit code 1 if any configuration diverges from the sequential build,
+the warm run executes a probe, or the warm run fails to beat the cold
+run by the acceptance factor (5x full, 2x quick).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.core.matrix import build_matrix
+from repro.core.render import RENDERERS, matrix_lookup
+from repro.service import MetricsRegistry, build_matrix_concurrent
+
+#: Warm reload must beat the cold probe-everything build by this much.
+WARM_SPEEDUP_THRESHOLD = 5.0
+WARM_SPEEDUP_THRESHOLD_QUICK = 2.0
+
+
+def _fingerprint(matrix) -> str:
+    """A rendered-figure fingerprint: equal strings = equal Figure 1."""
+    return RENDERERS["text"](matrix_lookup(matrix), title="bench")
+
+
+def run(quick: bool = False) -> dict:
+    repeats = 1 if quick else 3
+    results: dict = {
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "configs": {},
+    }
+
+    def timed(label: str, fn) -> object:
+        best = None
+        value = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            value = fn()
+            dt = time.perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        results["configs"][label] = {"seconds": round(best, 4)}
+        return value
+
+    reference = timed("sequential", build_matrix)
+    ref_fp = _fingerprint(reference)
+
+    worker_counts = [1, 4] if quick else [1, 4, 16]
+    for jobs in worker_counts:
+        report = timed(f"jobs={jobs}", lambda j=jobs: build_matrix_concurrent(j))
+        row = results["configs"][f"jobs={jobs}"]
+        row["bit_identical"] = (
+            report.matrix.cells == reference.cells
+            and _fingerprint(report.matrix) == ref_fp)
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-store-") as root:
+        # Cold runs each get a FRESH directory (a repeat against a
+        # populated store would silently measure the warm path).
+        cold_best = None
+        cold = None
+        for i in range(repeats):
+            store_dir = pathlib.Path(root) / f"cold-{i}"
+            t0 = time.perf_counter()
+            cold = build_matrix_concurrent(4, store=str(store_dir))
+            dt = time.perf_counter() - t0
+            cold_best = dt if cold_best is None else min(cold_best, dt)
+        results["configs"]["cold_store"] = {
+            "seconds": round(cold_best, 4),
+            "bit_identical": cold.matrix.cells == reference.cells,
+            "cells_evaluated": cold.cells_evaluated,
+            "store_writes": cold.store.stats.as_dict()["writes"],
+        }
+
+        # Warm runs all hit the last cold run's store.
+        warm_root = str(pathlib.Path(root) / f"cold-{repeats - 1}")
+        warm_metrics = MetricsRegistry()
+        warm = timed("warm_store",
+                     lambda: build_matrix_concurrent(
+                         4, store=warm_root, metrics=warm_metrics))
+        results["configs"]["warm_store"].update(
+            bit_identical=warm.matrix.cells == reference.cells,
+            cells_from_store=warm.cells_from_store,
+            # Accumulated over `repeats` warm runs; must stay 0.
+            probe_executions=int(
+                warm_metrics.counter("probes_executed").get()))
+
+    cold_s = results["configs"]["cold_store"]["seconds"]
+    warm_s = results["configs"]["warm_store"]["seconds"]
+    results["acceptance"] = {
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s else float("inf"),
+        "threshold": (WARM_SPEEDUP_THRESHOLD_QUICK if quick
+                      else WARM_SPEEDUP_THRESHOLD),
+    }
+    return results
+
+
+def verdict(results: dict) -> list[str]:
+    """Failure messages; empty means the run passes its gates."""
+    problems = []
+    for label, row in results["configs"].items():
+        if "bit_identical" in row and not row["bit_identical"]:
+            problems.append(f"{label}: diverged from the sequential build")
+    warm = results["configs"]["warm_store"]
+    if warm["cells_from_store"] != 51:
+        problems.append(
+            f"warm store reloaded {warm['cells_from_store']}/51 cells")
+    if warm["probe_executions"] != 0:
+        problems.append(
+            f"warm store run executed {warm['probe_executions']} probes "
+            f"(must be 0)")
+    acc = results["acceptance"]
+    if acc["warm_speedup"] < acc["threshold"]:
+        problems.append(
+            f"warm store sped up only {acc['warm_speedup']:.2f}x over cold "
+            f"(< {acc['threshold']}x)")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="one repeat, fewer worker counts (CI smoke)")
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=pathlib.Path("BENCH_service.json"))
+    args = ap.parse_args(argv)
+
+    results = run(quick=args.quick)
+    problems = verdict(results)
+    results["pass"] = not problems
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    for label, row in results["configs"].items():
+        extras = "".join(
+            f" {k}={v}" for k, v in row.items() if k != "seconds")
+        print(f"{label:12s} {row['seconds']:8.3f}s{extras}")
+    print(f"warm speedup over cold: {results['acceptance']['warm_speedup']}x "
+          f"(threshold {results['acceptance']['threshold']}x, "
+          f"cpu_count={results['cpu_count']})")
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 1 if problems else 0
+
+
+# Pytest entry point: quick determinism + warm-store smoke, writes the
+# JSON artifact next to the other benchmark outputs.
+def test_service_store_and_scheduler(artifacts_dir):
+    results = run(quick=True)
+    problems = verdict(results)
+    results["pass"] = not problems
+    (artifacts_dir / "BENCH_service.json").write_text(
+        json.dumps(results, indent=2) + "\n")
+    assert not problems, problems
+
+
+if __name__ == "__main__":
+    sys.exit(main())

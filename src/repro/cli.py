@@ -21,6 +21,12 @@ Subcommands:
   reconstructed paper ratings (``RE01``–``RE03``).
 * ``transval [--format text|json]`` — audit every shipped
   source-to-source translator (``TV01``–``TV06``).
+* ``eval [--jobs N] [--store DIR] [--metrics-json PATH]`` — build the
+  matrix through the concurrent scheduler against a persistent result
+  store (warm store: zero probe executions).
+* ``serve [--host H] [--port P] [--jobs N] [--store DIR] [--lazy]`` —
+  serve the derived matrix over the loopback JSON API
+  (``/cell``, ``/table``, ``/advise``, ``/lint/routes``, ``/metrics``).
 
 ``--format json`` prints the ``LintReport`` as JSON (diagnostic code,
 severity, kernel, path, message, hint, plus severity rollups) and
@@ -300,6 +306,58 @@ def cmd_transval(args) -> int:
     return 1 if report.errors else 0
 
 
+def cmd_eval(args) -> int:
+    """Build the matrix through the concurrent scheduler + result store."""
+    import json
+
+    from repro.service import build_matrix_concurrent
+
+    report = build_matrix_concurrent(args.jobs, store=args.store)
+    print(f"evaluated {report.summary_line()}")
+    if report.store is not None:
+        st = report.store.stats.as_dict()
+        print(f"store: {st['hits']} hits, {st['misses']} misses, "
+              f"{st['writes']} writes ({report.store.root})")
+    probes = report.metrics.counter("probes_executed").get()
+    print(f"probe executions this run: {probes}")
+    if args.metrics_json:
+        snapshot = report.metrics.snapshot()
+        if report.store is not None:
+            snapshot["store"] = report.store.stats.as_dict()
+        snapshot["build"] = {
+            "jobs": report.jobs,
+            "elapsed_s": round(report.elapsed_s, 4),
+            "cells_from_store": report.cells_from_store,
+            "cells_evaluated": report.cells_evaluated,
+        }
+        with open(args.metrics_json, "w") as f:
+            json.dump(snapshot, f, indent=1)
+        print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve the matrix over the loopback JSON API until interrupted."""
+    from repro.service import MatrixService, make_server
+
+    service = MatrixService(jobs=args.jobs, store=args.store)
+    if not args.lazy:
+        report = service.ensure_built()
+        print(f"built {report.summary_line()}")
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address
+    print(f"serving the compatibility matrix on http://{host}:{port} "
+          f"(endpoints: /healthz /cell/V/M/L /table /advise /lint/routes "
+          f"/metrics; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_changelog(args) -> int:
     from repro.core.evolution import changelog
     from repro.data.snapshots import SNAPSHOT_2022, SNAPSHOT_2023
@@ -311,13 +369,13 @@ def cmd_changelog(args) -> int:
 def _print_stats() -> None:
     """Compile-cache and interpreter counters accumulated this process."""
     from repro.compilers.toolchain import compile_cache_stats
-    from repro.isa.interpreter import interpreter_totals
+    from repro.isa.interpreter import snapshot_interpreter_totals
 
-    cc = compile_cache_stats()
+    cc = compile_cache_stats().snapshot()
     total = cc.hits + cc.misses
     rate = f" ({cc.hits / total:.0%} hit rate)" if total else ""
     print(f"[stats] compile cache: {cc.hits} hits, {cc.misses} misses{rate}")
-    it = interpreter_totals()
+    it = snapshot_interpreter_totals()
     st = it.stats
     print(f"[stats] interpreter: {it.launches} launches, "
           f"{st.batches} batches, {st.threads} threads, "
@@ -370,6 +428,31 @@ def main(argv: list[str] | None = None) -> int:
     p_log = sub.add_parser("changelog",
                            help="2022 workshop -> 2023 paper changes")
     p_log.set_defaults(func=cmd_changelog)
+
+    p_eval = sub.add_parser(
+        "eval", help="build the matrix concurrently with a result store")
+    p_eval.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="scheduler worker threads (default 4)")
+    p_eval.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent result-store directory; a warm "
+                             "store re-derives only changed cells")
+    p_eval.add_argument("--metrics-json", default=None, metavar="PATH",
+                        help="dump the full metrics snapshot as JSON")
+    p_eval.set_defaults(func=cmd_eval)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve the matrix over a loopback JSON API")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default loopback)")
+    p_serve.add_argument("--port", type=int, default=8951,
+                         help="port (default 8951; 0 = ephemeral)")
+    p_serve.add_argument("--jobs", type=int, default=4, metavar="N",
+                         help="scheduler worker threads (default 4)")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="persistent result-store directory")
+    p_serve.add_argument("--lazy", action="store_true",
+                         help="defer the matrix build to the first request")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_lint = sub.add_parser(
         "lint", help="kernelsan static analyses over kernel IR")

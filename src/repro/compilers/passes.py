@@ -19,7 +19,6 @@ verifiability: the pipeline re-verifies after each pass.
 
 from __future__ import annotations
 
-import copy
 import math
 
 from repro.isa import dtypes
@@ -45,7 +44,7 @@ from repro.isa.instructions import (
     UnaryOp,
     While,
 )
-from repro.isa.module import KernelIR, ModuleIR
+from repro.isa.module import KernelIR, ModuleIR, clone_ir
 from repro.isa.verifier import verify_kernel
 
 _FOLDABLE_BIN = {
@@ -285,7 +284,7 @@ def optimize_kernel(kernel: KernelIR, level: int = 2) -> tuple[KernelIR, dict[st
     Level 0 disables everything (still verifies); level 1 folds
     constants; level 2 adds dead-code elimination.
     """
-    out = copy.deepcopy(kernel)
+    out = clone_ir(kernel)
     report = {"folds": 0, "dce": 0}
     if level >= 1:
         report["folds"] = fold_constants(out)

@@ -22,6 +22,7 @@ The compatibility probes rely on this error taxonomy to distinguish
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 
@@ -73,12 +74,45 @@ class CompileResult:
         return disassemble(self.binary)
 
 
+#: Guards every compile-cache counter (per-instance and process-wide).
+#: The service scheduler mutates these from N worker threads; one lock
+#: for all of them keeps the hit/miss pair consistent in snapshots.
+_STATS_LOCK = threading.Lock()
+
+
 @dataclass
 class CompileCacheStats:
-    """Hit/miss counters for the content-keyed compile cache."""
+    """Hit/miss counters for the content-keyed compile cache.
+
+    Mutations must go through :meth:`record_hit` / :meth:`record_miss`
+    (they take the module-wide stats lock); direct attribute writes are
+    reserved for single-threaded test setup.
+    """
 
     hits: int = 0
     misses: int = 0
+
+    def record_hit(self) -> None:
+        with _STATS_LOCK:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with _STATS_LOCK:
+            self.misses += 1
+
+    def snapshot(self) -> "CompileCacheStats":
+        """Consistent point-in-time copy (safe under concurrent compiles)."""
+        with _STATS_LOCK:
+            return CompileCacheStats(hits=self.hits, misses=self.misses)
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        t = self.hits + self.misses
+        return self.hits / t if t else 0.0
 
 
 #: Process-wide aggregate across all toolchain instances; feeds the CLI
@@ -97,11 +131,12 @@ def compile_cache_stats() -> CompileCacheStats:
 
 def clear_compile_cache() -> None:
     """Drop every cached compile result and zero the global counters."""
-    for tc in _ALL_TOOLCHAINS:
-        tc._compile_cache.clear()
-        tc.cache_stats = CompileCacheStats()
-    _GLOBAL_CACHE_STATS.hits = 0
-    _GLOBAL_CACHE_STATS.misses = 0
+    with _STATS_LOCK:
+        for tc in _ALL_TOOLCHAINS:
+            tc._compile_cache.clear()
+            tc.cache_stats = CompileCacheStats()
+        _GLOBAL_CACHE_STATS.hits = 0
+        _GLOBAL_CACHE_STATS.misses = 0
 
 
 class Toolchain:
@@ -127,6 +162,10 @@ class Toolchain:
             (c.model, c.language): c for c in capabilities
         }
         self._compile_cache: dict[tuple, CompileResult] = {}
+        #: Per-key single-flight locks: N concurrent compiles of the
+        #: same unit do one build while the rest wait for the cache.
+        self._inflight: dict[tuple, threading.Lock] = {}
+        self._inflight_guard = threading.Lock()
         self.cache_stats = CompileCacheStats()
         _ALL_TOOLCHAINS.add(self)
 
@@ -190,6 +229,10 @@ class Toolchain:
         different unit name — launches go by kernel name, never unit
         name).  The capability gates run on every call, so the error
         taxonomy is unaffected by caching.
+
+        The cache is safe under concurrent callers: misses on the same
+        key are single-flighted (one thread builds, the rest wait and
+        then hit), and all counters are lock-protected.
         """
         cap = self._caps.get((tu.model, tu.language))
         if cap is None:
@@ -214,11 +257,39 @@ class Toolchain:
                self.opt_level, sanitize, repr(sanitize_options))
         cached = self._compile_cache.get(key)
         if cached is not None:
-            self.cache_stats.hits += 1
-            _GLOBAL_CACHE_STATS.hits += 1
+            self.cache_stats.record_hit()
+            _GLOBAL_CACHE_STATS.record_hit()
             return cached
-        self.cache_stats.misses += 1
-        _GLOBAL_CACHE_STATS.misses += 1
+        # Single-flight: serialize concurrent misses on the *same* key so
+        # N workers compiling one TU do one compile; waiters re-check the
+        # cache under the key lock and count as hits.  Distinct keys keep
+        # compiling concurrently.
+        with self._inflight_guard:
+            flight = self._inflight.setdefault(key, threading.Lock())
+        with flight:
+            cached = self._compile_cache.get(key)
+            if cached is not None:
+                self.cache_stats.record_hit()
+                _GLOBAL_CACHE_STATS.record_hit()
+                return cached
+            result = self._compile_uncached(tu, target, options,
+                                            sanitize, sanitize_options)
+            self._compile_cache[key] = result
+        with self._inflight_guard:
+            self._inflight.pop(key, None)
+        return result
+
+    def _compile_uncached(
+        self,
+        tu: TranslationUnit,
+        target: ISA,
+        options: tuple[str, ...],
+        sanitize: bool,
+        sanitize_options,
+    ) -> CompileResult:
+        """The actual pipeline behind a compile-cache miss."""
+        self.cache_stats.record_miss()
+        _GLOBAL_CACHE_STATS.record_miss()
 
         module = ModuleIR(name=tu.name)
         for k in tu.kernels:
@@ -247,7 +318,6 @@ class Toolchain:
             warnings=warnings,
             diagnostics=diagnostics,
         )
-        self._compile_cache[key] = result
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

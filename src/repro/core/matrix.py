@@ -22,7 +22,13 @@ from repro.core.classifier import (
     classify_route,
     provider_class,
 )
-from repro.core.probes import PROBE_SUITES, SuiteResult, run_probe_suite
+from repro.core.probes import (
+    PROBE_SUITES,
+    Probe,
+    ProbeOutcome,
+    SuiteResult,
+    run_single_probe,
+)
 from repro.core.routes import Route, routes_for
 from repro.enums import (
     Language,
@@ -140,17 +146,50 @@ class CompatibilityMatrix:
         return [c for c in self if c.primary is not SupportCategory.NONE]
 
 
+# -- enumerable build primitives ---------------------------------------------
+#
+# The matrix build decomposes into independent per-probe work items plus
+# order-fixed assembly steps.  Both the sequential :func:`build_matrix`
+# below and the concurrent scheduler (:mod:`repro.service.scheduler`)
+# are thin drivers over these same functions, which is what makes
+# "bit-identical at every worker count" true by construction rather
+# than by luck.
+
+
+def probes_for_route(route: Route, probe_filter=None) -> tuple[Probe, ...]:
+    """The (ordered) probes a route's evaluation runs."""
+    probes = PROBE_SUITES[route.probe_suite]
+    if probe_filter is not None:
+        probes = tuple(p for p in probes if probe_filter(p))
+    return probes
+
+
+def assemble_route_result(route: Route, outcomes: list[ProbeOutcome],
+                          thresholds: Thresholds = DEFAULT_THRESHOLDS,
+                          ) -> RouteResult:
+    """Classify a route from its probe outcomes (suite order preserved)."""
+    suite = SuiteResult(suite=route.probe_suite, outcomes=list(outcomes))
+    category = classify_route(route, suite.coverage, thresholds)
+    return RouteResult(route=route, suite=suite, category=category)
+
+
+def assemble_cell(vendor: Vendor, model: Model, language: Language,
+                  route_results: list[RouteResult]) -> CellResult:
+    """Build a cell from its route results (registry order preserved)."""
+    return CellResult(vendor=vendor, model=model, language=language,
+                      routes=list(route_results))
+
+
 def evaluate_route(route: Route, system: System,
                    thresholds: Thresholds = DEFAULT_THRESHOLDS,
                    probe_filter=None) -> RouteResult:
     """Probe one route on its vendor's device and classify it."""
     device = system.device(route.vendor)
-    probes = PROBE_SUITES[route.probe_suite]
-    if probe_filter is not None:
-        probes = tuple(p for p in probes if probe_filter(p))
-    suite = run_probe_suite(route, device, probes)
-    category = classify_route(route, suite.coverage, thresholds)
-    return RouteResult(route=route, suite=suite, category=category)
+    outcomes = [
+        run_single_probe(route, device, probe)
+        for probe in probes_for_route(route, probe_filter)
+    ]
+    return assemble_route_result(route, outcomes, thresholds)
 
 
 def build_matrix(system: System | None = None,
@@ -168,10 +207,11 @@ def build_matrix(system: System | None = None,
         system = System.default()
     cells: dict[tuple[Vendor, Model, Language], CellResult] = {}
     for vendor, model, language in all_cells():
-        cell = CellResult(vendor=vendor, model=model, language=language)
-        for route in routes_for(vendor, model, language):
-            cell.routes.append(
-                evaluate_route(route, system, thresholds, probe_filter)
-            )
-        cells[(vendor, model, language)] = cell
+        results = [
+            evaluate_route(route, system, thresholds, probe_filter)
+            for route in routes_for(vendor, model, language)
+        ]
+        cells[(vendor, model, language)] = assemble_cell(
+            vendor, model, language, results
+        )
     return CompatibilityMatrix(cells=cells, thresholds=thresholds)

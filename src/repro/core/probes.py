@@ -165,32 +165,35 @@ class SuiteResult:
         return [o for o in self.outcomes if not o.passed]
 
 
+def run_single_probe(route: "Route", device: Device, probe: Probe) -> ProbeOutcome:
+    """Run one probe of a route's suite on a device.
+
+    The probe gets a freshly constructed runtime (via the route's
+    factory), so outcomes are independent of each other and of probe
+    execution order — the property the concurrent scheduler relies on
+    to stay bit-identical to the sequential build.  Any
+    :class:`~repro.errors.ReproError` — compile rejection, missing
+    feature, API gap, wrong numerics — fails the probe; unexpected
+    exception types propagate (they indicate simulator bugs, not
+    compatibility gaps).
+    """
+    try:
+        runtime = route.runtime_factory(device)
+        method: Callable[[], None] = getattr(runtime, probe.method)
+        method()
+    except ReproError as exc:
+        return ProbeOutcome(probe, passed=False, error=f"{type(exc).__name__}: {exc}")
+    except AttributeError as exc:
+        return ProbeOutcome(probe, passed=False, error=f"not exposed: {exc}")
+    return ProbeOutcome(probe, passed=True)
+
+
 def run_probe_suite(route: "Route", device: Device,
                     probes: tuple[Probe, ...] | None = None) -> SuiteResult:
-    """Run a route's probe suite on a device.
-
-    Every probe gets a freshly constructed runtime (via the route's
-    factory).  Any :class:`~repro.errors.ReproError` — compile
-    rejection, missing feature, API gap, wrong numerics — fails that
-    probe; unexpected exception types propagate (they indicate
-    simulator bugs, not compatibility gaps).
-    """
+    """Run a route's probe suite on a device (see :func:`run_single_probe`)."""
     if probes is None:
         probes = PROBE_SUITES[route.probe_suite]
     result = SuiteResult(suite=route.probe_suite)
     for probe in probes:
-        try:
-            runtime = route.runtime_factory(device)
-            method: Callable[[], None] = getattr(runtime, probe.method)
-            method()
-        except ReproError as exc:
-            result.outcomes.append(
-                ProbeOutcome(probe, passed=False, error=f"{type(exc).__name__}: {exc}")
-            )
-        except AttributeError as exc:
-            result.outcomes.append(
-                ProbeOutcome(probe, passed=False, error=f"not exposed: {exc}")
-            )
-        else:
-            result.outcomes.append(ProbeOutcome(probe, passed=True))
+        result.outcomes.append(run_single_probe(route, device, probe))
     return result

@@ -42,6 +42,7 @@ The interpreter also meters work (flops, bytes, atomics) per launch;
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -137,16 +138,30 @@ class InterpreterTotals:
 
 _TOTALS = InterpreterTotals()
 
+#: Guards the process-wide totals; the service scheduler launches
+#: kernels from N worker threads and `threads += other.threads`-style
+#: merges are not atomic in CPython.
+_TOTALS_LOCK = threading.Lock()
+
 
 def interpreter_totals() -> InterpreterTotals:
     """The process-wide launch/batch totals (read-only use intended)."""
     return _TOTALS
 
 
+def snapshot_interpreter_totals() -> InterpreterTotals:
+    """Consistent point-in-time copy, safe under concurrent launches."""
+    with _TOTALS_LOCK:
+        copy = InterpreterTotals(launches=_TOTALS.launches)
+        copy.stats.merge(_TOTALS.stats)
+        return copy
+
+
 def reset_interpreter_totals() -> None:
     """Zero the process-wide totals (test isolation)."""
-    _TOTALS.launches = 0
-    _TOTALS.stats = LaunchStats()
+    with _TOTALS_LOCK:
+        _TOTALS.launches = 0
+        _TOTALS.stats = LaunchStats()
 
 
 @dataclass
@@ -305,8 +320,9 @@ class KernelExecutor:
                 batch = self._make_batch(first_block, n, grid, block)
                 self._run_batch(batch, args, stats, dims)
                 stats.batches += 1
-        _TOTALS.launches += 1
-        _TOTALS.stats.merge(stats)
+        with _TOTALS_LOCK:
+            _TOTALS.launches += 1
+            _TOTALS.stats.merge(stats)
         return stats
 
     # -- batch construction ------------------------------------------------

@@ -19,7 +19,6 @@ MI250X.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 
 from repro.enums import ISA
@@ -36,7 +35,7 @@ from repro.isa.instructions import (
     SpecialReg,
     While,
 )
-from repro.isa.module import KernelIR, ModuleIR, TargetModule
+from repro.isa.module import KernelIR, ModuleIR, TargetModule, clone_ir
 
 
 @dataclass(frozen=True)
@@ -113,7 +112,7 @@ def _legalize_body(body: list[Instruction], target: TargetISA, kernel: str) -> N
 
 
 def _legalize_kernel(kernel: KernelIR, target: TargetISA) -> KernelIR:
-    lowered = copy.deepcopy(kernel)
+    lowered = clone_ir(kernel)
     if lowered.shared_bytes > target.max_shared_bytes:
         raise LegalizationError(
             f"kernel '{kernel.name}' uses {lowered.shared_bytes} B shared "

@@ -1,0 +1,66 @@
+"""Matrix evaluation service.
+
+Turns the one-shot 51-cell matrix build into a system: a dependency-
+aware concurrent scheduler (:mod:`.scheduler`), a persistent content-
+addressed result store (:mod:`.store`), a queryable serving layer with
+in-process and loopback-HTTP clients (:mod:`.server`), and a metrics
+registry tying the pipeline's counters together (:mod:`.metrics`).
+
+The one invariant everything here is built around: **the scheduled
+build is bit-identical to the sequential build at every worker
+count** — concurrency and persistence change how fast answers arrive,
+never the answers.
+"""
+
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.scheduler import (
+    BuildCancelled,
+    BuildReport,
+    Job,
+    JobKind,
+    JobTimeout,
+    MatrixScheduler,
+    SchedulerError,
+    build_matrix_concurrent,
+)
+from repro.service.server import (
+    HttpClient,
+    InProcessClient,
+    MatrixService,
+    ServiceError,
+    make_server,
+)
+from repro.service.store import (
+    ResultStore,
+    StoreIntegrityError,
+    StoreStats,
+    cell_from_dict,
+    cell_to_dict,
+    environment_fingerprint,
+)
+
+__all__ = [
+    "BuildCancelled",
+    "BuildReport",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HttpClient",
+    "InProcessClient",
+    "Job",
+    "JobKind",
+    "JobTimeout",
+    "MatrixScheduler",
+    "MatrixService",
+    "MetricsRegistry",
+    "ResultStore",
+    "SchedulerError",
+    "ServiceError",
+    "StoreIntegrityError",
+    "StoreStats",
+    "build_matrix_concurrent",
+    "cell_from_dict",
+    "cell_to_dict",
+    "environment_fingerprint",
+    "make_server",
+]

@@ -1,0 +1,491 @@
+"""Dependency-aware concurrent scheduler for the matrix build.
+
+The sequential :func:`repro.core.matrix.build_matrix` is one long loop:
+51 cells x their routes x their probes, in registry order.  This module
+decomposes that loop into an explicit job DAG and runs it on a thread
+pool::
+
+    per route:  translate ──> compile ──> probe[0..P-1] ──> classify
+    per cell:   classify[routes...] ──> cell (assemble + persist)
+
+* **translate** — constructs the route's runtime chain once (wiring the
+  toolchain and any source-to-source translator) and records whether the
+  chain is constructible and which translator it uses.  Purely a gate +
+  metadata producer: its outcome never feeds the cell result, because
+  probe jobs construct their own fresh runtimes (exactly like the
+  sequential build) and must record the identical per-probe errors.
+* **compile** — the compile-readiness gate: checks the chain's bound
+  toolchain accepts the route's (model, language) and can emit the
+  device ISA.  Again advisory; the authoritative compile happens inside
+  each probe, deduplicated across workers by the content-keyed,
+  single-flight compile cache.
+* **probe** — one probe of the route's suite via
+  :func:`repro.core.matrix.run-single-probe` semantics (same primitive
+  the sequential build uses).  Probes are pairwise independent — each
+  constructs a fresh runtime — which is what makes any interleaving of
+  them equivalent to the sequential order.
+* **classify** — reassembles the outcomes *in suite order* and runs the
+  §3 classifier.
+* **cell** — assembles the :class:`CellResult` with routes *in registry
+  order* and persists it to the result store.
+
+Because every probe job is independent and all ordering-sensitive steps
+(classify, cell, final matrix dict) reassemble in the fixed registry
+order, the produced matrix is **bit-identical to the sequential build at
+every worker count** — the invariant the test suite checks at ``--jobs
+{1, 4, 16}``.
+
+Worker isolation: devices are *thread-local* (one lazily-built device
+per vendor per worker).  Worker threads therefore never share mutable
+simulator state; cross-thread state is limited to the compile cache
+(single-flight, lock-protected) and the process-wide counters (lock-
+protected as of this change).
+
+Jobs run with a per-job timeout, bounded retry with exponential
+backoff, and cooperative cancellation.  Timeouts are enforced
+post-hoc — a pure-Python job cannot be preempted mid-flight — so a job
+that exceeds its budget is treated as failed and retried; the
+``fault_hook`` lets tests inject timeouts deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.classifier import DEFAULT_THRESHOLDS, Thresholds
+from repro.core.matrix import (
+    CompatibilityMatrix,
+    assemble_cell,
+    assemble_route_result,
+    probes_for_route,
+)
+from repro.core.probes import Probe, run_single_probe
+from repro.core.routes import Route, routes_for
+from repro.enums import Language, Model, Vendor, all_cells
+from repro.errors import ReproError
+from repro.gpu.device import Device
+from repro.service.metrics import MetricsRegistry
+from repro.service.store import ResultStore
+
+Cell = tuple[Vendor, Model, Language]
+
+
+class JobKind(enum.Enum):
+    TRANSLATE = "translate"
+    COMPILE = "compile"
+    PROBE = "probe"
+    CLASSIFY = "classify"
+    CELL = "cell"
+
+
+class JobTimeout(Exception):
+    """A job exceeded its time budget (or a fault hook simulated that)."""
+
+
+class BuildCancelled(Exception):
+    """The build was cancelled before all cells completed."""
+
+
+class SchedulerError(Exception):
+    """A job failed permanently (retries exhausted)."""
+
+
+@dataclass
+class Job:
+    """One schedulable unit of the matrix build."""
+
+    job_id: int
+    kind: JobKind
+    cell: Cell
+    route: Route | None = None
+    probe: Probe | None = None
+    deps: tuple[int, ...] = ()
+    fn: Callable[["_WorkerState"], object] | None = field(
+        default=None, repr=False)
+    attempts: int = 0
+
+    @property
+    def label(self) -> str:
+        vendor, model, language = self.cell
+        parts = [self.kind.value, vendor.value, model.value, language.value]
+        if self.route is not None:
+            parts.append(self.route.route_id)
+        if self.probe is not None:
+            parts.append(self.probe.method)
+        return ":".join(parts)
+
+
+class _WorkerState(threading.local):
+    """Thread-local devices: one per vendor, built on first use."""
+
+    def __init__(self, factory: Callable[[Vendor], Device]):
+        self._factory = factory
+        self._devices: dict[Vendor, Device] = {}
+
+    def device(self, vendor: Vendor) -> Device:
+        dev = self._devices.get(vendor)
+        if dev is None:
+            dev = self._devices[vendor] = self._factory(vendor)
+        return dev
+
+
+def _default_device_factory(vendor: Vendor) -> Device:
+    from repro.gpu.specs import default_spec
+
+    return Device(default_spec(vendor))
+
+
+@dataclass
+class BuildReport:
+    """Outcome of one scheduled build."""
+
+    matrix: CompatibilityMatrix
+    metrics: MetricsRegistry
+    jobs: int
+    elapsed_s: float
+    cells_from_store: int
+    cells_evaluated: int
+    store: ResultStore | None = None
+
+    def summary_line(self) -> str:
+        reuse = (f"{self.cells_from_store} from store, "
+                 if self.store is not None else "")
+        return (f"{self.matrix.n_cells} cells ({reuse}"
+                f"{self.cells_evaluated} evaluated) with {self.jobs} "
+                f"worker(s) in {self.elapsed_s:.2f}s")
+
+
+class MatrixScheduler:
+    """Builds the compatibility matrix as a job DAG on a thread pool."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        store: ResultStore | None = None,
+        thresholds: Thresholds = DEFAULT_THRESHOLDS,
+        probe_filter: Callable[[Probe], bool] | None = None,
+        metrics: MetricsRegistry | None = None,
+        device_factory: Callable[[Vendor], Device] | None = None,
+        timeout_s: float = 60.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        fault_hook: Callable[[Job, int], None] | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.store = store
+        self.thresholds = thresholds
+        self.probe_filter = probe_filter
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.fault_hook = fault_hook
+        self._device_factory = device_factory or _default_device_factory
+        self._worker_state = _WorkerState(self._device_factory)
+
+        self._ids = itertools.count()
+        self._jobs: dict[int, Job] = {}
+        self._results: dict[int, object] = {}
+        self._waiting: dict[int, int] = {}  # job id -> unresolved dep count
+        self._dependents: dict[int, list[int]] = {}
+        self._ready: deque[int] = deque()
+        self._cond = threading.Condition()
+        self._cancelled = threading.Event()
+        self._error: BaseException | None = None
+        self._outstanding = 0
+
+    # -- DAG construction --------------------------------------------------
+
+    def _add(self, job: Job) -> int:
+        self._jobs[job.job_id] = job
+        unresolved = sum(1 for d in job.deps if d not in self._results)
+        self._dependents.setdefault(job.job_id, [])
+        for d in job.deps:
+            self._dependents.setdefault(d, []).append(job.job_id)
+        if unresolved:
+            self._waiting[job.job_id] = unresolved
+        else:
+            self._ready.append(job.job_id)
+        self._outstanding += 1
+        return job.job_id
+
+    def _next_id(self) -> int:
+        return next(self._ids)
+
+    def _build_route_jobs(self, cell: Cell, route: Route) -> int:
+        """Create translate -> compile -> probes -> classify; returns the
+        classify job id (the route's terminal)."""
+        translate = Job(
+            self._next_id(), JobKind.TRANSLATE, cell, route=route,
+            fn=lambda ws, r=route: self._run_translate(ws, r))
+        self._add(translate)
+        compile_ = Job(
+            self._next_id(), JobKind.COMPILE, cell, route=route,
+            deps=(translate.job_id,),
+            fn=lambda ws, r=route: self._run_compile_gate(ws, r))
+        self._add(compile_)
+        probe_ids: list[int] = []
+        for probe in probes_for_route(route, self.probe_filter):
+            job = Job(
+                self._next_id(), JobKind.PROBE, cell, route=route,
+                probe=probe, deps=(compile_.job_id,),
+                fn=lambda ws, r=route, p=probe: self._run_probe(ws, r, p))
+            probe_ids.append(self._add(job))
+        classify = Job(
+            self._next_id(), JobKind.CLASSIFY, cell, route=route,
+            deps=tuple(probe_ids),
+            fn=lambda ws, r=route, ids=tuple(probe_ids):
+                self._run_classify(r, ids))
+        return self._add(classify)
+
+    def _build_cell_jobs(self, cell: Cell) -> int:
+        vendor, model, language = cell
+        classify_ids = [
+            self._build_route_jobs(cell, route)
+            for route in routes_for(vendor, model, language)
+        ]
+        job = Job(
+            self._next_id(), JobKind.CELL, cell, deps=tuple(classify_ids),
+            fn=lambda ws, c=cell, ids=tuple(classify_ids):
+                self._run_cell(c, ids))
+        return self._add(job)
+
+    # -- job bodies --------------------------------------------------------
+
+    def _run_translate(self, ws: _WorkerState, route: Route) -> dict:
+        device = ws.device(route.vendor)
+        try:
+            runtime = route.chain(device)
+        except (ReproError, AttributeError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        translator = getattr(runtime, "translator", None)
+        return {
+            "ok": True,
+            "translator": type(translator).__name__ if translator else None,
+        }
+
+    def _run_compile_gate(self, ws: _WorkerState, route: Route) -> dict:
+        """Advisory compile-readiness check (authoritative compiles run
+        inside probes, deduplicated by the single-flight cache)."""
+        device = ws.device(route.vendor)
+        try:
+            runtime = route.chain(device)
+        except (ReproError, AttributeError) as exc:
+            return {"ready": False, "error": f"{type(exc).__name__}: {exc}"}
+        toolchain = getattr(runtime, "toolchain", None)
+        if toolchain is None:
+            return {"ready": True, "toolchain": None}
+        model = getattr(runtime, "MODEL", route.model)
+        language = getattr(runtime, "language", route.language)
+        accepts = toolchain.accepts(model, language)
+        emits = device.isa in toolchain.targets_for(model, language)
+        # A translated route is compiled in the *target* model, so a
+        # front-model rejection here is expected, not a failure.
+        translated = getattr(runtime, "translator", None) is not None
+        return {
+            "ready": bool((accepts and emits) or translated),
+            "toolchain": toolchain.name,
+        }
+
+    def _run_probe(self, ws: _WorkerState, route: Route, probe: Probe):
+        device = ws.device(route.vendor)
+        self.metrics.counter("probes_executed").inc()
+        return run_single_probe(route, device, probe)
+
+    def _run_classify(self, route: Route, probe_ids: tuple[int, ...]):
+        outcomes = [self._results[i] for i in probe_ids]
+        return assemble_route_result(route, outcomes, self.thresholds)
+
+    def _run_cell(self, cell: Cell, classify_ids: tuple[int, ...]):
+        vendor, model, language = cell
+        results = [self._results[i] for i in classify_ids]
+        cell_result = assemble_cell(vendor, model, language, results)
+        if self.store is not None and self.probe_filter is None:
+            self.store.save(cell_result)
+            self.metrics.counter("store_writes").inc()
+        return cell_result
+
+    # -- execution engine --------------------------------------------------
+
+    def cancel(self) -> None:
+        """Cooperatively cancel the build: queued jobs stop dispatching."""
+        with self._cond:
+            self._cancelled.set()
+            self._cond.notify_all()
+
+    def _execute(self, job: Job) -> object:
+        """Run one job with timeout accounting, bounded retries, backoff."""
+        last: BaseException | None = None
+        for attempt in range(self.max_retries + 1):
+            if self._cancelled.is_set():
+                raise BuildCancelled(f"cancelled before {job.label}")
+            job.attempts = attempt + 1
+            start = time.monotonic()
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(job, attempt)
+                result = job.fn(self._worker_state)
+                elapsed = time.monotonic() - start
+                if elapsed > self.timeout_s:
+                    raise JobTimeout(
+                        f"{job.label} took {elapsed:.3f}s "
+                        f"(budget {self.timeout_s}s)")
+            except JobTimeout as exc:
+                self.metrics.counter("jobs_timeout").inc()
+                last = exc
+            except BuildCancelled:
+                raise
+            except Exception as exc:  # unexpected: simulator bug
+                last = exc
+            else:
+                self.metrics.histogram(
+                    f"job_latency_{job.kind.value}").observe(
+                        time.monotonic() - start)
+                return result
+            if attempt < self.max_retries:
+                self.metrics.counter("jobs_retried").inc()
+                if self.backoff_s > 0:
+                    time.sleep(self.backoff_s * (2 ** attempt))
+        raise SchedulerError(
+            f"job {job.label} failed after {job.attempts} attempt(s): "
+            f"{type(last).__name__}: {last}") from last
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while (not self._ready and self._outstanding > 0
+                       and self._error is None
+                       and not self._cancelled.is_set()):
+                    self._cond.wait()
+                if (self._error is not None or self._outstanding == 0
+                        or self._cancelled.is_set()):
+                    self._cond.notify_all()
+                    return
+                self.metrics.histogram(
+                    "queue_depth",
+                    buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+                ).observe(len(self._ready))
+                job_id = self._ready.popleft()
+            job = self._jobs[job_id]
+            try:
+                result = self._execute(job)
+            except BaseException as exc:
+                with self._cond:
+                    if self._error is None:
+                        self._error = exc
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._results[job_id] = result
+                self.metrics.counter(
+                    f"jobs_completed_{job.kind.value}").inc()
+                self._outstanding -= 1
+                for dep_id in self._dependents.get(job_id, ()):
+                    self._waiting[dep_id] -= 1
+                    if self._waiting[dep_id] == 0:
+                        del self._waiting[dep_id]
+                        self._ready.append(dep_id)
+                self._cond.notify_all()
+
+    # -- public API --------------------------------------------------------
+
+    def build(self) -> BuildReport:
+        """Evaluate (or load) all 51 cells and assemble the matrix."""
+        start = time.monotonic()
+        self.metrics.gauge("workers").set(self.jobs)
+        cell_jobs: dict[Cell, int] = {}
+        stored: dict[Cell, object] = {}
+        use_store = self.store is not None and self.probe_filter is None
+        if self.store is not None and self.probe_filter is not None:
+            self.metrics.counter("store_bypassed").inc()
+        for cell in all_cells():
+            if use_store:
+                cached = self.store.load(cell)
+                if cached is not None:
+                    stored[cell] = cached
+                    self.metrics.counter("store_hits").inc()
+                    continue
+                self.metrics.counter("store_misses").inc()
+            cell_jobs[cell] = self._build_cell_jobs(cell)
+
+        if self._outstanding:
+            workers = [
+                threading.Thread(target=self._worker,
+                                 name=f"matrix-worker-{i}", daemon=True)
+                for i in range(self.jobs)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            if self._error is not None:
+                raise self._error
+            if self._cancelled.is_set():
+                raise BuildCancelled(
+                    f"build cancelled with {self._outstanding} job(s) "
+                    f"outstanding")
+
+        cells = {}
+        for cell in all_cells():
+            if cell in stored:
+                cells[cell] = stored[cell]
+            else:
+                cells[cell] = self._results[cell_jobs[cell]]
+        matrix = CompatibilityMatrix(cells=cells, thresholds=self.thresholds)
+        elapsed = time.monotonic() - start
+        self.metrics.counter("builds").inc()
+        return BuildReport(
+            matrix=matrix,
+            metrics=self.metrics,
+            jobs=self.jobs,
+            elapsed_s=elapsed,
+            cells_from_store=len(stored),
+            cells_evaluated=len(cell_jobs),
+            store=self.store,
+        )
+
+
+def build_matrix_concurrent(
+    jobs: int = 1,
+    *,
+    store: ResultStore | str | None = None,
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+    probe_filter: Callable[[Probe], bool] | None = None,
+    metrics: MetricsRegistry | None = None,
+    device_factory: Callable[[Vendor], Device] | None = None,
+    timeout_s: float = 60.0,
+    max_retries: int = 2,
+    backoff_s: float = 0.05,
+    fault_hook: Callable[[Job, int], None] | None = None,
+) -> BuildReport:
+    """One-call concurrent matrix build (see :class:`MatrixScheduler`).
+
+    ``store`` may be a :class:`~repro.service.store.ResultStore` or a
+    directory path; ``None`` disables persistence.  The result is
+    bit-identical to :func:`repro.core.matrix.build_matrix` with the
+    same thresholds/probe filter, at every ``jobs`` count.
+    """
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = ResultStore(store, thresholds=thresholds)
+    scheduler = MatrixScheduler(
+        jobs,
+        store=store,
+        thresholds=thresholds,
+        probe_filter=probe_filter,
+        metrics=metrics,
+        device_factory=device_factory,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        backoff_s=backoff_s,
+        fault_hook=fault_hook,
+    )
+    return scheduler.build()

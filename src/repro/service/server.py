@@ -1,0 +1,345 @@
+"""Queryable serving layer for the evaluated compatibility matrix.
+
+Two transports, one interface:
+
+* :class:`InProcessClient` — wraps a :class:`MatrixService` directly;
+  the test suite and embedding applications use this path (no sockets).
+* :class:`HttpClient` — the same five methods over a loopback JSON API
+  served by :func:`make_server` (a stdlib ``ThreadingHTTPServer``; the
+  server binds 127.0.0.1 by default and no external network is ever
+  required).
+
+Endpoints (all GET, all JSON):
+
+====================================  =======================================
+path                                  payload
+====================================  =======================================
+``/healthz``                          liveness + cell count
+``/cell/<vendor>/<model>/<lang>``     one cell: ratings, routes, probe
+                                      outcomes (the store's JSON schema)
+``/table?format=F``                   rendered Figure 1 (text, markdown,
+                                      html, tex, yaml) from the served
+                                      matrix
+``/advise?vendor=V&language=L``       route recommendations (also
+                                      ``model=M&language=L``; neither:
+                                      portable models per language)
+``/lint/routes``                      static route-evidence cross-check
+                                      report (RE01–RE03 diagnostics)
+``/metrics``                          scheduler/store/compile-cache/
+                                      interpreter counters and histograms
+====================================  =======================================
+
+The service evaluates the matrix lazily on first use through the
+concurrent scheduler, against an optional persistent result store — a
+warm store makes startup serve all 51 cells without executing a single
+probe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.enums import Language, Model, SupportCategory, Vendor
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import BuildReport, build_matrix_concurrent
+from repro.service.store import ResultStore, cell_to_dict
+
+
+class ServiceError(Exception):
+    """Bad request against the service API (maps to HTTP 400/404)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_vendor(text: str) -> Vendor:
+    for v in Vendor:
+        if v.value.lower() == text.lower():
+            return v
+    raise ServiceError(f"unknown vendor '{text}'", status=404)
+
+
+def _parse_model(text: str) -> Model:
+    for m in Model:
+        if m.value.lower() == text.lower():
+            return m
+    raise ServiceError(f"unknown model '{text}'", status=404)
+
+
+_LANGUAGE_ALIASES = {
+    "c++": Language.CPP, "cpp": Language.CPP, "cxx": Language.CPP,
+    "fortran": Language.FORTRAN, "f": Language.FORTRAN,
+    "python": Language.PYTHON, "py": Language.PYTHON,
+}
+
+
+def _parse_language(text: str) -> Language:
+    try:
+        return _LANGUAGE_ALIASES[text.lower()]
+    except KeyError:
+        raise ServiceError(f"unknown language '{text}'", status=404) from None
+
+
+class MatrixService:
+    """The in-process core: owns the matrix, store, and metrics.
+
+    Thread-safe: the lazy build is single-flighted behind a lock and
+    every query method reads the immutable built matrix.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 4,
+        store: ResultStore | str | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.jobs = jobs
+        if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+            store = ResultStore(store)
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._report: BuildReport | None = None
+        self._build_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def ensure_built(self) -> BuildReport:
+        """Build (or load) the matrix once; later calls are free."""
+        with self._build_lock:
+            if self._report is None:
+                self._report = build_matrix_concurrent(
+                    self.jobs, store=self.store, metrics=self.metrics)
+            return self._report
+
+    @property
+    def matrix(self):
+        return self.ensure_built().matrix
+
+    # -- queries (the shared client interface) -----------------------------
+
+    def health(self) -> dict:
+        built = self._report is not None
+        return {
+            "status": "ok",
+            "built": built,
+            "cells": self._report.matrix.n_cells if built else 0,
+        }
+
+    def cell(self, vendor: str, model: str, language: str) -> dict:
+        v = _parse_vendor(vendor)
+        m = _parse_model(model)
+        l = _parse_language(language)
+        try:
+            result = self.matrix.cell(v, m, l)
+        except KeyError:
+            raise ServiceError(
+                f"no cell {v.value}/{m.value}/{l.value} in the matrix "
+                f"(not a Figure 1 combination)", status=404) from None
+        return cell_to_dict(result)
+
+    def table(self, fmt: str = "text") -> dict:
+        from repro.core.render import RENDERERS, matrix_lookup
+
+        if fmt not in RENDERERS:
+            raise ServiceError(
+                f"unknown format '{fmt}' (available: "
+                f"{', '.join(sorted(RENDERERS))})")
+        lookup = matrix_lookup(self.matrix)
+        renderer = RENDERERS[fmt]
+        title = "Figure 1 (derived empirically on the simulated system)"
+        if fmt in ("text", "markdown", "html", "tex"):
+            rendered = renderer(lookup, title=title)  # type: ignore[call-arg]
+        else:
+            rendered = renderer(lookup)
+        return {"format": fmt, "table": rendered}
+
+    def advise(self, vendor: str | None = None, model: str | None = None,
+               language: str = "c++") -> dict:
+        from repro.core.advisor import Advisor
+
+        lang = _parse_language(language)
+        advisor = Advisor(self.matrix, minimum=SupportCategory.LIMITED)
+        if model is not None:
+            m = _parse_model(model)
+            recs = advisor.platforms_for_model(m, lang)
+            scope = f"platforms for {m.value} / {lang.value}"
+        elif vendor is not None:
+            v = _parse_vendor(vendor)
+            recs = advisor.models_for_platform(v, lang)
+            scope = f"models usable on {v.value} from {lang.value}"
+        else:
+            models = advisor.portable_models(lang, SupportCategory.LIMITED)
+            return {
+                "scope": f"portable models from {lang.value}",
+                "recommendations": [m.value for m in models],
+            }
+        return {"scope": scope, "recommendations": [str(r) for r in recs]}
+
+    def lint_report(self) -> dict:
+        from repro.analysis.routes_evidence import cross_check
+
+        report = cross_check()
+        return json.loads(report.to_json())
+
+    def snapshot_metrics(self) -> dict:
+        snap = self.metrics.snapshot()
+        if self.store is not None:
+            snap["store"] = self.store.stats.as_dict()
+        snap["service"] = {
+            "jobs": self.jobs,
+            "built": self._report is not None,
+            "cells_from_store": (
+                self._report.cells_from_store if self._report else 0),
+            "cells_evaluated": (
+                self._report.cells_evaluated if self._report else 0),
+        }
+        return snap
+
+
+class InProcessClient:
+    """Client interface over a :class:`MatrixService`, no sockets.
+
+    Mirrors :class:`HttpClient` method-for-method so tests and embedders
+    can swap transports freely.
+    """
+
+    def __init__(self, service: MatrixService):
+        self.service = service
+
+    def health(self) -> dict:
+        return self.service.health()
+
+    def cell(self, vendor: str, model: str, language: str) -> dict:
+        return self.service.cell(vendor, model, language)
+
+    def table(self, fmt: str = "text") -> dict:
+        return self.service.table(fmt)
+
+    def advise(self, vendor: str | None = None, model: str | None = None,
+               language: str = "c++") -> dict:
+        return self.service.advise(vendor, model, language)
+
+    def lint_report(self) -> dict:
+        return self.service.lint_report()
+
+    def metrics(self) -> dict:
+        return self.service.snapshot_metrics()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes GETs to the bound :class:`MatrixService`."""
+
+    service: MatrixService  # set by make_server on the subclass
+
+    # Silence the default stderr access log (the service has /metrics).
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=1).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urllib.parse.urlsplit(self.path)
+        parts = [urllib.parse.unquote(p)
+                 for p in parsed.path.strip("/").split("/") if p]
+        query = urllib.parse.parse_qs(parsed.query)
+
+        def q(name: str, default: str | None = None) -> str | None:
+            values = query.get(name)
+            return values[0] if values else default
+
+        try:
+            if parts == ["healthz"]:
+                self._send(200, self.service.health())
+            elif len(parts) == 4 and parts[0] == "cell":
+                self._send(200, self.service.cell(*parts[1:]))
+            elif parts == ["table"]:
+                self._send(200, self.service.table(q("format", "text")))
+            elif parts == ["advise"]:
+                self._send(200, self.service.advise(
+                    vendor=q("vendor"), model=q("model"),
+                    language=q("language", "c++")))
+            elif parts == ["lint", "routes"]:
+                self._send(200, self.service.lint_report())
+            elif parts == ["metrics"]:
+                self._send(200, self.service.snapshot_metrics())
+            else:
+                self._send(404, {"error": f"no such endpoint: {parsed.path}"})
+        except ServiceError as exc:
+            self._send(exc.status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+def make_server(service: MatrixService, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Bind a loopback JSON server for ``service`` (port 0 = ephemeral).
+
+    The caller drives it: ``server.serve_forever()`` inline, or in a
+    daemon thread for embedding; ``server.server_address`` holds the
+    bound (host, port).
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+class HttpClient:
+    """The client interface over the loopback JSON API."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def _get(self, path: str) -> dict:
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode())
+            if response.status >= 400:
+                raise ServiceError(
+                    payload.get("error", f"HTTP {response.status}"),
+                    status=response.status)
+            return payload
+        finally:
+            conn.close()
+
+    def health(self) -> dict:
+        return self._get("/healthz")
+
+    def cell(self, vendor: str, model: str, language: str) -> dict:
+        quoted = "/".join(urllib.parse.quote(p, safe="")
+                          for p in (vendor, model, language))
+        return self._get(f"/cell/{quoted}")
+
+    def table(self, fmt: str = "text") -> dict:
+        return self._get(f"/table?format={urllib.parse.quote(fmt)}")
+
+    def advise(self, vendor: str | None = None, model: str | None = None,
+               language: str = "c++") -> dict:
+        params = {"language": language}
+        if vendor is not None:
+            params["vendor"] = vendor
+        if model is not None:
+            params["model"] = model
+        return self._get(f"/advise?{urllib.parse.urlencode(params)}")
+
+    def lint_report(self) -> dict:
+        return self._get("/lint/routes")
+
+    def metrics(self) -> dict:
+        return self._get("/metrics")

@@ -1,0 +1,385 @@
+"""Tests for the matrix evaluation service.
+
+The load-bearing property: the concurrent scheduler is **bit-identical
+to the sequential build at every worker count**, with and without the
+persistent store, and under injected faults.  Everything else — the
+store's content addressing, the serving layer's two transports, the
+metrics registry — is tested against that same fixed ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis import analyze_module
+from repro.core.matrix import build_matrix
+from repro.core.render import RENDERERS, matrix_lookup
+from repro.enums import Language, Model, SupportCategory, Vendor, all_cells
+from repro.isa.interpreter import snapshot_interpreter_totals
+from repro.isa.module import ModuleIR
+from repro.kernels import KERNEL_LIBRARY
+from repro.service import (
+    BuildCancelled,
+    InProcessClient,
+    JobKind,
+    JobTimeout,
+    MatrixScheduler,
+    MatrixService,
+    MetricsRegistry,
+    ResultStore,
+    SchedulerError,
+    build_matrix_concurrent,
+    cell_from_dict,
+    cell_to_dict,
+    environment_fingerprint,
+    make_server,
+)
+from repro.service.metrics import Counter, Gauge, Histogram
+
+
+@pytest.fixture(scope="module")
+def seq_matrix():
+    """The sequential ground truth every concurrency test compares to."""
+    return build_matrix()
+
+
+@pytest.fixture(scope="module")
+def warm_store_dir(tmp_path_factory, seq_matrix):
+    """A store directory populated by one cold scheduled build."""
+    root = tmp_path_factory.mktemp("matrix-store")
+    report = build_matrix_concurrent(4, store=str(root))
+    assert report.matrix.cells == seq_matrix.cells
+    assert report.cells_evaluated == 51
+    return root
+
+
+def _render_text(matrix) -> str:
+    return RENDERERS["text"](matrix_lookup(matrix), title="t")
+
+
+def _lint_json() -> str:
+    module = ModuleIR(name="kernel_library")
+    for fn in KERNEL_LIBRARY.values():
+        module.add(fn.ir)
+    return analyze_module(module).to_json()
+
+
+def _transval_json() -> str:
+    from repro.analysis.transval import shipped_translators, validate_all
+
+    return validate_all(shipped_translators()).to_json()
+
+
+# -- concurrent determinism ---------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 4, 16])
+def test_concurrent_build_bit_identical(jobs, seq_matrix):
+    report = build_matrix_concurrent(jobs)
+    assert report.jobs == jobs
+    assert report.cells_evaluated == 51
+    # Identical CellResults (routes, suites, outcomes, categories)...
+    assert report.matrix.cells == seq_matrix.cells
+    # ...and the identical rendered Figure 1.
+    assert _render_text(report.matrix) == _render_text(seq_matrix)
+
+
+def test_diagnostics_identical_across_worker_counts():
+    """Concurrent builds must not perturb the analysis layers."""
+    lint_before, tv_before = _lint_json(), _transval_json()
+    for jobs in (4, 16):
+        build_matrix_concurrent(jobs)
+        assert _lint_json() == lint_before
+        assert _transval_json() == tv_before
+
+
+def test_scheduler_metrics_cover_all_job_kinds(seq_matrix):
+    metrics = MetricsRegistry()
+    report = build_matrix_concurrent(4, metrics=metrics)
+    assert report.matrix.cells == seq_matrix.cells
+    snap = metrics.snapshot()
+    for kind in JobKind:
+        assert snap["counters"][f"jobs_completed_{kind.value}"] > 0
+    assert snap["counters"]["jobs_completed_cell"] == 51
+    assert snap["counters"]["probes_executed"] == \
+        snap["counters"]["jobs_completed_probe"]
+    assert snap["gauges"]["workers"] == 4
+    assert snap["histograms"]["job_latency_probe"]["count"] > 0
+    assert snap["histograms"]["queue_depth"]["count"] > 0
+
+
+# -- the persistent result store ----------------------------------------------
+
+
+def test_warm_store_rerun_executes_zero_probes(warm_store_dir, seq_matrix):
+    before = snapshot_interpreter_totals().launches
+    metrics = MetricsRegistry()
+    report = build_matrix_concurrent(
+        4, store=str(warm_store_dir), metrics=metrics)
+    assert report.cells_from_store == 51
+    assert report.cells_evaluated == 0
+    assert metrics.counter("probes_executed").get() == 0
+    assert snapshot_interpreter_totals().launches == before
+    # Loaded cells reconstruct bit-identically.
+    assert report.matrix.cells == seq_matrix.cells
+    assert report.store.stats.as_dict()["hits"] == 51
+
+
+def test_store_invalidates_when_thresholds_change(warm_store_dir):
+    from repro.core.classifier import Thresholds
+
+    strict = Thresholds(full=0.99, comprehensive=0.95,
+                        indirect=0.90, usable=0.80)
+    assert environment_fingerprint(strict) != environment_fingerprint()
+    report = build_matrix_concurrent(
+        2, store=ResultStore(warm_store_dir, thresholds=strict),
+        thresholds=strict)
+    # Every lookup missed: different environment, full re-derivation.
+    assert report.cells_from_store == 0
+    assert report.cells_evaluated == 51
+    assert report.matrix.cells == build_matrix(thresholds=strict).cells
+
+
+def test_store_corrupt_entry_is_a_miss_not_an_error(tmp_path, seq_matrix):
+    root = tmp_path / "store"
+    build_matrix_concurrent(4, store=str(root))
+    store = ResultStore(root)
+    victim = store.entries()[0]
+    victim.write_text("{not json")
+    report = build_matrix_concurrent(4, store=store)
+    assert report.cells_from_store == 50
+    assert report.cells_evaluated == 1
+    assert store.stats.as_dict()["invalid"] == 1
+    assert report.matrix.cells == seq_matrix.cells
+
+
+def test_store_prune_removes_unaddressed_entries(tmp_path):
+    root = tmp_path / "store"
+    build_matrix_concurrent(4, store=str(root))
+    store = ResultStore(root)
+    stale = root / "cells" / "stale.000000000000.json"
+    stale.write_text("{}")
+    assert store.prune() == 1
+    assert not stale.exists()
+    assert store.prune() == 0  # live entries survive
+
+
+def test_cell_serialization_roundtrip(seq_matrix):
+    for cell in (
+        (Vendor.NVIDIA, Model.CUDA, Language.CPP),
+        (Vendor.AMD, Model.OPENMP, Language.FORTRAN),
+        (Vendor.INTEL, Model.PYTHON, Language.PYTHON),
+    ):
+        original = seq_matrix.cells[cell]
+        rebuilt = cell_from_dict(cell_to_dict(original))
+        assert rebuilt == original
+        assert rebuilt.primary is original.primary
+        assert rebuilt.secondary == original.secondary
+
+
+# -- timeouts, retries, cancellation ------------------------------------------
+
+
+def _first_probe_filter(probe):
+    """Shrinks each suite to its first probe (fast fault-path builds)."""
+    return probe.method in {
+        "probe_kernels", "probe_queues", "probe_target", "probe_parallel",
+        "probe_for_each", "probe_do_concurrent", "probe_range_for",
+        "probe_exec", "probe_ufuncs",
+    }
+
+
+def test_seeded_timeout_succeeds_on_retry(seq_matrix):
+    """A probe job that times out twice still yields the correct cell."""
+    reference = build_matrix(probe_filter=_first_probe_filter)
+    fails: dict[str, int] = {}
+
+    def hook(job, attempt):
+        if job.kind is JobKind.PROBE and job.route.route_id == "nv-cuda-cpp-nvcc":
+            n = fails.setdefault(job.label, 0)
+            if n < 2:
+                fails[job.label] = n + 1
+                raise JobTimeout(f"injected timeout #{n + 1} for {job.label}")
+
+    metrics = MetricsRegistry()
+    report = build_matrix_concurrent(
+        4, probe_filter=_first_probe_filter, metrics=metrics,
+        fault_hook=hook, backoff_s=0.001, max_retries=2)
+    assert report.matrix.cells == reference.cells
+    assert metrics.counter("jobs_timeout").get() == 2
+    assert metrics.counter("jobs_retried").get() == 2
+
+
+def test_retries_exhausted_raises_scheduler_error():
+    def hook(job, attempt):
+        if job.kind is JobKind.PROBE:
+            raise JobTimeout("injected permanent timeout")
+
+    with pytest.raises(SchedulerError, match="probe"):
+        build_matrix_concurrent(
+            2, probe_filter=_first_probe_filter, fault_hook=hook,
+            backoff_s=0.0, max_retries=1)
+
+
+def test_cancellation_stops_the_build():
+    box: dict[str, MatrixScheduler] = {}
+
+    def hook(job, attempt):
+        if job.kind is JobKind.PROBE:
+            box["scheduler"].cancel()
+
+    scheduler = MatrixScheduler(
+        4, probe_filter=_first_probe_filter, fault_hook=hook, backoff_s=0.0)
+    box["scheduler"] = scheduler
+    with pytest.raises(BuildCancelled):
+        scheduler.build()
+
+
+# -- the serving layer --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def service(warm_store_dir):
+    """A service over the warm store (startup serves without probing)."""
+    svc = MatrixService(jobs=2, store=str(warm_store_dir))
+    report = svc.ensure_built()
+    assert report.cells_from_store == 51
+    return svc
+
+
+def test_inprocess_client_cell_lookup(service, seq_matrix):
+    client = InProcessClient(service)
+    payload = client.cell("NVIDIA", "CUDA", "c++")
+    expected = seq_matrix.cells[(Vendor.NVIDIA, Model.CUDA, Language.CPP)]
+    assert payload == cell_to_dict(expected)
+    assert payload["primary"] == "FULL"
+    assert {r["route_id"] for r in payload["routes"]} == {
+        r.route.route_id for r in expected.routes}
+
+
+def test_inprocess_client_table_matches_renderer(service, seq_matrix):
+    client = InProcessClient(service)
+    for fmt in ("text", "markdown", "yaml"):
+        payload = client.table(fmt)
+        assert payload["format"] == fmt
+        assert payload["table"]  # non-empty
+    text = client.table("text")["table"]
+    assert text == RENDERERS["text"](
+        matrix_lookup(seq_matrix),
+        title="Figure 1 (derived empirically on the simulated system)")
+
+
+def test_inprocess_client_advise_and_lint(service):
+    client = InProcessClient(service)
+    advice = client.advise(vendor="AMD", language="fortran")
+    assert advice["recommendations"]
+    assert "AMD" in advice["scope"]
+    by_model = client.advise(model="SYCL", language="c++")
+    assert by_model["recommendations"]
+    report = client.lint_report()
+    assert "diagnostics" in report and "counts" in report
+
+
+def test_inprocess_client_metrics(service):
+    snap = InProcessClient(service).metrics()
+    assert snap["service"]["built"] is True
+    assert snap["service"]["cells_from_store"] == 51
+    assert snap["store"]["hits"] == 51
+    assert "compile_cache" in snap and "interpreter" in snap
+
+
+def test_unknown_cell_is_a_service_error(service):
+    from repro.service import ServiceError
+
+    client = InProcessClient(service)
+    with pytest.raises(ServiceError):
+        client.cell("NVIDIA", "CUDA", "rust")
+    with pytest.raises(ServiceError):
+        client.cell("IBM", "CUDA", "c++")
+    # A non-Figure-1 combination (RAJA is extended-table only).
+    with pytest.raises(ServiceError):
+        client.cell("NVIDIA", "RAJA", "c++")
+
+
+def test_http_transport_agrees_with_inprocess(service):
+    from repro.service import HttpClient
+
+    server = make_server(service)  # 127.0.0.1, ephemeral port
+    host, port = server.server_address
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        http = HttpClient(host, port)
+        inproc = InProcessClient(service)
+        assert http.health()["status"] == "ok"
+        assert http.cell("nvidia", "cuda", "c++") == \
+            inproc.cell("nvidia", "cuda", "c++")
+        assert http.table("markdown") == inproc.table("markdown")
+        assert http.advise(vendor="Intel", language="cpp") == \
+            inproc.advise(vendor="Intel", language="cpp")
+        from repro.service import ServiceError
+
+        with pytest.raises(ServiceError) as err:
+            http.cell("nvidia", "cuda", "rust")
+        assert err.value.status == 404
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# -- metrics primitives -------------------------------------------------------
+
+
+def test_counter_and_gauge_threaded():
+    c = Counter("c")
+    g = Gauge("g")
+
+    def bump():
+        for _ in range(1000):
+            c.inc()
+    threads = [threading.Thread(target=bump) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.get() == 8000
+    g.set(3.5)
+    assert g.get() == 3.5
+
+
+def test_histogram_buckets_are_cumulative():
+    h = Histogram("h", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 5.0, 50.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["buckets"] == {"le_0.1": 1, "le_1": 2, "le_10": 3,
+                               "le_inf": 4}
+    assert snap["min"] == 0.05 and snap["max"] == 50.0
+
+
+def test_metrics_snapshot_is_json_serializable():
+    metrics = MetricsRegistry()
+    metrics.counter("x").inc(3)
+    metrics.histogram("y").observe(0.2)
+    json.dumps(metrics.snapshot())
+
+
+# -- environment fingerprint --------------------------------------------------
+
+
+def test_environment_fingerprint_is_stable():
+    assert environment_fingerprint() == environment_fingerprint()
+
+
+def test_store_covers_every_figure1_cell(warm_store_dir):
+    store = ResultStore(warm_store_dir)
+    assert len(store.entries()) >= 51
+    for cell in all_cells():
+        loaded = store.load(cell)
+        assert loaded is not None
+        assert (loaded.vendor, loaded.model, loaded.language) == cell
+        assert isinstance(loaded.primary, SupportCategory)

@@ -241,3 +241,73 @@ def test_feature_descriptions_exist_for_all_capability_tags():
                 assert describe(tag) != tag or ":" not in tag, (
                     f"{tc.name} uses undocumented feature tag '{tag}'"
                 )
+
+
+def test_compile_cache_single_flight_under_contention(monkeypatch):
+    """N workers racing on one TU do ONE compile: 1 miss + N-1 hits.
+
+    The patched optimizer blocks the leader inside the compile until the
+    other workers have piled up on the per-key flight lock, so without
+    single-flighting every worker would miss and compile redundantly.
+    """
+    import threading
+    import time
+
+    import repro.compilers.toolchain as tc_mod
+    from repro.compilers.toolchain import clear_compile_cache
+
+    clear_compile_cache()
+    real_optimize = tc_mod.optimize_module
+    entered = threading.Event()
+    release = threading.Event()
+    calls: list[str] = []
+
+    def blocking_optimize(module, level):
+        calls.append(module.name)
+        entered.set()
+        assert release.wait(timeout=10), "test never released the leader"
+        return real_optimize(module, level=level)
+
+    monkeypatch.setattr(tc_mod, "optimize_module", blocking_optimize)
+    nvcc = get_toolchain("nvcc")
+    tu = _tu(Model.CUDA, CPP)
+    n = 6
+    results: list[object] = [None] * n
+
+    def worker(i):
+        results[i] = nvcc.compile(tu, ISA.PTX)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    assert entered.wait(timeout=10)
+    time.sleep(0.05)  # let the followers reach the flight lock
+    release.set()
+    for t in threads:
+        t.join(timeout=10)
+    assert len(calls) == 1
+    stats = nvcc.cache_stats.snapshot()
+    assert stats.misses == 1
+    assert stats.hits == n - 1
+    assert all(r is results[0] for r in results)
+
+
+def test_compile_distinct_units_do_not_serialize_counters():
+    """Different TUs take different flight locks: two misses, no hits."""
+    import threading
+
+    from repro.compilers.toolchain import clear_compile_cache
+
+    clear_compile_cache()
+    nvcc = get_toolchain("nvcc")
+    units = [_tu(Model.CUDA, CPP, kernelfn=KL.axpy),
+             _tu(Model.CUDA, CPP, kernelfn=KL.reduce_sum)]
+    threads = [threading.Thread(target=nvcc.compile, args=(u, ISA.PTX))
+               for u in units]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    stats = nvcc.cache_stats.snapshot()
+    assert stats.misses == 2
+    assert stats.hits == 0
