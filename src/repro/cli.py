@@ -24,9 +24,16 @@ Subcommands:
 * ``eval [--jobs N] [--store DIR] [--metrics-json PATH]`` — build the
   matrix through the concurrent scheduler against a persistent result
   store (warm store: zero probe executions).
+* ``perf [--jobs N] [--store DIR] [--n N] [--reps R]
+  [--format text|json|csv]`` — run the five BabelStream kernels through
+  every viable route of every cell and report per-cell efficiencies,
+  per-model cascades, and the Pennycook performance-portability metric.
+  Deterministic: the ``json``/``csv`` output is byte-identical at every
+  ``--jobs`` count.  A warm ``--store`` executes zero stream kernels.
 * ``serve [--host H] [--port P] [--jobs N] [--store DIR] [--lazy]`` —
   serve the derived matrix over the loopback JSON API
-  (``/cell``, ``/table``, ``/advise``, ``/lint/routes``, ``/metrics``).
+  (``/cell``, ``/table``, ``/advise``, ``/lint/routes``, ``/metrics``,
+  ``/perf/matrix``, ``/perf/cell``, ``/perf/portability``).
 
 ``--format json`` prints the ``LintReport`` as JSON (diagnostic code,
 severity, kernel, path, message, hint, plus severity rollups) and
@@ -336,6 +343,66 @@ def cmd_eval(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """Performance-portability matrix over every viable route."""
+    import json
+
+    from repro.enums import VENDOR_ORDER
+    from repro.perfport import DEFAULT_N, DEFAULT_REPS, PerfParams
+    from repro.service import InProcessClient, MatrixService
+    from repro.workloads.babelstream import stream_totals
+
+    params = PerfParams(
+        n=args.n if args.n is not None else DEFAULT_N,
+        reps=args.reps if args.reps is not None else DEFAULT_REPS)
+    service = MatrixService(jobs=args.jobs, store=args.store,
+                            perf_params=params)
+    client = InProcessClient(service)
+    matrix_resp = client.perf_matrix()
+    port_resp = client.perf_portability()
+
+    if args.format == "json":
+        print(json.dumps({
+            "schema_version": matrix_resp.schema_version,
+            "params": matrix_resp["params"],
+            "cells": matrix_resp["cells"],
+            "portability": port_resp["rows"],
+        }, indent=1))
+        return 0
+    if args.format == "csv":
+        print("vendor,model,language,supported,efficiency,best_route")
+        for c in matrix_resp.cells:
+            print(f"{c['vendor']},{c['model']},{c['language']},"
+                  f"{int(c['supported'])},{c['efficiency']!r},"
+                  f"{c['best_route'] or ''}")
+        return 0
+
+    report = service.ensure_perf_built()
+    print(f"evaluated {report.summary_line()}")
+    totals = stream_totals()
+    print(f"stream kernel executions this run: {totals['kernels']}")
+    vendors = [v.value for v in VENDOR_ORDER]
+    print()
+    header = "  ".join(f"{v:>8}" for v in vendors)
+    print(f"{'model':<14} {'lang':<8} {'PP':>8}  {header}")
+    for row in port_resp.rows:
+        by_vendor = {e["vendor"]: e["efficiency"] for e in row["cascade"]}
+        cells = "  ".join(f"{by_vendor.get(v, 0.0):>8.4f}" for v in vendors)
+        print(f"{row['model']:<14} {row['language']:<8} "
+              f"{row['metric']:>8.4f}  {cells}")
+    print("\nPP = Pennycook performance-portability metric (harmonic mean "
+          "of achieved fraction of peak over the vendor set; 0 if any "
+          "vendor is unsupported)")
+    from repro.data.perfref import PERF_REFERENCES, reference_fraction
+
+    anchors = ", ".join(
+        f"{v.value} {reference_fraction(v):.2f} ({PERF_REFERENCES[v].device})"
+        for v in VENDOR_ORDER)
+    print(f"published BabelStream triad fractions of peak for scale: "
+          f"{anchors}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Serve the matrix over the loopback JSON API until interrupted."""
     from repro.service import MatrixService, make_server
@@ -348,7 +415,8 @@ def cmd_serve(args) -> int:
     host, port = server.server_address
     print(f"serving the compatibility matrix on http://{host}:{port} "
           f"(endpoints: /healthz /cell/V/M/L /table /advise /lint/routes "
-          f"/metrics; Ctrl-C to stop)")
+          f"/metrics /perf/matrix /perf/cell/V/M/L /perf/portability; "
+          f"Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -439,6 +507,25 @@ def main(argv: list[str] | None = None) -> int:
     p_eval.add_argument("--metrics-json", default=None, metavar="PATH",
                         help="dump the full metrics snapshot as JSON")
     p_eval.set_defaults(func=cmd_eval)
+
+    p_perf = sub.add_parser(
+        "perf", help="performance-portability matrix (BabelStream through "
+                     "every viable route)")
+    p_perf.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="scheduler worker threads (default 4; results "
+                             "are identical at every count)")
+    p_perf.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent store directory (shared with "
+                             "'eval'; a warm store executes zero stream "
+                             "kernels)")
+    p_perf.add_argument("--n", type=int, default=None, metavar="ELEMS",
+                        help="stream array elements (default 65536)")
+    p_perf.add_argument("--reps", type=int, default=None, metavar="R",
+                        help="best-of repetitions per kernel (default 3)")
+    p_perf.add_argument("--format", choices=("text", "json", "csv"),
+                        default="text",
+                        help="output format (default text)")
+    p_perf.set_defaults(func=cmd_perf)
 
     p_serve = sub.add_parser(
         "serve", help="serve the matrix over a loopback JSON API")

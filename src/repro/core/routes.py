@@ -44,6 +44,12 @@ class Route:
     runtime_factory: Callable[[Device], object]
     description_id: int  # the §4 entry this route appears in
 
+    @property
+    def is_translation(self) -> bool:
+        """True for source-to-source translated routes (hipify,
+        SYCLomatic, acc2omp, GPUFORT ...)."""
+        return self.mechanism is Mechanism.TRANSLATION
+
     def chain(self, device: Device):
         """Instantiate the full runtime chain for this route.
 

@@ -1,4 +1,10 @@
-"""Reference data: the reconstructed Figure 1 and the bibliography."""
+"""Reference data: the reconstructed Figure 1, the bibliography, and
+published BabelStream anchor measurements."""
 
 from repro.data.paper_matrix import PAPER_MATRIX, PaperCell, expected  # noqa: F401
+from repro.data.perfref import (  # noqa: F401
+    PERF_REFERENCES,
+    PerfReference,
+    reference_fraction,
+)
 from repro.data.references import REFERENCES  # noqa: F401

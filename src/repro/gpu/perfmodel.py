@@ -37,6 +37,19 @@ STREAM_EFFICIENCY = 0.88
 ATOMIC_PENALTY_BYTES = 64
 
 
+def perf_constants() -> dict[str, float]:
+    """The model constants a simulated timing depends on.
+
+    Folded into the perf-store fingerprint: changing either constant
+    changes every simulated GB/s figure, so stored perf cells must be
+    invalidated with them.
+    """
+    return {
+        "stream_efficiency": STREAM_EFFICIENCY,
+        "atomic_penalty_bytes": ATOMIC_PENALTY_BYTES,
+    }
+
+
 @dataclass(frozen=True)
 class LaunchTiming:
     """Simulated timing breakdown of one launch."""

@@ -1,0 +1,180 @@
+"""Performance-portability data model and the sequential reference build.
+
+One :class:`PerfCell` per Figure-1 cell: every *viable* route of the
+cell (support category better than "no support" in the compatibility
+matrix) drives the five BabelStream kernels through its own runtime
+chain, and the cell's headline number is the best route's efficiency —
+the harmonic mean over the five kernels of achieved GB/s as a fraction
+of the device's datasheet bandwidth.
+
+Everything here is plain data + a deterministic loop; the concurrent
+build (:mod:`repro.perfport.scheduler`) reassembles the identical
+structures from per-route jobs, and the store
+(:mod:`repro.perfport.store`) round-trips them through JSON exactly
+(Python float repr is lossless), so dataclass equality doubles as the
+bit-identity check in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.matrix import CompatibilityMatrix
+from repro.core.routes import Route, routes_for
+from repro.enums import Language, Model, SupportCategory, Vendor, all_cells
+from repro.gpu.specs import default_spec
+from repro.workloads.babelstream import STREAM_KERNELS, STREAM_MOVED_ARRAYS
+
+Cell = tuple[Vendor, Model, Language]
+
+#: Default workload shape: big enough that kernels are bandwidth-bound,
+#: small enough that a full 51-cell sweep stays interactive.
+DEFAULT_N = 1 << 16
+DEFAULT_REPS = 3
+
+
+@dataclass(frozen=True)
+class PerfParams:
+    """Workload parameters of one perf-matrix evaluation."""
+
+    n: int = DEFAULT_N
+    reps: int = DEFAULT_REPS
+    dtype_bytes: int = 8
+
+    def as_dict(self) -> dict:
+        return {"n": self.n, "reps": self.reps,
+                "dtype_bytes": self.dtype_bytes}
+
+
+@dataclass
+class RoutePerf:
+    """Five-kernel stream timings for one route of one cell."""
+
+    route_id: str
+    via: str
+    translated: bool
+    ok: bool
+    error: str | None = None
+    verified: bool = False
+    kernels_executed: int = 0
+    best_seconds: dict[str, float] = field(default_factory=dict)
+
+    def bandwidth_gbs(self, kernel: str, params: PerfParams) -> float:
+        moved = STREAM_MOVED_ARRAYS[kernel] * params.n * params.dtype_bytes
+        secs = self.best_seconds[kernel]
+        return moved / secs / 1e9 if secs > 0 else 0.0
+
+    def efficiency(self, params: PerfParams, peak_gbs: float) -> float:
+        """Harmonic mean of the five per-kernel fractions of peak.
+
+        Zero for failed or unverified runs — a wrong answer fast is not
+        performance.
+        """
+        if not (self.ok and self.verified):
+            return 0.0
+        fractions = [
+            self.bandwidth_gbs(k, params) / peak_gbs for k in STREAM_KERNELS
+        ]
+        if any(f <= 0 for f in fractions):
+            return 0.0
+        return len(fractions) / sum(1.0 / f for f in fractions)
+
+
+@dataclass
+class PerfCell:
+    """Perf evaluation of one (vendor, model, language) cell."""
+
+    vendor: Vendor
+    model: Model
+    language: Language
+    device: str
+    peak_gbs: float
+    routes: list[RoutePerf] = field(default_factory=list)
+
+    @property
+    def supported(self) -> bool:
+        return any(r.ok and r.verified for r in self.routes)
+
+    def best_route(self, params: PerfParams) -> RoutePerf | None:
+        """The viable route with the highest efficiency (ties: registry
+        order, i.e. first wins — deterministic)."""
+        best: RoutePerf | None = None
+        best_eff = 0.0
+        for r in self.routes:
+            eff = r.efficiency(params, self.peak_gbs)
+            if eff > best_eff:
+                best, best_eff = r, eff
+        return best
+
+    def efficiency(self, params: PerfParams) -> float:
+        """Achieved fraction of peak via the best viable route (0 when
+        the cell is unsupported)."""
+        best = self.best_route(params)
+        return best.efficiency(params, self.peak_gbs) if best else 0.0
+
+
+@dataclass
+class PerfMatrix:
+    """The full perf-portability matrix over all Figure-1 cells."""
+
+    params: PerfParams
+    cells: dict[Cell, PerfCell]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def cell(self, vendor: Vendor, model: Model,
+             language: Language) -> PerfCell:
+        return self.cells[(vendor, model, language)]
+
+    def efficiency(self, vendor: Vendor, model: Model,
+                   language: Language) -> float:
+        return self.cells[(vendor, model, language)].efficiency(self.params)
+
+
+def viable_routes(compat: CompatibilityMatrix, cell: Cell) -> list[Route]:
+    """Routes worth timing: compatibility category above "no support".
+
+    Registry order is preserved — it is the deterministic assembly order
+    shared by the sequential and concurrent builds.
+    """
+    vendor, model, language = cell
+    cell_result = compat.cells.get(cell)
+    if cell_result is None:
+        return []
+    viable_ids = {
+        rr.route.route_id
+        for rr in cell_result.routes
+        if rr.category is not SupportCategory.NONE
+    }
+    return [r for r in routes_for(vendor, model, language)
+            if r.route_id in viable_ids]
+
+
+def assemble_perf_cell(cell: Cell, route_perfs: list[RoutePerf]) -> PerfCell:
+    """Fold per-route results (in registry order) into one cell."""
+    vendor, _model, _language = cell
+    spec = default_spec(vendor)
+    return PerfCell(
+        vendor=cell[0], model=cell[1], language=cell[2],
+        device=spec.name, peak_gbs=spec.bandwidth_gbs,
+        routes=route_perfs,
+    )
+
+
+def build_perf_matrix(compat: CompatibilityMatrix,
+                      params: PerfParams = PerfParams()) -> PerfMatrix:
+    """Sequential reference build: every viable route of every cell.
+
+    The concurrent scheduler must be bit-identical to this loop at every
+    worker count.
+    """
+    from repro.perfport.stream import run_stream_via_route
+
+    cells: dict[Cell, PerfCell] = {}
+    for cell in all_cells():
+        perfs = [run_stream_via_route(route, params)
+                 for route in viable_routes(compat, cell)]
+        cells[cell] = assemble_perf_cell(cell, perfs)
+    return PerfMatrix(params=params, cells=cells)

@@ -1,0 +1,222 @@
+"""Concurrent perf-matrix build on the generic job engine.
+
+The perf DAG is two layers per cell::
+
+    per route:  stream (five timed kernels through the route's chain)
+    per cell:   stream[routes...] ──> cell (assemble + persist)
+
+Stream jobs are pairwise independent — each constructs a **fresh
+device** (the simulated clock is device state) and its own runtime
+chain — so any interleaving is equivalent to the sequential
+:func:`repro.perfport.matrix.build_perf_matrix` loop and the result is
+bit-identical at every ``--jobs`` count.
+
+The engine (:class:`repro.service.scheduler.JobEngine`) contributes the
+thread pool, dependency bookkeeping, timeout/retry/backoff, cooperative
+cancellation, and the fault-injection seam; this module contributes only
+the DAG shape and the job bodies.  Perf jobs use their own
+:class:`PerfJobKind` so the matrix build's per-kind metric names stay
+untouched.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.classifier import DEFAULT_THRESHOLDS, Thresholds
+from repro.core.matrix import CompatibilityMatrix
+from repro.core.routes import Route
+from repro.enums import all_cells
+from repro.perfport.matrix import (
+    Cell,
+    PerfCell,
+    PerfMatrix,
+    PerfParams,
+    assemble_perf_cell,
+    viable_routes,
+)
+from repro.perfport.store import PerfStore
+from repro.perfport.stream import run_stream_via_route
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import Job, JobEngine
+from repro.service.store import ResultStore
+
+
+class PerfJobKind(enum.Enum):
+    """Job kinds of the perf build DAG (distinct from the matrix
+    build's :class:`repro.service.scheduler.JobKind`)."""
+
+    STREAM = "stream"
+    PERF_CELL = "perf_cell"
+
+
+@dataclass
+class PerfBuildReport:
+    """Outcome of one scheduled perf build."""
+
+    matrix: PerfMatrix
+    metrics: MetricsRegistry
+    jobs: int
+    elapsed_s: float
+    cells_from_store: int
+    cells_evaluated: int
+    store: PerfStore | None = None
+    compat_report: object | None = None  # BuildReport of the compat phase
+
+    def summary_line(self) -> str:
+        reuse = (f"{self.cells_from_store} from store, "
+                 if self.store is not None else "")
+        return (f"{self.matrix.n_cells} perf cells ({reuse}"
+                f"{self.cells_evaluated} evaluated) with {self.jobs} "
+                f"worker(s) in {self.elapsed_s:.2f}s")
+
+
+class PerfScheduler(JobEngine):
+    """Builds the perf matrix as a job DAG on a thread pool."""
+
+    worker_name = "perf-worker"
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        compat: CompatibilityMatrix,
+        params: PerfParams = PerfParams(),
+        store: PerfStore | None = None,
+        metrics: MetricsRegistry | None = None,
+        timeout_s: float = 120.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        fault_hook: Callable[[Job, int], None] | None = None,
+    ):
+        super().__init__(
+            jobs,
+            metrics=metrics,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            backoff_s=backoff_s,
+            fault_hook=fault_hook,
+        )
+        self.compat = compat
+        self.params = params
+        self.store = store
+
+    # -- DAG construction --------------------------------------------------
+
+    def _build_cell_jobs(self, cell: Cell) -> int:
+        stream_ids = []
+        for route in viable_routes(self.compat, cell):
+            job = Job(
+                self._next_id(), PerfJobKind.STREAM, cell, route=route,
+                fn=lambda ws, r=route: self._run_stream(r))
+            stream_ids.append(self._add(job))
+        job = Job(
+            self._next_id(), PerfJobKind.PERF_CELL, cell,
+            deps=tuple(stream_ids),
+            fn=lambda ws, c=cell, ids=tuple(stream_ids):
+                self._run_cell(c, ids))
+        return self._add(job)
+
+    # -- job bodies --------------------------------------------------------
+
+    def _run_stream(self, route: Route):
+        self.metrics.counter("stream_runs").inc()
+        return run_stream_via_route(route, self.params)
+
+    def _run_cell(self, cell: Cell, stream_ids: tuple[int, ...]) -> PerfCell:
+        perfs = [self._results[i] for i in stream_ids]
+        result = assemble_perf_cell(cell, perfs)
+        if self.store is not None:
+            self.store.save(result)
+            self.metrics.counter("perf_store_writes").inc()
+        return result
+
+    # -- public API --------------------------------------------------------
+
+    def build(self) -> PerfBuildReport:
+        """Evaluate (or load) every cell and assemble the perf matrix."""
+        start = time.monotonic()
+        self.metrics.gauge("perf_workers").set(self.jobs)
+        cell_jobs: dict[Cell, int] = {}
+        stored: dict[Cell, PerfCell] = {}
+        for cell in all_cells():
+            if self.store is not None:
+                cached = self.store.load(cell)
+                if cached is not None:
+                    stored[cell] = cached
+                    self.metrics.counter("perf_store_hits").inc()
+                    continue
+                self.metrics.counter("perf_store_misses").inc()
+            cell_jobs[cell] = self._build_cell_jobs(cell)
+
+        self.run_all()
+
+        cells = {}
+        for cell in all_cells():
+            if cell in stored:
+                cells[cell] = stored[cell]
+            else:
+                cells[cell] = self._results[cell_jobs[cell]]
+        matrix = PerfMatrix(params=self.params, cells=cells)
+        self.metrics.counter("perf_builds").inc()
+        return PerfBuildReport(
+            matrix=matrix,
+            metrics=self.metrics,
+            jobs=self.jobs,
+            elapsed_s=time.monotonic() - start,
+            cells_from_store=len(stored),
+            cells_evaluated=len(cell_jobs),
+            store=self.store,
+        )
+
+
+def run_perf_matrix(
+    jobs: int = 1,
+    *,
+    store: str | None = None,
+    params: PerfParams = PerfParams(),
+    thresholds: Thresholds = DEFAULT_THRESHOLDS,
+    metrics: MetricsRegistry | None = None,
+    compat: CompatibilityMatrix | None = None,
+    timeout_s: float = 120.0,
+    max_retries: int = 2,
+    backoff_s: float = 0.05,
+    fault_hook: Callable[[Job, int], None] | None = None,
+) -> PerfBuildReport:
+    """One-call perf-portability evaluation.
+
+    Builds (or reloads) the compatibility matrix first — viability of a
+    route is a compat question — then times every viable route.  One
+    ``store`` directory persists both: compat cells at its root, perf
+    cells under ``<store>/perf/``, each behind its own fingerprint, so
+    a warm rerun executes zero probes *and* zero stream kernels.
+    """
+    from repro.service.scheduler import build_matrix_concurrent
+
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    compat_report = None
+    if compat is None:
+        compat_store = (ResultStore(store, thresholds=thresholds)
+                        if store is not None else None)
+        compat_report = build_matrix_concurrent(
+            jobs, store=compat_store, thresholds=thresholds, metrics=metrics)
+        compat = compat_report.matrix
+    perf_store = (PerfStore(store, params=params, thresholds=thresholds)
+                  if store is not None else None)
+    scheduler = PerfScheduler(
+        jobs,
+        compat=compat,
+        params=params,
+        store=perf_store,
+        metrics=metrics,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        backoff_s=backoff_s,
+        fault_hook=fault_hook,
+    )
+    report = scheduler.build()
+    report.compat_report = compat_report
+    return report

@@ -1,0 +1,190 @@
+"""Content-addressed persistent store for perf-matrix cells.
+
+Same design as :class:`repro.service.store.ResultStore` (atomic writes,
+filename-embedded key, corrupt entry = miss) under a ``perf/``
+subdirectory, so one ``--store DIR`` serves both the compatibility
+cells and the perf cells.
+
+The perf key extends the environment fingerprint with everything a
+*simulated timing* can additionally observe:
+
+* the perf-model constants (:func:`repro.gpu.perfmodel.perf_constants`)
+  — stream efficiency and the atomic traffic penalty;
+* the three default device specs (datasheet bandwidth, clocks, CU
+  counts ... the full spec repr);
+* the workload parameters (n, reps, dtype width);
+* the perf-store schema version.
+
+Change any of these and every lookup misses; leave them alone and a
+warm rerun reloads all cells with **zero stream-kernel executions**
+(JSON float serialization round-trips ``repr`` exactly, so a reloaded
+cell is bit-identical to the evaluated one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.classifier import DEFAULT_THRESHOLDS, Thresholds
+from repro.core.routes import routes_for
+from repro.enums import VENDOR_ORDER, Language, Model, Vendor
+from repro.gpu.perfmodel import perf_constants
+from repro.gpu.specs import default_spec
+from repro.perfport.matrix import Cell, PerfCell, PerfParams, RoutePerf
+from repro.service.store import ResultStore, StoreStats, environment_fingerprint
+from repro.workloads.babelstream import STREAM_KERNELS
+
+#: Bump when the perf on-disk layout or serialization schema changes.
+PERF_SCHEMA = 1
+
+
+def perf_fingerprint(params: PerfParams,
+                     thresholds: Thresholds = DEFAULT_THRESHOLDS) -> str:
+    """Hash of every input a stored perf cell depends on."""
+    h = hashlib.sha256()
+    h.update(f"perf-schema={PERF_SCHEMA}".encode())
+    h.update(environment_fingerprint(thresholds).encode())
+    for name, value in sorted(perf_constants().items()):
+        h.update(f"|const:{name}={value!r}".encode())
+    for vendor in VENDOR_ORDER:
+        h.update(f"|spec:{default_spec(vendor)!r}".encode())
+    h.update(f"|params:{sorted(params.as_dict().items())!r}".encode())
+    return h.hexdigest()
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def perf_cell_to_dict(cell: PerfCell) -> dict:
+    """Plain-JSON form of one perf cell (stable; the server reuses it)."""
+    return {
+        "vendor": cell.vendor.value,
+        "model": cell.model.value,
+        "language": cell.language.value,
+        "device": cell.device,
+        "peak_gbs": cell.peak_gbs,
+        "routes": [
+            {
+                "route_id": r.route_id,
+                "via": r.via,
+                "translated": r.translated,
+                "ok": r.ok,
+                "error": r.error,
+                "verified": r.verified,
+                "kernels_executed": r.kernels_executed,
+                "best_seconds": {k: r.best_seconds[k]
+                                 for k in STREAM_KERNELS
+                                 if k in r.best_seconds},
+            }
+            for r in cell.routes
+        ],
+    }
+
+
+class PerfStoreIntegrityError(Exception):
+    """A stored perf payload does not match the live registries."""
+
+
+def perf_cell_from_dict(payload: dict) -> PerfCell:
+    """Reconstruct a :class:`PerfCell` bit-identical to the original."""
+    vendor = Vendor(payload["vendor"])
+    model = Model(payload["model"])
+    language = Language(payload["language"])
+    known = {r.route_id for r in routes_for(vendor, model, language)}
+    routes: list[RoutePerf] = []
+    for entry in payload["routes"]:
+        if entry["route_id"] not in known:
+            raise PerfStoreIntegrityError(
+                f"stored route '{entry['route_id']}' is not registered for "
+                f"{vendor.value}/{model.value}/{language.value}")
+        routes.append(RoutePerf(
+            route_id=entry["route_id"],
+            via=entry["via"],
+            translated=entry["translated"],
+            ok=entry["ok"],
+            error=entry["error"],
+            verified=entry["verified"],
+            kernels_executed=entry["kernels_executed"],
+            best_seconds={k: float(v)
+                          for k, v in entry["best_seconds"].items()},
+        ))
+    return PerfCell(vendor=vendor, model=model, language=language,
+                    device=payload["device"],
+                    peak_gbs=float(payload["peak_gbs"]), routes=routes)
+
+
+# -- the store ---------------------------------------------------------------
+
+
+class PerfStore:
+    """On-disk perf-cell store rooted at ``<root>/perf/``.
+
+    Layout::
+
+        <root>/perf/
+          meta.json                    # schema + current perf fingerprint
+          cells/<v>_<m>_<l>.<key12>.json
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 params: PerfParams = PerfParams(),
+                 thresholds: Thresholds = DEFAULT_THRESHOLDS):
+        self.root = Path(root) / "perf"
+        self.params = params
+        self.thresholds = thresholds
+        self.stats = StoreStats()
+        self._fingerprint: str | None = None
+        (self.root / "cells").mkdir(parents=True, exist_ok=True)
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = perf_fingerprint(self.params, self.thresholds)
+            ResultStore._atomic_write(
+                self.root / "meta.json",
+                json.dumps({"schema": PERF_SCHEMA,
+                            "perf_fingerprint": self._fingerprint},
+                           indent=2) + "\n")
+        return self._fingerprint
+
+    def _path(self, cell: Cell) -> Path:
+        vendor, model, language = cell
+        h = hashlib.sha256()
+        h.update(self.fingerprint.encode())
+        h.update(f"|{vendor.value}|{model.value}|{language.value}".encode())
+        slug = f"{vendor.value}_{model.value}_{language.value}".lower()
+        slug = slug.replace("++", "pp").replace("/", "-").replace(" ", "-")
+        return self.root / "cells" / f"{slug}.{h.hexdigest()[:12]}.json"
+
+    def load(self, cell: Cell) -> PerfCell | None:
+        """The stored perf cell for the *current* fingerprint, or None."""
+        path = self._path(cell)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats._inc("misses")
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats._inc("invalid")
+            return None
+        try:
+            result = perf_cell_from_dict(payload)
+        except (PerfStoreIntegrityError, KeyError, ValueError, TypeError):
+            self.stats._inc("invalid")
+            return None
+        self.stats._inc("hits")
+        return result
+
+    def save(self, cell: PerfCell) -> Path:
+        """Persist one perf cell (atomic write)."""
+        path = self._path((cell.vendor, cell.model, cell.language))
+        ResultStore._atomic_write(
+            path, json.dumps(perf_cell_to_dict(cell), indent=1) + "\n")
+        self.stats._inc("writes")
+        return path
+
+    def entries(self) -> list[Path]:
+        return sorted((self.root / "cells").glob("*.json"))

@@ -1,0 +1,58 @@
+"""Drive the BabelStream kernels through one registry route.
+
+The bridge between the route registry and the workload layer: a route's
+``probe_suite`` names the API family it exposes (cuda_cpp, sycl_cpp,
+openmp, ...), :data:`~repro.workloads.babelstream.SUITE_ADAPTERS` maps
+that family to a stream adapter, and the route's :meth:`Route.chain`
+becomes the adapter's injected ``runtime_factory`` — so a translated
+route (hipify, SYCLomatic, acc2omp, GPUFORT) times the *translated*
+pipeline, translator and all.
+
+Each run gets a **fresh device**: the simulated clock is device state,
+so sharing devices across runs would make timings depend on execution
+order.  A fresh device per run is what makes the concurrent perf build
+bit-identical at every worker count.
+"""
+
+from __future__ import annotations
+
+from repro.core.routes import Route
+from repro.errors import ReproError
+from repro.gpu.device import Device
+from repro.gpu.specs import default_spec
+from repro.perfport.matrix import PerfParams, RoutePerf
+from repro.workloads.babelstream import SUITE_ADAPTERS, execute_stream
+
+
+def run_stream_via_route(route: Route,
+                         params: PerfParams = PerfParams()) -> RoutePerf:
+    """Time the five stream kernels through ``route``'s runtime chain.
+
+    Failures (dead toolchains, chains the adapter cannot drive) are a
+    *result*, not an error: the route scores efficiency 0 and carries
+    the failure message, mirroring how the compatibility matrix records
+    failing probes.
+    """
+    adapter_cls = SUITE_ADAPTERS.get(route.probe_suite)
+    perf = RoutePerf(
+        route_id=route.route_id, via=route.via,
+        translated=route.is_translation, ok=False,
+    )
+    if adapter_cls is None:
+        perf.error = f"no stream adapter for suite '{route.probe_suite}'"
+        return perf
+    device = Device(default_spec(route.vendor))
+    adapter = adapter_cls(device, params.n,
+                          runtime_factory=lambda: route.chain(device))
+    try:
+        result = execute_stream(adapter, params.reps, model=route.model.value,
+                                via=route.via)
+    except (ReproError, AttributeError, KeyError, TypeError,
+            NotImplementedError) as exc:
+        perf.error = f"{type(exc).__name__}: {exc}"
+        return perf
+    perf.ok = True
+    perf.verified = result.verified
+    perf.kernels_executed = result.kernels_executed
+    perf.best_seconds = dict(result.best_seconds)
+    return perf

@@ -1,10 +1,12 @@
 """Matrix evaluation service.
 
 Turns the one-shot 51-cell matrix build into a system: a dependency-
-aware concurrent scheduler (:mod:`.scheduler`), a persistent content-
-addressed result store (:mod:`.store`), a queryable serving layer with
-in-process and loopback-HTTP clients (:mod:`.server`), and a metrics
-registry tying the pipeline's counters together (:mod:`.metrics`).
+aware concurrent scheduler on a generic job engine (:mod:`.scheduler`),
+a persistent content-addressed result store (:mod:`.store`), a
+queryable serving layer with in-process and loopback-HTTP clients
+behind one versioned wire contract (:mod:`.server`, :mod:`.api`), and a
+metrics registry tying the pipeline's counters together
+(:mod:`.metrics`).
 
 The one invariant everything here is built around: **the scheduled
 build is bit-identical to the sequential build at every worker
@@ -12,11 +14,31 @@ count** — concurrency and persistence change how fast answers arrive,
 never the answers.
 """
 
+from repro.service.api import (
+    SCHEMA_VERSION,
+    AdviseResponse,
+    ApiResponse,
+    BadRequestError,
+    CellResponse,
+    HealthResponse,
+    LintReportResponse,
+    MatrixClient,
+    MetricsResponse,
+    NotFoundError,
+    PerfCellResponse,
+    PerfMatrixResponse,
+    PortabilityResponse,
+    RemoteServerError,
+    SchemaVersionError,
+    ServiceError,
+    TableResponse,
+)
 from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.service.scheduler import (
     BuildCancelled,
     BuildReport,
     Job,
+    JobEngine,
     JobKind,
     JobTimeout,
     MatrixScheduler,
@@ -27,7 +49,7 @@ from repro.service.server import (
     HttpClient,
     InProcessClient,
     MatrixService,
-    ServiceError,
+    dispatch,
     make_server,
 )
 from repro.service.store import (
@@ -40,27 +62,45 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "AdviseResponse",
+    "ApiResponse",
+    "BadRequestError",
     "BuildCancelled",
     "BuildReport",
+    "CellResponse",
     "Counter",
     "Gauge",
+    "HealthResponse",
     "Histogram",
     "HttpClient",
     "InProcessClient",
     "Job",
+    "JobEngine",
     "JobKind",
     "JobTimeout",
+    "LintReportResponse",
+    "MatrixClient",
     "MatrixScheduler",
     "MatrixService",
     "MetricsRegistry",
+    "MetricsResponse",
+    "NotFoundError",
+    "PerfCellResponse",
+    "PerfMatrixResponse",
+    "PortabilityResponse",
+    "RemoteServerError",
     "ResultStore",
     "SchedulerError",
+    "SchemaVersionError",
     "ServiceError",
     "StoreIntegrityError",
     "StoreStats",
+    "TableResponse",
     "build_matrix_concurrent",
     "cell_from_dict",
     "cell_to_dict",
+    "dispatch",
     "environment_fingerprint",
     "make_server",
 ]

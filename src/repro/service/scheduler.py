@@ -77,6 +77,13 @@ Cell = tuple[Vendor, Model, Language]
 
 
 class JobKind(enum.Enum):
+    """Job kinds of the *matrix* build DAG.
+
+    The perf-portability build defines its own kind enum
+    (:class:`repro.perfport.scheduler.PerfJobKind`); the engine only
+    requires ``kind.value`` to be a stable string.
+    """
+
     TRANSLATE = "translate"
     COMPILE = "compile"
     PROBE = "probe"
@@ -98,10 +105,10 @@ class SchedulerError(Exception):
 
 @dataclass
 class Job:
-    """One schedulable unit of the matrix build."""
+    """One schedulable unit of a job-DAG build."""
 
     job_id: int
-    kind: JobKind
+    kind: enum.Enum
     cell: Cell
     route: Route | None = None
     probe: Probe | None = None
@@ -161,16 +168,23 @@ class BuildReport:
                 f"worker(s) in {self.elapsed_s:.2f}s")
 
 
-class MatrixScheduler:
-    """Builds the compatibility matrix as a job DAG on a thread pool."""
+class JobEngine:
+    """Generic dependency-aware job DAG executor on a thread pool.
+
+    Owns everything that is not matrix-specific: the ready queue, the
+    dependency bookkeeping, per-job timeout/retry/backoff, cooperative
+    cancellation, the fault-injection seam, thread-local per-vendor
+    devices, and the completion/latency/queue-depth metrics.  Subclasses
+    (:class:`MatrixScheduler` here, ``PerfScheduler`` in
+    ``repro.perfport``) contribute only DAG construction and job bodies.
+    """
+
+    worker_name = "engine-worker"
 
     def __init__(
         self,
         jobs: int = 1,
         *,
-        store: ResultStore | None = None,
-        thresholds: Thresholds = DEFAULT_THRESHOLDS,
-        probe_filter: Callable[[Probe], bool] | None = None,
         metrics: MetricsRegistry | None = None,
         device_factory: Callable[[Vendor], Device] | None = None,
         timeout_s: float = 60.0,
@@ -181,9 +195,6 @@ class MatrixScheduler:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
-        self.store = store
-        self.thresholds = thresholds
-        self.probe_filter = probe_filter
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timeout_s = timeout_s
         self.max_retries = max_retries
@@ -220,6 +231,143 @@ class MatrixScheduler:
 
     def _next_id(self) -> int:
         return next(self._ids)
+
+    # -- execution engine --------------------------------------------------
+
+    def cancel(self) -> None:
+        """Cooperatively cancel the build: queued jobs stop dispatching."""
+        with self._cond:
+            self._cancelled.set()
+            self._cond.notify_all()
+
+    def _execute(self, job: Job) -> object:
+        """Run one job with timeout accounting, bounded retries, backoff."""
+        last: BaseException | None = None
+        for attempt in range(self.max_retries + 1):
+            if self._cancelled.is_set():
+                raise BuildCancelled(f"cancelled before {job.label}")
+            job.attempts = attempt + 1
+            start = time.monotonic()
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(job, attempt)
+                result = job.fn(self._worker_state)
+                elapsed = time.monotonic() - start
+                if elapsed > self.timeout_s:
+                    raise JobTimeout(
+                        f"{job.label} took {elapsed:.3f}s "
+                        f"(budget {self.timeout_s}s)")
+            except JobTimeout as exc:
+                self.metrics.counter("jobs_timeout").inc()
+                last = exc
+            except BuildCancelled:
+                raise
+            except Exception as exc:  # unexpected: simulator bug
+                last = exc
+            else:
+                self.metrics.histogram(
+                    f"job_latency_{job.kind.value}").observe(
+                        time.monotonic() - start)
+                return result
+            if attempt < self.max_retries:
+                self.metrics.counter("jobs_retried").inc()
+                if self.backoff_s > 0:
+                    time.sleep(self.backoff_s * (2 ** attempt))
+        raise SchedulerError(
+            f"job {job.label} failed after {job.attempts} attempt(s): "
+            f"{type(last).__name__}: {last}") from last
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while (not self._ready and self._outstanding > 0
+                       and self._error is None
+                       and not self._cancelled.is_set()):
+                    self._cond.wait()
+                if (self._error is not None or self._outstanding == 0
+                        or self._cancelled.is_set()):
+                    self._cond.notify_all()
+                    return
+                self.metrics.histogram(
+                    "queue_depth",
+                    buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+                ).observe(len(self._ready))
+                job_id = self._ready.popleft()
+            job = self._jobs[job_id]
+            try:
+                result = self._execute(job)
+            except BaseException as exc:
+                with self._cond:
+                    if self._error is None:
+                        self._error = exc
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._results[job_id] = result
+                self.metrics.counter(
+                    f"jobs_completed_{job.kind.value}").inc()
+                self._outstanding -= 1
+                for dep_id in self._dependents.get(job_id, ()):
+                    self._waiting[dep_id] -= 1
+                    if self._waiting[dep_id] == 0:
+                        del self._waiting[dep_id]
+                        self._ready.append(dep_id)
+                self._cond.notify_all()
+
+    def run_all(self) -> None:
+        """Drain the DAG: run every added job, or raise on error/cancel."""
+        if not self._outstanding:
+            return
+        workers = [
+            threading.Thread(target=self._worker,
+                             name=f"{self.worker_name}-{i}", daemon=True)
+            for i in range(self.jobs)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        if self._error is not None:
+            raise self._error
+        if self._cancelled.is_set():
+            raise BuildCancelled(
+                f"build cancelled with {self._outstanding} job(s) "
+                f"outstanding")
+
+
+class MatrixScheduler(JobEngine):
+    """Builds the compatibility matrix as a job DAG on a thread pool."""
+
+    worker_name = "matrix-worker"
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        store: ResultStore | None = None,
+        thresholds: Thresholds = DEFAULT_THRESHOLDS,
+        probe_filter: Callable[[Probe], bool] | None = None,
+        metrics: MetricsRegistry | None = None,
+        device_factory: Callable[[Vendor], Device] | None = None,
+        timeout_s: float = 60.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        fault_hook: Callable[[Job, int], None] | None = None,
+    ):
+        super().__init__(
+            jobs,
+            metrics=metrics,
+            device_factory=device_factory,
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            backoff_s=backoff_s,
+            fault_hook=fault_hook,
+        )
+        self.store = store
+        self.thresholds = thresholds
+        self.probe_filter = probe_filter
+
+    # -- DAG construction --------------------------------------------------
 
     def _build_route_jobs(self, cell: Cell, route: Route) -> int:
         """Create translate -> compile -> probes -> classify; returns the
@@ -314,88 +462,6 @@ class MatrixScheduler:
             self.metrics.counter("store_writes").inc()
         return cell_result
 
-    # -- execution engine --------------------------------------------------
-
-    def cancel(self) -> None:
-        """Cooperatively cancel the build: queued jobs stop dispatching."""
-        with self._cond:
-            self._cancelled.set()
-            self._cond.notify_all()
-
-    def _execute(self, job: Job) -> object:
-        """Run one job with timeout accounting, bounded retries, backoff."""
-        last: BaseException | None = None
-        for attempt in range(self.max_retries + 1):
-            if self._cancelled.is_set():
-                raise BuildCancelled(f"cancelled before {job.label}")
-            job.attempts = attempt + 1
-            start = time.monotonic()
-            try:
-                if self.fault_hook is not None:
-                    self.fault_hook(job, attempt)
-                result = job.fn(self._worker_state)
-                elapsed = time.monotonic() - start
-                if elapsed > self.timeout_s:
-                    raise JobTimeout(
-                        f"{job.label} took {elapsed:.3f}s "
-                        f"(budget {self.timeout_s}s)")
-            except JobTimeout as exc:
-                self.metrics.counter("jobs_timeout").inc()
-                last = exc
-            except BuildCancelled:
-                raise
-            except Exception as exc:  # unexpected: simulator bug
-                last = exc
-            else:
-                self.metrics.histogram(
-                    f"job_latency_{job.kind.value}").observe(
-                        time.monotonic() - start)
-                return result
-            if attempt < self.max_retries:
-                self.metrics.counter("jobs_retried").inc()
-                if self.backoff_s > 0:
-                    time.sleep(self.backoff_s * (2 ** attempt))
-        raise SchedulerError(
-            f"job {job.label} failed after {job.attempts} attempt(s): "
-            f"{type(last).__name__}: {last}") from last
-
-    def _worker(self) -> None:
-        while True:
-            with self._cond:
-                while (not self._ready and self._outstanding > 0
-                       and self._error is None
-                       and not self._cancelled.is_set()):
-                    self._cond.wait()
-                if (self._error is not None or self._outstanding == 0
-                        or self._cancelled.is_set()):
-                    self._cond.notify_all()
-                    return
-                self.metrics.histogram(
-                    "queue_depth",
-                    buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
-                ).observe(len(self._ready))
-                job_id = self._ready.popleft()
-            job = self._jobs[job_id]
-            try:
-                result = self._execute(job)
-            except BaseException as exc:
-                with self._cond:
-                    if self._error is None:
-                        self._error = exc
-                    self._cond.notify_all()
-                return
-            with self._cond:
-                self._results[job_id] = result
-                self.metrics.counter(
-                    f"jobs_completed_{job.kind.value}").inc()
-                self._outstanding -= 1
-                for dep_id in self._dependents.get(job_id, ()):
-                    self._waiting[dep_id] -= 1
-                    if self._waiting[dep_id] == 0:
-                        del self._waiting[dep_id]
-                        self._ready.append(dep_id)
-                self._cond.notify_all()
-
     # -- public API --------------------------------------------------------
 
     def build(self) -> BuildReport:
@@ -417,22 +483,7 @@ class MatrixScheduler:
                 self.metrics.counter("store_misses").inc()
             cell_jobs[cell] = self._build_cell_jobs(cell)
 
-        if self._outstanding:
-            workers = [
-                threading.Thread(target=self._worker,
-                                 name=f"matrix-worker-{i}", daemon=True)
-                for i in range(self.jobs)
-            ]
-            for w in workers:
-                w.start()
-            for w in workers:
-                w.join()
-            if self._error is not None:
-                raise self._error
-            if self._cancelled.is_set():
-                raise BuildCancelled(
-                    f"build cancelled with {self._outstanding} job(s) "
-                    f"outstanding")
+        self.run_all()
 
         cells = {}
         for cell in all_cells():

@@ -1,38 +1,43 @@
-"""Queryable serving layer for the evaluated compatibility matrix.
+"""Queryable serving layer for the evaluated matrices.
 
-Two transports, one interface:
+Two transports, **one** client surface: every endpoint method is
+defined once on ``_BaseClient`` in terms of an abstract ``_request``;
+:class:`InProcessClient` routes requests through the same
+:func:`dispatch` function the HTTP handler uses (payload parity between
+transports holds *by construction*), and :class:`HttpClient` sends them
+over a loopback JSON API served by :func:`make_server`.  Both implement
+the :class:`repro.service.api.MatrixClient` protocol and return the
+typed responses from :mod:`repro.service.api`.
 
-* :class:`InProcessClient` — wraps a :class:`MatrixService` directly;
-  the test suite and embedding applications use this path (no sockets).
-* :class:`HttpClient` — the same five methods over a loopback JSON API
-  served by :func:`make_server` (a stdlib ``ThreadingHTTPServer``; the
-  server binds 127.0.0.1 by default and no external network is ever
-  required).
-
-Endpoints (all GET, all JSON):
+Endpoints (all GET, all JSON, all stamped with ``schema_version``;
+errors use the ``{"error": {"code", "message"}}`` envelope):
 
 ====================================  =======================================
 path                                  payload
 ====================================  =======================================
 ``/healthz``                          liveness + cell count
-``/cell/<vendor>/<model>/<lang>``     one cell: ratings, routes, probe
-                                      outcomes (the store's JSON schema)
+``/cell/<vendor>/<model>/<lang>``     one compat cell: ratings, routes,
+                                      probe outcomes
 ``/table?format=F``                   rendered Figure 1 (text, markdown,
-                                      html, tex, yaml) from the served
-                                      matrix
+                                      html, tex, yaml)
 ``/advise?vendor=V&language=L``       route recommendations (also
                                       ``model=M&language=L``; neither:
                                       portable models per language)
 ``/lint/routes``                      static route-evidence cross-check
-                                      report (RE01–RE03 diagnostics)
 ``/metrics``                          scheduler/store/compile-cache/
-                                      interpreter counters and histograms
+                                      interpreter/stream counters
+``/perf/matrix``                      per-cell efficiencies over the full
+                                      perf-portability matrix
+``/perf/cell/<vendor>/<model>/<l>``   one perf cell: per-route GB/s,
+                                      efficiencies, best route
+``/perf/portability``                 cascades + Pennycook ⫫ per
+                                      (model, language)
 ====================================  =======================================
 
-The service evaluates the matrix lazily on first use through the
-concurrent scheduler, against an optional persistent result store — a
-warm store makes startup serve all 51 cells without executing a single
-probe.
+Both matrices build lazily on first use through the concurrent
+schedulers, against an optional persistent store — a warm store serves
+all compat cells with zero probe executions and all perf cells with
+zero stream-kernel executions.
 """
 
 from __future__ import annotations
@@ -41,33 +46,69 @@ import json
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
-from repro.enums import Language, Model, SupportCategory, Vendor
+from repro.enums import Language, Model, SupportCategory, Vendor, all_cells
+from repro.service.api import (
+    AdviseResponse,
+    BadRequestError,
+    CellResponse,
+    HealthResponse,
+    LintReportResponse,
+    MetricsResponse,
+    NotFoundError,
+    PerfCellResponse,
+    PerfMatrixResponse,
+    PortabilityResponse,
+    RemoteServerError,
+    TableResponse,
+    check_schema_version,
+    error_envelope,
+    error_from_payload,
+    versioned,
+)
+from repro.service.api import ServiceError as _ServiceError
 from repro.service.metrics import MetricsRegistry
 from repro.service.scheduler import BuildReport, build_matrix_concurrent
 from repro.service.store import ResultStore, cell_to_dict
 
+__all__ = [
+    "HttpClient",
+    "InProcessClient",
+    "MatrixService",
+    "dispatch",
+    "make_server",
+]
 
-class ServiceError(Exception):
-    """Bad request against the service API (maps to HTTP 400/404)."""
 
-    def __init__(self, message: str, status: int = 400):
-        super().__init__(message)
-        self.status = status
+def __getattr__(name: str):
+    # Deprecation shim: ServiceError's canonical home moved to
+    # repro.service.api in the versioned-API redesign.  Deep imports of
+    # the old location keep working for one release, warning once.
+    if name == "ServiceError":
+        import warnings
+
+        warnings.warn(
+            "repro.service.server.ServiceError moved to repro.service.api; "
+            "import it from repro.service",
+            DeprecationWarning, stacklevel=2)
+        return _ServiceError
+    raise AttributeError(
+        f"module 'repro.service.server' has no attribute {name!r}")
 
 
 def _parse_vendor(text: str) -> Vendor:
     for v in Vendor:
         if v.value.lower() == text.lower():
             return v
-    raise ServiceError(f"unknown vendor '{text}'", status=404)
+    raise NotFoundError(f"unknown vendor '{text}'")
 
 
 def _parse_model(text: str) -> Model:
     for m in Model:
         if m.value.lower() == text.lower():
             return m
-    raise ServiceError(f"unknown model '{text}'", status=404)
+    raise NotFoundError(f"unknown model '{text}'")
 
 
 _LANGUAGE_ALIASES = {
@@ -81,14 +122,14 @@ def _parse_language(text: str) -> Language:
     try:
         return _LANGUAGE_ALIASES[text.lower()]
     except KeyError:
-        raise ServiceError(f"unknown language '{text}'", status=404) from None
+        raise NotFoundError(f"unknown language '{text}'") from None
 
 
 class MatrixService:
-    """The in-process core: owns the matrix, store, and metrics.
+    """The in-process core: owns the matrices, stores, and metrics.
 
-    Thread-safe: the lazy build is single-flighted behind a lock and
-    every query method reads the immutable built matrix.
+    Thread-safe: both lazy builds are single-flighted behind a lock and
+    every query method reads the immutable built structures.
     """
 
     def __init__(
@@ -97,30 +138,58 @@ class MatrixService:
         jobs: int = 4,
         store: ResultStore | str | None = None,
         metrics: MetricsRegistry | None = None,
+        perf_params: "PerfParams | None" = None,
     ):
+        from repro.perfport.matrix import PerfParams
+
         self.jobs = jobs
         if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
             store = ResultStore(store)
         self.store = store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.perf_params = (perf_params if perf_params is not None
+                            else PerfParams())
         self._report: BuildReport | None = None
+        self._perf_report = None
         self._build_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
     def ensure_built(self) -> BuildReport:
-        """Build (or load) the matrix once; later calls are free."""
+        """Build (or load) the compat matrix once; later calls are free."""
         with self._build_lock:
             if self._report is None:
                 self._report = build_matrix_concurrent(
                     self.jobs, store=self.store, metrics=self.metrics)
             return self._report
 
+    def ensure_perf_built(self):
+        """Build (or load) the perf matrix once; later calls are free."""
+        from repro.perfport.scheduler import PerfScheduler
+        from repro.perfport.store import PerfStore
+
+        compat = self.ensure_built().matrix
+        with self._build_lock:
+            if self._perf_report is None:
+                perf_store = (
+                    PerfStore(self.store.root, params=self.perf_params,
+                              thresholds=self.store.thresholds)
+                    if self.store is not None else None)
+                self._perf_report = PerfScheduler(
+                    self.jobs, compat=compat, params=self.perf_params,
+                    store=perf_store, metrics=self.metrics,
+                ).build()
+            return self._perf_report
+
     @property
     def matrix(self):
         return self.ensure_built().matrix
 
-    # -- queries (the shared client interface) -----------------------------
+    @property
+    def perf(self):
+        return self.ensure_perf_built().matrix
+
+    # -- compat queries ----------------------------------------------------
 
     def health(self) -> dict:
         built = self._report is not None
@@ -137,16 +206,16 @@ class MatrixService:
         try:
             result = self.matrix.cell(v, m, l)
         except KeyError:
-            raise ServiceError(
+            raise NotFoundError(
                 f"no cell {v.value}/{m.value}/{l.value} in the matrix "
-                f"(not a Figure 1 combination)", status=404) from None
+                f"(not a Figure 1 combination)") from None
         return cell_to_dict(result)
 
     def table(self, fmt: str = "text") -> dict:
         from repro.core.render import RENDERERS, matrix_lookup
 
         if fmt not in RENDERERS:
-            raise ServiceError(
+            raise BadRequestError(
                 f"unknown format '{fmt}' (available: "
                 f"{', '.join(sorted(RENDERERS))})")
         lookup = matrix_lookup(self.matrix)
@@ -187,12 +256,18 @@ class MatrixService:
         return json.loads(report.to_json())
 
     def snapshot_metrics(self) -> dict:
+        from repro.workloads.babelstream import stream_totals
+
         snap = self.metrics.snapshot()
         if self.store is not None:
             snap["store"] = self.store.stats.as_dict()
+            if self._perf_report is not None and self._perf_report.store:
+                snap["perf_store"] = self._perf_report.store.stats.as_dict()
+        snap["stream"] = stream_totals()
         snap["service"] = {
             "jobs": self.jobs,
             "built": self._report is not None,
+            "perf_built": self._perf_report is not None,
             "cells_from_store": (
                 self._report.cells_from_store if self._report else 0),
             "cells_evaluated": (
@@ -200,39 +275,235 @@ class MatrixService:
         }
         return snap
 
+    # -- perf queries ------------------------------------------------------
 
-class InProcessClient:
-    """Client interface over a :class:`MatrixService`, no sockets.
+    def _perf_route_payload(self, route, peak_gbs: float) -> dict:
+        from repro.workloads.babelstream import STREAM_KERNELS
 
-    Mirrors :class:`HttpClient` method-for-method so tests and embedders
-    can swap transports freely.
+        params = self.perf_params
+        timed = [k for k in STREAM_KERNELS if k in route.best_seconds]
+        return {
+            "route_id": route.route_id,
+            "via": route.via,
+            "translated": route.translated,
+            "ok": route.ok,
+            "error": route.error,
+            "verified": route.verified,
+            "efficiency": route.efficiency(params, peak_gbs),
+            "bandwidth_gbs": {k: route.bandwidth_gbs(k, params)
+                              for k in timed},
+            "best_seconds": {k: route.best_seconds[k] for k in timed},
+        }
+
+    def perf_matrix(self) -> dict:
+        perf = self.perf
+        cells = []
+        for key in all_cells():
+            cell = perf.cells[key]
+            best = cell.best_route(perf.params)
+            cells.append({
+                "vendor": cell.vendor.value,
+                "model": cell.model.value,
+                "language": cell.language.value,
+                "supported": cell.supported,
+                "efficiency": cell.efficiency(perf.params),
+                "best_route": best.route_id if best else None,
+            })
+        return {"params": perf.params.as_dict(), "n_cells": len(cells),
+                "cells": cells}
+
+    def perf_cell(self, vendor: str, model: str, language: str) -> dict:
+        v = _parse_vendor(vendor)
+        m = _parse_model(model)
+        l = _parse_language(language)
+        perf = self.perf
+        try:
+            cell = perf.cells[(v, m, l)]
+        except KeyError:
+            raise NotFoundError(
+                f"no perf cell {v.value}/{m.value}/{l.value} "
+                f"(not a Figure 1 combination)") from None
+        best = cell.best_route(perf.params)
+        return {
+            "vendor": cell.vendor.value,
+            "model": cell.model.value,
+            "language": cell.language.value,
+            "device": cell.device,
+            "peak_gbs": cell.peak_gbs,
+            "params": perf.params.as_dict(),
+            "supported": cell.supported,
+            "efficiency": cell.efficiency(perf.params),
+            "best_route": best.route_id if best else None,
+            "routes": [self._perf_route_payload(r, cell.peak_gbs)
+                       for r in cell.routes],
+        }
+
+    def perf_portability(self) -> dict:
+        from repro.perfport.portability import portability_report
+
+        perf = self.perf
+        rows = []
+        for row in portability_report(perf):
+            rows.append({
+                "model": row.model.value,
+                "language": row.language.value,
+                "metric": row.metric,
+                "supported_everywhere": row.supported_everywhere,
+                "cascade": [
+                    {"vendor": e.vendor.value,
+                     "efficiency": e.efficiency,
+                     "route_id": e.route_id}
+                    for e in row.cascade
+                ],
+            })
+        return {"params": perf.params.as_dict(), "rows": rows}
+
+
+# -- shared request routing ---------------------------------------------------
+
+
+def dispatch(service: MatrixService, parts: list[str],
+             q: Callable[[str, str | None], str | None]) -> dict:
+    """Route one request to the service and stamp the schema version.
+
+    The *single* routing table: the HTTP handler and the in-process
+    client both call this, so the two transports cannot drift.
     """
+    if parts == ["healthz"]:
+        payload = service.health()
+    elif len(parts) == 4 and parts[0] == "cell":
+        payload = service.cell(*parts[1:])
+    elif parts == ["table"]:
+        payload = service.table(q("format", "text"))
+    elif parts == ["advise"]:
+        payload = service.advise(
+            vendor=q("vendor", None), model=q("model", None),
+            language=q("language", "c++"))
+    elif parts == ["lint", "routes"]:
+        payload = service.lint_report()
+    elif parts == ["metrics"]:
+        payload = service.snapshot_metrics()
+    elif parts == ["perf", "matrix"]:
+        payload = service.perf_matrix()
+    elif len(parts) == 5 and parts[:2] == ["perf", "cell"]:
+        payload = service.perf_cell(*parts[2:])
+    elif parts == ["perf", "portability"]:
+        payload = service.perf_portability()
+    else:
+        raise NotFoundError(f"no such endpoint: /{'/'.join(parts)}")
+    return versioned(payload)
+
+
+# -- the one client surface ---------------------------------------------------
+
+
+class _BaseClient:
+    """Every endpoint method, defined once in terms of ``_request``.
+
+    Subclasses provide only the transport: ``_request`` takes the path
+    segments and query parameters and returns the versioned payload.
+    """
+
+    def _request(self, parts: list[str],
+                 params: dict[str, str] | None = None) -> dict:
+        raise NotImplementedError
+
+    def health(self) -> HealthResponse:
+        return HealthResponse(self._request(["healthz"]))
+
+    def cell(self, vendor: str, model: str, language: str) -> CellResponse:
+        return CellResponse(self._request(["cell", vendor, model, language]))
+
+    def table(self, fmt: str = "text") -> TableResponse:
+        return TableResponse(self._request(["table"], {"format": fmt}))
+
+    def advise(self, vendor: str | None = None, model: str | None = None,
+               language: str = "c++") -> AdviseResponse:
+        params = {"language": language}
+        if vendor is not None:
+            params["vendor"] = vendor
+        if model is not None:
+            params["model"] = model
+        return AdviseResponse(self._request(["advise"], params))
+
+    def lint_report(self) -> LintReportResponse:
+        return LintReportResponse(self._request(["lint", "routes"]))
+
+    def metrics(self) -> MetricsResponse:
+        return MetricsResponse(self._request(["metrics"]))
+
+    def perf_matrix(self) -> PerfMatrixResponse:
+        return PerfMatrixResponse(self._request(["perf", "matrix"]))
+
+    def perf_cell(self, vendor: str, model: str,
+                  language: str) -> PerfCellResponse:
+        return PerfCellResponse(
+            self._request(["perf", "cell", vendor, model, language]))
+
+    def perf_portability(self) -> PortabilityResponse:
+        return PortabilityResponse(self._request(["perf", "portability"]))
+
+
+class InProcessClient(_BaseClient):
+    """The client surface over a :class:`MatrixService`, no sockets."""
 
     def __init__(self, service: MatrixService):
         self.service = service
 
-    def health(self) -> dict:
-        return self.service.health()
+    def _request(self, parts: list[str],
+                 params: dict[str, str] | None = None) -> dict:
+        params = params or {}
 
-    def cell(self, vendor: str, model: str, language: str) -> dict:
-        return self.service.cell(vendor, model, language)
+        def q(name: str, default: str | None = None) -> str | None:
+            return params.get(name, default)
 
-    def table(self, fmt: str = "text") -> dict:
-        return self.service.table(fmt)
+        return dispatch(self.service, list(parts), q)
 
-    def advise(self, vendor: str | None = None, model: str | None = None,
-               language: str = "c++") -> dict:
-        return self.service.advise(vendor, model, language)
 
-    def lint_report(self) -> dict:
-        return self.service.lint_report()
+class HttpClient(_BaseClient):
+    """The client surface over the loopback JSON API.
 
-    def metrics(self) -> dict:
-        return self.service.snapshot_metrics()
+    Raises the same typed :class:`ServiceError` subclasses the service
+    raises in-process (reconstructed from the error envelope) and
+    rejects replies from a different ``schema_version``.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def _request(self, parts: list[str],
+                 params: dict[str, str] | None = None) -> dict:
+        import http.client
+
+        path = "/" + "/".join(urllib.parse.quote(p, safe="") for p in parts)
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            raw = response.read().decode()
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                raise RemoteServerError(
+                    f"undecodable reply (HTTP {response.status}): "
+                    f"{raw[:200]!r}", status=response.status) from None
+            if response.status >= 400:
+                raise error_from_payload(response.status, payload)
+            return check_schema_version(payload)
+        finally:
+            conn.close()
+
+
+# -- the HTTP server ----------------------------------------------------------
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes GETs to the bound :class:`MatrixService`."""
+    """Routes GETs to the bound :class:`MatrixService` via dispatch()."""
 
     service: MatrixService  # set by make_server on the subclass
 
@@ -259,26 +530,12 @@ class _Handler(BaseHTTPRequestHandler):
             return values[0] if values else default
 
         try:
-            if parts == ["healthz"]:
-                self._send(200, self.service.health())
-            elif len(parts) == 4 and parts[0] == "cell":
-                self._send(200, self.service.cell(*parts[1:]))
-            elif parts == ["table"]:
-                self._send(200, self.service.table(q("format", "text")))
-            elif parts == ["advise"]:
-                self._send(200, self.service.advise(
-                    vendor=q("vendor"), model=q("model"),
-                    language=q("language", "c++")))
-            elif parts == ["lint", "routes"]:
-                self._send(200, self.service.lint_report())
-            elif parts == ["metrics"]:
-                self._send(200, self.service.snapshot_metrics())
-            else:
-                self._send(404, {"error": f"no such endpoint: {parsed.path}"})
-        except ServiceError as exc:
-            self._send(exc.status, {"error": str(exc)})
+            self._send(200, dispatch(self.service, parts, q))
+        except _ServiceError as exc:
+            self._send(exc.status, error_envelope(exc))
         except Exception as exc:  # pragma: no cover - defensive
-            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+            err = RemoteServerError(f"{type(exc).__name__}: {exc}")
+            self._send(err.status, error_envelope(err))
 
 
 def make_server(service: MatrixService, host: str = "127.0.0.1",
@@ -291,55 +548,3 @@ def make_server(service: MatrixService, host: str = "127.0.0.1",
     """
     handler = type("BoundHandler", (_Handler,), {"service": service})
     return ThreadingHTTPServer((host, port), handler)
-
-
-class HttpClient:
-    """The client interface over the loopback JSON API."""
-
-    def __init__(self, host: str, port: int, timeout_s: float = 30.0):
-        self.host = host
-        self.port = port
-        self.timeout_s = timeout_s
-
-    def _get(self, path: str) -> dict:
-        import http.client
-
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s)
-        try:
-            conn.request("GET", path)
-            response = conn.getresponse()
-            payload = json.loads(response.read().decode())
-            if response.status >= 400:
-                raise ServiceError(
-                    payload.get("error", f"HTTP {response.status}"),
-                    status=response.status)
-            return payload
-        finally:
-            conn.close()
-
-    def health(self) -> dict:
-        return self._get("/healthz")
-
-    def cell(self, vendor: str, model: str, language: str) -> dict:
-        quoted = "/".join(urllib.parse.quote(p, safe="")
-                          for p in (vendor, model, language))
-        return self._get(f"/cell/{quoted}")
-
-    def table(self, fmt: str = "text") -> dict:
-        return self._get(f"/table?format={urllib.parse.quote(fmt)}")
-
-    def advise(self, vendor: str | None = None, model: str | None = None,
-               language: str = "c++") -> dict:
-        params = {"language": language}
-        if vendor is not None:
-            params["vendor"] = vendor
-        if model is not None:
-            params["model"] = model
-        return self._get(f"/advise?{urllib.parse.urlencode(params)}")
-
-    def lint_report(self) -> dict:
-        return self._get("/lint/routes")
-
-    def metrics(self) -> dict:
-        return self._get("/metrics")

@@ -17,7 +17,9 @@ verified against the analytically known final values.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -30,6 +32,12 @@ from repro.kernels import BLOCK
 #: Canonical BabelStream initial values and scalar.
 INIT_A, INIT_B, INIT_C = 0.1, 0.2, 0.0
 SCALAR = 0.4
+
+#: The five kernels, in canonical benchmark order.
+STREAM_KERNELS = ("copy", "mul", "add", "triad", "dot")
+
+#: Arrays touched per element by each kernel (the GB/s denominator).
+STREAM_MOVED_ARRAYS = {"copy": 2, "mul": 2, "add": 3, "triad": 3, "dot": 2}
 
 
 @dataclass
@@ -44,11 +52,10 @@ class StreamResult:
     dtype_bytes: int = 8
     best_seconds: dict[str, float] = field(default_factory=dict)
     verified: bool = False
+    kernels_executed: int = 0
 
     def bandwidth_gbs(self, kernel: str) -> float:
-        moved = {
-            "copy": 2, "mul": 2, "add": 3, "triad": 3, "dot": 2,
-        }[kernel] * self.n * self.dtype_bytes
+        moved = STREAM_MOVED_ARRAYS[kernel] * self.n * self.dtype_bytes
         return moved / self.best_seconds[kernel] / 1e9
 
     def row(self) -> str:
@@ -62,13 +69,21 @@ class StreamResult:
 
 
 class _Adapter:
-    """Per-model driver: allocate arrays and run the five kernels."""
+    """Per-model driver: allocate arrays and run the five kernels.
+
+    ``runtime_factory`` (optional) injects a pre-wired runtime chain —
+    this is how the performance-portability layer drives the kernels
+    through an arbitrary *route* (translator + toolchain and all)
+    instead of the adapter's default toolchain choice.
+    """
 
     via = "?"
 
-    def __init__(self, device: Device, n: int):
+    def __init__(self, device: Device, n: int,
+                 runtime_factory: Callable[[], object] | None = None):
         self.device = device
         self.n = n
+        self.runtime_factory = runtime_factory
 
     def setup(self) -> None:
         raise NotImplementedError
@@ -105,7 +120,8 @@ class _RuntimeAdapter(_Adapter):
         raise NotImplementedError
 
     def setup(self) -> None:
-        self.rt = self._make_runtime()
+        self.rt = (self.runtime_factory() if self.runtime_factory is not None
+                   else self._make_runtime())
         n = self.n
         self.a = self.rt.to_device(np.full(n, INIT_A))
         self.b = self.rt.to_device(np.full(n, INIT_B))
@@ -269,7 +285,8 @@ class _KokkosAdapter(_Adapter):
     def setup(self) -> None:
         from repro.models.kokkos import Kokkos, deep_copy
 
-        self.kk = Kokkos(self.device)
+        self.kk = (self.runtime_factory() if self.runtime_factory is not None
+                   else Kokkos(self.device))
         self._deep_copy = deep_copy
         n = self.n
         self.a = self.kk.view("a", n)
@@ -327,7 +344,8 @@ class _AlpakaAdapter(_Adapter):
     def setup(self) -> None:
         from repro.models.alpaka import Alpaka
 
-        self.acc = Alpaka(self.device)
+        self.acc = (self.runtime_factory() if self.runtime_factory is not None
+                    else Alpaka(self.device))
         n = self.n
         self.a = self.acc.alloc_buf(n)
         self.b = self.acc.alloc_buf(n)
@@ -372,6 +390,28 @@ class _AlpakaAdapter(_Adapter):
             buf.free()
 
 
+class _DoConcurrentAdapter(_RuntimeAdapter):
+    """Fortran ``do concurrent`` (description 12/27/41)."""
+
+    _TOOLCHAINS = {Vendor.NVIDIA: "nvhpc", Vendor.INTEL: "ifx"}
+
+    @property
+    def via(self):  # type: ignore[override]
+        tc = self._TOOLCHAINS.get(self.device.vendor, "?")
+        return f"do concurrent ({tc})"
+
+    def _make_runtime(self):
+        from repro.models.stdpar import DoConcurrent
+
+        return DoConcurrent(self.device, self._TOOLCHAINS[self.device.vendor])
+
+    def _launch(self, kern, args, grid=None):
+        if grid is None:
+            self.rt.do_concurrent(self.n, kern, args)
+        else:
+            self.rt.do_concurrent(self.n, kern, args, reduce="+:sum")
+
+
 class _PythonAdapter(_Adapter):
     _PACKAGES = {Vendor.NVIDIA: "cupy", Vendor.AMD: "cupy-rocm",
                  Vendor.INTEL: "dpnp"}
@@ -383,7 +423,10 @@ class _PythonAdapter(_Adapter):
     def setup(self) -> None:
         from repro.models.pymodels import make_package
 
-        self.pkg = make_package(self._PACKAGES[self.device.vendor], self.device)
+        self.pkg = (self.runtime_factory()
+                    if self.runtime_factory is not None else
+                    make_package(self._PACKAGES[self.device.vendor],
+                                 self.device))
         n = self.n
         self.a = self.pkg.asarray(np.full(n, INIT_A))
         self.b = self.pkg.asarray(np.full(n, INIT_B))
@@ -431,6 +474,26 @@ BABELSTREAM_MODELS: dict[str, tuple[type, tuple[Vendor, ...]]] = {
 }
 
 
+#: probe suite (as named by the route registry) -> adapter that can drive
+#: a runtime of that family through the five stream kernels.  The perf
+#: layer pairs this with ``runtime_factory=route.chain`` so any route —
+#: translated, layered or native — runs the same benchmark.
+SUITE_ADAPTERS: dict[str, type[_Adapter]] = {
+    "cuda_cpp": _CudaAdapter,
+    "cuda_fortran": _CudaAdapter,
+    "hip_cpp": _HipAdapter,
+    "hip_fortran": _HipAdapter,
+    "sycl_cpp": _SyclAdapter,
+    "openmp": _OpenMPAdapter,
+    "openacc": _OpenACCAdapter,
+    "stdpar_cpp": _StdParAdapter,
+    "stdpar_fortran": _DoConcurrentAdapter,
+    "kokkos": _KokkosAdapter,
+    "alpaka": _AlpakaAdapter,
+    "python": _PythonAdapter,
+}
+
+
 def available_models(vendor: Vendor) -> list[str]:
     """BabelStream implementations available for a vendor."""
     return [name for name, (_cls, vendors) in BABELSTREAM_MODELS.items()
@@ -450,10 +513,77 @@ def _verify(n: int, reps: int, arrays, dot_value: float) -> bool:
         a[:] = b + SCALAR * c  # triad
         expected_dot = float(a @ b)
     got_a, got_b, got_c = arrays
-    return (
+    return bool(
         np.allclose(got_a, a) and np.allclose(got_b, b)
         and np.allclose(got_c, c) and np.isclose(dot_value, expected_dot)
     )
+
+
+#: Process-wide execution counters ("did a warm rerun actually run any
+#: stream kernels?" is answered by diffing :func:`stream_totals`).
+_TOTALS_LOCK = threading.Lock()
+_TOTALS = {"runs": 0, "kernels": 0}
+
+
+def stream_totals() -> dict[str, int]:
+    """Snapshot of {runs, kernels} executed since the last reset."""
+    with _TOTALS_LOCK:
+        return dict(_TOTALS)
+
+
+def reset_stream_totals() -> None:
+    with _TOTALS_LOCK:
+        _TOTALS["runs"] = 0
+        _TOTALS["kernels"] = 0
+
+
+def execute_stream(adapter: _Adapter, reps: int, model: str,
+                   via: str | None = None) -> StreamResult:
+    """Best-of-``reps`` timed run of the five kernels through ``adapter``.
+
+    The shared core behind :func:`run_babelstream` (per-model entry
+    point) and the perf-portability layer (per-route entry point, with
+    an injected runtime chain).  Each adapter-level kernel dispatch
+    bumps ``kernels_executed`` — the counter the warm-store tests
+    assert is zero on a rerun.
+    """
+    device = adapter.device
+    n = adapter.n
+    adapter.setup()
+    result = StreamResult(
+        model=model, vendor=device.vendor, device=device.spec.name,
+        via=via if via is not None else adapter.via, n=n,
+    )
+
+    def timed(fn) -> float:
+        t0 = device.synchronize()
+        fn()
+        result.kernels_executed += 1
+        return device.synchronize() - t0
+
+    dot_value = 0.0
+    for kernel in STREAM_KERNELS:
+        result.best_seconds[kernel] = float("inf")
+    for _ in range(reps):
+        result.best_seconds["copy"] = min(result.best_seconds["copy"],
+                                          timed(adapter.copy))
+        result.best_seconds["mul"] = min(result.best_seconds["mul"],
+                                         timed(adapter.mul))
+        result.best_seconds["add"] = min(result.best_seconds["add"],
+                                         timed(adapter.add))
+        result.best_seconds["triad"] = min(result.best_seconds["triad"],
+                                           timed(adapter.triad))
+        t0 = device.synchronize()
+        dot_value = adapter.dot()
+        result.kernels_executed += 1
+        result.best_seconds["dot"] = min(result.best_seconds["dot"],
+                                         device.synchronize() - t0)
+    result.verified = _verify(n, reps, adapter.read_arrays(), dot_value)
+    adapter.teardown()
+    with _TOTALS_LOCK:
+        _TOTALS["runs"] += 1
+        _TOTALS["kernels"] += result.kernels_executed
+    return result
 
 
 def run_babelstream(device: Device, model: str, n: int = 1 << 20,
@@ -467,34 +597,4 @@ def run_babelstream(device: Device, model: str, n: int = 1 << 20,
         raise ApiError(
             f"BabelStream {model} is not available on {device.vendor.value}"
         )
-    adapter = adapter_cls(device, n)
-    adapter.setup()
-    result = StreamResult(
-        model=model, vendor=device.vendor, device=device.spec.name,
-        via=adapter.via, n=n,
-    )
-
-    def timed(fn) -> float:
-        t0 = device.synchronize()
-        fn()
-        return device.synchronize() - t0
-
-    dot_value = 0.0
-    for kernel in ("copy", "mul", "add", "triad", "dot"):
-        result.best_seconds[kernel] = float("inf")
-    for _ in range(reps):
-        result.best_seconds["copy"] = min(result.best_seconds["copy"],
-                                          timed(adapter.copy))
-        result.best_seconds["mul"] = min(result.best_seconds["mul"],
-                                         timed(adapter.mul))
-        result.best_seconds["add"] = min(result.best_seconds["add"],
-                                         timed(adapter.add))
-        result.best_seconds["triad"] = min(result.best_seconds["triad"],
-                                           timed(adapter.triad))
-        t0 = device.synchronize()
-        dot_value = adapter.dot()
-        result.best_seconds["dot"] = min(result.best_seconds["dot"],
-                                         device.synchronize() - t0)
-    result.verified = _verify(n, reps, adapter.read_arrays(), dot_value)
-    adapter.teardown()
-    return result
+    return execute_stream(adapter_cls(device, n), reps, model=model)

@@ -254,7 +254,10 @@ def test_inprocess_client_cell_lookup(service, seq_matrix):
     client = InProcessClient(service)
     payload = client.cell("NVIDIA", "CUDA", "c++")
     expected = seq_matrix.cells[(Vendor.NVIDIA, Model.CUDA, Language.CPP)]
-    assert payload == cell_to_dict(expected)
+    from repro.service import SCHEMA_VERSION
+
+    assert payload.schema_version == SCHEMA_VERSION
+    assert payload.data == cell_to_dict(expected)
     assert payload["primary"] == "FULL"
     assert {r["route_id"] for r in payload["routes"]} == {
         r.route.route_id for r in expected.routes}
@@ -328,6 +331,81 @@ def test_http_transport_agrees_with_inprocess(service):
     finally:
         server.shutdown()
         server.server_close()
+
+
+def test_all_endpoints_payload_identical_across_transports(warm_store_dir):
+    """Every endpoint — the original six and the three perf ones — must
+    return the identical versioned payload through both clients."""
+    from repro.perfport import PerfParams
+    from repro.service import (
+        SCHEMA_VERSION,
+        BadRequestError,
+        HttpClient,
+        MatrixClient,
+        NotFoundError,
+    )
+
+    svc = MatrixService(jobs=2, store=str(warm_store_dir),
+                        perf_params=PerfParams(n=1 << 12, reps=2))
+    server = make_server(svc)
+    host, port = server.server_address
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        inproc, http = InProcessClient(svc), HttpClient(host, port)
+        assert isinstance(inproc, MatrixClient)
+        assert isinstance(http, MatrixClient)
+        calls = [
+            ("health", ()),
+            ("cell", ("NVIDIA", "CUDA", "c++")),
+            ("table", ("markdown",)),
+            ("advise", ("AMD", None, "fortran")),
+            ("lint_report", ()),
+            ("perf_matrix", ()),
+            ("perf_cell", ("Intel", "SYCL", "c++")),
+            ("perf_portability", ()),
+            ("metrics", ()),
+        ]
+        for name, args in calls:
+            a = getattr(inproc, name)(*args)
+            b = getattr(http, name)(*args)
+            assert a.schema_version == SCHEMA_VERSION, name
+            if name == "metrics":
+                # A live snapshot: require identical shape, not counts.
+                assert a.payload.keys() == b.payload.keys()
+                assert a["counters"].keys() == b["counters"].keys()
+            else:
+                assert a.payload == b.payload, name
+        # Error parity: same typed error, code, and status both ways.
+        for client in (inproc, http):
+            with pytest.raises(NotFoundError) as err:
+                client.cell("IBM", "CUDA", "c++")
+            assert err.value.status == 404
+            assert err.value.code == "not_found"
+            with pytest.raises(BadRequestError) as err:
+                client.table("docx")
+            assert err.value.status == 400
+            with pytest.raises(NotFoundError):
+                client.perf_cell("NVIDIA", "CUDA", "rust")
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_http_client_rejects_schema_skew():
+    from repro.service.api import (
+        SCHEMA_VERSION,
+        SchemaVersionError,
+        check_schema_version,
+        error_from_payload,
+    )
+
+    with pytest.raises(SchemaVersionError):
+        check_schema_version({"schema_version": SCHEMA_VERSION + 1})
+    with pytest.raises(SchemaVersionError):
+        check_schema_version({"status": "ok"})  # pre-versioning server
+    # Unknown error codes degrade to the generic server error.
+    exc = error_from_payload(500, {"error": {"code": "??", "message": "m"}})
+    assert type(exc).__name__ == "RemoteServerError"
 
 
 # -- metrics primitives -------------------------------------------------------
