@@ -11,6 +11,9 @@ Two jobs:
 2. Record lint wall-time per kernel so later PRs can track the cost of
    new analyses (the lint gate is meant for CI and toolchain pipelines;
    it has a latency budget).
+3. Time the perfstat abstract cost interpreter over the same library —
+   predicting a kernel's LaunchStats must stay well under 10 ms, since
+   ``gpu-compat lint --perf`` walks all 27 kernels plus 51 cells.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ from __future__ import annotations
 import time
 
 from repro.analysis import AnalysisOptions, LaunchBounds, analyze_kernel
+from repro.analysis.costmodel import cost_kernel
+from repro.analysis.perfstat import STATIC_LAUNCHES
 from repro.kernels import BLOCK, KERNEL_LIBRARY
 
 #: Kernels each bundled workload launches (see workloads/*.py).
@@ -57,6 +62,17 @@ def _lint(name):
     return diags, best
 
 
+def _cost(name):
+    grid, block, scalars = STATIC_LAUNCHES[name]
+    kernel = KERNEL_LIBRARY[name].ir
+    best = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        cost = cost_kernel(kernel, grid, block, scalars)
+        best = min(best, time.perf_counter() - t0)
+    return cost, best
+
+
 def test_kernelsan_report(artifacts_dir):
     workload_names = [n for names in WORKLOAD_KERNELS.values()
                       for n in names]
@@ -93,6 +109,23 @@ def test_kernelsan_report(artifacts_dir):
         f"{total_errors} error(s)",
         f"slowest lint: {slowest} ({timings[slowest] * 1e3:.2f} ms)",
         f"aggregate lint time: {sum(timings.values()) * 1e3:.2f} ms",
+        "",
+        "== perfstat static cost model (canonical launch geometry)",
+        f"{'kernel':24s} {'cost ms':>8s}  prediction",
+    ]
+    cost_timings: dict[str, float] = {}
+    for name in workload_names + library_names:
+        cost, best = _cost(name)
+        cost_timings[name] = best
+        tag = "exact" if cost.exact else "conservative bound"
+        lines.append(f"{name:24s} {best * 1e3:8.2f}  "
+                     f"{cost.stats.instructions} instr, "
+                     f"{cost.stats.flops} flops ({tag})")
+    worst = max(cost_timings, key=cost_timings.get)
+    lines += [
+        f"slowest cost model: {worst} ({cost_timings[worst] * 1e3:.2f} ms)",
+        f"aggregate cost-model time: "
+        f"{sum(cost_timings.values()) * 1e3:.2f} ms",
     ]
     (artifacts_dir / "kernelsan_report.txt").write_text(
         "\n".join(lines) + "\n")
@@ -110,3 +143,11 @@ def test_lint_wall_time_is_tracked(artifacts_dir):
     # Generous bound: the point is catching quadratic blowups from
     # future analyses, not micro-variance.
     assert worst < 1.0
+
+
+def test_perfstat_cost_stays_interactive():
+    """The abstract cost interpreter predicts any library kernel's
+    LaunchStats in under 10 ms — the lint --perf budget per kernel."""
+    for name in KERNEL_LIBRARY:
+        _cost_obj, best = _cost(name)
+        assert best < 0.010, (name, best)

@@ -86,6 +86,24 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
              "recorded dual rating"),
     "RE03": (Severity.INFO,
              "derived-vs-paper divergence suppressed by a documented entry"),
+    # -- perfstat: static cost-model predictions vs. measured perf matrix ----
+    "PS01": (Severity.ERROR,
+             "predicted-viable route measured two times or more off the "
+             "static cost-model prediction"),
+    "PS02": (Severity.WARNING,
+             "statically predicted best route differs from the measured "
+             "best route"),
+    "PS03": (Severity.INFO,
+             "static prediction within tolerance of the measured result"),
+    "PS04": (Severity.WARNING,
+             "static route-viability structure disagrees with the measured "
+             "perf matrix"),
+    "PS05": (Severity.INFO,
+             "cost model degraded to a conservative approximation for this "
+             "kernel"),
+    "PS06": (Severity.INFO,
+             "static-vs-dynamic perf divergence suppressed by a documented "
+             "ledger entry"),
 }
 
 
@@ -210,3 +228,79 @@ class LintReport:
         import json
 
         return json.dumps(self.to_dict(), indent=indent)
+
+
+# -- SARIF ------------------------------------------------------------------
+
+#: SARIF 2.1.0 level per severity (SARIF has no "error > warning > note"
+#: numeric order, only these fixed labels).
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(report: LintReport, tool_name: str = "kernelsan") -> dict:
+    """One SARIF 2.1.0 run for a lint report.
+
+    The single shared serializer behind every ``gpu-compat lint
+    --format sarif`` path (kernelsan, ``--routes``, ``--perf``): rules
+    come from :data:`DIAGNOSTIC_CODES` (only codes that actually fired,
+    keeping the document small), results carry the kernel/cell as a
+    logical location because the simulated kernels have no source files
+    to point at.
+    """
+    fired = sorted({d.code for d in report.diagnostics})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": DIAGNOSTIC_CODES[code][1]},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[DIAGNOSTIC_CODES[code][0]],
+            },
+        }
+        for code in fired
+    ]
+    rule_index = {code: i for i, code in enumerate(fired)}
+    results = []
+    for d in report.diagnostics:
+        message = d.message if not d.hint else f"{d.message} (hint: {d.hint})"
+        results.append({
+            "ruleId": d.code,
+            "ruleIndex": rule_index[d.code],
+            "level": _SARIF_LEVELS[d.severity],
+            "message": {"text": message},
+            "locations": [{
+                "logicalLocations": [{
+                    "name": d.kernel,
+                    "fullyQualifiedName": (f"{d.kernel}::{d.path}"
+                                           if d.path else d.kernel),
+                    "kind": "function",
+                }],
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def to_sarif_json(report: LintReport, tool_name: str = "kernelsan",
+                  indent: int | None = 2) -> str:
+    import json
+
+    return json.dumps(to_sarif(report, tool_name), indent=indent)

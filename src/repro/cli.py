@@ -12,13 +12,18 @@ Subcommands:
   route recommendations.
 * ``routes`` — list the full route registry.
 * ``lint [--module MOD] [--kernel NAME] [--block X,Y,Z] [--grid X,Y,Z]
-  [--extent PARAM=COUNT] [--pass NAME] [--format text|json]`` — run the
-  kernelsan static analyses over the bundled kernel library (default)
-  or over the ``@kernel`` functions of an importable module.
-* ``lint --routes [--format text|json]`` — statically derive the
+  [--extent PARAM=COUNT] [--pass NAME] [--format text|json|sarif]`` —
+  run the kernelsan static analyses over the bundled kernel library
+  (default) or over the ``@kernel`` functions of an importable module.
+* ``lint --routes [--format text|json|sarif]`` — statically derive the
   51-cell matrix from the route registry (toolchain capabilities +
   translator maps, no probe execution) and cross-check it against the
   reconstructed paper ratings (``RE01``–``RE03``).
+* ``lint --perf [--jobs N] [--store DIR] [--n N] [--reps R]
+  [--format text|json|sarif]`` — predict the perf matrix statically
+  (perfstat's cost model, zero kernel executions), measure it
+  dynamically, and cross-check the two (``PS01``–``PS06``).  A warm
+  ``--store`` keeps the measured half execution-free too.
 * ``transval [--format text|json]`` — audit every shipped
   source-to-source translator (``TV01``–``TV06``).
 * ``eval [--jobs N] [--store DIR] [--metrics-json PATH]`` — build the
@@ -30,14 +35,19 @@ Subcommands:
   per-model cascades, and the Pennycook performance-portability metric.
   Deterministic: the ``json``/``csv`` output is byte-identical at every
   ``--jobs`` count.  A warm ``--store`` executes zero stream kernels.
+  ``--static`` reports perfstat's *predicted* matrix instead — same
+  formats, same reductions, zero kernel executions, cold or warm.
 * ``serve [--host H] [--port P] [--jobs N] [--store DIR] [--lazy]`` —
   serve the derived matrix over the loopback JSON API
-  (``/cell``, ``/table``, ``/advise``, ``/lint/routes``, ``/metrics``,
-  ``/perf/matrix``, ``/perf/cell``, ``/perf/portability``).
+  (``/cell``, ``/table``, ``/advise``, ``/lint/routes``, ``/lint/perf``,
+  ``/metrics``, ``/perf/matrix``, ``/perf/cell``, ``/perf/portability``,
+  ``/perf/static``).
 
 ``--format json`` prints the ``LintReport`` as JSON (diagnostic code,
 severity, kernel, path, message, hint, plus severity rollups) and
-nothing else, for CI artifact upload and tooling.
+nothing else, for CI artifact upload and tooling; ``--format sarif``
+prints the same findings as one SARIF 2.1.0 run (the shared serializer
+in :mod:`repro.analysis.diagnostics`) for code-scanning upload.
 
 The global ``--stats`` flag appends a summary of compile-cache
 hit/miss counters and interpreter launch/batch totals after any
@@ -51,15 +61,18 @@ code  meaning
 ====  =====================================================================
 0     success; for ``lint``/``transval``: no error-severity diagnostics
       (warnings OK); for ``lint --routes``: derived matrix matches the
-      paper (documented RE03 divergences OK)
+      paper (documented RE03 divergences OK); for ``lint --perf``:
+      predictions within tolerance, best routes confirmed
 1     findings: ``lint``/``transval`` found error-severity diagnostics,
-      ``lint --routes`` found dual-rating warnings (RE02), or ``report``
-      disagreed with the published matrix
+      ``lint --routes`` found dual-rating warnings (RE02), ``lint
+      --perf`` found best-route or structure mismatches (PS02/PS04), or
+      ``report`` disagreed with the published matrix
 2     usage error (argparse: unknown flag, missing operand, bad value);
       **extension:** ``lint --routes`` also exits 2 on an RE01
-      contradiction — the shipped route registry and the shipped paper
-      matrix disagree, i.e. the tool's own input data is inconsistent,
-      which CI must distinguish from ordinary findings
+      contradiction and ``lint --perf`` on a PS01 prediction error —
+      the tool's own components (registry vs. paper matrix, cost model
+      vs. interpreter) disagree, which CI must distinguish from
+      ordinary findings
 3     input rejected: the kernel source or IR failed verification
       (:class:`~repro.errors.VerificationError`,
       :class:`~repro.errors.FrontendError`,
@@ -247,10 +260,13 @@ def _lint_corpus(args):
 
 def _lint_routes(args) -> int:
     """``lint --routes``: static route evidence vs. the paper matrix."""
+    from repro.analysis.diagnostics import to_sarif_json
     from repro.analysis.routes_evidence import cross_check
 
     report = cross_check()
-    if args.format == "json":
+    if args.format == "sarif":
+        print(to_sarif_json(report, tool_name="routes-evidence"))
+    elif args.format == "json":
         print(report.to_json())
     else:
         for d in report.diagnostics:
@@ -262,13 +278,47 @@ def _lint_routes(args) -> int:
     return 1 if report.warnings else 0
 
 
+def _lint_perf(args) -> int:
+    """``lint --perf``: static cost-model predictions vs. measurement."""
+    from repro.analysis.diagnostics import to_sarif_json
+    from repro.analysis.perfstat import lint_perf, perf_agreement_summary
+    from repro.perfport import DEFAULT_N, DEFAULT_REPS, PerfParams
+    from repro.service import MatrixService
+
+    params = PerfParams(
+        n=args.n if args.n is not None else DEFAULT_N,
+        reps=args.reps if args.reps is not None else DEFAULT_REPS)
+    service = MatrixService(jobs=args.jobs, store=args.store,
+                            perf_params=params)
+    report = lint_perf(service.perf)
+    if args.format == "sarif":
+        print(to_sarif_json(report, tool_name="perfstat"))
+    elif args.format == "json":
+        print(report.to_json())
+    else:
+        for d in report.diagnostics:
+            print(d.render())
+        summary = perf_agreement_summary(report)
+        print(f"cross-checked 51 cells against the measured perf matrix: "
+              f"{report.summary_line()} "
+              f"({summary['cells_agreeing']} supported cell(s) agreeing)")
+    if report.errors:
+        return 2  # the cost model and the interpreter metering disagree
+    return 1 if report.warnings else 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import AnalysisOptions, LaunchBounds, analyze_module
     from repro.analysis.sanitizer import PASSES
     from repro.isa.module import ModuleIR
 
+    if args.routes and args.perf:
+        raise argparse.ArgumentTypeError(
+            "--routes and --perf are mutually exclusive")
     if args.routes:
         return _lint_routes(args)
+    if args.perf:
+        return _lint_perf(args)
     fns = _lint_corpus(args)
     module = ModuleIR(name=args.module or "kernel_library")
     for fn in fns:
@@ -286,7 +336,11 @@ def cmd_lint(args) -> int:
         passes=passes,
     )
     report = analyze_module(module, options)
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.analysis.diagnostics import to_sarif_json
+
+        print(to_sarif_json(report))
+    elif args.format == "json":
         print(report.to_json())
     else:
         out = report.render()
@@ -343,6 +397,59 @@ def cmd_eval(args) -> int:
     return 0
 
 
+def _perf_static(service, client, args) -> int:
+    """``perf --static``: the predicted matrix, zero kernel executions."""
+    import json
+
+    from repro.enums import VENDOR_ORDER
+    from repro.perfport.portability import portability_report
+    from repro.workloads.babelstream import stream_totals
+
+    resp = client.perf_static()
+    static = service.ensure_static_perf_built()
+    rows = portability_report(static)
+    if args.format == "json":
+        print(json.dumps({
+            "schema_version": resp.schema_version,
+            "params": resp["params"],
+            "cells": resp["cells"],
+            "portability": [
+                {"model": row.model.value,
+                 "language": row.language.value,
+                 "metric": row.metric,
+                 "supported_everywhere": row.supported_everywhere,
+                 "cascade": [{"vendor": e.vendor.value,
+                              "efficiency": e.efficiency,
+                              "route_id": e.route_id}
+                             for e in row.cascade]}
+                for row in rows
+            ],
+        }, indent=1))
+        return 0
+    if args.format == "csv":
+        print("vendor,model,language,supported,efficiency,best_route")
+        for c in resp.cells:
+            print(f"{c['vendor']},{c['model']},{c['language']},"
+                  f"{int(c['supported'])},{c['efficiency']!r},"
+                  f"{c['best_route'] or ''}")
+        return 0
+    totals = stream_totals()
+    print(f"predicted {static.n_cells} cells statically; stream kernel "
+          f"executions this run: {totals['kernels']}")
+    vendors = [v.value for v in VENDOR_ORDER]
+    print()
+    header = "  ".join(f"{v:>8}" for v in vendors)
+    print(f"{'model':<14} {'lang':<8} {'PP':>8}  {header}")
+    for row in rows:
+        by_vendor = {e.vendor.value: e.efficiency for e in row.cascade}
+        cells = "  ".join(f"{by_vendor.get(v, 0.0):>8.4f}" for v in vendors)
+        print(f"{row.model.value:<14} {row.language.value:<8} "
+              f"{row.metric:>8.4f}  {cells}")
+    print("\nPP = Pennycook performance-portability metric, computed here "
+          "on perfstat's static cost-model predictions (no kernel ran)")
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Performance-portability matrix over every viable route."""
     import json
@@ -358,6 +465,8 @@ def cmd_perf(args) -> int:
     service = MatrixService(jobs=args.jobs, store=args.store,
                             perf_params=params)
     client = InProcessClient(service)
+    if args.static:
+        return _perf_static(service, client, args)
     matrix_resp = client.perf_matrix()
     port_resp = client.perf_portability()
 
@@ -415,8 +524,8 @@ def cmd_serve(args) -> int:
     host, port = server.server_address
     print(f"serving the compatibility matrix on http://{host}:{port} "
           f"(endpoints: /healthz /cell/V/M/L /table /advise /lint/routes "
-          f"/metrics /perf/matrix /perf/cell/V/M/L /perf/portability; "
-          f"Ctrl-C to stop)")
+          f"/lint/perf /metrics /perf/matrix /perf/cell/V/M/L "
+          f"/perf/portability /perf/static; Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -525,6 +634,10 @@ def main(argv: list[str] | None = None) -> int:
     p_perf.add_argument("--format", choices=("text", "json", "csv"),
                         default="text",
                         help="output format (default text)")
+    p_perf.add_argument("--static", action="store_true",
+                        help="report perfstat's statically predicted "
+                             "matrix instead of measuring (zero kernel "
+                             "executions)")
     p_perf.set_defaults(func=cmd_perf)
 
     p_serve = sub.add_parser(
@@ -564,7 +677,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="statically derive all 51 matrix cells from "
                              "the route registry and cross-check them "
                              "against the paper ratings (RE01-RE03)")
-    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+    p_lint.add_argument("--perf", action="store_true",
+                        help="cross-check perfstat's static cost-model "
+                             "predictions against the measured perf "
+                             "matrix (PS01-PS06)")
+    p_lint.add_argument("--n", type=int, default=None, metavar="ELEMS",
+                        help="with --perf: stream vector length for the "
+                             "measured matrix (default: the perf default)")
+    p_lint.add_argument("--reps", type=int, default=None, metavar="R",
+                        help="with --perf: timing repetitions per kernel")
+    p_lint.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker threads for the measured half of "
+                             "--perf (default 4)")
+    p_lint.add_argument("--store", dest="store", default=None, metavar="DIR",
+                        help="persistent store for the measured half of "
+                             "--perf (shared with 'eval'/'perf')")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="diagnostic output format (default text)")
     p_lint.set_defaults(func=cmd_lint)
 

@@ -1,0 +1,47 @@
+"""Documented divergences between static perf predictions and measurements.
+
+The perfstat differential cross-check
+(:func:`repro.analysis.perfstat.cross_check_perf`) compares the static
+cost-model matrix against the dynamically measured
+:class:`~repro.perfport.matrix.PerfMatrix` cell by cell and route by
+route.  Any disagreement beyond tolerance is an error (``PS01``) or
+warning (``PS02``/``PS04``) **unless it is documented here** — the same
+contract :data:`repro.data.paper_matrix.KNOWN_DIVERGENCES` establishes
+for the compatibility matrix: divergences are acknowledged in code,
+never silently suppressed, and surface as ``PS06`` info diagnostics so
+every run still shows them.
+
+Keys are either a full cell (``(vendor, model, language)``) — which
+suppresses every finding in that cell — or ``(vendor, model, language,
+route_id)`` to scope the suppression to one route.  Values explain
+*why* the divergence is expected and what would close it.
+
+The ledger is currently empty: the static cost model reproduces the
+interpreter's metering exactly for every stream kernel, and both sides
+feed the same roofline, so predictions land within tolerance on every
+supported cell.  The ledger exists so the first genuine modelling gap
+(e.g. a data-dependent kernel added to the stream set, or a future
+contention model the static side cannot see) has a designated home
+instead of a hacked-up tolerance bump.
+"""
+
+from __future__ import annotations
+
+from repro.enums import Language, Model, Vendor
+
+#: (vendor, model, language[, route_id]) -> reason the divergence is OK.
+KNOWN_PERF_DIVERGENCES: dict[tuple, str] = {}
+
+
+def divergence_reason(vendor: Vendor, model: Model, language: Language,
+                      route_id: str | None = None) -> str | None:
+    """The documented reason a finding is suppressed, or ``None``.
+
+    Route-scoped entries take precedence over cell-scoped ones.
+    """
+    if route_id is not None:
+        scoped = KNOWN_PERF_DIVERGENCES.get(
+            (vendor, model, language, route_id))
+        if scoped is not None:
+            return scoped
+    return KNOWN_PERF_DIVERGENCES.get((vendor, model, language))

@@ -140,6 +140,13 @@ class OffloadRuntime:
         #: Instance-level override of the class default (layered models
         #: set this on their backend runtime).
         self.dispatch_overhead_s: float = self.DISPATCH_OVERHEAD_S
+        #: When true, every compile runs the kernelsan static analyses
+        #: (``Toolchain.compile(sanitize=True)``) and the resulting
+        #: LintReports accumulate in :attr:`lint_reports`.  Perf runs
+        #: switch this on so timing a route also lints what it built.
+        self.sanitize: bool = False
+        self.sanitize_options = None
+        self.lint_reports: list = []
         self._binaries: dict[tuple, TargetModule] = {}
         self._tu_counter = 0
 
@@ -160,7 +167,8 @@ class OffloadRuntime:
         Results are cached per (kernel set, feature set); cache hits are
         the norm since models re-launch the same library kernels.
         """
-        key = (tuple(id(k) for k in kernels), frozenset(features))
+        key = (tuple(id(k) for k in kernels), frozenset(features),
+               self.sanitize)
         cached = self._binaries.get(key)
         if cached is not None:
             return cached
@@ -175,7 +183,12 @@ class OffloadRuntime:
         tu.require(*features)
         if self.translator is not None:
             tu = self.translator.translate_unit(tu)
-        result = self.toolchain.compile(tu, self.device.isa)
+        result = self.toolchain.compile(
+            tu, self.device.isa, sanitize=self.sanitize,
+            sanitize_options=self.sanitize_options,
+        )
+        if result.diagnostics is not None:
+            self.lint_reports.append(result.diagnostics)
         self.device.load_module(result.binary)
         self._binaries[key] = result.binary
         return result.binary

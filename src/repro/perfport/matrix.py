@@ -58,6 +58,10 @@ class RoutePerf:
     verified: bool = False
     kernels_executed: int = 0
     best_seconds: dict[str, float] = field(default_factory=dict)
+    #: kernelsan rollup of everything the run compiled (perf builds run
+    #: with ``sanitize=True``, so timing a route also lints it).
+    lint_errors: int = 0
+    lint_warnings: int = 0
 
     def bandwidth_gbs(self, kernel: str, params: PerfParams) -> float:
         moved = STREAM_MOVED_ARRAYS[kernel] * params.n * params.dtype_bytes

@@ -38,7 +38,9 @@ from repro.service.store import ResultStore, StoreStats, environment_fingerprint
 from repro.workloads.babelstream import STREAM_KERNELS
 
 #: Bump when the perf on-disk layout or serialization schema changes.
-PERF_SCHEMA = 1
+#: v2: route entries carry the kernelsan rollup (lint_errors,
+#: lint_warnings) now that perf builds compile with sanitize=True.
+PERF_SCHEMA = 2
 
 
 def perf_fingerprint(params: PerfParams,
@@ -78,6 +80,8 @@ def perf_cell_to_dict(cell: PerfCell) -> dict:
                 "best_seconds": {k: r.best_seconds[k]
                                  for k in STREAM_KERNELS
                                  if k in r.best_seconds},
+                "lint_errors": r.lint_errors,
+                "lint_warnings": r.lint_warnings,
             }
             for r in cell.routes
         ],
@@ -110,6 +114,8 @@ def perf_cell_from_dict(payload: dict) -> PerfCell:
             kernels_executed=entry["kernels_executed"],
             best_seconds={k: float(v)
                           for k, v in entry["best_seconds"].items()},
+            lint_errors=int(entry.get("lint_errors", 0)),
+            lint_warnings=int(entry.get("lint_warnings", 0)),
         ))
     return PerfCell(vendor=vendor, model=model, language=language,
                     device=payload["device"],

@@ -16,12 +16,32 @@ bit-identical at every worker count.
 
 from __future__ import annotations
 
+from repro.analysis.dataflow import LaunchBounds
+from repro.analysis.sanitizer import AnalysisOptions
 from repro.core.routes import Route
 from repro.errors import ReproError
 from repro.gpu.device import Device
 from repro.gpu.specs import default_spec
+from repro.kernels import BLOCK
 from repro.perfport.matrix import PerfParams, RoutePerf
 from repro.workloads.babelstream import SUITE_ADAPTERS, execute_stream
+
+
+def _sanitized_chain(route: Route, device: Device):
+    """Build the route's chain with kernelsan armed on its compiles.
+
+    Bounds are pinned to the stream launch shape (``block=256``) — the
+    shared-tile reductions are specified for that geometry and would be
+    flagged OOB under the sanitizer's worst-case 1024-thread default.
+    The toolchain caches sanitized compiles, so a warm perf rerun lints
+    for free.
+    """
+    rt = route.chain(device)
+    base = getattr(rt, "_rt", rt)
+    base.sanitize = True
+    base.sanitize_options = AnalysisOptions(
+        bounds=LaunchBounds.of(block=(BLOCK, 1, 1)))
+    return rt, base
 
 
 def run_stream_via_route(route: Route,
@@ -42,17 +62,33 @@ def run_stream_via_route(route: Route,
         perf.error = f"no stream adapter for suite '{route.probe_suite}'"
         return perf
     device = Device(default_spec(route.vendor))
-    adapter = adapter_cls(device, params.n,
-                          runtime_factory=lambda: route.chain(device))
+    bases: list = []
+
+    def make_runtime():
+        rt, base = _sanitized_chain(route, device)
+        bases.append(base)
+        return rt
+
+    adapter = adapter_cls(device, params.n, runtime_factory=make_runtime)
     try:
         result = execute_stream(adapter, params.reps, model=route.model.value,
                                 via=route.via)
     except (ReproError, AttributeError, KeyError, TypeError,
             NotImplementedError) as exc:
         perf.error = f"{type(exc).__name__}: {exc}"
+        _fold_lint(perf, bases)
         return perf
     perf.ok = True
     perf.verified = result.verified
     perf.kernels_executed = result.kernels_executed
     perf.best_seconds = dict(result.best_seconds)
+    _fold_lint(perf, bases)
     return perf
+
+
+def _fold_lint(perf: RoutePerf, bases: list) -> None:
+    """Roll the chain's accumulated LintReports into the route result."""
+    for base in bases:
+        for report in base.lint_reports:
+            perf.lint_errors += len(report.errors)
+            perf.lint_warnings += len(report.warnings)

@@ -279,6 +279,30 @@ class PortabilityResponse(ApiResponse):
         return self.payload["rows"]
 
 
+class StaticPerfResponse(ApiResponse):
+    """The statically *predicted* perf matrix (``/perf/static``)."""
+
+    @property
+    def params(self) -> dict:
+        return self.payload["params"]
+
+    @property
+    def cells(self) -> list[dict]:
+        return self.payload["cells"]
+
+    @property
+    def n_cells(self) -> int:
+        return self.payload["n_cells"]
+
+
+class PerfLintResponse(LintReportResponse):
+    """``/lint/perf``: a lint report plus the agreement rollup."""
+
+    @property
+    def agreement(self) -> dict:
+        return self.payload["agreement"]
+
+
 # -- the client protocol ------------------------------------------------------
 
 
@@ -306,3 +330,7 @@ class MatrixClient(Protocol):
                   language: str) -> PerfCellResponse: ...
 
     def perf_portability(self) -> PortabilityResponse: ...
+
+    def perf_static(self) -> StaticPerfResponse: ...
+
+    def lint_perf(self) -> PerfLintResponse: ...

@@ -32,6 +32,10 @@ path                                  payload
                                       efficiencies, best route
 ``/perf/portability``                 cascades + Pennycook ⫫ per
                                       (model, language)
+``/perf/static``                      perfstat's *predicted* perf matrix
+                                      (zero kernel executions)
+``/lint/perf``                        static-vs-measured perf cross-check
+                                      + cost-model notes + agreement rollup
 ====================================  =======================================
 
 Both matrices build lazily on first use through the concurrent
@@ -58,9 +62,11 @@ from repro.service.api import (
     MetricsResponse,
     NotFoundError,
     PerfCellResponse,
+    PerfLintResponse,
     PerfMatrixResponse,
     PortabilityResponse,
     RemoteServerError,
+    StaticPerfResponse,
     TableResponse,
     check_schema_version,
     error_envelope,
@@ -151,6 +157,8 @@ class MatrixService:
                             else PerfParams())
         self._report: BuildReport | None = None
         self._perf_report = None
+        self._static_perf = None
+        self._perf_lint: dict | None = None
         self._build_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
@@ -180,6 +188,22 @@ class MatrixService:
                     store=perf_store, metrics=self.metrics,
                 ).build()
             return self._perf_report
+
+    def ensure_static_perf_built(self):
+        """Predict the perf matrix statically once; later calls are free.
+
+        Unlike the dynamic builds this needs neither the compatibility
+        matrix nor a store: perfstat works from the route registry and
+        the cost interpreter alone, so a cold service can serve
+        ``/perf/static`` without executing a single kernel.
+        """
+        from repro.analysis.perfstat import build_static_perf_matrix
+
+        with self._build_lock:
+            if self._static_perf is None:
+                self._static_perf = build_static_perf_matrix(
+                    self.perf_params)
+            return self._static_perf
 
     @property
     def matrix(self):
@@ -268,6 +292,7 @@ class MatrixService:
             "jobs": self.jobs,
             "built": self._report is not None,
             "perf_built": self._perf_report is not None,
+            "static_perf_built": self._static_perf is not None,
             "cells_from_store": (
                 self._report.cells_from_store if self._report else 0),
             "cells_evaluated": (
@@ -358,6 +383,76 @@ class MatrixService:
             })
         return {"params": perf.params.as_dict(), "rows": rows}
 
+    # -- static perf (perfstat) --------------------------------------------
+
+    def _static_route_payload(self, route, peak_gbs: float,
+                              params) -> dict:
+        return {
+            "route_id": route.route_id,
+            "via": route.via,
+            "translated": route.translated,
+            "viable": route.viable,
+            "reason": route.reason,
+            "translation_hops": list(route.translation_hops),
+            "efficiency": route.efficiency(params, peak_gbs),
+            "predicted_seconds": dict(route.seconds),
+            "bound": dict(route.bound),
+            "exact": route.exact,
+        }
+
+    def perf_static(self) -> dict:
+        static = self.ensure_static_perf_built()
+        cells = []
+        for key in all_cells():
+            cell = static.cells[key]
+            best = cell.best_route(static.params)
+            cells.append({
+                "vendor": cell.vendor.value,
+                "model": cell.model.value,
+                "language": cell.language.value,
+                "device": cell.device,
+                "peak_gbs": cell.peak_gbs,
+                "supported": cell.supported,
+                "efficiency": cell.efficiency(static.params),
+                "best_route": best.route_id if best else None,
+                "routes": [
+                    self._static_route_payload(r, cell.peak_gbs,
+                                               static.params)
+                    for r in cell.routes
+                ],
+            })
+        return {"params": static.params.as_dict(), "n_cells": len(cells),
+                "cells": cells}
+
+    def lint_perf_report(self) -> dict:
+        """Cost-model notes + the static-vs-measured cross-check.
+
+        Builds both matrices (dynamic measured, static predicted),
+        diffs them, and publishes the agreement rollup as gauges in the
+        metrics registry — ``/metrics`` then answers "how well is the
+        cost model tracking the interpreter" without re-running the
+        cross-check.
+        """
+        from repro.analysis.perfstat import (
+            cross_check_perf,
+            library_cost_report,
+            perf_agreement_summary,
+        )
+
+        dynamic = self.perf
+        static = self.ensure_static_perf_built()
+        with self._build_lock:
+            if self._perf_lint is None:
+                report = library_cost_report()
+                report.extend(cross_check_perf(static, dynamic).diagnostics)
+                summary = perf_agreement_summary(report)
+                for name, value in summary.items():
+                    self.metrics.gauge(f"perfstat_{name}").set(value)
+                payload = json.loads(report.to_json())
+                payload["agreement"] = summary
+                self._perf_lint = payload
+            return self._perf_lint
+
 
 # -- shared request routing ---------------------------------------------------
 
@@ -381,6 +476,8 @@ def dispatch(service: MatrixService, parts: list[str],
             language=q("language", "c++"))
     elif parts == ["lint", "routes"]:
         payload = service.lint_report()
+    elif parts == ["lint", "perf"]:
+        payload = service.lint_perf_report()
     elif parts == ["metrics"]:
         payload = service.snapshot_metrics()
     elif parts == ["perf", "matrix"]:
@@ -389,6 +486,8 @@ def dispatch(service: MatrixService, parts: list[str],
         payload = service.perf_cell(*parts[2:])
     elif parts == ["perf", "portability"]:
         payload = service.perf_portability()
+    elif parts == ["perf", "static"]:
+        payload = service.perf_static()
     else:
         raise NotFoundError(f"no such endpoint: /{'/'.join(parts)}")
     return versioned(payload)
@@ -442,6 +541,12 @@ class _BaseClient:
 
     def perf_portability(self) -> PortabilityResponse:
         return PortabilityResponse(self._request(["perf", "portability"]))
+
+    def perf_static(self) -> StaticPerfResponse:
+        return StaticPerfResponse(self._request(["perf", "static"]))
+
+    def lint_perf(self) -> PerfLintResponse:
+        return PerfLintResponse(self._request(["lint", "perf"]))
 
 
 class InProcessClient(_BaseClient):

@@ -118,6 +118,33 @@ def test_corrupt_store_entry_is_a_miss(tmp_path, compat):
     assert fresh.load(other) == report.matrix.cells[other]
 
 
+# -- the sanitizer riding along -----------------------------------------------
+
+
+def test_perf_build_is_sanitizer_clean(seq_perf):
+    """Perf routes compile with ``sanitize=True``; the stream kernels
+    must produce zero kernelsan errors or warnings on every route."""
+    for cell in seq_perf.cells.values():
+        for route in cell.routes:
+            assert route.lint_errors == 0, route.route_id
+            assert route.lint_warnings == 0, route.route_id
+
+
+def test_store_round_trips_the_lint_rollup(seq_perf):
+    from repro.perfport.store import perf_cell_from_dict, perf_cell_to_dict
+
+    cell = seq_perf.cells[(Vendor.NVIDIA, Model.CUDA, Language.CPP)]
+    payload = perf_cell_to_dict(cell)
+    assert all("lint_errors" in r and "lint_warnings" in r
+               for r in payload["routes"])
+    assert perf_cell_from_dict(payload) == cell
+    # A schema-v1 payload (no lint keys) still loads, with zero rollups.
+    for entry in payload["routes"]:
+        del entry["lint_errors"], entry["lint_warnings"]
+    legacy = perf_cell_from_dict(payload)
+    assert legacy == cell  # rollups default to 0 == the clean build's
+
+
 # -- the ⫫ metric -------------------------------------------------------------
 
 

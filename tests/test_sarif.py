@@ -1,0 +1,115 @@
+"""Tests for the shared SARIF 2.1.0 serializer and its CLI surfaces.
+
+One serializer (:func:`repro.analysis.diagnostics.to_sarif`) backs all
+three ``gpu-compat lint --format sarif`` paths; these tests pin the
+document shape GitHub code-scanning expects and check each CLI path
+emits a well-formed run under its own driver name.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    SARIF_VERSION,
+    LintReport,
+    Severity,
+    make,
+    to_sarif,
+    to_sarif_json,
+)
+
+
+@pytest.fixture()
+def report() -> LintReport:
+    r = LintReport()
+    r.add(make("RACE01", "k_race", "body[2] Store(shared)",
+               "write-write race on s[tid.x]"))
+    r.add(make("OOB02", "k_oob", "body[0] Load(global)",
+               "index may exceed buffer", hint="guard with n"))
+    r.add(make("PS03", "stream_triad", "",
+               "prediction within tolerance"))
+    r.add(make("RACE01", "k_race2", "body[4] Load(shared)",
+               "read-write race"))
+    return r
+
+
+def test_sarif_document_shape(report):
+    doc = to_sarif(report)
+    assert doc["version"] == SARIF_VERSION
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "kernelsan"
+    assert len(run["results"]) == len(report.diagnostics)
+
+
+def test_rules_are_only_the_fired_codes_and_indices_align(report):
+    run = to_sarif(report)["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == ["OOB02", "PS03", "RACE01"]
+    for rule in rules:
+        assert rule["shortDescription"]["text"] == \
+            DIAGNOSTIC_CODES[rule["id"]][1]
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_levels_map_severities_to_sarif_labels(report):
+    run = to_sarif(report)["runs"][0]
+    levels = {r["ruleId"]: r["level"] for r in run["results"]}
+    assert levels == {"RACE01": "error", "OOB02": "warning", "PS03": "note"}
+    # A severity override on one diagnostic moves its level, not the rule's.
+    r = LintReport()
+    r.add(make("RE03", "cell", "", "suppressed", severity=Severity.WARNING))
+    run2 = to_sarif(r)["runs"][0]
+    assert run2["results"][0]["level"] == "warning"
+    assert run2["tool"]["driver"]["rules"][0][
+        "defaultConfiguration"]["level"] == "note"
+
+
+def test_logical_locations_and_hint_folding(report):
+    run = to_sarif(report)["runs"][0]
+    by_rule = {r["ruleId"]: r for r in run["results"]}
+    loc = by_rule["OOB02"]["locations"][0]["logicalLocations"][0]
+    assert loc["name"] == "k_oob"
+    assert loc["fullyQualifiedName"] == "k_oob::body[0] Load(global)"
+    assert loc["kind"] == "function"
+    assert by_rule["OOB02"]["message"]["text"].endswith("(hint: guard with n)")
+    # Pathless diagnostics fall back to the bare kernel/cell name.
+    ps03 = by_rule["PS03"]["locations"][0]["logicalLocations"][0]
+    assert ps03["fullyQualifiedName"] == "stream_triad"
+
+
+def test_empty_report_serializes_to_an_empty_run():
+    run = to_sarif(LintReport())["runs"][0]
+    assert run["results"] == []
+    assert run["tool"]["driver"]["rules"] == []
+
+
+def test_to_sarif_json_round_trips(report):
+    doc = json.loads(to_sarif_json(report, tool_name="custom"))
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "custom"
+
+
+# -- CLI surfaces ------------------------------------------------------------
+
+
+def test_cli_kernel_lint_sarif(capsys):
+    rc = cli.main(["lint", "--format", "sarif"])
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == SARIF_VERSION
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "kernelsan"
+    # The library is lint-clean: exit 0, and any results are notes.
+    assert rc == 0
+    assert all(r["level"] == "note" for r in doc["runs"][0]["results"])
+
+
+def test_cli_routes_lint_sarif(capsys):
+    rc = cli.main(["lint", "--routes", "--format", "sarif"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "routes-evidence"

@@ -334,8 +334,9 @@ def test_http_transport_agrees_with_inprocess(service):
 
 
 def test_all_endpoints_payload_identical_across_transports(warm_store_dir):
-    """Every endpoint — the original six and the three perf ones — must
-    return the identical versioned payload through both clients."""
+    """Every endpoint — the original six, the three perf ones, and the
+    two perfstat ones — must return the identical versioned payload
+    through both clients."""
     from repro.perfport import PerfParams
     from repro.service import (
         SCHEMA_VERSION,
@@ -363,6 +364,8 @@ def test_all_endpoints_payload_identical_across_transports(warm_store_dir):
             ("perf_matrix", ()),
             ("perf_cell", ("Intel", "SYCL", "c++")),
             ("perf_portability", ()),
+            ("perf_static", ()),
+            ("lint_perf", ()),
             ("metrics", ()),
         ]
         for name, args in calls:
@@ -389,6 +392,35 @@ def test_all_endpoints_payload_identical_across_transports(warm_store_dir):
     finally:
         server.shutdown()
         server.server_close()
+
+
+def test_perfstat_endpoints_payload_and_gauges(warm_store_dir):
+    """``/perf/static`` serves all 51 predicted cells; ``/lint/perf``
+    runs the cross-check clean and publishes the agreement gauges."""
+    from repro.perfport import PerfParams
+
+    svc = MatrixService(jobs=2, store=str(warm_store_dir),
+                        perf_params=PerfParams(n=1 << 12, reps=2))
+    client = InProcessClient(svc)
+
+    static = client.perf_static()
+    assert static.n_cells == 51 and len(static.cells) == 51
+    for cell in static.cells:
+        if cell["supported"]:
+            assert {r["route_id"] for r in cell["routes"]}
+            assert cell["best_route"] is not None
+            assert 0.0 < cell["efficiency"] < 1.0
+
+    lint = client.lint_perf()
+    assert lint["counts"]["error"] == 0
+    assert lint["counts"]["warning"] == 0
+    assert lint.agreement["prediction_errors"] == 0
+    assert lint.agreement["cells_agreeing"] == 40
+
+    snap = client.metrics()
+    assert snap["gauges"]["perfstat_cells_agreeing"] == 40
+    assert snap["gauges"]["perfstat_prediction_errors"] == 0
+    assert snap["service"]["static_perf_built"] is True
 
 
 def test_http_client_rejects_schema_skew():

@@ -1,0 +1,187 @@
+"""Table-driven edge-case tests for the affine symbolic layer.
+
+Two layers under test:
+
+* :mod:`repro.analysis.symbolic` directly — the affine lattice must
+  degrade to ``None`` (unknown) on every non-affine construction and
+  never invent a bound it cannot prove;
+* the stride classifier built on it
+  (:func:`repro.analysis.costmodel.classify_stride` via
+  :func:`cost_kernel`) — mixed ``tid.x``/``tid.y`` indexing is
+  *strided*, and anything routed through modulo, shifts, or a loaded
+  value is conservatively *unknown*, never coalesced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costmodel import cost_kernel
+from repro.analysis.symbolic import Affine, BoundEnv, add, mul, sub
+from repro.frontends import f64, i64, kernel
+
+# -- kernels exercising one indexing edge case each --------------------------
+
+
+@kernel
+def idx_coalesced(n: i64, a: f64[:], c: f64[:]):
+    i = gid(0)
+    if i < n:
+        c[i] = a[i]
+
+
+@kernel
+def idx_strided(n: i64, a: f64[:], c: f64[:]):
+    i = gid(0) * 2
+    if i < n:
+        c[i] = a[i]
+
+
+@kernel
+def idx_mixed_tids(n: i64, a: f64[:], c: f64[:]):
+    i = lid(0) + lid(1) * 16
+    if i < n:
+        c[i] = a[i]
+
+
+@kernel
+def idx_modulo(n: i64, a: f64[:], c: f64[:]):
+    i = gid(0)
+    j = i % 7
+    if i < n:
+        c[i] = a[j]
+
+
+@kernel
+def idx_shift(n: i64, a: f64[:], c: f64[:]):
+    i = gid(0)
+    j = i >> 1
+    if i < n:
+        c[i] = a[j]
+
+
+@kernel
+def idx_uniform(n: i64, s: f64[:], c: f64[:]):
+    i = gid(0)
+    if i < n:
+        c[i] = s[0]
+
+
+@kernel
+def idx_gather(n: i64, idx: i64[:], a: f64[:], c: f64[:]):
+    i = gid(0)
+    if i < n:
+        c[i] = a[idx[i]]
+
+
+#: kernel, block shape, expected {(kind, class)} of the *global* traffic.
+STRIDE_TABLE = [
+    (idx_coalesced, (256,),
+     {("load", "coalesced"), ("store", "coalesced")}),
+    # tid.x coefficient 16 bytes != itemsize: strided, both directions.
+    (idx_strided, (256,),
+     {("load", "strided"), ("store", "strided")}),
+    # Mixed tid.x/tid.y: the tid.x coefficient alone looks unit-stride,
+    # but the nonzero tid.y coefficient must demote it to strided.
+    (idx_mixed_tids, (16, 16),
+     {("load", "strided"), ("store", "strided")}),
+    # Modulo is not affine: the load degrades to unknown; the store
+    # (still a plain gid index) stays coalesced.
+    (idx_modulo, (256,),
+     {("load", "unknown"), ("store", "coalesced")}),
+    # Shifts are not affine either (the walk does not model division).
+    (idx_shift, (256,),
+     {("load", "unknown"), ("store", "coalesced")}),
+    # Constant index: uniform (one value per block), not coalesced.
+    (idx_uniform, (256,),
+     {("load", "uniform"), ("store", "coalesced")}),
+    # Index loaded from memory: data-dependent, unknown — but the
+    # index-vector load itself is a clean unit-stride access.
+    (idx_gather, (256,),
+     {("load", "coalesced"), ("load", "unknown"),
+      ("store", "coalesced")}),
+]
+
+
+@pytest.mark.parametrize(
+    "fn,block,expected", STRIDE_TABLE,
+    ids=[fn.ir.name for fn, _b, _e in STRIDE_TABLE])
+def test_stride_classification(fn, block, expected):
+    cost = cost_kernel(fn.ir, (4,), block, {"n": 512})
+    classes = {(k[1], k[2]) for k in cost.traffic if k[0] == "global"}
+    assert classes == expected
+
+
+def test_non_affine_never_classifies_as_coalesced():
+    for fn, block in [(idx_modulo, (256,)), (idx_shift, (256,)),
+                      (idx_gather, (256,))]:
+        cost = cost_kernel(fn.ir, (4,), block, {"n": 512})
+        loads = {k[2] for k in cost.traffic
+                 if k[0] == "global" and k[1] == "load"
+                 and k[2] == "unknown"}
+        assert loads == {"unknown"}, fn.ir.name
+
+
+# -- the affine lattice directly ---------------------------------------------
+
+
+def test_affine_product_of_two_variables_is_unknown():
+    t = Affine.of_atom("sr:tid.x")
+    n = Affine.of_atom("param:n")
+    assert mul(t, n) is None  # non-affine: falls to the lattice top
+    assert mul(t, Affine.of_const(3)) == Affine.of_atom("sr:tid.x", 3)
+    assert mul(Affine.of_const(0), t) == Affine()
+
+
+def test_unknown_poisons_every_operation():
+    t = Affine.of_atom("sr:tid.x")
+    assert add(None, t) is None
+    assert add(t, None) is None
+    assert sub(None, None) is None
+    assert mul(None, Affine.of_const(2)) is None
+
+
+def test_affine_arithmetic_cancels_and_substitutes():
+    t = Affine.of_atom("sr:tid.x", 4)
+    expr = t + Affine.of_const(10) - t
+    assert expr.is_const and expr.const == 10
+    composed = Affine.make(1, {"op:i#0": 8})
+    resolved = composed.substitute(
+        "op:i#0", Affine.of_atom("sr:tid.x", 1))
+    assert resolved == Affine.make(1, {"sr:tid.x": 8})
+
+
+def test_bound_env_proves_guarded_ranges():
+    env = BoundEnv()
+    t = Affine.of_atom("sr:tid.x")
+    env.set_lo("sr:tid.x", Affine.of_const(0))
+    env.set_hi("sr:tid.x", Affine.of_const(255))
+    assert env.upper(t) == Affine.of_const(255)
+    assert env.definitely_le(t, Affine.of_const(255))
+    assert not env.definitely_le(t, Affine.of_const(254))
+    assert env.definitely_ge(t, Affine.of_const(0))
+    # A symbolic guard bound (t <= n - 1) cancels against -n.
+    n = Affine.of_atom("param:n")
+    env2 = BoundEnv()
+    env2.set_hi("sr:tid.x", n.shift(-1))
+    assert env2.definitely_lt(t, n)
+
+
+def test_bound_env_stays_silent_without_facts():
+    env = BoundEnv()
+    t = Affine.of_atom("sr:tid.x")
+    assert env.upper(t) == t  # no bound known: returns the expression
+    assert not env.definitely_le(t, Affine.of_const(1 << 30))
+    assert env.upper(None) is None
+
+
+def test_tighter_constant_bounds_win():
+    env = BoundEnv()
+    env.set_hi("sr:tid.x", Affine.of_const(1023))
+    env.set_hi("sr:tid.x", Affine.of_const(255))   # tighter: kept
+    env.set_hi("sr:tid.x", Affine.of_const(4095))  # looser: ignored
+    assert env.hi["sr:tid.x"] == Affine.of_const(255)
+    env.set_lo("sr:tid.x", Affine.of_const(0))
+    env.set_lo("sr:tid.x", Affine.of_const(16))    # tighter: kept
+    env.set_lo("sr:tid.x", Affine.of_const(-5))    # looser: ignored
+    assert env.lo["sr:tid.x"] == Affine.of_const(16)
