@@ -1,24 +1,33 @@
-"""BENCH_interpreter — interpreter batching: elementwise vs barrier kernels.
+"""BENCH_interpreter — interpreter tiers: isolated vs batched vs traced.
 
-Times library kernels across interpreter batch widths:
+Times library kernels across interpreter batch widths (all with the
+trace compiler off):
 
 * ``isolated`` — ``max_blocks_per_batch=1``, the historical behaviour
   where every shared-memory/barrier kernel ran one block per batch;
 * ``narrow`` — 4 blocks per batch;
-* ``max`` — no cap; ``chunk_lanes // block_threads`` blocks per batch.
+* ``max`` — no cap; ``chunk_lanes // block_threads`` blocks per batch;
+
+and then the **traced** tier — ``trace_mode=True``, where the per-batch
+dispatch loop is fused into one cached generated-NumPy program (one
+warm-up launch compiles; the timed launch replays the cached program).
 
 For each kernel the run also checks that results are bit-identical and
 the work counters (flops, bytes, atomics, barriers) are independent of
-batch width — the differential guarantee the batched execution path
-makes.  Writes ``BENCH_interpreter.json``.
+batch width *and* of tracing — the differential guarantee both
+execution paths make.  Writes ``BENCH_interpreter.json``.
 
 Run as a script (CI smoke gate)::
 
     PYTHONPATH=src python benchmarks/bench_interpreter.py --quick
 
 Exit code 1 if any barrier/shared-memory kernel fails to beat the
-block-isolated path, or (full mode) if the 2^21-element tree reduction
-speedup falls below the 5x acceptance threshold.
+block-isolated path, if any traced kernel is not bit-identical, or if
+the speedup gates fail: in full mode the 2^21-element tree reduction
+must be >= 5x batched-vs-isolated, and the traced tier must be >= 5x
+over the batched path on both stream_triad and reduce_sum; in quick
+mode the traced stream_triad must beat the batched path by a
+conservative floor.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ import time
 
 import numpy as np
 
-from repro.isa.interpreter import KernelExecutor
+from repro.isa.interpreter import KernelExecutor, snapshot_interpreter_totals
 from repro.kernels import BLOCK, KERNEL_LIBRARY
 
 #: Batch-width configurations under test.
@@ -42,6 +51,16 @@ WIDTHS = {"isolated": 1, "narrow": 4, "max": None}
 ACCEPT_KERNEL = "reduce_sum"
 ACCEPT_N = 1 << 21
 ACCEPT_SPEEDUP = 5.0
+
+#: Traced-tier acceptance: at the full size the trace-compiled path
+#: must beat the *batched* path by at least this much on both kernels.
+TRACE_ACCEPT_KERNELS = ("stream_triad", "reduce_sum")
+TRACE_ACCEPT_SPEEDUP = 5.0
+
+#: Quick-mode (CI smoke) floor for traced stream_triad vs batched.
+#: Deliberately conservative: quick sizes are small and CI runners are
+#: noisy; the full 5x bar applies at the 2^21 acceptance size.
+TRACE_QUICK_FLOOR = 1.5
 
 #: Kernels with barriers / shared memory / shuffles — the ones the
 #: batched path exists for; elementwise kernels are the control group.
@@ -99,7 +118,8 @@ def bench_kernel(name: str, n: int, seed: int = 7) -> dict:
     ref_counters = None
     for label, width in WIDTHS.items():
         mem = image.copy()
-        ex = KernelExecutor(ir, 32, mem, max_blocks_per_batch=width)
+        ex = KernelExecutor(ir, 32, mem, max_blocks_per_batch=width,
+                            trace_mode=False)
         t0 = time.perf_counter()
         stats = ex.launch(grid, block, args)
         seconds = time.perf_counter() - t0
@@ -115,10 +135,34 @@ def bench_kernel(name: str, n: int, seed: int = 7) -> dict:
             "batches": stats.batches,
             "matches_isolated": identical,
         }
+
+    # Traced tier: one warm-up launch compiles and caches the program,
+    # the timed launch replays it (the steady state the tier exists for).
+    before = snapshot_interpreter_totals().trace
+    KernelExecutor(ir, 32, image.copy(), trace_mode=True).launch(
+        grid, block, args)
+    mem = image.copy()
+    ex = KernelExecutor(ir, 32, mem, trace_mode=True)
+    t0 = time.perf_counter()
+    stats = ex.launch(grid, block, args)
+    seconds = time.perf_counter() - t0
+    after = snapshot_interpreter_totals().trace
+    row["traced"] = {
+        "seconds": seconds,
+        "batches": stats.batches,
+        "matches_isolated": (np.array_equal(mem, ref_mem)
+                             and _counters(stats) == ref_counters),
+        # Both launches fused iff the kernel is traceable; a bailing
+        # kernel (e.g. shuffle) falls back and must still be identical.
+        "fused": after.traced_launches - before.traced_launches == 2,
+        "speedup_vs_max": row["widths"]["max"]["seconds"] / seconds,
+    }
+
     iso = row["widths"]["isolated"]["seconds"]
     row["speedup_max_vs_isolated"] = iso / row["widths"]["max"]["seconds"]
-    row["bit_identical"] = all(w["matches_isolated"]
-                               for w in row["widths"].values())
+    row["bit_identical"] = (
+        all(w["matches_isolated"] for w in row["widths"].values())
+        and row["traced"]["matches_isolated"])
     return row
 
 
@@ -146,6 +190,21 @@ def run(quick: bool) -> dict:
         # applies at the full 2^21 acceptance size.
         "checked_against_threshold": not quick,
     }
+    results["trace_acceptance"] = {
+        "kernels": {
+            k: {
+                "n": results["kernels"][k]["n"],
+                "speedup_vs_max": results["kernels"][k]["traced"]
+                                  ["speedup_vs_max"],
+                "fused": results["kernels"][k]["traced"]["fused"],
+            }
+            for k in TRACE_ACCEPT_KERNELS
+        },
+        "threshold": TRACE_QUICK_FLOOR if quick else TRACE_ACCEPT_SPEEDUP,
+        # Quick mode gates only stream_triad, against the smoke floor.
+        "gated_kernels": list(
+            ("stream_triad",) if quick else TRACE_ACCEPT_KERNELS),
+    }
     return results
 
 
@@ -165,6 +224,16 @@ def verdict(results: dict) -> list[str]:
         problems.append(
             f"acceptance: {acc['kernel']} at n={acc['n']} sped up only "
             f"{acc['speedup']:.2f}x (< {acc['threshold']}x)")
+    tacc = results["trace_acceptance"]
+    for name in tacc["gated_kernels"]:
+        entry = tacc["kernels"][name]
+        if not entry["fused"]:
+            problems.append(f"trace acceptance: {name} did not trace")
+        elif entry["speedup_vs_max"] < tacc["threshold"]:
+            problems.append(
+                f"trace acceptance: {name} at n={entry['n']} traced only "
+                f"{entry['speedup_vs_max']:.2f}x over batched "
+                f"(< {tacc['threshold']}x)")
     return problems
 
 
@@ -184,10 +253,14 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     for name, row in results["kernels"].items():
         w = row["widths"]
+        tr = row["traced"]
         print(f"{name:18s} n={row['n']:>8} "
               f"isolated={w['isolated']['seconds']:8.3f}s "
               f"max={w['max']['seconds']:8.3f}s "
-              f"speedup={row['speedup_max_vs_isolated']:6.2f}x "
+              f"traced={tr['seconds']:8.3f}s "
+              f"batch-speedup={row['speedup_max_vs_isolated']:6.2f}x "
+              f"trace-speedup={tr['speedup_vs_max']:6.2f}x"
+              f"{'' if tr['fused'] else ' (fallback)'} "
               f"identical={row['bit_identical']}")
     for p in problems:
         print(f"FAIL: {p}", file=sys.stderr)

@@ -557,6 +557,25 @@ def _print_stats() -> None:
     print(f"[stats] interpreter: {it.launches} launches, "
           f"{st.batches} batches, {st.threads} threads, "
           f"{st.instructions} instructions, {st.bytes_moved} bytes moved")
+    tr = it.trace
+    reasons = ", ".join(f"{k}={v}" for k, v in sorted(tr.reasons.items()))
+    detail = f" [{reasons}]" if reasons else ""
+    print(f"[stats] trace: {tr.hits} hits, {tr.misses} misses, "
+          f"{tr.bailouts} bailouts{detail}; "
+          f"{tr.traced_launches} of {it.launches} launches fused "
+          f"({tr.traced_batches} batches)")
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type for counts that must be >= 1 (exit 2 otherwise)."""
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -569,6 +588,10 @@ def main(argv: list[str] | None = None) -> int:
         "--stats", action="store_true",
         help="print compile-cache and interpreter batching counters "
              "after the subcommand")
+    parser.add_argument(
+        "--trace-mode", choices=("on", "off"), default=None,
+        help="force the interpreter's trace compiler on or off for this "
+             "run (default: on, unless REPRO_TRACE_MODE=off)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table = sub.add_parser("table", help="render Figure 1")
@@ -608,7 +631,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_eval = sub.add_parser(
         "eval", help="build the matrix concurrently with a result store")
-    p_eval.add_argument("--jobs", type=int, default=4, metavar="N",
+    p_eval.add_argument("--jobs", type=_positive_int, default=4, metavar="N",
                         help="scheduler worker threads (default 4)")
     p_eval.add_argument("--store", default=None, metavar="DIR",
                         help="persistent result-store directory; a warm "
@@ -620,16 +643,16 @@ def main(argv: list[str] | None = None) -> int:
     p_perf = sub.add_parser(
         "perf", help="performance-portability matrix (BabelStream through "
                      "every viable route)")
-    p_perf.add_argument("--jobs", type=int, default=4, metavar="N",
+    p_perf.add_argument("--jobs", type=_positive_int, default=4, metavar="N",
                         help="scheduler worker threads (default 4; results "
                              "are identical at every count)")
     p_perf.add_argument("--store", default=None, metavar="DIR",
                         help="persistent store directory (shared with "
                              "'eval'; a warm store executes zero stream "
                              "kernels)")
-    p_perf.add_argument("--n", type=int, default=None, metavar="ELEMS",
+    p_perf.add_argument("--n", type=_positive_int, default=None, metavar="ELEMS",
                         help="stream array elements (default 65536)")
-    p_perf.add_argument("--reps", type=int, default=None, metavar="R",
+    p_perf.add_argument("--reps", type=_positive_int, default=None, metavar="R",
                         help="best-of repetitions per kernel (default 3)")
     p_perf.add_argument("--format", choices=("text", "json", "csv"),
                         default="text",
@@ -646,7 +669,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="bind address (default loopback)")
     p_serve.add_argument("--port", type=int, default=8951,
                          help="port (default 8951; 0 = ephemeral)")
-    p_serve.add_argument("--jobs", type=int, default=4, metavar="N",
+    p_serve.add_argument("--jobs", type=_positive_int, default=4, metavar="N",
                          help="scheduler worker threads (default 4)")
     p_serve.add_argument("--store", default=None, metavar="DIR",
                          help="persistent result-store directory")
@@ -681,12 +704,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="cross-check perfstat's static cost-model "
                              "predictions against the measured perf "
                              "matrix (PS01-PS06)")
-    p_lint.add_argument("--n", type=int, default=None, metavar="ELEMS",
+    p_lint.add_argument("--n", type=_positive_int, default=None, metavar="ELEMS",
                         help="with --perf: stream vector length for the "
                              "measured matrix (default: the perf default)")
-    p_lint.add_argument("--reps", type=int, default=None, metavar="R",
+    p_lint.add_argument("--reps", type=_positive_int, default=None, metavar="R",
                         help="with --perf: timing repetitions per kernel")
-    p_lint.add_argument("--jobs", type=int, default=4, metavar="N",
+    p_lint.add_argument("--jobs", type=_positive_int, default=4, metavar="N",
                         help="worker threads for the measured half of "
                              "--perf (default 4)")
     p_lint.add_argument("--store", dest="store", default=None, metavar="DIR",
@@ -705,6 +728,10 @@ def main(argv: list[str] | None = None) -> int:
     p_tv.set_defaults(func=cmd_transval)
 
     args = parser.parse_args(argv)
+    if args.trace_mode is not None:
+        from repro.isa.tracing import set_default_trace_mode
+
+        set_default_trace_mode(args.trace_mode == "on")
     try:
         code = args.func(args)
         if args.stats:

@@ -142,6 +142,35 @@ class DeviceMemory:
                 f"({int(bad.sum())} faulting lanes)"
             )
 
+    def validate_contig(self, lo: int, count: int, itemsize: int) -> bool:
+        """Would :meth:`validate` accept the contiguous element run
+        ``lo, lo+itemsize, ..., lo+(count-1)*itemsize``?
+
+        Decides legality without building the address array — the trace
+        compiler's fast paths call this once per batch instead of
+        validating per lane.  Walks the (sorted, possibly abutting) live
+        allocations: each step advances to the last element that still
+        fits the current allocation, so the cost is O(spanned
+        allocations), not O(count).  Never raises; ``False`` sends the
+        access down the generic per-lane path (which reproduces the
+        exact fault).
+        """
+        starts, ends = self._tables()
+        if starts.size == 0:
+            return False
+        a = int(lo)
+        last = a + (count - 1) * itemsize
+        while True:
+            slot = int(np.searchsorted(starts, a, side="right")) - 1
+            if slot < 0:
+                return False
+            end = int(ends[slot])
+            if a + itemsize > end:
+                return False
+            if last + itemsize <= end:
+                return True
+            a += ((end - a) // itemsize) * itemsize
+
     # -- host <-> device data movement ---------------------------------------
 
     def upload(self, allocation: Allocation | int, host: np.ndarray,

@@ -125,6 +125,32 @@ class LaunchStats:
 
 
 @dataclass
+class TraceTotals:
+    """Process-wide trace-compiler activity (see ``repro.isa.tracing``).
+
+    ``hits``/``misses``/``bailouts`` count trace-cache outcomes per
+    launch; ``reasons`` histograms the bailout taxonomy; the
+    ``traced_*`` counters record how much execution actually ran fused.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    bailouts: int = 0
+    traced_launches: int = 0
+    traced_batches: int = 0
+    reasons: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "TraceTotals") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.bailouts += other.bailouts
+        self.traced_launches += other.traced_launches
+        self.traced_batches += other.traced_batches
+        for reason, count in other.reasons.items():
+            self.reasons[reason] = self.reasons.get(reason, 0) + count
+
+
+@dataclass
 class InterpreterTotals:
     """Process-wide interpreter activity (all executors, all devices).
 
@@ -134,6 +160,7 @@ class InterpreterTotals:
 
     launches: int = 0
     stats: LaunchStats = field(default_factory=LaunchStats)
+    trace: TraceTotals = field(default_factory=TraceTotals)
 
 
 _TOTALS = InterpreterTotals()
@@ -154,6 +181,7 @@ def snapshot_interpreter_totals() -> InterpreterTotals:
     with _TOTALS_LOCK:
         copy = InterpreterTotals(launches=_TOTALS.launches)
         copy.stats.merge(_TOTALS.stats)
+        copy.trace.merge(_TOTALS.trace)
         return copy
 
 
@@ -162,6 +190,41 @@ def reset_interpreter_totals() -> None:
     with _TOTALS_LOCK:
         _TOTALS.launches = 0
         _TOTALS.stats = LaunchStats()
+        _TOTALS.trace = TraceTotals()
+
+
+class _LazyCtaid:
+    """Per-component lazy ``(ctaid.x, ctaid.y, ctaid.z)`` tuple.
+
+    Unlike the shape-keyed geometry, ctaid depends on the batch's
+    ``first_block``, so it cannot be shared between batches; building it
+    lazily per component means kernels that never read a component (or,
+    on the traced fast path, never read ctaid at all) skip the cost.
+    """
+
+    __slots__ = ("_parts", "_first_block", "_block_row", "_grid")
+
+    def __init__(self, first_block: int, block_row: np.ndarray,
+                 grid: tuple[int, int, int]):
+        self._parts: list[np.ndarray | None] = [None, None, None]
+        self._first_block = first_block
+        self._block_row = block_row
+        self._grid = grid
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        part = self._parts[i]
+        if part is None:
+            gx, gy, _gz = self._grid
+            blk = self._first_block + self._block_row
+            if i == 0:
+                part = (blk % gx).astype(np.uint32)
+            elif i == 1:
+                part = ((blk // gx) % gy).astype(np.uint32)
+            else:
+                part = (blk // (gx * gy)).astype(np.uint32)
+            part.flags.writeable = False
+            self._parts[i] = part
+        return part
 
 
 @dataclass
@@ -177,7 +240,7 @@ class _Batch:
     block_threads: int  # threads per block
     first_block: int  # launch-linear id of the batch's first block
     tid: tuple[np.ndarray, np.ndarray, np.ndarray]
-    ctaid: tuple[np.ndarray, np.ndarray, np.ndarray]
+    ctaid: _LazyCtaid
     block_linear: np.ndarray  # per-lane linear index within its block
     block_row: np.ndarray  # per-lane index of its block within the batch
     warp_base: np.ndarray  # per-lane: batch index of lane 0 of its warp
@@ -217,6 +280,13 @@ class KernelExecutor:
         max_blocks_per_batch: Optional cap on blocks per batch.  ``1``
             reproduces the historical block-isolated execution exactly;
             the differential tests and benchmarks sweep this knob.
+        trace_mode: ``True`` fuses each batch through the trace compiler
+            (``repro.isa.tracing``) when the kernel traces cleanly,
+            ``False`` forces the batched dispatch loop, ``None`` (the
+            default) defers to the process default
+            (``tracing.default_trace_mode()``).  Traced execution is
+            bit-identical to the interpreted path — results, faults,
+            and counters — or the kernel bails out and falls back.
     """
 
     def __init__(
@@ -229,6 +299,7 @@ class KernelExecutor:
         max_block_threads: int = 1024,
         chunk_lanes: int = 1 << 18,
         max_blocks_per_batch: int | None = None,
+        trace_mode: bool | None = None,
     ):
         if global_memory.dtype != np.uint8 or global_memory.ndim != 1:
             raise LaunchError("global memory must be a flat uint8 array")
@@ -240,6 +311,7 @@ class KernelExecutor:
         self.max_block_threads = max_block_threads
         self.chunk_lanes = chunk_lanes
         self.max_blocks_per_batch = max_blocks_per_batch
+        self.trace_mode = trace_mode
         # Typed views of global memory, built lazily per element type.
         self._gviews: dict[str, np.ndarray] = {}
         self._uses_shared = kernel.uses_shared()
@@ -314,15 +386,32 @@ class KernelExecutor:
             "ntid.x": block[0], "ntid.y": block[1], "ntid.z": block[2],
             "nctaid.x": grid[0], "nctaid.y": grid[1], "nctaid.z": grid[2],
         }
+        traced = None
+        mode = self.trace_mode
+        if mode is None or mode:
+            # Import lazily so trace_mode=False never touches (or pays
+            # for) the trace layer — the PR 2 path byte-for-byte.
+            from repro.isa import tracing
+
+            if mode is None:
+                mode = tracing.default_trace_mode()
+            if mode:
+                traced = tracing.lookup(self, grid, block, blocks_per_batch)
         with np.errstate(all="ignore"):
             for first_block in range(0, n_blocks, blocks_per_batch):
                 n = min(blocks_per_batch, n_blocks - first_block)
                 batch = self._make_batch(first_block, n, grid, block)
-                self._run_batch(batch, args, stats, dims)
+                if traced is not None:
+                    traced.fn(self, batch, args, stats)
+                else:
+                    self._run_batch(batch, args, stats, dims)
                 stats.batches += 1
         with _TOTALS_LOCK:
             _TOTALS.launches += 1
             _TOTALS.stats.merge(stats)
+            if traced is not None:
+                _TOTALS.trace.traced_launches += 1
+                _TOTALS.trace.traced_batches += stats.batches
         return stats
 
     # -- batch construction ------------------------------------------------
@@ -374,20 +463,13 @@ class KernelExecutor:
             self._shape_cache[shape_key] = shape
         block_lin, block_row, tid, warp_base, warp_len = shape
 
-        blk = first_block + block_row
-        ctaid_x = (blk % gx).astype(np.uint32)
-        ctaid_y = ((blk // gx) % gy).astype(np.uint32)
-        ctaid_z = (blk // (gx * gy)).astype(np.uint32)
-        for arr in (ctaid_x, ctaid_y, ctaid_z):
-            arr.flags.writeable = False
-
         batch = _Batch(
             lanes=lanes,
             n_blocks=n_blocks,
             block_threads=block_threads,
             first_block=first_block,
             tid=tid,
-            ctaid=(ctaid_x, ctaid_y, ctaid_z),
+            ctaid=_LazyCtaid(first_block, block_row, grid),
             block_linear=block_lin,
             block_row=block_row,
             warp_base=warp_base,

@@ -199,12 +199,14 @@ def run_perf_matrix(
     metrics = metrics if metrics is not None else MetricsRegistry()
     compat_report = None
     if compat is None:
-        compat_store = (ResultStore(store, thresholds=thresholds)
+        compat_store = (ResultStore(store, thresholds=thresholds,
+                                    metrics=metrics)
                         if store is not None else None)
         compat_report = build_matrix_concurrent(
             jobs, store=compat_store, thresholds=thresholds, metrics=metrics)
         compat = compat_report.matrix
-    perf_store = (PerfStore(store, params=params, thresholds=thresholds)
+    perf_store = (PerfStore(store, params=params, thresholds=thresholds,
+                            metrics=metrics)
                   if store is not None else None)
     scheduler = PerfScheduler(
         jobs,

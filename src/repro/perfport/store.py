@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 
@@ -36,6 +37,8 @@ from repro.gpu.specs import default_spec
 from repro.perfport.matrix import Cell, PerfCell, PerfParams, RoutePerf
 from repro.service.store import ResultStore, StoreStats, environment_fingerprint
 from repro.workloads.babelstream import STREAM_KERNELS
+
+_log = logging.getLogger(__name__)
 
 #: Bump when the perf on-disk layout or serialization schema changes.
 #: v2: route entries carry the kernelsan rollup (lint_errors,
@@ -137,13 +140,26 @@ class PerfStore:
 
     def __init__(self, root: str | os.PathLike,
                  params: PerfParams = PerfParams(),
-                 thresholds: Thresholds = DEFAULT_THRESHOLDS):
+                 thresholds: Thresholds = DEFAULT_THRESHOLDS,
+                 metrics=None):
         self.root = Path(root) / "perf"
         self.params = params
         self.thresholds = thresholds
         self.stats = StoreStats()
+        #: Optional :class:`~repro.service.metrics.MetricsRegistry`;
+        #: corrupt entries are counted there when present.
+        self.metrics = metrics
         self._fingerprint: str | None = None
         (self.root / "cells").mkdir(parents=True, exist_ok=True)
+
+    def _corrupt(self, path: Path, exc: Exception) -> None:
+        """A stored entry exists but cannot be decoded: warn, count, miss."""
+        self.stats._inc("invalid")
+        _log.warning(
+            "corrupt perf-store entry treated as miss: path=%s error=%s: %s",
+            path, type(exc).__name__, exc)
+        if self.metrics is not None:
+            self.metrics.counter("perf_store_corrupt_entries").inc()
 
     @property
     def fingerprint(self) -> str:
@@ -173,13 +189,14 @@ class PerfStore:
         except FileNotFoundError:
             self.stats._inc("misses")
             return None
-        except (OSError, json.JSONDecodeError):
-            self.stats._inc("invalid")
+        except (OSError, json.JSONDecodeError) as exc:
+            self._corrupt(path, exc)
             return None
         try:
             result = perf_cell_from_dict(payload)
-        except (PerfStoreIntegrityError, KeyError, ValueError, TypeError):
-            self.stats._inc("invalid")
+        except (PerfStoreIntegrityError, KeyError, ValueError,
+                TypeError) as exc:
+            self._corrupt(path, exc)
             return None
         self.stats._inc("hits")
         return result

@@ -175,4 +175,12 @@ class MetricsRegistry:
                 "instructions": it.stats.instructions,
                 "bytes_moved": it.stats.bytes_moved,
             },
+            "trace": {
+                "hits": it.trace.hits,
+                "misses": it.trace.misses,
+                "bailouts": it.trace.bailouts,
+                "traced_launches": it.trace.traced_launches,
+                "traced_batches": it.trace.traced_batches,
+                "bailout_reasons": dict(sorted(it.trace.reasons.items())),
+            },
         }

@@ -526,7 +526,7 @@ def build_matrix_concurrent(
     same thresholds/probe filter, at every ``jobs`` count.
     """
     if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
-        store = ResultStore(store, thresholds=thresholds)
+        store = ResultStore(store, thresholds=thresholds, metrics=metrics)
     scheduler = MatrixScheduler(
         jobs,
         store=store,

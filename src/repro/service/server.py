@@ -149,10 +149,10 @@ class MatrixService:
         from repro.perfport.matrix import PerfParams
 
         self.jobs = jobs
-        if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
-            store = ResultStore(store)
-        self.store = store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+            store = ResultStore(store, metrics=self.metrics)
+        self.store = store
         self.perf_params = (perf_params if perf_params is not None
                             else PerfParams())
         self._report: BuildReport | None = None
@@ -181,7 +181,8 @@ class MatrixService:
             if self._perf_report is None:
                 perf_store = (
                     PerfStore(self.store.root, params=self.perf_params,
-                              thresholds=self.store.thresholds)
+                              thresholds=self.store.thresholds,
+                              metrics=self.metrics)
                     if self.store is not None else None)
                 self._perf_report = PerfScheduler(
                     self.jobs, compat=compat, params=self.perf_params,

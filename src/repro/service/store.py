@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import threading
@@ -51,6 +52,8 @@ from repro.core.matrix import CellResult, RouteResult
 from repro.core.probes import PROBE_SUITES, Probe, ProbeOutcome, SuiteResult
 from repro.core.routes import Route, all_routes, routes_for
 from repro.enums import Language, Model, Vendor
+
+_log = logging.getLogger(__name__)
 
 #: Bump when the on-disk layout or serialization schema changes.
 STORE_SCHEMA = 1
@@ -247,13 +250,26 @@ class ResultStore:
     """
 
     def __init__(self, root: str | os.PathLike,
-                 thresholds: Thresholds = DEFAULT_THRESHOLDS):
+                 thresholds: Thresholds = DEFAULT_THRESHOLDS,
+                 metrics=None):
         self.root = Path(root)
         self.thresholds = thresholds
         self.stats = StoreStats()
+        #: Optional :class:`~repro.service.metrics.MetricsRegistry`;
+        #: corrupt entries are counted there when present.
+        self.metrics = metrics
         self._fingerprint: str | None = None
         self._lock = threading.Lock()
         (self.root / "cells").mkdir(parents=True, exist_ok=True)
+
+    def _corrupt(self, path: Path, exc: Exception) -> None:
+        """A stored entry exists but cannot be decoded: warn, count, miss."""
+        self.stats._inc("invalid")
+        _log.warning(
+            "corrupt store entry treated as miss: path=%s error=%s: %s",
+            path, type(exc).__name__, exc)
+        if self.metrics is not None:
+            self.metrics.counter("store_corrupt_entries").inc()
 
     @property
     def fingerprint(self) -> str:
@@ -302,13 +318,13 @@ class ResultStore:
         except FileNotFoundError:
             self.stats._inc("misses")
             return None
-        except (OSError, json.JSONDecodeError):
-            self.stats._inc("invalid")
+        except (OSError, json.JSONDecodeError) as exc:
+            self._corrupt(path, exc)
             return None
         try:
             result = cell_from_dict(payload, self.thresholds)
-        except (StoreIntegrityError, KeyError, ValueError):
-            self.stats._inc("invalid")
+        except (StoreIntegrityError, KeyError, ValueError) as exc:
+            self._corrupt(path, exc)
             return None
         self.stats._inc("hits")
         return result

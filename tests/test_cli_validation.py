@@ -1,0 +1,64 @@
+"""CLI argument-validation tests.
+
+Nonsensical numeric arguments (``--jobs 0``, negative ``--n``, textual
+``--reps``) must be rejected at parse time with exit code 2 and a clear
+message — never forwarded into the scheduler or the workload layer.
+"""
+
+import pytest
+
+from repro import cli
+
+
+@pytest.mark.parametrize("argv", [
+    ["eval", "--jobs", "0"],
+    ["eval", "--jobs", "-3"],
+    ["perf", "--jobs", "0"],
+    ["perf", "--jobs", "-1"],
+    ["perf", "--n", "0"],
+    ["perf", "--n", "-5"],
+    ["perf", "--reps", "0"],
+    ["perf", "--reps", "x"],
+    ["serve", "--jobs", "0"],
+    ["lint", "--perf", "--jobs", "-2"],
+    ["lint", "--perf", "--n", "nope"],
+    ["lint", "--perf", "--reps", "-1"],
+])
+def test_nonsensical_counts_exit_2(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err
+    assert "must be >= 1" in err or "expected a positive integer" in err
+
+
+def test_error_message_names_the_bad_value(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["perf", "--jobs", "0"])
+    assert "must be >= 1, got 0" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        cli.main(["perf", "--reps", "fast"])
+    assert "expected a positive integer, got 'fast'" in \
+        capsys.readouterr().err
+
+
+def test_trace_mode_flag_rejects_unknown_value(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["--trace-mode", "sometimes", "report"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_trace_mode_flag_accepted(capsys):
+    """--trace-mode parses and the run completes (cheap subcommand)."""
+    from repro.isa.tracing import default_trace_mode, set_default_trace_mode
+
+    try:
+        assert cli.main(["--trace-mode", "off", "routes"]) == 0
+        assert default_trace_mode() is False
+        assert cli.main(["--trace-mode", "on", "routes"]) == 0
+        assert default_trace_mode() is True
+    finally:
+        set_default_trace_mode(None)
+    capsys.readouterr()

@@ -156,6 +156,45 @@ def test_store_corrupt_entry_is_a_miss_not_an_error(tmp_path, seq_matrix):
     assert report.matrix.cells == seq_matrix.cells
 
 
+def test_store_corrupt_entry_logs_path_and_counts_in_metrics(
+        tmp_path, caplog):
+    """A corrupt entry leaves an audit trail: a structured warning that
+    names the entry, plus a ``store_corrupt_entries`` counter."""
+    root = tmp_path / "store"
+    build_matrix_concurrent(2, store=str(root))
+    metrics = MetricsRegistry()
+    store = ResultStore(root, metrics=metrics)
+    victim = store.entries()[0]
+    victim.write_text("{not json")
+    cell = next(iter(all_cells()))
+    # Find the cell the victim file addresses so the load really hits it.
+    for candidate in all_cells():
+        if store._path(candidate) == victim:
+            cell = candidate
+            break
+    with caplog.at_level("WARNING", logger="repro.service.store"):
+        assert store.load(cell) is None
+    assert any(str(victim) in rec.getMessage() and
+               "treated as miss" in rec.getMessage()
+               for rec in caplog.records)
+    assert metrics.counter("store_corrupt_entries").get() == 1
+    assert metrics.snapshot()["counters"]["store_corrupt_entries"] == 1
+
+
+def test_perf_store_corrupt_entry_logs_and_counts(tmp_path, caplog):
+    from repro.perfport.store import PerfStore
+
+    metrics = MetricsRegistry()
+    store = PerfStore(tmp_path, metrics=metrics)
+    cell = (Vendor.NVIDIA, Model.CUDA, Language.CPP)
+    store._path(cell).write_text("}garbage")
+    with caplog.at_level("WARNING", logger="repro.perfport.store"):
+        assert store.load(cell) is None
+    assert any("corrupt perf-store entry treated as miss" in
+               rec.getMessage() for rec in caplog.records)
+    assert metrics.counter("perf_store_corrupt_entries").get() == 1
+
+
 def test_store_prune_removes_unaddressed_entries(tmp_path):
     root = tmp_path / "store"
     build_matrix_concurrent(4, store=str(root))

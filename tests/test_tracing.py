@@ -1,0 +1,316 @@
+"""Differential tests for the trace-compiled interpreter path.
+
+The contract of :mod:`repro.isa.tracing` is absolute: a traced launch
+must be **bit-identical** to the batched interpreter — memory image and
+every work counter — or the kernel must bail out and fall back.  These
+tests drive every library kernel and a randomized population of
+generated straight-line kernels through all three execution tiers
+(traced, batched, block-isolated) and assert the tiers are mutually
+indistinguishable except through the trace totals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DivergentBarrierError
+from repro.isa import IRBuilder, KernelExecutor, dtypes
+from repro.isa.interpreter import snapshot_interpreter_totals
+from repro.isa.tracing import (
+    cached_bailout_reason,
+    clear_trace_cache,
+    trace_cache_size,
+)
+from repro.kernels import BLOCK, KERNEL_LIBRARY
+
+N = 4096
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    """Each test sees an empty trace cache (totals are read as deltas)."""
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+def _setup(name, n, rng):
+    """Return (kernel_ir, grid, block, args, initial_memory_image)."""
+    mem = np.zeros(n * 8 * 3 + (1 << 16), dtype=np.uint8)
+    grid = (n + BLOCK - 1) // BLOCK
+    if name in ("reduce_sum", "reduce_max", "warp_reduce_sum"):
+        x = rng.random(n)
+        mem[: n * 8] = x.view(np.uint8)
+        if name == "reduce_max":
+            mem[n * 8 : n * 8 + 8] = np.array([-1.0e308]).view(np.uint8)
+        args = [n, 0, n * 8]
+    elif name in ("stream_dot", "ew_mul"):
+        a, b = rng.random(n), rng.random(n)
+        mem[: n * 8] = a.view(np.uint8)
+        mem[n * 8 : 2 * n * 8] = b.view(np.uint8)
+        args = [n, 0, n * 8, 2 * n * 8]
+    elif name == "stream_triad":
+        a, b = rng.random(n), rng.random(n)
+        mem[: n * 8] = a.view(np.uint8)
+        mem[n * 8 : 2 * n * 8] = b.view(np.uint8)
+        args = [n, 1.5, n * 8, 2 * n * 8, 0]
+    elif name == "histogram":
+        data = rng.integers(0, 1 << 20, n, dtype=np.int32)
+        mem[: n * 4] = data.view(np.uint8)
+        args = [n, 97, 0, n * 4]
+    else:  # pragma: no cover - parametrization mismatch
+        raise AssertionError(name)
+    return KERNEL_LIBRARY[name].ir, (grid,), (BLOCK,), args, mem
+
+
+def _counters(stats):
+    """Work counters that must not depend on the execution tier."""
+    return (stats.threads, stats.instructions, stats.flops,
+            stats.bytes_loaded, stats.bytes_stored,
+            stats.atomic_ops, stats.barriers)
+
+
+def _run(ir, grid, block, args, image, *, trace, width=None):
+    mem = image.copy()
+    ex = KernelExecutor(ir, 32, mem, max_blocks_per_batch=width,
+                        trace_mode=trace)
+    stats = ex.launch(grid, block, args)
+    return mem, stats
+
+
+def _trace_delta(fn):
+    """Run ``fn`` and return the change in the process trace totals."""
+    before = snapshot_interpreter_totals().trace
+    out = fn()
+    after = snapshot_interpreter_totals().trace
+    delta = {
+        "hits": after.hits - before.hits,
+        "misses": after.misses - before.misses,
+        "bailouts": after.bailouts - before.bailouts,
+        "traced_launches": after.traced_launches - before.traced_launches,
+        "traced_batches": after.traced_batches - before.traced_batches,
+        "reasons": {k: after.reasons.get(k, 0) - before.reasons.get(k, 0)
+                    for k in after.reasons},
+    }
+    return out, delta
+
+
+# -- library kernels ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [1, 257, 4096])
+@pytest.mark.parametrize(
+    "name",
+    ["stream_triad", "ew_mul", "stream_dot", "reduce_sum", "reduce_max",
+     "warp_reduce_sum", "histogram"],
+)
+def test_library_kernel_tiers_bit_identical(name, n, rng):
+    """Traced, batched, and block-isolated runs are indistinguishable."""
+    ir, grid, block, args, image = _setup(name, n, rng)
+    (mem_t, st_t), delta = _trace_delta(
+        lambda: _run(ir, grid, block, args, image, trace=True))
+    mem_i, st_i = _run(ir, grid, block, args, image, trace=False)
+    mem_1, st_1 = _run(ir, grid, block, args, image, trace=False, width=1)
+
+    np.testing.assert_array_equal(mem_t, mem_i)
+    np.testing.assert_array_equal(mem_t, mem_1)
+    assert _counters(st_t) == _counters(st_i) == _counters(st_1)
+    if name == "warp_reduce_sum":
+        # Shuffle is untraceable: the launch must fall back (and the
+        # fallback is what the equality above just validated).
+        assert delta["traced_launches"] == 0
+        assert delta["reasons"].get("shuffle", 0) >= 1
+    else:
+        assert delta["traced_launches"] == 1
+        assert delta["traced_batches"] == st_t.batches
+
+
+# -- randomized straight-line kernels -----------------------------------------
+
+
+def _random_kernel(trial, gen):
+    """A random bounds-guarded elementwise kernel over two f64 inputs."""
+    b = IRBuilder(f"rand{trial}")
+    n_p = b.param("n", dtypes.I64)
+    a_p = b.param("a", dtypes.F64, pointer=True)
+    b_p = b.param("b", dtypes.F64, pointer=True)
+    o_p = b.param("out", dtypes.F64, pointer=True)
+    t = b.global_id()
+    with b.if_(b.lt(t, n_p)):
+        x = b.load_elem(a_p, t, dtypes.F64)
+        y = b.load_elem(b_p, t, dtypes.F64)
+        v = x
+        for _ in range(int(gen.integers(3, 9))):
+            op = gen.choice(["add", "sub", "mul", "min", "max",
+                             "select", "cvt"])
+            other = y if gen.random() < 0.5 else x
+            if op == "select":
+                v = b.select(b.lt(v, other), other, v)
+            elif op == "cvt":
+                v = b.cvt(b.cvt(v, dtypes.F32), dtypes.F64)
+            else:
+                v = b.binop(op, v, other)
+        b.store_elem(o_p, t, v, dtypes.F64)
+    return b.build()
+
+
+@pytest.mark.parametrize("trial", range(8))
+def test_randomized_kernels_tiers_bit_identical(trial, rng):
+    gen = np.random.default_rng(1000 + trial)
+    ir = _random_kernel(trial, gen)
+    n = int(gen.integers(1, 3000))
+    image = np.zeros(3 * n * 8 + 64, dtype=np.uint8)
+    image[: n * 8] = gen.random(n).view(np.uint8)
+    image[n * 8 : 2 * n * 8] = gen.random(n).view(np.uint8)
+    grid = ((n + BLOCK - 1) // BLOCK,)
+    args = [n, 0, n * 8, 2 * n * 8]
+
+    (mem_t, st_t), delta = _trace_delta(
+        lambda: _run(ir, grid, (BLOCK,), args, image, trace=True))
+    mem_i, st_i = _run(ir, grid, (BLOCK,), args, image, trace=False)
+    mem_1, st_1 = _run(ir, grid, (BLOCK,), args, image, trace=False, width=1)
+
+    np.testing.assert_array_equal(mem_t, mem_i)
+    np.testing.assert_array_equal(mem_t, mem_1)
+    assert _counters(st_t) == _counters(st_i) == _counters(st_1)
+    # Straight-line kernels must actually take the traced path.
+    assert delta["traced_launches"] == 1
+    assert delta["bailouts"] == 0
+
+
+def test_runtime_divergence_stays_traced(rng):
+    """Data-dependent branching is handled inside the trace, not bailed."""
+    b = IRBuilder("diverge")
+    n_p = b.param("n", dtypes.I64)
+    a_p = b.param("a", dtypes.F64, pointer=True)
+    o_p = b.param("out", dtypes.F64, pointer=True)
+    t = b.global_id()
+    with b.if_(b.lt(t, n_p)):
+        x = b.load_elem(a_p, t, dtypes.F64)
+        with b.if_(b.lt(x, 0.5)):
+            b.store_elem(o_p, t, b.mul(x, 2.0), dtypes.F64)
+    ir = b.build()
+
+    n = 1000
+    image = np.zeros(2 * n * 8 + 64, dtype=np.uint8)
+    image[: n * 8] = rng.random(n).view(np.uint8)
+    grid = ((n + BLOCK - 1) // BLOCK,)
+    args = [n, 0, n * 8]
+
+    (mem_t, st_t), delta = _trace_delta(
+        lambda: _run(ir, grid, (BLOCK,), args, image, trace=True))
+    mem_i, st_i = _run(ir, grid, (BLOCK,), args, image, trace=False)
+    np.testing.assert_array_equal(mem_t, mem_i)
+    assert _counters(st_t) == _counters(st_i)
+    assert delta["traced_launches"] == 1
+    assert delta["bailouts"] == 0
+
+
+# -- bailouts are localized ---------------------------------------------------
+
+
+def test_bailout_localized_to_bailing_kernel(rng):
+    """One untraceable kernel must not de-trace its neighbors."""
+    ir_w, grid_w, block_w, args_w, image_w = _setup(
+        "warp_reduce_sum", 4096, rng)
+    (mem_w, _), delta_w = _trace_delta(
+        lambda: _run(ir_w, grid_w, block_w, args_w, image_w, trace=True))
+    assert delta_w["traced_launches"] == 0
+    assert delta_w["reasons"].get("shuffle", 0) == 1
+
+    # The bailout is cached under the bailing kernel's key only ...
+    ex = KernelExecutor(ir_w, 32, image_w.copy(), trace_mode=True)
+    bpb = max(1, ex.chunk_lanes // BLOCK)
+    assert cached_bailout_reason(
+        ir_w, 32, (grid_w[0], 1, 1), (BLOCK, 1, 1), bpb) == "shuffle"
+
+    # ... and a different kernel in the same process still traces.
+    ir_t, grid_t, block_t, args_t, image_t = _setup("stream_triad", 4096, rng)
+    _, delta_t = _trace_delta(
+        lambda: _run(ir_t, grid_t, block_t, args_t, image_t, trace=True))
+    assert delta_t["traced_launches"] == 1
+    assert delta_t["bailouts"] == 0
+
+    # The bailing kernel still computed the right answer (fallback ran).
+    mem_ref, _ = _run(ir_w, grid_w, block_w, args_w, image_w, trace=False)
+    np.testing.assert_array_equal(mem_w, mem_ref)
+
+
+def test_cached_bailout_not_retried(rng):
+    """A second launch of a bailing kernel reuses the cached verdict."""
+    ir, grid, block, args, image = _setup("warp_reduce_sum", 257, rng)
+    _, d1 = _trace_delta(
+        lambda: _run(ir, grid, block, args, image, trace=True))
+    _, d2 = _trace_delta(
+        lambda: _run(ir, grid, block, args, image, trace=True))
+    assert d1["reasons"].get("shuffle", 0) == 1
+    assert d2["reasons"].get("shuffle", 0) == 1  # counted, served from cache
+    assert trace_cache_size() == 1  # one negative entry, not one per launch
+
+
+# -- trace_mode=off is inert --------------------------------------------------
+
+
+def test_trace_off_touches_nothing(rng):
+    """trace_mode=False must leave every trace counter and cache alone."""
+    ir, grid, block, args, image = _setup("stream_triad", 4096, rng)
+    _, delta = _trace_delta(
+        lambda: _run(ir, grid, block, args, image, trace=False))
+    assert delta["hits"] == delta["misses"] == delta["bailouts"] == 0
+    assert delta["traced_launches"] == delta["traced_batches"] == 0
+    assert trace_cache_size() == 0
+
+
+# -- cache behaviour ----------------------------------------------------------
+
+
+def test_trace_cache_hit_on_relaunch(rng):
+    ir, grid, block, args, image = _setup("stream_triad", 4096, rng)
+    ex = KernelExecutor(ir, 32, image.copy(), trace_mode=True)
+    _, d1 = _trace_delta(lambda: ex.launch(grid, block, args))
+    _, d2 = _trace_delta(lambda: ex.launch(grid, block, args))
+    assert (d1["misses"], d1["hits"]) == (1, 0)
+    assert (d2["misses"], d2["hits"]) == (0, 1)
+    assert trace_cache_size() == 1
+
+
+def test_distinct_shapes_get_distinct_programs(rng):
+    """The trace key covers geometry: a new grid is a new program."""
+    ir, grid, block, args, image = _setup("stream_triad", 4096, rng)
+    _run(ir, grid, block, args, image, trace=True)
+    assert trace_cache_size() == 1
+    ir2, grid2, block2, args2, image2 = _setup("stream_triad", 257, rng)
+    _run(ir2, grid2, block2, args2, image2, trace=True)
+    assert trace_cache_size() == 2
+
+
+# -- errors surface identically -----------------------------------------------
+
+
+@pytest.mark.parametrize("trace", [True, False])
+def test_divergent_barrier_raises_in_both_modes(trace):
+    b = IRBuilder("k")
+    b.param("out", dtypes.F64, pointer=True)
+    t = b.cvt(b.special("tid.x"), dtypes.I64)
+    with b.if_(b.lt(t, 16)):
+        b.barrier()
+    mem = np.zeros(1 << 12, dtype=np.uint8)
+    ex = KernelExecutor(b.build(), 32, mem, trace_mode=trace)
+    with pytest.raises(DivergentBarrierError, match="16 of 64"):
+        ex.launch((4,), (64,), [0])
+
+
+# -- metrics surface ----------------------------------------------------------
+
+
+def test_metrics_snapshot_exposes_trace_section(rng):
+    from repro.service.metrics import MetricsRegistry
+
+    ir, grid, block, args, image = _setup("ew_mul", 257, rng)
+    _run(ir, grid, block, args, image, trace=True)
+    snap = MetricsRegistry().snapshot()
+    trace = snap["trace"]
+    for key in ("hits", "misses", "bailouts", "traced_launches",
+                "traced_batches", "bailout_reasons"):
+        assert key in trace
+    assert trace["misses"] >= 1
+    assert trace["traced_launches"] >= 1
