@@ -14,6 +14,11 @@ Two jobs:
 3. Time the perfstat abstract cost interpreter over the same library —
    predicting a kernel's LaunchStats must stay well under 10 ms, since
    ``gpu-compat lint --perf`` walks all 27 kernels plus 51 cells.
+4. Time tracesan's static translation validation of every traceable
+   kernel's generated program — each proof must stay under 50 ms so the
+   ``lint --traces`` CI gate stays interactive — and summarize the
+   remaining lint families (routes evidence, transval) so the artifact
+   covers all five in one page.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import time
 from repro.analysis import AnalysisOptions, LaunchBounds, analyze_kernel
 from repro.analysis.costmodel import cost_kernel
 from repro.analysis.perfstat import STATIC_LAUNCHES
+from repro.analysis.tracesan import validate_library
 from repro.kernels import BLOCK, KERNEL_LIBRARY
 
 #: Kernels each bundled workload launches (see workloads/*.py).
@@ -126,12 +132,54 @@ def test_kernelsan_report(artifacts_dir):
         f"slowest cost model: {worst} ({cost_timings[worst] * 1e3:.2f} ms)",
         f"aggregate cost-model time: "
         f"{sum(cost_timings.values()) * 1e3:.2f} ms",
+        "",
+        "== tracesan static trace validation (canonical geometry)",
+        f"{'kernel':24s} {'val ms':>8s}  verdict",
+    ]
+    trace_errors = 0
+    results = validate_library()
+    for name in workload_names + library_names:
+        verdict = results[name]
+        if isinstance(verdict, str):
+            lines.append(f"{name:24s} {'-':>8s}  bailout ({verdict}), "
+                         f"interpreter tier")
+            continue
+        trace_errors += sum(1 for d in verdict.diagnostics if d.is_error)
+        tag = "exact" if verdict.exact else (
+            "conservative bound" if verdict.validated else "FAILED")
+        note = "; ".join(d.code for d in verdict.diagnostics)
+        lines.append(f"{name:24s} {verdict.elapsed_ms:8.2f}  proven {tag}"
+                     + (f" [{note}]" if note else ""))
+    verdicts = [v for v in results.values() if not isinstance(v, str)]
+    slowest_v = max(verdicts, key=lambda v: v.elapsed_ms)
+    lines += [
+        f"validated {sum(1 for v in verdicts if v.validated)}/"
+        f"{len(results)} kernels "
+        f"({sum(1 for v in results.values() if isinstance(v, str))} "
+        f"bailed out), 0 kernel executions",
+        f"slowest validation: {slowest_v.kernel} "
+        f"({slowest_v.elapsed_ms:.2f} ms; budget 50 ms/kernel)",
+        f"aggregate validation time: "
+        f"{sum(v.elapsed_ms for v in verdicts):.2f} ms",
+        "",
+        "== remaining lint families (rollup)",
+    ]
+    from repro.analysis.routes_evidence import cross_check
+    from repro.analysis.transval import shipped_translators, validate_all
+
+    routes_report = cross_check()
+    tv_report = validate_all(shipped_translators())
+    lines += [
+        f"routes evidence: {routes_report.summary_line()}",
+        f"transval:        {tv_report.summary_line()}",
     ]
     (artifacts_dir / "kernelsan_report.txt").write_text(
         "\n".join(lines) + "\n")
 
-    # The shipped corpus must lint clean at error severity.
+    # The shipped corpus must lint clean at error severity — in the
+    # classic kernelsan sweep and in the trace-validation sweep alike.
     assert total_errors == 0
+    assert trace_errors == 0
 
 
 def test_lint_wall_time_is_tracked(artifacts_dir):
@@ -151,3 +199,20 @@ def test_perfstat_cost_stays_interactive():
     for name in KERNEL_LIBRARY:
         _cost_obj, best = _cost(name)
         assert best < 0.010, (name, best)
+
+
+def test_tracesan_validation_stays_in_budget():
+    """Every static trace-equivalence proof finishes under 50 ms —
+    the per-kernel budget of the ``lint --traces`` CI gate.  One
+    wall-clock sample is noisy, so over-budget kernels get a best-of-3
+    re-proof before the test fails."""
+    over = {}
+    for name, v in validate_library().items():
+        if isinstance(v, str) or v.elapsed_ms < 50.0:
+            continue
+        ir = KERNEL_LIBRARY[name].ir
+        best = min(validate_library(kernels={name: ir})[name].elapsed_ms
+                   for _ in range(3))
+        if best >= 50.0:
+            over[name] = best
+    assert not over, f"kernels over the 50 ms validation budget: {over}"

@@ -18,6 +18,9 @@ Entry points:
   ``TV06``) for the source-to-source routes;
 * :mod:`repro.analysis.routes_evidence` — static route-evidence
   derivation of Figure 1 and the paper cross-check (``RE01``–``RE03``);
+* :mod:`repro.analysis.tracesan` — static translation validation of
+  trace-compiled programs (``TC01``–``TC06``), proving each generated
+  program equivalent to its kernel IR without executing either;
 * ``Toolchain.compile(..., sanitize=True)`` and the ``gpu-compat lint``
   CLI are the integrated front doors.
 """

@@ -104,6 +104,22 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
     "PS06": (Severity.INFO,
              "static-vs-dynamic perf divergence suppressed by a documented "
              "ledger entry"),
+    # -- tracesan: translation validation of trace-compiled programs ---------
+    "TC01": (Severity.ERROR,
+             "generated trace program's effect summary diverges from the "
+             "kernel IR's interpreter semantics"),
+    "TC02": (Severity.ERROR,
+             "generated trace program escapes the closed exec allowlist"),
+    "TC03": (Severity.ERROR,
+             "deferred (sunk) register chain cannot be re-proved "
+             "(single-site, dominance, or operand stability fails)"),
+    "TC04": (Severity.WARNING,
+             "trace equivalence proven only as a conservative bound "
+             "(exact=False degradation)"),
+    "TC05": (Severity.INFO,
+             "kernel bailed out of trace compilation; nothing to validate"),
+    "TC06": (Severity.INFO,
+             "trace divergence suppressed by a documented ledger entry"),
 }
 
 

@@ -1,0 +1,1786 @@
+"""tracesan — static translation validation of trace-compiled programs.
+
+:mod:`repro.isa.tracing` compiles hot kernel batches into generated
+Python programs that are ``exec``'d in-process.  Its correctness story
+so far is *dynamic*: differential tests compare traced output against
+the interpreter.  This module closes the silent-miscompile gap with a
+per-program **static** validator in the translation-validation style of
+the route-level TV passes: it takes a :class:`~repro.isa.tracing.
+TracedProgram`'s generated source plus its :class:`~repro.isa.module.
+KernelIR` and proves — without executing either — that the program
+preserves interpreter semantics.
+
+Three phases, reported as ``TC01``-``TC06`` diagnostics:
+
+1. **Allowlist lint (TC02).**  The generated source is parsed to an AST
+   and checked against a *closed* grammar: only the runtime helpers the
+   trace namespace provides (``_resolve``/``_atomic``/``_barrier``/...),
+   lane-array locals, a fixed set of ``np.*``/``B.*``/``X.*``/``stats.*``
+   attributes, and structured statements.  No imports, no comprehensions,
+   no attribute escapes.  This is the safety gate on code we ``exec``.
+
+2. **Effect-summary equivalence (TC01/TC04).**  The kernel IR is
+   abstract-interpreted over the :mod:`repro.analysis.symbolic` affine
+   lattice (the same lattice kernelsan's bounds checks use), deriving a
+   per-instruction effect summary: counter metering (``_ic``/``_fl``/
+   ``_bld``/``_bst``/``_ao``/``_ba``), memory reads/writes with address
+   affines, mask provenance, and barrier points.  The generated program
+   is matched region by region against that summary — every instruction
+   must meter ``_ic`` with the active context multiplicity, every load/
+   store/atomic must touch the right space and element size under the
+   right mask, every fast-path base address must agree with the
+   independently derived affine.  A *provable* disagreement is ``TC01``
+   (error).  When a summary is only a conservative bound (an affine the
+   checker cannot derive, a gate shape it cannot classify) the verdict
+   degrades to ``exact=False`` and reports ``TC04`` (warning) — the same
+   degradation contract the bitonic cost model uses.
+
+3. **Deferral re-proof (TC03).**  The trace compiler *sinks* pure
+   single-site register chains into fast-path ``else`` arms.  The
+   checker independently re-proves the three claims that make sinking
+   sound — single static site, dominance of every splice over its uses,
+   and operand stability across the replay horizon — directly on the
+   generated AST, and flags any sunk chain it cannot re-prove.
+
+Verdicts suppressed by :data:`repro.data.trace_divergences.
+KNOWN_TRACE_DIVERGENCES` (which ships empty) surface as ``TC06`` info;
+kernels that bailed out of trace compilation are ``TC05`` info and are
+*never* validated.
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.symbolic import Affine
+from repro.analysis.diagnostics import (Diagnostic, LintReport, Severity,
+                                        make)
+from repro.data.trace_divergences import divergence_reason
+from repro.isa import dtypes
+from repro.isa.dtypes import SCALAR_TYPES
+from repro.isa.instructions import (AtomicOp, Barrier, BinOp, Cmp, Cvt, If,
+                                    Imm, Load, MemSpace, Mov, Param,
+                                    Register, Select, SharedAlloc,
+                                    SpecialRead, Store, UnaryOp, While)
+
+__all__ = [
+    "TraceVerdict",
+    "validate_program",
+    "canonical_batch_width",
+    "validate_library",
+    "lint_traces",
+    "traces_lint_report",
+    "trace_agreement_summary",
+]
+
+_MAX_LOOP_TRIPS = 10_000_000
+
+
+def _np_name(dt) -> str:
+    name = dt.np_dtype.name
+    return "bool_" if name == "bool" else name
+
+
+def _dst_of(ins):
+    dst = getattr(ins, "dst", None)
+    return dst if isinstance(dst, Register) else None
+
+
+def _unparse(node: ast.AST) -> str:
+    return ast.unparse(node)
+
+
+# ---------------------------------------------------------------------------
+# Verdict
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceVerdict:
+    """Outcome of statically validating one traced program.
+
+    Attributes:
+        key: The trace-cache key the program was compiled under.
+        kernel: Kernel name.
+        validated: True when no error-severity diagnostic fired.
+        exact: True when every effect summary was proven *equal*; False
+            when any summary was only a conservative bound (``TC04``).
+        diagnostics: All findings, including suppressed ``TC06`` notes.
+        elapsed_ms: Wall time the validation took.
+    """
+
+    key: tuple
+    kernel: str
+    validated: bool
+    exact: bool
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    elapsed_ms: float = 0.0
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+
+# ---------------------------------------------------------------------------
+# Phase 1 — closed exec allowlist (TC02)
+# ---------------------------------------------------------------------------
+
+#: Names the exec namespace provides plus program-local scalars.
+_FIXED_NAMES = frozenset({
+    "X", "B", "args", "stats", "np", "DT",
+    "_assign", "_resolve", "_atomic", "_barrier", "_span_ok",
+    "_cdiv", "_crem",
+    "IRError", "MemoryFaultError", "DivergentBarrierError",
+    "bool", "int", "min", "max", "None", "True", "False",
+    "_L", "_nB", "_fb", "_ic", "_fl", "_bld", "_bst", "_ao", "_ba",
+    "_sh", "_svs",
+})
+
+#: Generated temp-local families (``_b3``, ``_k1``, ``_lv2``, ...).
+_TEMP_PREFIXES = ("t", "sy", "b", "j", "c", "a", "a2", "ad", "vw", "ix",
+                  "o", "sf", "k", "m", "n", "lv", "ln", "tr")
+
+#: np.<attr> names a trace program may reference.
+_NP_ATTRS = frozenset({
+    "add", "subtract", "multiply", "divide", "mod", "minimum", "maximum",
+    "power", "left_shift", "right_shift",
+    "logical_and", "logical_or", "logical_xor", "logical_not",
+    "bitwise_and", "bitwise_or", "bitwise_xor", "bitwise_not",
+    "negative", "abs", "sqrt", "exp", "log", "sin", "cos", "tanh",
+    "floor", "ceil", "rint",
+    "equal", "not_equal", "less", "less_equal", "greater", "greater_equal",
+    "where", "full", "empty", "ones", "zeros", "asarray",
+    "ascontiguousarray", "copyto",
+} | {_np_name(dt) for dt in SCALAR_TYPES.values()})
+
+_B_ATTRS = frozenset({"lanes", "n_blocks", "first_block", "tid", "ctaid",
+                      "block_linear"})
+_X_ATTRS = frozenset({"_gview", "_shared_arena"})
+_STATS_ATTRS = frozenset({"instructions", "flops", "bytes_loaded",
+                          "bytes_stored", "atomic_ops", "barriers"})
+#: Methods callable on arbitrary sub-expressions (ndarray surface).
+_METHOD_ATTRS = frozenset({"copy", "astype", "reshape", "view", "flatten",
+                           "sum"})
+
+_ALLOWED_STMTS = (ast.Assign, ast.AugAssign, ast.If, ast.While, ast.Raise,
+                  ast.Break, ast.Pass, ast.Expr)
+_DTN_NAMES = frozenset(SCALAR_TYPES)
+
+
+def _name_allowed(name: str) -> bool:
+    if name in _FIXED_NAMES:
+        return True
+    if name.startswith("r") and name[1:].isdigit():
+        return True
+    if name.startswith("_"):
+        body = name[1:]
+        for prefix in _TEMP_PREFIXES:
+            if body.startswith(prefix) and body[len(prefix):].isdigit():
+                return True
+        for view in ("gv_", "sv_", "s2_"):
+            if body.startswith(view) and body[len(view):] in _DTN_NAMES:
+                return True
+    return False
+
+
+def _check_allowlist(tree: ast.Module, kernel: str) -> list[Diagnostic]:
+    """Phase 1: every node of the generated AST is on the closed list."""
+    out: list[Diagnostic] = []
+
+    def bad(node: ast.AST, what: str) -> None:
+        out.append(make(
+            "TC02", kernel, f"line {getattr(node, 'lineno', 0)}",
+            f"generated program escapes the exec allowlist: {what}",
+            hint="the trace compiler never emits this construct; treat the "
+                 "program as hostile and refuse to exec it"))
+
+    if (len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef)
+            or tree.body[0].name != "_trace"):
+        bad(tree, "module is not a single `def _trace(...)`")
+        return out
+    fn = tree.body[0]
+    arg_names = [a.arg for a in fn.args.args]
+    if (arg_names != ["X", "B", "args", "stats"] or fn.args.vararg
+            or fn.args.kwarg or fn.args.kwonlyargs or fn.args.defaults
+            or fn.decorator_list):
+        bad(fn, "unexpected _trace signature")
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.stmt):
+            if isinstance(node, ast.FunctionDef) and node is fn:
+                continue
+            if not isinstance(node, _ALLOWED_STMTS):
+                bad(node, f"statement {type(node).__name__}")
+            elif isinstance(node, ast.Raise):
+                exc = node.exc
+                if not (isinstance(exc, ast.Call)
+                        and isinstance(exc.func, ast.Name)
+                        and exc.func.id == "IRError"
+                        and all(isinstance(a, ast.Constant)
+                                and isinstance(a.value, str)
+                                for a in exc.args)):
+                    bad(node, "raise of anything but IRError(<str>)")
+        elif isinstance(node, ast.Name):
+            if not _name_allowed(node.id):
+                bad(node, f"name `{node.id}`")
+        elif isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "np":
+                if node.attr not in _NP_ATTRS:
+                    bad(node, f"np.{node.attr}")
+            elif isinstance(base, ast.Name) and base.id == "B":
+                if node.attr not in _B_ATTRS:
+                    bad(node, f"B.{node.attr}")
+            elif isinstance(base, ast.Name) and base.id == "X":
+                if node.attr not in _X_ATTRS:
+                    bad(node, f"X.{node.attr}")
+            elif isinstance(base, ast.Name) and base.id == "stats":
+                if node.attr not in _STATS_ATTRS:
+                    bad(node, f"stats.{node.attr}")
+            elif node.attr not in _METHOD_ATTRS:
+                bad(node, f"attribute .{node.attr}")
+        elif isinstance(node, (ast.Import, ast.ImportFrom, ast.Lambda,
+                               ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp, ast.Await, ast.Yield,
+                               ast.YieldFrom, ast.NamedExpr, ast.Starred,
+                               ast.JoinedStr, ast.Global, ast.Nonlocal)):
+            bad(node, type(node).__name__)
+        elif isinstance(node, ast.Constant):
+            if not isinstance(node.value, (int, float, bool, str,
+                                           type(None))):
+                bad(node, f"constant {node.value!r}")
+        elif isinstance(node, ast.Call):
+            fnode = node.func
+            ok = (isinstance(fnode, (ast.Name, ast.Attribute)))
+            if not ok or node.keywords and any(
+                    kw.arg not in ("dtype", "where") for kw in node.keywords):
+                bad(node, "call with unexpected shape")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Phase 2 — IR-side effect derivation
+# ---------------------------------------------------------------------------
+#
+# The checker re-derives, *independently of the trace compiler*, the
+# classification every emission decision hangs off: which registers are
+# thread-varying, which need merge slots, and what affine each address
+# register denotes.  The uniformity fixpoint below is the compiler's
+# published contract (tracing._TraceCompiler._analyze) restated; the
+# affine domain is repro.analysis.symbolic with atoms
+#   "fb"      — first block index of the batch,
+#   "t"       — thread linear index within a block,
+#   "row"     — block row within the batch,
+#   "sym:<r>" — a uniform integer register's runtime value.
+
+
+class _IRInfo:
+    """Uniformity / merge / dtype classification of one kernel IR."""
+
+    def __init__(self, kernel, warp_size, grid, block):
+        self.k = kernel
+        self.warp = warp_size
+        self.grid = grid
+        self.block = block
+        self.bt = block[0] * block[1] * block[2]
+        self.total_blocks = grid[0] * grid[1] * grid[2]
+        self.dims = {
+            "ntid.x": block[0], "ntid.y": block[1], "ntid.z": block[2],
+            "nctaid.x": grid[0], "nctaid.y": grid[1], "nctaid.z": grid[2],
+        }
+        self.shared_bytes = max(kernel.shared_bytes, 8)
+        self.counts: dict[str, int] = {}
+        self.sites: dict[str, int] = {}
+        self.regdt: dict[str, object] = {}
+        self.varying: set[str] = set()
+        self.merge: set[str] = set()
+        self.global_dts: set[str] = set()
+        self.shared_dts: set[str] = set()
+        self._analyze()
+
+    def _op_uniform(self, op) -> bool:
+        if isinstance(op, Imm):
+            return True
+        return op.name not in self.varying
+
+    def _value_uniform(self, ins) -> bool:
+        if isinstance(ins, (Mov, UnaryOp, Cvt)):
+            return self._op_uniform(ins.src)
+        if isinstance(ins, (BinOp, Cmp)):
+            return self._op_uniform(ins.a) and self._op_uniform(ins.b)
+        if isinstance(ins, Select):
+            return (self._op_uniform(ins.pred) and self._op_uniform(ins.a)
+                    and self._op_uniform(ins.b))
+        if isinstance(ins, SpecialRead):
+            return ins.which in ("ntid.x", "ntid.y", "ntid.z", "nctaid.x",
+                                 "nctaid.y", "nctaid.z", "warpsize")
+        if isinstance(ins, SharedAlloc):
+            return True
+        return False
+
+    def _analyze(self) -> None:
+        counts = self.counts
+
+        def cwalk(body, in_loop):
+            for ins in body:
+                d = _dst_of(ins)
+                if d is not None:
+                    counts[d.name] = counts.get(d.name, 0) + (
+                        2 if in_loop else 1)
+                    self.sites[d.name] = self.sites.get(d.name, 0) + 1
+                    self.regdt[d.name] = d.dtype
+                if isinstance(ins, If):
+                    cwalk(ins.then_body, in_loop)
+                    cwalk(ins.else_body, in_loop)
+                elif isinstance(ins, While):
+                    cwalk(ins.cond_body, True)
+                    cwalk(ins.body, True)
+
+        cwalk(self.k.body, False)
+        for p in self.k.params:
+            counts[p.name] = counts.get(p.name, 0) + 1
+            self.regdt[p.name] = dtypes.U64 if p.is_pointer else p.dtype
+
+        nonfull: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            nonfull = set()
+
+            def uwalk(body, static_full):
+                nonlocal changed
+                for ins in body:
+                    if isinstance(ins, If):
+                        cu = self._op_uniform(ins.cond)
+                        uwalk(ins.then_body, static_full and cu)
+                        uwalk(ins.else_body, static_full and cu)
+                        continue
+                    if isinstance(ins, While):
+                        cu = self._op_uniform(ins.cond)
+                        uwalk(ins.cond_body, static_full and cu)
+                        uwalk(ins.body, static_full and cu)
+                        continue
+                    d = _dst_of(ins)
+                    if d is None:
+                        continue
+                    if not static_full:
+                        nonfull.add(d.name)
+                    ok = self._value_uniform(ins) and (
+                        static_full or counts.get(d.name, 0) <= 1)
+                    if not ok and d.name not in self.varying:
+                        self.varying.add(d.name)
+                        changed = True
+
+            uwalk(self.k.body, True)
+
+        self.merge = {name for name in self.varying
+                      if counts.get(name, 0) >= 2 and name in nonfull}
+
+        def mwalk(body):
+            for ins in body:
+                if isinstance(ins, Load):
+                    (self.global_dts if ins.space == MemSpace.GLOBAL
+                     else self.shared_dts).add(ins.dst.dtype.name)
+                elif isinstance(ins, (Store, AtomicOp)):
+                    (self.global_dts if ins.space == MemSpace.GLOBAL
+                     else self.shared_dts).add(ins.src.dtype.name)
+                elif isinstance(ins, If):
+                    mwalk(ins.then_body)
+                    mwalk(ins.else_body)
+                elif isinstance(ins, While):
+                    mwalk(ins.cond_body)
+                    mwalk(ins.body)
+
+        mwalk(self.k.body)
+
+
+@dataclass
+class _APrefix:
+    """A lane-prefix claim derived from a comparison: lanes [0, thr)."""
+
+    kind: str       # "lin" (batch-linear) | "block" (per-block prefix)
+    d0: int
+    dfb: int
+    cbl: int
+    off: int
+    u: tuple        # ("reg", name) | ("const", value)
+
+
+@dataclass
+class _AVal:
+    """Abstract value of one IR register at one program point."""
+
+    dtype: object = None
+    uniform: bool = False
+    const: int | None = None
+    aff: Affine | None = None
+    prefix: _APrefix | None = None
+    src_reg: str | None = None   # provenance for sym minting
+
+
+def _int_lo_hi(dt) -> tuple[int, int]:
+    bits = dt.itemsize * 8
+    if dt.np_dtype.kind == "u" or dt.is_pred:
+        return 0, (1 << bits) - 1
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def _const_in_range(value: int, dt) -> int | None:
+    if dt is None or not dt.is_integer:
+        return None
+    lo, hi = _int_lo_hi(dt)
+    return value if lo <= value <= hi else None
+
+
+def _aff_of(v: _AVal) -> Affine | None:
+    """The affine a value denotes, minting a sym atom when it is a
+    uniform integer register whose runtime value we cannot fold."""
+    if v.aff is not None:
+        return v.aff
+    if v.const is not None:
+        return Affine.of_const(v.const)
+    if (v.uniform and v.dtype is not None and v.dtype.is_integer
+            and v.src_reg is not None):
+        return Affine.of_atom(f"sym:{v.src_reg}")
+    return None
+
+
+def _sym_atoms(aff: Affine) -> list[str]:
+    return [a for a in aff.atoms if a.startswith("sym:")]
+
+
+def _binop_aff(op: str, a: _AVal, b: _AVal, dst_dt) -> Affine | None:
+    """Mirror of the compiler's affine propagation: integer add/sub, and
+    mul by a pure constant; at most one sym atom in the result."""
+    if dst_dt is None or not dst_dt.is_integer:
+        return None
+    aa, ba = _aff_of(a), _aff_of(b)
+    if aa is None or ba is None:
+        return None
+    if op == "add":
+        out = aa + ba
+    elif op == "sub":
+        out = aa - ba
+    elif op == "mul":
+        if aa.is_const and not _sym_atoms(aa):
+            out = ba.scale(aa.const)
+        elif ba.is_const and not _sym_atoms(ba):
+            out = aa.scale(ba.const)
+        else:
+            return None
+    else:
+        return None
+    if len(_sym_atoms(out)) > 1:
+        return None
+    return out
+
+
+def _binop_const(op: str, a: _AVal, b: _AVal, dst_dt) -> int | None:
+    if a.const is None or b.const is None:
+        return None
+    if op == "add":
+        v = a.const + b.const
+    elif op == "sub":
+        v = a.const - b.const
+    elif op == "mul":
+        v = a.const * b.const
+    else:
+        return None
+    return _const_in_range(v, dst_dt)
+
+
+def _cmp_prefix(op: str, a: _AVal, b: _AVal, bt: int) -> _APrefix | None:
+    """Mirror of the compiler's prefix derivation for fast gated Ifs."""
+    if op not in ("lt", "le", "gt", "ge"):
+        return None
+    if (a.dtype is None or b.dtype is None
+            or a.dtype.np_dtype != b.dtype.np_dtype
+            or not a.dtype.is_integer):
+        return None
+    if not a.uniform and b.uniform:
+        av, u, off = a, b, {"lt": 0, "le": 1}.get(op)
+    elif not b.uniform and a.uniform:
+        av, u, off = b, a, {"gt": 0, "ge": 1}.get(op)
+    else:
+        return None
+    if off is None:
+        return None
+    aff = av.aff
+    if aff is None or _sym_atoms(aff):
+        return None
+    cbl = aff.coeff("t")
+    crow = aff.coeff("row")
+    if cbl <= 0:
+        return None
+    if crow == cbl * bt:
+        kind = "lin"
+    elif crow == 0:
+        kind = "block"
+    else:
+        return None
+    if u.const is not None:
+        uval = ("const", u.const)
+    elif u.src_reg is not None:
+        uval = ("reg", u.src_reg)
+    else:
+        return None
+    return _APrefix(kind, aff.const, aff.coeff("fb"), cbl, off, uval)
+
+
+# ---------------------------------------------------------------------------
+# Phase 2 — generated-program matcher
+# ---------------------------------------------------------------------------
+
+#: Expected callee text per BinOp op (dtype-dependent entries handled in
+#: code: div/rem pick the float or integer helper by result dtype,
+#: and/or/xor pick logical vs bitwise by pred-ness).
+_BINOP_CALLEES = {
+    "add": "np.add", "sub": "np.subtract", "mul": "np.multiply",
+    "min": "np.minimum", "max": "np.maximum", "pow": "np.power",
+    "shl": "np.left_shift", "shr": "np.right_shift",
+}
+_UNARY_CALLEES = {
+    "neg": "np.negative", "abs": "np.abs", "sqrt": "np.sqrt",
+    "rsqrt": "np.sqrt", "exp": "np.exp", "log": "np.log", "sin": "np.sin",
+    "cos": "np.cos", "tanh": "np.tanh", "floor": "np.floor",
+    "ceil": "np.ceil", "round": "np.rint", "not": "np.logical_not",
+    "bitnot": "np.bitwise_not",
+}
+_CMP_CALLEES = {
+    "eq": "np.equal", "ne": "np.not_equal", "lt": "np.less",
+    "le": "np.less_equal", "gt": "np.greater", "ge": "np.greater_equal",
+}
+
+_PURE_KINDS = (Mov, UnaryOp, BinOp, Cmp, Select, Cvt, SpecialRead)
+
+
+class _Stop(Exception):
+    """Abort matching after a fatal (error-severity) finding."""
+
+
+def _norm(text: str) -> str:
+    """Canonical rendering of an expression for text comparison."""
+    try:
+        return ast.unparse(ast.parse(text, mode="eval"))
+    except SyntaxError:
+        return text
+
+
+def _is_counter_bump(stmt, name: str) -> bool:
+    return (isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.op, ast.Add)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == name)
+
+
+def _assign_target(stmt) -> str | None:
+    if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)):
+        return stmt.targets[0].id
+    return None
+
+
+def _is_temp(name: str | None, prefix: str) -> bool:
+    return (name is not None and name.startswith("_" + prefix)
+            and name[len(prefix) + 1:].isdigit())
+
+
+def _find_calls(node: ast.AST, callee: str) -> list[ast.Call]:
+    out = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and _unparse(sub.func) == callee:
+            out.append(sub)
+    return out
+
+
+def _expected_value_callee(ins) -> str | None:
+    """The intrinsic the payload of a value instruction must contain."""
+    if isinstance(ins, BinOp):
+        op = ins.op
+        if op == "div":
+            return "np.divide" if ins.dst.dtype.is_float else "_cdiv"
+        if op == "rem":
+            return "np.mod" if ins.dst.dtype.is_float else "_crem"
+        if op in ("and", "or", "xor"):
+            family = ("logical" if ins.dst.dtype.is_pred else "bitwise")
+            return f"np.{family}_{op}"
+        return _BINOP_CALLEES.get(op)
+    if isinstance(ins, UnaryOp):
+        return _UNARY_CALLEES.get(ins.op)
+    if isinstance(ins, Cmp):
+        return _CMP_CALLEES.get(ins.op)
+    if isinstance(ins, Select):
+        return "np.where"
+    return None
+
+
+def _linform(node: ast.AST, sy: dict[str, str]) -> dict | None:
+    """Parse a generated base-address expression into a linear form over
+    {"1", "fb", ("sym", text)} or None when it is not linear."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, int):
+            return None
+        return {"1": node.value}
+    if isinstance(node, ast.Name):
+        if node.id == "_fb":
+            return {"fb": 1}
+        if _is_temp(node.id, "sy"):
+            return {("sym", sy.get(node.id, node.id)): 1}
+        return {("sym", node.id): 1}
+    if isinstance(node, ast.Call):
+        fn = _unparse(node.func)
+        if fn == "int" and len(node.args) == 1:
+            inner = node.args[0]
+            if isinstance(inner, ast.Name) and _is_temp(inner.id, "sy"):
+                return {("sym", sy.get(inner.id, inner.id)): 1}
+            return {("sym", _norm(_unparse(inner))): 1}
+        if (fn.startswith("np.") and len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, int)):
+            return {"1": node.args[0].value}
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _linform(node.operand, sy)
+        if inner is None:
+            return None
+        return {k: -v for k, v in inner.items()}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add,
+                                                            ast.Sub)):
+        a = _linform(node.left, sy)
+        b = _linform(node.right, sy)
+        if a is None or b is None:
+            return None
+        sign = 1 if isinstance(node.op, ast.Add) else -1
+        out = dict(a)
+        for k, v in b.items():
+            out[k] = out.get(k, 0) + sign * v
+        return {k: v for k, v in out.items() if v != 0}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        a = _linform(node.left, sy)
+        b = _linform(node.right, sy)
+        if a is None or b is None:
+            return None
+        for const_side, var_side in ((a, b), (b, a)):
+            if set(const_side) <= {"1"}:
+                c = const_side.get("1", 0)
+                return {k: v * c for k, v in var_side.items() if v * c != 0}
+        return None
+    return None
+
+
+@dataclass
+class _MCtx:
+    """Matching context: the active execution multiplicity and mask."""
+
+    full: bool
+    n_text: str            # normalized text the `_ic +=` bump must use
+    arr: list              # one-slot cell: mask local text, None = unbound
+
+    def bind_mask(self, text: str) -> bool:
+        """Bind or check the context's mask text; False on conflict."""
+        if self.full:
+            return text == "None"
+        if self.arr[0] is None:
+            self.arr[0] = text
+            return True
+        return self.arr[0] == text
+
+
+_VIEW_ROOTS = ("_gv_", "_sv_", "_s2_", "_vw")
+
+
+def _view_store_targets(stmt) -> int:
+    """Subscript stores whose root is a memory view (not a temp)."""
+    count = 0
+    for node in ast.walk(stmt):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for t in targets:
+            root = t
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if (isinstance(t, ast.Subscript) and isinstance(root, ast.Name)
+                    and root.id.startswith(_VIEW_ROOTS)):
+                count += 1
+    return count
+
+
+class _Checker:
+    """Match one generated trace program against its kernel IR."""
+
+    def __init__(self, kernel, source: str, warp_size, grid, block):
+        self.k = kernel
+        self.source = source
+        self.info = _IRInfo(kernel, warp_size, grid, block)
+        self.env: dict[str, _AVal] = {}
+        self.diags: list[Diagnostic] = []
+        self.exact = True
+        self.sy: dict[str, str] = {}
+        self.param_local: dict[str, str] = {}
+        self.local_map: dict[str, str] = {}   # local -> IR register name
+        self.fast_gate_ifs: list[ast.If] = []
+        self.shared_cursor = 0
+
+    # -- reporting ---------------------------------------------------------
+
+    def _tc01(self, path: str, msg: str, hint: str = "") -> None:
+        self.diags.append(make("TC01", self.k.name, path, msg, hint))
+        raise _Stop
+
+    def _tc03(self, path: str, msg: str) -> None:
+        self.diags.append(make("TC03", self.k.name, path, msg))
+
+    def _tc04(self, path: str, msg: str) -> None:
+        self.exact = False
+        self.diags.append(make("TC04", self.k.name, path, msg))
+
+    # -- abstract environment ----------------------------------------------
+
+    def _read_op(self, op) -> _AVal:
+        if isinstance(op, Imm):
+            c = _const_in_range(int(op.value), op.dtype) \
+                if op.dtype.is_integer else None
+            return _AVal(op.dtype, True, c,
+                         Affine.of_const(c) if c is not None else None)
+        v = self.env.get(op.name)
+        if v is None:
+            v = _AVal(self.info.regdt.get(op.name),
+                      op.name not in self.info.varying)
+        return _AVal(v.dtype, v.uniform, v.const, v.aff, v.prefix,
+                     src_reg=op.name)
+
+    def _strip(self, names) -> None:
+        for n in names:
+            self.env[n] = _AVal(self.info.regdt.get(n),
+                                n not in self.info.varying)
+
+    def _assigned_in(self, body) -> set[str]:
+        out: set[str] = set()
+        for ins in body:
+            d = _dst_of(ins)
+            if d is not None:
+                out.add(d.name)
+            if isinstance(ins, If):
+                out |= self._assigned_in(ins.then_body)
+                out |= self._assigned_in(ins.else_body)
+            elif isinstance(ins, While):
+                out |= self._assigned_in(ins.cond_body)
+                out |= self._assigned_in(ins.body)
+        return out
+
+    def _astep(self, ins) -> None:
+        """Abstractly execute one value instruction (mirrors the
+        compiler's const/affine/prefix propagation, including the
+        fresh-cast degradation in ``_assign``)."""
+        dst = _dst_of(ins)
+        if dst is None:
+            return
+        name, dt = dst.name, dst.dtype
+        out = _AVal(dt, name not in self.info.varying)
+        vdt = None          # the dtype the value expression produces
+        if isinstance(ins, Mov):
+            s = self._read_op(ins.src)
+            vdt = s.dtype
+            out.const, out.aff, out.prefix = s.const, s.aff, s.prefix
+        elif isinstance(ins, BinOp):
+            a, b = self._read_op(ins.a), self._read_op(ins.b)
+            if (a.dtype is not None and b.dtype is not None
+                    and a.dtype.np_dtype == b.dtype.np_dtype):
+                vdt = a.dtype
+            if ins.op == "div" and (vdt is None or not vdt.is_float):
+                vdt = None if not dt.is_float else vdt
+            out.const = _binop_const(ins.op, a, b, dt)
+            out.aff = _binop_aff(ins.op, a, b, dt)
+        elif isinstance(ins, Cmp):
+            a, b = self._read_op(ins.a), self._read_op(ins.b)
+            vdt = dtypes.PRED
+            out.prefix = _cmp_prefix(ins.op, a, b, self.info.bt)
+        elif isinstance(ins, Cvt):
+            s = self._read_op(ins.src)
+            vdt = dt
+            if (dt.is_integer and s.dtype is not None
+                    and s.dtype.is_integer):
+                out.aff = s.aff
+                if s.const is not None:
+                    out.const = _const_in_range(s.const, dt)
+        elif isinstance(ins, SpecialRead):
+            w = ins.which
+            vdt = dt
+            if w in self.info.dims:
+                out.const = self.info.dims[w]
+                out.aff = Affine.of_const(out.const)
+            elif w == "warpsize":
+                out.const = self.info.warp
+                out.aff = Affine.of_const(out.const)
+            elif (w == "tid.x" and self.info.block[1] == 1
+                    and self.info.block[2] == 1):
+                out.aff = Affine.of_atom("t")
+            elif (w == "ctaid.x" and self.info.grid[1] == 1
+                    and self.info.grid[2] == 1
+                    and self.info.total_blocks - 1 <= 0xFFFFFFFF):
+                out.aff = Affine.make(0, {"fb": 1, "row": 1})
+        elif isinstance(ins, SharedAlloc):
+            align = ins.dtype.itemsize
+            self.shared_cursor = -(-self.shared_cursor // align) * align
+            out.const = self.shared_cursor
+            out.aff = Affine.of_const(out.const)
+            self.shared_cursor += align * ins.count
+            vdt = dt
+        # mirror _assign's fresh-cast degradation
+        fresh = vdt is None or vdt.np_dtype != dt.np_dtype
+        if fresh:
+            out.aff = out.prefix = None
+            if vdt is not None:
+                out.const = None
+            elif out.const is not None:
+                out.const = _const_in_range(out.const, dt)
+        self.env[name] = out
+
+    # -- prelude / epilogue ------------------------------------------------
+
+    _PRELUDE_HEAD = ("_L = B.lanes", "_nB = B.n_blocks",
+                     "_fb = int(B.first_block)", "_ic = 0", "_fl = 0",
+                     "_bld = 0", "_bst = 0", "_ao = 0", "_ba = 0")
+
+    def _match_prelude(self, stmts) -> int:
+        for i, want in enumerate(self._PRELUDE_HEAD):
+            if i >= len(stmts) or _unparse(stmts[i]) != want:
+                self._tc01("prelude", f"expected `{want}` at prelude "
+                           f"statement {i}")
+        i = len(self._PRELUDE_HEAD)
+        gv_seen: set[str] = set()
+        sv_seen: set[str] = set()
+        param_idx = 0
+        merge_nones = 0
+        while i < len(stmts) and not _is_counter_bump(stmts[i], "_ic") \
+                and not isinstance(stmts[i], ast.Pass):
+            s = stmts[i]
+            tgt = _assign_target(s)
+            i += 1
+            if tgt is None:
+                self._tc01("prelude", "non-assignment before first "
+                           "instruction")
+            elif tgt.startswith("_gv_"):
+                gv_seen.add(tgt[4:])
+            elif tgt.startswith("_sv_"):
+                sv_seen.add(tgt[4:])
+            elif tgt in ("_sh", "_svs") or tgt.startswith("_s2_"):
+                pass
+            elif tgt.startswith("r") and tgt[1:].isdigit():
+                if (isinstance(s.value, ast.Constant)
+                        and s.value.value is None):
+                    merge_nones += 1
+                else:
+                    self._match_param_bind(tgt, s, param_idx)
+                    param_idx += 1
+            else:
+                self._tc01("prelude", f"unexpected binding `{tgt}`")
+        if gv_seen != self.info.global_dts:
+            self._tc01("prelude", "global views bound for "
+                       f"{sorted(gv_seen)}, IR touches "
+                       f"{sorted(self.info.global_dts)}")
+        if sv_seen != self.info.shared_dts:
+            self._tc01("prelude", "shared views bound for "
+                       f"{sorted(sv_seen)}, IR touches "
+                       f"{sorted(self.info.shared_dts)}")
+        if param_idx != len(self.k.params):
+            self._tc01("prelude", f"{param_idx} parameter bindings for "
+                       f"{len(self.k.params)} kernel parameters")
+        pnames = {p.name for p in self.k.params}
+        want_nones = len([m for m in self.info.merge if m not in pnames])
+        if merge_nones != want_nones:
+            self._tc01("prelude", f"{merge_nones} merge slots initialised, "
+                       f"analysis requires {want_nones}")
+        return i
+
+    def _match_param_bind(self, local, stmt, idx) -> None:
+        if idx >= len(self.k.params):
+            self._tc01("prelude", "more parameter bindings than parameters")
+        p = self.k.params[idx]
+        self.param_local[local] = p.name
+        npn = _np_name(self.info.regdt[p.name])
+        if p.name in self.info.varying:
+            want = f"np.full(_L, args[{idx}], dtype=np.{npn})"
+        else:
+            want = f"np.full((), args[{idx}], dtype=np.{npn})[()]"
+        if _unparse(stmt.value) != want:
+            self._tc01("prelude", f"parameter `{p.name}` bound as "
+                       f"`{_unparse(stmt.value)}`, expected `{want}`")
+
+    _EPILOGUE = (("instructions", "_ic"), ("flops", "_fl"),
+                 ("bytes_loaded", "_bld"), ("bytes_stored", "_bst"),
+                 ("atomic_ops", "_ao"), ("barriers", "_ba"))
+
+    def _match_epilogue(self, stmts) -> None:
+        for s, (attr, ctr) in zip(stmts, self._EPILOGUE):
+            want = f"stats.{attr} += {ctr}"
+            if _unparse(s) != want:
+                self._tc01("epilogue", f"expected `{want}`, found "
+                           f"`{_unparse(s)}`")
+
+    # -- region matching ---------------------------------------------------
+
+    def _match_body(self, ir_body, stmts, ctx: _MCtx, path: str) -> None:
+        if not ir_body:
+            real = [s for s in stmts if not isinstance(s, ast.Pass)]
+            if real:
+                self._tc01(path, "code emitted for an empty IR body")
+            return
+        chunks: list[list] = []
+        cur: list | None = None
+        for s in stmts:
+            if _is_counter_bump(s, "_ic"):
+                cur = [s]
+                chunks.append(cur)
+            elif cur is None:
+                self._tc01(path, "statement before the region's first "
+                           "instruction metering bump")
+            else:
+                cur.append(s)
+        if len(chunks) != len(ir_body):
+            self._tc01(path, f"{len(chunks)} emitted instructions for "
+                       f"{len(ir_body)} IR instructions")
+        for k, (ins, chunk) in enumerate(zip(ir_body, chunks)):
+            self._match_ins(ins, chunk, ctx,
+                            f"{path}[{k}] {type(ins).__name__}")
+
+    def _match_ins(self, ins, chunk, ctx: _MCtx, path: str) -> None:
+        got_n = _norm(_unparse(chunk[0].value))
+        if got_n != ctx.n_text:
+            self._tc01(path, f"instruction metering `_ic += {got_n}` does "
+                       f"not match context multiplicity `{ctx.n_text}`")
+        payload = []
+        fl_seen = False
+        for s in chunk[1:]:
+            tgt = _assign_target(s)
+            if _is_temp(tgt, "sy"):
+                val = s.value
+                if (isinstance(val, ast.Call)
+                        and _unparse(val.func) == "int"
+                        and len(val.args) == 1):
+                    self.sy[tgt] = _norm(_unparse(val.args[0]))
+                continue
+            if _is_counter_bump(s, "_fl"):
+                fl_seen = True
+                if _norm(_unparse(s.value)) != ctx.n_text:
+                    self._tc01(path, "flop metering does not match context "
+                               "multiplicity")
+                continue
+            payload.append(s)
+        expect_fl = (isinstance(ins, (BinOp, UnaryOp))
+                     and ins.dst.dtype.is_float)
+        if fl_seen != expect_fl:
+            self._tc01(path, "flop metering "
+                       + ("missing for" if expect_fl else "charged for")
+                       + " this instruction")
+        if isinstance(ins, Barrier):
+            self._match_barrier(payload, ctx, path)
+        elif isinstance(ins, (Load, Store)):
+            self._match_mem(ins, payload, ctx, path)
+        elif isinstance(ins, AtomicOp):
+            self._match_atomic(ins, payload, ctx, path)
+        elif isinstance(ins, If):
+            self._match_if(ins, payload, ctx, path)
+        elif isinstance(ins, While):
+            self._match_while(ins, payload, ctx, path)
+        else:
+            self._match_value(ins, payload, ctx, path)
+
+    # -- leaf matchers -----------------------------------------------------
+
+    def _match_value(self, ins, payload, ctx: _MCtx, path: str) -> None:
+        callee = _expected_value_callee(ins)
+        dst = _dst_of(ins)
+        if not payload:
+            name = dst.name if dst else "?"
+            if (dst is None or not isinstance(ins, _PURE_KINDS)
+                    or name not in self.info.varying):
+                self._tc01(path, "instruction has no emission at its site "
+                           "and is not a legal deferral candidate")
+            elif self.info.sites.get(name, 0) != 1:
+                self._tc03(path, f"sunk register `{name}` fails the "
+                           "single-static-site claim: assigned at "
+                           f"{self.info.sites.get(name, 0)} sites")
+        else:
+            if callee is not None and not any(
+                    _find_calls(s, callee) for s in payload):
+                self._tc01(path, f"payload never applies `{callee}`; the "
+                           "generated value cannot match the IR operation")
+            for s in payload:
+                for call in _find_calls(s, "np.copyto"):
+                    for kw in call.keywords:
+                        if kw.arg == "where" and not ctx.bind_mask(
+                                _norm(_unparse(kw.value))):
+                            self._tc01(path, "merge writes under a mask "
+                                       "that is not the active context "
+                                       "mask")
+                if _view_store_targets(s):
+                    self._tc01(path, "value instruction writes to a "
+                               "memory view")
+            if dst is not None:
+                # The payload's register-local assignment target *is* the
+                # destination register's local: learn the local <-> IR
+                # register binding so later symbol-identity proofs (base
+                # addresses, prefix-gate bounds) resolve non-parameter
+                # registers too.  Value payloads never contain deferral
+                # splices, so every r-local target here belongs to `dst`.
+                for s in payload:
+                    for node in ast.walk(s):
+                        if isinstance(node, ast.Assign):
+                            t = _assign_target(node)
+                            if t and t.startswith("r") and t[1:].isdigit():
+                                self.local_map[t] = dst.name
+        self._astep(ins)
+
+    def _match_barrier(self, payload, ctx: _MCtx, path: str) -> None:
+        if len(payload) != 1 or not _is_counter_bump(payload[0], "_ba"):
+            self._tc01(path, "barrier must meter `_ba` and nothing else")
+        rhs = payload[0].value
+        if ctx.full:
+            if _norm(_unparse(rhs)) != "_nB":
+                self._tc01(path, "full-context barrier must charge one "
+                           "barrier per block")
+        else:
+            calls = _find_calls(rhs, "_barrier")
+            if len(calls) != 1 or len(calls[0].args) != 3:
+                self._tc01(path, "masked barrier must go through the "
+                           "_barrier runtime check")
+            if not ctx.bind_mask(_norm(_unparse(calls[0].args[2]))):
+                self._tc01(path, "barrier mask is not the active context "
+                           "mask")
+
+    def _match_mem(self, ins, payload, ctx: _MCtx, path: str) -> None:
+        is_load = isinstance(ins, Load)
+        ctr = "_bld" if is_load else "_bst"
+        dt = ins.dst.dtype if is_load else ins.src.dtype
+        isz = dt.itemsize
+        is_global = ins.space == MemSpace.GLOBAL
+        bumps = [s for s in payload if _is_counter_bump(s, ctr)]
+        if len(bumps) != 1:
+            self._tc01(path, f"expected exactly one `{ctr}` byte-metering "
+                       f"bump, found {len(bumps)}")
+        rhs = bumps[0].value
+        if not (isinstance(rhs, ast.BinOp) and isinstance(rhs.op, ast.Mult)
+                and isinstance(rhs.right, ast.Constant)
+                and rhs.right.value == isz):
+            self._tc01(path, f"byte metering does not multiply by the "
+                       f"element size {isz}")
+        if _norm(_unparse(rhs.left)) != ctx.n_text:
+            self._tc01(path, "byte metering does not match context "
+                       "multiplicity")
+        body = [s for s in payload if s is not bumps[0]]
+        stores = sum(_view_store_targets(s) for s in body)
+        want_stores = 0
+        fast_assign = next((s for s in body
+                            if _is_temp(_assign_target(s), "b")), None)
+        if fast_assign is not None:
+            gate = next((s for s in body if isinstance(s, ast.If)), None)
+            if gate is None:
+                self._tc01(path, "fast-path base bound without a guarded "
+                           "branch")
+            self.fast_gate_ifs.append(gate)
+            test_text = _unparse(gate.test)
+            need = [f"% {isz} == 0"]
+            if is_global:
+                need.append("_span_ok(")
+            else:
+                need.append("0 <= _b")
+                need.append(f"<= {self.info.shared_bytes}")
+            for frag in need:
+                if frag not in test_text:
+                    self._tc01(path, f"fast-path guard lacks `{frag}`; the "
+                               "unchecked access could fault or alias")
+            self._check_base(ins, fast_assign.value, isz, ctx, path)
+            self._check_resolve(ins, gate.orelse, ctx, path,
+                                store=not is_load)
+            want_stores = 0 if is_load else 2
+        else:
+            self._check_resolve(ins, body, ctx, path, store=not is_load)
+            want_stores = 0 if is_load else 1
+        if stores != want_stores:
+            self._tc01(path, f"{stores} memory-view stores emitted, "
+                       f"semantics require {want_stores}")
+        d = _dst_of(ins)
+        if d is not None:
+            self.env[d.name] = _AVal(d.dtype,
+                                     d.name not in self.info.varying)
+
+    def _check_resolve(self, ins, region, ctx: _MCtx, path: str,
+                       store: bool) -> None:
+        calls = [c for s in region for c in _find_calls(s, "_resolve")]
+        if len(calls) != 1 or len(calls[0].args) != 8:
+            self._tc01(path, "memory access lacks the single checked "
+                       "_resolve generic path")
+        call = calls[0]
+        dt = ins.dst.dtype if isinstance(ins, Load) else ins.src.dtype
+        want_dt = f"DT['{dt.name}']"
+        if _unparse(call.args[5]) != want_dt:
+            self._tc01(path, f"access resolves dtype "
+                       f"`{_unparse(call.args[5])}`, IR requires "
+                       f"`{want_dt}`")
+        is_global = ins.space == MemSpace.GLOBAL
+        a6 = call.args[6]
+        if not (isinstance(a6, ast.Constant) and a6.value is is_global):
+            self._tc01(path, "access resolves the wrong address space")
+        a7 = call.args[7]
+        if not (isinstance(a7, ast.Constant) and a7.value is store):
+            self._tc01(path, "load/store polarity flag does not match the "
+                       "IR operation")
+        eff = call.args[4]
+        eff_text = ("None" if isinstance(eff, ast.Constant)
+                    and eff.value is None else _norm(_unparse(eff)))
+        if ctx.full and eff_text != "None":
+            self._tc01(path, "full-context access carries a spurious mask")
+        if not ctx.full and not ctx.bind_mask(eff_text):
+            self._tc01(path, "access mask is not the active context mask")
+
+    def _check_base(self, ins, bexpr, isz, ctx: _MCtx, path: str) -> None:
+        addr = self._read_op(ins.addr)
+        my = addr.aff
+        if my is None:
+            self._tc04(path, "cannot derive an address affine for the "
+                       "fast-path base; accepting the compiler's "
+                       "contiguity claim as a conservative bound")
+            return
+        is_global = ins.space == MemSpace.GLOBAL
+        if my.coeff("t") != isz:
+            self._tc01(path, f"fast path claims lane-contiguity but the "
+                       f"address lane stride is {my.coeff('t')}, not "
+                       f"{isz}")
+        want_row = isz * self.info.bt if is_global else 0
+        if my.coeff("row") != want_row:
+            self._tc01(path, f"fast path claims block stride {want_row} "
+                       f"but the address block stride is "
+                       f"{my.coeff('row')}")
+        lf = _linform(bexpr, self.sy)
+        if lf is None:
+            self._tc04(path, "fast-path base expression is not linear; "
+                       "degrading to a conservative bound")
+            return
+        syms_gen = {k: v for k, v in lf.items() if isinstance(k, tuple)}
+        syms_mine = {a: my.coeff(a) for a in _sym_atoms(my)}
+        if len(syms_gen) != len(syms_mine) or len(syms_gen) > 1:
+            self._tc04(path, "symbolic structure of the base address "
+                       "differs from the derived affine; degrading to a "
+                       "conservative bound")
+            return
+        if lf.get("1", 0) != my.const:
+            self._tc01(path, f"fast-path base constant {lf.get('1', 0)} "
+                       f"differs from the derived affine offset "
+                       f"{my.const}")
+        if lf.get("fb", 0) != my.coeff("fb"):
+            self._tc01(path, f"fast-path first-block coefficient "
+                       f"{lf.get('fb', 0)} differs from the derived "
+                       f"{my.coeff('fb')}")
+        if syms_gen:
+            (_, gtext), gc = next(iter(syms_gen.items()))
+            atom, mc = next(iter(syms_mine.items()))
+            if gc != mc:
+                self._tc01(path, f"symbolic coefficient {gc} differs from "
+                           f"the derived {mc}")
+            mine_reg = atom[4:]
+            mapped = self.param_local.get(gtext,
+                                          self.local_map.get(gtext))
+            if mapped is not None:
+                if mapped != mine_reg:
+                    self._tc01(path, f"base address scales register "
+                               f"`{mapped}`, IR semantics scale "
+                               f"`{mine_reg}`")
+            else:
+                self._tc04(path, "cannot bind the base address symbol to "
+                           "an IR register; coefficient-only proof")
+
+    def _match_atomic(self, ins, payload, ctx: _MCtx, path: str) -> None:
+        bumps = [s for s in payload if _is_counter_bump(s, "_ao")]
+        if len(bumps) != 1 \
+                or _norm(_unparse(bumps[0].value)) != ctx.n_text:
+            self._tc01(path, "atomic metering does not match context "
+                       "multiplicity")
+        self._check_resolve(ins, payload, ctx, path, store=True)
+        calls = [c for s in payload for c in _find_calls(s, "_atomic")]
+        if len(calls) != 1 or len(calls[0].args) != 8:
+            self._tc01(path, "atomic must go through exactly one _atomic "
+                       "runtime call")
+        call = calls[0]
+        oparg = call.args[4]
+        if not (isinstance(oparg, ast.Constant) and oparg.value == ins.op):
+            self._tc01(path, f"atomic applies `{getattr(oparg, 'value', '?')}`, "
+                       f"IR requires `{ins.op}`")
+        want = ins.dst is not None
+        wantarg = call.args[5]
+        if not (isinstance(wantarg, ast.Constant)
+                and wantarg.value is want):
+            self._tc01(path, "atomic old-value capture flag does not match "
+                       "the IR")
+        npn = _np_name(ins.src.dtype)
+        if _unparse(call.args[7]) != f"np.{npn}":
+            self._tc01(path, "atomic operates at the wrong element dtype")
+        if sum(_view_store_targets(s) for s in payload):
+            self._tc01(path, "atomic chunk writes to a memory view outside "
+                       "the _atomic runtime call")
+        d = _dst_of(ins)
+        if d is not None:
+            self.env[d.name] = _AVal(d.dtype,
+                                     d.name not in self.info.varying)
+
+    # -- control flow ------------------------------------------------------
+
+    def _cond_uniform(self, cond) -> bool:
+        return isinstance(cond, Imm) or cond.name not in self.info.varying
+
+    def _match_if(self, ins, payload, ctx: _MCtx, path: str) -> None:
+        snap = dict(self.env)
+        assigned = (self._assigned_in(ins.then_body)
+                    | self._assigned_in(ins.else_body))
+        if self._cond_uniform(ins.cond):
+            if len(payload) != 1 or not isinstance(payload[0], ast.If):
+                self._tc01(path, "uniform conditional must lower to a "
+                           "single branch")
+            node = payload[0]
+            t = node.test
+            if not (isinstance(t, ast.Call)
+                    and _unparse(t.func) == "bool"):
+                self._tc01(path, "uniform conditional must branch on a "
+                           "scalar bool; lane-gating a uniform condition "
+                           "changes semantics")
+            self._match_body(ins.then_body, node.body, ctx,
+                             path + ".then")
+            self.env = dict(snap)
+            if ins.else_body:
+                self._match_body(ins.else_body, node.orelse, ctx,
+                                 path + ".else")
+            elif node.orelse:
+                self._tc01(path, "else arm emitted for an IR conditional "
+                           "without one")
+        else:
+            self._match_varying_if(ins, payload, ctx, path)
+        self.env = dict(snap)
+        self._strip(assigned)
+
+    def _match_varying_if(self, ins, payload, ctx: _MCtx,
+                          path: str) -> None:
+        snap = dict(self.env)
+        j = next((k for k, s in enumerate(payload)
+                  if isinstance(s, ast.If)), None)
+        if j is None:
+            self._tc01(path, "varying conditional lowered without a "
+                       "lane gate")
+        pre, gate, after = payload[:j], payload[j], payload[j + 1:]
+        t = gate.test
+        if not (isinstance(t, ast.Compare) and len(t.ops) == 1
+                and isinstance(t.ops[0], ast.Gt)
+                and isinstance(t.comparators[0], ast.Constant)
+                and t.comparators[0].value == 0
+                and isinstance(t.left, ast.Name)):
+            self._tc01(path, "varying conditional gate is not a "
+                       "positive-population check")
+        gname = t.left.id
+        if _is_temp(gname, "k"):
+            child, then_n = self._match_prefix_gate(ins, pre, gname, ctx,
+                                                    path)
+        elif _is_temp(gname, "n"):
+            child, then_n = self._match_general_gate(ins, pre, gname, ctx,
+                                                     path)
+        else:
+            self._tc01(path, f"unrecognised gate population `{gname}`")
+        self._match_body(ins.then_body, gate.body, child, path + ".then")
+        self.env = dict(snap)
+        if ins.else_body:
+            ej = next((k for k, s in enumerate(after)
+                       if isinstance(s, ast.If)), None)
+            if ej is None:
+                self._tc01(path, "IR else arm has no emitted gate")
+            epre, egate, tail = after[:ej], after[ej], after[ej + 1:]
+            if tail:
+                self._tc01(path, "statements after the else gate")
+            et = egate.test
+            if not (isinstance(et, ast.Compare) and len(et.ops) == 1
+                    and isinstance(et.ops[0], ast.Gt)
+                    and isinstance(et.comparators[0], ast.Constant)
+                    and et.comparators[0].value == 0):
+                self._tc01(path, "else gate is not a positive-population "
+                           "check")
+            en = _norm(_unparse(et.left))
+            base_n = "_L" if ctx.full else ctx.n_text
+            want_en = _norm(f"({base_n}) - ({then_n})")
+            if en != want_en:
+                self._tc01(path, f"else population `{en}` is not the "
+                           f"complement `{want_en}` of the then arm")
+            emask = next((_assign_target(s) for s in epre
+                          if _is_temp(_assign_target(s), "m")), None)
+            if emask is None:
+                self._tc01(path, "else arm executes without a complement "
+                           "mask")
+            ectx = _MCtx(False, en, [emask])
+            self._match_body(ins.else_body, egate.body, ectx,
+                             path + ".else")
+        elif after:
+            self._tc01(path, "else arm emitted for an IR conditional "
+                       "without one")
+
+    def _match_prefix_gate(self, ins, pre, gname, ctx: _MCtx, path: str):
+        kassign = next((s for s in pre if _assign_target(s) == gname),
+                       None)
+        if kassign is None:
+            self._tc01(path, f"gate population `{gname}` never bound")
+        val = kassign.value
+        ok = (isinstance(val, ast.Call) and _unparse(val.func) == "min"
+              and len(val.args) == 2
+              and isinstance(val.args[0], ast.Call)
+              and _unparse(val.args[0].func) == "max")
+        if not ok:
+            self._tc01(path, "prefix gate population is not "
+                       "min(max(thr, 0), limit)-clamped")
+        thr = val.args[0].args[0]
+        lim = val.args[1]
+        if isinstance(lim, ast.Name) and lim.id == "_L":
+            kind, n_text = "lin", gname
+        elif (isinstance(lim, ast.Constant)
+                and lim.value == self.info.bt):
+            kind, n_text = "block", _norm(f"{gname} * _nB")
+        else:
+            self._tc01(path, "prefix gate clamps to neither the lane "
+                       "count nor the block size")
+        cv = self._read_op(ins.cond)
+        pf = cv.prefix
+        if pf is None:
+            self._tc04(path, "cannot derive a lane-prefix for the "
+                       "condition; accepting the compiler's gate as a "
+                       "conservative bound")
+        else:
+            if pf.kind != kind:
+                self._tc01(path, f"gate batches lanes `{kind}`-wise but "
+                           f"the condition's prefix is `{pf.kind}`")
+            self._check_thr(thr, pf, path)
+        return _MCtx(False, n_text, [None]), n_text
+
+    def _check_thr(self, thr, pf: _APrefix, path: str) -> None:
+        node = thr
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            node = node.operand
+        else:
+            self._tc04(path, "unrecognised prefix threshold shape")
+            return
+        if not (isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.FloorDiv)
+                and isinstance(node.right, ast.Constant)):
+            self._tc04(path, "unrecognised prefix threshold shape")
+            return
+        if node.right.value != pf.cbl:
+            self._tc01(path, f"prefix threshold divides by "
+                       f"{node.right.value}, the condition's lane stride "
+                       f"is {pf.cbl}")
+        diff = node.left
+        if not (isinstance(diff, ast.BinOp)
+                and isinstance(diff.op, ast.Sub)):
+            self._tc04(path, "unrecognised prefix threshold shape")
+            return
+        b1 = _linform(diff.left, self.sy)
+        b2 = _linform(diff.right, self.sy)
+        if b1 is None or b2 is None:
+            self._tc04(path, "prefix threshold is not linear")
+            return
+        if b1.get("1", 0) != pf.d0 or b1.get("fb", 0) != pf.dfb:
+            self._tc01(path, f"prefix threshold base "
+                       f"({b1.get('1', 0)}, {b1.get('fb', 0)}*fb) differs "
+                       f"from the condition affine ({pf.d0}, "
+                       f"{pf.dfb}*fb)")
+        off = b2.get("1", 0)
+        syms = {k: v for k, v in b2.items() if isinstance(k, tuple)}
+        if pf.u[0] == "const":
+            if syms or off != pf.u[1] + pf.off:
+                self._tc01(path, "prefix threshold bound does not match "
+                           "the uniform comparison operand")
+        else:
+            if off != pf.off or len(syms) != 1:
+                self._tc01(path, "prefix threshold offset does not match "
+                           "the comparison's inclusivity")
+            (_, gtext), gc = next(iter(syms.items()))
+            mapped = self.param_local.get(gtext,
+                                          self.local_map.get(gtext))
+            if gc != 1:
+                self._tc01(path, "prefix threshold scales the uniform "
+                           "bound")
+            if mapped is not None:
+                if mapped != pf.u[1]:
+                    self._tc01(path, f"prefix gate bounds lanes by "
+                               f"register `{mapped}`, the IR compares "
+                               f"against `{pf.u[1]}`")
+            else:
+                self._tc04(path, "cannot bind the prefix bound symbol to "
+                           "an IR register")
+
+    def _match_general_gate(self, ins, pre, gname, ctx: _MCtx,
+                            path: str):
+        nassign = next((s for s in pre if _assign_target(s) == gname),
+                       None)
+        if nassign is None:
+            self._tc01(path, f"gate population `{gname}` never bound")
+        val = nassign.value
+        if not (isinstance(val, ast.Call) and _unparse(val.func) == "int"
+                and len(val.args) == 1
+                and isinstance(val.args[0], ast.Call)
+                and isinstance(val.args[0].func, ast.Attribute)
+                and val.args[0].func.attr == "sum"):
+            self._tc01(path, "gate population is not a mask popcount")
+        mask_text = _norm(_unparse(val.args[0].func.value))
+        if ctx.full:
+            if _is_temp(mask_text, "m"):
+                self._tc01(path, "full-context gate intersects a parent "
+                           "mask that does not exist")
+        else:
+            massign = next((s for s in pre
+                            if _assign_target(s) == mask_text), None)
+            if massign is None:
+                self._tc01(path, "nested gate does not intersect the "
+                           "parent mask")
+            mval = massign.value
+            if not (isinstance(mval, ast.BinOp)
+                    and isinstance(mval.op, ast.BitAnd)):
+                self._tc01(path, "nested gate mask is not a parent-mask "
+                           "intersection")
+            if not ctx.bind_mask(_norm(_unparse(mval.left))):
+                self._tc01(path, "nested gate intersects a mask that is "
+                           "not the active context mask")
+        return _MCtx(False, gname, [mask_text]), gname
+
+    def _match_while(self, ins, payload, ctx: _MCtx, path: str) -> None:
+        assigned = (self._assigned_in(ins.cond_body)
+                    | self._assigned_in(ins.body))
+        self._strip(assigned)
+        wnodes = [s for s in payload if isinstance(s, ast.While)]
+        if len(wnodes) != 1:
+            self._tc01(path, "loop must lower to exactly one while")
+        wnode = wnodes[0]
+        if not (isinstance(wnode.test, ast.Constant)
+                and wnode.test.value is True):
+            self._tc01(path, "loop is not the while-True protocol")
+        inner = list(wnode.body)
+        guard = next((s for s in inner if isinstance(s, ast.If)
+                      and isinstance(s.test, ast.Compare)
+                      and isinstance(s.test.left, ast.Name)
+                      and _is_temp(s.test.left.id, "tr")), None)
+        if guard is None or not any(isinstance(x, ast.Raise)
+                                    for x in guard.body):
+            self._tc01(path, "runaway-loop guard missing; an IR loop "
+                       "must bound its trip count")
+        if not (isinstance(guard.test.comparators[0], ast.Constant)
+                and guard.test.comparators[0].value == _MAX_LOOP_TRIPS):
+            self._tc01(path, f"runaway-loop guard bound differs from "
+                       f"{_MAX_LOOP_TRIPS}")
+        inner = [s for s in inner if s is not guard
+                 and not (isinstance(s, ast.AugAssign)
+                          and isinstance(s.target, ast.Name)
+                          and _is_temp(s.target.id, "tr"))]
+        if self._cond_uniform(ins.cond):
+            bi = next((k for k, s in enumerate(inner)
+                       if isinstance(s, ast.If)
+                       and isinstance(s.test, ast.UnaryOp)
+                       and isinstance(s.test.op, ast.Not)
+                       and any(isinstance(x, ast.Break)
+                               for x in s.body)), None)
+            if bi is None:
+                self._tc01(path, "uniform loop has no scalar break on "
+                           "its condition")
+            self._match_body(ins.cond_body, inner[:bi], ctx,
+                             path + ".cond")
+            self._match_body(ins.body, inner[bi + 1:], ctx, path + ".body")
+        else:
+            lv = next((_assign_target(s) for s in payload
+                       if _is_temp(_assign_target(s), "lv")), None)
+            ln = next((_assign_target(s) for s in payload
+                       if _is_temp(_assign_target(s), "ln")), None)
+            if lv is None or ln is None:
+                self._tc01(path, "varying loop lacks the live-mask "
+                           "protocol")
+            child = _MCtx(False, ln, [lv])
+            breaks = [k for k, s in enumerate(inner)
+                      if isinstance(s, ast.If)
+                      and any(isinstance(x, ast.Break) for x in s.body)]
+            narrow = next((k for k, s in enumerate(inner)
+                           if isinstance(s, ast.AugAssign)
+                           and isinstance(s.op, ast.BitAnd)
+                           and isinstance(s.target, ast.Name)
+                           and s.target.id == lv), None)
+            if len(breaks) < 2 or narrow is None:
+                self._tc01(path, "varying loop does not re-narrow and "
+                           "re-check its live mask")
+            cond_stmts = inner[breaks[0] + 1:narrow]
+            body_start = breaks[1] + 1
+            recount = inner[narrow + 1:breaks[1]]
+            if not any(_assign_target(s) == ln for s in recount):
+                self._tc01(path, "varying loop never recounts its live "
+                           "mask")
+            self._match_body(ins.cond_body, cond_stmts, child,
+                             path + ".cond")
+            self._match_body(ins.body, inner[body_start:], child,
+                             path + ".body")
+        self._strip(assigned)
+
+    # -- Phase 3: deferral re-proof (TC03) ---------------------------------
+
+    def _check_deferrals(self, fn: ast.FunctionDef) -> None:
+        scopes = [g.orelse for g in self.fast_gate_ifs]
+        scope_stmts = {id(s) for block in scopes for s in block}
+
+        defs: dict[str, list[tuple[int, bool, ast.AST]]] = {}
+
+        def collect(stmts, in_scope):
+            for s in stmts:
+                here = in_scope or id(s) in scope_stmts
+                tgt = _assign_target(s)
+                if (tgt and tgt.startswith("r") and tgt[1:].isdigit()):
+                    defs.setdefault(tgt, []).append(
+                        (s.lineno, here, s.value))
+                for body in ("body", "orelse"):
+                    if hasattr(s, body):
+                        collect(getattr(s, body), here)
+
+        collect(fn.body, False)
+        deferred = {
+            name for name, sites in defs.items()
+            if name not in self.param_local
+            and sites and all(in_scope for _, in_scope, _ in sites)
+        }
+
+        # Single static site: every replay must be the identical chain.
+        for name in sorted(deferred):
+            rhs = {_unparse(v) for _, _, v in defs[name]}
+            if len(rhs) > 1:
+                self._tc03(f"deferral {name}",
+                           f"sunk register `{name}` replays "
+                           f"{len(rhs)} distinct definitions; the "
+                           "single-static-site claim fails")
+
+        # Operand stability: nothing a replay reads may be redefined
+        # inside the replay horizon.
+        for name in sorted(deferred):
+            lines = [ln for ln, _, _ in defs[name]]
+            first, last = min(lines), max(lines)
+            operands = {n.id for _, _, v in defs[name]
+                        for n in ast.walk(v)
+                        if isinstance(n, ast.Name)
+                        and n.id.startswith("r") and n.id[1:].isdigit()}
+            for op_name in sorted(operands - {name}):
+                for ln, in_scope, _ in defs.get(op_name, []):
+                    if not in_scope and first < ln < last:
+                        self._tc03(
+                            f"deferral {name}",
+                            f"operand `{op_name}` of sunk register "
+                            f"`{name}` is redefined inside the replay "
+                            "horizon; operand stability fails")
+
+        # Dominance: every use of a deferred register must be reached by
+        # a replay on the same path.
+        def check_uses(node, defined: set[str]) -> None:
+            for n in ast.walk(node):
+                if (isinstance(n, ast.Name)
+                        and isinstance(n.ctx, ast.Load)
+                        and n.id in deferred
+                        and n.id not in defined):
+                    self._tc03(
+                        f"deferral {n.id}",
+                        f"use of sunk register `{n.id}` at line "
+                        f"{n.lineno} is not dominated by a replay; "
+                        "the sinking claim cannot be re-proved")
+                    defined.add(n.id)  # report once per chain
+
+        def dominate(stmts, defined: set[str]) -> set[str]:
+            for s in stmts:
+                if isinstance(s, (ast.If, ast.While)):
+                    check_uses(s.test, defined)
+                    d1 = dominate(s.body, set(defined))
+                    d2 = dominate(getattr(s, "orelse", []), set(defined))
+                    if isinstance(s, ast.If):
+                        defined |= (d1 & d2)
+                    continue
+                check_uses(s, defined)
+                tgt = _assign_target(s)
+                if tgt:
+                    defined.add(tgt)
+            return defined
+
+        dominate(fn.body, set())
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self) -> tuple[bool, list[Diagnostic]]:
+        """Match the whole program; returns (exact, diagnostics)."""
+        tree = ast.parse(self.source)
+        fn = tree.body[0]
+        stmts = fn.body
+        try:
+            i = self._match_prelude(stmts)
+            if len(stmts) < i + len(self._EPILOGUE):
+                self._tc01("epilogue", "program ends before the stats "
+                           "epilogue")
+            self._match_epilogue(stmts[-len(self._EPILOGUE):])
+            self._match_body(self.k.body,
+                             stmts[i:-len(self._EPILOGUE)],
+                             _MCtx(True, "_L", [None]), "body")
+        except _Stop:
+            pass
+        except RecursionError:  # pragma: no cover - pathological nesting
+            self._tc04("body", "program too deeply nested to match; "
+                       "conservative bound only")
+        self._check_deferrals(fn)
+        return self.exact, self.diags
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def validate_program(kernel, source: str, warp_size: int,
+                     grid: tuple[int, int, int],
+                     block: tuple[int, int, int],
+                     blocks_per_batch: int, *,
+                     key: tuple = ()) -> TraceVerdict:
+    """Statically validate one generated trace program against its IR.
+
+    Never executes the program or the kernel.  Phase 1 (the exec
+    allowlist) runs first; phases 2/3 only run on a program that passed
+    it — there is no point proving equivalence of a program we would
+    refuse to exec.  Findings suppressed by the
+    ``KNOWN_TRACE_DIVERGENCES`` ledger are downgraded to ``TC06`` info.
+    """
+    t0 = time.perf_counter()
+    diags: list[Diagnostic] = []
+    exact = True
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        diags.append(make("TC02", kernel.name, f"line {exc.lineno}",
+                          f"generated program does not parse: {exc.msg}"))
+        tree = None
+    if tree is not None:
+        diags.extend(_check_allowlist(tree, kernel.name))
+        if not diags:
+            checker = _Checker(kernel, source, warp_size, grid, block)
+            try:
+                exact, found = checker.run()
+            except _Stop:  # pragma: no cover - run() already catches
+                exact, found = checker.exact, checker.diags
+            diags.extend(found)
+    suppressed: list[Diagnostic] = []
+    for d in diags:
+        reason = divergence_reason(kernel.name, d.code)
+        if reason is not None and d.severity >= Severity.WARNING:
+            suppressed.append(make(
+                "TC06", kernel.name, d.path,
+                f"[{d.code}] {d.message} — suppressed: {reason}"))
+        else:
+            suppressed.append(d)
+    diags = suppressed
+    validated = not any(d.severity >= Severity.ERROR for d in diags)
+    return TraceVerdict(
+        key=key, kernel=kernel.name, validated=validated,
+        exact=exact and validated, diagnostics=diags,
+        elapsed_ms=(time.perf_counter() - t0) * 1e3)
+
+
+def canonical_batch_width(kernel, block: tuple[int, int, int],
+                          chunk_lanes: int = 1 << 18) -> int:
+    """The blocks-per-batch the interpreter's trace tier would pick for
+    this kernel at its default chunking — the geometry ``lint --traces``
+    validates at."""
+    from repro.isa import interpreter as _interp
+
+    bt = block[0] * block[1] * block[2]
+    bpb = max(1, chunk_lanes // max(1, bt))
+    if kernel.uses_shared():
+        stride = -(-max(kernel.shared_bytes, 8)
+                   // _interp._SHARED_ROW_ALIGN) * _interp._SHARED_ROW_ALIGN
+        bpb = min(bpb, max(1, _interp._SHARED_ARENA_BYTES // stride))
+    return bpb
+
+
+def validate_library(kernels: dict | None = None,
+                     warp_size: int = 32) -> dict[str, "TraceVerdict | str"]:
+    """Trace-compile and statically validate every library kernel at its
+    canonical geometry — with ZERO kernel executions.
+
+    Returns a name-keyed map whose values are either a
+    :class:`TraceVerdict` or, for kernels the trace tier refuses, the
+    bailout reason string.
+    """
+    from repro import kernels as _kernels
+    from repro.analysis.perfstat import STATIC_LAUNCHES
+    from repro.isa import tracing as _tracing
+
+    lib = kernels if kernels is not None else {
+        name: spec.ir for name, spec in _kernels.KERNEL_LIBRARY.items()}
+    out: dict[str, TraceVerdict | str] = {}
+    for name in sorted(lib):
+        ir = lib[name]
+        launch = STATIC_LAUNCHES.get(name)
+        if launch is None:
+            grid, block = (1, 1, 1), (256, 1, 1)
+        else:
+            grid = tuple(launch[0]) + (1,) * (3 - len(launch[0]))
+            block = tuple(launch[1]) + (1,) * (3 - len(launch[1]))
+        bpb = canonical_batch_width(ir, block)
+        try:
+            source = _tracing._TraceCompiler(
+                ir, warp_size, grid, block, bpb).compile()
+        except _tracing.TraceBailout as exc:
+            out[name] = exc.reason
+            continue
+        except Exception:  # defensive, mirrors tracing.lookup()
+            out[name] = "unsupported"
+            continue
+        key = _tracing.trace_key(ir, warp_size, grid, block, bpb)
+        out[name] = validate_program(ir, source, warp_size, grid, block,
+                                     bpb, key=key)
+    return out
+
+
+def traces_lint_report(
+        results: dict[str, "TraceVerdict | str"]) -> LintReport:
+    """Fold per-kernel verdicts into the shared lint-report shape."""
+    report = LintReport()
+    for name in sorted(results):
+        verdict = results[name]
+        if isinstance(verdict, str):
+            report.add(make(
+                "TC05", name, "",
+                f"kernel bailed out of trace compilation ({verdict}); "
+                "the interpreter tier runs it and nothing needs "
+                "validation"))
+        else:
+            report.extend(verdict.diagnostics)
+    return report
+
+
+def trace_agreement_summary(
+        results: dict[str, "TraceVerdict | str"]) -> dict[str, int]:
+    """Rollup counters for the service's ``tracesan_*`` gauges."""
+    verdicts = [v for v in results.values()
+                if isinstance(v, TraceVerdict)]
+    diags = [d for v in verdicts for d in v.diagnostics]
+    return {
+        "kernels_total": len(results),
+        "validated": sum(1 for v in verdicts if v.validated),
+        "exact": sum(1 for v in verdicts if v.exact),
+        "inexact": sum(1 for v in verdicts
+                       if v.validated and not v.exact),
+        "bailed_out": sum(1 for v in results.values()
+                          if isinstance(v, str)),
+        "errors": sum(1 for d in diags
+                      if d.severity >= Severity.ERROR),
+        "warnings": sum(1 for d in diags
+                        if d.severity == Severity.WARNING),
+        "suppressed": sum(1 for d in diags if d.code == "TC06"),
+    }
+
+
+def lint_traces(kernels: dict | None = None,
+                warp_size: int = 32) -> LintReport:
+    """``gpu-compat lint --traces`` entry: sweep, fold, report."""
+    return traces_lint_report(validate_library(kernels, warp_size))

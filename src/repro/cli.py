@@ -24,7 +24,14 @@ Subcommands:
   (perfstat's cost model, zero kernel executions), measure it
   dynamically, and cross-check the two (``PS01``–``PS06``).  A warm
   ``--store`` keeps the measured half execution-free too.
-* ``transval [--format text|json]`` — audit every shipped
+* ``lint --traces [--format text|json|sarif]`` — tracesan: statically
+  re-prove every trace-compiled library kernel equivalent to its IR at
+  its canonical geometry (``TC01``–``TC06``) — abstract interpretation
+  only, zero kernel executions.
+* ``lint --all [--format text|json|sarif]`` — all five lint families
+  (kernelsan, routes, transval, perfstat, tracesan) in one run; merged
+  report, worst per-family exit code.
+* ``transval [--format text|json|sarif]`` — audit every shipped
   source-to-source translator (``TV01``–``TV06``).
 * ``eval [--jobs N] [--store DIR] [--metrics-json PATH]`` — build the
   matrix through the concurrent scheduler against a persistent result
@@ -40,8 +47,8 @@ Subcommands:
 * ``serve [--host H] [--port P] [--jobs N] [--store DIR] [--lazy]`` —
   serve the derived matrix over the loopback JSON API
   (``/cell``, ``/table``, ``/advise``, ``/lint/routes``, ``/lint/perf``,
-  ``/metrics``, ``/perf/matrix``, ``/perf/cell``, ``/perf/portability``,
-  ``/perf/static``).
+  ``/lint/traces``, ``/metrics``, ``/perf/matrix``, ``/perf/cell``,
+  ``/perf/portability``, ``/perf/static``).
 
 ``--format json`` prints the ``LintReport`` as JSON (diagnostic code,
 severity, kernel, path, message, hint, plus severity rollups) and
@@ -62,17 +69,21 @@ code  meaning
 0     success; for ``lint``/``transval``: no error-severity diagnostics
       (warnings OK); for ``lint --routes``: derived matrix matches the
       paper (documented RE03 divergences OK); for ``lint --perf``:
-      predictions within tolerance, best routes confirmed
+      predictions within tolerance, best routes confirmed; for ``lint
+      --traces``: every traceable kernel proven exactly equivalent
 1     findings: ``lint``/``transval`` found error-severity diagnostics,
       ``lint --routes`` found dual-rating warnings (RE02), ``lint
-      --perf`` found best-route or structure mismatches (PS02/PS04), or
-      ``report`` disagreed with the published matrix
+      --perf`` found best-route or structure mismatches (PS02/PS04),
+      ``lint --traces`` proved only conservative bounds (TC04), or
+      ``report`` disagreed with the published matrix.  ``lint --all``
+      propagates the worst per-family code
 2     usage error (argparse: unknown flag, missing operand, bad value);
       **extension:** ``lint --routes`` also exits 2 on an RE01
-      contradiction and ``lint --perf`` on a PS01 prediction error —
-      the tool's own components (registry vs. paper matrix, cost model
-      vs. interpreter) disagree, which CI must distinguish from
-      ordinary findings
+      contradiction, ``lint --perf`` on a PS01 prediction error, and
+      ``lint --traces`` on any TC01/TC02/TC03 — the tool's own
+      components (registry vs. paper matrix, cost model vs.
+      interpreter, trace compiler vs. IR semantics) disagree, which CI
+      must distinguish from ordinary findings
 3     input rejected: the kernel source or IR failed verification
       (:class:`~repro.errors.VerificationError`,
       :class:`~repro.errors.FrontendError`,
@@ -307,18 +318,38 @@ def _lint_perf(args) -> int:
     return 1 if report.warnings else 0
 
 
-def cmd_lint(args) -> int:
+def _lint_traces(args) -> int:
+    """``lint --traces``: static translation validation of trace programs."""
+    from repro.analysis.diagnostics import to_sarif_json
+    from repro.analysis.tracesan import (trace_agreement_summary,
+                                         traces_lint_report,
+                                         validate_library)
+
+    results = validate_library()
+    report = traces_lint_report(results)
+    if args.format == "sarif":
+        print(to_sarif_json(report, tool_name="tracesan"))
+    elif args.format == "json":
+        print(report.to_json())
+    else:
+        for d in report.diagnostics:
+            print(d.render())
+        summary = trace_agreement_summary(results)
+        print(f"statically validated {summary['validated']}/"
+              f"{summary['kernels_total']} trace-compiled kernel(s) "
+              f"({summary['exact']} exact, {summary['bailed_out']} bailed "
+              f"out, 0 kernel executions): {report.summary_line()}")
+    if report.errors:
+        return 2  # generated trace code provably diverges from the IR
+    return 1 if report.warnings else 0
+
+
+def _kernelsan_report(args):
+    """The classic kernelsan sweep: (report, kernel count)."""
     from repro.analysis import AnalysisOptions, LaunchBounds, analyze_module
     from repro.analysis.sanitizer import PASSES
     from repro.isa.module import ModuleIR
 
-    if args.routes and args.perf:
-        raise argparse.ArgumentTypeError(
-            "--routes and --perf are mutually exclusive")
-    if args.routes:
-        return _lint_routes(args)
-    if args.perf:
-        return _lint_perf(args)
     fns = _lint_corpus(args)
     module = ModuleIR(name=args.module or "kernel_library")
     for fn in fns:
@@ -335,7 +366,76 @@ def cmd_lint(args) -> int:
         extents=dict(args.extent) if args.extent else None,
         passes=passes,
     )
-    report = analyze_module(module, options)
+    return analyze_module(module, options), len(fns)
+
+
+def _lint_all(args) -> int:
+    """``lint --all``: all five lint families, one merged report.
+
+    Exit code is the worst across the families, each judged by its own
+    contract (kernelsan/transval: errors exit 1; routes/perf/traces:
+    errors exit 2, warnings exit 1).
+    """
+    from repro.analysis.diagnostics import LintReport, to_sarif_json
+    from repro.analysis.perfstat import lint_perf
+    from repro.analysis.routes_evidence import cross_check
+    from repro.analysis.tracesan import lint_traces
+    from repro.analysis.transval import shipped_translators, validate_all
+    from repro.perfport import DEFAULT_N, DEFAULT_REPS, PerfParams
+    from repro.service import MatrixService
+
+    kern_report, nkernels = _kernelsan_report(args)
+    params = PerfParams(
+        n=args.n if args.n is not None else DEFAULT_N,
+        reps=args.reps if args.reps is not None else DEFAULT_REPS)
+    service = MatrixService(jobs=args.jobs, store=args.store,
+                            perf_params=params)
+    families = [
+        ("kernelsan", kern_report, 1),
+        ("routes", cross_check(), 2),
+        ("transval", validate_all(shipped_translators()), 1),
+        ("perfstat", lint_perf(service.perf), 2),
+        ("tracesan", lint_traces(), 2),
+    ]
+    merged = LintReport()
+    status = 0
+    for _name, report, error_exit in families:
+        merged.extend(report.diagnostics)
+        if report.errors:
+            status = max(status, error_exit)
+        elif report.warnings and error_exit == 2:
+            status = max(status, 1)
+    if args.format == "sarif":
+        print(to_sarif_json(merged, tool_name="gpu-compat-lint"))
+    elif args.format == "json":
+        print(merged.to_json())
+    else:
+        for name, report, _error_exit in families:
+            for d in report.diagnostics:
+                print(d.render())
+            print(f"[{name}] {report.summary_line()}")
+        print(f"lint --all: {len(families)} families over {nkernels} "
+              f"kernel(s): {merged.summary_line()}")
+    return status
+
+
+def cmd_lint(args) -> int:
+    picked = [flag for flag, on in (("--routes", args.routes),
+                                    ("--perf", args.perf),
+                                    ("--traces", args.traces),
+                                    ("--all", args.all)) if on]
+    if len(picked) > 1:
+        raise argparse.ArgumentTypeError(
+            f"{' and '.join(picked)} are mutually exclusive")
+    if args.routes:
+        return _lint_routes(args)
+    if args.perf:
+        return _lint_perf(args)
+    if args.traces:
+        return _lint_traces(args)
+    if args.all:
+        return _lint_all(args)
+    report, nkernels = _kernelsan_report(args)
     if args.format == "sarif":
         from repro.analysis.diagnostics import to_sarif_json
 
@@ -346,7 +446,7 @@ def cmd_lint(args) -> int:
         out = report.render()
         if out:
             print(out)
-        print(f"linted {len(fns)} kernel(s): {report.summary_line()}")
+        print(f"linted {nkernels} kernel(s): {report.summary_line()}")
     return 1 if report.errors else 0
 
 
@@ -355,7 +455,11 @@ def cmd_transval(args) -> int:
 
     translators = shipped_translators()
     report = validate_all(translators)
-    if args.format == "json":
+    if args.format == "sarif":
+        from repro.analysis.diagnostics import to_sarif_json
+
+        print(to_sarif_json(report, tool_name="transval"))
+    elif args.format == "json":
         print(report.to_json())
     else:
         for d in report.diagnostics:
@@ -700,6 +804,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="statically derive all 51 matrix cells from "
                              "the route registry and cross-check them "
                              "against the paper ratings (RE01-RE03)")
+    p_lint.add_argument("--traces", action="store_true",
+                        help="statically validate every trace-compiled "
+                             "library kernel against its IR (tracesan; "
+                             "zero kernel executions)")
+    p_lint.add_argument("--all", action="store_true",
+                        help="run all five lint families (kernelsan, "
+                             "--routes, transval, --perf, --traces) and "
+                             "exit with the worst code")
     p_lint.add_argument("--perf", action="store_true",
                         help="cross-check perfstat's static cost-model "
                              "predictions against the measured perf "
@@ -723,7 +835,8 @@ def main(argv: list[str] | None = None) -> int:
     p_tv = sub.add_parser(
         "transval",
         help="validate the source-to-source translators (TV01-TV06)")
-    p_tv.add_argument("--format", choices=("text", "json"), default="text",
+    p_tv.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
                       help="diagnostic output format (default text)")
     p_tv.set_defaults(func=cmd_transval)
 

@@ -1,0 +1,42 @@
+"""Documented divergences between trace programs and interpreter semantics.
+
+The tracesan translation validator
+(:func:`repro.analysis.tracesan.validate_program`) statically re-derives
+the effect summary of every trace-compiled program
+(:mod:`repro.isa.tracing`) and proves it equal to the kernel IR's
+interpreter semantics.  Any disagreement is an error (``TC01``/``TC03``)
+**unless it is documented here** — the same contract
+:data:`repro.data.perf_divergences.KNOWN_PERF_DIVERGENCES` establishes
+for the perf matrix: divergences are acknowledged in code, never
+silently suppressed, and surface as ``TC06`` info diagnostics so every
+run still shows them.
+
+Keys are either a kernel name (``"stream_triad"``) — which suppresses
+every finding for that kernel at any geometry — or ``(kernel_name,
+code)`` to scope the suppression to one diagnostic code.  Values explain
+*why* the divergence is expected and what would close it.
+
+The ledger ships empty — and a test enforces that it stays empty until
+a divergence is genuinely understood: the trace compiler preserves
+interpreter semantics for every library kernel, and tracesan re-proves
+it at every canonical geometry.  The ledger exists so the first real
+validator gap (e.g. a generated idiom the abstract interpreter cannot
+classify yet) has a designated home instead of a skipped kernel.
+"""
+
+from __future__ import annotations
+
+#: kernel_name or (kernel_name, diagnostic_code) -> reason it is OK.
+KNOWN_TRACE_DIVERGENCES: dict[str | tuple[str, str], str] = {}
+
+
+def divergence_reason(kernel: str, code: str | None = None) -> str | None:
+    """The documented reason a finding is suppressed, or ``None``.
+
+    Code-scoped entries take precedence over kernel-scoped ones.
+    """
+    if code is not None:
+        scoped = KNOWN_TRACE_DIVERGENCES.get((kernel, code))
+        if scoped is not None:
+            return scoped
+    return KNOWN_TRACE_DIVERGENCES.get(kernel)

@@ -121,6 +121,9 @@ class TracedProgram:
     kernel_name: str
     source: str
     fn: object
+    #: tracesan verdict cached alongside the program (filled lazily when
+    #: a caller passes ``validate=True`` to :func:`lookup`).
+    verdict: object = None
 
 
 #: key -> TracedProgram, or a bailout-reason string for cached refusals.
@@ -208,13 +211,20 @@ def _count(outcome: str, reason: str | None = None) -> None:
 
 
 def lookup(executor, grid: tuple[int, int, int], block: tuple[int, int, int],
-           blocks_per_batch: int) -> TracedProgram | None:
+           blocks_per_batch: int, *,
+           validate: bool = False) -> TracedProgram | None:
     """The traced program for one launch shape, compiling on first use.
 
     Returns ``None`` (after recording the bailout) when the kernel can't
     be traced; the caller falls back to the batched interpreter.  Cache
     outcomes (hit/miss/bailout + reason) flow into
     ``interpreter_totals().trace``.
+
+    ``validate=True`` additionally runs the tracesan translation
+    validator (:func:`repro.analysis.tracesan.validate_program`) over the
+    generated source and caches the :class:`TraceVerdict` on the
+    program's ``verdict`` field — once per cached program, purely static,
+    never executing the kernel.
     """
     key = trace_key(executor.kernel, executor.warp_size, grid, block,
                     blocks_per_batch)
@@ -242,6 +252,12 @@ def lookup(executor, grid: tuple[int, int, int], block: tuple[int, int, int],
     else:
         outcome = "hit" if isinstance(entry, TracedProgram) else "bailout"
     if isinstance(entry, TracedProgram):
+        if validate and entry.verdict is None:
+            from repro.analysis import tracesan as _tracesan
+
+            entry.verdict = _tracesan.validate_program(
+                executor.kernel, entry.source, executor.warp_size,
+                grid, block, blocks_per_batch, key=entry.key)
         _count(outcome)
         return entry
     _count("bailout" if outcome != "bailout" else outcome, entry)

@@ -303,6 +303,14 @@ class PerfLintResponse(LintReportResponse):
         return self.payload["agreement"]
 
 
+class TraceLintResponse(LintReportResponse):
+    """``/lint/traces``: tracesan's report plus the agreement rollup."""
+
+    @property
+    def agreement(self) -> dict:
+        return self.payload["agreement"]
+
+
 # -- the client protocol ------------------------------------------------------
 
 
@@ -334,3 +342,5 @@ class MatrixClient(Protocol):
     def perf_static(self) -> StaticPerfResponse: ...
 
     def lint_perf(self) -> PerfLintResponse: ...
+
+    def lint_traces(self) -> TraceLintResponse: ...

@@ -36,6 +36,9 @@ path                                  payload
                                       (zero kernel executions)
 ``/lint/perf``                        static-vs-measured perf cross-check
                                       + cost-model notes + agreement rollup
+``/lint/traces``                      tracesan static trace-validation
+                                      sweep + agreement rollup (zero
+                                      kernel executions)
 ====================================  =======================================
 
 Both matrices build lazily on first use through the concurrent
@@ -68,6 +71,7 @@ from repro.service.api import (
     RemoteServerError,
     StaticPerfResponse,
     TableResponse,
+    TraceLintResponse,
     check_schema_version,
     error_envelope,
     error_from_payload,
@@ -159,6 +163,7 @@ class MatrixService:
         self._perf_report = None
         self._static_perf = None
         self._perf_lint: dict | None = None
+        self._trace_lint: dict | None = None
         self._build_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
@@ -454,6 +459,34 @@ class MatrixService:
                 self._perf_lint = payload
             return self._perf_lint
 
+    def lint_traces_report(self) -> dict:
+        """tracesan's static trace-validation sweep over the library.
+
+        Purely static — trace-compiles every library kernel at its
+        canonical geometry and re-proves the generated program
+        equivalent to the IR without executing either.  The agreement
+        rollup lands in the metrics registry as ``tracesan_*`` gauges,
+        so ``/metrics`` answers "is the trace tier still faithful"
+        without re-running the sweep.
+        """
+        from repro.analysis.tracesan import (
+            trace_agreement_summary,
+            traces_lint_report,
+            validate_library,
+        )
+
+        with self._build_lock:
+            if self._trace_lint is None:
+                results = validate_library()
+                report = traces_lint_report(results)
+                summary = trace_agreement_summary(results)
+                for name, value in summary.items():
+                    self.metrics.gauge(f"tracesan_{name}").set(value)
+                payload = json.loads(report.to_json())
+                payload["agreement"] = summary
+                self._trace_lint = payload
+            return self._trace_lint
+
 
 # -- shared request routing ---------------------------------------------------
 
@@ -479,6 +512,8 @@ def dispatch(service: MatrixService, parts: list[str],
         payload = service.lint_report()
     elif parts == ["lint", "perf"]:
         payload = service.lint_perf_report()
+    elif parts == ["lint", "traces"]:
+        payload = service.lint_traces_report()
     elif parts == ["metrics"]:
         payload = service.snapshot_metrics()
     elif parts == ["perf", "matrix"]:
@@ -548,6 +583,9 @@ class _BaseClient:
 
     def lint_perf(self) -> PerfLintResponse:
         return PerfLintResponse(self._request(["lint", "perf"]))
+
+    def lint_traces(self) -> TraceLintResponse:
+        return TraceLintResponse(self._request(["lint", "traces"]))
 
 
 class InProcessClient(_BaseClient):

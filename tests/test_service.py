@@ -373,9 +373,9 @@ def test_http_transport_agrees_with_inprocess(service):
 
 
 def test_all_endpoints_payload_identical_across_transports(warm_store_dir):
-    """Every endpoint — the original six, the three perf ones, and the
-    two perfstat ones — must return the identical versioned payload
-    through both clients."""
+    """Every endpoint — the original six, the three perf ones, the two
+    perfstat ones, and the tracesan one — must return the identical
+    versioned payload through both clients."""
     from repro.perfport import PerfParams
     from repro.service import (
         SCHEMA_VERSION,
@@ -405,6 +405,7 @@ def test_all_endpoints_payload_identical_across_transports(warm_store_dir):
             ("perf_portability", ()),
             ("perf_static", ()),
             ("lint_perf", ()),
+            ("lint_traces", ()),
             ("metrics", ()),
         ]
         for name, args in calls:
@@ -460,6 +461,35 @@ def test_perfstat_endpoints_payload_and_gauges(warm_store_dir):
     assert snap["gauges"]["perfstat_cells_agreeing"] == 40
     assert snap["gauges"]["perfstat_prediction_errors"] == 0
     assert snap["service"]["static_perf_built"] is True
+
+
+def test_tracesan_endpoint_payload_and_gauges():
+    """``/lint/traces`` validates the library statically (zero kernel
+    executions) and publishes the ``tracesan_*`` agreement gauges."""
+    from repro.isa.interpreter import snapshot_interpreter_totals
+
+    svc = MatrixService(jobs=2)
+    client = InProcessClient(svc)
+
+    before = snapshot_interpreter_totals().launches
+    lint = client.lint_traces()
+    assert snapshot_interpreter_totals().launches == before
+
+    assert lint["counts"]["error"] == 0
+    agreement = lint.agreement
+    assert agreement["errors"] == 0
+    assert agreement["validated"] == \
+        agreement["kernels_total"] - agreement["bailed_out"]
+    assert agreement["bailed_out"] >= 1  # warp_reduce_sum (shuffle)
+
+    snap = client.metrics()
+    assert snap["gauges"]["tracesan_errors"] == 0
+    assert snap["gauges"]["tracesan_validated"] == agreement["validated"]
+    assert snap["gauges"]["tracesan_kernels_total"] == \
+        agreement["kernels_total"]
+
+    # The sweep is cached: a second request serves the same payload.
+    assert client.lint_traces().payload == lint.payload
 
 
 def test_http_client_rejects_schema_skew():

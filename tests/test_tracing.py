@@ -205,6 +205,60 @@ def test_runtime_divergence_stays_traced(rng):
     assert delta["bailouts"] == 0
 
 
+# -- shared fuzz corpus, dynamic half + static agreement ----------------------
+#
+# The same seeded corpus test_tracesan.py validates statically runs here
+# through the traced and batched tiers; the observed bit-equality and
+# the static verdict must agree.
+
+
+from tests.trace_fuzz import BAILING_CASES, TRACEABLE_CASES
+
+
+@pytest.mark.parametrize("case", TRACEABLE_CASES, ids=lambda c: c.name)
+def test_fuzz_corpus_tiers_bit_identical_and_statically_agreed(case):
+    from repro.analysis.tracesan import TraceVerdict
+    from repro.isa.tracing import lookup
+
+    image = case.image()
+    (mem_t, st_t), delta = _trace_delta(
+        lambda: _run(case.ir, case.grid, case.block, case.args, image,
+                     trace=True))
+    mem_i, st_i = _run(case.ir, case.grid, case.block, case.args, image,
+                       trace=False)
+    np.testing.assert_array_equal(mem_t, mem_i)
+    assert _counters(st_t) == _counters(st_i)
+    assert delta["traced_launches"] == 1
+    assert delta["bailouts"] == 0
+
+    # Static translation validation must agree with the observed
+    # bit-equality: the verdict of the cached program is "validated".
+    ex = KernelExecutor(case.ir, 32, image.copy(), trace_mode=True)
+    bpb = max(1, ex.chunk_lanes // case.block[0])
+    grid3 = (case.grid[0], 1, 1)
+    block3 = (case.block[0], 1, 1)
+    program = lookup(ex, grid3, block3, bpb, validate=True)
+    assert program is not None
+    assert isinstance(program.verdict, TraceVerdict)
+    assert program.verdict.validated, \
+        [d.render() for d in program.verdict.diagnostics]
+
+
+@pytest.mark.parametrize("case", BAILING_CASES, ids=lambda c: c.name)
+def test_fuzz_bailing_cases_fall_back_bit_identical(case):
+    """Bailed kernels run on the interpreter tier — and still match it."""
+    image = case.image()
+    (mem_t, st_t), delta = _trace_delta(
+        lambda: _run(case.ir, case.grid, case.block, case.args, image,
+                     trace=True))
+    mem_i, st_i = _run(case.ir, case.grid, case.block, case.args, image,
+                       trace=False)
+    np.testing.assert_array_equal(mem_t, mem_i)
+    assert _counters(st_t) == _counters(st_i)
+    assert delta["traced_launches"] == 0
+    assert delta["reasons"].get(case.bailout_reason, 0) >= 1
+
+
 # -- bailouts are localized ---------------------------------------------------
 
 
