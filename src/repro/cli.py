@@ -239,19 +239,45 @@ def _extent(text: str) -> tuple[str, object]:
     return name, (int(value) if value.lstrip("-").isdigit() else value)
 
 
+def _load_user_module(name_or_path: str):
+    """Import a module by dotted name, or load a ``.py`` file by path."""
+    import importlib
+
+    if name_or_path.endswith(".py"):
+        import importlib.util
+        import os
+
+        modname = os.path.splitext(os.path.basename(name_or_path))[0]
+        spec = importlib.util.spec_from_file_location(modname, name_or_path)
+        if spec is None or spec.loader is None:
+            raise argparse.ArgumentTypeError(
+                f"cannot load '{name_or_path}'")
+        mod = importlib.util.module_from_spec(spec)
+        try:
+            spec.loader.exec_module(mod)
+        except (OSError, SyntaxError) as exc:
+            raise argparse.ArgumentTypeError(
+                f"cannot load '{name_or_path}': {exc}") from exc
+        return mod
+    try:
+        return importlib.import_module(name_or_path)
+    except ImportError as exc:
+        raise argparse.ArgumentTypeError(
+            f"cannot import module '{name_or_path}': {exc}") from exc
+
+
 def _lint_corpus(args):
     """Collect the KernelIR objects to lint: library or a user module."""
     from repro.frontends.kernel_dsl import KernelFn
+    from repro.jit.api import JitKernel
 
     if args.module:
-        import importlib
-
-        try:
-            mod = importlib.import_module(args.module)
-        except ImportError as exc:
-            raise argparse.ArgumentTypeError(
-                f"cannot import module '{args.module}': {exc}") from exc
+        mod = _load_user_module(args.module)
         fns = [v for v in vars(mod).values() if isinstance(v, KernelFn)]
+        # jit-decorated kernels lint through their compiled KernelFn,
+        # so `gpu-compat lint --module` covers @kernel corpora too
+        fns += [v.kernelfn for v in vars(mod).values()
+                if isinstance(v, JitKernel)]
         if not fns:
             raise argparse.ArgumentTypeError(
                 f"module '{args.module}' defines no @kernel functions")
@@ -469,6 +495,97 @@ def cmd_transval(args) -> int:
         print(f"validated {len(translators)} translator instance(s) "
               f"[{names}]: {report.summary_line()}")
     return 1 if report.errors else 0
+
+
+def _resolve_jit_kernel(spec: str):
+    """``module_or_path[:func]`` -> one JitKernel from a user module."""
+    from repro.jit.api import JitKernel
+
+    target, _, func = spec.partition("::")
+    if not func and ":" in spec and not spec.endswith(".py"):
+        target, _, func = spec.rpartition(":")
+    mod = _load_user_module(target)
+    jks = {n: v for n, v in vars(mod).items() if isinstance(v, JitKernel)}
+    if not jks:
+        raise argparse.ArgumentTypeError(
+            f"'{target}' defines no @kernel functions")
+    if func:
+        if func not in jks:
+            raise argparse.ArgumentTypeError(
+                f"'{target}' has no @kernel '{func}' "
+                f"(found: {', '.join(sorted(jks))})")
+        return jks[func]
+    if len(jks) > 1:
+        raise argparse.ArgumentTypeError(
+            f"'{target}' defines {len(jks)} @kernel functions; pick one "
+            f"with '{target}:<name>' ({', '.join(sorted(jks))})")
+    return next(iter(jks.values()))
+
+
+def _jit_targets(arg: str):
+    from repro.jit.api import TARGET_TOOLCHAINS
+
+    if arg == "all":
+        return list(TARGET_TOOLCHAINS)
+    for isa in TARGET_TOOLCHAINS:
+        if isa.value == arg:
+            return [isa]
+    raise argparse.ArgumentTypeError(
+        f"unknown target '{arg}' (ptx, amdgcn, spirv, or all)")
+
+
+def cmd_jit(args) -> int:
+    """``gpu-compat jit``: compile/inspect/rate a user's @kernel."""
+    import json
+
+    jk = _resolve_jit_kernel(args.spec)
+
+    if args.action == "row":
+        row = jk.compatibility_row(n=args.n)
+        if args.format == "json":
+            print(json.dumps(row.to_dict(), indent=1))
+        else:
+            print(row.render())
+        return 1 if row.lint_errors else 0
+
+    targets = _jit_targets(args.target)
+    if args.action == "compile":
+        results = {}
+        for isa in targets:
+            res = jk.compile(isa)
+            results[isa.value] = {
+                "toolchain": res.toolchain,
+                "asm_lines": len(res.disassemble().splitlines()),
+            }
+        if args.format == "json":
+            print(json.dumps({
+                "kernel": jk.name,
+                "signature": jk.signature,
+                "fingerprint": jk.fingerprint(),
+                "targets": results,
+            }, indent=1))
+        else:
+            print(f"{jk.name} {jk.signature}")
+            for isa, info in results.items():
+                print(f"  {isa:<8} ok  via {info['toolchain']} "
+                      f"({info['asm_lines']} asm lines)")
+        return 0
+
+    # inspect: the typing dump plus per-target disassembly
+    if args.format == "json":
+        print(json.dumps({
+            "kernel": jk.name,
+            "signature": jk.signature,
+            "fingerprint": jk.fingerprint(),
+            "types": jk.inspect_types(),
+            "asm": {isa.value: jk.inspect_asm(isa) for isa in targets},
+        }, indent=1))
+    else:
+        print(jk.inspect_types())
+        for isa in targets:
+            print(f"\n--- {isa.value} ---")
+            print(jk.inspect_asm(isa))
+    return 0
 
 
 def cmd_eval(args) -> int:
@@ -839,6 +956,29 @@ def main(argv: list[str] | None = None) -> int:
                       default="text",
                       help="diagnostic output format (default text)")
     p_tv.set_defaults(func=cmd_transval)
+
+    p_jit = sub.add_parser(
+        "jit",
+        help="compile/inspect/rate a @kernel-decorated Python function")
+    p_jit.add_argument("action", choices=("compile", "inspect", "row"),
+                       help="compile: lower to target ISA(s); inspect: "
+                            "typing dump + disassembly; row: run across "
+                            "every Python-package route per vendor and "
+                            "classify (a personal Figure-1 row)")
+    p_jit.add_argument("spec", metavar="MODULE[:FUNC]",
+                       help="dotted module name or .py path defining the "
+                            "@kernel function (':FUNC' picks one when the "
+                            "module defines several)")
+    p_jit.add_argument("--target", choices=("ptx", "amdgcn", "spirv", "all"),
+                       default="all",
+                       help="target ISA for compile/inspect (default all)")
+    p_jit.add_argument("--n", type=_positive_int, default=2048,
+                       metavar="ELEMS",
+                       help="with row: array length for the verification "
+                            "launches (default 2048)")
+    p_jit.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (default text)")
+    p_jit.set_defaults(func=cmd_jit)
 
     args = parser.parse_args(argv)
     if args.trace_mode is not None:

@@ -301,7 +301,13 @@ class Toolchain:
             from repro.compilers.passes import sanitize_module
 
             diagnostics = sanitize_module(optimized, sanitize_options)
-            if tu.origin is not None:
+            from repro.translate.base import TranslationOrigin
+
+            # Only translated units have a source unit to validate
+            # against; other provenance (e.g. the jit frontend's
+            # JitOrigin) participates in cache keying but has no
+            # translation to check.
+            if isinstance(tu.origin, TranslationOrigin):
                 from repro.analysis.transval import validate_translation
 
                 diagnostics.extend(validate_translation(tu))

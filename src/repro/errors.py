@@ -36,6 +36,27 @@ class KernelTypeError(FrontendError):
     """Kernel parameter/operand types are inconsistent or unannotated."""
 
 
+class JitTypeError(KernelTypeError):
+    """The ``@repro.jit.kernel`` frontend rejected a Python function.
+
+    Raised for signature violations (non-void return types, arity or
+    annotation mismatches) and for any construct the restricted Python
+    subset does not admit.  Carries the Python source location of the
+    offending construct so diagnostics point at user code:
+
+    Attributes:
+        source_path: File the decorated function lives in (``None``
+            when the location is unknown, e.g. a signature-level error).
+        source_line: 1-based absolute line of the rejected construct.
+    """
+
+    def __init__(self, message: str, source_path: str | None = None,
+                 source_line: int | None = None):
+        super().__init__(message)
+        self.source_path = source_path
+        self.source_line = source_line
+
+
 class LanguageError(FrontendError):
     """The programming model does not accept the source language.
 

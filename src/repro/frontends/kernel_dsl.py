@@ -149,15 +149,39 @@ def kernel(func: Callable) -> KernelFn:
     return compile_kernel(func)
 
 
-def compile_kernel(func: Callable, name: str | None = None) -> KernelFn:
-    """Compile ``func`` (a DSL function) to IR."""
-    try:
-        src = textwrap.dedent(inspect.getsource(func))
-    except (OSError, TypeError) as exc:
-        raise KernelSyntaxError(
-            f"cannot retrieve source of {func!r}; kernels must be defined "
-            "in a file"
-        ) from exc
+def compile_kernel(
+    func: Callable,
+    name: str | None = None,
+    param_types: "tuple | None" = None,
+    source: str | None = None,
+    source_path: str | None = None,
+) -> KernelFn:
+    """Compile ``func`` (a DSL function) to IR.
+
+    ``param_types`` supplies parameter types (TypeRef/ArrayAnn, in
+    positional order) for functions without annotations — the explicit
+    signature path of the ``@repro.jit.kernel`` decorator.  When both a
+    signature and annotations are present they must agree.
+
+    ``source`` overrides ``inspect.getsource`` for functions that have
+    no retrievable file (e.g. kernels submitted over the service as a
+    source string and materialized with ``exec``); ``source_path`` is
+    the path diagnostics should attribute such source to.
+    """
+    line_offset = 1
+    if source is not None:
+        src = textwrap.dedent(source)
+        path = source_path or "<source>"
+    else:
+        try:
+            lines, line_offset = inspect.getsourcelines(func)
+        except (OSError, TypeError) as exc:
+            raise KernelSyntaxError(
+                f"cannot retrieve source of {func!r}; kernels must be defined "
+                "in a file"
+            ) from exc
+        src = textwrap.dedent("".join(lines))
+        path = source_path or func.__code__.co_filename
     tree = ast.parse(src)
     fdef = next(
         (n for n in tree.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))),
@@ -165,7 +189,9 @@ def compile_kernel(func: Callable, name: str | None = None) -> KernelFn:
     )
     if fdef is None:
         raise KernelSyntaxError("expected a function definition")
-    compiler = _Compiler(func, fdef, name or func.__name__)
+    compiler = _Compiler(func, fdef, name or func.__name__,
+                         param_types=param_types,
+                         source_path=path, line_offset=line_offset)
     return compiler.run()
 
 
@@ -175,19 +201,39 @@ def compile_kernel(func: Callable, name: str | None = None) -> KernelFn:
 
 
 class _Compiler:
-    def __init__(self, func: Callable, fdef: ast.FunctionDef, name: str):
+    def __init__(self, func: Callable, fdef: ast.FunctionDef, name: str,
+                 param_types: "tuple | None" = None,
+                 source_path: str | None = None, line_offset: int = 1):
         self.func = func
         self.fdef = fdef
         self.b = IRBuilder(name)
         self.sym: dict[str, object] = {}
         self.arg_is_pointer: list[bool] = []
         self.arg_dtypes: list[DType] = []
+        self.param_types = param_types
+        self.source_path = source_path
+        self.line_offset = line_offset
 
     # -- helpers ----------------------------------------------------------------
 
-    def fail(self, node: ast.AST, msg: str) -> KernelSyntaxError:
-        line = getattr(node, "lineno", "?")
-        return KernelSyntaxError(f"{self.b.name}:{line}: {msg}")
+    def fail(self, node: ast.AST, msg: str,
+             cls: type = KernelSyntaxError) -> KernelSyntaxError:
+        """Diagnostic pointing at the user's Python source, not the DSL.
+
+        AST line numbers are relative to the (dedented) snippet the
+        compiler parsed; ``line_offset`` re-anchors them to the line the
+        decorated function actually starts on, so editors can jump to
+        the offending construct.  The raised error carries structured
+        ``source_path`` / ``source_line`` attributes alongside the
+        rendered ``path:line:`` prefix.
+        """
+        rel = getattr(node, "lineno", None)
+        line = None if rel is None else self.line_offset + rel - 1
+        where = self.source_path or self.b.name
+        exc = cls(f"{where}:{line if line is not None else '?'}: {msg}")
+        exc.source_path = self.source_path
+        exc.source_line = line
+        return exc
 
     def resolve_global(self, name: str):
         if name in self.func.__globals__:
@@ -231,10 +277,29 @@ class _Compiler:
         args = self.fdef.args
         if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
             raise self.fail(self.fdef, "kernels take plain positional parameters only")
-        for arg in args.args:
+        if self.param_types is not None and len(self.param_types) != len(args.args):
+            raise self.fail(
+                self.fdef,
+                f"signature has {len(self.param_types)} parameter type(s) "
+                f"but '{self.b.name}' takes {len(args.args)}",
+                cls=KernelTypeError,
+            )
+        for i, arg in enumerate(args.args):
+            declared = self.param_types[i] if self.param_types is not None else None
             if arg.annotation is None:
-                raise self.fail(arg, f"parameter '{arg.arg}' needs a type annotation")
-            ann = self._annotation_to_type(arg.annotation, arg)
+                if declared is None:
+                    raise self.fail(arg, f"parameter '{arg.arg}' needs a type annotation")
+                ann = declared
+            else:
+                ann = self._annotation_to_type(arg.annotation, arg)
+                if declared is not None and not _same_type(ann, declared):
+                    raise self.fail(
+                        arg,
+                        f"parameter '{arg.arg}' is annotated "
+                        f"{_type_name(ann)} but the signature says "
+                        f"{_type_name(declared)}",
+                        cls=KernelTypeError,
+                    )
             if isinstance(ann, ArrayAnn):
                 reg = self.b.param(arg.arg, ann.dtype, pointer=True)
                 self.sym[arg.arg] = _ArrayVal(reg, ann.dtype, MemSpace.GLOBAL)
@@ -680,3 +745,21 @@ class _Compiler:
 
 def _operand_dtype(op: Operand) -> DType:
     return op.dtype
+
+
+def _same_type(a: object, b: object) -> bool:
+    """Structural equality of annotation objects (TypeRef/ArrayAnn)."""
+    if isinstance(a, ArrayAnn) and isinstance(b, ArrayAnn):
+        return a.dtype is b.dtype
+    if isinstance(a, TypeRef) and isinstance(b, TypeRef):
+        return a.dtype is b.dtype
+    return False
+
+
+def _type_name(ann: object) -> str:
+    """Render a TypeRef/ArrayAnn the way a signature spells it."""
+    if isinstance(ann, ArrayAnn):
+        return f"{ann.dtype.name}[:]"
+    if isinstance(ann, TypeRef):
+        return ann.dtype.name
+    return repr(ann)

@@ -1,0 +1,51 @@
+"""``repro.jit`` — the ``@kernel`` JIT frontend.
+
+Bring-your-own-kernel entry point: decorate a restricted-Python
+function, get a :class:`~repro.jit.api.JitKernel` that compiles to all
+three target ISAs, lints under kernelsan, verifies against a
+pure-Python reference, and rates itself across every Python-package
+route per vendor (a personal Figure-1 row).
+
+    from repro.jit import kernel
+
+    @kernel("void(i64, f64, f64[:], f64[:])")
+    def saxpy(n, a, x, y):
+        i = gid(0)
+        if i < n:
+            y[i] = a * x[i] + y[i]
+"""
+
+from repro.errors import JitTypeError
+from repro.jit.api import (
+    MAX_PARAMS,
+    MAX_SOURCE_BYTES,
+    TARGET_TOOLCHAINS,
+    JitKernel,
+    JitOrigin,
+    autojit,
+    from_source,
+    kernel,
+)
+from repro.jit.reference import reference_launch, reference_run
+from repro.jit.row import CompatibilityRow, RouteCell, VendorRow, build_row
+from repro.jit.signatures import normalize_signature, signature_text
+
+__all__ = [
+    "JitKernel",
+    "JitOrigin",
+    "JitTypeError",
+    "kernel",
+    "autojit",
+    "from_source",
+    "build_row",
+    "CompatibilityRow",
+    "VendorRow",
+    "RouteCell",
+    "reference_launch",
+    "reference_run",
+    "normalize_signature",
+    "signature_text",
+    "MAX_SOURCE_BYTES",
+    "MAX_PARAMS",
+    "TARGET_TOOLCHAINS",
+]

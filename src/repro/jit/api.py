@@ -1,0 +1,380 @@
+"""The ``@kernel`` JIT frontend: real Python functions into the matrix.
+
+The decorator compiles a restricted Python subset through the existing
+kernel DSL (:mod:`repro.frontends.kernel_dsl`) into abstract kernel IR,
+from which every downstream subsystem — toolchains, kernelsan, routes,
+the interpreter's trace tier, the service — applies to *user* code
+exactly as it does to the bundled library:
+
+    from repro.jit import kernel
+
+    @kernel("void(i64, f64, f64[:], f64[:])")
+    def saxpy(n, a, x, y):
+        i = gid(0)
+        if i < n:
+            y[i] = a * x[i] + y[i]
+
+    saxpy.compile(ISA.PTX)          # nvcc -> PTX TargetModule
+    saxpy.inspect_asm()             # disassembly for all three ISAs
+    saxpy.compatibility_row()       # a personal Figure-1 row
+
+Two paths, mirroring numba-dppy's decorator surface:
+
+* **explicit signature** — ``@kernel("void(i64, f64[:])")``; parameter
+  types come from the signature, annotations are optional (and checked
+  for agreement when present).  A spelled return type must be ``void``.
+* **autojit** — bare ``@kernel`` (or ``@autojit``); compilation is
+  deferred to first use and parameter types come from annotations.
+
+Either way the public object is a :class:`JitKernel`; rejection is a
+typed :class:`~repro.errors.JitTypeError` carrying the Python source
+location of the offending construct.
+"""
+
+from __future__ import annotations
+
+import ast
+import threading
+from dataclasses import dataclass
+
+from repro.enums import ISA, Language, Model
+from repro.errors import FrontendError, JitTypeError
+from repro.frontends.kernel_dsl import _TYPE_REFS, KernelFn, compile_kernel
+from repro.frontends.source import TranslationUnit
+from repro.jit.signatures import normalize_signature, signature_text, type_name
+
+#: Server-side limits for submitted kernel source (enforced by
+#: ``MatrixService.submit_kernel`` and by :func:`from_source`).
+MAX_SOURCE_BYTES = 65536
+MAX_PARAMS = 16
+
+#: Which toolchain compiles a jit unit for each target ISA, and under
+#: which programming model the unit is presented.  The kernel IR itself
+#: is model-agnostic; the (model, toolchain) pair picks the same native
+#: route the Python packages use per vendor (nvcc/hipcc/dpcpp).
+TARGET_TOOLCHAINS: dict[ISA, tuple[str, Model]] = {
+    ISA.PTX: ("nvcc", Model.CUDA),
+    ISA.AMDGCN: ("hipcc", Model.HIP),
+    ISA.SPIRV: ("dpcpp", Model.SYCL),
+}
+
+
+@dataclass(frozen=True)
+class JitOrigin:
+    """Provenance stamped on jit-produced :class:`TranslationUnit`\\ s.
+
+    Plays the role :class:`~repro.translate.base.TranslationOrigin`
+    plays for translated units: the unit fingerprint itself excludes
+    provenance, but ``Toolchain.compile`` folds ``cache_token()`` into
+    its cache key, so a jit unit never shares a compile-cache slot with
+    a content-identical unit authored natively — while two ``@kernel``
+    functions with identical source *do* share one (the token is
+    content-derived, not identity-derived).
+    """
+
+    source_fingerprint: str
+    path: str | None = None
+    line: int | None = None
+
+    def cache_token(self) -> tuple[str, str]:
+        return ("jit", self.source_fingerprint)
+
+
+class JitKernel:
+    """A Python function compiled on demand into the kernel ecosystem."""
+
+    def __init__(self, pyfunc, argtypes=None, name: str | None = None,
+                 source: str | None = None, source_path: str | None = None):
+        self.pyfunc = pyfunc
+        self.argtypes = tuple(argtypes) if argtypes is not None else None
+        self.name = name or pyfunc.__name__
+        self._source = source
+        self._source_path = source_path
+        self._kernelfn: KernelFn | None = None
+        self._lock = threading.Lock()
+
+    # -- compilation to IR --------------------------------------------------
+
+    @property
+    def kernelfn(self) -> KernelFn:
+        """The DSL-compiled kernel (compiled once, lazily)."""
+        with self._lock:
+            if self._kernelfn is None:
+                try:
+                    self._kernelfn = compile_kernel(
+                        self.pyfunc, name=self.name,
+                        param_types=self.argtypes,
+                        source=self._source,
+                        source_path=self._source_path)
+                except JitTypeError:
+                    raise
+                except FrontendError as exc:
+                    raise JitTypeError(
+                        str(exc),
+                        source_path=getattr(exc, "source_path", None),
+                        source_line=getattr(exc, "source_line", None),
+                    ) from exc
+            return self._kernelfn
+
+    @property
+    def ir(self):
+        return self.kernelfn.ir
+
+    @property
+    def features(self) -> frozenset[str]:
+        return self.kernelfn.features
+
+    @property
+    def signature(self) -> str:
+        """Canonical ``void(...)`` signature (derived for autojit)."""
+        if self.argtypes is not None:
+            return signature_text(self.argtypes)
+        kfn = self.kernelfn
+        from repro.frontends.kernel_dsl import ArrayAnn
+
+        derived = tuple(
+            ArrayAnn(dt) if is_ptr else _TYPE_REFS[dt.name]
+            for is_ptr, dt in zip(kfn.arg_is_pointer, kfn.arg_dtypes))
+        return signature_text(derived)
+
+    def fingerprint(self) -> str:
+        """Structural content hash; the trace tier and compile cache key
+        on exactly this content, so two textually identical kernels are
+        one cache entry."""
+        from repro.isa.tracing import kernel_fingerprint
+
+        return kernel_fingerprint(self.ir)
+
+    # -- downstream plumbing ------------------------------------------------
+
+    def translation_unit(self, model: Model,
+                         language: Language = Language.PYTHON
+                         ) -> TranslationUnit:
+        """A jit-origin unit presented under ``model`` for compilation.
+
+        ``language`` defaults to Python — the source really is Python —
+        but the native toolchains accept C++ units, so
+        :meth:`compile` presents CPP (what a real JIT hands nvcc/hipcc).
+        """
+        tu = TranslationUnit(
+            name=f"jit_{self.name}", model=model, language=language)
+        tu.add(self.kernelfn)
+        tu.origin = JitOrigin(
+            source_fingerprint=self.fingerprint(),
+            path=self._source_path or self.pyfunc.__code__.co_filename,
+            line=self.pyfunc.__code__.co_firstlineno)
+        return tu
+
+    def compile(self, target: ISA, options: tuple[str, ...] = (),
+                sanitize: bool = False, sanitize_options=None):
+        """Compile to one target ISA through its native toolchain."""
+        from repro.compilers.registry import get_toolchain
+
+        toolchain_name, model = TARGET_TOOLCHAINS[ISA(target)]
+        tu = self.translation_unit(model, language=Language.CPP)
+        return get_toolchain(toolchain_name).compile(
+            tu, target, options=options, sanitize=sanitize,
+            sanitize_options=sanitize_options)
+
+    # -- inspection ---------------------------------------------------------
+
+    def inspect_types(self) -> str:
+        """A Numba-style typing dump: signature, params, IR summary."""
+        kfn = self.kernelfn
+        lines = [f"{self.name} {self.signature}",
+                 f"  fingerprint {self.fingerprint()[:16]}"]
+        for p in kfn.ir.params:
+            kind = "pointer" if p.is_pointer else "scalar"
+            lines.append(f"  param {p.name}: {p.dtype.name} ({kind})")
+        tags = ", ".join(sorted(kfn.ir.features)) or "none"
+        lines.append(f"  features: {tags}")
+        lines.append(f"  instructions: {len(kfn.ir.body)}")
+        return "\n".join(lines)
+
+    def inspect_asm(self, target: ISA | None = None) -> str | dict[ISA, str]:
+        """Disassembly for one target, or ``{ISA: text}`` for all three."""
+        if target is not None:
+            return self.compile(ISA(target)).disassemble()
+        return {isa: self.compile(isa).disassemble()
+                for isa in TARGET_TOOLCHAINS}
+
+    def lint(self, block=(256, 1, 1), extents=None):
+        """kernelsan over this kernel at an assumed launch geometry."""
+        from repro.analysis import AnalysisOptions, LaunchBounds, analyze_module
+        from repro.isa.module import ModuleIR
+
+        module = ModuleIR(name=f"jit_{self.name}")
+        module.add(self.ir)
+        return analyze_module(module, AnalysisOptions(
+            bounds=LaunchBounds.of(block=block), extents=extents))
+
+    def compatibility_row(self, n: int = 2048, seed: int = 12345,
+                          thresholds=None):
+        """Run this kernel across every Python-column route per vendor
+        and classify the outcomes — a personal Figure-1 row."""
+        from repro.jit.row import build_row
+
+        return build_row(self, n=n, seed=seed, thresholds=thresholds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "compiled" if self._kernelfn is not None else "lazy"
+        return f"<JitKernel {self.name} {state}>"
+
+
+# -- the decorator surface ----------------------------------------------------
+
+
+def autojit(pyfunc) -> JitKernel:
+    """Lazy path: defer compilation, take types from annotations."""
+    return JitKernel(pyfunc)
+
+
+def kernel(signature=None):
+    """The ``@kernel`` decorator (numba-dppy-shaped).
+
+    * ``@kernel`` on a bare function -> :func:`autojit`;
+    * ``@kernel("void(i64, f64[:])")`` / ``@kernel((i64, f64[:]))`` ->
+      explicit-signature :class:`JitKernel` (void-return rule enforced
+      at decoration time).
+    """
+    if signature is None:
+        return autojit
+    if callable(signature) and not isinstance(signature, (tuple, list)):
+        return autojit(signature)
+    argtypes = normalize_signature(signature)
+
+    def _wrapped(pyfunc) -> JitKernel:
+        return JitKernel(pyfunc, argtypes=argtypes)
+
+    return _wrapped
+
+
+# -- kernels from source strings (the /kernel/submit path) --------------------
+
+#: Statements allowed at module level in submitted source: a docstring,
+#: numeric-constant assignments (captured constants), one function def.
+_BANNED_NODES = (
+    ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal, ast.Lambda,
+    ast.Yield, ast.YieldFrom, ast.Await, ast.Try, ast.With, ast.AsyncWith,
+    ast.AsyncFor, ast.ClassDef, ast.AsyncFunctionDef, ast.Delete,
+    ast.Raise, ast.Assert, ast.NamedExpr,
+)
+
+
+def _reject(node: ast.AST, msg: str, path: str) -> JitTypeError:
+    line = getattr(node, "lineno", None)
+    return JitTypeError(f"{path}:{line if line is not None else '?'}: {msg}",
+                        source_path=path, source_line=line)
+
+
+def _check_annotation(node: ast.expr, path: str) -> None:
+    """Annotations in submitted source evaluate at ``exec`` time, so
+    only the harmless spellings are admitted: ``f64``, ``"f64[:]"``,
+    ``f64[:]``."""
+    if isinstance(node, ast.Name):
+        return
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return
+    if (isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name)
+            and isinstance(node.slice, ast.Slice)
+            and node.slice.lower is None and node.slice.upper is None
+            and node.slice.step is None):
+        return
+    raise _reject(node, "parameter annotations in submitted source must be "
+                        "a type name, a type string, or T[:]", path)
+
+
+def _is_numeric_const(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float, bool))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_numeric_const(node.operand)
+    return False
+
+
+def _validate_submitted(tree: ast.Module, path: str) -> ast.FunctionDef:
+    """Static vetting of submitted source before anything is ``exec``'d.
+
+    The goal is that executing the module is inert: the only code that
+    *runs* at exec time binds numeric constants and creates one function
+    object (whose body never executes).  Everything dynamic — imports,
+    decorators, default values, computed annotations — is rejected here,
+    and the function is later exec'd with empty builtins.
+    """
+    fdefs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(fdefs) != 1:
+        raise _reject(tree.body[0] if tree.body else tree,
+                      f"submitted source must define exactly one kernel "
+                      f"function, found {len(fdefs)}", path)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            continue
+        if (isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)):
+            continue  # module docstring
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _is_numeric_const(node.value)):
+            continue  # captured numeric constant
+        raise _reject(node, "only numeric constant assignments and one "
+                            "function definition are allowed at module "
+                            "level in submitted source", path)
+    fdef = fdefs[0]
+    if fdef.decorator_list:
+        raise _reject(fdef, "submitted kernels must not carry decorators "
+                            "(the service applies @kernel itself)", path)
+    args = fdef.args
+    if args.defaults or args.kw_defaults:
+        raise _reject(fdef, "submitted kernels must not have parameter "
+                            "defaults", path)
+    if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+        raise _reject(fdef, "submitted kernels take plain positional "
+                            "parameters only (no star-args, keyword-only "
+                            "or positional-only parameters)", path)
+    if len(args.args) > MAX_PARAMS:
+        raise _reject(fdef, f"kernels take at most {MAX_PARAMS} parameters, "
+                            f"got {len(args.args)}", path)
+    for arg in args.args:
+        if arg.annotation is not None:
+            _check_annotation(arg.annotation, path)
+    if fdef.returns is not None:
+        _check_annotation(fdef.returns, path)
+    for node in ast.walk(fdef):
+        if isinstance(node, _BANNED_NODES):
+            raise _reject(node, f"{type(node).__name__} is not allowed in "
+                                f"submitted kernel source", path)
+        if isinstance(node, ast.FunctionDef) and node is not fdef:
+            raise _reject(node, "nested function definitions are not "
+                                "allowed in submitted kernel source", path)
+    return fdef
+
+
+def from_source(source: str, name: str | None = None, signature=None,
+                source_path: str = "<submitted>") -> JitKernel:
+    """Build a :class:`JitKernel` from a source string.
+
+    This is the service's ``POST /kernel/submit`` entry point, so the
+    source is treated as untrusted: it is statically vetted
+    (:func:`_validate_submitted`), size-capped, and executed with empty
+    builtins — the only effect of the ``exec`` is creating the (never
+    invoked) function object the DSL compiler then parses.
+    """
+    if not isinstance(source, str):
+        raise JitTypeError(
+            f"kernel source must be a string, got {type(source).__name__}")
+    if len(source.encode("utf-8", errors="replace")) > MAX_SOURCE_BYTES:
+        raise JitTypeError(
+            f"kernel source exceeds {MAX_SOURCE_BYTES} bytes")
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise JitTypeError(
+            f"{source_path}:{exc.lineno}: invalid Python: {exc.msg}",
+            source_path=source_path, source_line=exc.lineno) from exc
+    fdef = _validate_submitted(tree, source_path)
+    namespace: dict = {"__builtins__": {}, **_TYPE_REFS}
+    exec(compile(tree, source_path, "exec"), namespace)  # noqa: S102 - vetted above
+    pyfunc = namespace[fdef.name]
+    argtypes = normalize_signature(signature) if signature is not None else None
+    return JitKernel(pyfunc, argtypes=argtypes, name=name or fdef.name,
+                     source=source, source_path=source_path)

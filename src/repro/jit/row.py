@@ -1,0 +1,214 @@
+"""A personal Figure-1 row for a user-submitted kernel.
+
+``JitKernel.compatibility_row()`` answers the serving-system question
+the ROADMAP's north star poses: *for the kernel you just wrote, which
+vendors can run it, through which packages, and how well?*  The library
+matrix classifies fixed probes; this module runs the **user's** kernel
+through every registered Python-column route per vendor, verifies each
+execution against the pure-Python reference oracle
+(:mod:`repro.jit.reference`), and folds the outcomes through the same
+§3 classifier that rates Figure 1 — so a user row and the paper matrix
+are rated by one rule, not two.
+
+Serialization (:meth:`CompatibilityRow.to_dict`) is deliberately
+deterministic — vendors in ``VENDOR_ORDER``, routes in registry order,
+plain ``dict``/``list``/scalars only — because the service contract
+promises byte-identical JSON for the same kernel across transports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.enums import VENDOR_ORDER, Language, Model, SupportCategory, Vendor
+from repro.errors import JitTypeError, ReproError
+from repro.core.classifier import DEFAULT_THRESHOLDS, classify_route
+from repro.core.matrix import aggregate_primary
+from repro.core.routes import Route, routes_for
+from repro.gpu.device import Device
+from repro.gpu.specs import default_spec
+from repro.jit.reference import reference_run
+from repro.kernels import BLOCK
+
+
+@dataclass
+class RouteCell:
+    """One route's outcome for the submitted kernel."""
+
+    route_id: str
+    label: str
+    via: str
+    ok: bool
+    category: SupportCategory
+    coverage: float
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "route": self.route_id,
+            "label": self.label,
+            "via": self.via,
+            "status": "ok" if self.ok else "error",
+            "category": self.category.name.lower(),
+            "coverage": self.coverage,
+            "error": self.error,
+        }
+
+
+@dataclass
+class VendorRow:
+    """All routes of one vendor, with the aggregated rating."""
+
+    vendor: Vendor
+    cells: list[RouteCell] = field(default_factory=list)
+    primary: SupportCategory = SupportCategory.NONE
+
+    def to_dict(self) -> dict:
+        return {
+            "vendor": self.vendor.value,
+            "primary": self.primary.name.lower(),
+            "symbol": self.primary.symbol,
+            "routes": [c.to_dict() for c in self.cells],
+        }
+
+
+@dataclass
+class CompatibilityRow:
+    """The full personal row: per-vendor ratings + kernelsan lint."""
+
+    kernel: str
+    signature: str
+    fingerprint: str
+    vendors: list[VendorRow] = field(default_factory=list)
+    lint_errors: int = 0
+    lint_warnings: int = 0
+    lint_findings: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "signature": self.signature,
+            "fingerprint": self.fingerprint,
+            "lint": {
+                "errors": self.lint_errors,
+                "warnings": self.lint_warnings,
+                "findings": self.lint_findings,
+            },
+            "vendors": [v.to_dict() for v in self.vendors],
+        }
+
+    def render(self) -> str:
+        """Terminal rendering in the Figure-1 style."""
+        lines = [f"{self.kernel} {self.signature}",
+                 f"  fingerprint {self.fingerprint[:16]}  "
+                 f"kernelsan: {self.lint_errors} error(s), "
+                 f"{self.lint_warnings} warning(s)"]
+        for v in self.vendors:
+            lines.append(f"  {v.vendor.value:<8} {v.primary.symbol} "
+                         f"{v.primary.label}")
+            for c in v.cells:
+                mark = "ok " if c.ok else "ERR"
+                extra = "" if c.ok else f"  [{c.error}]"
+                lines.append(f"    {mark} {c.label:<12} via {c.via}{extra}")
+        return "\n".join(lines)
+
+
+def synthesize_args(jk, n: int, seed: int):
+    """Deterministic launch arguments from the kernel's signature.
+
+    Array parameters become random ``f64`` buffers of length ``n``;
+    the first integer scalar receives ``n`` (the idiomatic element
+    count), later integer scalars a small constant, float scalars a
+    fixed non-trivial value.  Verification only needs determinism, not
+    realism: routes and the reference start from identical buffers.
+    """
+    kfn = jk.kernelfn
+    rng = np.random.default_rng(seed)
+    args: list = []
+    saw_count = False
+    for is_ptr, dt in zip(kfn.arg_is_pointer, kfn.arg_dtypes):
+        if is_ptr:
+            if dt.name != "f64":
+                raise JitTypeError(
+                    f"compatibility_row() runs through the Python-package "
+                    f"routes, which carry f64 device arrays; array "
+                    f"parameter of type {dt.name}[:] is not supported "
+                    f"there (compile()/inspect_asm() still work)")
+            args.append(rng.random(n))
+        elif dt.is_float:
+            args.append(1.5)
+        elif not saw_count:
+            args.append(n)
+            saw_count = True
+        else:
+            args.append(3)
+    return args
+
+
+def _run_route(route: Route, jk, host_args, ref, n: int):
+    """Execute the kernel through one route and verify bit-identity."""
+    kfn = jk.kernelfn
+    device = Device(default_spec(route.vendor))
+    pkg = route.chain(device)
+    launcher = pkg.raw_kernel(kfn)
+    dev_args: list = []
+    arrays: list[tuple[int, object]] = []
+    for i, (a, is_ptr) in enumerate(zip(host_args, kfn.arg_is_pointer)):
+        if is_ptr:
+            g = pkg.asarray(np.asarray(a))
+            dev_args.append(g)
+            arrays.append((i, g))
+        else:
+            dev_args.append(a)
+    launcher(n, dev_args)
+    for i, g in arrays:
+        got = pkg.asnumpy(g)
+        if not np.array_equal(got, ref[i]):
+            raise ReproError(
+                f"result mismatch vs reference in argument {i}")
+
+
+def build_row(jk, n: int = 2048, seed: int = 12345,
+              thresholds=None) -> CompatibilityRow:
+    """Run ``jk`` across every Python-column route and classify.
+
+    The launch geometry is the packages' own 1-D convention
+    (``grid = ceil(n / 256)``, ``block = 256``) and the oracle is
+    :func:`~repro.jit.reference.reference_run` at the same geometry, so
+    "works" means *bit-identical to the Python source's semantics*, not
+    merely "didn't crash".
+    """
+    thresholds = thresholds or DEFAULT_THRESHOLDS
+    host_args = synthesize_args(jk, n, seed)
+    grid = (max(1, (n + BLOCK - 1) // BLOCK),)
+    ref = reference_run(jk, grid, (BLOCK,), host_args)
+
+    report = jk.lint(block=(BLOCK, 1, 1))
+    row = CompatibilityRow(
+        kernel=jk.name,
+        signature=jk.signature,
+        fingerprint=jk.fingerprint(),
+        lint_errors=len(report.errors),
+        lint_warnings=len(report.warnings),
+        lint_findings=[d.to_dict() for d in report.diagnostics],
+    )
+    for vendor in VENDOR_ORDER:
+        vrow = VendorRow(vendor=vendor)
+        pairs: list[tuple[Route, SupportCategory]] = []
+        for route in routes_for(vendor, Model.PYTHON, Language.PYTHON):
+            try:
+                _run_route(route, jk, host_args, ref, n)
+            except ReproError as exc:
+                coverage, ok, err = 0.0, False, f"{type(exc).__name__}: {exc}"
+            else:
+                coverage, ok, err = 1.0, True, None
+            category = classify_route(route, coverage, thresholds)
+            pairs.append((route, category))
+            vrow.cells.append(RouteCell(
+                route_id=route.route_id, label=route.label, via=route.via,
+                ok=ok, category=category, coverage=coverage, error=err))
+        vrow.primary = aggregate_primary(pairs)
+        row.vendors.append(vrow)
+    return row

@@ -1,0 +1,101 @@
+"""Signature parsing and normalization for the ``@kernel`` decorator.
+
+A signature names the parameter types of a kernel, Numba-style.  It can
+be spelled three ways:
+
+* a string — ``"void(i64, f64, f64[:], f64[:])"`` (the return type is
+  optional; when present it must be ``void``);
+* a sequence of type spellings — ``("i64", "f64[:]")`` or the
+  :class:`~repro.frontends.kernel_dsl.TypeRef` / ``ArrayAnn`` objects
+  themselves (``(i64, f64[:])``);
+* ``None`` — the autojit path; parameter types come from the function's
+  annotations instead.
+
+The *void-return rule* (mirroring numba-dppy's ``kernel`` decorator):
+kernels communicate through their array parameters, never through a
+return value, so any spelled return type other than ``void`` is a
+:class:`~repro.errors.JitTypeError` at decoration time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import JitTypeError
+from repro.frontends.kernel_dsl import _TYPE_REFS, ArrayAnn, TypeRef
+
+#: Spellings accepted for "no return value" in a signature string.
+VOID_NAMES = frozenset({"void", "none"})
+
+#: Reverse map dtype -> canonical scalar spelling ("f64", "i32", ...).
+_DTYPE_NAMES = {ref.dtype: name for name, ref in _TYPE_REFS.items()}
+
+
+def parse_type(text: str) -> TypeRef | ArrayAnn:
+    """One type spelling -> a DSL annotation object.
+
+    ``"f64"`` -> scalar, ``"f64[:]"`` -> array; anything else raises.
+    """
+    t = text.strip()
+    if t.endswith("[:]"):
+        base = _TYPE_REFS.get(t[:-3].strip())
+        if base is not None:
+            return ArrayAnn(base.dtype)
+    elif t in _TYPE_REFS:
+        return _TYPE_REFS[t]
+    raise JitTypeError(
+        f"unknown type spelling {text!r} in kernel signature "
+        f"(use one of {', '.join(sorted(_TYPE_REFS))}, "
+        f"optionally suffixed [:])")
+
+
+def _coerce(item: object) -> TypeRef | ArrayAnn:
+    if isinstance(item, (TypeRef, ArrayAnn)):
+        return item
+    if isinstance(item, str):
+        return parse_type(item)
+    raise JitTypeError(
+        f"kernel signature entries must be DSL types or type strings, "
+        f"got {item!r}")
+
+
+def normalize_signature(signature: object) -> tuple[TypeRef | ArrayAnn, ...]:
+    """Normalize any accepted signature spelling to a tuple of types.
+
+    Enforces the void-return rule: a string signature that spells a
+    return type must spell ``void``.
+    """
+    if isinstance(signature, str):
+        text = signature.strip()
+        if "(" in text:
+            ret, _, rest = text.partition("(")
+            ret = ret.strip()
+            if not rest.endswith(")"):
+                raise JitTypeError(
+                    f"malformed kernel signature {signature!r} "
+                    "(expected 'void(type, ...)')")
+            if ret and ret.lower() not in VOID_NAMES:
+                raise JitTypeError(
+                    f"kernels cannot return values: signature return "
+                    f"type must be void, got {ret!r}")
+            body = rest[:-1].strip()
+        else:
+            body = text
+        if not body:
+            return ()
+        return tuple(parse_type(p) for p in body.split(","))
+    if isinstance(signature, (tuple, list)):
+        return tuple(_coerce(item) for item in signature)
+    raise JitTypeError(
+        f"unsupported kernel signature {signature!r} "
+        "(use a string, a tuple of types, or None for autojit)")
+
+
+def type_name(ann: TypeRef | ArrayAnn) -> str:
+    """Canonical spelling of one annotation object."""
+    if isinstance(ann, ArrayAnn):
+        return f"{_DTYPE_NAMES[ann.dtype]}[:]"
+    return _DTYPE_NAMES[ann.dtype]
+
+
+def signature_text(argtypes: tuple[TypeRef | ArrayAnn, ...]) -> str:
+    """Canonical string form, always void-returning."""
+    return f"void({', '.join(type_name(t) for t in argtypes)})"

@@ -21,10 +21,13 @@ from repro.service.api import (
     BadRequestError,
     CellResponse,
     HealthResponse,
+    KernelRejectedError,
+    KernelSubmitResponse,
     LintReportResponse,
     MatrixClient,
     MetricsResponse,
     NotFoundError,
+    PayloadTooLargeError,
     PerfCellResponse,
     PerfMatrixResponse,
     PortabilityResponse,
@@ -79,6 +82,8 @@ __all__ = [
     "JobEngine",
     "JobKind",
     "JobTimeout",
+    "KernelRejectedError",
+    "KernelSubmitResponse",
     "LintReportResponse",
     "MatrixClient",
     "MatrixScheduler",
@@ -86,6 +91,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsResponse",
     "NotFoundError",
+    "PayloadTooLargeError",
     "PerfCellResponse",
     "PerfMatrixResponse",
     "PortabilityResponse",

@@ -34,8 +34,11 @@ from typing import Iterator, Protocol, runtime_checkable
 
 #: Version 1 was the unversioned PR-4 wire format (no ``schema_version``
 #: field, string errors).  Version 2 added the version field, the error
-#: envelope, and the ``/perf/*`` endpoints.
-SCHEMA_VERSION = 2
+#: envelope, and the ``/perf/*`` endpoints.  Version 3 added the first
+#: POST endpoint (``/kernel/submit``) and its two error codes
+#: (``kernel_rejected``, ``payload_too_large``) — a semantic change
+#: (clients must be able to send bodies), hence a bump.
+SCHEMA_VERSION = 3
 
 
 # -- typed errors -------------------------------------------------------------
@@ -91,10 +94,33 @@ class SchemaVersionError(ServiceError):
         super().__init__(message, status)
 
 
+class KernelRejectedError(ServiceError):
+    """A submitted kernel failed jit compilation or validation.
+
+    The message is the :class:`~repro.errors.JitTypeError` text, which
+    carries the source location of the offending construct.
+    """
+
+    code = "kernel_rejected"
+
+    def __init__(self, message: str, status: int = 422):
+        super().__init__(message, status)
+
+
+class PayloadTooLargeError(ServiceError):
+    """A submitted kernel exceeds the server-side source size limit."""
+
+    code = "payload_too_large"
+
+    def __init__(self, message: str, status: int = 413):
+        super().__init__(message, status)
+
+
 _ERROR_TYPES: dict[str, type[ServiceError]] = {
     cls.code: cls
     for cls in (BadRequestError, NotFoundError, RemoteServerError,
-                SchemaVersionError)
+                SchemaVersionError, KernelRejectedError,
+                PayloadTooLargeError)
 }
 
 
@@ -295,6 +321,30 @@ class StaticPerfResponse(ApiResponse):
         return self.payload["n_cells"]
 
 
+class KernelSubmitResponse(ApiResponse):
+    """``POST /kernel/submit``: the submitted kernel's personal row."""
+
+    @property
+    def kernel(self) -> str:
+        return self.payload["kernel"]
+
+    @property
+    def signature(self) -> str:
+        return self.payload["signature"]
+
+    @property
+    def fingerprint(self) -> str:
+        return self.payload["fingerprint"]
+
+    @property
+    def lint(self) -> dict:
+        return self.payload["lint"]
+
+    @property
+    def vendors(self) -> list[dict]:
+        return self.payload["vendors"]
+
+
 class PerfLintResponse(LintReportResponse):
     """``/lint/perf``: a lint report plus the agreement rollup."""
 
@@ -344,3 +394,7 @@ class MatrixClient(Protocol):
     def lint_perf(self) -> PerfLintResponse: ...
 
     def lint_traces(self) -> TraceLintResponse: ...
+
+    def submit_kernel(self, source: str, name: str | None = None,
+                      signature: str | None = None,
+                      ) -> KernelSubmitResponse: ...

@@ -61,9 +61,12 @@ from repro.service.api import (
     BadRequestError,
     CellResponse,
     HealthResponse,
+    KernelRejectedError,
+    KernelSubmitResponse,
     LintReportResponse,
     MetricsResponse,
     NotFoundError,
+    PayloadTooLargeError,
     PerfCellResponse,
     PerfLintResponse,
     PerfMatrixResponse,
@@ -165,6 +168,8 @@ class MatrixService:
         self._perf_lint: dict | None = None
         self._trace_lint: dict | None = None
         self._build_lock = threading.Lock()
+        self._kernel_rows: dict[str, dict] = {}
+        self._kernel_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -488,17 +493,83 @@ class MatrixService:
             return self._trace_lint
 
 
+    # -- kernel submission (the bring-your-own-kernel endpoint) ------------
+
+    def count_rejection(self, code: str) -> None:
+        """Roll a rejected/corrupt submission into the jit counters."""
+        self.metrics.counter("jit_rejections_total").inc()
+        self.metrics.counter(f"jit_rejections_total_{code}").inc()
+
+    def submit_kernel(self, body: dict) -> dict:
+        """``POST /kernel/submit``: compile, lint, rate a user kernel.
+
+        The body is ``{"source": <python text>, "name"?: str,
+        "signature"?: str}``.  The source is vetted and compiled by
+        :func:`repro.jit.from_source` (size caps, static validation,
+        inert exec); success returns the kernel's personal
+        compatibility row.  Rows are cached by content fingerprint, so
+        resubmitting the same kernel — e.g. once per transport — serves
+        the identical payload object without re-running the routes.
+        """
+        from repro.errors import JitTypeError, ReproError
+        from repro.jit import MAX_SOURCE_BYTES, build_row, from_source
+
+        self.metrics.counter("jit_submissions_total").inc()
+        if not isinstance(body, dict) or not isinstance(
+                body.get("source"), str):
+            self.count_rejection(BadRequestError.code)
+            raise BadRequestError(
+                "kernel submission requires a JSON body with a string "
+                "'source' field")
+        source = body["source"]
+        name = body.get("name")
+        signature = body.get("signature")
+        for key, value in (("name", name), ("signature", signature)):
+            if value is not None and not isinstance(value, str):
+                self.count_rejection(BadRequestError.code)
+                raise BadRequestError(f"'{key}' must be a string")
+        if len(source.encode("utf-8", errors="replace")) > MAX_SOURCE_BYTES:
+            self.count_rejection(PayloadTooLargeError.code)
+            raise PayloadTooLargeError(
+                f"kernel source exceeds the {MAX_SOURCE_BYTES}-byte limit")
+        try:
+            jk = from_source(source, name=name, signature=signature)
+            fp = jk.fingerprint()
+            with self._kernel_lock:
+                cached = self._kernel_rows.get(fp)
+            if cached is not None:
+                return cached
+            payload = build_row(jk).to_dict()
+        except JitTypeError as exc:
+            self.count_rejection(KernelRejectedError.code)
+            raise KernelRejectedError(str(exc)) from exc
+        except ReproError as exc:
+            # compiles rejected further down the pipeline (toolchain,
+            # verifier, simulated device) are still the user's kernel
+            self.count_rejection(KernelRejectedError.code)
+            raise KernelRejectedError(
+                f"{type(exc).__name__}: {exc}") from exc
+        with self._kernel_lock:
+            self._kernel_rows.setdefault(fp, payload)
+            return self._kernel_rows[fp]
+
+
 # -- shared request routing ---------------------------------------------------
 
 
 def dispatch(service: MatrixService, parts: list[str],
-             q: Callable[[str, str | None], str | None]) -> dict:
+             q: Callable[[str, str | None], str | None],
+             body: dict | None = None) -> dict:
     """Route one request to the service and stamp the schema version.
 
     The *single* routing table: the HTTP handler and the in-process
-    client both call this, so the two transports cannot drift.
+    client both call this, so the two transports cannot drift.  ``body``
+    is the decoded JSON request body for the POST endpoints (``None``
+    for body-less requests).
     """
-    if parts == ["healthz"]:
+    if parts == ["kernel", "submit"]:
+        payload = service.submit_kernel(body if body is not None else {})
+    elif parts == ["healthz"]:
         payload = service.health()
     elif len(parts) == 4 and parts[0] == "cell":
         payload = service.cell(*parts[1:])
@@ -540,7 +611,8 @@ class _BaseClient:
     """
 
     def _request(self, parts: list[str],
-                 params: dict[str, str] | None = None) -> dict:
+                 params: dict[str, str] | None = None,
+                 body: dict | None = None) -> dict:
         raise NotImplementedError
 
     def health(self) -> HealthResponse:
@@ -587,6 +659,16 @@ class _BaseClient:
     def lint_traces(self) -> TraceLintResponse:
         return TraceLintResponse(self._request(["lint", "traces"]))
 
+    def submit_kernel(self, source: str, name: str | None = None,
+                      signature: str | None = None) -> KernelSubmitResponse:
+        body: dict = {"source": source}
+        if name is not None:
+            body["name"] = name
+        if signature is not None:
+            body["signature"] = signature
+        return KernelSubmitResponse(
+            self._request(["kernel", "submit"], body=body))
+
 
 class InProcessClient(_BaseClient):
     """The client surface over a :class:`MatrixService`, no sockets."""
@@ -595,13 +677,14 @@ class InProcessClient(_BaseClient):
         self.service = service
 
     def _request(self, parts: list[str],
-                 params: dict[str, str] | None = None) -> dict:
+                 params: dict[str, str] | None = None,
+                 body: dict | None = None) -> dict:
         params = params or {}
 
         def q(name: str, default: str | None = None) -> str | None:
             return params.get(name, default)
 
-        return dispatch(self.service, list(parts), q)
+        return dispatch(self.service, list(parts), q, body=body)
 
 
 class HttpClient(_BaseClient):
@@ -618,7 +701,8 @@ class HttpClient(_BaseClient):
         self.timeout_s = timeout_s
 
     def _request(self, parts: list[str],
-                 params: dict[str, str] | None = None) -> dict:
+                 params: dict[str, str] | None = None,
+                 body: dict | None = None) -> dict:
         import http.client
 
         path = "/" + "/".join(urllib.parse.quote(p, safe="") for p in parts)
@@ -627,7 +711,12 @@ class HttpClient(_BaseClient):
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s)
         try:
-            conn.request("GET", path)
+            if body is not None:
+                conn.request(
+                    "POST", path, body=json.dumps(body).encode(),
+                    headers={"Content-Type": "application/json"})
+            else:
+                conn.request("GET", path)
             response = conn.getresponse()
             raw = response.read().decode()
             try:
@@ -663,7 +752,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+    def _handle(self, body: dict | None) -> None:
         parsed = urllib.parse.urlsplit(self.path)
         parts = [urllib.parse.unquote(p)
                  for p in parsed.path.strip("/").split("/") if p]
@@ -674,12 +763,35 @@ class _Handler(BaseHTTPRequestHandler):
             return values[0] if values else default
 
         try:
-            self._send(200, dispatch(self.service, parts, q))
+            self._send(200, dispatch(self.service, parts, q, body=body))
         except _ServiceError as exc:
             self._send(exc.status, error_envelope(exc))
         except Exception as exc:  # pragma: no cover - defensive
             err = RemoteServerError(f"{type(exc).__name__}: {exc}")
             self._send(err.status, error_envelope(err))
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle(body=None)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length > 0 else b""
+        try:
+            body = json.loads(raw.decode("utf-8", errors="replace")) \
+                if raw else {}
+        except json.JSONDecodeError:
+            # a corrupt body never reaches the service, so count it here
+            # (only for the submission endpoint — it owns the counters)
+            if self.path.strip("/").startswith("kernel/"):
+                self.service.metrics.counter("jit_submissions_total").inc()
+                self.service.count_rejection(BadRequestError.code)
+            err = BadRequestError("request body is not valid JSON")
+            self._send(err.status, error_envelope(err))
+            return
+        self._handle(body=body)
 
 
 def make_server(service: MatrixService, host: str = "127.0.0.1",
