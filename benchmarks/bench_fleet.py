@@ -1,0 +1,272 @@
+"""BENCH_fleet — worker-process fleet scaling + HTTP serving under load.
+
+Two experiments, one artifact (``BENCH_fleet.json``):
+
+**Scaling** — cold 51-cell matrix builds across (backend, jobs)
+configurations: ``thread/jobs=1`` (the GIL-bound baseline),
+``thread/jobs=N``, and ``process/jobs=N`` (the worker-process fleet).
+Every configuration is checked **byte-identical** to the sequential
+reference — the rendered Figure 1 string and the full cell dict must
+match exactly — and the process-vs-one-worker speedup is recorded.
+The speedup is *gated* only on multi-core runners (``cpu_count >= 2``);
+a single-CPU container records it honestly without failing.
+
+**Load** — a loopback HTTP server over a warm store is hammered by
+concurrent clients sweeping the read endpoints (``/healthz``,
+``/table``, ``/cell``, ``/metrics``, ``/admin/stores``); per-request
+wall-clock is recorded and reduced to p50/p95/p99 latency, throughput,
+and an error count.  Gates: zero errors, p99 under a generous floor.
+
+Run as a script (CI smoke gate)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+
+Exit code 1 if any configuration's output diverges, any load-test
+request fails, p99 exceeds the floor, or (multi-core only) the process
+fleet fails to beat one worker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+from repro.core.matrix import build_matrix
+from repro.core.render import RENDERERS, matrix_lookup
+from repro.service import (
+    EXECUTION_PROCESS,
+    EXECUTION_THREAD,
+    HttpClient,
+    MatrixService,
+    build_matrix_concurrent,
+    make_server,
+)
+
+#: Generous p99 ceiling for the loopback read endpoints (seconds).
+P99_FLOOR_S = 2.0
+
+#: Required process-fleet speedup over jobs=1 — enforced only when the
+#: runner actually has more than one CPU to parallelise across.
+MIN_MULTICORE_SPEEDUP = 1.1
+
+
+def _fingerprint(matrix) -> str:
+    """Rendered-figure fingerprint: equal strings = equal Figure 1."""
+    return RENDERERS["text"](matrix_lookup(matrix), title="bench")
+
+
+# -- experiment 1: cold-build scaling across (backend, jobs) ------------------
+
+
+def run_scaling(quick: bool) -> dict:
+    cpus = os.cpu_count() or 1
+    fleet_jobs = min(cpus, 4) if quick else min(cpus, 8)
+    reference = build_matrix()
+    ref_fp = _fingerprint(reference)
+
+    configs = [
+        (EXECUTION_THREAD, 1),
+        (EXECUTION_THREAD, fleet_jobs),
+        (EXECUTION_PROCESS, fleet_jobs),
+    ]
+    if not quick and fleet_jobs > 2:
+        configs.insert(2, (EXECUTION_PROCESS, 2))
+
+    rows: dict = {}
+    for execution, jobs in configs:
+        label = f"{execution}/jobs={jobs}"
+        t0 = time.perf_counter()
+        report = build_matrix_concurrent(jobs, execution=execution)
+        dt = time.perf_counter() - t0
+        rows[label] = {
+            "seconds": round(dt, 4),
+            "bit_identical": (
+                report.matrix.cells == reference.cells
+                and _fingerprint(report.matrix) == ref_fp),
+            "cells_evaluated": report.cells_evaluated,
+        }
+
+    base = rows[f"{EXECUTION_THREAD}/jobs=1"]["seconds"]
+    fleet = rows[f"{EXECUTION_PROCESS}/jobs={fleet_jobs}"]["seconds"]
+    return {
+        "cpu_count": cpus,
+        "fleet_jobs": fleet_jobs,
+        "configs": rows,
+        "process_speedup_vs_1": round(base / fleet, 2) if fleet else 0.0,
+        "speedup_gated": cpus >= 2,
+    }
+
+
+# -- experiment 2: HTTP load test against a warm server -----------------------
+
+#: The read-endpoint sweep each client rotates through.
+_LOAD_CALLS = (
+    lambda c: c.health(),
+    lambda c: c.table("text"),
+    lambda c: c.cell("NVIDIA", "CUDA", "C++"),
+    lambda c: c.metrics(),
+    lambda c: c.admin_stores(),
+)
+
+
+def run_load(quick: bool, store_root: str) -> dict:
+    clients = 4 if quick else 8
+    requests_each = 25 if quick else 100
+
+    service = MatrixService(jobs=1, store=store_root)
+    service.ensure_built()
+    server = make_server(service)
+    host, port = server.server_address
+    server_thread = threading.Thread(target=server.serve_forever,
+                                     daemon=True)
+    server_thread.start()
+
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def client_loop(worker: int) -> None:
+        client = HttpClient(host, port)
+        mine: list[float] = []
+        bad: list[str] = []
+        for i in range(requests_each):
+            call = _LOAD_CALLS[(worker + i) % len(_LOAD_CALLS)]
+            t0 = time.perf_counter()
+            try:
+                call(client)
+            except Exception as exc:  # any failure fails the gate
+                bad.append(f"worker {worker} req {i}: "
+                           f"{type(exc).__name__}: {exc}")
+            mine.append(time.perf_counter() - t0)
+        with lock:
+            latencies.extend(mine)
+            errors.extend(bad)
+
+    threads = [threading.Thread(target=client_loop, args=(w,))
+               for w in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    server.shutdown()
+    server.server_close()
+
+    ordered = sorted(latencies)
+
+    def pct(p: float) -> float:
+        return ordered[min(len(ordered) - 1,
+                           int(p / 100.0 * len(ordered)))]
+
+    total = clients * requests_each
+    return {
+        "clients": clients,
+        "requests_per_client": requests_each,
+        "total_requests": total,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(total / elapsed, 1) if elapsed else 0.0,
+        "latency_s": {
+            "p50": round(pct(50), 5),
+            "p95": round(pct(95), 5),
+            "p99": round(pct(99), 5),
+            "max": round(ordered[-1], 5),
+        },
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "p99_floor_s": P99_FLOOR_S,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    results: dict = {
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "scaling": run_scaling(quick),
+    }
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-store-") as root:
+        # Warm the store once so the served matrix loads instantly and
+        # the load test measures serving, not probe evaluation.
+        build_matrix_concurrent(1, store=root)
+        results["load"] = run_load(quick, root)
+    return results
+
+
+def verdict(results: dict) -> list[str]:
+    """Failure messages; empty means the run passes its gates."""
+    problems = []
+    scaling = results["scaling"]
+    for label, row in scaling["configs"].items():
+        if not row["bit_identical"]:
+            problems.append(f"{label}: diverged from the sequential build")
+    if scaling["speedup_gated"] and \
+            scaling["process_speedup_vs_1"] < MIN_MULTICORE_SPEEDUP:
+        problems.append(
+            f"process fleet sped up only "
+            f"{scaling['process_speedup_vs_1']}x over jobs=1 on a "
+            f"{scaling['cpu_count']}-CPU runner "
+            f"(< {MIN_MULTICORE_SPEEDUP}x)")
+    load = results["load"]
+    if load["errors"]:
+        problems.append(
+            f"load test hit {load['errors']} request error(s): "
+            f"{load['error_samples']}")
+    if load["latency_s"]["p99"] > load["p99_floor_s"]:
+        problems.append(
+            f"p99 latency {load['latency_s']['p99']}s exceeds the "
+            f"{load['p99_floor_s']}s floor")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer clients/requests/configs (CI smoke)")
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=pathlib.Path("BENCH_fleet.json"))
+    args = ap.parse_args(argv)
+
+    results = run(quick=args.quick)
+    problems = verdict(results)
+    results["pass"] = not problems
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    scaling = results["scaling"]
+    for label, row in scaling["configs"].items():
+        print(f"{label:20s} {row['seconds']:8.3f}s "
+              f"bit_identical={row['bit_identical']}")
+    gated = "gated" if scaling["speedup_gated"] else \
+        "recorded only (single CPU)"
+    print(f"process fleet speedup vs jobs=1: "
+          f"{scaling['process_speedup_vs_1']}x ({gated}, "
+          f"cpu_count={scaling['cpu_count']})")
+    load = results["load"]
+    lat = load["latency_s"]
+    print(f"load: {load['total_requests']} requests, "
+          f"{load['throughput_rps']} req/s, p50={lat['p50']}s "
+          f"p95={lat['p95']}s p99={lat['p99']}s errors={load['errors']}")
+    for p in problems:
+        print(f"FAIL: {p}", file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 1 if problems else 0
+
+
+# Pytest entry point: quick fleet determinism + load smoke, writes the
+# JSON artifact next to the other benchmark outputs.
+def test_fleet_scaling_and_load(artifacts_dir):
+    results = run(quick=True)
+    problems = verdict(results)
+    results["pass"] = not problems
+    (artifacts_dir / "BENCH_fleet.json").write_text(
+        json.dumps(results, indent=2) + "\n")
+    assert not problems, problems
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,22 +33,34 @@ Subcommands:
   report, worst per-family exit code.
 * ``transval [--format text|json|sarif]`` — audit every shipped
   source-to-source translator (``TV01``–``TV06``).
-* ``eval [--jobs N] [--store DIR] [--metrics-json PATH]`` — build the
-  matrix through the concurrent scheduler against a persistent result
-  store (warm store: zero probe executions).
-* ``perf [--jobs N] [--store DIR] [--n N] [--reps R]
-  [--format text|json|csv]`` — run the five BabelStream kernels through
-  every viable route of every cell and report per-cell efficiencies,
-  per-model cascades, and the Pennycook performance-portability metric.
-  Deterministic: the ``json``/``csv`` output is byte-identical at every
-  ``--jobs`` count.  A warm ``--store`` executes zero stream kernels.
+* ``eval [--jobs N] [--execution thread|process] [--store DIR]
+  [--metrics-json PATH]`` — build the matrix through the concurrent
+  scheduler against a persistent result store (warm store: zero probe
+  executions).  ``--execution process`` shards cells across a worker-
+  process fleet (GIL-free); output is byte-identical on both backends
+  at every ``--jobs`` count.
+* ``perf [--jobs N] [--execution thread|process] [--store DIR] [--n N]
+  [--reps R] [--format text|json|csv]`` — run the five BabelStream
+  kernels through every viable route of every cell and report per-cell
+  efficiencies, per-model cascades, and the Pennycook
+  performance-portability metric.  Deterministic: the ``json``/``csv``
+  output is byte-identical at every ``--jobs`` count on both execution
+  backends.  A warm ``--store`` executes zero stream kernels.
   ``--static`` reports perfstat's *predicted* matrix instead — same
   formats, same reductions, zero kernel executions, cold or warm.
-* ``serve [--host H] [--port P] [--jobs N] [--store DIR] [--lazy]`` —
-  serve the derived matrix over the loopback JSON API
-  (``/cell``, ``/table``, ``/advise``, ``/lint/routes``, ``/lint/perf``,
-  ``/lint/traces``, ``/metrics``, ``/perf/matrix``, ``/perf/cell``,
-  ``/perf/portability``, ``/perf/static``).
+* ``serve [--host H] [--port P] [--jobs N] [--execution thread|process]
+  [--store DIR] [--lazy] [--read-only]`` — serve the derived matrix
+  over the loopback JSON API (``/cell``, ``/table``, ``/advise``,
+  ``/lint/routes``, ``/lint/perf``, ``/lint/traces``, ``/metrics``,
+  ``/perf/matrix``, ``/perf/cell``, ``/perf/portability``,
+  ``/perf/static``, ``/admin/stores``, ``/admin/stores/clear``).
+  ``--read-only`` turns the mutating ``/admin`` endpoints into typed
+  403 ``read_only`` errors.
+
+``--jobs`` for ``eval``/``perf``/``serve`` defaults to
+``os.cpu_count()`` and shares one validator (must be >= 1; exit 2
+otherwise); ``--execution`` selects the scheduler backend (``thread``
+keeps the GIL-bound pool, ``process`` runs the worker fleet).
 
 ``--format json`` prints the ``LintReport`` as JSON (diagnostic code,
 severity, kernel, path, message, hint, plus severity rollups) and
@@ -76,7 +88,9 @@ code  meaning
       --perf`` found best-route or structure mismatches (PS02/PS04),
       ``lint --traces`` proved only conservative bounds (TC04), or
       ``report`` disagreed with the published matrix.  ``lint --all``
-      propagates the worst per-family code
+      propagates the worst per-family code.  **Extension:** ``eval``/
+      ``perf``/``serve`` exit 1 on a scheduler failure (a job exhausted
+      its retry budget — :class:`~repro.service.SchedulerError`)
 2     usage error (argparse: unknown flag, missing operand, bad value);
       **extension:** ``lint --routes`` also exits 2 on an RE01
       contradiction, ``lint --perf`` on a PS01 prediction error, and
@@ -594,8 +608,10 @@ def cmd_eval(args) -> int:
 
     from repro.service import build_matrix_concurrent
 
-    report = build_matrix_concurrent(args.jobs, store=args.store)
-    print(f"evaluated {report.summary_line()}")
+    report = build_matrix_concurrent(
+        args.jobs, execution=args.execution, store=args.store)
+    print(f"evaluated {report.summary_line()} "
+          f"[{args.execution} backend]")
     if report.store is not None:
         st = report.store.stats.as_dict()
         print(f"store: {st['hits']} hits, {st['misses']} misses, "
@@ -608,6 +624,7 @@ def cmd_eval(args) -> int:
             snapshot["store"] = report.store.stats.as_dict()
         snapshot["build"] = {
             "jobs": report.jobs,
+            "execution": args.execution,
             "elapsed_s": round(report.elapsed_s, 4),
             "cells_from_store": report.cells_from_store,
             "cells_evaluated": report.cells_evaluated,
@@ -683,8 +700,8 @@ def cmd_perf(args) -> int:
     params = PerfParams(
         n=args.n if args.n is not None else DEFAULT_N,
         reps=args.reps if args.reps is not None else DEFAULT_REPS)
-    service = MatrixService(jobs=args.jobs, store=args.store,
-                            perf_params=params)
+    service = MatrixService(jobs=args.jobs, execution=args.execution,
+                            store=args.store, perf_params=params)
     client = InProcessClient(service)
     if args.static:
         return _perf_static(service, client, args)
@@ -737,16 +754,19 @@ def cmd_serve(args) -> int:
     """Serve the matrix over the loopback JSON API until interrupted."""
     from repro.service import MatrixService, make_server
 
-    service = MatrixService(jobs=args.jobs, store=args.store)
+    service = MatrixService(jobs=args.jobs, execution=args.execution,
+                            read_only=args.read_only, store=args.store)
     if not args.lazy:
         report = service.ensure_built()
-        print(f"built {report.summary_line()}")
+        print(f"built {report.summary_line()} [{args.execution} backend]")
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address
-    print(f"serving the compatibility matrix on http://{host}:{port} "
+    mode = " [read-only]" if args.read_only else ""
+    print(f"serving the compatibility matrix on http://{host}:{port}{mode} "
           f"(endpoints: /healthz /cell/V/M/L /table /advise /lint/routes "
           f"/lint/perf /metrics /perf/matrix /perf/cell/V/M/L "
-          f"/perf/portability /perf/static; Ctrl-C to stop)")
+          f"/perf/portability /perf/static /admin/stores "
+          f"/admin/stores/clear; Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -797,6 +817,21 @@ def _positive_int(value: str) -> int:
     if n < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
     return n
+
+
+def _add_fleet_args(parser: "argparse.ArgumentParser") -> None:
+    """The uniform --jobs/--execution pair for eval, perf, and serve."""
+    import os
+
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help=f"scheduler workers (default: os.cpu_count() = "
+             f"{os.cpu_count() or 1}; results are identical at every "
+             f"count)")
+    parser.add_argument(
+        "--execution", choices=("thread", "process"), default="thread",
+        help="scheduler backend: 'thread' (GIL-bound pool, the default) "
+             "or 'process' (worker-process fleet; byte-identical output)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -852,8 +887,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_eval = sub.add_parser(
         "eval", help="build the matrix concurrently with a result store")
-    p_eval.add_argument("--jobs", type=_positive_int, default=4, metavar="N",
-                        help="scheduler worker threads (default 4)")
+    _add_fleet_args(p_eval)
     p_eval.add_argument("--store", default=None, metavar="DIR",
                         help="persistent result-store directory; a warm "
                              "store re-derives only changed cells")
@@ -864,9 +898,7 @@ def main(argv: list[str] | None = None) -> int:
     p_perf = sub.add_parser(
         "perf", help="performance-portability matrix (BabelStream through "
                      "every viable route)")
-    p_perf.add_argument("--jobs", type=_positive_int, default=4, metavar="N",
-                        help="scheduler worker threads (default 4; results "
-                             "are identical at every count)")
+    _add_fleet_args(p_perf)
     p_perf.add_argument("--store", default=None, metavar="DIR",
                         help="persistent store directory (shared with "
                              "'eval'; a warm store executes zero stream "
@@ -890,12 +922,14 @@ def main(argv: list[str] | None = None) -> int:
                          help="bind address (default loopback)")
     p_serve.add_argument("--port", type=int, default=8951,
                          help="port (default 8951; 0 = ephemeral)")
-    p_serve.add_argument("--jobs", type=_positive_int, default=4, metavar="N",
-                         help="scheduler worker threads (default 4)")
+    _add_fleet_args(p_serve)
     p_serve.add_argument("--store", default=None, metavar="DIR",
                          help="persistent result-store directory")
     p_serve.add_argument("--lazy", action="store_true",
                          help="defer the matrix build to the first request")
+    p_serve.add_argument("--read-only", action="store_true",
+                         help="reject mutating /admin endpoints with a "
+                              "typed 403 'read_only' error")
     p_serve.set_defaults(func=cmd_serve)
 
     p_lint = sub.add_parser(
@@ -980,6 +1014,8 @@ def main(argv: list[str] | None = None) -> int:
                        help="output format (default text)")
     p_jit.set_defaults(func=cmd_jit)
 
+    from repro.service.scheduler import SchedulerError
+
     args = parser.parse_args(argv)
     if args.trace_mode is not None:
         from repro.isa.tracing import set_default_trace_mode
@@ -990,6 +1026,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.stats:
             _print_stats()
         return code
+    except SchedulerError as exc:
+        # A build job exhausted its retry budget (worker crashes, injected
+        # faults, timeouts): the matrix was not produced.  Runtime
+        # failure, not usage — exit 1.
+        print(f"gpu-compat {args.command}: {exc}", file=sys.stderr)
+        return 1
     except (VerificationError, FrontendError, CompileError) as exc:
         # Rejected input (bad kernel source or malformed IR): the
         # requested analysis never ran.  Distinct from exit 1, which

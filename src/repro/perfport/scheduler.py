@@ -17,6 +17,15 @@ cancellation, and the fault-injection seam; this module contributes only
 the DAG shape and the job bodies.  Perf jobs use their own
 :class:`PerfJobKind` so the matrix build's per-kind metric names stay
 untouched.
+
+Like the matrix scheduler, the perf build inherits the engine's
+``execution="thread" | "process"`` knob: in process mode each cell's
+viable routes are streamed inside one worker process (fresh device per
+route, exactly like the sequential loop), the finished
+:class:`PerfCell` is published into the content-addressed perf store
+when one is configured, and the serialized payload travels back for
+canonical-order assembly — bit-identical at every worker count on both
+backends.
 """
 
 from __future__ import annotations
@@ -41,7 +50,7 @@ from repro.perfport.matrix import (
 from repro.perfport.store import PerfStore
 from repro.perfport.stream import run_stream_via_route
 from repro.service.metrics import MetricsRegistry
-from repro.service.scheduler import Job, JobEngine
+from repro.service.scheduler import EXECUTION_PROCESS, EXECUTION_THREAD, Job, JobEngine
 from repro.service.store import ResultStore
 
 
@@ -74,6 +83,56 @@ class PerfBuildReport:
                 f"worker(s) in {self.elapsed_s:.2f}s")
 
 
+def _eval_perf_cell_task(
+    cell_values: tuple[str, str, str],
+    route_ids: tuple[str, ...],
+    params: PerfParams,
+    thresholds,
+    store_root: str | None,
+) -> tuple[dict, dict]:
+    """Worker body: stream one cell's viable routes, publish, serialize.
+
+    ``route_ids`` arrive in registry order (the coordinator derived them
+    from the compat matrix, which does not travel to the worker); the
+    worker resolves them against the live registry and preserves that
+    order, so the payload reconstructs bit-identically via
+    ``perf_cell_from_dict``.
+    """
+    from repro.core.routes import routes_for
+    from repro.enums import Language, Model, Vendor
+    from repro.perfport.store import PerfStore, perf_cell_to_dict
+
+    vendor = Vendor(cell_values[0])
+    model = Model(cell_values[1])
+    language = Language(cell_values[2])
+    by_id = {r.route_id: r for r in routes_for(vendor, model, language)}
+    perfs = [run_stream_via_route(by_id[rid], params) for rid in route_ids]
+    result = assemble_perf_cell((vendor, model, language), perfs)
+    publishes = 0
+    if store_root is not None:
+        store = _worker_perf_store(store_root, params, thresholds)
+        store.save(result)
+        publishes = 1
+    return perf_cell_to_dict(result), {
+        "stream_runs": len(route_ids),
+        "store_publishes": publishes,
+    }
+
+
+#: Per-worker-process perf-store handles, keyed by (root, params).
+_WORKER_PERF_STORES: dict = {}
+
+
+def _worker_perf_store(root: str, params: PerfParams,
+                       thresholds) -> PerfStore:
+    key = (root, repr(params), thresholds)
+    store = _WORKER_PERF_STORES.get(key)
+    if store is None:
+        store = _WORKER_PERF_STORES[key] = PerfStore(
+            root, params=params, thresholds=thresholds)
+    return store
+
+
 class PerfScheduler(JobEngine):
     """Builds the perf matrix as a job DAG on a thread pool."""
 
@@ -81,11 +140,13 @@ class PerfScheduler(JobEngine):
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: int | None = 1,
         *,
         compat: CompatibilityMatrix,
+        execution: str = EXECUTION_THREAD,
         params: PerfParams = PerfParams(),
         store: PerfStore | None = None,
+        thresholds=None,
         metrics: MetricsRegistry | None = None,
         timeout_s: float = 120.0,
         max_retries: int = 2,
@@ -94,6 +155,7 @@ class PerfScheduler(JobEngine):
     ):
         super().__init__(
             jobs,
+            execution=execution,
             metrics=metrics,
             timeout_s=timeout_s,
             max_retries=max_retries,
@@ -103,6 +165,9 @@ class PerfScheduler(JobEngine):
         self.compat = compat
         self.params = params
         self.store = store
+        self.thresholds = (thresholds if thresholds is not None
+                           else (store.thresholds if store is not None
+                                 else DEFAULT_THRESHOLDS))
 
     # -- DAG construction --------------------------------------------------
 
@@ -134,6 +199,35 @@ class PerfScheduler(JobEngine):
             self.metrics.counter("perf_store_writes").inc()
         return result
 
+    # -- the process backend: one task per cell ----------------------------
+
+    def _build_cells_in_processes(self, missing: list[Cell]
+                                  ) -> dict[Cell, PerfCell]:
+        """Stream ``missing`` cells' routes on the worker-process fleet."""
+        from repro.perfport.store import perf_cell_from_dict
+
+        store_root = (str(self.store.root.parent)
+                      if self.store is not None else None)
+        jobs_ = [Job(self._next_id(), PerfJobKind.PERF_CELL, cell)
+                 for cell in missing]
+        args_list = [
+            (tuple(p.value for p in cell),
+             tuple(r.route_id for r in viable_routes(self.compat, cell)),
+             self.params, self.thresholds, store_root)
+            for cell in missing
+        ]
+        payloads = self.run_tasks_in_processes(
+            jobs_, _eval_perf_cell_task, args_list)
+        evaluated: dict[Cell, PerfCell] = {}
+        for cell, (payload, stats) in zip(missing, payloads):
+            self.metrics.counter("stream_runs").inc(stats["stream_runs"])
+            if stats["store_publishes"]:
+                self.metrics.counter("perf_store_writes").inc(
+                    stats["store_publishes"])
+                self.store.stats._inc("writes")
+            evaluated[cell] = perf_cell_from_dict(payload)
+        return evaluated
+
     # -- public API --------------------------------------------------------
 
     def build(self) -> PerfBuildReport:
@@ -141,7 +235,9 @@ class PerfScheduler(JobEngine):
         start = time.monotonic()
         self.metrics.gauge("perf_workers").set(self.jobs)
         cell_jobs: dict[Cell, int] = {}
+        missing: list[Cell] = []
         stored: dict[Cell, PerfCell] = {}
+        use_processes = self.execution == EXECUTION_PROCESS
         for cell in all_cells():
             if self.store is not None:
                 cached = self.store.load(cell)
@@ -150,16 +246,24 @@ class PerfScheduler(JobEngine):
                     self.metrics.counter("perf_store_hits").inc()
                     continue
                 self.metrics.counter("perf_store_misses").inc()
-            cell_jobs[cell] = self._build_cell_jobs(cell)
+            if use_processes:
+                missing.append(cell)
+            else:
+                cell_jobs[cell] = self._build_cell_jobs(cell)
 
-        self.run_all()
+        if use_processes:
+            evaluated = self._build_cells_in_processes(missing)
+        else:
+            self.run_all()
+            evaluated = {cell: self._results[job_id]
+                         for cell, job_id in cell_jobs.items()}
 
         cells = {}
         for cell in all_cells():
             if cell in stored:
                 cells[cell] = stored[cell]
             else:
-                cells[cell] = self._results[cell_jobs[cell]]
+                cells[cell] = evaluated[cell]
         matrix = PerfMatrix(params=self.params, cells=cells)
         self.metrics.counter("perf_builds").inc()
         return PerfBuildReport(
@@ -168,14 +272,15 @@ class PerfScheduler(JobEngine):
             jobs=self.jobs,
             elapsed_s=time.monotonic() - start,
             cells_from_store=len(stored),
-            cells_evaluated=len(cell_jobs),
+            cells_evaluated=len(evaluated),
             store=self.store,
         )
 
 
 def run_perf_matrix(
-    jobs: int = 1,
+    jobs: int | None = 1,
     *,
+    execution: str = EXECUTION_THREAD,
     store: str | None = None,
     params: PerfParams = PerfParams(),
     thresholds: Thresholds = DEFAULT_THRESHOLDS,
@@ -203,7 +308,8 @@ def run_perf_matrix(
                                     metrics=metrics)
                         if store is not None else None)
         compat_report = build_matrix_concurrent(
-            jobs, store=compat_store, thresholds=thresholds, metrics=metrics)
+            jobs, execution=execution, store=compat_store,
+            thresholds=thresholds, metrics=metrics)
         compat = compat_report.matrix
     perf_store = (PerfStore(store, params=params, thresholds=thresholds,
                             metrics=metrics)
@@ -211,8 +317,10 @@ def run_perf_matrix(
     scheduler = PerfScheduler(
         jobs,
         compat=compat,
+        execution=execution,
         params=params,
         store=perf_store,
+        thresholds=thresholds,
         metrics=metrics,
         timeout_s=timeout_s,
         max_retries=max_retries,

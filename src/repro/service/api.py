@@ -29,6 +29,7 @@ error worth failing loudly on.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator, Protocol, runtime_checkable
 
@@ -37,8 +38,50 @@ from typing import Iterator, Protocol, runtime_checkable
 #: envelope, and the ``/perf/*`` endpoints.  Version 3 added the first
 #: POST endpoint (``/kernel/submit``) and its two error codes
 #: (``kernel_rejected``, ``payload_too_large``) — a semantic change
-#: (clients must be able to send bodies), hence a bump.
-SCHEMA_VERSION = 3
+#: (clients must be able to send bodies), hence a bump.  Version 4 is
+#: the operational-API redesign: ``/healthz`` and ``/metrics`` carry a
+#: typed ``execution`` block (:class:`ExecutionInfo`), the ``/admin/*``
+#: endpoints exist, and a new error code (``read_only``) can come back
+#: from mutating endpoints — a semantic change, hence a bump.
+SCHEMA_VERSION = 4
+
+#: One previous generation is *readable* with a deprecation warning (a
+#: v4 client pointed at a still-running v3 server keeps working while
+#: the fleet rolls); anything older or newer is rejected.
+COMPATIBLE_SCHEMA_VERSIONS = (SCHEMA_VERSION - 1, SCHEMA_VERSION)
+
+
+@dataclass(frozen=True)
+class ExecutionInfo:
+    """The typed execution block carried by ``/healthz`` and ``/metrics``.
+
+    Describes how the serving process evaluates matrices: which
+    scheduler backend, how many workers, and the fleet's operational
+    counters (store reuse, probe work, crash/restart totals).
+    """
+
+    backend: str          # "thread" | "process"
+    workers: int          # configured job count
+    store_hits: int       # compat + perf store hits, this process
+    probes_run: int       # probe executions, this process
+    worker_crashes: int   # dead worker processes (real or injected)
+    worker_restarts: int  # process-pool rebuilds after a crash
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "store_hits": self.store_hits,
+            "probes_run": self.probes_run,
+            "worker_crashes": self.worker_crashes,
+            "worker_restarts": self.worker_restarts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionInfo":
+        return cls(**{k: payload[k] for k in (
+            "backend", "workers", "store_hits", "probes_run",
+            "worker_crashes", "worker_restarts")})
 
 
 # -- typed errors -------------------------------------------------------------
@@ -116,11 +159,24 @@ class PayloadTooLargeError(ServiceError):
         super().__init__(message, status)
 
 
+class ReadOnlyError(ServiceError):
+    """A mutating endpoint was called on a read-only server.
+
+    Raised by the ``/admin/*`` mutators when the server was started
+    with ``serve --read-only``; maps to HTTP 403.
+    """
+
+    code = "read_only"
+
+    def __init__(self, message: str, status: int = 403):
+        super().__init__(message, status)
+
+
 _ERROR_TYPES: dict[str, type[ServiceError]] = {
     cls.code: cls
     for cls in (BadRequestError, NotFoundError, RemoteServerError,
                 SchemaVersionError, KernelRejectedError,
-                PayloadTooLargeError)
+                PayloadTooLargeError, ReadOnlyError)
 }
 
 
@@ -150,13 +206,25 @@ def error_from_payload(status: int, payload: object) -> ServiceError:
 
 
 def check_schema_version(payload: dict) -> dict:
-    """Reject payloads from a different schema generation."""
+    """Reject payloads from an incompatible schema generation.
+
+    The current version passes silently; the immediately previous one
+    passes with a :class:`DeprecationWarning` (v4 is additive over v3's
+    key set, so a v3 payload still parses — warn rather than hard-fail
+    while a mixed-version fleet rolls); anything else raises.
+    """
     got = payload.get("schema_version")
-    if got != SCHEMA_VERSION:
-        raise SchemaVersionError(
-            f"server speaks schema_version={got!r}, this client requires "
-            f"{SCHEMA_VERSION}")
-    return payload
+    if got == SCHEMA_VERSION:
+        return payload
+    if got in COMPATIBLE_SCHEMA_VERSIONS:
+        warnings.warn(
+            f"server speaks deprecated schema_version={got}; this client "
+            f"prefers {SCHEMA_VERSION} — upgrade the server",
+            DeprecationWarning, stacklevel=2)
+        return payload
+    raise SchemaVersionError(
+        f"server speaks schema_version={got!r}, this client requires "
+        f"one of {COMPATIBLE_SCHEMA_VERSIONS}")
 
 
 # -- typed responses ----------------------------------------------------------
@@ -203,6 +271,11 @@ class HealthResponse(ApiResponse):
     @property
     def cells(self) -> int:
         return self.payload["cells"]
+
+    @property
+    def execution(self) -> ExecutionInfo:
+        """The typed v4 execution block (backend, workers, fleet stats)."""
+        return ExecutionInfo.from_dict(self.payload["execution"])
 
 
 class CellResponse(ApiResponse):
@@ -261,6 +334,35 @@ class MetricsResponse(ApiResponse):
     @property
     def histograms(self) -> dict:
         return self.payload["histograms"]
+
+    @property
+    def execution(self) -> ExecutionInfo:
+        """The typed v4 execution block (backend, workers, fleet stats)."""
+        return ExecutionInfo.from_dict(self.payload["execution"])
+
+
+class AdminStoresResponse(ApiResponse):
+    """``GET /admin/stores``: entry counts, corruption, fingerprints."""
+
+    @property
+    def matrix(self) -> dict:
+        return self.payload["matrix"]
+
+    @property
+    def perf(self) -> dict:
+        return self.payload["perf"]
+
+
+class StoresClearResponse(ApiResponse):
+    """``POST /admin/stores/clear``: what was deleted."""
+
+    @property
+    def cleared(self) -> bool:
+        return self.payload["cleared"]
+
+    @property
+    def removed(self) -> dict:
+        return self.payload["removed"]
 
 
 class PerfMatrixResponse(ApiResponse):
@@ -398,3 +500,7 @@ class MatrixClient(Protocol):
     def submit_kernel(self, source: str, name: str | None = None,
                       signature: str | None = None,
                       ) -> KernelSubmitResponse: ...
+
+    def admin_stores(self) -> AdminStoresResponse: ...
+
+    def clear_stores(self) -> StoresClearResponse: ...

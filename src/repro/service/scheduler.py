@@ -46,12 +46,47 @@ backoff, and cooperative cancellation.  Timeouts are enforced
 post-hoc — a pure-Python job cannot be preempted mid-flight — so a job
 that exceeds its budget is treated as failed and retried; the
 ``fault_hook`` lets tests inject timeouts deterministically.
+
+Execution backends
+------------------
+
+The engine runs its jobs on one of two backends, selected by
+``execution="thread" | "process"``:
+
+* **thread** (the default, and the fault-injection test bed) — the job
+  DAG above on a pool of worker threads.  Pure-Python probe work is
+  GIL-bound, so ``jobs=N`` buys latency overlap but no CPU scaling.
+* **process** — jobs run in worker *processes* on a
+  ``ProcessPoolExecutor``, which actually uses N cores.  Because job
+  closures do not pickle, the process backend shards at the natural
+  picklable granularity: **one task per cell** (a cell's probes and
+  routes are evaluated inside one worker, exactly like the sequential
+  per-cell loop).  Workers publish finished cells into the
+  content-addressed store when one is configured — the store is the
+  mailbox; its writes are atomic and cross-process safe — and *also*
+  return the serialized cell payload, so storeless builds work the same
+  way.  The coordinator reassembles in canonical ``all_cells()`` /
+  registry order, so the **bit-identical at every worker count**
+  invariant holds verbatim on both backends.
+
+Process-mode fault tolerance: a worker process that dies mid-job
+(detected as a broken pool) is counted as a ``worker_crashes``, the
+pool is rebuilt (``worker_restarts``), and every job that was in flight
+is retried under the same bounded-retry budget — a crash is a
+structured retry, never a hang.  The ``fault_hook`` seam carries over:
+a picklable hook is shipped to the workers and called with a
+(:class:`JobInfo`, attempt) pair *inside* the worker (so it can
+simulate real crashes with ``os._exit``); an unpicklable hook runs
+coordinator-side with the real :class:`Job`, and raising
+:class:`WorkerCrash` from it simulates a death without killing a pool.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import os
+import pickle
 import threading
 import time
 from collections import deque
@@ -74,6 +109,26 @@ from repro.service.metrics import MetricsRegistry
 from repro.service.store import ResultStore
 
 Cell = tuple[Vendor, Model, Language]
+
+#: The execution backends the engine can run jobs on.
+EXECUTION_THREAD = "thread"
+EXECUTION_PROCESS = "process"
+EXECUTION_MODES = (EXECUTION_THREAD, EXECUTION_PROCESS)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None`` means "use every core" (the CLI's ``--jobs`` default)."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def resolve_execution(execution: str) -> str:
+    """Validate the backend knob (raises ``ValueError`` on typos)."""
+    if execution not in EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {EXECUTION_MODES}, got {execution!r}")
+    return execution
 
 
 class JobKind(enum.Enum):
@@ -101,6 +156,30 @@ class BuildCancelled(Exception):
 
 class SchedulerError(Exception):
     """A job failed permanently (retries exhausted)."""
+
+
+class WorkerCrash(Exception):
+    """A worker process died mid-job (or a fault hook simulated that).
+
+    Raised internally per failed attempt and converted to a structured
+    retry; it only escapes (wrapped in :class:`SchedulerError`) when the
+    retry budget is exhausted.
+    """
+
+
+@dataclass(frozen=True)
+class JobInfo:
+    """Picklable surrogate of a :class:`Job`, shipped to worker processes.
+
+    Process-mode fault hooks receive this instead of the full ``Job``
+    (whose ``fn`` closure does not pickle).  ``label`` matches
+    :attr:`Job.label` so one hook can target the same jobs on either
+    backend.
+    """
+
+    label: str
+    kind: str
+    cell: tuple[str, str, str]
 
 
 @dataclass
@@ -183,8 +262,9 @@ class JobEngine:
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: int | None = 1,
         *,
+        execution: str = EXECUTION_THREAD,
         metrics: MetricsRegistry | None = None,
         device_factory: Callable[[Vendor], Device] | None = None,
         timeout_s: float = 60.0,
@@ -192,9 +272,11 @@ class JobEngine:
         backoff_s: float = 0.05,
         fault_hook: Callable[[Job, int], None] | None = None,
     ):
+        jobs = resolve_jobs(jobs)
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        self.execution = resolve_execution(execution)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timeout_s = timeout_s
         self.max_retries = max_retries
@@ -334,6 +416,230 @@ class JobEngine:
                 f"build cancelled with {self._outstanding} job(s) "
                 f"outstanding")
 
+    # -- process backend ---------------------------------------------------
+
+    def _split_fault_hook(self):
+        """A picklable hook ships to the workers; any other runs here."""
+        if self.fault_hook is None:
+            return None, None
+        try:
+            pickle.dumps(self.fault_hook)
+        except Exception:
+            return None, self.fault_hook  # coordinator-side
+        return self.fault_hook, None  # worker-side
+
+    def _make_pool(self):
+        import concurrent.futures
+        import multiprocessing
+
+        # fork (where available) is both faster to start and lets
+        # workers inherit the parent's warm compile caches; spawn is the
+        # portable fallback (worker fns are module-level, so they
+        # re-import cleanly).
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs, mp_context=ctx)
+
+    def run_tasks_in_processes(
+        self,
+        jobs_: list[Job],
+        runner: Callable,
+        args_list: list[tuple],
+    ) -> list[object]:
+        """Run independent picklable tasks on a worker-process pool.
+
+        ``runner(*args_list[i])`` executes in a worker for each job in
+        ``jobs_``; results come back in input order.  Applies the same
+        bounded retry / backoff / post-hoc timeout policy as the thread
+        backend, plus crash recovery: a broken pool counts one
+        ``worker_crashes``, is rebuilt (``worker_restarts``), and every
+        in-flight task is retried against the fresh pool.
+        """
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        if not jobs_:
+            return []
+        wire_hook, local_hook = self._split_fault_hook()
+        results: list[object] = [None] * len(jobs_)
+        attempts = [0] * len(jobs_)
+        pending: deque[int] = deque(range(len(jobs_)))
+        futures: dict[object, int] = {}
+        worker_pids: set[int] = set()
+        pool = self._make_pool()
+
+        def fail(i: int, exc: BaseException, *,
+                 count_crash: bool = True) -> None:
+            job = jobs_[i]
+            if isinstance(exc, WorkerCrash) and count_crash:
+                self.metrics.counter("worker_crashes").inc()
+            if isinstance(exc, JobTimeout):
+                self.metrics.counter("jobs_timeout").inc()
+            if attempts[i] <= self.max_retries:
+                self.metrics.counter("jobs_retried").inc()
+                if self.backoff_s > 0:
+                    time.sleep(self.backoff_s * (2 ** (attempts[i] - 1)))
+                pending.append(i)
+                return
+            raise SchedulerError(
+                f"job {job.label} failed after {attempts[i]} attempt(s): "
+                f"{type(exc).__name__}: {exc}") from exc
+
+        try:
+            while pending or futures:
+                if self._cancelled.is_set():
+                    raise BuildCancelled(
+                        f"build cancelled with {len(pending) + len(futures)} "
+                        f"process task(s) outstanding")
+                while pending:
+                    i = pending.popleft()
+                    job = jobs_[i]
+                    attempts[i] += 1
+                    job.attempts = attempts[i]
+                    if local_hook is not None:
+                        try:
+                            local_hook(job, attempts[i] - 1)
+                        except BuildCancelled:
+                            raise
+                        except Exception as exc:
+                            fail(i, exc)
+                            continue
+                    info = JobInfo(label=job.label, kind=job.kind.value,
+                                   cell=tuple(p.value for p in job.cell))
+                    fut = pool.submit(_process_entry, info, runner,
+                                      args_list[i], attempts[i] - 1,
+                                      wire_hook)
+                    futures[fut] = i
+                if not futures:
+                    continue
+                done, _ = concurrent.futures.wait(
+                    futures, return_when=concurrent.futures.FIRST_COMPLETED)
+                pool_broken = False
+                for fut in done:
+                    i = futures.pop(fut)
+                    job = jobs_[i]
+                    try:
+                        payload, elapsed, pid = fut.result()
+                    except BrokenProcessPool as exc:
+                        # One dead worker fails every in-flight future;
+                        # count the crash once (below) and retry each
+                        # casualty without inflating the crash counter.
+                        pool_broken = True
+                        fail(i, WorkerCrash(
+                            f"worker process died while {job.label} was "
+                            f"in flight: {exc}"), count_crash=False)
+                        continue
+                    except BuildCancelled:
+                        raise
+                    except Exception as exc:
+                        fail(i, exc)
+                        continue
+                    if elapsed > self.timeout_s:
+                        fail(i, JobTimeout(
+                            f"{job.label} took {elapsed:.3f}s "
+                            f"(budget {self.timeout_s}s)"))
+                        continue
+                    worker_pids.add(pid)
+                    results[i] = payload
+                    self.metrics.counter(
+                        f"jobs_completed_{job.kind.value}").inc()
+                    self.metrics.histogram(
+                        f"job_latency_{job.kind.value}").observe(elapsed)
+                if pool_broken:
+                    self.metrics.counter("worker_crashes").inc()
+                    self.metrics.counter("worker_restarts").inc()
+                    # Drain the corpses: every remaining future is dead.
+                    for fut, i in list(futures.items()):
+                        fail(i, WorkerCrash(
+                            f"worker pool broke while {jobs_[i].label} "
+                            f"was in flight"), count_crash=False)
+                    futures.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._make_pool()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self.metrics.gauge("process_workers_used").set(len(worker_pids))
+        return results
+
+
+# -- process-mode worker bodies (module-level: must be importable) ------------
+
+
+def _process_entry(info: JobInfo, runner: Callable, args: tuple,
+                   attempt: int, fault_hook) -> tuple[object, float, int]:
+    """Run one task inside a worker process; returns (result, s, pid)."""
+    start = time.monotonic()
+    if fault_hook is not None:
+        fault_hook(info, attempt)
+    result = runner(*args)
+    return result, time.monotonic() - start, os.getpid()
+
+
+#: Per-worker-process caches: one device per vendor, one store handle
+#: per root.  Workers are long-lived, so these amortize across tasks.
+_WORKER_DEVICES: dict[Vendor, Device] = {}
+_WORKER_STORES: dict[tuple[str, Thresholds], "ResultStore"] = {}
+
+
+def _worker_device(vendor: Vendor,
+                   device_factory: Callable[[Vendor], Device] | None
+                   ) -> Device:
+    dev = _WORKER_DEVICES.get(vendor)
+    if dev is None:
+        factory = device_factory or _default_device_factory
+        dev = _WORKER_DEVICES[vendor] = factory(vendor)
+    return dev
+
+
+def _worker_result_store(root: str, thresholds: Thresholds) -> ResultStore:
+    key = (root, thresholds)
+    store = _WORKER_STORES.get(key)
+    if store is None:
+        store = _WORKER_STORES[key] = ResultStore(root,
+                                                  thresholds=thresholds)
+    return store
+
+
+def _eval_matrix_cell_task(
+    cell_values: tuple[str, str, str],
+    thresholds: Thresholds,
+    probe_filter,
+    store_root: str | None,
+    device_factory,
+) -> tuple[dict, dict]:
+    """Worker body: evaluate one full cell, publish it, return its dict.
+
+    Mirrors the sequential per-cell loop of
+    :func:`repro.core.matrix.build_matrix` exactly — routes in registry
+    order, probes in suite order — so the payload reconstructs
+    bit-identically coordinator-side via ``cell_from_dict``.
+    """
+    from repro.service.store import cell_to_dict
+
+    vendor = Vendor(cell_values[0])
+    model = Model(cell_values[1])
+    language = Language(cell_values[2])
+    device = _worker_device(vendor, device_factory)
+    probes_run = 0
+    results = []
+    for route in routes_for(vendor, model, language):
+        outcomes = []
+        for probe in probes_for_route(route, probe_filter):
+            outcomes.append(run_single_probe(route, device, probe))
+            probes_run += 1
+        results.append(assemble_route_result(route, outcomes, thresholds))
+    cell_result = assemble_cell(vendor, model, language, results)
+    publishes = 0
+    if store_root is not None and probe_filter is None:
+        _worker_result_store(store_root, thresholds).save(cell_result)
+        publishes = 1
+    return cell_to_dict(cell_result), {
+        "probes_executed": probes_run,
+        "store_publishes": publishes,
+    }
+
 
 class MatrixScheduler(JobEngine):
     """Builds the compatibility matrix as a job DAG on a thread pool."""
@@ -342,8 +648,9 @@ class MatrixScheduler(JobEngine):
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: int | None = 1,
         *,
+        execution: str = EXECUTION_THREAD,
         store: ResultStore | None = None,
         thresholds: Thresholds = DEFAULT_THRESHOLDS,
         probe_filter: Callable[[Probe], bool] | None = None,
@@ -356,6 +663,7 @@ class MatrixScheduler(JobEngine):
     ):
         super().__init__(
             jobs,
+            execution=execution,
             metrics=metrics,
             device_factory=device_factory,
             timeout_s=timeout_s,
@@ -462,6 +770,49 @@ class MatrixScheduler(JobEngine):
             self.metrics.counter("store_writes").inc()
         return cell_result
 
+    # -- the process backend: one task per cell ----------------------------
+
+    def _build_cells_in_processes(self, missing: list[Cell]) -> dict[Cell,
+                                                                     object]:
+        """Evaluate ``missing`` cells on the worker-process fleet."""
+        from repro.service.store import cell_from_dict
+
+        for name, value in (("probe_filter", self.probe_filter),
+                            ("device_factory",
+                             None if self._device_factory
+                             is _default_device_factory
+                             else self._device_factory)):
+            if value is not None:
+                try:
+                    pickle.dumps(value)
+                except Exception as exc:
+                    raise ValueError(
+                        f"{name} must be picklable for process execution "
+                        f"(got {value!r}): {exc}") from exc
+        store_root = (str(self.store.root)
+                      if self.store is not None else None)
+        factory = (None if self._device_factory is _default_device_factory
+                   else self._device_factory)
+        jobs_ = [Job(self._next_id(), JobKind.CELL, cell)
+                 for cell in missing]
+        args_list = [
+            (tuple(p.value for p in cell), self.thresholds,
+             self.probe_filter, store_root, factory)
+            for cell in missing
+        ]
+        payloads = self.run_tasks_in_processes(
+            jobs_, _eval_matrix_cell_task, args_list)
+        evaluated: dict[Cell, object] = {}
+        for cell, (payload, stats) in zip(missing, payloads):
+            self.metrics.counter("probes_executed").inc(
+                stats["probes_executed"])
+            if stats["store_publishes"]:
+                self.metrics.counter("store_writes").inc(
+                    stats["store_publishes"])
+                self.store.stats._inc("writes")
+            evaluated[cell] = cell_from_dict(payload, self.thresholds)
+        return evaluated
+
     # -- public API --------------------------------------------------------
 
     def build(self) -> BuildReport:
@@ -469,8 +820,10 @@ class MatrixScheduler(JobEngine):
         start = time.monotonic()
         self.metrics.gauge("workers").set(self.jobs)
         cell_jobs: dict[Cell, int] = {}
+        missing: list[Cell] = []
         stored: dict[Cell, object] = {}
         use_store = self.store is not None and self.probe_filter is None
+        use_processes = self.execution == EXECUTION_PROCESS
         if self.store is not None and self.probe_filter is not None:
             self.metrics.counter("store_bypassed").inc()
         for cell in all_cells():
@@ -481,16 +834,24 @@ class MatrixScheduler(JobEngine):
                     self.metrics.counter("store_hits").inc()
                     continue
                 self.metrics.counter("store_misses").inc()
-            cell_jobs[cell] = self._build_cell_jobs(cell)
+            if use_processes:
+                missing.append(cell)
+            else:
+                cell_jobs[cell] = self._build_cell_jobs(cell)
 
-        self.run_all()
+        if use_processes:
+            evaluated = self._build_cells_in_processes(missing)
+        else:
+            self.run_all()
+            evaluated = {cell: self._results[job_id]
+                         for cell, job_id in cell_jobs.items()}
 
         cells = {}
         for cell in all_cells():
             if cell in stored:
                 cells[cell] = stored[cell]
             else:
-                cells[cell] = self._results[cell_jobs[cell]]
+                cells[cell] = evaluated[cell]
         matrix = CompatibilityMatrix(cells=cells, thresholds=self.thresholds)
         elapsed = time.monotonic() - start
         self.metrics.counter("builds").inc()
@@ -500,14 +861,15 @@ class MatrixScheduler(JobEngine):
             jobs=self.jobs,
             elapsed_s=elapsed,
             cells_from_store=len(stored),
-            cells_evaluated=len(cell_jobs),
+            cells_evaluated=len(evaluated),
             store=self.store,
         )
 
 
 def build_matrix_concurrent(
-    jobs: int = 1,
+    jobs: int | None = 1,
     *,
+    execution: str = EXECUTION_THREAD,
     store: ResultStore | str | None = None,
     thresholds: Thresholds = DEFAULT_THRESHOLDS,
     probe_filter: Callable[[Probe], bool] | None = None,
@@ -523,12 +885,14 @@ def build_matrix_concurrent(
     ``store`` may be a :class:`~repro.service.store.ResultStore` or a
     directory path; ``None`` disables persistence.  The result is
     bit-identical to :func:`repro.core.matrix.build_matrix` with the
-    same thresholds/probe filter, at every ``jobs`` count.
+    same thresholds/probe filter, at every ``jobs`` count — on either
+    execution backend.
     """
     if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
         store = ResultStore(store, thresholds=thresholds, metrics=metrics)
     scheduler = MatrixScheduler(
         jobs,
+        execution=execution,
         store=store,
         thresholds=thresholds,
         probe_filter=probe_filter,

@@ -39,7 +39,19 @@ path                                  payload
 ``/lint/traces``                      tracesan static trace-validation
                                       sweep + agreement rollup (zero
                                       kernel executions)
+``/admin/stores``                     operational store view: entry
+                                      counts, hit/miss/corrupt counters,
+                                      environment fingerprints
+``/admin/stores/clear`` (POST)        delete every persisted cell (403
+                                      ``read_only`` when the server was
+                                      started with ``serve --read-only``)
 ====================================  =======================================
+
+Schema v4: ``/healthz`` and ``/metrics`` additionally carry a typed
+``execution`` block (:class:`repro.service.api.ExecutionInfo`) naming
+the scheduler backend (``thread`` or ``process``), the worker count,
+and the fleet counters (store hits, probes run, worker crashes and
+pool restarts).
 
 Both matrices build lazily on first use through the concurrent
 schedulers, against an optional persistent store — a warm store serves
@@ -57,9 +69,11 @@ from typing import Callable
 
 from repro.enums import Language, Model, SupportCategory, Vendor, all_cells
 from repro.service.api import (
+    AdminStoresResponse,
     AdviseResponse,
     BadRequestError,
     CellResponse,
+    ExecutionInfo,
     HealthResponse,
     KernelRejectedError,
     KernelSubmitResponse,
@@ -71,8 +85,10 @@ from repro.service.api import (
     PerfLintResponse,
     PerfMatrixResponse,
     PortabilityResponse,
+    ReadOnlyError,
     RemoteServerError,
     StaticPerfResponse,
+    StoresClearResponse,
     TableResponse,
     TraceLintResponse,
     check_schema_version,
@@ -82,7 +98,13 @@ from repro.service.api import (
 )
 from repro.service.api import ServiceError as _ServiceError
 from repro.service.metrics import MetricsRegistry
-from repro.service.scheduler import BuildReport, build_matrix_concurrent
+from repro.service.scheduler import (
+    EXECUTION_THREAD,
+    BuildReport,
+    build_matrix_concurrent,
+    resolve_execution,
+    resolve_jobs,
+)
 from repro.service.store import ResultStore, cell_to_dict
 
 __all__ = [
@@ -148,14 +170,18 @@ class MatrixService:
     def __init__(
         self,
         *,
-        jobs: int = 4,
+        jobs: int | None = 4,
+        execution: str = EXECUTION_THREAD,
+        read_only: bool = False,
         store: ResultStore | str | None = None,
         metrics: MetricsRegistry | None = None,
         perf_params: "PerfParams | None" = None,
     ):
         from repro.perfport.matrix import PerfParams
 
-        self.jobs = jobs
+        self.jobs = resolve_jobs(jobs)
+        self.execution = resolve_execution(execution)
+        self.read_only = read_only
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
             store = ResultStore(store, metrics=self.metrics)
@@ -178,7 +204,8 @@ class MatrixService:
         with self._build_lock:
             if self._report is None:
                 self._report = build_matrix_concurrent(
-                    self.jobs, store=self.store, metrics=self.metrics)
+                    self.jobs, execution=self.execution, store=self.store,
+                    metrics=self.metrics)
             return self._report
 
     def ensure_perf_built(self):
@@ -195,8 +222,9 @@ class MatrixService:
                               metrics=self.metrics)
                     if self.store is not None else None)
                 self._perf_report = PerfScheduler(
-                    self.jobs, compat=compat, params=self.perf_params,
-                    store=perf_store, metrics=self.metrics,
+                    self.jobs, compat=compat, execution=self.execution,
+                    params=self.perf_params, store=perf_store,
+                    metrics=self.metrics,
                 ).build()
             return self._perf_report
 
@@ -226,12 +254,28 @@ class MatrixService:
 
     # -- compat queries ----------------------------------------------------
 
+    def execution_info(self) -> ExecutionInfo:
+        """The typed fleet block stamped onto ``/healthz`` and ``/metrics``."""
+        def count(name: str) -> int:
+            return self.metrics.counter(name).get()
+
+        return ExecutionInfo(
+            backend=self.execution,
+            workers=self.jobs,
+            store_hits=count("store_hits") + count("perf_store_hits"),
+            probes_run=count("probes_executed"),
+            worker_crashes=count("worker_crashes"),
+            worker_restarts=count("worker_restarts"),
+        )
+
     def health(self) -> dict:
         built = self._report is not None
         return {
             "status": "ok",
             "built": built,
             "cells": self._report.matrix.n_cells if built else 0,
+            "read_only": self.read_only,
+            "execution": self.execution_info().as_dict(),
         }
 
     def cell(self, vendor: str, model: str, language: str) -> dict:
@@ -299,8 +343,11 @@ class MatrixService:
             if self._perf_report is not None and self._perf_report.store:
                 snap["perf_store"] = self._perf_report.store.stats.as_dict()
         snap["stream"] = stream_totals()
+        snap["execution"] = self.execution_info().as_dict()
         snap["service"] = {
             "jobs": self.jobs,
+            "execution": self.execution,
+            "read_only": self.read_only,
             "built": self._report is not None,
             "perf_built": self._perf_report is not None,
             "static_perf_built": self._static_perf is not None,
@@ -310,6 +357,62 @@ class MatrixService:
                 self._report.cells_evaluated if self._report else 0),
         }
         return snap
+
+    # -- operational endpoints (/admin/*) ----------------------------------
+
+    def _perf_store(self):
+        """The perf store over the shared root (built report's if any)."""
+        from repro.perfport.store import PerfStore
+
+        if self._perf_report is not None and self._perf_report.store:
+            return self._perf_report.store
+        if self.store is None:
+            return None
+        return PerfStore(self.store.root, params=self.perf_params,
+                         thresholds=self.store.thresholds,
+                         metrics=self.metrics)
+
+    @staticmethod
+    def _store_view(store) -> dict:
+        if store is None:
+            return {"configured": False, "entries": 0}
+        return {
+            "configured": True,
+            "root": str(store.root),
+            "entries": len(store.entries()),
+            "fingerprint": store.fingerprint,
+            "stats": store.stats.as_dict(),
+        }
+
+    def admin_stores(self) -> dict:
+        """``GET /admin/stores``: the operational view of both stores."""
+        return {
+            "read_only": self.read_only,
+            "matrix": self._store_view(self.store),
+            "perf": self._store_view(self._perf_store()),
+        }
+
+    def clear_stores(self) -> dict:
+        """``POST /admin/stores/clear``: drop every persisted cell.
+
+        In-memory matrices stay built (the store is persistence, not
+        cache of record); the next cold process re-evaluates.  Typed
+        403 when the server was started ``serve --read-only``.
+        """
+        if self.read_only:
+            raise ReadOnlyError(
+                "store mutation rejected: server is running read-only "
+                "(started with --read-only)")
+        removed = {"matrix": 0, "perf": 0}
+        for name, store in (("matrix", self.store),
+                            ("perf", self._perf_store())):
+            if store is None:
+                continue
+            for path in store.entries():
+                path.unlink(missing_ok=True)
+                removed[name] += 1
+        self.metrics.counter("admin_store_clears").inc()
+        return {"cleared": True, "removed": removed}
 
     # -- perf queries ------------------------------------------------------
 
@@ -595,6 +698,14 @@ def dispatch(service: MatrixService, parts: list[str],
         payload = service.perf_portability()
     elif parts == ["perf", "static"]:
         payload = service.perf_static()
+    elif parts == ["admin", "stores"]:
+        payload = service.admin_stores()
+    elif parts == ["admin", "stores", "clear"]:
+        if body is None:
+            raise BadRequestError(
+                "/admin/stores/clear is POST-only (send an empty JSON "
+                "body)")
+        payload = service.clear_stores()
     else:
         raise NotFoundError(f"no such endpoint: /{'/'.join(parts)}")
     return versioned(payload)
@@ -658,6 +769,13 @@ class _BaseClient:
 
     def lint_traces(self) -> TraceLintResponse:
         return TraceLintResponse(self._request(["lint", "traces"]))
+
+    def admin_stores(self) -> AdminStoresResponse:
+        return AdminStoresResponse(self._request(["admin", "stores"]))
+
+    def clear_stores(self) -> StoresClearResponse:
+        return StoresClearResponse(
+            self._request(["admin", "stores", "clear"], body={}))
 
     def submit_kernel(self, source: str, name: str | None = None,
                       signature: str | None = None) -> KernelSubmitResponse:

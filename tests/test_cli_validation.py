@@ -43,6 +43,24 @@ def test_error_message_names_the_bad_value(capsys):
         capsys.readouterr().err
 
 
+@pytest.mark.parametrize("command", ["eval", "perf", "serve"])
+def test_unknown_execution_backend_exits_2(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main([command, "--execution", "fibers"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_execution_backends_parse(capsys):
+    """Both backends parse on every fleet subcommand (no run needed:
+    a bad --port value aborts serve after parsing succeeds)."""
+    for backend in ("thread", "process"):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["serve", "--execution", backend, "--port", "nope"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+
 def test_trace_mode_flag_rejects_unknown_value(capsys):
     with pytest.raises(SystemExit) as excinfo:
         cli.main(["--trace-mode", "sometimes", "report"])

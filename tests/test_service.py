@@ -10,6 +10,7 @@ metrics registry — is tested against that same fixed ground truth.
 from __future__ import annotations
 
 import json
+import os
 import threading
 
 import pytest
@@ -31,6 +32,7 @@ from repro.service import (
     MetricsRegistry,
     ResultStore,
     SchedulerError,
+    WorkerCrash,
     build_matrix_concurrent,
     cell_from_dict,
     cell_to_dict,
@@ -406,6 +408,7 @@ def test_all_endpoints_payload_identical_across_transports(warm_store_dir):
             ("perf_static", ()),
             ("lint_perf", ()),
             ("lint_traces", ()),
+            ("admin_stores", ()),
             ("metrics", ()),
         ]
         for name, args in calls:
@@ -562,3 +565,274 @@ def test_store_covers_every_figure1_cell(warm_store_dir):
         assert loaded is not None
         assert (loaded.vendor, loaded.model, loaded.language) == cell
         assert isinstance(loaded.primary, SupportCategory)
+
+
+# -- the worker-process fleet -------------------------------------------------
+
+
+@pytest.mark.parametrize("execution", ["thread", "process"])
+@pytest.mark.parametrize("jobs", [1, 2, 8])
+def test_fleet_build_bit_identical(jobs, execution, seq_matrix):
+    """{1, 2, 8} workers x {thread, process}: the same Figure 1, byte
+    for byte — the invariant the process backend must preserve."""
+    report = build_matrix_concurrent(jobs, execution=execution)
+    assert report.matrix.cells == seq_matrix.cells
+    assert report.cells_evaluated == 51
+    assert _render_text(report.matrix) == _render_text(seq_matrix)
+
+
+@pytest.fixture(scope="module")
+def seq_perf_json(seq_matrix):
+    """Sequential-reference perf matrix, serialized for byte-comparison."""
+    from repro.perfport import PerfParams, PerfScheduler
+    from repro.perfport.store import perf_cell_to_dict
+
+    params = PerfParams(n=1 << 12, reps=2)
+    report = PerfScheduler(1, compat=seq_matrix, params=params).build()
+    return params, json.dumps(
+        {":".join(p.value for p in cell): perf_cell_to_dict(c)
+         for cell, c in report.matrix.cells.items()}, sort_keys=True)
+
+
+@pytest.mark.parametrize("execution", ["thread", "process"])
+@pytest.mark.parametrize("jobs", [2, 8])
+def test_fleet_perf_build_byte_identical(jobs, execution, seq_matrix,
+                                         seq_perf_json):
+    from repro.perfport import PerfScheduler
+    from repro.perfport.store import perf_cell_to_dict
+
+    params, expected = seq_perf_json
+    report = PerfScheduler(jobs, compat=seq_matrix, execution=execution,
+                           params=params).build()
+    got = json.dumps(
+        {":".join(p.value for p in cell): perf_cell_to_dict(c)
+         for cell, c in report.matrix.cells.items()}, sort_keys=True)
+    assert got == expected
+
+
+def test_process_store_is_the_mailbox(tmp_path, seq_matrix):
+    """Workers publish cells into the shared store; a warm rerun then
+    serves everything with zero probe executions."""
+    cold_metrics = MetricsRegistry()
+    cold = build_matrix_concurrent(
+        2, execution="process", store=str(tmp_path), metrics=cold_metrics)
+    assert cold.matrix.cells == seq_matrix.cells
+    assert cold.cells_evaluated == 51
+    assert cold.store.stats.as_dict()["writes"] == 51
+
+    warm_metrics = MetricsRegistry()
+    warm = build_matrix_concurrent(
+        2, execution="process", store=str(tmp_path), metrics=warm_metrics)
+    assert warm.matrix.cells == seq_matrix.cells
+    assert warm.cells_from_store == 51
+    assert warm.cells_evaluated == 0
+    assert warm_metrics.counter("probes_executed").get() == 0
+
+
+def test_process_backend_rejects_unpicklable_probe_filter():
+    with pytest.raises(ValueError, match="picklable"):
+        build_matrix_concurrent(
+            1, execution="process", probe_filter=lambda probe: True)
+
+
+def test_execution_knob_rejects_typos():
+    with pytest.raises(ValueError, match="execution"):
+        build_matrix_concurrent(1, execution="fibers")
+
+
+#: The fault-hook target: the cell task for NVIDIA/CUDA/C++ (the
+#: process backend schedules one CELL job per cell).
+_CRASH_LABEL = "cell:NVIDIA:CUDA:C++"
+
+
+def _crash_twice_hook(info, attempt):
+    """Picklable worker-side hook: kill the worker process dead on the
+    first two attempts at the target cell (a real crash, not an
+    exception — the pool must detect the death and rebuild)."""
+    if info.label == _CRASH_LABEL and attempt < 2:
+        os._exit(13)
+
+
+def test_worker_crash_twice_then_succeeds():
+    """A worker dying mid-job twice is two structured retries: the pool
+    is rebuilt each time and the final matrix is still bit-identical."""
+    reference = build_matrix(probe_filter=_first_probe_filter)
+    metrics = MetricsRegistry()
+    report = build_matrix_concurrent(
+        2, execution="process", probe_filter=_first_probe_filter,
+        metrics=metrics, fault_hook=_crash_twice_hook,
+        backoff_s=0.001, max_retries=2)
+    assert report.matrix.cells == reference.cells
+    assert metrics.counter("worker_crashes").get() == 2
+    assert metrics.counter("worker_restarts").get() == 2
+    assert metrics.counter("jobs_retried").get() >= 2
+
+
+def test_simulated_crash_via_local_hook():
+    """An unpicklable hook runs coordinator-side; raising WorkerCrash
+    simulates a death (counted, retried) without killing any pool."""
+    reference = build_matrix(probe_filter=_first_probe_filter)
+    crashes: dict[str, int] = {}
+
+    def hook(job, attempt):  # a closure: unpicklable by construction
+        if job.label == _CRASH_LABEL and crashes.setdefault("n", 0) < 2:
+            crashes["n"] += 1
+            raise WorkerCrash(f"injected crash #{crashes['n']}")
+
+    metrics = MetricsRegistry()
+    report = build_matrix_concurrent(
+        2, execution="process", probe_filter=_first_probe_filter,
+        metrics=metrics, fault_hook=hook, backoff_s=0.0, max_retries=2)
+    assert report.matrix.cells == reference.cells
+    assert metrics.counter("worker_crashes").get() == 2
+    assert metrics.counter("worker_restarts").get() == 0  # no pool died
+    assert metrics.counter("jobs_retried").get() == 2
+
+
+def test_process_retries_exhausted_is_a_typed_error():
+    def hook(job, attempt):
+        if job.label == _CRASH_LABEL:
+            raise WorkerCrash("injected permanent crash")
+
+    with pytest.raises(SchedulerError, match=r"cell:NVIDIA:CUDA"):
+        build_matrix_concurrent(
+            2, execution="process", probe_filter=_first_probe_filter,
+            fault_hook=hook, backoff_s=0.0, max_retries=1)
+
+
+# -- schema v4: the typed execution block + tolerant version check ------------
+
+
+def test_v4_execution_block_on_health_and_metrics(service):
+    from repro.service import SCHEMA_VERSION, ExecutionInfo
+
+    client = InProcessClient(service)
+    health = client.health()
+    assert health.schema_version == SCHEMA_VERSION == 4
+    info = health.execution
+    assert isinstance(info, ExecutionInfo)
+    assert info.backend == "thread"
+    assert info.workers == 2
+    assert info.store_hits == 51  # the warm store served every cell
+    assert info.worker_crashes == 0
+    assert info.worker_restarts == 0
+
+    snap = client.metrics()
+    m_info = snap.execution
+    assert m_info.backend == info.backend
+    assert m_info.workers == info.workers
+    assert m_info.as_dict() == ExecutionInfo.from_dict(
+        snap.payload["execution"]).as_dict()
+
+
+def test_check_schema_version_tolerates_one_generation():
+    import warnings
+
+    from repro.service import COMPATIBLE_SCHEMA_VERSIONS, SCHEMA_VERSION
+    from repro.service.api import SchemaVersionError, check_schema_version
+
+    assert COMPATIBLE_SCHEMA_VERSIONS == (SCHEMA_VERSION - 1, SCHEMA_VERSION)
+    # The current version passes silently.
+    current = {"schema_version": SCHEMA_VERSION}
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert check_schema_version(current) is current
+    # The previous generation (v3 clients) warns but keeps working.
+    stale = {"schema_version": SCHEMA_VERSION - 1}
+    with pytest.deprecated_call():
+        assert check_schema_version(stale) is stale
+    # Two generations back is a hard failure.
+    with pytest.raises(SchemaVersionError):
+        check_schema_version({"schema_version": SCHEMA_VERSION - 2})
+
+
+# -- the /admin operational endpoints -----------------------------------------
+
+
+@pytest.fixture()
+def admin_store_dir(tmp_path):
+    """A private warm store holding exactly one 51-cell generation.
+
+    Built fresh rather than copied from ``warm_store_dir``: other tests
+    (threshold invalidation) deposit extra generations into the shared
+    module-scoped store, and the clear tests below assert exact entry
+    counts — and may not mutate a fixture other tests share anyway.
+    """
+    root = tmp_path / "admin-store"
+    report = build_matrix_concurrent(4, store=str(root))
+    assert report.cells_evaluated == 51
+    return root
+
+
+def test_admin_stores_view_and_clear(admin_store_dir):
+    svc = MatrixService(jobs=2, store=str(admin_store_dir))
+    svc.ensure_built()
+    client = InProcessClient(svc)
+
+    view = client.admin_stores()
+    assert view.matrix["configured"] is True
+    assert view.matrix["entries"] == 51
+    assert view.matrix["fingerprint"]
+    assert view.matrix["stats"]["hits"] == 51
+    assert view.matrix["stats"]["invalid"] == 0
+    assert view.perf["configured"] is True
+    assert view.perf["entries"] == 0  # perf never built here
+    assert view["read_only"] is False
+
+    cleared = client.clear_stores()
+    assert cleared.cleared is True
+    assert cleared.removed == {"matrix": 51, "perf": 0}
+    assert client.admin_stores().matrix["entries"] == 0
+    # The in-memory matrix survives; only persistence was dropped.
+    assert client.health()["built"] is True
+
+
+def test_admin_endpoints_parity_across_transports(admin_store_dir):
+    from repro.service import HttpClient
+
+    svc = MatrixService(jobs=2, store=str(admin_store_dir))
+    svc.ensure_built()
+    server = make_server(svc)
+    host, port = server.server_address
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        inproc, http = InProcessClient(svc), HttpClient(host, port)
+        assert inproc.admin_stores().payload == http.admin_stores().payload
+        assert inproc.health().payload == http.health().payload
+        # Clearing over HTTP reports the same shape the in-process
+        # client then observes.
+        assert http.clear_stores().removed == {"matrix": 51, "perf": 0}
+        assert inproc.admin_stores().matrix["entries"] == 0
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_read_only_server_rejects_clear_on_both_transports(admin_store_dir):
+    from repro.service import HttpClient, ReadOnlyError
+
+    svc = MatrixService(jobs=2, store=str(admin_store_dir), read_only=True)
+    server = make_server(svc)
+    host, port = server.server_address
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    try:
+        for client in (InProcessClient(svc), HttpClient(host, port)):
+            with pytest.raises(ReadOnlyError) as err:
+                client.clear_stores()
+            assert err.value.status == 403
+            assert err.value.code == "read_only"
+            # Reads stay open — read-only, not closed.
+            assert client.admin_stores().matrix["entries"] == 51
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_admin_clear_requires_a_post_body():
+    from repro.service import BadRequestError
+    from repro.service.server import dispatch
+
+    svc = MatrixService(jobs=1)
+    with pytest.raises(BadRequestError, match="POST"):
+        dispatch(svc, ["admin", "stores", "clear"],
+                 lambda name, default=None: default, body=None)
